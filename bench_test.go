@@ -1,0 +1,263 @@
+package evolvevm
+
+// One benchmark per table/figure of the paper's evaluation (experiments
+// E1–E8 in DESIGN.md), in quick mode so `go test -bench=.` stays in CI
+// budgets, plus microbenchmarks for the substrate layers. Run the full
+// paper-scale versions with cmd/expdriver.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/cart"
+	"evolvevm/internal/harness"
+	"evolvevm/internal/interp"
+	"evolvevm/internal/opt"
+	"evolvevm/internal/programs"
+	"evolvevm/internal/stats"
+	"evolvevm/internal/xicl"
+)
+
+func quickOpts(seed int64) harness.Options {
+	return harness.Options{Seed: seed, Quick: true}
+}
+
+// BenchmarkTable1 regenerates Table I (E1): per-benchmark input counts,
+// running-time ranges, feature selection, confidence and accuracy.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var accs []float64
+		for _, r := range rows {
+			accs = append(accs, r.Acc)
+		}
+		b.ReportMetric(stats.Mean(accs), "mean-acc")
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (E2): temporal confidence,
+// accuracy, and Evolve-vs-Rep speedups on mtrt and raytracer.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := harness.Figure8(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := series[0].Confidence
+		b.ReportMetric(last[len(last)-1], "final-conf")
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (E3): speedup vs default running
+// time on mtrt and compress.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.Figure9(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(points["mtrt"])), "mtrt-points")
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (E4): speedup boxplots for the
+// whole suite under Evolve and Rep.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure10(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var medians []float64
+		for _, r := range rows {
+			medians = append(medians, r.Evolve.Median)
+		}
+		b.ReportMetric(stats.Mean(medians), "mean-evolve-median")
+	}
+}
+
+// BenchmarkOverhead regenerates the overhead analysis (E5).
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Overhead(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			if r.MaxPct > worst {
+				worst = r.MaxPct
+			}
+		}
+		b.ReportMetric(worst, "max-overhead-%")
+	}
+}
+
+// BenchmarkSensitivity regenerates the threshold and input-order
+// sensitivity study (E6).
+func BenchmarkSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Sensitivity(io.Discard, quickOpts(int64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation runs the design ablations (E7): discriminative guard
+// on/off and feature-vector truncation.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Ablation(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].AccFull-res[0].AccTruncated, "feature-acc-gain")
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkInterpreterDispatch measures the raw execution engine on a
+// tight arithmetic loop.
+func BenchmarkInterpreterDispatch(b *testing.B) {
+	prog, err := bytecode.Assemble("microloop", `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load acc
+  load i
+  ixor
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := interp.NewEngine(prog)
+		if err := e.SetGlobal("n", bytecode.Int(10000)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizePipeline measures a level-2 compile of a mid-size
+// method (mtrt's intersection kernel).
+func BenchmarkOptimizePipeline(b *testing.B) {
+	bench := programs.ByName("mtrt")
+	prog, err := bench.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, _ := prog.FuncIndex("intersectall")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := opt.Optimize(prog, idx, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXICLTranslate measures command-line-to-feature-vector
+// translation with file-reading extractors.
+func BenchmarkXICLTranslate(b *testing.B) {
+	bench := programs.ByName("mtrt")
+	spec, err := bench.ParsedSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := bench.Registry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := bench.GenInputs(rand.New(rand.NewSource(1)), 1)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := xicl.NewTranslator(spec, reg, in.Files)
+		if _, err := tr.BuildFVector(in.Args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeBuild measures classification-tree induction on a
+// 200-example mixed-feature training set.
+func BenchmarkTreeBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var examples []cart.Example
+	for i := 0; i < 200; i++ {
+		size := rng.Float64() * 100
+		format := []string{"xml", "txt", "pdf"}[rng.Intn(3)]
+		label := 0
+		if size > 60 {
+			label = 2
+		} else if format == "xml" {
+			label = 1
+		}
+		examples = append(examples, cart.Example{
+			Features: xicl.Vector{
+				xicl.NumFeature("size", size),
+				xicl.CatFeature("fmt", format),
+			},
+			Label: label,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cart.Build(examples, cart.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndEvolveRun measures one full Evolve production run of
+// compress, including feature extraction and model feedback.
+func BenchmarkEndToEndEvolveRun(b *testing.B) {
+	r, err := harness.NewRunner(programs.ByName("compress"), 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := r.Inputs[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunOne(harness.ScenarioEvolve, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGCSelection runs the §VI extension (E8): learned per-input
+// garbage-collector choice on the server workload.
+func BenchmarkGCSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.GCSelection(io.Discard, quickOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs > 0 {
+			b.ReportMetric(float64(res.Learned)/float64(res.Oracle), "learned/oracle")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command expdriver regenerates the paper's evaluation artifacts — Table
+// I, Figures 8, 9 and 10, the overhead analysis, the sensitivity study —
+// plus this reproduction's ablations. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	expdriver -exp all
+//	expdriver -exp table1 -seed 7
+//	expdriver -exp fig8 -bench mtrt,raytracer -runs 40
+//	expdriver -exp fig10 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"evolvevm/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
+		seed     = flag.Int64("seed", 1, "corpus and arrival-order seed")
+		runs     = flag.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
+		corpus   = flag.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
+		quick    = flag.Bool("quick", false, "shrink corpora and sequences")
+		parallel = flag.Bool("parallel", true, "run independent benchmarks concurrently")
+		benches  = flag.String("bench", "", "comma-separated benchmark filter")
+	)
+	flag.Parse()
+
+	opts := harness.Options{
+		Seed:     *seed,
+		Runs:     *runs,
+		Corpus:   *corpus,
+		Quick:    *quick,
+		Parallel: *parallel,
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "\n================ %s ================\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+	if want("table1") {
+		run("Table I", func() error { _, err := harness.Table1(w, opts); return err })
+		ran = true
+	}
+	if want("fig8") {
+		run("Figure 8", func() error { _, err := harness.Figure8(w, opts); return err })
+		ran = true
+	}
+	if want("fig9") {
+		run("Figure 9", func() error { _, err := harness.Figure9(w, opts); return err })
+		ran = true
+	}
+	if want("fig10") {
+		run("Figure 10", func() error { _, err := harness.Figure10(w, opts); return err })
+		ran = true
+	}
+	if want("overhead") {
+		run("Overhead", func() error { _, err := harness.Overhead(w, opts); return err })
+		ran = true
+	}
+	if want("sensitivity") {
+		run("Sensitivity", func() error { _, err := harness.Sensitivity(w, opts); return err })
+		ran = true
+	}
+	if want("ablation") {
+		run("Ablation", func() error { _, err := harness.Ablation(w, opts); return err })
+		ran = true
+	}
+	if want("gc") {
+		run("GC selection", func() error { _, err := harness.GCSelection(w, opts); return err })
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "expdriver: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,116 @@
+// Command xiclc checks XICL specifications and translates command lines
+// into feature vectors.
+//
+// Usage:
+//
+//	xiclc -spec route.xicl                      # parse and summarize
+//	xiclc -spec route.xicl -- -n 3 graph.txt    # translate a command line
+//	xiclc -program mtrt -inputs 3               # translate generated inputs
+//	                                              of a bundled benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"evolvevm/internal/programs"
+	"evolvevm/internal/xicl"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "XICL specification file")
+		progName = flag.String("program", "", "use a bundled benchmark's spec and extractors")
+		inputs   = flag.Int("inputs", 1, "with -program: number of generated inputs to translate")
+		seed     = flag.Int64("seed", 1, "with -program: corpus seed")
+		genPath  = flag.String("gen", "", "draft a spec skeleton from a SYNOPSIS/OPTIONS usage file")
+	)
+	flag.Parse()
+
+	switch {
+	case *genPath != "":
+		usage, err := os.ReadFile(*genPath)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := xicl.GenerateSpec(string(usage))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(src)
+	case *specPath != "":
+		src, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := xicl.ParseSpec(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		summarize(spec)
+		if args := flag.Args(); len(args) > 0 {
+			tr := xicl.NewTranslator(spec, xicl.NewRegistry(), xicl.OSFS{})
+			vec, err := tr.BuildFVector(args)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("feature vector: %s\n", vec)
+			fmt.Printf("extraction cost: %d cycles\n", tr.Cost())
+		}
+
+	case *progName != "":
+		b := programs.ByName(*progName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown program %q", *progName))
+		}
+		spec, err := b.ParsedSpec()
+		if err != nil {
+			fatal(err)
+		}
+		reg, err := b.Registry()
+		if err != nil {
+			fatal(err)
+		}
+		summarize(spec)
+		for _, in := range b.GenInputs(rand.New(rand.NewSource(*seed)), *inputs) {
+			tr := xicl.NewTranslator(spec, reg, in.Files)
+			vec, err := tr.BuildFVector(in.Args)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ninput:   %s %v\n", b.Name, in.Args)
+			fmt.Printf("vector:  %s\n", vec)
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "xiclc: need -spec FILE or -program NAME")
+		os.Exit(2)
+	}
+}
+
+func summarize(spec *xicl.Spec) {
+	fmt.Printf("spec: %d options, %d operands, %d runtime constructs\n",
+		len(spec.Options), len(spec.Operands), len(spec.Runtime))
+	for _, o := range spec.Options {
+		fmt.Printf("  option  %-18s type=%-4v attrs=%v default=%q has_arg=%v\n",
+			strings.Join(o.Names, ":"), o.Type, o.Attrs, o.Default, o.HasArg)
+	}
+	for _, o := range spec.Operands {
+		hi := fmt.Sprint(o.Hi)
+		if o.Hi == xicl.PosEnd {
+			hi = "$"
+		}
+		fmt.Printf("  operand %d:%-16s type=%-4v attrs=%v\n", o.Lo, hi, o.Type, o.Attrs)
+	}
+	for _, r := range spec.Runtime {
+		fmt.Printf("  runtime %-18s count=%d default=%g\n", r.Name, r.Count, r.Default)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xiclc: %v\n", err)
+	os.Exit(1)
+}

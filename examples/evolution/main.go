@@ -1,0 +1,79 @@
+// Evolution: watch a virtual machine evolve across production runs
+// (paper Figure 7 / Figure 8). The mtrt benchmark is launched 30 times
+// with randomly arriving inputs; each run feeds the learner, confidence
+// grows, the discriminative guard opens, and predicted input-specific
+// strategies start beating the reactive default. Halfway through, the
+// learned state is serialized and restored, demonstrating persistence
+// across VM lifetimes.
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"evolvevm/internal/core"
+	"evolvevm/internal/harness"
+	"evolvevm/internal/programs"
+)
+
+func main() {
+	r, err := harness.NewRunner(programs.ByName("mtrt"), 16, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	order := r.Order(rng, 30)
+
+	fmt.Println("run  input                      speedup  conf   acc   predicted")
+	for i, idx := range order {
+		if i == len(order)/2 {
+			// Simulate a VM restart: save the models, drop everything,
+			// reload. Learning continues where it left off.
+			var buf bytes.Buffer
+			if err := r.Evolver.Save(&buf); err != nil {
+				log.Fatal(err)
+			}
+			size := buf.Len()
+			ev, err := core.LoadEvolver(r.Prog, r.EvolveCfg, &buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Evolver = ev
+			fmt.Printf("---- state saved and restored (%d bytes, %d runs) ----\n",
+				size, ev.Runs())
+		}
+
+		res, err := r.RunOne(harness.ScenarioEvolve, r.Inputs[idx])
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := res.Evolve
+		bar := strings.Repeat("#", int(rec.Confidence*20))
+		fmt.Printf("%3d  %-26s %7.3f  %.2f %s %.2f  %v\n",
+			i+1, res.InputID, res.Speedup, rec.Confidence, pad(bar, 20),
+			rec.Accuracy, rec.Predicted)
+	}
+
+	fmt.Printf("\nfinal confidence: %.3f over %d runs\n",
+		r.Evolver.Confidence(), r.Evolver.Runs())
+	fmt.Printf("features the models actually use: %v\n", r.Evolver.UsedFeatureNames())
+
+	// Peek inside one learned model: the tree for the tracing kernel.
+	if idx, ok := r.Prog.FuncIndex("trace"); ok {
+		if m := r.Evolver.ModelFor(idx); m != nil && m.Tree() != nil {
+			fmt.Printf("\nlearned input->level tree for method trace:\n%s", m.Tree())
+		}
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(".", n-len(s))
+}

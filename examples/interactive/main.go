@@ -1,0 +1,175 @@
+// Interactive: the XICL runtime-construct path (paper §III-B.3/4). Some
+// input features only become known while the application initializes —
+// here, the dataset's row count, which the program discovers when it
+// parses its input. The application passes the value to the translator
+// via UpdateV and signals Done, which releases the (deferred) prediction
+// mid-run: methods that already started at baseline are recompiled to
+// their predicted levels on the fly.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/core"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+	"evolvevm/internal/xicl"
+)
+
+// analytics: parse the dataset (discovering its size), then run a
+// per-row kernel whose ideal level depends on that size.
+const source = `
+global rows
+global data
+global result
+
+func main() locals i acc
+  call parse 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload rows
+  ige
+  jnz done
+  load acc
+  load i
+  call kernel 1
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+func parse() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload rows
+  ige
+  jnz done
+  load acc
+  gload data
+  load i
+  aload
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func kernel(row) locals j acc
+  const 0
+  store acc
+  const 0
+  store j
+loop:
+  load j
+  const 60
+  ige
+  jnz done
+  load acc
+  load row
+  load j
+  imul
+  const 8191
+  iand
+  iadd
+  store acc
+  iinc j 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+// The spec defers the dataset size to runtime: no option carries it.
+const spec = `
+option  {name=-m:--mode; type=enum; attr=VAL; default=batch; has_arg=y}
+runtime {name=mRows; count=1; default=-1}
+`
+
+func main() {
+	prog, err := bytecode.Assemble("analytics", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsedSpec, err := xicl.ParseSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := core.NewEvolver(prog, core.DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	kernelIdx, _ := prog.FuncIndex("kernel")
+	parseIdx, _ := prog.FuncIndex("parse")
+
+	fmt.Println("run  rows   predicted-mid-run  kernel-level  conf")
+	for run := 1; run <= 14; run++ {
+		rows := int64(50 + rng.Intn(2000))
+
+		tr := xicl.NewTranslator(parsedSpec, nil, xicl.MapFS{})
+		if _, err := tr.BuildFVector([]string{"-m", "batch"}); err != nil {
+			log.Fatal(err)
+		}
+
+		ctrl := ev.Controller(nil, tr.Cost())
+		tr.OnDone = func(v xicl.Vector) { ctrl.SetFeatures(v) }
+
+		m := vm.New(prog, jit.DefaultConfig(), ctrl)
+		if err := m.Engine.SetGlobal("rows", bytecode.Int(rows)); err != nil {
+			log.Fatal(err)
+		}
+		ref, err := m.Engine.NewArray(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cells, _ := m.Engine.Array(ref)
+		for i := range cells {
+			cells[i] = bytecode.Int(int64(i % 97))
+		}
+		if err := m.Engine.SetGlobal("data", ref); err != nil {
+			log.Fatal(err)
+		}
+
+		// The application's instrumentation: when parsing finishes (the
+		// kernel's first invocation means main moved past parse), pass
+		// the discovered row count to the translator and signal Done —
+		// the paper's XICLFeatureVector.updateV()/done() calls.
+		delivered := false
+		m.Engine.OnInvoke = func(fnIdx int, count int64) {
+			m.Controller.OnInvoke(m, fnIdx, count)
+			if !delivered && fnIdx == kernelIdx && count == 1 {
+				delivered = true
+				if err := tr.UpdateV("mRows", float64(rows)); err != nil {
+					log.Fatal(err)
+				}
+				tr.Done()
+			}
+		}
+
+		if _, err := m.Run(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d  %5d  %17v  %12d  %.2f\n",
+			run, rows, ctrl.Predicted(), m.Level(kernelIdx), ev.Confidence())
+		_ = parseIdx
+	}
+}

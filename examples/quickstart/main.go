@@ -1,0 +1,150 @@
+// Quickstart: assemble a small program, run it on the VM under the
+// default adaptive optimizer, and inspect what the optimizer did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evolvevm/internal/aos"
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+)
+
+// A tiny numeric workload: repeatedly smooth an array, with the hot work
+// in a helper method the optimizer can observe and recompile.
+const source = `
+global n
+global data
+global rounds
+
+func main() locals r acc
+  const 0
+  store acc
+  const 0
+  store r
+loop:
+  load r
+  gload rounds
+  ige
+  jnz done
+  load acc
+  call smooth 0
+  iadd
+  store acc
+  iinc r 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func smooth() locals i acc v
+  const 0
+  store acc
+  const 1
+  store i
+loop:
+  load i
+  gload n
+  const 1
+  isub
+  ige
+  jnz done
+  gload data
+  load i
+  const 1
+  isub
+  aload
+  gload data
+  load i
+  aload
+  const 2
+  imul
+  iadd
+  gload data
+  load i
+  const 1
+  iadd
+  aload
+  iadd
+  const 4
+  idiv
+  store v
+  gload data
+  load i
+  load v
+  astore
+  load acc
+  load v
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+func main() {
+	prog, err := bytecode.Assemble("quickstart", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One Machine per run: engine + multi-level JIT + a controller. Here
+	// we use the reactive cost-benefit controller that ships as the
+	// VM's default.
+	m := vm.New(prog, jit.DefaultConfig(), aos.NewReactive())
+
+	// Install the input: 4000 cells, 60 smoothing rounds.
+	const n = 4000
+	ref, err := m.Engine.NewArray(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, _ := m.Engine.Array(ref)
+	for i := range cells {
+		cells[i] = bytecode.Int(int64(i * 37 % 1000))
+	}
+	for name, v := range map[string]bytecode.Value{
+		"n": bytecode.Int(n), "rounds": bytecode.Int(60), "data": ref,
+	} {
+		if err := m.Engine.SetGlobal(name, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	result, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("result          = %v\n", result)
+	fmt.Printf("total cycles    = %d\n", m.TotalCycles())
+	fmt.Printf("compile cycles  = %d (%d recompilations)\n", m.CompileCycles, m.Recompilations)
+	for fn, f := range prog.Funcs {
+		fmt.Printf("method %-8s level=%2d invocations=%-5d samples=%d\n",
+			f.Name, m.Level(fn), m.Engine.Invocations[fn], m.Samples[fn])
+	}
+
+	// Compare with a pure interpreter (no recompilation at all).
+	m2 := vm.New(prog, jit.DefaultConfig(), vm.NullController{})
+	ref2, _ := m2.Engine.NewArray(n)
+	cells2, _ := m2.Engine.Array(ref2)
+	for i := range cells2 {
+		cells2[i] = bytecode.Int(int64(i * 37 % 1000))
+	}
+	m2.Engine.SetGlobal("n", bytecode.Int(n))
+	m2.Engine.SetGlobal("rounds", bytecode.Int(60))
+	m2.Engine.SetGlobal("data", ref2)
+	if _, err := m2.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninterpreter-only cycles = %d  (adaptive VM speedup %.2fx)\n",
+		m2.TotalCycles(), float64(m2.TotalCycles())/float64(m.TotalCycles()))
+}

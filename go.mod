@@ -1,0 +1,3 @@
+module evolvevm
+
+go 1.22

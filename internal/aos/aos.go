@@ -1,0 +1,83 @@
+// Package aos implements the VM's default adaptive optimization system:
+// the reactive sample-driven cost-benefit controller that ships with the
+// machine (the paper's "Default" scenario, modelled on Jikes RVM), and the
+// posterior ideal-strategy oracle used to label training data for the
+// evolvable VM.
+package aos
+
+import (
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+)
+
+// Reactive is the Jikes-RVM-style controller. At every sample of a method
+// it estimates the method's future execution time as equal to its past
+// time (samples so far × sample stride) and recompiles to the level with
+// the greatest positive benefit−cost margin:
+//
+//	benefit(j) = future × (1 − speedup(i)/speedup(j))
+//	cost(j)    = estimated compile cycles at level j
+//
+// Decisions use the tier table's a-priori speedups, never measurements.
+type Reactive struct{}
+
+// NewReactive returns the default reactive controller.
+func NewReactive() *Reactive { return &Reactive{} }
+
+func (r *Reactive) Name() string                     { return "default" }
+func (r *Reactive) OnRunStart(*vm.Machine)           {}
+func (r *Reactive) OnInvoke(*vm.Machine, int, int64) {}
+func (r *Reactive) OnRunEnd(*vm.Machine)             {}
+
+func (r *Reactive) OnSample(m *vm.Machine, fnIdx int) {
+	cur := m.Level(fnIdx)
+	if cur >= jit.MaxLevel {
+		return
+	}
+	future := m.Samples[fnIdx] * m.Engine.SampleStride
+	curSpeed := m.Compiler.Speedup(cur)
+
+	bestLevel, bestMargin := -1, int64(0)
+	for j := cur + 1; j <= jit.MaxLevel; j++ {
+		benefit := int64(float64(future) * (1 - curSpeed/m.Compiler.Speedup(j)))
+		cost := m.Compiler.EstimateCompileCycles(fnIdx, j)
+		if margin := benefit - cost; margin > bestMargin {
+			bestMargin, bestLevel = margin, j
+		}
+	}
+	if bestLevel >= 0 {
+		// Compile errors cannot occur for verified programs; a failure
+		// here means a broken optimizer, which tests catch. Ignore to
+		// keep the controller non-fatal, as in the real AOS.
+		_ = m.RequestCompile(fnIdx, bestLevel)
+	}
+}
+
+// IdealStrategy computes the posterior optimal per-method levels for a
+// finished run: for each invoked method, the level j minimizing
+//
+//	estCompile(j) + work(m)/speedup(j)
+//
+// where work(m) is the tier-independent baseline cost the method actually
+// executed. This is the paper's GetIdealOptStrategy — the label the model
+// builder learns from, derived with the same cost model the reactive
+// controller uses.
+func IdealStrategy(m *vm.Machine) vm.Strategy {
+	ideal := vm.NewStrategy(len(m.Prog.Funcs))
+	for fn := range m.Prog.Funcs {
+		if m.Engine.Invocations[fn] == 0 {
+			continue
+		}
+		work := m.Engine.Work[fn]
+		best, bestCost := jit.MinLevel, work // level −1: no compile, full time
+		for j := 0; j <= jit.MaxLevel; j++ {
+			cost := m.Compiler.EstimateCompileCycles(fn, j) +
+				int64(float64(work)/m.Compiler.Speedup(j))
+			if cost < bestCost {
+				best, bestCost = j, cost
+			}
+		}
+		ideal[fn] = best
+	}
+	return ideal
+}

@@ -1,0 +1,161 @@
+package aos
+
+import (
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+)
+
+// hotColdSrc has a hot method (big loop, many invocations) and a cold one
+// (invoked once, trivial).
+const hotColdSrc = `
+global n
+func main() locals i acc
+  call cold 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  const 80
+  ige
+  jnz done
+  load acc
+  call hot 0
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+func hot() locals j acc
+  const 0
+  store acc
+  const 0
+  store j
+loop:
+  load j
+  gload n
+  ige
+  jnz done
+  load acc
+  load j
+  ixor
+  store acc
+  iinc j 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+func cold() locals x
+  const 7
+  ret
+end
+`
+
+func run(t *testing.T, n int64) *vm.Machine {
+	t.Helper()
+	p, err := bytecode.Assemble("aostest", hotColdSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(p, jit.DefaultConfig(), NewReactive())
+	if err := m.Engine.SetGlobal("n", bytecode.Int(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReactiveUpgradesHotOnly(t *testing.T) {
+	m := run(t, 2000)
+	hotIdx, _ := m.Prog.FuncIndex("hot")
+	coldIdx, _ := m.Prog.FuncIndex("cold")
+	if m.Level(hotIdx) <= jit.MinLevel {
+		t.Errorf("hot method stayed at level %d", m.Level(hotIdx))
+	}
+	if m.Level(coldIdx) != jit.MinLevel {
+		t.Errorf("cold method recompiled to %d", m.Level(coldIdx))
+	}
+}
+
+func TestReactiveStaysCheapOnTinyRuns(t *testing.T) {
+	// A tiny run accumulates a couple of samples at most: the cheap O0
+	// tier can be justified, the expensive O2 tier never is.
+	m := run(t, 3)
+	for fn := range m.Prog.Funcs {
+		if m.Level(fn) >= jit.MaxLevel {
+			t.Errorf("method %s aggressively recompiled on a tiny run (level %d)",
+				m.Prog.Funcs[fn].Name, m.Level(fn))
+		}
+	}
+}
+
+func TestReactiveBeatsBaselineOnLongRuns(t *testing.T) {
+	p, err := bytecode.Assemble("aostest", hotColdSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vm.New(p, jit.DefaultConfig(), vm.NullController{})
+	base.Engine.SetGlobal("n", bytecode.Int(2000))
+	if _, err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, 2000)
+	if m.TotalCycles() >= base.TotalCycles() {
+		t.Errorf("reactive %d cycles >= pure interpreter %d",
+			m.TotalCycles(), base.TotalCycles())
+	}
+}
+
+func TestIdealStrategyScalesWithWork(t *testing.T) {
+	small := run(t, 20)
+	large := run(t, 5000)
+	hotIdx, _ := small.Prog.FuncIndex("hot")
+	coldIdx, _ := small.Prog.FuncIndex("cold")
+
+	idealSmall := IdealStrategy(small)
+	idealLarge := IdealStrategy(large)
+	if idealLarge[hotIdx] <= idealSmall[hotIdx] {
+		t.Errorf("ideal(hot): small=%d large=%d, want strictly increasing",
+			idealSmall[hotIdx], idealLarge[hotIdx])
+	}
+	if idealLarge[hotIdx] != jit.MaxLevel {
+		t.Errorf("ideal(hot) on large run = %d, want %d", idealLarge[hotIdx], jit.MaxLevel)
+	}
+	if idealSmall[coldIdx] != jit.MinLevel || idealLarge[coldIdx] != jit.MinLevel {
+		t.Error("cold method should be ideal at baseline")
+	}
+}
+
+func TestIdealStrategySkipsUninvoked(t *testing.T) {
+	p, err := bytecode.Assemble("t", `
+func main() locals x
+  const 1
+  ret
+end
+func never() locals x
+  const 2
+  ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(p, jit.DefaultConfig(), NewReactive())
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ideal := IdealStrategy(m)
+	neverIdx, _ := p.FuncIndex("never")
+	if ideal[neverIdx] != jit.MinLevel {
+		t.Errorf("uninvoked method ideal = %d, want baseline", ideal[neverIdx])
+	}
+}

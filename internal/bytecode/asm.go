@@ -1,0 +1,372 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly in src into a verified Program named
+// name.
+//
+// Assembly syntax, line oriented ("; " and "#" start comments):
+//
+//	global size
+//	func main(argc) locals i j sum
+//	loop:
+//	  load i
+//	  gload size
+//	  ilt
+//	  jz done
+//	  iinc i 1
+//	  jmp loop
+//	done:
+//	  load sum
+//	  ret
+//	end
+//
+// Local slots are referred to by name (arguments first, then the names
+// declared after "locals"). Jump targets are labels. "const x" pushes a
+// numeric literal: integer literals that fit in 32 bits become IPUSH,
+// everything else is interned in the constant pool ("fconst x" forces a
+// float constant). "call f n" calls function f with n arguments; functions
+// may be referenced before they are defined.
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{prog: NewProgram(name)}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	if err := Verify(a.prog); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+type pendingCall struct {
+	fn   *Function
+	pc   int
+	name string
+	argc int
+	line int
+}
+
+type assembler struct {
+	prog  *Program
+	calls []pendingCall
+
+	// current function state
+	fn     *Function
+	fnLine int
+	locals map[string]int
+	labels map[string]int
+	fixups []fixup // jump-target patches
+}
+
+type fixup struct {
+	pc    int
+	label string
+	line  int
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", a.prog.Name, line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) run(src string) error {
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.line(lineNo, line); err != nil {
+			return err
+		}
+	}
+	if a.fn != nil {
+		return a.errf(a.fnLine, "function %q not closed with \"end\"", a.fn.Name)
+	}
+	// Resolve forward function references.
+	for _, c := range a.calls {
+		idx, ok := a.prog.FuncIndex(c.name)
+		if !ok {
+			return a.errf(c.line, "call to undefined function %q", c.name)
+		}
+		callee := a.prog.Funcs[idx]
+		if callee.NArgs != c.argc {
+			return a.errf(c.line, "call to %q with %d args; function takes %d",
+				c.name, c.argc, callee.NArgs)
+		}
+		c.fn.Code[c.pc].A = int32(idx)
+	}
+	if a.prog.Entry < 0 {
+		return fmt.Errorf("%s: no \"main\" function", a.prog.Name)
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ';' || s[i] == '#' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) line(lineNo int, line string) error {
+	// Handle "label:" prefixes, possibly followed by an instruction.
+	for {
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			break
+		}
+		head := strings.TrimSpace(line[:colon])
+		if head == "" || strings.ContainsAny(head, " \t(") {
+			break // not a label (e.g. "func f(x)" has no leading label)
+		}
+		if a.fn == nil {
+			return a.errf(lineNo, "label %q outside function", head)
+		}
+		if _, dup := a.labels[head]; dup {
+			return a.errf(lineNo, "duplicate label %q", head)
+		}
+		a.labels[head] = len(a.fn.Code)
+		line = strings.TrimSpace(line[colon+1:])
+		if line == "" {
+			return nil
+		}
+	}
+
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "global":
+		if a.fn != nil {
+			return a.errf(lineNo, "global declaration inside function")
+		}
+		if len(fields) != 2 {
+			return a.errf(lineNo, "usage: global <name>")
+		}
+		a.prog.AddGlobal(fields[1])
+		return nil
+	case "func":
+		if a.fn != nil {
+			return a.errf(lineNo, "nested function (missing \"end\"?)")
+		}
+		return a.beginFunc(lineNo, line)
+	case "end":
+		if a.fn == nil {
+			return a.errf(lineNo, "\"end\" outside function")
+		}
+		return a.endFunc(lineNo)
+	}
+	if a.fn == nil {
+		return a.errf(lineNo, "instruction outside function: %q", line)
+	}
+	return a.instr(lineNo, fields)
+}
+
+func (a *assembler) beginFunc(lineNo int, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "func"))
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.IndexByte(rest, ')')
+	if open < 0 || closeP < open {
+		return a.errf(lineNo, "usage: func name(arg, ...) [locals a b c]")
+	}
+	fname := strings.TrimSpace(rest[:open])
+	if fname == "" {
+		return a.errf(lineNo, "missing function name")
+	}
+	var args []string
+	argsStr := strings.TrimSpace(rest[open+1 : closeP])
+	if argsStr != "" {
+		for _, arg := range strings.Split(argsStr, ",") {
+			arg = strings.TrimSpace(arg)
+			if arg == "" {
+				return a.errf(lineNo, "empty argument name in %q", fname)
+			}
+			args = append(args, arg)
+		}
+	}
+	var extra []string
+	tail := strings.TrimSpace(rest[closeP+1:])
+	if tail != "" {
+		tf := strings.Fields(tail)
+		if tf[0] != "locals" {
+			return a.errf(lineNo, "unexpected %q after argument list", tf[0])
+		}
+		extra = tf[1:]
+	}
+
+	fn := &Function{Name: fname, NArgs: len(args)}
+	a.locals = make(map[string]int)
+	for _, n := range append(append([]string(nil), args...), extra...) {
+		if _, dup := a.locals[n]; dup {
+			return a.errf(lineNo, "duplicate local %q in %q", n, fname)
+		}
+		a.locals[n] = len(fn.LocalNames)
+		fn.LocalNames = append(fn.LocalNames, n)
+	}
+	fn.NLocals = len(fn.LocalNames)
+	a.fn = fn
+	a.fnLine = lineNo
+	a.labels = make(map[string]int)
+	a.fixups = nil
+	return nil
+}
+
+func (a *assembler) endFunc(lineNo int) error {
+	for _, fx := range a.fixups {
+		target, ok := a.labels[fx.label]
+		if !ok {
+			return a.errf(fx.line, "undefined label %q in %q", fx.label, a.fn.Name)
+		}
+		a.fn.Code[fx.pc].A = int32(target)
+	}
+	if _, err := a.prog.AddFunction(a.fn); err != nil {
+		return a.errf(lineNo, "%v", err)
+	}
+	a.fn = nil
+	return nil
+}
+
+func (a *assembler) emit(in Instr) {
+	a.fn.Code = append(a.fn.Code, in)
+}
+
+func (a *assembler) localSlot(lineNo int, name string) (int32, error) {
+	if idx, ok := a.locals[name]; ok {
+		return int32(idx), nil
+	}
+	if n, err := strconv.Atoi(name); err == nil && n >= 0 && n < a.fn.NLocals {
+		return int32(n), nil
+	}
+	return 0, a.errf(lineNo, "unknown local %q in %q", name, a.fn.Name)
+}
+
+func (a *assembler) instr(lineNo int, fields []string) error {
+	mnem := fields[0]
+	operands := fields[1:]
+
+	// "const" and "fconst" are pseudo-mnemonics handled specially.
+	switch mnem {
+	case "const":
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: const <number>")
+		}
+		return a.emitConst(lineNo, operands[0], false)
+	case "fconst":
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: fconst <number>")
+		}
+		return a.emitConst(lineNo, operands[0], true)
+	}
+
+	op, ok := OpByName(mnem)
+	if !ok {
+		return a.errf(lineNo, "unknown mnemonic %q", mnem)
+	}
+	info := opTable[op]
+	switch info.operands {
+	case opsNone:
+		if len(operands) != 0 {
+			return a.errf(lineNo, "%s takes no operands", mnem)
+		}
+		a.emit(Instr{Op: op})
+	case opsImm:
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: %s <int>", mnem)
+		}
+		n, err := strconv.ParseInt(operands[0], 0, 32)
+		if err != nil {
+			return a.errf(lineNo, "bad immediate %q: %v", operands[0], err)
+		}
+		a.emit(Instr{Op: op, A: int32(n)})
+	case opsConst:
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: %s <pool-index>", mnem)
+		}
+		n, err := strconv.Atoi(operands[0])
+		if err != nil {
+			return a.errf(lineNo, "bad pool index %q", operands[0])
+		}
+		a.emit(Instr{Op: op, A: int32(n)})
+	case opsLocal:
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: %s <local>", mnem)
+		}
+		slot, err := a.localSlot(lineNo, operands[0])
+		if err != nil {
+			return err
+		}
+		a.emit(Instr{Op: op, A: slot})
+	case opsLocImm:
+		if len(operands) != 2 {
+			return a.errf(lineNo, "usage: %s <local> <int>", mnem)
+		}
+		slot, err := a.localSlot(lineNo, operands[0])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(operands[1], 0, 32)
+		if err != nil {
+			return a.errf(lineNo, "bad immediate %q: %v", operands[1], err)
+		}
+		a.emit(Instr{Op: op, A: slot, B: int32(n)})
+	case opsGlobal:
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: %s <global>", mnem)
+		}
+		idx, ok := a.prog.GlobalIndex(operands[0])
+		if !ok {
+			return a.errf(lineNo, "unknown global %q", operands[0])
+		}
+		a.emit(Instr{Op: op, A: int32(idx)})
+	case opsTarget:
+		if len(operands) != 1 {
+			return a.errf(lineNo, "usage: %s <label>", mnem)
+		}
+		a.fixups = append(a.fixups, fixup{pc: len(a.fn.Code), label: operands[0], line: lineNo})
+		a.emit(Instr{Op: op})
+	case opsCall:
+		if len(operands) != 2 {
+			return a.errf(lineNo, "usage: call <func> <argc>")
+		}
+		argc, err := strconv.Atoi(operands[1])
+		if err != nil || argc < 0 {
+			return a.errf(lineNo, "bad arg count %q", operands[1])
+		}
+		a.calls = append(a.calls, pendingCall{
+			fn: a.fn, pc: len(a.fn.Code), name: operands[0], argc: argc, line: lineNo,
+		})
+		a.emit(Instr{Op: op, B: int32(argc)})
+	default:
+		return a.errf(lineNo, "internal: unhandled operand kind for %s", mnem)
+	}
+	return nil
+}
+
+func (a *assembler) emitConst(lineNo int, lit string, forceFloat bool) error {
+	isFloat := forceFloat || strings.ContainsAny(lit, ".eE") &&
+		!strings.HasPrefix(lit, "0x") && !strings.HasPrefix(lit, "-0x")
+	if !isFloat {
+		n, err := strconv.ParseInt(lit, 0, 64)
+		if err != nil {
+			return a.errf(lineNo, "bad integer literal %q: %v", lit, err)
+		}
+		if n >= -1<<31 && n < 1<<31 {
+			a.emit(Instr{Op: IPUSH, A: int32(n)})
+		} else {
+			a.emit(Instr{Op: CONST, A: a.fn.AddConst(Int(n))})
+		}
+		return nil
+	}
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return a.errf(lineNo, "bad float literal %q: %v", lit, err)
+	}
+	a.emit(Instr{Op: CONST, A: a.fn.AddConst(Float(f))})
+	return nil
+}

@@ -1,0 +1,299 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+const sumSrc = `
+; sum of 0..n-1
+global n
+func main() locals i sum
+  const 0
+  store i
+  const 0
+  store sum
+loop:
+  load i
+  gload n
+  ilt
+  jz done
+  load sum
+  load i
+  iadd
+  store sum
+  iinc i 1
+  jmp loop
+done:
+  load sum
+  ret
+end
+`
+
+func TestAssembleSum(t *testing.T) {
+	p, err := Assemble("sum", sumSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Funcs) != 1 {
+		t.Fatalf("got %d funcs, want 1", len(p.Funcs))
+	}
+	f := p.Funcs[0]
+	if f.Name != "main" || f.NArgs != 0 || f.NLocals != 2 {
+		t.Errorf("func header = %q/%d/%d, want main/0/2", f.Name, f.NArgs, f.NLocals)
+	}
+	if p.Entry != 0 {
+		t.Errorf("Entry = %d, want 0", p.Entry)
+	}
+	if len(p.Globals) != 1 || p.Globals[0] != "n" {
+		t.Errorf("Globals = %v, want [n]", p.Globals)
+	}
+	if f.MaxStack < 2 {
+		t.Errorf("MaxStack = %d, want >= 2", f.MaxStack)
+	}
+	// The jz target must be the "done" label (pc of "load sum" at end).
+	var jzTarget int32 = -1
+	for _, in := range f.Code {
+		if in.Op == JZ {
+			jzTarget = in.A
+		}
+	}
+	if jzTarget < 0 || f.Code[jzTarget].Op != LOAD {
+		t.Errorf("jz target %d does not point at the done block", jzTarget)
+	}
+}
+
+func TestAssembleForwardCall(t *testing.T) {
+	src := `
+func main() locals x
+  const 7
+  call double 1
+  ret
+end
+func double(v)
+  load v
+  load v
+  iadd
+  ret
+end
+`
+	p, err := Assemble("fwd", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	main := p.FuncByName("main")
+	var call Instr
+	for _, in := range main.Code {
+		if in.Op == CALL {
+			call = in
+		}
+	}
+	idx, _ := p.FuncIndex("double")
+	if int(call.A) != idx || call.B != 1 {
+		t.Errorf("call = %+v, want target %d argc 1", call, idx)
+	}
+}
+
+func TestAssembleConstForms(t *testing.T) {
+	src := `
+func main() locals x
+  const 5
+  pop
+  const 3000000000
+  pop
+  const 2.5
+  pop
+  fconst 3
+  pop
+  const -4
+  ret
+end
+`
+	p, err := Assemble("consts", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	f := p.Funcs[0]
+	ops := []Op{}
+	for _, in := range f.Code {
+		if in.Op == IPUSH || in.Op == CONST {
+			ops = append(ops, in.Op)
+		}
+	}
+	want := []Op{IPUSH, CONST, CONST, CONST, IPUSH}
+	if len(ops) != len(want) {
+		t.Fatalf("const ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("const op[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+	if len(f.Consts) != 3 {
+		t.Errorf("pool size = %d, want 3 (big int, 2.5, float 3)", len(f.Consts))
+	}
+	if f.Consts[1].Kind != KFloat || f.Consts[1].F != 2.5 {
+		t.Errorf("pool[1] = %v, want float 2.5", f.Consts[1])
+	}
+	if f.Consts[2].Kind != KFloat || f.Consts[2].F != 3 {
+		t.Errorf("pool[2] = %v, want float 3", f.Consts[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no main", "func f()\n const 0\n ret\nend\n", "no \"main\""},
+		{"undefined label", "func main()\n jmp nowhere\nend\n", "undefined label"},
+		{"unknown mnemonic", "func main()\n frobnicate\n ret\nend\n", "unknown mnemonic"},
+		{"unknown local", "func main()\n load q\n ret\nend\n", "unknown local"},
+		{"unknown global", "func main()\n gload q\n ret\nend\n", "unknown global"},
+		{"unclosed func", "func main()\n const 0\n ret\n", "not closed"},
+		{"dup label", "func main()\nx:\nx:\n const 0\n ret\nend\n", "duplicate label"},
+		{"dup local", "func main(a, a)\n const 0\n ret\nend\n", "duplicate local"},
+		{"bad call arity", "func main()\n const 1\n call f 1\n ret\nend\nfunc f(a, b)\n const 0\n ret\nend\n", "takes 2"},
+		{"undefined call", "func main()\n call g 0\n ret\nend\n", "undefined function"},
+		{"entry with args", "func main(x)\n const 0\n ret\nend\n", "must take 0 args"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("t", tc.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsBadStack(t *testing.T) {
+	cases := []struct {
+		name string
+		code []Instr
+		want string
+	}{
+		{"underflow", []Instr{{Op: POP}, {Op: IPUSH}, {Op: RET}}, "pops"},
+		{"fall off end", []Instr{{Op: IPUSH}}, "falls off"},
+		{"inconsistent depth", []Instr{
+			{Op: IPUSH},       // 0: depth 0 -> 1
+			{Op: JZ, A: 0},    // 1: pops -> 0, branch to 0 expects 0, but fallthrough..
+			{Op: IPUSH},       // 2: 0 -> 1
+			{Op: JMP, A: 0},   // 3: back to 0 at depth 1: mismatch
+			{Op: IPUSH, A: 0}, // unreachable
+			{Op: RET},         // unreachable
+		}, "inconsistent stack depth"},
+		{"bad jump", []Instr{{Op: JMP, A: 99}, {Op: IPUSH}, {Op: RET}}, "out of range"},
+		{"bad const", []Instr{{Op: CONST, A: 3}, {Op: RET}}, "const index"},
+		{"bad local", []Instr{{Op: LOAD, A: 9}, {Op: RET}}, "local slot"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProgram("t")
+			f := &Function{Name: "main", NLocals: 1, Code: tc.code}
+			if _, err := p.AddFunction(f); err != nil {
+				t.Fatal(err)
+			}
+			err := Verify(p)
+			if err == nil {
+				t.Fatalf("Verify passed, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyComputesMaxStack(t *testing.T) {
+	p, err := Assemble("t", `
+func main() locals a
+  const 1
+  const 2
+  const 3
+  iadd
+  iadd
+  ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Funcs[0].MaxStack; got != 3 {
+		t.Errorf("MaxStack = %d, want 3", got)
+	}
+}
+
+func TestDisassembleRoundTripShape(t *testing.T) {
+	p, err := Assemble("sum", sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p, p.Funcs[0])
+	for _, want := range []string{"func main()", "gload n", "iinc i 1", "jz L", "jmp L"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramCloneIsDeep(t *testing.T) {
+	p, err := Assemble("sum", sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	q.Funcs[0].Code[0] = Instr{Op: HALT}
+	q.Funcs[0].Name = "other"
+	if p.Funcs[0].Code[0].Op == HALT {
+		t.Error("Clone shares Code with original")
+	}
+	if p.Funcs[0].Name != "main" {
+		t.Error("Clone shares Function header with original")
+	}
+	if idx, ok := q.FuncIndex("main"); !ok || idx != 0 {
+		t.Error("clone lost function index")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !Int(3).IsTrue() || Int(0).IsTrue() {
+		t.Error("Int truthiness wrong")
+	}
+	if !Float(0.5).IsTrue() || Float(0).IsTrue() {
+		t.Error("Float truthiness wrong")
+	}
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool wrong")
+	}
+	if Int(3).AsFloat() != 3.0 || Float(2.9).AsInt() != 2 {
+		t.Error("conversions wrong")
+	}
+	if !Int(4).Equal(Int(4)) || Int(4).Equal(Float(4)) {
+		t.Error("Equal wrong")
+	}
+	if Arr(7).Kind != KArr || Arr(7).I != 7 {
+		t.Error("Arr wrong")
+	}
+	if Int(5).String() != "5" || Float(2.5).String() != "2.5" || Arr(1).String() != "arr#1" {
+		t.Error("String wrong")
+	}
+}
+
+func TestAddConstInterns(t *testing.T) {
+	f := &Function{}
+	a := f.AddConst(Int(5))
+	b := f.AddConst(Float(5))
+	c := f.AddConst(Int(5))
+	if a == b {
+		t.Error("int 5 and float 5 interned together")
+	}
+	if a != c {
+		t.Error("equal consts not interned")
+	}
+	if len(f.Consts) != 2 {
+		t.Errorf("pool size = %d, want 2", len(f.Consts))
+	}
+}

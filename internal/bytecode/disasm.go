@@ -1,0 +1,99 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a function as readable assembly-like text with
+// synthesized labels at jump targets. The output is meant for humans and
+// tests; it is not guaranteed to round-trip through Assemble.
+func Disassemble(p *Program, f *Function) string {
+	targets := map[int]string{}
+	for _, in := range f.Code {
+		if in.Op.IsJump() {
+			if _, ok := targets[int(in.A)]; !ok {
+				targets[int(in.A)] = fmt.Sprintf("L%d", len(targets))
+			}
+		}
+	}
+	// Renumber labels in code order for stable output.
+	var order []int
+	for pc := range targets {
+		order = append(order, pc)
+	}
+	sort.Ints(order)
+	for i, pc := range order {
+		targets[pc] = fmt.Sprintf("L%d", i)
+	}
+
+	var b strings.Builder
+	args := make([]string, 0, f.NArgs)
+	for i := 0; i < f.NArgs; i++ {
+		args = append(args, localName(f, i))
+	}
+	fmt.Fprintf(&b, "func %s(%s) locals=%d stack=%d\n",
+		f.Name, strings.Join(args, ", "), f.NLocals, f.MaxStack)
+	for pc, in := range f.Code {
+		if lbl, ok := targets[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(&b, "  %3d  %s\n", pc, formatInstr(p, f, in, targets))
+	}
+	return b.String()
+}
+
+// DisassembleProgram renders every function in the program.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	for i, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s ; slot %d\n", g, i)
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(Disassemble(p, f))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func localName(f *Function, slot int) string {
+	if slot < len(f.LocalNames) {
+		return f.LocalNames[slot]
+	}
+	return fmt.Sprintf("t%d", slot)
+}
+
+func formatInstr(p *Program, f *Function, in Instr, targets map[int]string) string {
+	switch opTable[in.Op].operands {
+	case opsNone:
+		return in.Op.String()
+	case opsImm:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case opsConst:
+		if int(in.A) < len(f.Consts) {
+			return fmt.Sprintf("%s %s", in.Op, f.Consts[in.A])
+		}
+		return fmt.Sprintf("%s #%d!", in.Op, in.A)
+	case opsLocal:
+		return fmt.Sprintf("%s %s", in.Op, localName(f, int(in.A)))
+	case opsLocImm:
+		return fmt.Sprintf("%s %s %d", in.Op, localName(f, int(in.A)), in.B)
+	case opsGlobal:
+		if int(in.A) < len(p.Globals) {
+			return fmt.Sprintf("%s %s", in.Op, p.Globals[in.A])
+		}
+		return fmt.Sprintf("%s g%d!", in.Op, in.A)
+	case opsTarget:
+		if lbl, ok := targets[int(in.A)]; ok {
+			return fmt.Sprintf("%s %s", in.Op, lbl)
+		}
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case opsCall:
+		if int(in.A) < len(p.Funcs) {
+			return fmt.Sprintf("%s %s %d", in.Op, p.Funcs[in.A].Name, in.B)
+		}
+		return fmt.Sprintf("%s f%d %d", in.Op, in.A, in.B)
+	}
+	return in.String()
+}

@@ -1,0 +1,158 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleAllOperandKinds(t *testing.T) {
+	p, err := Assemble("kinds", `
+global g
+func main() locals x
+  const 0
+  store x
+  ipush 7
+  pop
+  const 3000000000
+  pop
+  gload g
+  gstore g
+  iinc x 2
+  load x
+  jz skip
+  const 1
+  call helper 1
+  pop
+skip:
+  const 0
+  ret
+end
+func helper(a)
+  load a
+  ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DisassembleProgram(p)
+	for _, want := range []string{
+		"global g ; slot 0",
+		"func main()",
+		"func helper(a)",
+		"ipush 7",
+		"const 3000000000", // pool constant rendered by value
+		"gload g",
+		"gstore g",
+		"iinc x 2",
+		"jz L0",
+		"call helper 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleSyntheticNames(t *testing.T) {
+	// A function without declared local names gets t<N> placeholders,
+	// and out-of-range indices render with a ! marker instead of
+	// panicking.
+	p := NewProgram("t")
+	f := &Function{
+		Name:    "main",
+		NLocals: 2,
+		Code: []Instr{
+			{Op: LOAD, A: 1},
+			{Op: CONST, A: 9}, // out-of-range pool index
+			{Op: GLOAD, A: 5}, // out-of-range global
+			{Op: CALL, A: 7, B: 0},
+			{Op: RET},
+		},
+	}
+	if _, err := p.AddFunction(f); err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p, f)
+	for _, want := range []string{"t1", "#9!", "g5!", "f7 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if NOP.String() != "nop" || CALL.String() != "call" {
+		t.Error("mnemonics wrong")
+	}
+	if Op(200).Valid() || Op(200).String() == "" {
+		t.Error("invalid opcode handling wrong")
+	}
+	if n, fixed := CALL.Pops(); fixed || n != -1 {
+		t.Error("CALL pop metadata wrong")
+	}
+	if n, fixed := IADD.Pops(); !fixed || n != 2 {
+		t.Error("IADD pop metadata wrong")
+	}
+	if CALL.Pushes() != 1 || STORE.Pushes() != 0 {
+		t.Error("push counts wrong")
+	}
+	if !JMP.IsTerminator() || !RET.IsTerminator() || JZ.IsTerminator() {
+		t.Error("terminator classification wrong")
+	}
+	if !JZ.IsConditionalJump() || JMP.IsConditionalJump() {
+		t.Error("conditional classification wrong")
+	}
+	if op, ok := OpByName("fsqrt"); !ok || op != FSQRT {
+		t.Error("OpByName wrong")
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus name")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"nop":       {Op: NOP},
+		"ipush 5":   {Op: IPUSH, A: 5},
+		"load 3":    {Op: LOAD, A: 3},
+		"iinc 2 -1": {Op: IINC, A: 2, B: -1},
+		"call 4 2":  {Op: CALL, A: 4, B: 2},
+		"jmp 9":     {Op: JMP, A: 9},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("Instr.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p, err := Assemble("acc", `
+global a
+global b
+func main()
+  const 0
+  ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 2 {
+		t.Errorf("NumInstrs = %d, want 2", p.NumInstrs())
+	}
+	if idx, ok := p.GlobalIndex("b"); !ok || idx != 1 {
+		t.Error("GlobalIndex wrong")
+	}
+	if _, ok := p.GlobalIndex("zz"); ok {
+		t.Error("GlobalIndex accepted unknown name")
+	}
+	if p.FuncByName("main") == nil || p.FuncByName("zz") != nil {
+		t.Error("FuncByName wrong")
+	}
+	// Re-declaring a global returns the same slot.
+	if p.AddGlobal("a") != 0 {
+		t.Error("AddGlobal re-declaration created new slot")
+	}
+}

@@ -1,0 +1,263 @@
+// Package bytecode defines the instruction set, value model, and program
+// representation of the evolvable virtual machine, together with a textual
+// assembler, a disassembler, and a bytecode verifier.
+//
+// The machine is a stack machine in the style of the JVM: each function has
+// a fixed number of local slots (arguments occupy the first slots) and an
+// operand stack. Methods are the unit of compilation, exactly as in the
+// paper's Jikes RVM substrate: the optimizer chooses a compilation level for
+// every function independently.
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set. Unless stated otherwise, operands A and B of an
+// Instr are unused.
+const (
+	// NOP does nothing. Eliminated by every optimization level.
+	NOP Op = iota
+
+	// IPUSH pushes the int32 literal A as an integer value.
+	IPUSH
+	// CONST pushes constant-pool entry A.
+	CONST
+
+	// LOAD pushes local slot A; STORE pops into local slot A.
+	LOAD
+	STORE
+	// GLOAD pushes global slot A; GSTORE pops into global slot A.
+	GLOAD
+	GSTORE
+
+	// IINC adds the immediate B to integer local A (no stack traffic).
+	IINC
+
+	// POP discards the top of stack; DUP duplicates it; SWAP exchanges the
+	// top two values.
+	POP
+	DUP
+	SWAP
+
+	// Integer arithmetic. Binary ops pop b then a and push a∘b.
+	IADD
+	ISUB
+	IMUL
+	IDIV
+	IMOD
+	INEG
+	IAND
+	IOR
+	IXOR
+	ISHL
+	ISHR
+	INOT
+
+	// Float arithmetic.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FSQRT
+	FABS
+
+	// Conversions.
+	I2F
+	F2I
+
+	// Comparisons push integer 1 or 0.
+	IEQ
+	INE
+	ILT
+	ILE
+	IGT
+	IGE
+	FEQ
+	FNE
+	FLT
+	FLE
+	FGT
+	FGE
+
+	// JMP jumps to instruction index A. JZ/JNZ pop an integer and jump if
+	// it is zero / nonzero.
+	JMP
+	JZ
+	JNZ
+
+	// CALL invokes function index A with B arguments taken from the stack
+	// (pushed left to right). The callee's return value is pushed.
+	CALL
+	// RET returns the top of stack to the caller. Every function returns
+	// exactly one value.
+	RET
+
+	// NEWARR pops a length n and pushes a reference to a new zeroed array
+	// of n values. ALOAD pops index then array and pushes the element.
+	// ASTORE pops value, index, array. ALEN pops an array and pushes its
+	// length.
+	NEWARR
+	ALOAD
+	ASTORE
+	ALEN
+
+	// PRINT pops a value and appends it to the machine's output log.
+	PRINT
+
+	// HALT stops the machine.
+	HALT
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// opInfo describes the static properties of an opcode.
+type opInfo struct {
+	name   string
+	pops   int // -1: special-cased (CALL)
+	pushes int
+	// operand kinds used by the assembler/disassembler/verifier
+	operands operandKind
+}
+
+type operandKind uint8
+
+const (
+	opsNone   operandKind = iota
+	opsImm                // A is an immediate integer (IPUSH)
+	opsConst              // A is a constant-pool index
+	opsLocal              // A is a local slot
+	opsLocImm             // A is a local slot, B an immediate (IINC)
+	opsGlobal             // A is a global slot
+	opsTarget             // A is a jump target (instruction index)
+	opsCall               // A is a function index, B an arg count
+)
+
+var opTable = [numOps]opInfo{
+	NOP:    {"nop", 0, 0, opsNone},
+	IPUSH:  {"ipush", 0, 1, opsImm},
+	CONST:  {"const", 0, 1, opsConst},
+	LOAD:   {"load", 0, 1, opsLocal},
+	STORE:  {"store", 1, 0, opsLocal},
+	GLOAD:  {"gload", 0, 1, opsGlobal},
+	GSTORE: {"gstore", 1, 0, opsGlobal},
+	IINC:   {"iinc", 0, 0, opsLocImm},
+	POP:    {"pop", 1, 0, opsNone},
+	DUP:    {"dup", 1, 2, opsNone},
+	SWAP:   {"swap", 2, 2, opsNone},
+	IADD:   {"iadd", 2, 1, opsNone},
+	ISUB:   {"isub", 2, 1, opsNone},
+	IMUL:   {"imul", 2, 1, opsNone},
+	IDIV:   {"idiv", 2, 1, opsNone},
+	IMOD:   {"imod", 2, 1, opsNone},
+	INEG:   {"ineg", 1, 1, opsNone},
+	IAND:   {"iand", 2, 1, opsNone},
+	IOR:    {"ior", 2, 1, opsNone},
+	IXOR:   {"ixor", 2, 1, opsNone},
+	ISHL:   {"ishl", 2, 1, opsNone},
+	ISHR:   {"ishr", 2, 1, opsNone},
+	INOT:   {"inot", 1, 1, opsNone},
+	FADD:   {"fadd", 2, 1, opsNone},
+	FSUB:   {"fsub", 2, 1, opsNone},
+	FMUL:   {"fmul", 2, 1, opsNone},
+	FDIV:   {"fdiv", 2, 1, opsNone},
+	FNEG:   {"fneg", 1, 1, opsNone},
+	FSQRT:  {"fsqrt", 1, 1, opsNone},
+	FABS:   {"fabs", 1, 1, opsNone},
+	I2F:    {"i2f", 1, 1, opsNone},
+	F2I:    {"f2i", 1, 1, opsNone},
+	IEQ:    {"ieq", 2, 1, opsNone},
+	INE:    {"ine", 2, 1, opsNone},
+	ILT:    {"ilt", 2, 1, opsNone},
+	ILE:    {"ile", 2, 1, opsNone},
+	IGT:    {"igt", 2, 1, opsNone},
+	IGE:    {"ige", 2, 1, opsNone},
+	FEQ:    {"feq", 2, 1, opsNone},
+	FNE:    {"fne", 2, 1, opsNone},
+	FLT:    {"flt", 2, 1, opsNone},
+	FLE:    {"fle", 2, 1, opsNone},
+	FGT:    {"fgt", 2, 1, opsNone},
+	FGE:    {"fge", 2, 1, opsNone},
+	JMP:    {"jmp", 0, 0, opsTarget},
+	JZ:     {"jz", 1, 0, opsTarget},
+	JNZ:    {"jnz", 1, 0, opsTarget},
+	CALL:   {"call", -1, 1, opsCall},
+	RET:    {"ret", 1, 0, opsNone},
+	NEWARR: {"newarr", 1, 1, opsNone},
+	ALOAD:  {"aload", 2, 1, opsNone},
+	ASTORE: {"astore", 3, 0, opsNone},
+	ALEN:   {"alen", 1, 1, opsNone},
+	PRINT:  {"print", 1, 0, opsNone},
+	HALT:   {"halt", 0, 0, opsNone},
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < numOps && opTable[op].name != "" }
+
+// Pops returns how many operands the opcode pops, and whether the count is
+// fixed. CALL pops a variable number and reports fixed == false.
+func (op Op) Pops() (n int, fixed bool) {
+	n = opTable[op].pops
+	return n, n >= 0
+}
+
+// Pushes returns how many values the opcode pushes.
+func (op Op) Pushes() int { return opTable[op].pushes }
+
+// IsJump reports whether the opcode transfers control to its A operand.
+func (op Op) IsJump() bool { return op == JMP || op == JZ || op == JNZ }
+
+// IsConditionalJump reports whether the opcode is a conditional branch.
+func (op Op) IsConditionalJump() bool { return op == JZ || op == JNZ }
+
+// IsTerminator reports whether control never falls through the opcode.
+func (op Op) IsTerminator() bool { return op == JMP || op == RET || op == HALT }
+
+// opByName maps mnemonics to opcodes for the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op, info := range opTable {
+		if info.name != "" {
+			m[info.name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// OpByName looks up an opcode by its assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// Instr is a single bytecode instruction. The interpretation of A and B
+// depends on the opcode; see the Op constants.
+type Instr struct {
+	Op Op
+	A  int32
+	B  int32
+}
+
+func (in Instr) String() string {
+	switch opTable[in.Op].operands {
+	case opsNone:
+		return in.Op.String()
+	case opsLocImm, opsCall:
+		return fmt.Sprintf("%s %d %d", in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+}

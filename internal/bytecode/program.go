@@ -1,0 +1,145 @@
+package bytecode
+
+import "fmt"
+
+// Function is the unit of compilation: a named method with a fixed set of
+// local slots (the first NArgs slots receive the arguments) and a bytecode
+// body. Consts is the function's private constant pool.
+type Function struct {
+	Name    string
+	NArgs   int
+	NLocals int // total local slots, including arguments
+	Code    []Instr
+	Consts  []Value
+
+	// LocalNames holds the declared names of the local slots, for
+	// disassembly and diagnostics. May be shorter than NLocals.
+	LocalNames []string
+
+	// MaxStack is the operand-stack high-water mark computed by Verify.
+	MaxStack int
+}
+
+// Size returns the number of instructions, the compile-cost unit used by
+// the JIT cost model (the analogue of bytecode length in Jikes RVM).
+func (f *Function) Size() int { return len(f.Code) }
+
+// Clone returns a deep copy of the function, sharing nothing with the
+// receiver. Optimization pipelines clone before rewriting.
+func (f *Function) Clone() *Function {
+	g := &Function{
+		Name:       f.Name,
+		NArgs:      f.NArgs,
+		NLocals:    f.NLocals,
+		Code:       append([]Instr(nil), f.Code...),
+		Consts:     append([]Value(nil), f.Consts...),
+		LocalNames: append([]string(nil), f.LocalNames...),
+		MaxStack:   f.MaxStack,
+	}
+	return g
+}
+
+// AddConst interns v in the function's constant pool and returns its index.
+func (f *Function) AddConst(v Value) int32 {
+	for i, c := range f.Consts {
+		if c.Equal(v) {
+			return int32(i)
+		}
+	}
+	f.Consts = append(f.Consts, v)
+	return int32(len(f.Consts) - 1)
+}
+
+// Program is a linked set of functions plus named global slots. Entry is
+// the index of the function executed first (conventionally "main").
+type Program struct {
+	Name    string
+	Funcs   []*Function
+	Globals []string
+	Entry   int
+
+	funcIdx   map[string]int
+	globalIdx map[string]int
+}
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:      name,
+		Entry:     -1,
+		funcIdx:   make(map[string]int),
+		globalIdx: make(map[string]int),
+	}
+}
+
+// AddFunction appends f and returns its index. Adding a second function
+// with the same name is an error.
+func (p *Program) AddFunction(f *Function) (int, error) {
+	if _, dup := p.funcIdx[f.Name]; dup {
+		return 0, fmt.Errorf("bytecode: duplicate function %q", f.Name)
+	}
+	p.Funcs = append(p.Funcs, f)
+	idx := len(p.Funcs) - 1
+	p.funcIdx[f.Name] = idx
+	if f.Name == "main" {
+		p.Entry = idx
+	}
+	return idx, nil
+}
+
+// AddGlobal declares a global slot and returns its index; re-declaring an
+// existing name returns the existing index.
+func (p *Program) AddGlobal(name string) int {
+	if idx, ok := p.globalIdx[name]; ok {
+		return idx
+	}
+	p.Globals = append(p.Globals, name)
+	idx := len(p.Globals) - 1
+	p.globalIdx[name] = idx
+	return idx
+}
+
+// FuncIndex returns the index of the named function.
+func (p *Program) FuncIndex(name string) (int, bool) {
+	idx, ok := p.funcIdx[name]
+	return idx, ok
+}
+
+// GlobalIndex returns the index of the named global slot.
+func (p *Program) GlobalIndex(name string) (int, bool) {
+	idx, ok := p.globalIdx[name]
+	return idx, ok
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Function {
+	if idx, ok := p.funcIdx[name]; ok {
+		return p.Funcs[idx]
+	}
+	return nil
+}
+
+// NumInstrs returns the total instruction count across all functions.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}
+
+// Clone deep-copies the program (functions are cloned; the maps rebuilt).
+func (p *Program) Clone() *Program {
+	q := NewProgram(p.Name)
+	q.Entry = p.Entry
+	for _, g := range p.Globals {
+		q.AddGlobal(g)
+	}
+	for _, f := range p.Funcs {
+		// Safe: names were unique in p.
+		if _, err := q.AddFunction(f.Clone()); err != nil {
+			panic("bytecode: Clone: " + err.Error())
+		}
+	}
+	return q
+}

@@ -1,0 +1,105 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the runtime value types of the machine.
+type Kind uint8
+
+const (
+	// KInt is a 64-bit signed integer.
+	KInt Kind = iota
+	// KFloat is a 64-bit IEEE float.
+	KFloat
+	// KArr is a reference to a heap array; the I field holds the heap
+	// index assigned by the execution engine.
+	KArr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KArr:
+		return "arr"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single machine value: an integer, a float, or an array
+// reference. The zero Value is the integer 0.
+type Value struct {
+	I    int64
+	F    float64
+	Kind Kind
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{F: f, Kind: KFloat} }
+
+// Arr returns an array-reference value for heap index idx.
+func Arr(idx int64) Value { return Value{I: idx, Kind: KArr} }
+
+// Bool returns integer 1 for true and 0 for false.
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// IsTrue reports whether the value is a nonzero integer or float.
+func (v Value) IsTrue() bool {
+	if v.Kind == KFloat {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// AsFloat converts an integer or float value to float64.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsInt converts an integer or float value to int64 (floats truncate).
+func (v Value) AsInt() int64 {
+	if v.Kind == KFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Equal reports exact equality of two values (kind and payload).
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	if v.Kind == KFloat {
+		return v.F == w.F
+	}
+	return v.I == w.I
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KArr:
+		return fmt.Sprintf("arr#%d", v.I)
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.Kind))
+	}
+}

@@ -1,0 +1,140 @@
+package bytecode
+
+import "fmt"
+
+// Verify checks structural well-formedness of every function in the
+// program and computes each function's MaxStack. It enforces:
+//
+//   - all opcodes defined, all operand indices in range;
+//   - jump targets inside the function;
+//   - call targets valid with matching arity;
+//   - consistent operand-stack depth at every instruction (a fixed depth
+//     per program point, as in the JVM verifier), never negative;
+//   - execution cannot fall off the end of the code.
+func Verify(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := verifyFunc(p, f); err != nil {
+			return err
+		}
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("%s: invalid entry function index %d", p.Name, p.Entry)
+	}
+	if n := p.Funcs[p.Entry].NArgs; n != 0 {
+		return fmt.Errorf("%s: entry function %q must take 0 args, has %d",
+			p.Name, p.Funcs[p.Entry].Name, n)
+	}
+	return nil
+}
+
+// VerifyFunc checks a single function against program p (used by the
+// optimizer to validate rewritten code).
+func VerifyFunc(p *Program, f *Function) error { return verifyFunc(p, f) }
+
+func verifyFunc(p *Program, f *Function) error {
+	errf := func(pc int, format string, args ...interface{}) error {
+		loc := fmt.Sprintf("%s.%s+%d", p.Name, f.Name, pc)
+		return fmt.Errorf("verify %s: %s", loc, fmt.Sprintf(format, args...))
+	}
+	if f.NArgs > f.NLocals {
+		return fmt.Errorf("verify %s.%s: NArgs %d > NLocals %d", p.Name, f.Name, f.NArgs, f.NLocals)
+	}
+	if len(f.Code) == 0 {
+		return fmt.Errorf("verify %s.%s: empty body", p.Name, f.Name)
+	}
+
+	const unseen = -1
+	depth := make([]int, len(f.Code))
+	for i := range depth {
+		depth[i] = unseen
+	}
+	work := []int{0}
+	depth[0] = 0
+	maxDepth := 0
+
+	flow := func(from, to, d int) error {
+		if to < 0 || to >= len(f.Code) {
+			return errf(from, "jump target %d out of range", to)
+		}
+		if depth[to] == unseen {
+			depth[to] = d
+			work = append(work, to)
+			return nil
+		}
+		if depth[to] != d {
+			return errf(from, "inconsistent stack depth at %d: %d vs %d", to, depth[to], d)
+		}
+		return nil
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := depth[pc]
+		in := f.Code[pc]
+		if !in.Op.Valid() {
+			return errf(pc, "invalid opcode %d", in.Op)
+		}
+
+		pops, fixed := in.Op.Pops()
+		if !fixed { // CALL
+			pops = int(in.B)
+		}
+		if pops < 0 || d < pops {
+			return errf(pc, "%s pops %d with stack depth %d", in.Op, pops, d)
+		}
+		nd := d - pops + in.Op.Pushes()
+		if nd > maxDepth {
+			maxDepth = nd
+		}
+
+		switch opTable[in.Op].operands {
+		case opsConst:
+			if int(in.A) < 0 || int(in.A) >= len(f.Consts) {
+				return errf(pc, "const index %d out of range (pool size %d)", in.A, len(f.Consts))
+			}
+		case opsLocal, opsLocImm:
+			if int(in.A) < 0 || int(in.A) >= f.NLocals {
+				return errf(pc, "local slot %d out of range (%d locals)", in.A, f.NLocals)
+			}
+		case opsGlobal:
+			if int(in.A) < 0 || int(in.A) >= len(p.Globals) {
+				return errf(pc, "global slot %d out of range (%d globals)", in.A, len(p.Globals))
+			}
+		case opsCall:
+			if int(in.A) < 0 || int(in.A) >= len(p.Funcs) {
+				return errf(pc, "call target %d out of range (%d funcs)", in.A, len(p.Funcs))
+			}
+			if callee := p.Funcs[in.A]; callee.NArgs != int(in.B) {
+				return errf(pc, "call to %q with %d args; function takes %d",
+					callee.Name, in.B, callee.NArgs)
+			}
+		}
+
+		switch {
+		case in.Op == RET || in.Op == HALT:
+			// no successors
+		case in.Op == JMP:
+			if err := flow(pc, int(in.A), nd); err != nil {
+				return err
+			}
+		case in.Op.IsConditionalJump():
+			if err := flow(pc, int(in.A), nd); err != nil {
+				return err
+			}
+			if err := flow(pc, pc+1, nd); err != nil {
+				return err
+			}
+		default:
+			if pc+1 >= len(f.Code) {
+				return errf(pc, "control falls off the end of %q", f.Name)
+			}
+			if err := flow(pc, pc+1, nd); err != nil {
+				return err
+			}
+		}
+	}
+
+	f.MaxStack = maxDepth
+	return nil
+}

@@ -1,0 +1,48 @@
+package cart
+
+// CrossValidate estimates model quality by k-fold cross-validation and
+// returns the mean held-out accuracy — the confidence computation the
+// paper pairs with decayed self-evaluation. Folds are assigned round
+// robin, which is deterministic and label-interleaving for run-ordered
+// example streams. k is clamped to [2, len(examples)]; with fewer than
+// two examples the estimate is 0 (no evidence).
+func CrossValidate(examples []Example, k int, p Params) float64 {
+	n := len(examples)
+	if n < 2 {
+		return 0
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	correct, total := 0, 0
+	for fold := 0; fold < k; fold++ {
+		var train, test []Example
+		for i, ex := range examples {
+			if i%k == fold {
+				test = append(test, ex)
+			} else {
+				train = append(train, ex)
+			}
+		}
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		tree, err := Build(train, p)
+		if err != nil {
+			continue
+		}
+		for _, ex := range test {
+			total++
+			if tree.Predict(ex.Features) == ex.Label {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

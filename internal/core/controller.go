@@ -1,0 +1,105 @@
+package core
+
+import (
+	"evolvevm/internal/aos"
+	"evolvevm/internal/vm"
+	"evolvevm/internal/xicl"
+)
+
+// Controller drives one run of the evolvable VM. If the learner's
+// confidence passes the discriminative guard, the controller installs the
+// predicted per-method levels proactively — each method is recompiled to
+// its predicted level right after its first (baseline) invocation, per the
+// paper §V-B: first-time compilation always happens at level −1 to avoid
+// too-early optimization. Otherwise the controller behaves exactly like
+// the default reactive optimizer. In both cases the run ends by feeding
+// the profile back to the learner.
+type Controller struct {
+	ev       *Evolver
+	reactive *aos.Reactive
+
+	features       xicl.Vector
+	extractionCost int64
+
+	machine   *vm.Machine
+	predicted bool        // guard passed and strategy installed
+	strategy  vm.Strategy // the installed ô (nil in default mode)
+	invoked   []bool
+	report    *RunRecord
+}
+
+// Name implements vm.Controller.
+func (c *Controller) Name() string { return "evolve" }
+
+// OnRunStart charges the feature-extraction overhead and, when the guard
+// passes and features are available, computes and installs ô.
+func (c *Controller) OnRunStart(m *vm.Machine) {
+	c.machine = m
+	c.invoked = make([]bool, len(m.Prog.Funcs))
+	m.AddOverhead(c.extractionCost)
+	if c.features != nil {
+		c.tryPredict()
+	}
+}
+
+// SetFeatures delivers (or completes) the input feature vector, possibly
+// mid-run — the path used when an XICL spec has runtime constructs and the
+// application calls UpdateV/Done while initializing. Methods already past
+// their first invocation are recompiled immediately.
+func (c *Controller) SetFeatures(features xicl.Vector) {
+	c.features = features
+	if c.machine != nil && !c.predicted {
+		c.tryPredict()
+	}
+}
+
+func (c *Controller) tryPredict() {
+	if !c.ev.WouldPredict() {
+		return
+	}
+	c.machine.AddOverhead(c.ev.predictionCost(c.features))
+	c.strategy = c.ev.PredictStrategy(c.features)
+	c.predicted = true
+	// Catch up on methods invoked before features arrived.
+	for fn, inv := range c.invoked {
+		if inv && c.strategy[fn] > -1 {
+			_ = c.machine.RequestCompile(fn, c.strategy[fn])
+		}
+	}
+}
+
+// OnInvoke installs the predicted level after a method's first (baseline)
+// invocation begins; the optimized code runs from the second invocation.
+func (c *Controller) OnInvoke(m *vm.Machine, fnIdx int, count int64) {
+	if count == 1 {
+		c.invoked[fnIdx] = true
+		if c.predicted && c.strategy[fnIdx] > -1 {
+			_ = m.RequestCompile(fnIdx, c.strategy[fnIdx])
+		}
+	}
+	if !c.predicted {
+		c.reactive.OnInvoke(m, fnIdx, count)
+	}
+}
+
+// OnSample keeps the default sampler-driven optimizer running in both
+// modes (paper §II: the VM monitors runtime behaviour through its default
+// sampling in both cases). In default mode it is the whole strategy; in
+// predicted mode it acts as a safety net that can still upgrade a method
+// whose level was under-predicted — upgrades only, so a correct low
+// prediction on a short run is never overridden.
+func (c *Controller) OnSample(m *vm.Machine, fnIdx int) {
+	c.reactive.OnSample(m, fnIdx)
+}
+
+// OnRunEnd feeds the run back to the learner.
+func (c *Controller) OnRunEnd(m *vm.Machine) {
+	rec := c.ev.finishRun(m, c.features, c.strategy, c.predicted)
+	c.report = &rec
+}
+
+// Report returns the run's learning record (valid after the run ends).
+func (c *Controller) Report() *RunRecord { return c.report }
+
+// Predicted reports whether this run executed with an installed ô.
+func (c *Controller) Predicted() bool { return c.predicted }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"evolvevm/internal/gc"
+	"evolvevm/internal/xicl"
+)
+
+func gcFeatures(keepmod float64) xicl.Vector {
+	return xicl.Vector{xicl.NumFeature("-k.VAL", keepmod)}
+}
+
+// statsFor fabricates run observables: low keepmod = high retention.
+func statsFor(keepmod float64) gc.Stats {
+	var c gc.Collection
+	if keepmod < 10 {
+		c = gc.Collection{LiveCells: 5000, TotalCells: 6000, FreedCells: 1000}
+	} else {
+		c = gc.Collection{LiveCells: 200, TotalCells: 6000, FreedCells: 5800}
+	}
+	return gc.Stats{Collections: []gc.Collection{c, c, c}, Allocs: 300}
+}
+
+func TestGCSelectorLearnsPolicy(t *testing.T) {
+	s := NewGCSelector(DefaultConfig())
+	if _, ok := s.Choose(gcFeatures(1)); ok {
+		t.Fatal("fresh selector predicted")
+	}
+
+	keepmods := []float64{1, 50, 2, 40, 1, 60, 2, 30}
+	for _, k := range keepmods {
+		s.Observe(gcFeatures(k), statsFor(k))
+	}
+	if s.Runs() != len(keepmods) {
+		t.Errorf("Runs = %d, want %d", s.Runs(), len(keepmods))
+	}
+	if s.Confidence() <= 0.7 {
+		t.Fatalf("confidence %.3f did not rise on a learnable relation", s.Confidence())
+	}
+
+	if p, ok := s.Choose(gcFeatures(1.5)); !ok || p != gc.MarkSweep {
+		t.Errorf("high retention choice = %v,%v want marksweep", p, ok)
+	}
+	if p, ok := s.Choose(gcFeatures(45)); !ok || p != gc.Copying {
+		t.Errorf("low retention choice = %v,%v want copying", p, ok)
+	}
+}
+
+func TestGCSelectorIgnoresCollectionFreeRuns(t *testing.T) {
+	s := NewGCSelector(DefaultConfig())
+	ideal := s.Observe(gcFeatures(5), gc.Stats{}) // never collected
+	if ideal != gc.None {
+		t.Errorf("ideal for collection-free run = %v, want none", ideal)
+	}
+	if s.Confidence() != 0 {
+		t.Error("confidence moved on a collection-free run")
+	}
+	if _, ok := s.Predict(gcFeatures(5)); ok {
+		t.Error("model trained on a collection-free run")
+	}
+}
+
+func TestGCSelectorConfidenceDropsOnMisprediction(t *testing.T) {
+	s := NewGCSelector(DefaultConfig())
+	// Teach one mapping, then invert the world: accuracy collapses and
+	// the guard must close again.
+	for i := 0; i < 5; i++ {
+		s.Observe(gcFeatures(1), statsFor(1))
+	}
+	if s.Confidence() <= 0.7 {
+		t.Fatal("setup failed to build confidence")
+	}
+	for i := 0; i < 3; i++ {
+		s.Observe(gcFeatures(1), statsFor(50)) // same features, flipped behaviour
+	}
+	if s.Confidence() > 0.7 {
+		t.Errorf("confidence %.3f did not drop after consistent mispredictions", s.Confidence())
+	}
+	if _, ok := s.Choose(gcFeatures(1)); ok {
+		t.Error("guard still open after mispredictions")
+	}
+}

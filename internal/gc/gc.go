@@ -1,0 +1,142 @@
+// Package gc defines the garbage-collection policies of the VM heap and
+// their cost models — the substrate for the paper's §VI extension,
+// input-specific selection of garbage collectors (Mao & Shen, VEE 2009).
+//
+// The execution engine (internal/interp) implements the mechanics: when
+// an allocation would exceed the heap budget it marks live arrays from
+// the roots (globals, locals, operand stack, array interiors) and then
+// either sweeps dead slots in place (MarkSweep) or evacuates live arrays
+// into a fresh heap (Copying). The two policies differ in where their
+// costs land:
+//
+//   - MarkSweep pays per heap slot examined at every collection and a
+//     small free-list charge per allocation, but never moves data;
+//   - Copying pays per live cell evacuated and nothing for dead data,
+//     with cheap bump-pointer allocation.
+//
+// High-garbage workloads therefore favour Copying; high-retention
+// workloads favour MarkSweep — an input-dependent trade-off a learner
+// can predict from input features.
+package gc
+
+import "fmt"
+
+// Policy selects a collector.
+type Policy uint8
+
+const (
+	// None disables collection: the heap only grows (the default, and
+	// the behaviour of the VM for the paper's main experiments).
+	None Policy = iota
+	// MarkSweep frees dead arrays in place.
+	MarkSweep
+	// Copying evacuates live arrays to a fresh heap.
+	Copying
+)
+
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "none"
+	case MarkSweep:
+		return "marksweep"
+	case Copying:
+		return "copying"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Cost-model constants (virtual cycles).
+const (
+	// MarkCostPerCell is charged per live cell traced (both policies).
+	MarkCostPerCell = 2
+	// SweepCostPerCell is charged per heap cell (live or dead) swept
+	// over by MarkSweep — the whole heap space is traversed.
+	SweepCostPerCell = 1
+	// CopyCostPerCell is charged per live cell evacuated by Copying.
+	CopyCostPerCell = 4
+	// CollectionFixedCost is the fixed charge of any collection.
+	CollectionFixedCost = 400
+	// AllocOverheadMarkSweep / AllocOverheadCopying are charged per
+	// NEWARR on top of the instruction cost (free-list search vs bump).
+	AllocOverheadMarkSweep = 3
+	AllocOverheadCopying   = 1
+)
+
+// Config enables collection on an engine.
+type Config struct {
+	Policy Policy
+	// BudgetCells triggers a collection when live+new cells would
+	// exceed it. Zero means unlimited (no collection even for non-None
+	// policies).
+	BudgetCells int64
+}
+
+// Collection records one collection's observables — enough to estimate
+// post-hoc what the other policy would have cost.
+type Collection struct {
+	LiveCells  int64 // cells reachable at collection time
+	TotalCells int64 // cells in the heap when the collection started
+	FreedCells int64
+}
+
+// Stats accumulates a run's collector behaviour.
+type Stats struct {
+	Policy      Policy
+	Collections []Collection
+	GCCycles    int64 // total cycles spent collecting
+	AllocCycles int64 // total allocation overhead cycles
+	Allocs      int64
+	FreedCells  int64
+}
+
+// CollectionCost returns the cycle charge of one collection under a
+// policy, given its observables.
+func CollectionCost(p Policy, c Collection) int64 {
+	switch p {
+	case MarkSweep:
+		return CollectionFixedCost + MarkCostPerCell*c.LiveCells + SweepCostPerCell*c.TotalCells
+	case Copying:
+		return CollectionFixedCost + (MarkCostPerCell+CopyCostPerCell)*c.LiveCells
+	default:
+		return 0
+	}
+}
+
+// AllocOverhead returns the per-allocation charge of a policy.
+func AllocOverhead(p Policy) int64 {
+	switch p {
+	case MarkSweep:
+		return AllocOverheadMarkSweep
+	case Copying:
+		return AllocOverheadCopying
+	default:
+		return 0
+	}
+}
+
+// EstimateCost predicts a policy's total GC cycles for a run whose
+// collection observables and allocation count are known — the oracle the
+// GC selector learns from. The observables transfer across policies
+// because liveness at each collection point is a program property, not a
+// collector property (collections trigger at the same allocation points
+// under the same budget).
+func EstimateCost(p Policy, collections []Collection, allocs int64) int64 {
+	var total int64
+	for _, c := range collections {
+		total += CollectionCost(p, c)
+	}
+	return total + AllocOverhead(p)*allocs
+}
+
+// IdealPolicy returns the cheaper of MarkSweep and Copying for recorded
+// behaviour.
+func IdealPolicy(collections []Collection, allocs int64) Policy {
+	ms := EstimateCost(MarkSweep, collections, allocs)
+	cp := EstimateCost(Copying, collections, allocs)
+	if ms <= cp {
+		return MarkSweep
+	}
+	return Copying
+}

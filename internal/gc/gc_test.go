@@ -1,0 +1,83 @@
+package gc
+
+import "testing"
+
+func TestPolicyString(t *testing.T) {
+	cases := map[Policy]string{
+		None:      "none",
+		MarkSweep: "marksweep",
+		Copying:   "copying",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy unprintable")
+	}
+}
+
+func TestCollectionCost(t *testing.T) {
+	c := Collection{LiveCells: 100, TotalCells: 1000, FreedCells: 900}
+	ms := CollectionCost(MarkSweep, c)
+	wantMS := int64(CollectionFixedCost + MarkCostPerCell*100 + SweepCostPerCell*1000)
+	if ms != wantMS {
+		t.Errorf("marksweep cost = %d, want %d", ms, wantMS)
+	}
+	cp := CollectionCost(Copying, c)
+	wantCP := int64(CollectionFixedCost + (MarkCostPerCell+CopyCostPerCell)*100)
+	if cp != wantCP {
+		t.Errorf("copying cost = %d, want %d", cp, wantCP)
+	}
+	if CollectionCost(None, c) != 0 {
+		t.Error("none policy has nonzero collection cost")
+	}
+}
+
+func TestAllocOverhead(t *testing.T) {
+	if AllocOverhead(MarkSweep) <= AllocOverhead(Copying) {
+		t.Error("free-list allocation should cost more than bump allocation")
+	}
+	if AllocOverhead(None) != 0 {
+		t.Error("no-GC allocation overhead nonzero")
+	}
+}
+
+func TestEstimateCostSumsCollections(t *testing.T) {
+	cols := []Collection{
+		{LiveCells: 10, TotalCells: 100},
+		{LiveCells: 20, TotalCells: 100},
+	}
+	got := EstimateCost(Copying, cols, 50)
+	want := CollectionCost(Copying, cols[0]) + CollectionCost(Copying, cols[1]) +
+		AllocOverhead(Copying)*50
+	if got != want {
+		t.Errorf("EstimateCost = %d, want %d", got, want)
+	}
+	if EstimateCost(MarkSweep, nil, 10) != AllocOverhead(MarkSweep)*10 {
+		t.Error("collection-free estimate wrong")
+	}
+}
+
+func TestIdealPolicyBoundaries(t *testing.T) {
+	// Everything dies: copying pays almost nothing.
+	garbage := []Collection{{LiveCells: 1, TotalCells: 10_000, FreedCells: 9_999}}
+	if IdealPolicy(garbage, 100) != Copying {
+		t.Error("all-garbage heap should favour copying")
+	}
+	// Everything lives: copying pays for all of it, sweeping is linear
+	// in the same space but without the copy.
+	retained := []Collection{{LiveCells: 10_000, TotalCells: 10_000, FreedCells: 0}}
+	if IdealPolicy(retained, 100) != MarkSweep {
+		t.Error("all-live heap should favour marksweep")
+	}
+	// No collections: decided by allocation overhead (marksweep's
+	// free-list is pricier, but ties go to marksweep at zero allocs).
+	if IdealPolicy(nil, 0) != MarkSweep {
+		t.Error("tie should default to marksweep")
+	}
+	if IdealPolicy(nil, 100) != Copying {
+		t.Error("alloc-heavy collection-free run should favour copying")
+	}
+}

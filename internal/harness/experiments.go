@@ -1,0 +1,690 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"evolvevm/internal/core"
+	"evolvevm/internal/programs"
+	"evolvevm/internal/stats"
+)
+
+// Options scales the experiments. The zero value reproduces the paper's
+// setup; Quick shrinks corpora and sequences for fast test runs.
+type Options struct {
+	// Seed drives corpus generation and input arrival order.
+	Seed int64
+	// Benchmarks filters the suite by name (nil = all).
+	Benchmarks []string
+	// Runs overrides the runs-per-benchmark (0 = the paper's 30, or 70
+	// for benchmarks with many inputs).
+	Runs int
+	// Corpus overrides each benchmark's corpus size (0 = default).
+	Corpus int
+	// Quick reduces corpora and sequences for unit tests.
+	Quick bool
+	// Parallel runs independent benchmarks concurrently (per-benchmark
+	// results are unchanged: every benchmark's cross-run state is its
+	// own, and rows are collected in suite order).
+	Parallel bool
+}
+
+// forEachBench applies f to every selected benchmark, concurrently when
+// opts.Parallel is set, and returns the first error.
+func (o Options) forEachBench(f func(i int, b *programs.Benchmark) error) error {
+	suite := o.suite()
+	if !o.Parallel {
+		for i, b := range suite {
+			if err := f(i, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(suite))
+	var wg sync.WaitGroup
+	for i, b := range suite {
+		wg.Add(1)
+		go func(i int, b *programs.Benchmark) {
+			defer wg.Done()
+			errs[i] = f(i, b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o Options) suite() []*programs.Benchmark {
+	all := programs.All()
+	if len(o.Benchmarks) == 0 {
+		return all
+	}
+	var out []*programs.Benchmark
+	for _, name := range o.Benchmarks {
+		if b := programs.ByName(name); b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (o Options) corpusFor(b *programs.Benchmark) int {
+	if o.Corpus > 0 {
+		return o.Corpus
+	}
+	if o.Quick {
+		n := b.DefaultCorpusSize / 3
+		if n < 3 {
+			n = 3
+		}
+		return n
+	}
+	return b.DefaultCorpusSize
+}
+
+func (o Options) runsFor(b *programs.Benchmark) int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	if o.Quick {
+		return 12
+	}
+	// Paper: 30 runs, or 70 for programs with many inputs.
+	if b.DefaultCorpusSize >= 40 {
+		return 70
+	}
+	return 30
+}
+
+// ---------------------------------------------------------------------
+// Experiment E1 — Table I
+// ---------------------------------------------------------------------
+
+// Table1Row mirrors one row of the paper's Table I.
+type Table1Row struct {
+	Program   string
+	Suite     string
+	Inputs    int
+	MinMcyc   float64 // min default running time, Mcycles (the paper's s)
+	MaxMcyc   float64
+	TotalFeat int
+	UsedFeat  int
+	Conf      float64 // mean confidence over the second half of the runs
+	Acc       float64 // mean prediction accuracy over the second half
+}
+
+// Table1 reproduces the paper's Table I: per benchmark, the corpus size,
+// the running-time range under the Default VM, the raw and tree-selected
+// feature counts, and Evolve's confidence and accuracy.
+func Table1(w io.Writer, opts Options) ([]Table1Row, error) {
+	rows := make([]Table1Row, len(opts.suite()))
+	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
+		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return err
+		}
+		row := Table1Row{Program: b.Name, Suite: b.Suite, Inputs: len(r.Inputs)}
+
+		minC, maxC := int64(1<<62), int64(0)
+		for _, in := range r.Inputs {
+			c, err := r.DefaultCycles(in)
+			if err != nil {
+				return err
+			}
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		row.MinMcyc = float64(minC) / 1e6
+		row.MaxMcyc = float64(maxC) / 1e6
+
+		vec, _, err := r.Features(r.Inputs[0])
+		if err != nil {
+			return err
+		}
+		row.TotalFeat = len(vec)
+
+		rng := rand.New(rand.NewSource(opts.Seed + 101))
+		order := r.Order(rng, opts.runsFor(b))
+		results, err := r.RunSequence(ScenarioEvolve, order)
+		if err != nil {
+			return err
+		}
+		var confs, accs []float64
+		for _, res := range results[len(results)/2:] {
+			if res.Evolve != nil {
+				confs = append(confs, res.Evolve.Confidence)
+				accs = append(accs, res.Evolve.Accuracy)
+			}
+		}
+		row.Conf = stats.Mean(confs)
+		row.Acc = stats.Mean(accs)
+		row.UsedFeat = len(r.Evolver.UsedFeatureNames())
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintln(w, "Table I — Benchmarks (running time in Mcycles; conf/acc from Evolve)")
+	fmt.Fprintf(w, "%-11s %-7s %7s %9s %9s %6s %5s %6s %6s\n",
+		"Program", "Suite", "#Inputs", "MinTime", "MaxTime", "Total", "Used", "conf", "acc")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-11s %-7s %7d %9.2f %9.2f %6d %5d %6.2f %6.2f\n",
+			row.Program, row.Suite, row.Inputs, row.MinMcyc, row.MaxMcyc,
+			row.TotalFeat, row.UsedFeat, row.Conf, row.Acc)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E2 — Figure 8
+// ---------------------------------------------------------------------
+
+// Fig8Series holds the temporal curves for one benchmark.
+type Fig8Series struct {
+	Program    string
+	Confidence []float64
+	Accuracy   []float64
+	EvolveSpd  []float64
+	RepSpd     []float64
+}
+
+// Figure8 reproduces the paper's Figure 8 for Mtrt and RayTracer: the
+// temporal evolution of Evolve's confidence and prediction accuracy, with
+// per-run speedups of Evolve and Rep over Default under the same random
+// input arrival order.
+func Figure8(w io.Writer, opts Options) ([]Fig8Series, error) {
+	benches := opts.Benchmarks
+	if benches == nil {
+		benches = []string{"mtrt", "raytracer"}
+	}
+	var out []Fig8Series
+	for _, name := range benches {
+		b := programs.ByName(name)
+		if b == nil {
+			return out, fmt.Errorf("harness: no benchmark %q", name)
+		}
+		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return out, err
+		}
+		runs := opts.runsFor(b)
+		order := r.Order(rand.New(rand.NewSource(opts.Seed+202)), runs)
+
+		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
+		if err != nil {
+			return out, err
+		}
+		repRes, err := r.RunSequence(ScenarioRep, order)
+		if err != nil {
+			return out, err
+		}
+
+		s := Fig8Series{Program: name}
+		for i := range evolveRes {
+			rec := evolveRes[i].Evolve
+			s.Confidence = append(s.Confidence, rec.Confidence)
+			s.Accuracy = append(s.Accuracy, rec.Accuracy)
+			s.EvolveSpd = append(s.EvolveSpd, evolveRes[i].Speedup)
+			s.RepSpd = append(s.RepSpd, repRes[i].Speedup)
+		}
+		out = append(out, s)
+
+		fmt.Fprintf(w, "\nFigure 8 — %s (%d runs)\n", name, runs)
+		AsciiSeries(w, "confidence (*) and prediction accuracy (o)",
+			[]string{"confidence", "accuracy"},
+			[][]float64{s.Confidence, s.Accuracy}, 10)
+		AsciiSeries(w, "speedup over Default: Evolve (*) vs Rep (o)",
+			[]string{"evolve speedup", "rep speedup"},
+			[][]float64{s.EvolveSpd, s.RepSpd}, 10)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E3 — Figure 9
+// ---------------------------------------------------------------------
+
+// Fig9Point is one run in the running-time/speedup correlation study.
+type Fig9Point struct {
+	DefaultMcyc float64
+	EvolveSpd   float64
+	RepSpd      float64
+}
+
+// Figure9 reproduces the paper's Figure 9 for Mtrt and Compress: the
+// correlation between a run's Default running time and the speedup Evolve
+// achieves, against Rep using a repository pre-filled with the whole
+// corpus (the paper's "histogram of all runs" to avoid warmup). The
+// initial non-predicting Evolve runs are excluded, as in the paper.
+func Figure9(w io.Writer, opts Options) (map[string][]Fig9Point, error) {
+	benches := opts.Benchmarks
+	if benches == nil {
+		benches = []string{"mtrt", "compress"}
+	}
+	out := make(map[string][]Fig9Point)
+	for _, name := range benches {
+		b := programs.ByName(name)
+		if b == nil {
+			return out, fmt.Errorf("harness: no benchmark %q", name)
+		}
+		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return out, err
+		}
+		runs := opts.runsFor(b)
+		if !opts.Quick && opts.Runs == 0 && name == "mtrt" {
+			runs = 92 // the paper's Mtrt sequence length
+		}
+		order := r.Order(rand.New(rand.NewSource(opts.Seed+303)), runs)
+
+		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
+		if err != nil {
+			return out, err
+		}
+
+		// Rep with a warmed repository: record a Default profile of every
+		// corpus input once, then measure each sequenced run.
+		r2, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return out, err
+		}
+		if err := r2.PrefillRepository(); err != nil {
+			return out, err
+		}
+		var points []Fig9Point
+		for i, idx := range order {
+			if !evolveRes[i].Evolve.Predicted {
+				continue // paper excludes the pre-confidence runs
+			}
+			repRes, err := r2.RunOne(ScenarioRep, r2.Inputs[idx])
+			if err != nil {
+				return out, err
+			}
+			def, err := r.DefaultCycles(r.Inputs[idx])
+			if err != nil {
+				return out, err
+			}
+			points = append(points, Fig9Point{
+				DefaultMcyc: float64(def) / 1e6,
+				EvolveSpd:   evolveRes[i].Speedup,
+				RepSpd:      repRes.Speedup,
+			})
+		}
+		sort.Slice(points, func(a, z int) bool {
+			return points[a].DefaultMcyc < points[z].DefaultMcyc
+		})
+		out[name] = points
+
+		fmt.Fprintf(w, "\nFigure 9 — %s: speedup vs default running time (%d predicted runs)\n",
+			name, len(points))
+		fmt.Fprintf(w, "%10s %10s %10s\n", "def(Mcyc)", "evolve", "rep")
+		for _, p := range points {
+			fmt.Fprintf(w, "%10.2f %10.3f %10.3f\n", p.DefaultMcyc, p.EvolveSpd, p.RepSpd)
+		}
+		var times, evs, reps []float64
+		for _, p := range points {
+			times = append(times, p.DefaultMcyc)
+			evs = append(evs, p.EvolveSpd)
+			reps = append(reps, p.RepSpd)
+		}
+		fmt.Fprintf(w, "rank correlation(time, evolve-rep gap): %.3f\n",
+			stats.Spearman(times, sub(evs, reps)))
+	}
+	return out, nil
+}
+
+func sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// PrefillRepository records one profile per corpus input into the Rep
+// repository (Figure 9's warm-start, the paper's "histogram of all
+// runs"). Each input is executed once under the Rep scenario, whose
+// controller records the run.
+func (r *Runner) PrefillRepository() error {
+	for _, in := range r.Inputs {
+		if _, err := r.RunOne(ScenarioRep, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E4 — Figure 10
+// ---------------------------------------------------------------------
+
+// Fig10Row holds the speedup distributions of one benchmark.
+type Fig10Row struct {
+	Program string
+	Evolve  stats.FiveNum
+	Rep     stats.FiveNum
+}
+
+// Figure10 reproduces the paper's Figure 10: boxplots of per-run speedups
+// for every benchmark under Evolve and Rep, over the same input order.
+func Figure10(w io.Writer, opts Options) ([]Fig10Row, error) {
+	rows := make([]Fig10Row, len(opts.suite()))
+	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
+		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return err
+		}
+		order := r.Order(rand.New(rand.NewSource(opts.Seed+404)), opts.runsFor(b))
+		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
+		if err != nil {
+			return err
+		}
+		repRes, err := r.RunSequence(ScenarioRep, order)
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig10Row{
+			Program: b.Name,
+			Evolve:  stats.Summary(Speedups(evolveRes)),
+			Rep:     stats.Summary(Speedups(repRes)),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintln(w, "Figure 10 — speedup distributions (Evolve vs Rep, normalized to Default)")
+	fmt.Fprintf(w, "%-11s %-7s %7s %7s %7s %7s %7s  %s\n",
+		"Program", "VM", "min", "q1", "median", "q3", "max", "0.5 .. 2.0")
+	lo, hi := 0.5, 2.0
+	for _, row := range rows {
+		for _, v := range []struct {
+			name string
+			f    stats.FiveNum
+		}{{"evolve", row.Evolve}, {"rep", row.Rep}} {
+			fmt.Fprintf(w, "%-11s %-7s %7.3f %7.3f %7.3f %7.3f %7.3f  [%s]\n",
+				row.Program, v.name, v.f.Min, v.f.Q1, v.f.Median, v.f.Q3, v.f.Max,
+				AsciiBox(v.f, lo, hi, 40))
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E5 — overhead analysis (§V-B.2)
+// ---------------------------------------------------------------------
+
+// OverheadRow reports Evolve's bookkeeping overhead for one benchmark.
+type OverheadRow struct {
+	Program     string
+	MeanPct     float64
+	MaxPct      float64
+	MaxInput    string
+	ExtractPart float64 // extraction share of overhead, mean
+}
+
+// Overhead reproduces the paper's overhead analysis: the fraction of run
+// time Evolve spends on feature extraction and prediction (model
+// construction happens after the run and is not charged).
+func Overhead(w io.Writer, opts Options) ([]OverheadRow, error) {
+	rows := make([]OverheadRow, len(opts.suite()))
+	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
+		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return err
+		}
+		order := r.Order(rand.New(rand.NewSource(opts.Seed+505)), opts.runsFor(b))
+		results, err := r.RunSequence(ScenarioEvolve, order)
+		if err != nil {
+			return err
+		}
+		row := OverheadRow{Program: b.Name}
+		var fracs []float64
+		for _, res := range results {
+			frac := 100 * float64(res.OverheadCycles) / float64(res.Cycles)
+			fracs = append(fracs, frac)
+			if frac > row.MaxPct {
+				row.MaxPct, row.MaxInput = frac, res.InputID
+			}
+		}
+		row.MeanPct = stats.Mean(fracs)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Overhead — Evolve bookkeeping as % of run time")
+	fmt.Fprintf(w, "%-11s %8s %8s  %s\n", "Program", "mean%", "max%", "max on input")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-11s %8.3f %8.3f  %s\n", row.Program, row.MeanPct, row.MaxPct, row.MaxInput)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E6 — sensitivity (§V-B.3)
+// ---------------------------------------------------------------------
+
+// SensitivityResult summarizes the threshold and order studies.
+type SensitivityResult struct {
+	Program string
+	// ByThreshold maps TH_c to the Evolve speedup distribution.
+	ByThreshold map[float64]stats.FiveNum
+	// OrderWorstEvolve / OrderWorstRep: worst-case per-order minimum
+	// speedup across the tried input orders.
+	OrderMinEvolve []float64
+	OrderMinRep    []float64
+}
+
+// Sensitivity reproduces §V-B.3: higher confidence thresholds make Evolve
+// more conservative (smaller speedup ranges, better worst case), and
+// changing the input arrival order hurts Rep more than Evolve.
+func Sensitivity(w io.Writer, opts Options) ([]SensitivityResult, error) {
+	benches := opts.Benchmarks
+	if benches == nil {
+		benches = []string{"mtrt", "raytracer"}
+	}
+	thresholds := []float64{0.5, 0.7, 0.9}
+	orders := 5
+	if opts.Quick {
+		orders = 3
+	}
+
+	var out []SensitivityResult
+	for _, name := range benches {
+		b := programs.ByName(name)
+		if b == nil {
+			return out, fmt.Errorf("harness: no benchmark %q", name)
+		}
+		res := SensitivityResult{Program: name, ByThreshold: map[float64]stats.FiveNum{}}
+
+		for _, th := range thresholds {
+			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			if err != nil {
+				return out, err
+			}
+			r.EvolveCfg.ConfidenceThreshold = th
+			r.ResetState()
+			order := r.Order(rand.New(rand.NewSource(opts.Seed+606)), opts.runsFor(b))
+			results, err := r.RunSequence(ScenarioEvolve, order)
+			if err != nil {
+				return out, err
+			}
+			res.ByThreshold[th] = stats.Summary(Speedups(results))
+		}
+
+		for o := 0; o < orders; o++ {
+			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			if err != nil {
+				return out, err
+			}
+			order := r.Order(rand.New(rand.NewSource(opts.Seed+700+int64(o))), opts.runsFor(b))
+			evolveRes, err := r.RunSequence(ScenarioEvolve, order)
+			if err != nil {
+				return out, err
+			}
+			repRes, err := r.RunSequence(ScenarioRep, order)
+			if err != nil {
+				return out, err
+			}
+			e := stats.Summary(Speedups(evolveRes))
+			p := stats.Summary(Speedups(repRes))
+			res.OrderMinEvolve = append(res.OrderMinEvolve, e.Min)
+			res.OrderMinRep = append(res.OrderMinRep, p.Min)
+		}
+		out = append(out, res)
+
+		fmt.Fprintf(w, "\nSensitivity — %s\n", name)
+		fmt.Fprintf(w, "  threshold   min     q1    med     q3    max\n")
+		for _, th := range thresholds {
+			f := res.ByThreshold[th]
+			fmt.Fprintf(w, "   TH=%.1f  %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+				th, f.Min, f.Q1, f.Median, f.Q3, f.Max)
+		}
+		fmt.Fprintf(w, "  worst-case speedup per input order:\n")
+		fmt.Fprintf(w, "   evolve: %s (spread %.3f)\n",
+			fmtFloats(res.OrderMinEvolve), spread(res.OrderMinEvolve))
+		fmt.Fprintf(w, "   rep:    %s (spread %.3f)\n",
+			fmtFloats(res.OrderMinRep), spread(res.OrderMinRep))
+	}
+	return out, nil
+}
+
+func fmtFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.3f", x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := stats.MinMax(xs)
+	return hi - lo
+}
+
+// ---------------------------------------------------------------------
+// Experiment E7 — ablations (this reproduction's additions)
+// ---------------------------------------------------------------------
+
+// AblationResult compares design variants of the evolvable VM.
+type AblationResult struct {
+	Program string
+	// Guarded vs unguarded discriminative prediction: speedup summary of
+	// the first quarter of the sequence (where immature models bite).
+	EarlyGuarded   stats.FiveNum
+	EarlyUnguarded stats.FiveNum
+	// Features ablation: accuracy with the full vector vs with the
+	// vector truncated to its first feature.
+	AccFull      float64
+	AccTruncated float64
+}
+
+// Ablation runs the design ablations DESIGN.md calls out: (a) disabling
+// the discriminative guard (predict from run 1), and (b) collapsing the
+// XICL feature vector to a single feature.
+func Ablation(w io.Writer, opts Options) ([]AblationResult, error) {
+	benches := opts.Benchmarks
+	if benches == nil {
+		benches = []string{"mtrt", "compress"}
+	}
+	var out []AblationResult
+	for _, name := range benches {
+		b := programs.ByName(name)
+		if b == nil {
+			return out, fmt.Errorf("harness: no benchmark %q", name)
+		}
+		res := AblationResult{Program: name}
+
+		run := func(threshold float64, truncate bool, orderSeed int64) ([]*RunResult, *core.Evolver, error) {
+			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			r.EvolveCfg.ConfidenceThreshold = threshold
+			r.ResetState()
+			r.TruncateFeatures = truncate
+			order := r.Order(rand.New(rand.NewSource(orderSeed)), opts.runsFor(b))
+			results, err := r.RunSequence(ScenarioEvolve, order)
+			return results, r.Evolver, err
+		}
+
+		// Aggregate the early-run (first quarter) speedups across several
+		// arrival orders: the guard's value is worst-case protection, so
+		// a single lucky order under-reports it.
+		orders := 5
+		if opts.Quick {
+			orders = 2
+		}
+		var earlyGuarded, earlyUnguarded []float64
+		for o := 0; o < orders; o++ {
+			seed := opts.Seed + 808 + int64(o)
+			guarded, _, err := run(0.7, false, seed)
+			if err != nil {
+				return out, err
+			}
+			unguarded, _, err := run(-1, false, seed) // conf > -1 always: no guard
+			if err != nil {
+				return out, err
+			}
+			quarter := len(guarded) / 4
+			if quarter < 2 {
+				quarter = 2
+			}
+			earlyGuarded = append(earlyGuarded, Speedups(guarded[:quarter])...)
+			earlyUnguarded = append(earlyUnguarded, Speedups(unguarded[:quarter])...)
+		}
+		res.EarlyGuarded = stats.Summary(earlyGuarded)
+		res.EarlyUnguarded = stats.Summary(earlyUnguarded)
+
+		_, evFull, err := run(0.7, false, opts.Seed+808)
+		if err != nil {
+			return out, err
+		}
+		_, evTrunc, err := run(0.7, true, opts.Seed+808)
+		if err != nil {
+			return out, err
+		}
+		res.AccFull = lastConfAcc(evFull)
+		res.AccTruncated = lastConfAcc(evTrunc)
+		out = append(out, res)
+
+		fmt.Fprintf(w, "\nAblation — %s\n", name)
+		fmt.Fprintf(w, "  early runs (first quarter), guarded:   min=%.3f med=%.3f\n",
+			res.EarlyGuarded.Min, res.EarlyGuarded.Median)
+		fmt.Fprintf(w, "  early runs (first quarter), unguarded: min=%.3f med=%.3f\n",
+			res.EarlyUnguarded.Min, res.EarlyUnguarded.Median)
+		fmt.Fprintf(w, "  mean accuracy, full features: %.3f; single feature: %.3f\n",
+			res.AccFull, res.AccTruncated)
+	}
+	return out, nil
+}
+
+func lastConfAcc(ev *core.Evolver) float64 {
+	hist := ev.History()
+	if len(hist) == 0 {
+		return 0
+	}
+	var accs []float64
+	for _, rec := range hist[len(hist)/2:] {
+		accs = append(accs, rec.Accuracy)
+	}
+	return stats.Mean(accs)
+}

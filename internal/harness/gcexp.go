@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"evolvevm/internal/core"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/programs"
+)
+
+// GCBudgetCells is the heap budget of the GC-selection experiment: small
+// enough that every server input collects, large enough that the
+// highest-retention input fits.
+const GCBudgetCells = 6000
+
+// GCRow is one input's outcome in the GC-selection study.
+type GCRow struct {
+	InputID   string
+	MarkSweep int64 // total run cycles under fixed mark-sweep
+	Copying   int64 // total run cycles under fixed copying
+	Ideal     gc.Policy
+}
+
+// GCResult summarizes experiment E8.
+type GCResult struct {
+	Rows []GCRow
+	// Totals over the learned sequence and its comparators.
+	FixedMarkSweep int64
+	FixedCopying   int64
+	Learned        int64
+	Oracle         int64
+	// PredictedRuns counts runs where the guard released a prediction;
+	// CorrectRuns those matching the posterior ideal.
+	Runs, PredictedRuns, CorrectRuns int
+	FinalConfidence                  float64
+}
+
+// GCSelection runs the §VI extension experiment: cross-input learning of
+// the garbage collector on the allocation-heavy server program. Four
+// configurations are compared on one random arrival sequence: the two
+// fixed collectors, the evolvable selector (discriminative, defaulting
+// to mark-sweep while unconfident), and the per-input oracle.
+func GCSelection(w io.Writer, opts Options) (*GCResult, error) {
+	b := programs.Server()
+	mkRunner := func(policy gc.Policy) (*Runner, error) {
+		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r.GC = gc.Config{Policy: policy, BudgetCells: GCBudgetCells}
+		return r, nil
+	}
+	msRunner, err := mkRunner(gc.MarkSweep)
+	if err != nil {
+		return nil, err
+	}
+	cpRunner, err := mkRunner(gc.Copying)
+	if err != nil {
+		return nil, err
+	}
+	learnedRunner, err := mkRunner(gc.MarkSweep) // policy set per run below
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GCResult{}
+
+	// Per-input fixed-policy costs and the oracle labels.
+	perInput := make(map[string]GCRow)
+	for i, in := range msRunner.Inputs {
+		ms, err := msRunner.RunOne(ScenarioDefault, in)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := cpRunner.RunOne(ScenarioDefault, cpRunner.Inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		row := GCRow{
+			InputID:   in.ID,
+			MarkSweep: ms.Cycles,
+			Copying:   cp.Cycles,
+			Ideal:     gc.IdealPolicy(ms.GCStats.Collections, ms.GCStats.Allocs),
+		}
+		perInput[in.ID] = row
+		res.Rows = append(res.Rows, row)
+	}
+
+	// The learned sequence.
+	selector := core.NewGCSelector(learnedRunner.EvolveCfg)
+	rng := rand.New(rand.NewSource(opts.Seed + 909))
+	order := learnedRunner.Order(rng, opts.runsFor(b))
+	for _, idx := range order {
+		in := learnedRunner.Inputs[idx]
+		row := perInput[in.ID]
+		vec, _, err := learnedRunner.Features(in)
+		if err != nil {
+			return nil, err
+		}
+		policy, predicted := selector.Choose(vec)
+		if !predicted {
+			policy = gc.MarkSweep // the VM's shipped default collector
+		}
+		learnedRunner.GC = gc.Config{Policy: policy, BudgetCells: GCBudgetCells}
+		run, err := learnedRunner.RunOne(ScenarioDefault, in)
+		if err != nil {
+			return nil, err
+		}
+		ideal := selector.Observe(vec, run.GCStats)
+
+		res.Runs++
+		res.Learned += run.Cycles
+		res.FixedMarkSweep += row.MarkSweep
+		res.FixedCopying += row.Copying
+		// The oracle takes the measured per-input best. (The cost-model
+		// label row.Ideal can disagree on near-ties, because collection
+		// timing perturbs the reactive JIT's sampling slightly between
+		// policies.)
+		if row.Copying < row.MarkSweep {
+			res.Oracle += row.Copying
+		} else {
+			res.Oracle += row.MarkSweep
+		}
+		if predicted {
+			res.PredictedRuns++
+			if policy == ideal {
+				res.CorrectRuns++
+			}
+		}
+	}
+	res.FinalConfidence = selector.Confidence()
+
+	fmt.Fprintf(w, "GC selection — server benchmark, %d inputs, %d runs, budget %d cells\n",
+		len(res.Rows), res.Runs, GCBudgetCells)
+	fmt.Fprintf(w, "%-28s %12s %12s %10s\n", "input", "marksweep", "copying", "ideal")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%-28s %12d %12d %10s\n", row.InputID, row.MarkSweep, row.Copying, row.Ideal)
+	}
+	fmt.Fprintf(w, "\ntotal cycles over the sequence:\n")
+	fmt.Fprintf(w, "  fixed mark-sweep: %d\n", res.FixedMarkSweep)
+	fmt.Fprintf(w, "  fixed copying:    %d\n", res.FixedCopying)
+	fmt.Fprintf(w, "  learned:          %d\n", res.Learned)
+	fmt.Fprintf(w, "  oracle:           %d\n", res.Oracle)
+	fmt.Fprintf(w, "selector: %d/%d predicted runs correct, final confidence %.3f\n",
+		res.CorrectRuns, res.PredictedRuns, res.FinalConfidence)
+	return res, nil
+}

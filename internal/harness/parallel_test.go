@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+func TestParallelTable1Race(t *testing.T) {
+	opts := Options{Seed: 2, Quick: true, Parallel: true,
+		Benchmarks: []string{"compress", "euler", "moldyn", "search"}}
+	seq, err := Table1(io.Discard, Options{Seed: 2, Quick: true,
+		Benchmarks: opts.Benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table1(io.Discard, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d differs: sequential %+v parallel %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"evolvevm/internal/stats"
+)
+
+// AsciiSeries renders one or more aligned numeric series as a compact
+// character plot, one column per run — the textual stand-in for the
+// paper's temporal curves (Figure 8).
+func AsciiSeries(w io.Writer, title string, labels []string, series [][]float64, height int) {
+	if len(series) == 0 || len(series[0]) == 0 {
+		return
+	}
+	if height <= 0 {
+		height = 12
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		lo, hi := stats.MinMax(s)
+		min, max = math.Min(min, lo), math.Max(max, hi)
+	}
+	if max == min {
+		max = min + 1
+	}
+	n := len(series[0])
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for _, row := range legendRows(labels, marks) {
+		fmt.Fprintf(w, "  %s\n", row)
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", n))
+	}
+	for si, s := range series {
+		for x, v := range s {
+			y := int(math.Round((v - min) / (max - min) * float64(height-1)))
+			row := height - 1 - y
+			grid[row][x] = marks[si%len(marks)]
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.2f ", max)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7.2f ", min)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", n))
+	fmt.Fprintf(w, "         run 1 .. %d\n", n)
+}
+
+func legendRows(labels []string, marks []byte) []string {
+	rows := make([]string, 0, len(labels))
+	for i, l := range labels {
+		rows = append(rows, fmt.Sprintf("%c = %s", marks[i%len(marks)], l))
+	}
+	return rows
+}
+
+// AsciiBox renders a five-number summary as one boxplot line over the
+// [lo, hi] axis, width characters wide.
+func AsciiBox(f stats.FiveNum, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	col := func(v float64) int {
+		if hi == lo {
+			return 0
+		}
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := col(f.Min); i <= col(f.Max); i++ {
+		row[i] = '-'
+	}
+	for i := col(f.Q1); i <= col(f.Q3); i++ {
+		row[i] = '='
+	}
+	row[col(f.Min)] = '|'
+	row[col(f.Max)] = '|'
+	row[col(f.Median)] = 'M'
+	return string(row)
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"evolvevm/internal/stats"
+)
+
+func TestAsciiSeries(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiSeries(&buf, "title", []string{"a", "b"},
+		[][]float64{{0, 0.5, 1}, {1, 0.5, 0}}, 5)
+	out := buf.String()
+	for _, want := range []string{"title", "* = a", "o = b", "run 1 .. 3", "1.00", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series plot missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate inputs do not panic or emit.
+	var empty bytes.Buffer
+	AsciiSeries(&empty, "x", nil, nil, 5)
+	AsciiSeries(&empty, "x", []string{"a"}, [][]float64{{}}, 5)
+	if empty.Len() != 0 {
+		t.Error("empty series produced output")
+	}
+	// Constant series (max == min) still renders.
+	buf.Reset()
+	AsciiSeries(&buf, "flat", []string{"a"}, [][]float64{{2, 2, 2}}, 0)
+	if !strings.Contains(buf.String(), "flat") {
+		t.Error("flat series not rendered")
+	}
+}
+
+func TestAsciiBox(t *testing.T) {
+	f := stats.FiveNum{Min: 0.8, Q1: 0.9, Median: 1.0, Q3: 1.2, Max: 1.5}
+	row := AsciiBox(f, 0.5, 2.0, 40)
+	if len(row) != 40 {
+		t.Fatalf("box width %d, want 40", len(row))
+	}
+	if !strings.Contains(row, "M") || !strings.Contains(row, "=") || !strings.Contains(row, "|") {
+		t.Errorf("box missing glyphs: %q", row)
+	}
+	mPos := strings.IndexByte(row, 'M')
+	lo := strings.IndexByte(row, '|')
+	hi := strings.LastIndexByte(row, '|')
+	if mPos < lo || mPos > hi {
+		t.Errorf("median outside whiskers: %q", row)
+	}
+	// Out-of-range values clamp instead of panicking.
+	row = AsciiBox(stats.FiveNum{Min: -5, Q1: 0, Median: 1, Q3: 2, Max: 99}, 0.5, 2.0, 5)
+	if len(row) < 10 { // width clamped up to 10
+		t.Errorf("narrow box not widened: %q", row)
+	}
+	// Degenerate axis.
+	_ = AsciiBox(f, 1, 1, 20)
+}

@@ -1,0 +1,269 @@
+// Package harness runs benchmarks under the three optimization scenarios
+// the paper compares — Default (reactive), Rep (repository-based), and
+// Evolve (the evolvable VM) — and regenerates every table and figure of
+// the paper's evaluation section (see experiments.go and DESIGN.md's
+// per-experiment index).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evolvevm/internal/aos"
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/core"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/programs"
+	"evolvevm/internal/rep"
+	"evolvevm/internal/vm"
+	"evolvevm/internal/xicl"
+)
+
+// Scenario selects the optimization controller for a run.
+type Scenario int
+
+const (
+	// ScenarioDefault is the reactive sample-driven optimizer.
+	ScenarioDefault Scenario = iota
+	// ScenarioRep is the repository-based cross-run optimizer.
+	ScenarioRep
+	// ScenarioEvolve is the evolvable VM.
+	ScenarioEvolve
+	// ScenarioNull never recompiles (pure baseline interpretation).
+	ScenarioNull
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioDefault:
+		return "default"
+	case ScenarioRep:
+		return "rep"
+	case ScenarioEvolve:
+		return "evolve"
+	case ScenarioNull:
+		return "null"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// RunResult captures one run's outcome.
+type RunResult struct {
+	InputID        string
+	Scenario       Scenario
+	Result         bytecode.Value
+	Cycles         int64
+	Speedup        float64 // default-run cycles / this run's cycles
+	CompileCycles  int64
+	OverheadCycles int64
+	Recompilations int
+	TotalSamples   int64
+	Levels         []int
+	// GCStats records collector behaviour when the runner enables GC.
+	GCStats gc.Stats
+	// Evolve learning record (nil for other scenarios).
+	Evolve *core.RunRecord
+	// FeatureCount is the raw feature-vector length (Evolve runs).
+	FeatureCount int
+}
+
+// Runner executes one benchmark's runs, holding the cross-run state of
+// the Rep repository and the Evolve learner.
+type Runner struct {
+	Bench  *programs.Benchmark
+	Prog   *bytecode.Program
+	Spec   *xicl.Spec
+	Reg    *xicl.Registry
+	Inputs []programs.Input
+
+	JitCfg    jit.Config
+	EvolveCfg core.Config
+
+	// TruncateFeatures collapses every feature vector to its first
+	// element — the feature-ablation switch (experiment E7).
+	TruncateFeatures bool
+
+	// GC configures the heap collector for every run (zero: no GC, the
+	// paper's main experiments). Used by the GC-selection extension.
+	GC gc.Config
+
+	Evolver *core.Evolver
+	Repo    *rep.Repository
+
+	defaultCycles map[string]int64
+}
+
+// NewRunner builds a runner with a deterministic input corpus of the
+// given size (0 means the benchmark's default corpus size).
+func NewRunner(b *programs.Benchmark, corpusSize int, seed int64) (*Runner, error) {
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := b.ParsedSpec()
+	if err != nil {
+		return nil, err
+	}
+	reg, err := b.Registry()
+	if err != nil {
+		return nil, err
+	}
+	if corpusSize <= 0 {
+		corpusSize = b.DefaultCorpusSize
+	}
+	inputs := b.GenInputs(rand.New(rand.NewSource(seed)), corpusSize)
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("harness: %s generated no inputs", b.Name)
+	}
+	r := &Runner{
+		Bench:         b,
+		Prog:          prog,
+		Spec:          spec,
+		Reg:           reg,
+		Inputs:        inputs,
+		JitCfg:        jit.DefaultConfig(),
+		EvolveCfg:     core.DefaultConfig(),
+		defaultCycles: make(map[string]int64),
+	}
+	r.ResetState()
+	return r, nil
+}
+
+// ResetState clears the cross-run state (Evolve models, Rep repository),
+// keeping the corpus and configs. Used between experiment variants.
+func (r *Runner) ResetState() {
+	r.Evolver = core.NewEvolver(r.Prog, r.EvolveCfg)
+	r.Repo = rep.NewRepository(r.Prog)
+}
+
+// Features translates an input's command line into its feature vector,
+// returning the extraction cost in cycles.
+func (r *Runner) Features(in programs.Input) (xicl.Vector, int64, error) {
+	tr := xicl.NewTranslator(r.Spec, r.Reg, in.Files)
+	vec, err := tr.BuildFVector(in.Args)
+	if err != nil {
+		return nil, 0, fmt.Errorf("harness: %s: %w", in.ID, err)
+	}
+	if r.TruncateFeatures && len(vec) > 1 {
+		vec = vec[:1]
+	}
+	return vec, tr.Cost(), nil
+}
+
+// RunOne executes the input under the scenario, updating cross-run state
+// for Rep and Evolve.
+func (r *Runner) RunOne(scenario Scenario, in programs.Input) (*RunResult, error) {
+	var ctrl vm.Controller
+	var evolveCtrl *core.Controller
+	var featureCount int
+
+	switch scenario {
+	case ScenarioDefault:
+		ctrl = aos.NewReactive()
+	case ScenarioNull:
+		ctrl = vm.NullController{}
+	case ScenarioRep:
+		// The plan needs the compiler's cost model; build machine first.
+	case ScenarioEvolve:
+		vec, cost, err := r.Features(in)
+		if err != nil {
+			return nil, err
+		}
+		featureCount = len(vec)
+		evolveCtrl = r.Evolver.Controller(vec, cost)
+		ctrl = evolveCtrl
+	default:
+		return nil, fmt.Errorf("harness: unknown scenario %v", scenario)
+	}
+
+	m := vm.New(r.Prog, r.JitCfg, ctrl)
+	m.Engine.GC = r.GC
+	if scenario == ScenarioRep {
+		repCtrl := r.Repo.Controller(m.Compiler, m.Engine.SampleStride)
+		m.Controller = repCtrl
+	}
+	if err := in.Setup(m.Engine); err != nil {
+		return nil, fmt.Errorf("harness: %s: setup: %w", in.ID, err)
+	}
+	v, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s under %s: %w", in.ID, scenario, err)
+	}
+
+	res := &RunResult{
+		InputID:        in.ID,
+		Scenario:       scenario,
+		Result:         v,
+		Cycles:         m.TotalCycles(),
+		CompileCycles:  m.CompileCycles,
+		OverheadCycles: m.OverheadCycles,
+		Recompilations: m.Recompilations,
+		Levels:         m.Levels(),
+		GCStats:        m.Engine.GCStats,
+		FeatureCount:   featureCount,
+	}
+	for _, s := range m.Samples {
+		res.TotalSamples += s
+	}
+	if evolveCtrl != nil {
+		res.Evolve = evolveCtrl.Report()
+	}
+	if def, err := r.DefaultCycles(in); err == nil && res.Cycles > 0 {
+		res.Speedup = float64(def) / float64(res.Cycles)
+	}
+	return res, nil
+}
+
+// DefaultCycles returns the memoized Default-scenario running time of an
+// input. The reactive controller is stateless, so one measurement per
+// input is exact.
+func (r *Runner) DefaultCycles(in programs.Input) (int64, error) {
+	if c, ok := r.defaultCycles[in.ID]; ok {
+		return c, nil
+	}
+	m := vm.New(r.Prog, r.JitCfg, aos.NewReactive())
+	m.Engine.GC = r.GC
+	if err := in.Setup(m.Engine); err != nil {
+		return 0, err
+	}
+	if _, err := m.Run(); err != nil {
+		return 0, err
+	}
+	r.defaultCycles[in.ID] = m.TotalCycles()
+	return m.TotalCycles(), nil
+}
+
+// Order draws a random sequence of input indices — the arrival order of
+// production runs. The same order can be replayed under every scenario.
+func (r *Runner) Order(rng *rand.Rand, runs int) []int {
+	order := make([]int, runs)
+	for i := range order {
+		order[i] = rng.Intn(len(r.Inputs))
+	}
+	return order
+}
+
+// RunSequence executes the inputs selected by order under one scenario,
+// evolving the scenario's cross-run state along the way.
+func (r *Runner) RunSequence(scenario Scenario, order []int) ([]*RunResult, error) {
+	results := make([]*RunResult, 0, len(order))
+	for _, idx := range order {
+		res, err := r.RunOne(scenario, r.Inputs[idx])
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Speedups extracts the speedup series from results.
+func Speedups(results []*RunResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.Speedup
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package interp implements the execution engine of the evolvable VM: an
+// evaluator that runs executable code forms under a deterministic
+// virtual-cycle clock with stride-based method sampling.
+//
+// The same evaluator executes every compilation tier. The baseline tier
+// (level −1) runs a function's original bytecode at the baseline per-opcode
+// cycle costs; optimized tiers (levels 0–2, produced by internal/jit) run
+// rewritten bytecode at reduced per-opcode costs, modelling better code
+// generation. Virtual cycles make every run bit-reproducible — the
+// substitution for wall-clock time on the paper's hardware (see DESIGN.md).
+package interp
+
+import "evolvevm/internal/bytecode"
+
+// BaselineScalePct is the per-op cost multiplier of the baseline
+// interpreter tier, in percent.
+const BaselineScalePct = 100
+
+// baseCost holds the baseline interpreter cycle cost of each opcode.
+var baseCost = [bytecode.NumOps]int64{
+	bytecode.NOP:    2,
+	bytecode.IPUSH:  8,
+	bytecode.CONST:  8,
+	bytecode.LOAD:   8,
+	bytecode.STORE:  8,
+	bytecode.GLOAD:  10,
+	bytecode.GSTORE: 10,
+	bytecode.IINC:   9,
+	bytecode.POP:    6,
+	bytecode.DUP:    7,
+	bytecode.SWAP:   7,
+	bytecode.IADD:   8,
+	bytecode.ISUB:   8,
+	bytecode.IMUL:   10,
+	bytecode.IDIV:   22,
+	bytecode.IMOD:   22,
+	bytecode.INEG:   7,
+	bytecode.IAND:   8,
+	bytecode.IOR:    8,
+	bytecode.IXOR:   8,
+	bytecode.ISHL:   8,
+	bytecode.ISHR:   8,
+	bytecode.INOT:   7,
+	bytecode.FADD:   10,
+	bytecode.FSUB:   10,
+	bytecode.FMUL:   12,
+	bytecode.FDIV:   26,
+	bytecode.FNEG:   8,
+	bytecode.FSQRT:  32,
+	bytecode.FABS:   8,
+	bytecode.I2F:    8,
+	bytecode.F2I:    8,
+	bytecode.IEQ:    8,
+	bytecode.INE:    8,
+	bytecode.ILT:    8,
+	bytecode.ILE:    8,
+	bytecode.IGT:    8,
+	bytecode.IGE:    8,
+	bytecode.FEQ:    9,
+	bytecode.FNE:    9,
+	bytecode.FLT:    9,
+	bytecode.FLE:    9,
+	bytecode.FGT:    9,
+	bytecode.FGE:    9,
+	bytecode.JMP:    6,
+	bytecode.JZ:     9,
+	bytecode.JNZ:    9,
+	bytecode.CALL:   42,
+	bytecode.RET:    20,
+	bytecode.NEWARR: 40,
+	bytecode.ALOAD:  12,
+	bytecode.ASTORE: 12,
+	bytecode.ALEN:   8,
+	bytecode.PRINT:  60,
+	bytecode.HALT:   1,
+}
+
+// BaseCost returns the baseline interpreter cycle cost of op.
+func BaseCost(op bytecode.Op) int64 { return baseCost[op] }
+
+// Code is an executable form of one function: instructions (original or
+// optimizer-rewritten), a constant pool, and precomputed per-instruction
+// cycle costs. The VM keeps one current Code per function and swaps it on
+// recompilation.
+type Code struct {
+	FnIdx    int
+	Name     string
+	Level    int // −1 baseline, 0..2 optimized tiers
+	Instrs   []bytecode.Instr
+	Consts   []bytecode.Value
+	NArgs    int
+	NLocals  int
+	MaxStack int
+	// Cost[i] is the cycle charge of executing Instrs[i].
+	Cost []int64
+	// Base[i] is the unscaled baseline cost of Instrs[i], used to
+	// attribute tier-independent "work" to functions (the oracle's view
+	// of how much computation a method performed).
+	Base []int64
+}
+
+// NewCode builds an executable form from a function body at the given
+// tier cost scale (percent of baseline per-op cost, minimum charge 1).
+func NewCode(fnIdx int, f *bytecode.Function, level, scalePct int) *Code {
+	c := &Code{
+		FnIdx:    fnIdx,
+		Name:     f.Name,
+		Level:    level,
+		Instrs:   f.Code,
+		Consts:   f.Consts,
+		NArgs:    f.NArgs,
+		NLocals:  f.NLocals,
+		MaxStack: f.MaxStack,
+		Cost:     make([]int64, len(f.Code)),
+		Base:     make([]int64, len(f.Code)),
+	}
+	for i, in := range f.Code {
+		cost := baseCost[in.Op] * int64(scalePct) / 100
+		if cost < 1 {
+			cost = 1
+		}
+		c.Cost[i] = cost
+		c.Base[i] = baseCost[in.Op]
+	}
+	return c
+}
+
+// StaticCycles returns the sum of per-instruction costs — a size proxy used
+// in diagnostics.
+func (c *Code) StaticCycles() int64 {
+	var n int64
+	for _, v := range c.Cost {
+		n += v
+	}
+	return n
+}

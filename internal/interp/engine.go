@@ -1,0 +1,590 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+)
+
+// RuntimeError describes a dynamic failure (division by zero, bad array
+// access, resource exhaustion) with its program location.
+type RuntimeError struct {
+	Prog string
+	Fn   string
+	PC   int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime: %s.%s+%d: %s", e.Prog, e.Fn, e.PC, e.Msg)
+}
+
+// Defaults for engine limits.
+const (
+	DefaultSampleStride = 20_000         // cycles between method samples
+	DefaultMaxCycles    = 50_000_000_000 // runaway-loop fuse
+	DefaultMaxHeapCells = 64 << 20       // max live array cells
+	maxCallDepth        = 4096
+)
+
+// Engine executes a program under a virtual-cycle clock.
+//
+// The executable form of each function is obtained through Provider at
+// every call, so a controller may swap in recompiled code between
+// invocations (the activation that is already running keeps its old code,
+// as in a JIT without on-stack replacement).
+//
+// OnInvoke fires after the code for a new activation has been fetched,
+// with the function's cumulative invocation count (1 on first call).
+// OnSample fires once per SampleStride cycles of executed code, attributed
+// to the function executing when the stride boundary is crossed — the
+// deterministic analogue of Jikes RVM's timer-based sampler.
+type Engine struct {
+	Prog     *bytecode.Program
+	Provider func(fnIdx int) *Code
+	OnInvoke func(fnIdx int, count int64)
+	OnSample func(fnIdx int)
+
+	SampleStride int64
+	MaxCycles    int64
+	MaxHeapCells int64
+
+	Globals     []bytecode.Value
+	Output      []bytecode.Value
+	Cycles      int64
+	Invocations []int64
+	// Work[fn] accumulates tier-independent baseline cost of the
+	// instructions fn executed; FnCycles[fn] accumulates the actual
+	// (tier-scaled) cycles charged to fn.
+	Work     []int64
+	FnCycles []int64
+
+	// GC enables heap collection (zero value: the heap only grows).
+	// GCStats records the collector's behaviour for the run.
+	GC      gc.Config
+	GCStats gc.Stats
+
+	heap      [][]bytecode.Value
+	heapCells int64
+	freeSlots []int64
+
+	// Root sets published for the collector. During Run these alias the
+	// evaluator's live locals arena and operand stack; they are synced
+	// at every allocation site (the only place a collection can start).
+	rootLocals []bytecode.Value
+	rootStack  []bytecode.Value
+
+	nextSample int64
+	halted     bool
+}
+
+// NewEngine returns an engine for prog with default limits and a baseline
+// Provider that interprets every function at level −1. Callers typically
+// replace Provider with a tier-aware one.
+func NewEngine(prog *bytecode.Program) *Engine {
+	e := &Engine{
+		Prog:         prog,
+		SampleStride: DefaultSampleStride,
+		MaxCycles:    DefaultMaxCycles,
+		MaxHeapCells: DefaultMaxHeapCells,
+		Globals:      make([]bytecode.Value, len(prog.Globals)),
+		Invocations:  make([]int64, len(prog.Funcs)),
+		Work:         make([]int64, len(prog.Funcs)),
+		FnCycles:     make([]int64, len(prog.Funcs)),
+	}
+	baseline := make([]*Code, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		baseline[i] = NewCode(i, f, -1, BaselineScalePct)
+	}
+	e.Provider = func(fnIdx int) *Code { return baseline[fnIdx] }
+	return e
+}
+
+// SetGlobal stores v in the named global slot.
+func (e *Engine) SetGlobal(name string, v bytecode.Value) error {
+	idx, ok := e.Prog.GlobalIndex(name)
+	if !ok {
+		return fmt.Errorf("interp: no global %q in %s", name, e.Prog.Name)
+	}
+	e.Globals[idx] = v
+	return nil
+}
+
+// Global reads the named global slot.
+func (e *Engine) Global(name string) (bytecode.Value, error) {
+	idx, ok := e.Prog.GlobalIndex(name)
+	if !ok {
+		return bytecode.Value{}, fmt.Errorf("interp: no global %q in %s", name, e.Prog.Name)
+	}
+	return e.Globals[idx], nil
+}
+
+// NewArray allocates a heap array of n cells and returns its reference
+// value, collecting garbage first when a GC policy is enabled and the
+// heap budget would be exceeded. Exposed so harnesses can pass array
+// inputs to programs.
+func (e *Engine) NewArray(n int64) (bytecode.Value, error) {
+	if n < 0 {
+		return bytecode.Value{}, fmt.Errorf("interp: negative array length %d", n)
+	}
+	collecting := e.GC.Policy != gc.None && e.GC.BudgetCells > 0
+	if collecting && e.heapCells+n > e.GC.BudgetCells {
+		e.Collect()
+		if e.heapCells+n > e.GC.BudgetCells {
+			return bytecode.Value{}, fmt.Errorf(
+				"interp: out of memory: %d live + %d requested cells exceed budget %d",
+				e.heapCells, n, e.GC.BudgetCells)
+		}
+	}
+	if e.heapCells+n > e.MaxHeapCells {
+		return bytecode.Value{}, fmt.Errorf("interp: heap limit exceeded (%d cells)", e.MaxHeapCells)
+	}
+	if collecting {
+		e.GCStats.Allocs++
+		overhead := gc.AllocOverhead(e.GC.Policy)
+		e.GCStats.AllocCycles += overhead
+		e.Cycles += overhead
+	}
+	e.heapCells += n
+	// MarkSweep reuses freed slots; Copying and None bump-append.
+	if e.GC.Policy == gc.MarkSweep && len(e.freeSlots) > 0 {
+		slot := e.freeSlots[len(e.freeSlots)-1]
+		e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
+		e.heap[slot] = make([]bytecode.Value, n)
+		return bytecode.Arr(slot), nil
+	}
+	e.heap = append(e.heap, make([]bytecode.Value, n))
+	return bytecode.Arr(int64(len(e.heap) - 1)), nil
+}
+
+// Array returns the backing slice of an array reference.
+func (e *Engine) Array(v bytecode.Value) ([]bytecode.Value, error) {
+	if v.Kind != bytecode.KArr || v.I < 0 || v.I >= int64(len(e.heap)) || e.heap[v.I] == nil {
+		return nil, fmt.Errorf("interp: %s is not a live array reference", v)
+	}
+	return e.heap[v.I], nil
+}
+
+// LiveCells returns the number of live heap cells.
+func (e *Engine) LiveCells() int64 { return e.heapCells }
+
+// Collect runs one garbage collection under the configured policy,
+// charging its cost to the clock. Reachability roots are the globals,
+// the published locals arena and operand stack, and array interiors.
+func (e *Engine) Collect() {
+	if e.GC.Policy == gc.None {
+		return
+	}
+	e.GCStats.Policy = e.GC.Policy
+	mark := make([]bool, len(e.heap))
+	var liveCells int64
+	var work []int64
+	visit := func(v bytecode.Value) {
+		if v.Kind == bytecode.KArr && v.I >= 0 && v.I < int64(len(e.heap)) && !mark[v.I] {
+			mark[v.I] = true
+			work = append(work, v.I)
+		}
+	}
+	for _, v := range e.Globals {
+		visit(v)
+	}
+	for _, v := range e.rootLocals {
+		visit(v)
+	}
+	for _, v := range e.rootStack {
+		visit(v)
+	}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		arr := e.heap[idx]
+		liveCells += int64(len(arr))
+		for _, v := range arr {
+			visit(v)
+		}
+	}
+
+	rec := gc.Collection{
+		LiveCells:  liveCells,
+		TotalCells: e.heapCells,
+		FreedCells: e.heapCells - liveCells,
+	}
+
+	switch e.GC.Policy {
+	case gc.MarkSweep:
+		for i, arr := range e.heap {
+			if arr != nil && !mark[i] {
+				e.heap[i] = nil
+				e.freeSlots = append(e.freeSlots, int64(i))
+			}
+		}
+	case gc.Copying:
+		newHeap := make([][]bytecode.Value, 0, len(e.heap))
+		remap := make([]int64, len(e.heap))
+		for i := range remap {
+			remap[i] = -1
+		}
+		for i, arr := range e.heap {
+			if arr != nil && mark[i] {
+				remap[i] = int64(len(newHeap))
+				newHeap = append(newHeap, arr)
+			}
+		}
+		fix := func(vals []bytecode.Value) {
+			for i, v := range vals {
+				if v.Kind == bytecode.KArr && v.I >= 0 && v.I < int64(len(remap)) && remap[v.I] >= 0 {
+					vals[i].I = remap[v.I]
+				}
+			}
+		}
+		fix(e.Globals)
+		fix(e.rootLocals)
+		fix(e.rootStack)
+		for _, arr := range newHeap {
+			fix(arr)
+		}
+		e.heap = newHeap
+		e.freeSlots = nil
+	}
+	e.heapCells = liveCells
+
+	cost := gc.CollectionCost(e.GC.Policy, rec)
+	e.GCStats.GCCycles += cost
+	e.GCStats.FreedCells += rec.FreedCells
+	e.GCStats.Collections = append(e.GCStats.Collections, rec)
+	e.AddCycles(cost)
+}
+
+// AddCycles charges n cycles of non-executing work (e.g. compilation) to
+// the clock. Stride boundaries crossed this way produce no samples,
+// mirroring Jikes RVM, where the sampler observes only application code.
+func (e *Engine) AddCycles(n int64) {
+	e.Cycles += n
+	for e.nextSample <= e.Cycles {
+		e.nextSample += e.SampleStride
+	}
+}
+
+type frame struct {
+	code       *Code
+	pc         int
+	localsBase int
+	spBase     int
+}
+
+// Run executes the program's entry function to completion and returns its
+// result value.
+func (e *Engine) Run() (bytecode.Value, error) {
+	e.nextSample = e.Cycles + e.SampleStride
+	e.halted = false
+
+	locals := make([]bytecode.Value, 0, 256)
+	stack := make([]bytecode.Value, 0, 256)
+	frames := make([]frame, 0, 32)
+	e.rootLocals, e.rootStack = nil, nil
+
+	push := func(fnIdx int) error {
+		if len(frames) >= maxCallDepth {
+			return &RuntimeError{Prog: e.Prog.Name, Fn: e.Prog.Funcs[fnIdx].Name,
+				Msg: fmt.Sprintf("call depth exceeds %d", maxCallDepth)}
+		}
+		code := e.Provider(fnIdx)
+		frames = append(frames, frame{
+			code:       code,
+			localsBase: len(locals),
+			spBase:     len(stack),
+		})
+		for i := 0; i < code.NLocals; i++ {
+			locals = append(locals, bytecode.Value{})
+		}
+		e.Invocations[fnIdx]++
+		if e.OnInvoke != nil {
+			e.OnInvoke(fnIdx, e.Invocations[fnIdx])
+		}
+		return nil
+	}
+
+	if err := push(e.Prog.Entry); err != nil {
+		return bytecode.Value{}, err
+	}
+	// Entry takes no arguments by Verify.
+
+	var result bytecode.Value
+	for len(frames) > 0 {
+		fr := &frames[len(frames)-1]
+		code := fr.code
+		lb := fr.localsBase
+		workP := &e.Work[code.FnIdx]
+		cycP := &e.FnCycles[code.FnIdx]
+		rerr := func(format string, args ...interface{}) error {
+			return &RuntimeError{Prog: e.Prog.Name, Fn: code.Name, PC: fr.pc,
+				Msg: fmt.Sprintf(format, args...)}
+		}
+
+	body:
+		for {
+			pc := fr.pc
+			if pc < 0 || pc >= len(code.Instrs) {
+				return result, rerr("pc out of range")
+			}
+			in := code.Instrs[pc]
+			e.Cycles += code.Cost[pc]
+			*workP += code.Base[pc]
+			*cycP += code.Cost[pc]
+			if e.Cycles >= e.nextSample {
+				for e.Cycles >= e.nextSample {
+					e.nextSample += e.SampleStride
+					if e.OnSample != nil {
+						e.OnSample(code.FnIdx)
+					}
+				}
+				if e.Cycles > e.MaxCycles {
+					return result, rerr("cycle limit %d exceeded", e.MaxCycles)
+				}
+			}
+			fr.pc = pc + 1
+
+			switch in.Op {
+			case bytecode.NOP:
+			case bytecode.IPUSH:
+				stack = append(stack, bytecode.Int(int64(in.A)))
+			case bytecode.CONST:
+				stack = append(stack, code.Consts[in.A])
+			case bytecode.LOAD:
+				stack = append(stack, locals[lb+int(in.A)])
+			case bytecode.STORE:
+				locals[lb+int(in.A)] = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			case bytecode.GLOAD:
+				stack = append(stack, e.Globals[in.A])
+			case bytecode.GSTORE:
+				e.Globals[in.A] = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			case bytecode.IINC:
+				locals[lb+int(in.A)].I += int64(in.B)
+			case bytecode.POP:
+				stack = stack[:len(stack)-1]
+			case bytecode.DUP:
+				stack = append(stack, stack[len(stack)-1])
+			case bytecode.SWAP:
+				n := len(stack)
+				stack[n-1], stack[n-2] = stack[n-2], stack[n-1]
+
+			case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IDIV,
+				bytecode.IMOD, bytecode.IAND, bytecode.IOR, bytecode.IXOR,
+				bytecode.ISHL, bytecode.ISHR:
+				n := len(stack)
+				a, b := stack[n-2].I, stack[n-1].I
+				stack = stack[:n-1]
+				var r int64
+				switch in.Op {
+				case bytecode.IADD:
+					r = a + b
+				case bytecode.ISUB:
+					r = a - b
+				case bytecode.IMUL:
+					r = a * b
+				case bytecode.IDIV:
+					if b == 0 {
+						return result, rerr("integer division by zero")
+					}
+					r = a / b
+				case bytecode.IMOD:
+					if b == 0 {
+						return result, rerr("integer modulo by zero")
+					}
+					r = a % b
+				case bytecode.IAND:
+					r = a & b
+				case bytecode.IOR:
+					r = a | b
+				case bytecode.IXOR:
+					r = a ^ b
+				case bytecode.ISHL:
+					r = a << (uint64(b) & 63)
+				case bytecode.ISHR:
+					r = a >> (uint64(b) & 63)
+				}
+				stack[n-2] = bytecode.Int(r)
+			case bytecode.INEG:
+				stack[len(stack)-1] = bytecode.Int(-stack[len(stack)-1].I)
+			case bytecode.INOT:
+				stack[len(stack)-1] = bytecode.Int(^stack[len(stack)-1].I)
+
+			case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+				n := len(stack)
+				a, b := stack[n-2].AsFloat(), stack[n-1].AsFloat()
+				stack = stack[:n-1]
+				var r float64
+				switch in.Op {
+				case bytecode.FADD:
+					r = a + b
+				case bytecode.FSUB:
+					r = a - b
+				case bytecode.FMUL:
+					r = a * b
+				case bytecode.FDIV:
+					r = a / b
+				}
+				stack[n-2] = bytecode.Float(r)
+			case bytecode.FNEG:
+				stack[len(stack)-1] = bytecode.Float(-stack[len(stack)-1].AsFloat())
+			case bytecode.FSQRT:
+				stack[len(stack)-1] = bytecode.Float(math.Sqrt(stack[len(stack)-1].AsFloat()))
+			case bytecode.FABS:
+				stack[len(stack)-1] = bytecode.Float(math.Abs(stack[len(stack)-1].AsFloat()))
+
+			case bytecode.I2F:
+				stack[len(stack)-1] = bytecode.Float(float64(stack[len(stack)-1].I))
+			case bytecode.F2I:
+				stack[len(stack)-1] = bytecode.Int(int64(stack[len(stack)-1].F))
+
+			case bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
+				bytecode.IGT, bytecode.IGE:
+				n := len(stack)
+				a, b := stack[n-2].I, stack[n-1].I
+				stack = stack[:n-1]
+				var r bool
+				switch in.Op {
+				case bytecode.IEQ:
+					r = a == b
+				case bytecode.INE:
+					r = a != b
+				case bytecode.ILT:
+					r = a < b
+				case bytecode.ILE:
+					r = a <= b
+				case bytecode.IGT:
+					r = a > b
+				case bytecode.IGE:
+					r = a >= b
+				}
+				stack[n-2] = bytecode.Bool(r)
+			case bytecode.FEQ, bytecode.FNE, bytecode.FLT, bytecode.FLE,
+				bytecode.FGT, bytecode.FGE:
+				n := len(stack)
+				a, b := stack[n-2].AsFloat(), stack[n-1].AsFloat()
+				stack = stack[:n-1]
+				var r bool
+				switch in.Op {
+				case bytecode.FEQ:
+					r = a == b
+				case bytecode.FNE:
+					r = a != b
+				case bytecode.FLT:
+					r = a < b
+				case bytecode.FLE:
+					r = a <= b
+				case bytecode.FGT:
+					r = a > b
+				case bytecode.FGE:
+					r = a >= b
+				}
+				stack[n-2] = bytecode.Bool(r)
+
+			case bytecode.JMP:
+				fr.pc = int(in.A)
+			case bytecode.JZ:
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if !v.IsTrue() {
+					fr.pc = int(in.A)
+				}
+			case bytecode.JNZ:
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if v.IsTrue() {
+					fr.pc = int(in.A)
+				}
+
+			case bytecode.CALL:
+				argc := int(in.B)
+				args := stack[len(stack)-argc:]
+				if err := push(int(in.A)); err != nil {
+					return result, err
+				}
+				nf := &frames[len(frames)-1]
+				copy(locals[nf.localsBase:], args)
+				stack = stack[:len(stack)-argc]
+				nf.spBase = len(stack)
+				break body // switch to callee frame
+
+			case bytecode.RET:
+				rv := stack[len(stack)-1]
+				stack = stack[:fr.spBase]
+				locals = locals[:fr.localsBase]
+				frames = frames[:len(frames)-1]
+				stack = append(stack, rv)
+				if len(frames) == 0 {
+					result = rv
+					return result, nil
+				}
+				break body // resume caller frame
+
+			case bytecode.NEWARR:
+				n := stack[len(stack)-1].AsInt()
+				// Publish the collector's root sets: a collection can
+				// only start inside NewArray. A copying collection
+				// rewrites references in place, so the aliased local
+				// slices stay valid afterwards.
+				e.rootLocals, e.rootStack = locals, stack[:len(stack)-1]
+				ref, err := e.NewArray(n)
+				if err != nil {
+					return result, rerr("%v", err)
+				}
+				e.Cycles += 2 * n // allocation cost scales with size
+				stack[len(stack)-1] = ref
+			case bytecode.ALOAD:
+				n := len(stack)
+				arr, err := e.Array(stack[n-2])
+				if err != nil {
+					return result, rerr("aload: %v", err)
+				}
+				idx := stack[n-1].AsInt()
+				if idx < 0 || idx >= int64(len(arr)) {
+					return result, rerr("aload: index %d out of range [0,%d)", idx, len(arr))
+				}
+				stack = stack[:n-1]
+				stack[n-2] = arr[idx]
+			case bytecode.ASTORE:
+				n := len(stack)
+				arr, err := e.Array(stack[n-3])
+				if err != nil {
+					return result, rerr("astore: %v", err)
+				}
+				idx := stack[n-2].AsInt()
+				if idx < 0 || idx >= int64(len(arr)) {
+					return result, rerr("astore: index %d out of range [0,%d)", idx, len(arr))
+				}
+				arr[idx] = stack[n-1]
+				stack = stack[:n-3]
+			case bytecode.ALEN:
+				arr, err := e.Array(stack[len(stack)-1])
+				if err != nil {
+					return result, rerr("alen: %v", err)
+				}
+				stack[len(stack)-1] = bytecode.Int(int64(len(arr)))
+
+			case bytecode.PRINT:
+				e.Output = append(e.Output, stack[len(stack)-1])
+				stack = stack[:len(stack)-1]
+
+			case bytecode.HALT:
+				e.halted = true
+				if len(stack) > fr.spBase {
+					result = stack[len(stack)-1]
+				}
+				return result, nil
+
+			default:
+				return result, rerr("invalid opcode %d", in.Op)
+			}
+		}
+	}
+	return result, nil
+}
+
+// Halted reports whether the last Run ended on a HALT instruction.
+func (e *Engine) Halted() bool { return e.halted }

@@ -1,0 +1,482 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"evolvevm/internal/bytecode"
+)
+
+func mustProg(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	p, err := bytecode.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, globals map[string]bytecode.Value) (bytecode.Value, *Engine) {
+	t.Helper()
+	e := NewEngine(mustProg(t, src))
+	for k, v := range globals {
+		if err := e.SetGlobal(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v, e
+}
+
+func TestRunSumLoop(t *testing.T) {
+	src := `
+global n
+func main() locals i sum
+  const 0
+  store sum
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load sum
+  load i
+  iadd
+  store sum
+  iinc i 1
+  jmp loop
+done:
+  load sum
+  ret
+end
+`
+	v, e := run(t, src, map[string]bytecode.Value{"n": bytecode.Int(100)})
+	if v.I != 4950 {
+		t.Errorf("sum = %v, want 4950", v)
+	}
+	if e.Cycles <= 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestRunCallsAndRecursion(t *testing.T) {
+	src := `
+func main() locals r
+  const 10
+  call fib 1
+  ret
+end
+func fib(n)
+  load n
+  const 2
+  ilt
+  jz rec
+  load n
+  ret
+rec:
+  load n
+  const 1
+  isub
+  call fib 1
+  load n
+  const 2
+  isub
+  call fib 1
+  iadd
+  ret
+end
+`
+	v, e := run(t, src, nil)
+	if v.I != 55 {
+		t.Errorf("fib(10) = %v, want 55", v)
+	}
+	fibIdx, _ := e.Prog.FuncIndex("fib")
+	if e.Invocations[fibIdx] != 177 {
+		t.Errorf("fib invocations = %d, want 177", e.Invocations[fibIdx])
+	}
+}
+
+func TestRunFloatAndConversions(t *testing.T) {
+	src := `
+func main() locals x
+  fconst 2
+  fsqrt
+  fconst 2
+  fmul
+  f2i
+  ret
+end
+`
+	v, _ := run(t, src, nil)
+	if v.I != 2 {
+		t.Errorf("sqrt(2)*2 truncated = %v, want 2", v)
+	}
+}
+
+func TestRunArrays(t *testing.T) {
+	src := `
+func main() locals a i sum
+  const 10
+  newarr
+  store a
+  const 0
+  store i
+fill:
+  load i
+  const 10
+  ige
+  jnz sumup
+  load a
+  load i
+  load i
+  load i
+  imul
+  astore
+  iinc i 1
+  jmp fill
+sumup:
+  const 0
+  store sum
+  const 0
+  store i
+loop:
+  load i
+  load a
+  alen
+  ige
+  jnz done
+  load sum
+  load a
+  load i
+  aload
+  iadd
+  store sum
+  iinc i 1
+  jmp loop
+done:
+  load sum
+  ret
+end
+`
+	v, _ := run(t, src, nil)
+	if v.I != 285 { // sum of squares 0..9
+		t.Errorf("sum of squares = %v, want 285", v)
+	}
+}
+
+func TestRunGlobalsAndOutput(t *testing.T) {
+	src := `
+global out
+func main() locals x
+  const 42
+  gstore out
+  gload out
+  print
+  const 0
+  ret
+end
+`
+	_, e := run(t, src, nil)
+	if v, _ := e.Global("out"); v.I != 42 {
+		t.Errorf("global out = %v, want 42", v)
+	}
+	if len(e.Output) != 1 || e.Output[0].I != 42 {
+		t.Errorf("output = %v, want [42]", e.Output)
+	}
+}
+
+func TestRunHalt(t *testing.T) {
+	src := `
+func main() locals x
+  const 9
+  halt
+end
+`
+	v, e := run(t, src, nil)
+	if v.I != 9 {
+		t.Errorf("halt result = %v, want 9", v)
+	}
+	if !e.Halted() {
+		t.Error("Halted() = false after HALT")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"div zero", "func main()\n const 1\n const 0\n idiv\n ret\nend\n", "division by zero"},
+		{"mod zero", "func main()\n const 1\n const 0\n imod\n ret\nend\n", "modulo by zero"},
+		{"array oob", "func main() locals a\n const 3\n newarr\n store a\n load a\n const 5\n aload\n ret\nend\n", "out of range"},
+		{"neg array", "func main()\n const -1\n newarr\n ret\nend\n", "negative array length"},
+		{"not array", "func main()\n const 7\n alen\n ret\nend\n", "not a live array"},
+		{"infinite loop", "func main()\nloop:\n jmp loop\nend\n", "cycle limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(mustProg(t, tc.src))
+			e.MaxCycles = 1_000_000
+			_, err := e.Run()
+			if err == nil {
+				t.Fatalf("Run succeeded, want error with %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	src := `
+global n
+func main() locals i s
+  const 0
+  store s
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load s
+  load i
+  iadd
+  store s
+  iinc i 1
+  jmp loop
+done:
+  load s
+  ret
+end
+`
+	var first int64
+	for trial := 0; trial < 3; trial++ {
+		_, e := run(t, src, map[string]bytecode.Value{"n": bytecode.Int(1000)})
+		if trial == 0 {
+			first = e.Cycles
+		} else if e.Cycles != first {
+			t.Fatalf("trial %d: cycles %d != %d", trial, e.Cycles, first)
+		}
+	}
+}
+
+func TestSamplerAttributesHotMethod(t *testing.T) {
+	src := `
+func main() locals i
+  const 0
+  store i
+loop:
+  load i
+  const 200
+  ige
+  jnz done
+  const 0
+  call work 1
+  pop
+  iinc i 1
+  jmp loop
+done:
+  const 0
+  ret
+end
+func work(x) locals j
+  const 0
+  store j
+inner:
+  load j
+  const 500
+  ige
+  jnz out
+  iinc j 1
+  jmp inner
+out:
+  load x
+  ret
+end
+`
+	p := mustProg(t, src)
+	e := NewEngine(p)
+	e.SampleStride = 5_000
+	samples := make(map[int]int)
+	e.OnSample = func(fnIdx int) { samples[fnIdx]++ }
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	workIdx, _ := p.FuncIndex("work")
+	mainIdx, _ := p.FuncIndex("main")
+	if samples[workIdx] == 0 {
+		t.Fatal("hot method got no samples")
+	}
+	if samples[workIdx] <= samples[mainIdx] {
+		t.Errorf("samples: work=%d main=%d; want work to dominate",
+			samples[workIdx], samples[mainIdx])
+	}
+	total := samples[workIdx] + samples[mainIdx]
+	approx := e.Cycles / e.SampleStride
+	if int64(total) < approx-2 || int64(total) > approx+2 {
+		t.Errorf("total samples %d, want ~cycles/stride = %d", total, approx)
+	}
+}
+
+func TestOnInvokeSeesCounts(t *testing.T) {
+	src := `
+func main() locals i
+  const 0
+  store i
+loop:
+  load i
+  const 5
+  ige
+  jnz done
+  const 1
+  call f 1
+  pop
+  iinc i 1
+  jmp loop
+done:
+  const 0
+  ret
+end
+func f(x)
+  load x
+  ret
+end
+`
+	p := mustProg(t, src)
+	e := NewEngine(p)
+	var counts []int64
+	fIdx, _ := p.FuncIndex("f")
+	e.OnInvoke = func(fnIdx int, count int64) {
+		if fnIdx == fIdx {
+			counts = append(counts, count)
+		}
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 5 || counts[0] != 1 || counts[4] != 5 {
+		t.Errorf("invoke counts = %v, want [1 2 3 4 5]", counts)
+	}
+}
+
+func TestAddCyclesSkipsSamples(t *testing.T) {
+	src := "func main()\n const 0\n ret\nend\n"
+	e := NewEngine(mustProg(t, src))
+	e.SampleStride = 100
+	sampled := 0
+	e.OnSample = func(int) { sampled++ }
+	e.AddCycles(10_000) // compile-time style charge before Run
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sampled != 0 {
+		t.Errorf("AddCycles produced %d samples, want 0", sampled)
+	}
+	if e.Cycles < 10_000 {
+		t.Errorf("cycles = %d, want >= 10000", e.Cycles)
+	}
+}
+
+func TestProviderSwapTakesEffectNextInvocation(t *testing.T) {
+	src := `
+func main() locals i
+  const 0
+  store i
+loop:
+  load i
+  const 4
+  ige
+  jnz done
+  const 1
+  call f 1
+  pop
+  iinc i 1
+  jmp loop
+done:
+  const 0
+  ret
+end
+func f(x)
+  load x
+  ret
+end
+`
+	p := mustProg(t, src)
+	e := NewEngine(p)
+	fIdx, _ := p.FuncIndex("f")
+
+	slow := NewCode(fIdx, p.Funcs[fIdx], -1, 100)
+	fast := NewCode(fIdx, p.Funcs[fIdx], 2, 40)
+	var served []int
+	cur := slow
+	base := e.Provider
+	e.Provider = func(fn int) *Code {
+		if fn == fIdx {
+			served = append(served, cur.Level)
+			return cur
+		}
+		return base(fn)
+	}
+	e.OnInvoke = func(fn int, count int64) {
+		if fn == fIdx && count == 2 {
+			cur = fast // "recompile" after the 2nd invocation begins
+		}
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{-1, -1, 2, 2}
+	if len(served) != len(want) {
+		t.Fatalf("served %v, want %v", served, want)
+	}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("served %v, want %v", served, want)
+		}
+	}
+}
+
+func TestCostScaleReducesCycles(t *testing.T) {
+	src := `
+func main() locals i
+  const 0
+  store i
+loop:
+  load i
+  const 1000
+  ige
+  jnz done
+  iinc i 1
+  jmp loop
+done:
+  const 0
+  ret
+end
+`
+	p := mustProg(t, src)
+
+	cycles := func(scale int) int64 {
+		e := NewEngine(p)
+		code := NewCode(0, p.Funcs[0], 2, scale)
+		e.Provider = func(int) *Code { return code }
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Cycles
+	}
+	full, half := cycles(100), cycles(50)
+	if half >= full {
+		t.Errorf("scale 50 cycles %d >= scale 100 cycles %d", half, full)
+	}
+	ratio := float64(half) / float64(full)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("cycle ratio = %.3f, want ~0.5", ratio)
+	}
+}

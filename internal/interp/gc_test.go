@@ -1,0 +1,260 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+)
+
+// churnSrc allocates a temp array per iteration (garbage unless
+// retained): every keepevery-th temp is stored into the keep array — a
+// nested array-of-arrays, so marking must trace interiors. The result
+// mixes temp contents and retained contents, catching any collector that
+// frees live data or resurrects dead slots.
+const churnSrc = `
+global iters
+global keepevery
+global tmpsize
+global keep
+global result
+
+func main() locals i t j acc ki
+  const 0
+  store acc
+  const 0
+  store ki
+  const 0
+  store i
+loop:
+  load i
+  gload iters
+  ige
+  jnz check
+  gload tmpsize
+  newarr
+  store t
+  const 0
+  store j
+fill:
+  load j
+  gload tmpsize
+  ige
+  jnz filled
+  load t
+  load j
+  load i
+  load j
+  iadd
+  astore
+  iinc j 1
+  jmp fill
+filled:
+  load acc
+  load t
+  const 0
+  aload
+  iadd
+  store acc
+  load i
+  gload keepevery
+  imod
+  jnz skip
+  gload keep
+  load ki
+  load t
+  astore
+  iinc ki 1
+skip:
+  iinc i 1
+  jmp loop
+check:
+  const 0
+  store j
+verify:
+  load j
+  load ki
+  ige
+  jnz done
+  load acc
+  gload keep
+  load j
+  aload
+  const 1
+  aload
+  iadd
+  store acc
+  iinc j 1
+  jmp verify
+done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+`
+
+func runChurn(t *testing.T, cfg gc.Config, iters, keepevery, tmpsize int64) (*Engine, bytecode.Value) {
+	t.Helper()
+	prog, err := bytecode.Assemble("churn", churnSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(prog)
+	e.GC = cfg
+	keepSlots := iters/keepevery + 1
+	ref, err := e.NewArray(keepSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]bytecode.Value{
+		"iters":     bytecode.Int(iters),
+		"keepevery": bytecode.Int(keepevery),
+		"tmpsize":   bytecode.Int(tmpsize),
+		"keep":      ref,
+	} {
+		if err := e.SetGlobal(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("run with %v: %v", cfg, err)
+	}
+	return e, v
+}
+
+func TestGCPoliciesPreserveSemantics(t *testing.T) {
+	_, want := runChurn(t, gc.Config{}, 200, 10, 50)
+	for _, policy := range []gc.Policy{gc.MarkSweep, gc.Copying} {
+		e, got := runChurn(t, gc.Config{Policy: policy, BudgetCells: 2000}, 200, 10, 50)
+		if !got.Equal(want) {
+			t.Errorf("%v: result %v, want %v", policy, got, want)
+		}
+		if len(e.GCStats.Collections) == 0 {
+			t.Errorf("%v: no collections despite tight budget", policy)
+		}
+		if e.GCStats.GCCycles <= 0 || e.GCStats.FreedCells <= 0 {
+			t.Errorf("%v: stats not recorded: %+v", policy, e.GCStats)
+		}
+		if e.LiveCells() > 2000 {
+			t.Errorf("%v: live cells %d exceed budget", policy, e.LiveCells())
+		}
+	}
+}
+
+func TestGCKeepsLiveDataIntact(t *testing.T) {
+	for _, policy := range []gc.Policy{gc.MarkSweep, gc.Copying} {
+		e, _ := runChurn(t, gc.Config{Policy: policy, BudgetCells: 1500}, 100, 5, 40)
+		keepRef, err := e.Global("keep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep, err := e.Array(keepRef)
+		if err != nil {
+			t.Fatalf("%v: keep array dangling: %v", policy, err)
+		}
+		// keep[k] holds the temp from iteration 5k; its cell j is 5k+j.
+		for k := 0; k < 100/5; k++ {
+			inner, err := e.Array(keep[k])
+			if err != nil {
+				t.Fatalf("%v: retained array %d dangling: %v", policy, k, err)
+			}
+			for j := 0; j < 3; j++ {
+				want := int64(5*k + j)
+				if inner[j].I != want {
+					t.Fatalf("%v: keep[%d][%d] = %v, want %d (live data corrupted)",
+						policy, k, j, inner[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGCWithoutBudgetNeverCollects(t *testing.T) {
+	e, _ := runChurn(t, gc.Config{Policy: gc.MarkSweep}, 50, 5, 10)
+	if len(e.GCStats.Collections) != 0 {
+		t.Error("collection with zero budget")
+	}
+}
+
+func TestGCOutOfMemory(t *testing.T) {
+	// Retain everything: live data exceeds budget -> deterministic OOM.
+	prog, err := bytecode.Assemble("churn", churnSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(prog)
+	e.GC = gc.Config{Policy: gc.Copying, BudgetCells: 300}
+	ref, err := e.NewArray(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]bytecode.Value{
+		"iters":     bytecode.Int(100),
+		"keepevery": bytecode.Int(1), // keep every temp alive
+		"tmpsize":   bytecode.Int(50),
+		"keep":      ref,
+	} {
+		if err := e.SetGlobal(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "out of memory") {
+		t.Errorf("retaining workload got %v, want out-of-memory", err)
+	}
+}
+
+func TestGCCostModelsDiffer(t *testing.T) {
+	// Low retention: Copying (pays for live only) must beat MarkSweep
+	// (pays per slot examined) on GC cycles.
+	msLow, _ := runChurn(t, gc.Config{Policy: gc.MarkSweep, BudgetCells: 2000}, 400, 100, 50)
+	cpLow, _ := runChurn(t, gc.Config{Policy: gc.Copying, BudgetCells: 2000}, 400, 100, 50)
+	if cpLow.GCStats.GCCycles >= msLow.GCStats.GCCycles {
+		t.Errorf("low retention: copying GC cycles %d >= marksweep %d",
+			cpLow.GCStats.GCCycles, msLow.GCStats.GCCycles)
+	}
+
+	// The recorded observables let the oracle pick the cheaper policy.
+	low := gc.IdealPolicy(cpLow.GCStats.Collections, cpLow.GCStats.Allocs)
+	if low != gc.Copying {
+		t.Errorf("oracle picked %v for low retention, want copying", low)
+	}
+}
+
+func TestGCIdealPolicyFlipsWithRetention(t *testing.T) {
+	// High retention, few big live arrays, occasional small garbage:
+	// sweeping a handful of slots is cheap, copying the live data is not.
+	cols := []gc.Collection{{LiveCells: 10000, TotalCells: 10100, FreedCells: 100}}
+	if got := gc.IdealPolicy(cols, 50); got != gc.MarkSweep {
+		t.Errorf("high retention ideal = %v, want marksweep", got)
+	}
+	cols = []gc.Collection{{LiveCells: 50, TotalCells: 9050, FreedCells: 9000}}
+	if got := gc.IdealPolicy(cols, 50); got != gc.Copying {
+		t.Errorf("low retention ideal = %v, want copying", got)
+	}
+}
+
+func TestGCMarkSweepReusesSlots(t *testing.T) {
+	e, _ := runChurn(t, gc.Config{Policy: gc.MarkSweep, BudgetCells: 1200}, 300, 50, 30)
+	// With slot reuse the heap slot count stays bounded well below the
+	// 300 allocations performed.
+	if len(e.heap) > 150 {
+		t.Errorf("marksweep heap grew to %d slots for 300 allocs", len(e.heap))
+	}
+}
+
+func TestGCCopyingCompactsHeap(t *testing.T) {
+	e, _ := runChurn(t, gc.Config{Policy: gc.Copying, BudgetCells: 1200}, 300, 50, 30)
+	live := 0
+	for _, arr := range e.heap {
+		if arr != nil {
+			live++
+		}
+	}
+	if live != len(e.heap) {
+		t.Error("copying heap contains dead slots")
+	}
+}

@@ -1,0 +1,150 @@
+package interp
+
+import (
+	"testing"
+
+	"evolvevm/internal/bytecode"
+)
+
+// TestOpcodeSemantics pins down every arithmetic, logic, comparison, and
+// stack opcode with a table of tiny programs.
+func TestOpcodeSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		body string // instructions; must leave the result on top
+		want bytecode.Value
+	}{
+		{"iadd", "const 2\nconst 3\niadd", bytecode.Int(5)},
+		{"isub", "const 2\nconst 3\nisub", bytecode.Int(-1)},
+		{"imul", "const -4\nconst 3\nimul", bytecode.Int(-12)},
+		{"idiv", "const 7\nconst 2\nidiv", bytecode.Int(3)},
+		{"idiv negative", "const -7\nconst 2\nidiv", bytecode.Int(-3)},
+		{"imod", "const 7\nconst 3\nimod", bytecode.Int(1)},
+		{"ineg", "const 9\nineg", bytecode.Int(-9)},
+		{"iand", "const 12\nconst 10\niand", bytecode.Int(8)},
+		{"ior", "const 12\nconst 10\nior", bytecode.Int(14)},
+		{"ixor", "const 12\nconst 10\nixor", bytecode.Int(6)},
+		{"ishl", "const 3\nconst 4\nishl", bytecode.Int(48)},
+		{"ishr", "const 48\nconst 4\nishr", bytecode.Int(3)},
+		{"ishr negative", "const -16\nconst 2\nishr", bytecode.Int(-4)},
+		{"shift masks to 63", "const 1\nconst 64\nishl", bytecode.Int(1)},
+		{"inot", "const 0\ninot", bytecode.Int(-1)},
+
+		{"fadd", "fconst 1.5\nfconst 2.25\nfadd", bytecode.Float(3.75)},
+		{"fsub", "fconst 1.5\nfconst 2.25\nfsub", bytecode.Float(-0.75)},
+		{"fmul", "fconst 1.5\nfconst 2\nfmul", bytecode.Float(3)},
+		{"fdiv", "fconst 3\nfconst 2\nfdiv", bytecode.Float(1.5)},
+		{"fneg", "fconst 2.5\nfneg", bytecode.Float(-2.5)},
+		{"fsqrt", "fconst 9\nfsqrt", bytecode.Float(3)},
+		{"fabs", "fconst -4.5\nfabs", bytecode.Float(4.5)},
+		{"fadd mixes ints", "const 1\nfconst 0.5\nfadd", bytecode.Float(1.5)},
+
+		{"i2f", "const 7\ni2f", bytecode.Float(7)},
+		{"f2i truncates", "fconst 7.9\nf2i", bytecode.Int(7)},
+		{"f2i negative", "fconst -7.9\nf2i", bytecode.Int(-7)},
+
+		{"ieq true", "const 4\nconst 4\nieq", bytecode.Int(1)},
+		{"ieq false", "const 4\nconst 5\nieq", bytecode.Int(0)},
+		{"ine", "const 4\nconst 5\nine", bytecode.Int(1)},
+		{"ilt", "const 4\nconst 5\nilt", bytecode.Int(1)},
+		{"ile eq", "const 5\nconst 5\nile", bytecode.Int(1)},
+		{"igt", "const 4\nconst 5\nigt", bytecode.Int(0)},
+		{"ige eq", "const 5\nconst 5\nige", bytecode.Int(1)},
+		{"feq", "fconst 2.5\nfconst 2.5\nfeq", bytecode.Int(1)},
+		{"fne", "fconst 2.5\nfconst 2.6\nfne", bytecode.Int(1)},
+		{"flt", "fconst 2.5\nfconst 2.6\nflt", bytecode.Int(1)},
+		{"fle", "fconst 2.6\nfconst 2.6\nfle", bytecode.Int(1)},
+		{"fgt", "fconst 2.7\nfconst 2.6\nfgt", bytecode.Int(1)},
+		{"fge", "fconst 2.5\nfconst 2.6\nfge", bytecode.Int(0)},
+
+		{"dup", "const 6\ndup\niadd", bytecode.Int(12)},
+		{"swap", "const 10\nconst 3\nswap\nisub", bytecode.Int(-7)},
+		{"pop", "const 1\nconst 2\npop", bytecode.Int(1)},
+		{"nop", "nop\nconst 3\nnop", bytecode.Int(3)},
+
+		{"jnz taken", "const 1\njnz over\nconst 10\nret\nover:\nconst 20", bytecode.Int(20)},
+		{"jz not taken", "const 1\njz over\nconst 10\nret\nover:\nconst 20", bytecode.Int(10)},
+		{"jz float zero", "fconst 0\njz over\nconst 10\nret\nover:\nconst 20", bytecode.Int(20)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "func main() locals a\n" + tc.body + "\nret\nend\n"
+			p, err := bytecode.Assemble("ops", src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			e := NewEngine(p)
+			v, err := e.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !v.Equal(tc.want) {
+				t.Errorf("result = %v, want %v", v, tc.want)
+			}
+		})
+	}
+}
+
+func TestIincSemantics(t *testing.T) {
+	p, err := bytecode.Assemble("iinc", `
+func main() locals x
+  const 10
+  store x
+  iinc x 5
+  iinc x -3
+  load x
+  ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+	v, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 12 {
+		t.Errorf("iinc result = %v, want 12", v)
+	}
+}
+
+func TestGlobalAccessors(t *testing.T) {
+	p, _ := bytecode.Assemble("g", "global g\nfunc main()\n const 0\n ret\nend\n")
+	e := NewEngine(p)
+	if err := e.SetGlobal("nope", bytecode.Int(1)); err == nil {
+		t.Error("SetGlobal of unknown name succeeded")
+	}
+	if _, err := e.Global("nope"); err == nil {
+		t.Error("Global of unknown name succeeded")
+	}
+	if err := e.SetGlobal("g", bytecode.Float(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Global("g"); v.F != 2.5 {
+		t.Errorf("global round trip = %v", v)
+	}
+}
+
+func TestDeepRecursionGuard(t *testing.T) {
+	p, err := bytecode.Assemble("deep", `
+func main()
+  const 0
+  call spin 1
+  ret
+end
+func spin(x)
+  load x
+  call spin 1
+  ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+	_, err = e.Run()
+	if err == nil {
+		t.Fatal("infinite recursion terminated normally")
+	}
+}

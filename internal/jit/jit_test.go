@@ -1,0 +1,160 @@
+package jit
+
+import (
+	"testing"
+
+	"evolvevm/internal/bytecode"
+)
+
+const testSrc = `
+global n
+func main() locals acc
+  const 0
+  call hot 1
+  store acc
+  load acc
+  ret
+end
+func hot(x) locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load acc
+  load i
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+func testProg(t *testing.T) *bytecode.Program {
+	t.Helper()
+	p, err := bytecode.Assemble("jittest", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBaselineCharged(t *testing.T) {
+	c := NewCompiler(testProg(t), DefaultConfig())
+	code, cycles := c.Baseline(0)
+	if code == nil || code.Level != MinLevel {
+		t.Fatalf("baseline code level = %v", code)
+	}
+	if cycles <= 0 {
+		t.Error("baseline compile free")
+	}
+	// Cached: same code, same (already-paid) charge reported.
+	code2, cycles2 := c.Baseline(0)
+	if code2 != code || cycles2 != cycles {
+		t.Error("baseline not memoized")
+	}
+}
+
+func TestCompileMemoized(t *testing.T) {
+	c := NewCompiler(testProg(t), DefaultConfig())
+	code, cycles, err := c.Compile(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Error("first compile free")
+	}
+	code2, cycles2, err := c.Compile(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code2 != code {
+		t.Error("second compile returned different code")
+	}
+	if cycles2 != 0 {
+		t.Errorf("second compile charged %d cycles, want 0", cycles2)
+	}
+}
+
+func TestCompileLevelsScaleDownCosts(t *testing.T) {
+	// Unrolling grows static code while shrinking dynamic cost, so the
+	// meaningful invariant is the per-instruction cost scale: every
+	// compiled instruction must be cheaper than its baseline cost, and
+	// the mean cost-to-baseline ratio must fall as the level rises.
+	c := NewCompiler(testProg(t), DefaultConfig())
+	prevRatio := 1.0
+	for level := 0; level <= MaxLevel; level++ {
+		code, _, err := c.Compile(1, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code.Level != level {
+			t.Errorf("level tag = %d, want %d", code.Level, level)
+		}
+		var cost, base int64
+		for i := range code.Cost {
+			if code.Cost[i] > code.Base[i] {
+				t.Errorf("level %d instr %d cost %d > baseline %d",
+					level, i, code.Cost[i], code.Base[i])
+			}
+			cost += code.Cost[i]
+			base += code.Base[i]
+		}
+		ratio := float64(cost) / float64(base)
+		if ratio >= prevRatio {
+			t.Errorf("level %d cost ratio %.3f >= previous %.3f", level, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestEstimateMonotoneInLevel(t *testing.T) {
+	c := NewCompiler(testProg(t), DefaultConfig())
+	prev := int64(0)
+	for level := MinLevel; level <= MaxLevel; level++ {
+		est := c.EstimateCompileCycles(1, level)
+		if est <= prev {
+			t.Errorf("estimate(level %d) = %d, not > %d", level, est, prev)
+		}
+		prev = est
+	}
+	// Bigger functions cost more.
+	if c.EstimateCompileCycles(0, 2) >= c.EstimateCompileCycles(1, 2) {
+		t.Error("smaller function estimated costlier")
+	}
+}
+
+func TestSpeedupBounds(t *testing.T) {
+	c := NewCompiler(testProg(t), DefaultConfig())
+	if c.Speedup(MinLevel) != 1 {
+		t.Error("baseline speedup != 1")
+	}
+	prev := 1.0
+	for level := 0; level <= MaxLevel; level++ {
+		s := c.Speedup(level)
+		if s <= prev {
+			t.Errorf("speedup(level %d) = %v, not > %v", level, s, prev)
+		}
+		prev = s
+	}
+	if c.Speedup(99) != c.Speedup(MaxLevel) {
+		t.Error("overflow level not clamped")
+	}
+}
+
+func TestCompileOutOfRange(t *testing.T) {
+	c := NewCompiler(testProg(t), DefaultConfig())
+	if _, _, err := c.Compile(0, MaxLevel+1); err == nil {
+		t.Error("level beyond MaxLevel accepted")
+	}
+	if code, _, err := c.Compile(0, -5); err != nil || code.Level != MinLevel {
+		t.Error("negative level should fall back to baseline")
+	}
+}

@@ -1,0 +1,46 @@
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// ConstProp propagates constants through local slots within basic
+// blocks: after "push c; store x", subsequent "load x" in the same block
+// become "push c" until x is written again. IINC on a known local keeps
+// it known (the constant advances). Locals are function-private, so
+// calls never invalidate the state; block boundaries do.
+//
+// The pass mainly pays off after inlining, where constant call arguments
+// become constant locals, and it feeds the peephole folder that runs
+// after it in the pipeline.
+func ConstProp(_ *bytecode.Program, f *bytecode.Function) bool {
+	lead := leaders(f)
+	known := make(map[int32]bytecode.Value)
+	changed := false
+
+	for pc := 0; pc < len(f.Code); pc++ {
+		if lead[pc] {
+			clear(known)
+		}
+		in := f.Code[pc]
+		switch in.Op {
+		case bytecode.LOAD:
+			if v, ok := known[in.A]; ok {
+				f.Code[pc] = emitPush(f, v)
+				changed = true
+			}
+		case bytecode.STORE:
+			// "push c; store x" with no label between makes x known.
+			if pc > 0 && !lead[pc] && isPush(f.Code[pc-1]) {
+				known[in.A] = pushedValue(f, f.Code[pc-1])
+			} else {
+				delete(known, in.A)
+			}
+		case bytecode.IINC:
+			if v, ok := known[in.A]; ok && v.Kind == bytecode.KInt {
+				known[in.A] = bytecode.Int(v.I + int64(in.B))
+			} else {
+				delete(known, in.A)
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,47 @@
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// DeadCode removes unreachable instructions and eliminates stores to
+// locals that are never read anywhere in the function (STORE x becomes POP,
+// IINC x becomes NOP). Arguments in slots the caller populated are handled
+// like any other local: if never read, writes to them are dead.
+func DeadCode(_ *bytecode.Program, f *bytecode.Function) bool {
+	changed := false
+
+	// Unreachable-code elimination.
+	live := reachable(f)
+	for pc := range f.Code {
+		if !live[pc] && f.Code[pc].Op != bytecode.NOP {
+			f.Code[pc] = bytecode.Instr{Op: bytecode.NOP}
+			changed = true
+		}
+	}
+
+	// Dead-store elimination: find locals with no reads.
+	read := make([]bool, f.NLocals)
+	for _, in := range f.Code {
+		if in.Op == bytecode.LOAD {
+			read[in.A] = true
+		}
+	}
+	for pc, in := range f.Code {
+		switch in.Op {
+		case bytecode.STORE:
+			if !read[in.A] {
+				f.Code[pc] = bytecode.Instr{Op: bytecode.POP}
+				changed = true
+			}
+		case bytecode.IINC:
+			if !read[in.A] {
+				f.Code[pc] = bytecode.Instr{Op: bytecode.NOP}
+				changed = true
+			}
+		}
+	}
+
+	if changed {
+		compact(f)
+	}
+	return changed
+}

@@ -1,0 +1,227 @@
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// Inlining limits.
+const (
+	// InlineMaxCallee is the largest callee body (instructions) eligible
+	// for inlining.
+	InlineMaxCallee = 24
+	// InlineMaxCaller caps caller growth: no inlining once the caller
+	// reaches this many instructions.
+	InlineMaxCaller = 800
+)
+
+// Inline expands calls to small functions into the caller. A callee is
+// eligible when it is at most InlineMaxCallee instructions, contains no
+// HALT, and leaves exactly one value on the stack at every RET (so
+// splicing preserves stack discipline). Non-leaf callees are allowed —
+// their calls are spliced verbatim and may themselves be inlined on a
+// later iteration — but a site whose callee is the caller itself is
+// skipped, and the growth cap bounds the cascade.
+// inlinePerCalleeCap bounds how many times one callee may be expanded
+// into a single caller, so mutually recursive cliques cannot ping-pong
+// the cascade up to the caller growth cap.
+const inlinePerCalleeCap = 4
+
+func Inline(p *bytecode.Program, f *bytecode.Function) bool {
+	changed := false
+	counts := map[string]int{}
+	for len(f.Code) < InlineMaxCaller {
+		site := -1
+		var callee *bytecode.Function
+		for pc, in := range f.Code {
+			if in.Op != bytecode.CALL {
+				continue
+			}
+			c := p.Funcs[in.A]
+			if c != f && counts[c.Name] < inlinePerCalleeCap && inlinable(p, c) {
+				site, callee = pc, c
+				break
+			}
+		}
+		if site < 0 {
+			break
+		}
+		inlineAt(f, site, callee)
+		counts[callee.Name]++
+		changed = true
+	}
+	return changed
+}
+
+func inlinable(p *bytecode.Program, c *bytecode.Function) bool {
+	if len(c.Code) > InlineMaxCallee {
+		return false
+	}
+	for _, in := range c.Code {
+		if in.Op == bytecode.HALT {
+			return false
+		}
+		// Directly self-recursive callees would re-expose an eligible
+		// call to themselves forever; leave them be.
+		if in.Op == bytecode.CALL && p.Funcs[in.A] == c {
+			return false
+		}
+	}
+	depth, ok := stackDepths(c)
+	if !ok {
+		return false
+	}
+	for pc, in := range c.Code {
+		if in.Op == bytecode.RET && depth[pc] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// stackDepths computes the operand-stack depth *after* each instruction,
+// mirroring the verifier's dataflow. ok is false when depths are
+// inconsistent or any instruction is unreachable (conservatively refuse).
+func stackDepths(f *bytecode.Function) ([]int, bool) {
+	const unseen = -1
+	before := make([]int, len(f.Code))
+	for i := range before {
+		before[i] = unseen
+	}
+	before[0] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := f.Code[pc]
+		pops, fixed := in.Op.Pops()
+		if !fixed {
+			pops = int(in.B)
+		}
+		d := before[pc] - pops + in.Op.Pushes()
+		if d < 0 {
+			return nil, false
+		}
+		flow := func(t int) bool {
+			if t < 0 || t >= len(f.Code) {
+				return false
+			}
+			if before[t] == unseen {
+				before[t] = d
+				work = append(work, t)
+				return true
+			}
+			return before[t] == d
+		}
+		switch {
+		case in.Op == bytecode.RET || in.Op == bytecode.HALT:
+		case in.Op == bytecode.JMP:
+			if !flow(int(in.A)) {
+				return nil, false
+			}
+		case in.Op.IsConditionalJump():
+			if !flow(int(in.A)) || !flow(pc+1) {
+				return nil, false
+			}
+		default:
+			if !flow(pc + 1) {
+				return nil, false
+			}
+		}
+	}
+	after := make([]int, len(f.Code))
+	for pc, in := range f.Code {
+		if before[pc] == unseen {
+			return nil, false // unreachable code: refuse
+		}
+		pops, fixed := in.Op.Pops()
+		if !fixed {
+			pops = int(in.B)
+		}
+		after[pc] = before[pc] - pops + in.Op.Pushes()
+	}
+	// after[pc] for RET is before-1+0... adjust: RET pops 1 pushes 0, so
+	// the depth we want to check (value count at return) is before[pc].
+	for pc, in := range f.Code {
+		if in.Op == bytecode.RET {
+			after[pc] = before[pc]
+		}
+	}
+	return after, true
+}
+
+// inlineAt splices callee's body in place of the CALL at site.
+func inlineAt(f *bytecode.Function, site int, callee *bytecode.Function) {
+	localBase := int32(f.NLocals)
+	f.NLocals += callee.NLocals
+	for i := 0; i < callee.NLocals; i++ {
+		name := "$" + callee.Name
+		if i < len(callee.LocalNames) {
+			name += "." + callee.LocalNames[i]
+		}
+		f.LocalNames = append(f.LocalNames, name)
+	}
+
+	// Prologue: pop the arguments (pushed left-to-right) into the callee's
+	// argument slots, right-to-left.
+	var body []bytecode.Instr
+	var isRetJump, isBodyJump []bool
+	emit := func(in bytecode.Instr, retJump, bodyJump bool) {
+		body = append(body, in)
+		isRetJump = append(isRetJump, retJump)
+		isBodyJump = append(isBodyJump, bodyJump)
+	}
+	for a := callee.NArgs - 1; a >= 0; a-- {
+		emit(bytecode.Instr{Op: bytecode.STORE, A: localBase + int32(a)}, false, false)
+	}
+	// Callee locals start zeroed on every invocation; the inlined body
+	// may execute repeatedly (e.g. inside a caller loop), so its
+	// non-argument locals must be re-zeroed each time. Dead-store
+	// elimination removes the stores for locals the body never reads.
+	for l := callee.NArgs; l < callee.NLocals; l++ {
+		emit(bytecode.Instr{Op: bytecode.IPUSH, A: 0}, false, false)
+		emit(bytecode.Instr{Op: bytecode.STORE, A: localBase + int32(l)}, false, false)
+	}
+	bodyStart := len(body)
+	for _, in := range callee.Code {
+		out := in
+		retJump, bodyJump := false, false
+		switch in.Op {
+		case bytecode.LOAD, bytecode.STORE, bytecode.IINC:
+			out.A += localBase
+		case bytecode.CONST:
+			out.A = f.AddConst(callee.Consts[in.A])
+		case bytecode.JMP, bytecode.JZ, bytecode.JNZ:
+			out.A = int32(bodyStart) + in.A // body-relative; absolutized below
+			bodyJump = true
+		case bytecode.RET:
+			out = bytecode.Instr{Op: bytecode.JMP} // target = end, patched below
+			retJump = true
+		}
+		emit(out, retJump, bodyJump)
+	}
+	insertLen := len(body)
+	delta := insertLen - 1 // CALL (1 instr) replaced by insertLen instrs
+	endIdx := int32(site + insertLen)
+	for i := range body {
+		switch {
+		case isRetJump[i]:
+			body[i].A = endIdx
+		case isBodyJump[i]:
+			body[i].A += int32(site)
+		}
+	}
+
+	// Rebuild caller code and shift jump targets beyond the site.
+	newCode := make([]bytecode.Instr, 0, len(f.Code)+delta)
+	newCode = append(newCode, f.Code[:site]...)
+	newCode = append(newCode, body...)
+	newCode = append(newCode, f.Code[site+1:]...)
+	for i := range newCode {
+		if i >= site && i < site+insertLen {
+			continue // body already in final coordinates
+		}
+		in := &newCode[i]
+		if in.Op.IsJump() && int(in.A) > site {
+			in.A += int32(delta)
+		}
+	}
+	f.Code = newCode
+}

@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"fmt"
+
+	"evolvevm/internal/bytecode"
+)
+
+// LICM hoists loop-invariant global loads and array-length computations
+// into a preheader executed once per loop entry.
+//
+// A loop is a region [h, e] ending in a backward jump to h, with no entry
+// from outside into its interior. Only candidates in the loop's
+// unconditionally-executed prefix (the instructions from h up to the first
+// jump — in practice the loop-bound computation) are hoisted, which keeps
+// the transformation safe for zero-trip loops:
+//
+//   - GLOAD g, when the region contains no GSTORE g and no CALL
+//     (a callee could write the global);
+//   - LOAD a; ALEN, when the region never writes local a (array lengths
+//     are immutable in this VM, so the length of an invariant reference
+//     is invariant).
+//
+// Hoisted values are materialized into fresh locals.
+func LICM(_ *bytecode.Program, f *bytecode.Function) bool {
+	changed := false
+	for iter := 0; iter < 8; iter++ {
+		if !licmOnce(f) {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+type loopRegion struct{ h, e int }
+
+// findLoops returns single-entry backward-jump regions, innermost first.
+func findLoops(f *bytecode.Function) []loopRegion {
+	var loops []loopRegion
+	for e, in := range f.Code {
+		if !in.Op.IsJump() || int(in.A) > e {
+			continue
+		}
+		h := int(in.A)
+		ok := true
+		for pc, jn := range f.Code {
+			if pc >= h && pc <= e {
+				continue
+			}
+			if jn.Op.IsJump() && int(jn.A) > h && int(jn.A) <= e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			loops = append(loops, loopRegion{h, e})
+		}
+	}
+	return loops
+}
+
+func licmOnce(f *bytecode.Function) bool {
+	for _, lp := range findLoops(f) {
+		if hoistInLoop(f, lp) {
+			return true
+		}
+	}
+	return false
+}
+
+func hoistInLoop(f *bytecode.Function, lp loopRegion) bool {
+	h, e := lp.h, lp.e
+
+	// Region facts.
+	regionHasCall := false
+	gstored := map[int32]bool{}
+	localWritten := map[int32]bool{}
+	for pc := h; pc <= e; pc++ {
+		switch in := f.Code[pc]; in.Op {
+		case bytecode.CALL:
+			regionHasCall = true
+		case bytecode.GSTORE:
+			gstored[in.A] = true
+		case bytecode.STORE, bytecode.IINC:
+			localWritten[in.A] = true
+		}
+	}
+
+	// Unconditionally executed prefix: h up to (excluding) the first jump.
+	prefixEnd := h
+	for prefixEnd <= e && !f.Code[prefixEnd].Op.IsJump() &&
+		f.Code[prefixEnd].Op != bytecode.RET && f.Code[prefixEnd].Op != bytecode.HALT {
+		prefixEnd++
+	}
+
+	// Collect candidates from the prefix.
+	type candidate struct {
+		kind bytecode.Op // GLOAD or ALEN
+		slot int32       // global slot (GLOAD) or array local (ALEN)
+		tmp  int32       // destination local, assigned below
+	}
+	var cands []candidate
+	seen := map[[2]int32]bool{}
+	for pc := h; pc < prefixEnd; pc++ {
+		in := f.Code[pc]
+		switch {
+		case in.Op == bytecode.GLOAD && !gstored[in.A] && !regionHasCall:
+			key := [2]int32{int32(bytecode.GLOAD), in.A}
+			if !seen[key] {
+				seen[key] = true
+				cands = append(cands, candidate{kind: bytecode.GLOAD, slot: in.A})
+			}
+		case in.Op == bytecode.LOAD && pc+1 < prefixEnd &&
+			f.Code[pc+1].Op == bytecode.ALEN && !localWritten[in.A]:
+			key := [2]int32{int32(bytecode.ALEN), in.A}
+			if !seen[key] {
+				seen[key] = true
+				cands = append(cands, candidate{kind: bytecode.ALEN, slot: in.A})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+
+	// Allocate temp locals and build the preheader.
+	var pre []bytecode.Instr
+	for i := range cands {
+		cands[i].tmp = int32(f.NLocals)
+		f.NLocals++
+		f.LocalNames = append(f.LocalNames, fmt.Sprintf("$licm%d", cands[i].tmp))
+		switch cands[i].kind {
+		case bytecode.GLOAD:
+			pre = append(pre,
+				bytecode.Instr{Op: bytecode.GLOAD, A: cands[i].slot},
+				bytecode.Instr{Op: bytecode.STORE, A: cands[i].tmp})
+		case bytecode.ALEN:
+			pre = append(pre,
+				bytecode.Instr{Op: bytecode.LOAD, A: cands[i].slot},
+				bytecode.Instr{Op: bytecode.ALEN},
+				bytecode.Instr{Op: bytecode.STORE, A: cands[i].tmp})
+		}
+	}
+
+	// Replace occurrences throughout the region.
+	for pc := h; pc <= e; pc++ {
+		in := f.Code[pc]
+		for _, c := range cands {
+			switch {
+			case c.kind == bytecode.GLOAD && in.Op == bytecode.GLOAD && in.A == c.slot:
+				f.Code[pc] = bytecode.Instr{Op: bytecode.LOAD, A: c.tmp}
+			case c.kind == bytecode.ALEN && in.Op == bytecode.LOAD && in.A == c.slot &&
+				pc+1 <= e && f.Code[pc+1].Op == bytecode.ALEN:
+				f.Code[pc] = bytecode.Instr{Op: bytecode.LOAD, A: c.tmp}
+				f.Code[pc+1] = bytecode.Instr{Op: bytecode.NOP}
+			}
+		}
+	}
+
+	// Insert the preheader at h and remap jump targets. Positions >= h
+	// shift by len(pre); a jump to h itself goes to the preheader when it
+	// comes from outside the (shifted) region — i.e. loop entry — and to
+	// the original header when it is a backedge from inside.
+	P := len(pre)
+	newCode := make([]bytecode.Instr, 0, len(f.Code)+P)
+	newCode = append(newCode, f.Code[:h]...)
+	newCode = append(newCode, pre...)
+	newCode = append(newCode, f.Code[h:]...)
+	for i := range newCode {
+		in := &newCode[i]
+		if !in.Op.IsJump() {
+			continue
+		}
+		if i >= h && i < h+P {
+			continue // preheader has no jumps, but keep the guard
+		}
+		orig := i
+		if i >= h+P {
+			orig = i - P
+		}
+		t := int(in.A)
+		switch {
+		case t < h:
+			// unchanged
+		case t == h:
+			if orig >= lp.h && orig <= lp.e {
+				in.A = int32(h + P) // backedge: skip the preheader
+			}
+			// entry edges keep targeting h = preheader start
+		default:
+			in.A = int32(t + P)
+		}
+	}
+	f.Code = newCode
+	compact(f)
+	return true
+}

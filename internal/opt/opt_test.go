@@ -1,0 +1,779 @@
+package opt
+
+import (
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/interp"
+)
+
+func mustProg(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	p, err := bytecode.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// runWith executes prog with fn fnIdx replaced by code, returning result,
+// output, and cycles.
+func runWith(t *testing.T, prog *bytecode.Program, forms map[int]*bytecode.Function,
+	globals map[string]bytecode.Value) (bytecode.Value, []bytecode.Value, int64) {
+	t.Helper()
+	e := interp.NewEngine(prog)
+	base := e.Provider
+	codes := map[int]*interp.Code{}
+	for idx, f := range forms {
+		codes[idx] = interp.NewCode(idx, f, 2, 100) // same cost scale: isolate instruction count
+	}
+	e.Provider = func(fn int) *interp.Code {
+		if c, ok := codes[fn]; ok {
+			return c
+		}
+		return base(fn)
+	}
+	for k, v := range globals {
+		if err := e.SetGlobal(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v, e.Output, e.Cycles
+}
+
+// checkEquivalent optimizes every function at every level and checks that
+// results and outputs match the baseline, and that cycle counts do not
+// increase.
+func checkEquivalent(t *testing.T, src string, globals map[string]bytecode.Value) {
+	t.Helper()
+	prog := mustProg(t, src)
+	baseV, baseOut, baseCycles := runWith(t, prog, nil, globals)
+
+	for level := 0; level <= 2; level++ {
+		forms := map[int]*bytecode.Function{}
+		for idx := range prog.Funcs {
+			g, _, err := Optimize(prog, idx, level)
+			if err != nil {
+				t.Fatalf("Optimize level %d %s: %v", level, prog.Funcs[idx].Name, err)
+			}
+			forms[idx] = g
+		}
+		v, out, cycles := runWith(t, prog, forms, globals)
+		if !v.Equal(baseV) {
+			t.Errorf("level %d: result %v, baseline %v", level, v, baseV)
+		}
+		if len(out) != len(baseOut) {
+			t.Errorf("level %d: output len %d, baseline %d", level, len(out), len(baseOut))
+		} else {
+			for i := range out {
+				if !out[i].Equal(baseOut[i]) {
+					t.Errorf("level %d: output[%d] = %v, baseline %v", level, i, out[i], baseOut[i])
+				}
+			}
+		}
+		// A small constant slack covers LICM preheaders executed ahead of
+		// zero-trip loops; any real regression is far larger.
+		if cycles > baseCycles+200 {
+			t.Errorf("level %d: cycles %d > baseline %d", level, cycles, baseCycles)
+		}
+	}
+}
+
+const loopProg = `
+global n
+global out
+func main() locals i sum t
+  const 0
+  store sum
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load sum
+  load i
+  const 3
+  imul
+  const 0
+  iadd
+  iadd
+  store sum
+  load i
+  const 1
+  iadd
+  store i
+  jmp loop
+done:
+  load sum
+  gstore out
+  load sum
+  ret
+end
+`
+
+func TestEquivalenceLoop(t *testing.T) {
+	checkEquivalent(t, loopProg, map[string]bytecode.Value{"n": bytecode.Int(500)})
+}
+
+const callProg = `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 1
+  store i
+loop:
+  load i
+  gload n
+  igt
+  jnz done
+  load acc
+  load i
+  call sq 1
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+func sq(x)
+  load x
+  load x
+  imul
+  ret
+end
+`
+
+func TestEquivalenceCalls(t *testing.T) {
+	checkEquivalent(t, callProg, map[string]bytecode.Value{"n": bytecode.Int(200)})
+}
+
+const arrayProg = `
+global n
+func main() locals a i s
+  gload n
+  newarr
+  store a
+  const 0
+  store i
+fill:
+  load i
+  load a
+  alen
+  ige
+  jnz sum
+  load a
+  load i
+  load i
+  const 7
+  imul
+  astore
+  iinc i 1
+  jmp fill
+sum:
+  const 0
+  store s
+  const 0
+  store i
+loop:
+  load i
+  load a
+  alen
+  ige
+  jnz done
+  load s
+  load a
+  load i
+  aload
+  iadd
+  store s
+  iinc i 1
+  jmp loop
+done:
+  load s
+  print
+  load s
+  ret
+end
+`
+
+func TestEquivalenceArrays(t *testing.T) {
+	checkEquivalent(t, arrayProg, map[string]bytecode.Value{"n": bytecode.Int(300)})
+}
+
+const floatProg = `
+global n
+func main() locals i x acc
+  fconst 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load i
+  i2f
+  fconst 1
+  fmul
+  fsqrt
+  store x
+  load acc
+  load x
+  fadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  f2i
+  ret
+end
+`
+
+func TestEquivalenceFloat(t *testing.T) {
+	checkEquivalent(t, floatProg, map[string]bytecode.Value{"n": bytecode.Int(400)})
+}
+
+const branchyProg = `
+global n
+func main() locals i odd even
+  const 0
+  store odd
+  const 0
+  store even
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load i
+  const 2
+  imod
+  jz iseven
+  iinc odd 1
+  jmp next
+iseven:
+  iinc even 1
+next:
+  iinc i 1
+  jmp loop
+done:
+  load odd
+  const 1000
+  imul
+  load even
+  iadd
+  ret
+end
+`
+
+func TestEquivalenceBranches(t *testing.T) {
+	checkEquivalent(t, branchyProg, map[string]bytecode.Value{"n": bytecode.Int(333)})
+}
+
+func TestEquivalenceRecursion(t *testing.T) {
+	src := `
+func main()
+  const 12
+  call fib 1
+  ret
+end
+func fib(n)
+  load n
+  const 2
+  ilt
+  jz rec
+  load n
+  ret
+rec:
+  load n
+  const 1
+  isub
+  call fib 1
+  load n
+  const 2
+  isub
+  call fib 1
+  iadd
+  ret
+end
+`
+	checkEquivalent(t, src, nil)
+}
+
+func TestPeepholeFoldsConstants(t *testing.T) {
+	prog := mustProg(t, `
+func main() locals x
+  const 2
+  const 3
+  iadd
+  const 4
+  imul
+  ret
+end
+`)
+	f, _, err := Optimize(prog, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole expression folds to a single push + ret.
+	if len(f.Code) != 2 {
+		t.Errorf("folded code length = %d, want 2:\n%s", len(f.Code),
+			bytecode.Disassemble(prog, f))
+	}
+	if f.Code[0].Op != bytecode.IPUSH || f.Code[0].A != 20 {
+		t.Errorf("folded to %v, want ipush 20", f.Code[0])
+	}
+}
+
+func TestPeepholeSynthesizesIinc(t *testing.T) {
+	prog := mustProg(t, loopProg)
+	f, _, err := Optimize(prog, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range f.Code {
+		if in.Op == bytecode.IINC && in.B == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no iinc synthesized:\n%s", bytecode.Disassemble(prog, f))
+	}
+}
+
+func TestPeepholeStrengthReduction(t *testing.T) {
+	prog := mustProg(t, `
+func main() locals q
+  const 0
+  call byeight 1
+  ret
+end
+func byeight(x)
+  load x
+  const 8
+  imul
+  ret
+end
+`)
+	idx, _ := prog.FuncIndex("byeight")
+	f, _, err := Optimize(prog, idx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasShift := false
+	for _, in := range f.Code {
+		if in.Op == bytecode.ISHL {
+			hasShift = true
+		}
+		if in.Op == bytecode.IMUL {
+			t.Errorf("imul by 8 not strength-reduced:\n%s", bytecode.Disassemble(prog, f))
+		}
+	}
+	if !hasShift {
+		t.Errorf("no ishl emitted:\n%s", bytecode.Disassemble(prog, f))
+	}
+}
+
+func TestInlineExpandsSmallLeaf(t *testing.T) {
+	prog := mustProg(t, callProg)
+	mainIdx, _ := prog.FuncIndex("main")
+	f, _, err := Optimize(prog, mainIdx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range f.Code {
+		if in.Op == bytecode.CALL {
+			t.Errorf("call to sq survived inlining:\n%s", bytecode.Disassemble(prog, f))
+		}
+	}
+}
+
+func TestLICMHoistsBoundComputation(t *testing.T) {
+	prog := mustProg(t, arrayProg)
+	f, _, err := Optimize(prog, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alens := 0
+	for _, in := range f.Code {
+		if in.Op == bytecode.ALEN {
+			alens++
+		}
+	}
+	// Two loops each computed alen per iteration; after LICM the loops
+	// should load a hoisted temp, leaving only the preheader ALENs.
+	if alens != 2 {
+		t.Errorf("alen count = %d, want 2 (hoisted):\n%s", alens,
+			bytecode.Disassemble(prog, f))
+	}
+}
+
+func TestLevelsMonotonicallyFaster(t *testing.T) {
+	prog := mustProg(t, arrayProg)
+	globals := map[string]bytecode.Value{"n": bytecode.Int(500)}
+
+	cycles := make([]int64, 0, 4)
+	_, _, base := runWith(t, prog, nil, globals)
+	cycles = append(cycles, base)
+	for level := 0; level <= 2; level++ {
+		forms := map[int]*bytecode.Function{}
+		for idx := range prog.Funcs {
+			g, _, err := Optimize(prog, idx, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forms[idx] = g
+		}
+		_, _, c := runWith(t, prog, forms, globals)
+		cycles = append(cycles, c)
+	}
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] > cycles[i-1] {
+			t.Errorf("level %d cycles %d > level %d cycles %d (same cost scale)",
+				i-1, cycles[i], i-2, cycles[i-1])
+		}
+	}
+}
+
+func TestOptimizeCostGrowsWithLevel(t *testing.T) {
+	prog := mustProg(t, arrayProg)
+	var prev int64
+	for level := 0; level <= 2; level++ {
+		_, res, err := Optimize(prog, 0, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles <= prev {
+			t.Errorf("level %d compile cycles %d <= level %d cycles %d",
+				level, res.Cycles, level-1, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestDeadStoreEliminated(t *testing.T) {
+	prog := mustProg(t, `
+func main() locals dead live
+  const 41
+  store dead
+  const 1
+  store live
+  load live
+  const 41
+  iadd
+  ret
+end
+`)
+	f, _, err := Optimize(prog, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := runWith(t, prog, map[int]*bytecode.Function{0: f}, nil)
+	if v.I != 42 {
+		t.Fatalf("result = %v, want 42", v)
+	}
+	for _, in := range f.Code {
+		if in.Op == bytecode.STORE && int(in.A) < len(f.LocalNames) &&
+			f.LocalNames[in.A] == "dead" {
+			t.Errorf("dead store survived:\n%s", bytecode.Disassemble(prog, f))
+		}
+	}
+}
+
+func TestUnreachableCodeRemoved(t *testing.T) {
+	prog := mustProg(t, `
+func main() locals x
+  const 1
+  jnz yes
+  const 111
+  print
+yes:
+  const 5
+  ret
+end
+`)
+	f, _, err := Optimize(prog, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range f.Code {
+		if in.Op == bytecode.PRINT {
+			t.Errorf("unreachable print survived (const branch not folded):\n%s",
+				bytecode.Disassemble(prog, f))
+		}
+	}
+	v, _, _ := runWith(t, prog, map[int]*bytecode.Function{0: f}, nil)
+	if v.I != 5 {
+		t.Errorf("result = %v, want 5", v)
+	}
+}
+
+func TestUnrollPreservesTripCounts(t *testing.T) {
+	// Odd and even trip counts, including zero.
+	for _, n := range []int64{0, 1, 2, 3, 7, 100, 101} {
+		checkEquivalent(t, loopProg, map[string]bytecode.Value{"n": bytecode.Int(n)})
+	}
+}
+
+func TestConstPropThroughLocals(t *testing.T) {
+	prog := mustProg(t, `
+func main() locals x y
+  const 6
+  store x
+  load x
+  const 7
+  imul
+  store y
+  load y
+  ret
+end
+`)
+	f := prog.Funcs[0].Clone()
+	if !ConstProp(prog, f) {
+		t.Fatal("ConstProp reported no change")
+	}
+	// After propagation and a couple of cleanup rounds (as in the real
+	// pipeline) the function collapses to a single push of 42.
+	for i := 0; i < 3; i++ {
+		Peephole(prog, f)
+		DeadCode(prog, f)
+	}
+	if len(f.Code) != 2 || f.Code[0].Op != bytecode.IPUSH || f.Code[0].A != 42 {
+		t.Errorf("did not collapse to ipush 42:\n%s", bytecode.Disassemble(prog, f))
+	}
+}
+
+func TestConstPropTracksIinc(t *testing.T) {
+	prog := mustProg(t, `
+func main() locals x
+  const 10
+  store x
+  iinc x 5
+  load x
+  ret
+end
+`)
+	f := prog.Funcs[0].Clone()
+	ConstProp(prog, f)
+	for i := 0; i < 3; i++ {
+		Peephole(prog, f)
+		DeadCode(prog, f)
+	}
+	if len(f.Code) != 2 || f.Code[0].A != 15 {
+		t.Errorf("iinc not tracked:\n%s", bytecode.Disassemble(prog, f))
+	}
+}
+
+func TestConstPropStopsAtBlockBoundary(t *testing.T) {
+	// x is constant only on one path; the merged block must not assume it.
+	prog := mustProg(t, `
+global g
+func main() locals x
+  const 1
+  store x
+  gload g
+  jz skip
+  const 2
+  store x
+skip:
+  load x
+  ret
+end
+`)
+	f := prog.Funcs[0].Clone()
+	ConstProp(prog, f)
+	// The final "load x" starts a block (jump target): it must survive.
+	found := false
+	for _, in := range f.Code {
+		if in.Op == bytecode.LOAD {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cross-block load folded unsoundly:\n%s", bytecode.Disassemble(prog, f))
+	}
+	checkEquivalent(t, `
+global g
+func main() locals x
+  const 1
+  store x
+  gload g
+  jz skip
+  const 2
+  store x
+skip:
+  load x
+  ret
+end
+`, map[string]bytecode.Value{"g": bytecode.Int(1)})
+}
+
+func TestInlineNonLeafCascades(t *testing.T) {
+	// main -> outer -> inner: both small, so O1 should flatten the
+	// whole chain into main.
+	src := `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load acc
+  load i
+  call outer 1
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+func outer(x)
+  load x
+  call inner 1
+  const 1
+  iadd
+  ret
+end
+func inner(x)
+  load x
+  load x
+  imul
+  ret
+end
+`
+	checkEquivalent(t, src, map[string]bytecode.Value{"n": bytecode.Int(100)})
+	prog := mustProg(t, src)
+	f, _, err := Optimize(prog, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range f.Code {
+		if in.Op == bytecode.CALL {
+			t.Errorf("call survived cascaded inlining:\n%s", bytecode.Disassemble(prog, f))
+		}
+	}
+}
+
+func TestInlineMutualRecursionBounded(t *testing.T) {
+	// even/odd mutual recursion: inlining must terminate under the
+	// per-callee cap and stay semantically correct.
+	src := `
+func main() locals r
+  const 15
+  call even 1
+  const 10
+  imul
+  const 14
+  call odd 1
+  iadd
+  ret
+end
+func even(x)
+  load x
+  jnz rec
+  const 1
+  ret
+rec:
+  load x
+  const 1
+  isub
+  call odd 1
+  ret
+end
+func odd(x)
+  load x
+  jnz rec
+  const 0
+  ret
+rec:
+  load x
+  const 1
+  isub
+  call even 1
+  ret
+end
+`
+	checkEquivalent(t, src, nil)
+	prog := mustProg(t, src)
+	f, _, err := Optimize(prog, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Code) >= InlineMaxCaller {
+		t.Errorf("mutual recursion blew the inline cap: %d instrs", len(f.Code))
+	}
+}
+
+func TestInlineRefusesDirectRecursion(t *testing.T) {
+	prog := mustProg(t, `
+func main()
+  const 6
+  call fact 1
+  ret
+end
+func fact(n)
+  load n
+  const 2
+  ilt
+  jnz base
+  load n
+  load n
+  const 1
+  isub
+  call fact 1
+  imul
+  ret
+base:
+  const 1
+  ret
+end
+`)
+	factIdx, _ := prog.FuncIndex("fact")
+	if inlinable(prog, prog.Funcs[factIdx]) {
+		t.Error("directly recursive function considered inlinable")
+	}
+	checkEquivalent(t, `
+func main()
+  const 6
+  call fact 1
+  ret
+end
+func fact(n)
+  load n
+  const 2
+  ilt
+  jnz base
+  load n
+  load n
+  const 1
+  isub
+  call fact 1
+  imul
+  ret
+base:
+  const 1
+  ret
+end
+`, nil)
+}

@@ -1,0 +1,340 @@
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// Peephole rewrites short instruction sequences within basic blocks:
+// constant folding of adjacent pushes, iinc synthesis, algebraic
+// identities, strength reduction, dup forwarding, push/pop cancellation,
+// and branch threading. It never crosses a jump target with a
+// multi-instruction pattern. Returns whether the function changed.
+func Peephole(p *bytecode.Program, f *bytecode.Function) bool {
+	changed := false
+	for peepholeOnce(p, f) {
+		changed = true
+		compact(f) // fuse across removed instructions on the next round
+	}
+	return changed
+}
+
+func peepholeOnce(_ *bytecode.Program, f *bytecode.Function) bool {
+	targets := jumpTargets(f)
+	code := f.Code
+	changed := false
+
+	// free reports that pcs (start, start+n] are not jump targets, so a
+	// pattern of n+1 instructions starting at start is safe to rewrite.
+	free := func(start, n int) bool {
+		for i := 1; i <= n; i++ {
+			if targets[int32(start+i)] {
+				return false
+			}
+		}
+		return true
+	}
+	nopOut := func(pcs ...int) {
+		for _, pc := range pcs {
+			code[pc] = bytecode.Instr{Op: bytecode.NOP}
+		}
+		changed = true
+	}
+
+	for pc := 0; pc < len(code); pc++ {
+		in := code[pc]
+		switch in.Op {
+		case bytecode.NOP:
+			continue
+
+		case bytecode.JMP, bytecode.JZ, bytecode.JNZ:
+			// Branch threading: a (conditional) jump to an unconditional
+			// jump follows it. Bounded to avoid cycles of JMPs.
+			t := in.A
+			for hop := 0; hop < 8; hop++ {
+				if int(t) < len(code) && code[t].Op == bytecode.JMP && code[t].A != t {
+					t = code[t].A
+					continue
+				}
+				break
+			}
+			if t != in.A {
+				code[pc].A = t
+				changed = true
+			}
+			// jump to the immediately following instruction
+			if int(code[pc].A) == pc+1 {
+				if in.Op == bytecode.JMP {
+					nopOut(pc)
+				} else {
+					code[pc] = bytecode.Instr{Op: bytecode.POP}
+					changed = true
+				}
+			}
+			continue
+		}
+
+		if pc+1 >= len(code) || !free(pc, 1) {
+			continue
+		}
+		next := code[pc+1]
+
+		// push ; pop  =>  (nothing)     and  dup ; pop  =>  (nothing)
+		if next.Op == bytecode.POP {
+			switch in.Op {
+			case bytecode.IPUSH, bytecode.CONST, bytecode.LOAD, bytecode.GLOAD, bytecode.DUP:
+				nopOut(pc, pc+1)
+				continue
+			}
+		}
+
+		// load x ; load x  =>  load x ; dup
+		if in.Op == bytecode.LOAD && next.Op == bytecode.LOAD && in.A == next.A {
+			code[pc+1] = bytecode.Instr{Op: bytecode.DUP}
+			changed = true
+			continue
+		}
+		// store x ; load x  =>  dup ; store x
+		if in.Op == bytecode.STORE && next.Op == bytecode.LOAD && in.A == next.A {
+			code[pc] = bytecode.Instr{Op: bytecode.DUP}
+			code[pc+1] = bytecode.Instr{Op: bytecode.STORE, A: in.A}
+			changed = true
+			continue
+		}
+		// double negation / complement cancels
+		if in.Op == next.Op &&
+			(in.Op == bytecode.INEG || in.Op == bytecode.INOT || in.Op == bytecode.FNEG) {
+			nopOut(pc, pc+1)
+			continue
+		}
+
+		// push c ; jz/jnz  =>  jmp or nothing (constant branch folding)
+		if isPush(in) && next.Op.IsConditionalJump() {
+			taken := pushedValue(f, in).IsTrue() == (next.Op == bytecode.JNZ)
+			if taken {
+				code[pc] = bytecode.Instr{Op: bytecode.JMP, A: next.A}
+				nopOut(pc + 1)
+			} else {
+				nopOut(pc, pc+1)
+			}
+			continue
+		}
+
+		// push c ; <unop>  =>  push f(c)
+		if isPush(in) {
+			c := pushedValue(f, in)
+			if v, ok := foldUnary(next.Op, c); ok {
+				code[pc] = emitPush(f, v)
+				nopOut(pc + 1)
+				continue
+			}
+		}
+
+		// Algebraic identities and strength reduction on  push c ; <binop>.
+		if isPush(in) && free(pc, 1) {
+			c := pushedValue(f, in)
+			if c.Kind == bytecode.KInt {
+				switch {
+				case c.I == 0 && (next.Op == bytecode.IADD || next.Op == bytecode.ISUB ||
+					next.Op == bytecode.IOR || next.Op == bytecode.IXOR ||
+					next.Op == bytecode.ISHL || next.Op == bytecode.ISHR):
+					nopOut(pc, pc+1)
+					continue
+				case c.I == 1 && (next.Op == bytecode.IMUL || next.Op == bytecode.IDIV):
+					nopOut(pc, pc+1)
+					continue
+				case next.Op == bytecode.IMUL && c.I > 1 && c.I&(c.I-1) == 0:
+					code[pc] = bytecode.Instr{Op: bytecode.IPUSH, A: int32(log2(c.I))}
+					code[pc+1] = bytecode.Instr{Op: bytecode.ISHL}
+					changed = true
+					continue
+				}
+			}
+			if c.Kind == bytecode.KFloat && c.F == 1 &&
+				(next.Op == bytecode.FMUL || next.Op == bytecode.FDIV) {
+				nopOut(pc, pc+1)
+				continue
+			}
+		}
+
+		if pc+2 >= len(code) || !free(pc, 2) {
+			continue
+		}
+		third := code[pc+2]
+
+		// push a ; push b ; binop  =>  push (a∘b)
+		if isPush(in) && isPush(next) {
+			a, b := pushedValue(f, in), pushedValue(f, next)
+			if v, ok := foldBinary(third.Op, a, b); ok {
+				code[pc] = emitPush(f, v)
+				nopOut(pc+1, pc+2)
+				continue
+			}
+		}
+
+		// load x ; push c ; iadd/isub ; store x  =>  iinc x ±c
+		if pc+3 < len(code) && free(pc, 3) &&
+			in.Op == bytecode.LOAD && isPush(next) &&
+			(third.Op == bytecode.IADD || third.Op == bytecode.ISUB) &&
+			code[pc+3].Op == bytecode.STORE && code[pc+3].A == in.A {
+			c := pushedValue(f, next)
+			if c.Kind == bytecode.KInt {
+				delta := c.I
+				if third.Op == bytecode.ISUB {
+					delta = -delta
+				}
+				if delta >= -1<<31 && delta < 1<<31 {
+					code[pc] = bytecode.Instr{Op: bytecode.IINC, A: in.A, B: int32(delta)}
+					nopOut(pc+1, pc+2, pc+3)
+					continue
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func log2(n int64) int32 {
+	k := int32(0)
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// foldUnary evaluates a side-effect-free unary opcode on a constant.
+func foldUnary(op bytecode.Op, v bytecode.Value) (bytecode.Value, bool) {
+	switch op {
+	case bytecode.INEG:
+		if v.Kind == bytecode.KInt {
+			return bytecode.Int(-v.I), true
+		}
+	case bytecode.INOT:
+		if v.Kind == bytecode.KInt {
+			return bytecode.Int(^v.I), true
+		}
+	case bytecode.FNEG:
+		return bytecode.Float(-v.AsFloat()), v.Kind != bytecode.KArr
+	case bytecode.I2F:
+		if v.Kind == bytecode.KInt {
+			return bytecode.Float(float64(v.I)), true
+		}
+	case bytecode.F2I:
+		if v.Kind == bytecode.KFloat {
+			return bytecode.Int(int64(v.F)), true
+		}
+	}
+	return bytecode.Value{}, false
+}
+
+// foldBinary evaluates a side-effect-free binary opcode on constants.
+// Division and modulo by zero are left to runtime.
+func foldBinary(op bytecode.Op, a, b bytecode.Value) (bytecode.Value, bool) {
+	bothInt := a.Kind == bytecode.KInt && b.Kind == bytecode.KInt
+	numeric := a.Kind != bytecode.KArr && b.Kind != bytecode.KArr
+	switch op {
+	case bytecode.IADD:
+		if bothInt {
+			return bytecode.Int(a.I + b.I), true
+		}
+	case bytecode.ISUB:
+		if bothInt {
+			return bytecode.Int(a.I - b.I), true
+		}
+	case bytecode.IMUL:
+		if bothInt {
+			return bytecode.Int(a.I * b.I), true
+		}
+	case bytecode.IDIV:
+		if bothInt && b.I != 0 {
+			return bytecode.Int(a.I / b.I), true
+		}
+	case bytecode.IMOD:
+		if bothInt && b.I != 0 {
+			return bytecode.Int(a.I % b.I), true
+		}
+	case bytecode.IAND:
+		if bothInt {
+			return bytecode.Int(a.I & b.I), true
+		}
+	case bytecode.IOR:
+		if bothInt {
+			return bytecode.Int(a.I | b.I), true
+		}
+	case bytecode.IXOR:
+		if bothInt {
+			return bytecode.Int(a.I ^ b.I), true
+		}
+	case bytecode.ISHL:
+		if bothInt {
+			return bytecode.Int(a.I << (uint64(b.I) & 63)), true
+		}
+	case bytecode.ISHR:
+		if bothInt {
+			return bytecode.Int(a.I >> (uint64(b.I) & 63)), true
+		}
+	case bytecode.FADD:
+		if numeric {
+			return bytecode.Float(a.AsFloat() + b.AsFloat()), true
+		}
+	case bytecode.FSUB:
+		if numeric {
+			return bytecode.Float(a.AsFloat() - b.AsFloat()), true
+		}
+	case bytecode.FMUL:
+		if numeric {
+			return bytecode.Float(a.AsFloat() * b.AsFloat()), true
+		}
+	case bytecode.FDIV:
+		if numeric {
+			return bytecode.Float(a.AsFloat() / b.AsFloat()), true
+		}
+	case bytecode.IEQ:
+		if bothInt {
+			return bytecode.Bool(a.I == b.I), true
+		}
+	case bytecode.INE:
+		if bothInt {
+			return bytecode.Bool(a.I != b.I), true
+		}
+	case bytecode.ILT:
+		if bothInt {
+			return bytecode.Bool(a.I < b.I), true
+		}
+	case bytecode.ILE:
+		if bothInt {
+			return bytecode.Bool(a.I <= b.I), true
+		}
+	case bytecode.IGT:
+		if bothInt {
+			return bytecode.Bool(a.I > b.I), true
+		}
+	case bytecode.IGE:
+		if bothInt {
+			return bytecode.Bool(a.I >= b.I), true
+		}
+	case bytecode.FEQ:
+		if numeric {
+			return bytecode.Bool(a.AsFloat() == b.AsFloat()), true
+		}
+	case bytecode.FNE:
+		if numeric {
+			return bytecode.Bool(a.AsFloat() != b.AsFloat()), true
+		}
+	case bytecode.FLT:
+		if numeric {
+			return bytecode.Bool(a.AsFloat() < b.AsFloat()), true
+		}
+	case bytecode.FLE:
+		if numeric {
+			return bytecode.Bool(a.AsFloat() <= b.AsFloat()), true
+		}
+	case bytecode.FGT:
+		if numeric {
+			return bytecode.Bool(a.AsFloat() > b.AsFloat()), true
+		}
+	case bytecode.FGE:
+		if numeric {
+			return bytecode.Bool(a.AsFloat() >= b.AsFloat()), true
+		}
+	}
+	return bytecode.Value{}, false
+}

@@ -1,0 +1,88 @@
+package opt
+
+import (
+	"fmt"
+
+	"evolvevm/internal/bytecode"
+)
+
+// Pass is a single optimization over one function. Apply rewrites f in
+// place and reports whether anything changed.
+type Pass struct {
+	Name string
+	// CostPerInstr is the compile-cycle charge per input instruction for
+	// one application of the pass, used by the JIT cost model.
+	CostPerInstr int64
+	Apply        func(p *bytecode.Program, f *bytecode.Function) bool
+}
+
+// Pipeline returns the pass sequence of an optimization level (0–2).
+// Higher levels strictly extend lower ones, so they cost more compile
+// cycles and produce code that is at least as optimized.
+func Pipeline(level int) []Pass {
+	o0 := []Pass{
+		{Name: "peephole", CostPerInstr: 14, Apply: Peephole},
+	}
+	o1 := append(o0,
+		Pass{Name: "inline", CostPerInstr: 22, Apply: Inline},
+		Pass{Name: "constprop", CostPerInstr: 12, Apply: ConstProp},
+		Pass{Name: "dce", CostPerInstr: 10, Apply: DeadCode},
+		Pass{Name: "peephole2", CostPerInstr: 14, Apply: Peephole},
+	)
+	o2 := append(o1,
+		Pass{Name: "licm", CostPerInstr: 30, Apply: LICM},
+		Pass{Name: "unroll", CostPerInstr: 26, Apply: Unroll},
+		Pass{Name: "peephole3", CostPerInstr: 14, Apply: Peephole},
+		Pass{Name: "dce2", CostPerInstr: 10, Apply: DeadCode},
+		// dce can expose push/pop pairs (dead stores become pops); one
+		// last cheap peephole mops them up.
+		Pass{Name: "peephole4", CostPerInstr: 14, Apply: Peephole},
+	)
+	switch {
+	case level <= 0:
+		return o0
+	case level == 1:
+		return o1
+	default:
+		return o2
+	}
+}
+
+// Result reports what an Optimize call did.
+type Result struct {
+	Level     int
+	InInstrs  int
+	OutInstrs int
+	Cycles    int64 // compile cycles charged by the cost model
+	PassesRun []string
+	PassesHit []string // passes that changed the code
+}
+
+// Optimize clones fn from prog, runs the pipeline for the level over it,
+// verifies the result, and returns the optimized function with compile
+// cost accounting. The input program and function are not modified.
+func Optimize(prog *bytecode.Program, fnIdx, level int) (*bytecode.Function, Result, error) {
+	if fnIdx < 0 || fnIdx >= len(prog.Funcs) {
+		return nil, Result{}, fmt.Errorf("opt: function index %d out of range", fnIdx)
+	}
+	src := prog.Funcs[fnIdx]
+	f := src.Clone()
+	res := Result{Level: level, InInstrs: len(src.Code)}
+
+	// Base cost models parsing/IR construction, independent of passes.
+	res.Cycles = 400 + int64(len(src.Code))*8
+
+	for _, pass := range Pipeline(level) {
+		res.Cycles += int64(len(f.Code)) * pass.CostPerInstr
+		res.PassesRun = append(res.PassesRun, pass.Name)
+		if pass.Apply(prog, f) {
+			res.PassesHit = append(res.PassesHit, pass.Name)
+		}
+	}
+	res.OutInstrs = len(f.Code)
+
+	if err := bytecode.VerifyFunc(prog, f); err != nil {
+		return nil, res, fmt.Errorf("opt: level %d broke %s: %w", level, src.Name, err)
+	}
+	return f, res, nil
+}

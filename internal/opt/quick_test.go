@@ -1,0 +1,340 @@
+package opt
+
+// Property-based testing of the optimizer: generate random structured
+// programs (expressions, branches, counted loops, calls), verify them,
+// run them at baseline and at every optimization level, and require
+// identical results and outputs. This exercises pass interactions that
+// hand-written cases cannot enumerate.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/interp"
+)
+
+// progGen emits random but always-verifiable assembly. Programs are
+// structured: statements are assignments of expressions to locals,
+// if/else blocks, counted loops, array fills/reads, and calls to
+// previously generated helper functions.
+type progGen struct {
+	rng    *rand.Rand
+	b      strings.Builder
+	labels int
+	funcs  []genFunc // helpers available for calls
+
+	// arr is the current function's array local (a 16-cell scratch
+	// array allocated at entry), or "" when arrays are disabled. Array
+	// indices are masked with "iand 15", so accesses are always legal.
+	arr string
+}
+
+type genFunc struct {
+	name  string
+	nargs int
+}
+
+func (g *progGen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *progGen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// expr pushes exactly one integer value computed from the locals in
+// scope. Division is avoided entirely so runtime errors cannot occur.
+func (g *progGen) expr(locals []string, depth int) {
+	switch {
+	case depth <= 0 || g.rng.Intn(3) == 0:
+		if len(locals) > 0 && g.rng.Intn(2) == 0 {
+			g.emit("  load %s", locals[g.rng.Intn(len(locals))])
+		} else {
+			g.emit("  const %d", g.rng.Intn(201)-100)
+		}
+	case g.arr != "" && g.rng.Intn(5) == 0: // array read
+		g.emit("  load %s", g.arr)
+		g.expr(locals, depth-1)
+		g.emit("  const 15")
+		g.emit("  iand")
+		g.emit("  aload")
+	default:
+		g.expr(locals, depth-1)
+		g.expr(locals, depth-1)
+		ops := []string{"iadd", "isub", "imul", "iand", "ior", "ixor",
+			"ieq", "ine", "ilt", "ile", "igt", "ige"}
+		g.emit("  %s", ops[g.rng.Intn(len(ops))])
+	}
+}
+
+// stmt emits one statement using the given locals.
+func (g *progGen) stmt(locals []string, depth int) {
+	switch g.rng.Intn(7) {
+	case 0, 1: // assignment
+		g.expr(locals, 2)
+		g.emit("  store %s", locals[g.rng.Intn(len(locals))])
+	case 2: // if/else
+		elseL, endL := g.label(), g.label()
+		g.expr(locals, 1)
+		g.emit("  jz %s", elseL)
+		g.block(locals, depth-1)
+		g.emit("  jmp %s", endL)
+		g.emit("%s:", elseL)
+		g.block(locals, depth-1)
+		g.emit("%s:", endL)
+	case 3: // counted loop over a dedicated counter local
+		if depth <= 0 {
+			g.expr(locals, 1)
+			g.emit("  store %s", locals[g.rng.Intn(len(locals))])
+			return
+		}
+		cnt := locals[0] // locals[0] is reserved as loop counter space
+		headL, endL := g.label(), g.label()
+		g.emit("  const %d", g.rng.Intn(6))
+		g.emit("  store %s", cnt)
+		g.emit("%s:", headL)
+		g.emit("  load %s", cnt)
+		g.emit("  const 0")
+		g.emit("  ile")
+		g.emit("  jnz %s", endL)
+		g.block(locals[1:], depth-1)
+		g.emit("  iinc %s -1", cnt)
+		g.emit("  jmp %s", headL)
+		g.emit("%s:", endL)
+	case 4: // call a helper if one exists
+		if len(g.funcs) == 0 {
+			g.expr(locals, 2)
+			g.emit("  store %s", locals[g.rng.Intn(len(locals))])
+			return
+		}
+		f := g.funcs[g.rng.Intn(len(g.funcs))]
+		for i := 0; i < f.nargs; i++ {
+			g.expr(locals, 1)
+		}
+		g.emit("  call %s %d", f.name, f.nargs)
+		g.emit("  store %s", locals[g.rng.Intn(len(locals))])
+	case 5: // print an expression (observable output)
+		g.expr(locals, 2)
+		g.emit("  print")
+	case 6: // array write
+		if g.arr == "" {
+			g.expr(locals, 2)
+			g.emit("  print")
+			return
+		}
+		g.emit("  load %s", g.arr)
+		g.expr(locals, 1)
+		g.emit("  const 15")
+		g.emit("  iand")
+		g.expr(locals, 1)
+		g.emit("  astore")
+	}
+}
+
+func (g *progGen) block(locals []string, depth int) {
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if len(locals) == 0 {
+			return
+		}
+		g.stmt(locals, depth)
+	}
+}
+
+// allocScratch emits the per-function scratch array (fresh per
+// invocation: helpers called in loops churn the heap, which the
+// GC-equivalence property test relies on).
+func (g *progGen) allocScratch(name string) {
+	g.arr = name
+	g.emit("  const 16")
+	g.emit("  newarr")
+	g.emit("  store %s", name)
+}
+
+// helper generates a small leaf-ish function (may call earlier helpers).
+func (g *progGen) helper(idx int) {
+	nargs := 1 + g.rng.Intn(3)
+	name := fmt.Sprintf("h%d", idx)
+	args := make([]string, nargs)
+	for i := range args {
+		args[i] = fmt.Sprintf("a%d", i)
+	}
+	g.emit("func %s(%s) locals c t u w", name, strings.Join(args, ", "))
+	locals := append([]string{"c", "t", "u"}, args...)
+	g.allocScratch("w")
+	g.block(locals, 1)
+	g.expr(locals, 2)
+	g.emit("  ret")
+	g.emit("end")
+	g.funcs = append(g.funcs, genFunc{name: name, nargs: nargs})
+}
+
+// Generate builds a full random program.
+func generateProgram(seed int64) (string, error) {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	nHelpers := g.rng.Intn(3)
+	for i := 0; i < nHelpers; i++ {
+		g.helper(i)
+	}
+	g.emit("func main() locals c x y z w")
+	locals := []string{"c", "x", "y", "z"}
+	g.allocScratch("w")
+	g.block(locals, 3)
+	g.expr(locals, 2)
+	g.emit("  ret")
+	g.emit("end")
+	return g.b.String(), nil
+}
+
+func runProgram(prog *bytecode.Program, forms []*bytecode.Function) (bytecode.Value, []bytecode.Value, error) {
+	e := interp.NewEngine(prog)
+	e.MaxCycles = 200_000_000
+	if forms != nil {
+		codes := make([]*interp.Code, len(prog.Funcs))
+		for i, f := range forms {
+			codes[i] = interp.NewCode(i, f, 2, 100)
+		}
+		e.Provider = func(fn int) *interp.Code { return codes[fn] }
+	}
+	v, err := e.Run()
+	return v, e.Output, err
+}
+
+func TestQuickOptimizerEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		src, err := generateProgram(seed)
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		prog, err := bytecode.Assemble(fmt.Sprintf("gen%d", seed), src)
+		if err != nil {
+			t.Logf("seed %d: generated invalid program: %v\n%s", seed, err, src)
+			return false
+		}
+		baseV, baseOut, err := runProgram(prog, nil)
+		if err != nil {
+			t.Logf("seed %d: baseline run failed: %v", seed, err)
+			return false
+		}
+		for level := 0; level <= 2; level++ {
+			forms := make([]*bytecode.Function, len(prog.Funcs))
+			for idx := range prog.Funcs {
+				f, _, err := Optimize(prog, idx, level)
+				if err != nil {
+					t.Logf("seed %d: optimize L%d %s: %v\n%s", seed, level,
+						prog.Funcs[idx].Name, err,
+						bytecode.Disassemble(prog, prog.Funcs[idx]))
+					return false
+				}
+				forms[idx] = f
+			}
+			v, out, err := runProgram(prog, forms)
+			if err != nil {
+				t.Logf("seed %d: L%d run failed: %v", seed, level, err)
+				return false
+			}
+			if !v.Equal(baseV) {
+				t.Logf("seed %d: L%d result %v != %v\n%s", seed, level, v, baseV, src)
+				return false
+			}
+			if len(out) != len(baseOut) {
+				t.Logf("seed %d: L%d output length %d != %d", seed, level, len(out), len(baseOut))
+				return false
+			}
+			for i := range out {
+				if !out[i].Equal(baseOut[i]) {
+					t.Logf("seed %d: L%d output[%d] %v != %v", seed, level, i, out[i], baseOut[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 25
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The generator itself must produce verifiable programs for any seed —
+// a meta-property that keeps the equivalence test honest.
+func TestQuickGeneratorAlwaysVerifies(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		src, err := generateProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := bytecode.Assemble("gen", src); err != nil {
+			t.Fatalf("seed %d produced invalid program: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestQuickGCEquivalence runs random array-churning programs under no
+// collection, mark-sweep, and copying, requiring identical results and
+// outputs — the collectors must be invisible to program semantics.
+func TestQuickGCEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		src, err := generateProgram(seed)
+		if err != nil {
+			return false
+		}
+		prog, err := bytecode.Assemble(fmt.Sprintf("gcgen%d", seed), src)
+		if err != nil {
+			t.Logf("seed %d: invalid program: %v", seed, err)
+			return false
+		}
+		type outcome struct {
+			v   bytecode.Value
+			out []bytecode.Value
+		}
+		run := func(cfg gc.Config) (outcome, error) {
+			e := interp.NewEngine(prog)
+			e.MaxCycles = 200_000_000
+			e.GC = cfg
+			v, err := e.Run()
+			return outcome{v, e.Output}, err
+		}
+		base, err := run(gc.Config{})
+		if err != nil {
+			t.Logf("seed %d: base run: %v", seed, err)
+			return false
+		}
+		for _, policy := range []gc.Policy{gc.MarkSweep, gc.Copying} {
+			got, err := run(gc.Config{Policy: policy, BudgetCells: 256})
+			if err != nil {
+				t.Logf("seed %d: %v run: %v", seed, policy, err)
+				return false
+			}
+			if !got.v.Equal(base.v) || len(got.out) != len(base.out) {
+				t.Logf("seed %d: %v diverged: %v vs %v", seed, policy, got.v, base.v)
+				return false
+			}
+			for i := range got.out {
+				if !got.out[i].Equal(base.out[i]) {
+					t.Logf("seed %d: %v output[%d] %v != %v",
+						seed, policy, i, got.out[i], base.out[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package opt implements the optimization passes behind the VM's compiled
+// tiers. Each pass rewrites a function's bytecode in place (on a clone made
+// by the pipeline) and reports whether it changed anything. Levels 0–2
+// stack progressively more passes; see Pipeline.
+//
+// All passes preserve verifiability: the pipeline re-verifies the rewritten
+// function and the test suite checks behavioural equivalence on executions.
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// compact removes NOP instructions from f and remaps jump targets. A jump
+// that pointed at a removed NOP is redirected to the next surviving
+// instruction. Returns whether anything was removed.
+func compact(f *bytecode.Function) bool {
+	hasNop := false
+	for _, in := range f.Code {
+		if in.Op == bytecode.NOP {
+			hasNop = true
+			break
+		}
+	}
+	if !hasNop {
+		return false
+	}
+	// newIdx[i] = index of instruction i in the compacted code, or the
+	// index of the next surviving instruction when i is removed.
+	newIdx := make([]int32, len(f.Code)+1)
+	out := f.Code[:0]
+	kept := int32(0)
+	for i, in := range f.Code {
+		newIdx[i] = kept
+		if in.Op == bytecode.NOP {
+			continue
+		}
+		out = append(out, in)
+		kept++
+	}
+	newIdx[len(f.Code)] = kept
+	f.Code = out
+	for i := range f.Code {
+		if f.Code[i].Op.IsJump() {
+			f.Code[i].A = newIdx[f.Code[i].A]
+		}
+	}
+	return true
+}
+
+// leaders returns a bool per pc marking basic-block leaders: instruction 0,
+// every jump target, and every instruction following a jump or terminator.
+func leaders(f *bytecode.Function) []bool {
+	lead := make([]bool, len(f.Code))
+	if len(lead) > 0 {
+		lead[0] = true
+	}
+	for pc, in := range f.Code {
+		if in.Op.IsJump() {
+			lead[in.A] = true
+		}
+		if (in.Op.IsJump() || in.Op.IsTerminator()) && pc+1 < len(f.Code) {
+			lead[pc+1] = true
+		}
+	}
+	return lead
+}
+
+// reachable computes which instructions can execute, starting from pc 0.
+func reachable(f *bytecode.Function) []bool {
+	seen := make([]bool, len(f.Code))
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		for pc >= 0 && pc < len(f.Code) && !seen[pc] {
+			seen[pc] = true
+			in := f.Code[pc]
+			if in.Op.IsJump() {
+				if !seen[in.A] {
+					work = append(work, int(in.A))
+				}
+			}
+			if in.Op.IsTerminator() {
+				break
+			}
+			pc++
+		}
+	}
+	return seen
+}
+
+// isPush reports whether the instruction pushes exactly one statically
+// known constant and has no other effect.
+func isPush(in bytecode.Instr) bool {
+	return in.Op == bytecode.IPUSH || in.Op == bytecode.CONST
+}
+
+// pushedValue returns the constant pushed by an IPUSH/CONST instruction.
+func pushedValue(f *bytecode.Function, in bytecode.Instr) bytecode.Value {
+	if in.Op == bytecode.IPUSH {
+		return bytecode.Int(int64(in.A))
+	}
+	return f.Consts[in.A]
+}
+
+// emitPush returns an instruction pushing v, preferring IPUSH for small
+// integers and interning everything else in f's pool.
+func emitPush(f *bytecode.Function, v bytecode.Value) bytecode.Instr {
+	if v.Kind == bytecode.KInt && v.I >= -1<<31 && v.I < 1<<31 {
+		return bytecode.Instr{Op: bytecode.IPUSH, A: int32(v.I)}
+	}
+	return bytecode.Instr{Op: bytecode.CONST, A: f.AddConst(v)}
+}
+
+// jumpTargets returns the set of pcs that are targets of any jump.
+func jumpTargets(f *bytecode.Function) map[int32]bool {
+	t := make(map[int32]bool)
+	for _, in := range f.Code {
+		if in.Op.IsJump() {
+			t[in.A] = true
+		}
+	}
+	return t
+}

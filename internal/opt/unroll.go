@@ -1,0 +1,115 @@
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// Unrolling limits.
+const (
+	// UnrollMaxBody is the largest loop body (instructions) eligible for
+	// unrolling.
+	UnrollMaxBody = 64
+	// UnrollMaxFunc caps function growth: no unrolling once the function
+	// reaches this many instructions.
+	UnrollMaxFunc = 1200
+)
+
+// Unroll duplicates the body of innermost single-entry loops once
+// (factor-2 unrolling), eliminating one back-edge jump per two iterations.
+// The loop's exit condition is re-evaluated in the copy, so the
+// transformation is trip-count independent and exactly preserves
+// semantics.
+//
+// The eligible shape is a region [h, e] where instruction e is an
+// unconditional backward JMP to h and no jump from outside the region
+// targets its interior. The rewrite replaces the back edge with a copy of
+// the body [h, e) followed by a JMP h; jumps inside the copy that targeted
+// the body are redirected into the copy, while exits keep their targets.
+func Unroll(_ *bytecode.Program, f *bytecode.Function) bool {
+	if len(f.Code) >= UnrollMaxFunc {
+		return false
+	}
+	changed := false
+	for iter := 0; iter < 4 && len(f.Code) < UnrollMaxFunc; iter++ {
+		if !unrollOnce(f) {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func unrollOnce(f *bytecode.Function) bool {
+	for _, lp := range findLoops(f) {
+		h, e := lp.h, lp.e
+		if f.Code[e].Op != bytecode.JMP { // need an unconditional back edge
+			continue
+		}
+		body := e - h // body length, excluding the back edge
+		if body <= 0 || body > UnrollMaxBody {
+			continue
+		}
+		// Contains a nested backward jump? Then this is not innermost —
+		// unroll the inner one first (it appears earlier in findLoops
+		// order only if its back edge is earlier; just skip outer here).
+		nested := false
+		for pc := h; pc < e; pc++ {
+			in := f.Code[pc]
+			if in.Op.IsJump() && int(in.A) <= pc && int(in.A) >= h {
+				nested = true
+				break
+			}
+		}
+		if nested {
+			continue
+		}
+		applyUnroll(f, h, e)
+		return true
+	}
+	return false
+}
+
+func applyUnroll(f *bytecode.Function, h, e int) {
+	body := e - h
+	// New layout:
+	//   [0,h)            unchanged
+	//   [h,e)            original body
+	//   [e, e+body)      copy of body (replacing the back edge)
+	//   e+body           JMP h
+	//   rest             shifted by +body
+	copyStart := e
+	delta := body // 1 back edge replaced by body+1 instructions
+
+	newCode := make([]bytecode.Instr, 0, len(f.Code)+delta)
+	newCode = append(newCode, f.Code[:e]...)
+	newCode = append(newCode, f.Code[h:e]...) // the copy
+	newCode = append(newCode, bytecode.Instr{Op: bytecode.JMP, A: int32(h)})
+	newCode = append(newCode, f.Code[e+1:]...)
+
+	// remap converts an original-coordinate target to the new layout: the
+	// removed back edge at e behaves like a jump to h; later code shifts.
+	remap := func(t int) int32 {
+		switch {
+		case t == e:
+			return int32(h)
+		case t > e:
+			return int32(t + delta)
+		default:
+			return int32(t)
+		}
+	}
+	for i := range newCode {
+		in := &newCode[i]
+		if !in.Op.IsJump() || i == copyStart+body {
+			continue // the new back edge is already correct
+		}
+		t := int(in.A)
+		if i >= copyStart && i < copyStart+body && t > h && t < e {
+			// Body-internal target inside the copy: redirect into the
+			// copy. (A jump to the header itself — a "continue" — must
+			// re-run the exit check, so it keeps targeting h via remap.)
+			in.A = int32(copyStart + (t - h))
+			continue
+		}
+		in.A = remap(t)
+	}
+	f.Code = newCode
+}

@@ -1,0 +1,402 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"evolvevm/internal/xicl"
+)
+
+// Antlr models DaCapo's antlr: a parser generator. It lexes the grammar
+// file, parses each rule, builds an NFA per rule (quadratic in rule
+// length), and emits code in the selected target language. The output
+// format decides which emitter is hot; the number of rules (the paper's
+// user-defined feature) decides how hot. Rule lengths are stored in the
+// rulelen array; the grammar text itself drives the lexer phase.
+const antlrSource = `
+global nrules
+global rulelen
+global textlen
+global gtext
+global lang
+global result
+
+func main() locals acc
+  call lexphase 0
+  call parsephase 0
+  iadd
+  call nfaphase 0
+  iadd
+  call emitphase 0
+  iadd
+  gstore result
+  gload result
+  ret
+end
+
+; --- lexer: scan the grammar text in blocks ---
+func lexphase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload textlen
+  ige
+  jnz done
+  load off
+  const 512
+  iadd
+  store end
+  load end
+  gload textlen
+  ile
+  jnz clamped
+  gload textlen
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call lexblock 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func lexblock(lo, hi) locals i tokens c state
+  const 0
+  store tokens
+  const 0
+  store state
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload gtext
+  load i
+  aload
+  store c
+  load c
+  const 32
+  ieq
+  jnz space
+  load state
+  jnz intok
+  iinc tokens 1
+  const 1
+  store state
+  jmp next
+space:
+  const 0
+  store state
+  jmp next
+intok:
+next:
+  iinc i 1
+  jmp loop
+done:
+  load tokens
+  ret
+end
+
+; --- parser: one rule per parserule invocation ---
+func parsephase() locals r acc
+  const 0
+  store acc
+  const 0
+  store r
+loop:
+  load r
+  gload nrules
+  ige
+  jnz done
+  load acc
+  load r
+  call parserule 1
+  iadd
+  store acc
+  iinc r 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func parserule(r) locals len i acc
+  gload rulelen
+  load r
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  ige
+  jnz done
+  load acc
+  load i
+  load r
+  imul
+  const 31
+  imod
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+; --- NFA construction: quadratic in rule length ---
+func nfaphase() locals r acc
+  const 0
+  store acc
+  const 0
+  store r
+loop:
+  load r
+  gload nrules
+  ige
+  jnz done
+  load acc
+  load r
+  call buildnfa 1
+  iadd
+  store acc
+  iinc r 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func buildnfa(r) locals len i j acc
+  gload rulelen
+  load r
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+outer:
+  load i
+  load len
+  ige
+  jnz done
+  const 0
+  store j
+inner:
+  load j
+  load len
+  ige
+  jnz nexti
+  load acc
+  load i
+  load j
+  ixor
+  iadd
+  const 65535
+  iand
+  store acc
+  iinc j 1
+  jmp inner
+nexti:
+  iinc i 1
+  jmp outer
+done:
+  load acc
+  ret
+end
+
+; --- emitters: one rule per invocation, language-specific ---
+func emitphase() locals r acc
+  const 0
+  store acc
+  const 0
+  store r
+loop:
+  load r
+  gload nrules
+  ige
+  jnz done
+  gload lang
+  jz astext
+  load acc
+  load r
+  call emitjava 1
+  iadd
+  store acc
+  jmp next
+astext:
+  load acc
+  load r
+  call emittext 1
+  iadd
+  store acc
+next:
+  iinc r 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func emitjava(r) locals len i acc
+  gload rulelen
+  load r
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  const 3
+  imul
+  ige
+  jnz done
+  load acc
+  load i
+  const 17
+  imul
+  load r
+  iadd
+  const 8191
+  iand
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func emittext(r) locals len i acc
+  gload rulelen
+  load r
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  ige
+  jnz done
+  load acc
+  load i
+  load r
+  iadd
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const antlrSpec = `
+# DaCapo-style antlr: antlr [-lang java|text] [-trace] [-diag] GRAMMAR
+option  {name=-lang:--language; type=enum; attr=VAL; default=text; has_arg=y}
+option  {name=-trace; type=bin; attr=VAL; default=0; has_arg=n}
+option  {name=-diag; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=file; attr=mRules:SIZE}
+`
+
+// Antlr returns the antlr benchmark.
+func Antlr() *Benchmark {
+	return &Benchmark{
+		Name:              "antlr",
+		Suite:             "dacapo",
+		Source:            antlrSource,
+		Spec:              antlrSpec,
+		DefaultCorpusSize: 30,
+		RegisterMethods: func(reg *xicl.Registry) error {
+			// mRules: count "ruleN:" definitions in the grammar.
+			return reg.Register("mRules", xicl.XFMethodFunc(
+				func(raw string, _ xicl.ValueType, env *xicl.Env) (xicl.Feature, error) {
+					if raw == "" {
+						return xicl.NumFeature("", 0), nil
+					}
+					b, err := env.FS.ReadFile(raw)
+					if err != nil {
+						return xicl.Feature{}, err
+					}
+					env.Charge(40 + int64(len(b))/8)
+					return xicl.NumFeature("", float64(strings.Count(string(b), "\nrule"))), nil
+				}))
+		},
+		GenInputs: genAntlrInputs,
+	}
+}
+
+func genAntlrInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		nrules := 15 + rng.Intn(120)
+		java := rng.Intn(2) == 0
+
+		rulelen := make([]int64, nrules)
+		var grammar strings.Builder
+		grammar.WriteString("grammar G;\n")
+		var text []int64
+		for r := 0; r < nrules; r++ {
+			l := 4 + rng.Intn(24)
+			rulelen[r] = int64(l)
+			fmt.Fprintf(&grammar, "\nrule%d:", r)
+			for k := 0; k < l; k++ {
+				fmt.Fprintf(&grammar, " tok%d", rng.Intn(40))
+			}
+			grammar.WriteString(" ;\n")
+		}
+		for _, c := range grammar.String() {
+			text = append(text, int64(c))
+		}
+
+		path := fmt.Sprintf("g%03d.g", i)
+		lang := "text"
+		langG := int64(0)
+		if java {
+			lang, langG = "java", 1
+		}
+		args := []string{"-lang", lang, path}
+
+		setup := setupGlobalsAndArray(map[string]int64{
+			"nrules":  int64(nrules),
+			"textlen": int64(len(text)),
+			"lang":    langG,
+		}, "rulelen", rulelen)
+		setup = appendArraySetup(setup, "gtext", text)
+
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("antlr-%03d-r%d-%s", i, nrules, lang),
+			Args:  args,
+			Files: map[string][]byte{path: []byte(grammar.String())},
+			Setup: setup,
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,399 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"evolvevm/internal/xicl"
+)
+
+// Bloat models DaCapo's bloat: a bytecode optimizer. The input "class
+// file" is a list of method bodies; bloat parses it, analyzes each
+// method's control flow, and runs the passes selected by -p
+// (inline, dce, or all). Lines of code — the paper's user-defined mLoC
+// feature — drives every phase; the pass selection decides which
+// optimizer methods are hot at all.
+const bloatSource = `
+global nmeth
+global mlen
+global total
+global code
+global doinline
+global dodce
+global result
+
+func main() locals acc
+  call parsephase 0
+  call cfgphase 0
+  iadd
+  store acc
+  gload doinline
+  jz noinline
+  load acc
+  call inlinephase 0
+  iadd
+  store acc
+noinline:
+  gload dodce
+  jz nodce
+  load acc
+  call dcephase 0
+  iadd
+  store acc
+nodce:
+  load acc
+  call emitphase 0
+  iadd
+  gstore result
+  gload result
+  ret
+end
+
+func parsephase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload total
+  ige
+  jnz done
+  load off
+  const 512
+  iadd
+  store end
+  load end
+  gload total
+  ile
+  jnz clamped
+  gload total
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call parseblock 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func parseblock(lo, hi) locals i acc op
+  const 0
+  store acc
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload code
+  load i
+  aload
+  store op
+  load acc
+  load op
+  const 13
+  imul
+  load i
+  ixor
+  const 16383
+  iand
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+; --- per-method control-flow analysis ---
+func cfgphase() locals m acc
+  const 0
+  store acc
+  const 0
+  store m
+loop:
+  load m
+  gload nmeth
+  ige
+  jnz done
+  load acc
+  load m
+  call analyzefn 1
+  iadd
+  store acc
+  iinc m 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func analyzefn(m) locals len i acc edge
+  gload mlen
+  load m
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  ige
+  jnz done
+  load i
+  load m
+  imul
+  const 7
+  imod
+  store edge
+  load acc
+  load edge
+  load edge
+  imul
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+; --- inlining pass: scans call sites per method, cost ~ 2x length ---
+func inlinephase() locals m acc
+  const 0
+  store acc
+  const 0
+  store m
+loop:
+  load m
+  gload nmeth
+  ige
+  jnz done
+  load acc
+  load m
+  call inlinefn 1
+  iadd
+  store acc
+  iinc m 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func inlinefn(m) locals len i acc
+  gload mlen
+  load m
+  aload
+  const 2
+  imul
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  ige
+  jnz done
+  load acc
+  load i
+  const 5
+  imul
+  load m
+  iadd
+  const 4095
+  iand
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+; --- dead-code elimination: fixed-point worklist, cost ~ 3x length ---
+func dcephase() locals m acc
+  const 0
+  store acc
+  const 0
+  store m
+loop:
+  load m
+  gload nmeth
+  ige
+  jnz done
+  load acc
+  load m
+  call dcefn 1
+  iadd
+  store acc
+  iinc m 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func dcefn(m) locals len i acc
+  gload mlen
+  load m
+  aload
+  const 3
+  imul
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  ige
+  jnz done
+  load acc
+  load i
+  load m
+  ixor
+  const 2047
+  iand
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func emitphase() locals m acc
+  const 0
+  store acc
+  const 0
+  store m
+loop:
+  load m
+  gload nmeth
+  ige
+  jnz done
+  load acc
+  gload mlen
+  load m
+  aload
+  iadd
+  store acc
+  iinc m 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const bloatSpec = `
+# DaCapo-style bloat: bloat [-p inline|dce|all] [-v] CLASSFILE
+option  {name=-p:--passes; type=enum; attr=VAL; default=all; has_arg=y}
+option  {name=-v:--verbose; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=file; attr=mLoC:SIZE}
+`
+
+// Bloat returns the bloat benchmark.
+func Bloat() *Benchmark {
+	return &Benchmark{
+		Name:              "bloat",
+		Suite:             "dacapo",
+		Source:            bloatSource,
+		Spec:              bloatSpec,
+		DefaultCorpusSize: 30,
+		RegisterMethods: func(reg *xicl.Registry) error {
+			// mLoC: non-blank, non-comment lines of the class listing.
+			return reg.Register("mLoC", xicl.XFMethodFunc(
+				func(raw string, _ xicl.ValueType, env *xicl.Env) (xicl.Feature, error) {
+					if raw == "" {
+						return xicl.NumFeature("", 0), nil
+					}
+					b, err := env.FS.ReadFile(raw)
+					if err != nil {
+						return xicl.Feature{}, err
+					}
+					env.Charge(40 + int64(len(b))/8)
+					loc := 0
+					for _, line := range strings.Split(string(b), "\n") {
+						line = strings.TrimSpace(line)
+						if line != "" && !strings.HasPrefix(line, "//") {
+							loc++
+						}
+					}
+					return xicl.NumFeature("", float64(loc)), nil
+				}))
+		},
+		GenInputs: genBloatInputs,
+	}
+}
+
+func genBloatInputs(rng *rand.Rand, n int) []Input {
+	passes := []string{"inline", "dce", "all"}
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		nmeth := 20 + rng.Intn(140)
+		pass := passes[rng.Intn(len(passes))]
+
+		mlen := make([]int64, nmeth)
+		var listing strings.Builder
+		var code []int64
+		total := int64(0)
+		for m := 0; m < nmeth; m++ {
+			l := 10 + rng.Intn(60)
+			mlen[m] = int64(l)
+			total += int64(l)
+			fmt.Fprintf(&listing, "method m%d {\n", m)
+			for k := 0; k < l; k++ {
+				op := rng.Intn(200)
+				code = append(code, int64(op))
+				fmt.Fprintf(&listing, "  op_%d\n", op)
+			}
+			listing.WriteString("}\n")
+		}
+
+		path := fmt.Sprintf("cls%03d.lst", i)
+		args := []string{"-p", pass, path}
+		doinline, dodce := int64(0), int64(0)
+		if pass == "inline" || pass == "all" {
+			doinline = 1
+		}
+		if pass == "dce" || pass == "all" {
+			dodce = 1
+		}
+		setup := setupGlobalsAndArray(map[string]int64{
+			"nmeth":    int64(nmeth),
+			"total":    total,
+			"doinline": doinline,
+			"dodce":    dodce,
+		}, "mlen", mlen)
+		setup = appendArraySetup(setup, "code", code)
+
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("bloat-%03d-m%d-%s", i, nmeth, pass),
+			Args:  args,
+			Files: map[string][]byte{path: []byte(listing.String())},
+			Setup: setup,
+		})
+	}
+	return inputs
+}

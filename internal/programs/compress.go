@@ -1,0 +1,370 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Compress models SPECjvm98 _201_compress: buffer-oriented compression.
+// The data is processed in blocks through a run-length pass, and — when
+// full compression (-x) is requested — a frequency-counting pass and an
+// entropy-coding pass. Input size determines how hot the block methods
+// are; the -x flag determines whether the frequency/encode methods run at
+// all. The ideal level of rleBlock grows with file size, while freqBlock
+// and encodeBlock flip between "never compile" and "compile high"
+// depending on -x: both relations are learnable from the XICL features
+// (file SIZE and the -x flag).
+const compressSource = `
+global size
+global data
+global mode
+global freqs
+global result
+
+func main() locals acc f
+  const 0
+  call rlephase 0
+  store acc
+  gload mode
+  jz plain
+  call freqphase 0
+  pop
+  load acc
+  call encodephase 0
+  iadd
+  store acc
+plain:
+  load acc
+  call sumphase 0
+  iadd
+  gstore result
+  gload result
+  ret
+end
+
+; --- run-length pass over blocks of 512 elements ---
+func rlephase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload size
+  ige
+  jnz done
+  load off
+  const 512
+  iadd
+  store end
+  load end
+  gload size
+  ile
+  jnz clamped
+  gload size
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call rleblock 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func rleblock(lo, hi) locals i runs prev cur
+  const 0
+  store runs
+  const -1
+  store prev
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload data
+  load i
+  aload
+  store cur
+  load cur
+  load prev
+  ieq
+  jnz same
+  iinc runs 1
+  load cur
+  store prev
+same:
+  iinc i 1
+  jmp loop
+done:
+  load runs
+  ret
+end
+
+; --- frequency counting (full compression only) ---
+func freqphase() locals off end f
+  const 256
+  newarr
+  gstore freqs
+  const 0
+  store off
+blocks:
+  load off
+  gload size
+  ige
+  jnz done
+  load off
+  const 512
+  iadd
+  store end
+  load end
+  gload size
+  ile
+  jnz clamped
+  gload size
+  store end
+clamped:
+  load off
+  load end
+  call freqblock 2
+  pop
+  load end
+  store off
+  jmp blocks
+done:
+  const 0
+  ret
+end
+
+func freqblock(lo, hi) locals i v
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload data
+  load i
+  aload
+  const 255
+  iand
+  store v
+  gload freqs
+  load v
+  gload freqs
+  load v
+  aload
+  const 1
+  iadd
+  astore
+  iinc i 1
+  jmp loop
+done:
+  const 0
+  ret
+end
+
+; --- entropy-coding pass (full compression only) ---
+func encodephase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload size
+  ige
+  jnz done
+  load off
+  const 512
+  iadd
+  store end
+  load end
+  gload size
+  ile
+  jnz clamped
+  gload size
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call encodeblock 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func encodeblock(lo, hi) locals i acc v
+  const 0
+  store acc
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload data
+  load i
+  aload
+  const 255
+  iand
+  store v
+  load acc
+  gload freqs
+  load v
+  aload
+  const 7
+  imul
+  load v
+  ixor
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+; --- checksum pass (always) ---
+func sumphase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload size
+  ige
+  jnz done
+  load off
+  const 512
+  iadd
+  store end
+  load end
+  gload size
+  ile
+  jnz clamped
+  gload size
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call sumblock 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func sumblock(lo, hi) locals i acc
+  const 0
+  store acc
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  load acc
+  gload data
+  load i
+  aload
+  load i
+  iadd
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const compressSpec = `
+# SPECjvm98-style compress: compress [-x] FILE
+option  {name=-x:--full; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=file; attr=SIZE}
+`
+
+// Compress returns the compress benchmark.
+func Compress() *Benchmark {
+	return &Benchmark{
+		Name:              "compress",
+		Suite:             "jvm98",
+		Source:            compressSource,
+		Spec:              compressSpec,
+		DefaultCorpusSize: 18, // paper Table I: 18 inputs
+		InputSensitive:    true,
+		GenInputs:         genCompressInputs,
+	}
+}
+
+func genCompressInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		// Bimodal corpus — small config-like files and large archives —
+		// so the ideal level of the block kernels depends on file size.
+		// Roughly a third of the corpus asks for full compression.
+		var size int
+		if rng.Intn(5) < 2 {
+			size = 1500 + rng.Intn(4000)
+		} else {
+			size = 15000 + rng.Intn(45000)
+		}
+		full := rng.Intn(3) == 0
+		compressibility := 1 + rng.Intn(8) // average run length
+
+		content := make([]byte, size)
+		data := make([]int64, size)
+		cur := byte(rng.Intn(256))
+		for j := range content {
+			if rng.Intn(compressibility+1) == 0 {
+				cur = byte(rng.Intn(256))
+			}
+			content[j] = cur
+			data[j] = int64(cur)
+		}
+
+		path := fmt.Sprintf("input%03d.dat", i)
+		args := []string{path}
+		mode := int64(0)
+		if full {
+			args = append([]string{"-x"}, args...)
+			mode = 1
+		}
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("compress-%03d-s%d-x%d", i, size, mode),
+			Args:  args,
+			Files: map[string][]byte{path: content},
+			Setup: setupGlobalsAndArray(map[string]int64{
+				"size": int64(size),
+				"mode": mode,
+			}, "data", data),
+		})
+	}
+	return inputs
+}

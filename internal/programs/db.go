@@ -1,0 +1,365 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"evolvevm/internal/xicl"
+)
+
+// Db models SPECjvm98 _209_db: an in-memory database sorted with
+// shellsort and probed with binary searches. The database file size
+// drives the sort phase, the query file drives the probe phase, and the
+// -s flag adds an aggregation pass over all records. The paper's Table I
+// lists "sizes of database and queries" as Db's user-defined features:
+// mRecords and mQueries read the header lines of the two input files.
+const dbSource = `
+global nrec
+global keys
+global nq
+global queries
+global dostats
+global result
+
+func main() locals acc
+  call sortphase 0
+  call queryphase 0
+  iadd
+  store acc
+  gload dostats
+  jz nostats
+  load acc
+  call statsphase 0
+  iadd
+  store acc
+nostats:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+; --- shellsort: one gap pass per invocation ---
+func sortphase() locals gap
+  gload nrec
+  const 2
+  idiv
+  store gap
+loop:
+  load gap
+  const 1
+  ilt
+  jnz done
+  load gap
+  call gappass 1
+  pop
+  load gap
+  const 2
+  idiv
+  store gap
+  jmp loop
+done:
+  gload keys
+  const 0
+  aload
+  ret
+end
+
+func gappass(gap) locals i j tmp moved
+  const 0
+  store moved
+  load gap
+  store i
+outer:
+  load i
+  gload nrec
+  ige
+  jnz done
+  gload keys
+  load i
+  aload
+  store tmp
+  load i
+  store j
+inner:
+  load j
+  load gap
+  ilt
+  jnz place
+  gload keys
+  load j
+  load gap
+  isub
+  aload
+  load tmp
+  ile
+  jnz place
+  gload keys
+  load j
+  gload keys
+  load j
+  load gap
+  isub
+  aload
+  astore
+  load j
+  load gap
+  isub
+  store j
+  iinc moved 1
+  jmp inner
+place:
+  gload keys
+  load j
+  load tmp
+  astore
+  iinc i 1
+  jmp outer
+done:
+  load moved
+  ret
+end
+
+; --- binary-search probes, one query per binfind invocation ---
+func queryphase() locals q hits
+  const 0
+  store hits
+  const 0
+  store q
+loop:
+  load q
+  gload nq
+  ige
+  jnz done
+  load hits
+  gload queries
+  load q
+  aload
+  call binfind 1
+  iadd
+  store hits
+  iinc q 1
+  jmp loop
+done:
+  load hits
+  ret
+end
+
+func binfind(key) locals lo hi mid v
+  const 0
+  store lo
+  gload nrec
+  store hi
+loop:
+  load lo
+  load hi
+  ige
+  jnz miss
+  load lo
+  load hi
+  iadd
+  const 2
+  idiv
+  store mid
+  gload keys
+  load mid
+  aload
+  store v
+  load v
+  load key
+  ieq
+  jnz hit
+  load v
+  load key
+  ilt
+  jnz golo
+  load mid
+  store hi
+  jmp loop
+golo:
+  load mid
+  const 1
+  iadd
+  store lo
+  jmp loop
+hit:
+  const 1
+  ret
+miss:
+  const 0
+  ret
+end
+
+; --- aggregation pass over record blocks (with -s) ---
+func statsphase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload nrec
+  ige
+  jnz done
+  load off
+  const 256
+  iadd
+  store end
+  load end
+  gload nrec
+  ile
+  jnz clamped
+  gload nrec
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call statsblock 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func statsblock(lo, hi) locals i acc v
+  const 0
+  store acc
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload keys
+  load i
+  aload
+  store v
+  load acc
+  load v
+  load v
+  imul
+  const 9973
+  imod
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const dbSpec = `
+# SPECjvm98-style db: db [-s] DBFILE QUERYFILE
+option  {name=-s:--stats; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=file; attr=mRecords}
+operand {position=2; type=file; attr=mQueries}
+`
+
+// headerCountMethod reads an integer count from the first line of a file
+// ("<count>\n...") — the shared implementation of Db's user-defined
+// features.
+func headerCountMethod() xicl.XFMethod {
+	return xicl.XFMethodFunc(func(raw string, _ xicl.ValueType, env *xicl.Env) (xicl.Feature, error) {
+		if raw == "" {
+			return xicl.NumFeature("", 0), nil
+		}
+		b, err := env.FS.ReadFile(raw)
+		if err != nil {
+			return xicl.Feature{}, err
+		}
+		env.Charge(30 + int64(len(b))/16)
+		line, _, _ := strings.Cut(string(b), "\n")
+		var v float64
+		for _, c := range strings.TrimSpace(line) {
+			if c < '0' || c > '9' {
+				break
+			}
+			v = v*10 + float64(c-'0')
+		}
+		return xicl.NumFeature("", v), nil
+	})
+}
+
+// Db returns the db benchmark.
+func Db() *Benchmark {
+	return &Benchmark{
+		Name:              "db",
+		Suite:             "jvm98",
+		Source:            dbSource,
+		Spec:              dbSpec,
+		DefaultCorpusSize: 24,
+		RegisterMethods: func(reg *xicl.Registry) error {
+			if err := reg.Register("mRecords", headerCountMethod()); err != nil {
+				return err
+			}
+			return reg.Register("mQueries", headerCountMethod())
+		},
+		GenInputs: genDbInputs,
+	}
+}
+
+func genDbInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		nrec := 400 + rng.Intn(2200)
+		nq := 40 + rng.Intn(400)
+		stats := rng.Intn(2) == 0
+
+		keys := make([]int64, nrec)
+		for j := range keys {
+			keys[j] = int64(rng.Intn(1 << 20))
+		}
+		queries := make([]int64, nq)
+		for j := range queries {
+			if rng.Intn(2) == 0 {
+				queries[j] = keys[rng.Intn(nrec)] // hit
+			} else {
+				queries[j] = int64(rng.Intn(1 << 20)) // likely miss
+			}
+		}
+
+		dbPath := fmt.Sprintf("db%03d.tbl", i)
+		qPath := fmt.Sprintf("q%03d.txt", i)
+		dbContent := fmt.Sprintf("%d\n%s", nrec, renderInts(keys))
+		qContent := fmt.Sprintf("%d\n%s", nq, renderInts(queries))
+
+		args := []string{dbPath, qPath}
+		dostats := int64(0)
+		if stats {
+			args = append([]string{"-s"}, args...)
+			dostats = 1
+		}
+		// The engine needs both arrays; chain two array setups.
+		setup := setupGlobalsAndArray(map[string]int64{
+			"nrec":    int64(nrec),
+			"nq":      int64(nq),
+			"dostats": dostats,
+		}, "keys", keys)
+		qSetup := appendArraySetup(setup, "queries", queries)
+
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("db-%03d-r%d-q%d-s%d", i, nrec, nq, dostats),
+			Args:  args,
+			Files: map[string][]byte{dbPath: []byte(dbContent), qPath: []byte(qContent)},
+			Setup: qSetup,
+		})
+	}
+	return inputs
+}
+
+func renderInts(vals []int64) string {
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, "%d\n", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Euler models Java Grande's euler: computational fluid dynamics on an
+// n×n structured grid. Each time step computes fluxes row by row and then
+// applies boundary conditions. The single input value (-n, the grid size)
+// determines everything — the paper's Table I lists exactly one used
+// feature for Euler. Iteration count scales with n, so total work grows
+// ~n³ and the ideal levels of fluxrow/update climb quickly with n.
+const eulerSource = `
+global n
+global iters
+global grid
+global result
+
+func main() locals t acc
+  call initgrid 0
+  store acc
+  const 0
+  store t
+steps:
+  load t
+  gload iters
+  ige
+  jnz done
+  load acc
+  call timestep 0
+  iadd
+  store acc
+  iinc t 1
+  jmp steps
+done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+func initgrid() locals i total v
+  gload n
+  gload n
+  imul
+  store total
+  const 0
+  store i
+loop:
+  load i
+  load total
+  ige
+  jnz done
+  gload grid
+  load i
+  load i
+  const 1021
+  imul
+  const 65535
+  iand
+  astore
+  iinc i 1
+  jmp loop
+done:
+  load total
+  ret
+end
+
+func timestep() locals y acc
+  const 0
+  store acc
+  const 1
+  store y
+rows:
+  load y
+  gload n
+  const 1
+  isub
+  ige
+  jnz bc
+  load acc
+  load y
+  call fluxrow 1
+  iadd
+  store acc
+  iinc y 1
+  jmp rows
+bc:
+  load acc
+  call boundary 0
+  iadd
+  ret
+end
+
+; fluxrow updates one interior row from its neighbours (4-point stencil).
+func fluxrow(y) locals x acc base up down v
+  const 0
+  store acc
+  load y
+  gload n
+  imul
+  store base
+  load base
+  gload n
+  isub
+  store up
+  load base
+  gload n
+  iadd
+  store down
+  const 1
+  store x
+cols:
+  load x
+  gload n
+  const 1
+  isub
+  ige
+  jnz done
+  gload grid
+  load base
+  load x
+  iadd
+  aload
+  const 2
+  imul
+  gload grid
+  load up
+  load x
+  iadd
+  aload
+  iadd
+  gload grid
+  load down
+  load x
+  iadd
+  aload
+  iadd
+  const 4
+  idiv
+  store v
+  gload grid
+  load base
+  load x
+  iadd
+  load v
+  astore
+  load acc
+  load v
+  iadd
+  const 1048575
+  iand
+  store acc
+  iinc x 1
+  jmp cols
+done:
+  load acc
+  ret
+end
+
+func boundary() locals i acc last
+  const 0
+  store acc
+  gload n
+  gload n
+  imul
+  gload n
+  isub
+  store last
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  gload grid
+  load i
+  gload grid
+  load i
+  gload n
+  iadd
+  aload
+  astore
+  gload grid
+  load last
+  load i
+  iadd
+  gload grid
+  load last
+  load i
+  iadd
+  gload n
+  isub
+  aload
+  astore
+  load acc
+  load i
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const eulerSpec = `
+# Java Grande-style euler: euler [-n GRIDSIZE] [-v]
+option  {name=-n:--size; type=num; attr=VAL; default=16; has_arg=y}
+option  {name=-v:--validate; type=bin; attr=VAL; default=0; has_arg=n}
+`
+
+// Euler returns the euler benchmark.
+func Euler() *Benchmark {
+	return &Benchmark{
+		Name:              "euler",
+		Suite:             "grande",
+		Source:            eulerSource,
+		Spec:              eulerSpec,
+		DefaultCorpusSize: 24,
+		InputSensitive:    true,
+		GenInputs:         genEulerInputs,
+	}
+}
+
+func genEulerInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		// Bimodal: coarse validation grids and production grids.
+		var size int
+		if rng.Intn(5) < 2 {
+			size = 8 + rng.Intn(8)
+		} else {
+			size = 24 + rng.Intn(24)
+		}
+		iters := 2 + size/2
+		cells := int64(size * size)
+		inputs = append(inputs, Input{
+			ID:   fmt.Sprintf("euler-%03d-n%d", i, size),
+			Args: []string{"-n", fmt.Sprint(size)},
+			Setup: setupGlobalsAndArray(map[string]int64{
+				"n":     int64(size),
+				"iters": int64(iters),
+			}, "grid", make([]int64, cells)),
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,320 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Fop models DaCapo's fop: an XSL-FO formatter. It parses the document,
+// lays out each paragraph (line breaking with a quadratic-ish optimal-fit
+// pass), and renders pages in the selected output format. The document's
+// line count (predefined LINES feature) scales parsing and layout; the -f
+// format decides whether the PDF or the text renderer is hot.
+const fopSource = `
+global npara
+global plen
+global npages
+global fmtpdf
+global result
+
+func main() locals acc
+  call parsephase 0
+  call layoutphase 0
+  iadd
+  store acc
+  gload fmtpdf
+  jz astext
+  load acc
+  call pdfphase 0
+  iadd
+  store acc
+  jmp render_done
+astext:
+  load acc
+  call textphase 0
+  iadd
+  store acc
+render_done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+; --- parse: one paragraph per invocation ---
+func parsephase() locals p acc
+  const 0
+  store acc
+  const 0
+  store p
+loop:
+  load p
+  gload npara
+  ige
+  jnz done
+  load acc
+  load p
+  call parsepara 1
+  iadd
+  store acc
+  iinc p 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func parsepara(p) locals len i acc
+  gload plen
+  load p
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  load len
+  ige
+  jnz done
+  load acc
+  load i
+  load p
+  imul
+  const 127
+  iand
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+; --- layout: optimal line breaking, ~ len * avgline work ---
+func layoutphase() locals p acc
+  const 0
+  store acc
+  const 0
+  store p
+loop:
+  load p
+  gload npara
+  ige
+  jnz done
+  load acc
+  load p
+  call layoutpara 1
+  iadd
+  store acc
+  iinc p 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func layoutpara(p) locals len i j acc best
+  gload plen
+  load p
+  aload
+  store len
+  const 0
+  store acc
+  const 0
+  store i
+outer:
+  load i
+  load len
+  ige
+  jnz done
+  const 1000000
+  store best
+  const 0
+  store j
+inner:
+  load j
+  const 12
+  ige
+  jnz place
+  load i
+  load j
+  iadd
+  load p
+  ixor
+  const 255
+  iand
+  store best
+  iinc j 1
+  jmp inner
+place:
+  load acc
+  load best
+  iadd
+  store acc
+  iinc i 1
+  jmp outer
+done:
+  load acc
+  ret
+end
+
+; --- renderers: one page per invocation ---
+func pdfphase() locals pg acc
+  const 0
+  store acc
+  const 0
+  store pg
+loop:
+  load pg
+  gload npages
+  ige
+  jnz done
+  load acc
+  load pg
+  call renderpdf 1
+  iadd
+  store acc
+  iinc pg 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func renderpdf(pg) locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  const 900
+  ige
+  jnz done
+  load acc
+  load i
+  load pg
+  imul
+  const 97
+  imod
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func textphase() locals pg acc
+  const 0
+  store acc
+  const 0
+  store pg
+loop:
+  load pg
+  gload npages
+  ige
+  jnz done
+  load acc
+  load pg
+  call rendertext 1
+  iadd
+  store acc
+  iinc pg 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+
+func rendertext(pg) locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  const 240
+  ige
+  jnz done
+  load acc
+  load i
+  load pg
+  iadd
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const fopSpec = `
+# DaCapo-style fop: fop [-f pdf|txt] [-c] DOCUMENT
+option  {name=-f:--format; type=enum; attr=VAL; default=pdf; has_arg=y}
+option  {name=-c:--compress-output; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=file; attr=LINES:SIZE}
+`
+
+// Fop returns the fop benchmark.
+func Fop() *Benchmark {
+	return &Benchmark{
+		Name:              "fop",
+		Suite:             "dacapo",
+		Source:            fopSource,
+		Spec:              fopSpec,
+		DefaultCorpusSize: 24,
+		GenInputs:         genFopInputs,
+	}
+}
+
+func genFopInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		npara := 40 + rng.Intn(400)
+		pdf := rng.Intn(2) == 0
+
+		plen := make([]int64, npara)
+		var doc strings.Builder
+		doc.WriteString("<fo:root>\n")
+		for p := 0; p < npara; p++ {
+			l := 8 + rng.Intn(40)
+			plen[p] = int64(l)
+			doc.WriteString("<fo:block>")
+			for k := 0; k < l; k++ {
+				fmt.Fprintf(&doc, "w%d ", rng.Intn(100))
+			}
+			doc.WriteString("</fo:block>\n")
+		}
+		doc.WriteString("</fo:root>\n")
+
+		npages := 1 + npara/25
+		path := fmt.Sprintf("doc%03d.fo", i)
+		format := "txt"
+		fmtpdf := int64(0)
+		if pdf {
+			format, fmtpdf = "pdf", 1
+		}
+		args := []string{"-f", format, path}
+		setup := setupGlobalsAndArray(map[string]int64{
+			"npara":  int64(npara),
+			"npages": int64(npages),
+			"fmtpdf": fmtpdf,
+		}, "plen", plen)
+
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("fop-%03d-p%d-%s", i, npara, format),
+			Args:  args,
+			Files: map[string][]byte{path: []byte(doc.String())},
+			Setup: setup,
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,216 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MolDyn models Java Grande's moldyn: N-body molecular dynamics. Every
+// time step computes pairwise forces (one row of the interaction matrix
+// per forcerow invocation — O(N²) total) and then integrates positions.
+// The single input value (-n particles) controls the force kernel's heat
+// quadratically, making moldyn strongly input-sensitive.
+const moldynSource = `
+global npart
+global steps
+global px
+global pv
+global result
+
+func main() locals s acc
+  const 0
+  store acc
+  const 0
+  store s
+steps_loop:
+  load s
+  gload steps
+  ige
+  jnz done
+  load acc
+  call onestep 0
+  iadd
+  store acc
+  iinc s 1
+  jmp steps_loop
+done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+func onestep() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+forces:
+  load i
+  gload npart
+  ige
+  jnz integrate
+  load acc
+  load i
+  call forcerow 1
+  iadd
+  store acc
+  iinc i 1
+  jmp forces
+integrate:
+  load acc
+  call moveall 0
+  iadd
+  ret
+end
+
+; forcerow accumulates the force on particle i from particles j > i.
+func forcerow(i) locals j acc xi d f
+  const 0
+  store acc
+  gload px
+  load i
+  aload
+  store xi
+  load i
+  const 1
+  iadd
+  store j
+loop:
+  load j
+  gload npart
+  ige
+  jnz done
+  gload px
+  load j
+  aload
+  load xi
+  isub
+  store d
+  load d
+  jnz nonzero
+  const 1
+  store d
+nonzero:
+  const 1048576
+  load d
+  load d
+  imul
+  const 1
+  iadd
+  idiv
+  store f
+  load acc
+  load f
+  iadd
+  store acc
+  gload pv
+  load j
+  gload pv
+  load j
+  aload
+  load f
+  isub
+  astore
+  iinc j 1
+  jmp loop
+done:
+  gload pv
+  load i
+  gload pv
+  load i
+  aload
+  load acc
+  iadd
+  astore
+  load acc
+  ret
+end
+
+func moveall() locals i acc total
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload npart
+  ige
+  jnz done
+  gload px
+  load i
+  gload px
+  load i
+  aload
+  gload pv
+  load i
+  aload
+  const 256
+  idiv
+  iadd
+  const 16777215
+  iand
+  astore
+  load acc
+  gload px
+  load i
+  aload
+  iadd
+  const 1048575
+  iand
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const moldynSpec = `
+# Java Grande-style moldyn: moldyn [-n PARTICLES] [-v]
+option  {name=-n:--particles; type=num; attr=VAL; default=64; has_arg=y}
+option  {name=-v:--validate; type=bin; attr=VAL; default=0; has_arg=n}
+`
+
+// MolDyn returns the moldyn benchmark.
+func MolDyn() *Benchmark {
+	return &Benchmark{
+		Name:              "moldyn",
+		Suite:             "grande",
+		Source:            moldynSource,
+		Spec:              moldynSpec,
+		DefaultCorpusSize: 24,
+		InputSensitive:    true,
+		GenInputs:         genMolDynInputs,
+	}
+}
+
+func genMolDynInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		// Bimodal: quick equilibration checks and full simulations.
+		var npart int
+		if rng.Intn(5) < 2 {
+			npart = 12 + rng.Intn(16)
+		} else {
+			npart = 56 + rng.Intn(72)
+		}
+		steps := 6
+		px := make([]int64, npart)
+		for j := range px {
+			px[j] = int64(rng.Intn(1 << 20))
+		}
+		setup := setupGlobalsAndArray(map[string]int64{
+			"npart": int64(npart),
+			"steps": int64(steps),
+		}, "px", px)
+		setup = appendArraySetup(setup, "pv", make([]int64, npart))
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("moldyn-%03d-n%d", i, npart),
+			Args:  []string{"-n", fmt.Sprint(npart)},
+			Setup: setup,
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,195 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MonteCarlo models Java Grande's montecarlo: financial Monte-Carlo
+// simulation. Each path runs a fixed number of LCG-driven random-walk
+// steps; a statistics pass reduces the stored path values. The number of
+// paths (-n) is the single input value that drives the simulation
+// kernel's heat.
+const montecarloSource = `
+global npaths
+global nsteps
+global seed0
+global values
+global result
+
+func main() locals p acc
+  const 0
+  store acc
+  const 0
+  store p
+paths:
+  load p
+  gload npaths
+  ige
+  jnz reduce
+  load p
+  call onepath 1
+  pop
+  iinc p 1
+  jmp paths
+reduce:
+  call statsphase 0
+  gstore result
+  gload result
+  ret
+end
+
+; onepath simulates one random walk and stores its end value.
+func onepath(p) locals s v seed
+  gload seed0
+  load p
+  const 2654435761
+  imul
+  iadd
+  store seed
+  const 1000000
+  store v
+  const 0
+  store s
+steps:
+  load s
+  gload nsteps
+  ige
+  jnz done
+  load seed
+  const 1103515245
+  imul
+  const 12345
+  iadd
+  const 2147483647
+  iand
+  store seed
+  load seed
+  const 1024
+  imod
+  const 512
+  isub
+  load v
+  iadd
+  store v
+  load v
+  const 0
+  igt
+  jnz okpos
+  const 1
+  store v
+okpos:
+  iinc s 1
+  jmp steps
+done:
+  gload values
+  load p
+  load v
+  astore
+  load v
+  ret
+end
+
+func statsphase() locals off end acc
+  const 0
+  store acc
+  const 0
+  store off
+blocks:
+  load off
+  gload npaths
+  ige
+  jnz done
+  load off
+  const 128
+  iadd
+  store end
+  load end
+  gload npaths
+  ile
+  jnz clamped
+  gload npaths
+  store end
+clamped:
+  load acc
+  load off
+  load end
+  call statsblk 2
+  iadd
+  store acc
+  load end
+  store off
+  jmp blocks
+done:
+  load acc
+  ret
+end
+
+func statsblk(lo, hi) locals i acc v
+  const 0
+  store acc
+  load lo
+  store i
+loop:
+  load i
+  load hi
+  ige
+  jnz done
+  gload values
+  load i
+  aload
+  store v
+  load acc
+  load v
+  const 1000000
+  isub
+  dup
+  imul
+  const 100003
+  imod
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+const montecarloSpec = `
+# Java Grande-style montecarlo: montecarlo [-n PATHS] [-s SEED]
+option  {name=-n:--paths; type=num; attr=VAL; default=500; has_arg=y}
+option  {name=-s:--seed; type=num; attr=VAL; default=1; has_arg=y}
+`
+
+// MonteCarlo returns the montecarlo benchmark.
+func MonteCarlo() *Benchmark {
+	return &Benchmark{
+		Name:              "montecarlo",
+		Suite:             "grande",
+		Source:            montecarloSource,
+		Spec:              montecarloSpec,
+		DefaultCorpusSize: 24,
+		GenInputs:         genMonteCarloInputs,
+	}
+}
+
+func genMonteCarloInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		paths := 150 + rng.Intn(1200)
+		seed := 1 + rng.Intn(10000)
+		setup := setupGlobalsAndArray(map[string]int64{
+			"npaths": int64(paths),
+			"nsteps": 48,
+			"seed0":  int64(seed),
+		}, "values", make([]int64, paths))
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("montecarlo-%03d-p%d", i, paths),
+			Args:  []string{"-n", fmt.Sprint(paths), "-s", fmt.Sprint(seed)},
+			Setup: setup,
+		})
+	}
+	return inputs
+}

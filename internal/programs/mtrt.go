@@ -1,0 +1,315 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"evolvevm/internal/xicl"
+)
+
+// Mtrt models SPECjvm98 _227_mtrt: a ray tracer. The image dimensions
+// (-w/-h), reflection depth (-d) and the scene file (number of spheres)
+// jointly determine how hot tracing and intersection are — the paper's
+// most input-sensitive benchmark. Geometry is 16.16-ish fixed point
+// (plain int64 scaled by 1024). Per Table I the benchmark exposes 7 raw
+// features of which 3 carry signal.
+const mtrtSource = `
+global width
+global height
+global depth
+global nsph
+global sphx
+global sphy
+global sphr
+global result
+
+func main() locals y acc
+  const 0
+  store acc
+  const 0
+  store y
+rows:
+  load y
+  gload height
+  ige
+  jnz done
+  load acc
+  load y
+  call renderrow 1
+  iadd
+  store acc
+  iinc y 1
+  jmp rows
+done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+func renderrow(y) locals x acc
+  const 0
+  store acc
+  const 0
+  store x
+cols:
+  load x
+  gload width
+  ige
+  jnz done
+  load acc
+  load x
+  const 1024
+  imul
+  load y
+  const 1024
+  imul
+  gload depth
+  call trace 3
+  iadd
+  store acc
+  iinc x 1
+  jmp cols
+done:
+  load acc
+  ret
+end
+
+; trace returns a shade value for the ray through (px, py); on a hit with
+; remaining depth it recurses with a reflected ray.
+func trace(px, py, d) locals hit shade
+  load px
+  load py
+  call intersectall 2
+  store hit
+  load hit
+  const 0
+  ilt
+  jnz background
+  load hit
+  load px
+  load py
+  call shadehit 3
+  store shade
+  load d
+  const 1
+  ilt
+  jnz noreflect
+  load shade
+  load px
+  gload sphr
+  load hit
+  aload
+  iadd
+  load py
+  gload sphr
+  load hit
+  aload
+  isub
+  load d
+  const 1
+  isub
+  call trace 3
+  const 2
+  idiv
+  iadd
+  store shade
+noreflect:
+  load shade
+  ret
+background:
+  load px
+  load py
+  ixor
+  const 255
+  iand
+  ret
+end
+
+; intersectall scans every sphere; returns the index of the closest hit
+; or -1. A "hit" is |p - c|^2 < r^2 in scaled coordinates.
+func intersectall(px, py) locals i best bestd dx dy dd
+  const -1
+  store best
+  const 0
+  store bestd
+  const 0
+  store i
+loop:
+  load i
+  gload nsph
+  ige
+  jnz done
+  gload sphx
+  load i
+  aload
+  load px
+  isub
+  const 1024
+  idiv
+  store dx
+  gload sphy
+  load i
+  aload
+  load py
+  isub
+  const 1024
+  idiv
+  store dy
+  load dx
+  load dx
+  imul
+  load dy
+  load dy
+  imul
+  iadd
+  store dd
+  load dd
+  gload sphr
+  load i
+  aload
+  const 1024
+  idiv
+  dup
+  imul
+  ige
+  jnz next
+  load best
+  const 0
+  ige
+  jnz keepifcloser
+  load i
+  store best
+  load dd
+  store bestd
+  jmp next
+keepifcloser:
+  load dd
+  load bestd
+  ige
+  jnz next
+  load i
+  store best
+  load dd
+  store bestd
+next:
+  iinc i 1
+  jmp loop
+done:
+  load best
+  ret
+end
+
+func shadehit(idx, px, py) locals v
+  gload sphx
+  load idx
+  aload
+  load px
+  isub
+  const 3
+  ishr
+  gload sphy
+  load idx
+  aload
+  load py
+  isub
+  const 3
+  ishr
+  ixor
+  store v
+  load v
+  const 0
+  ige
+  jnz pos
+  load v
+  ineg
+  store v
+pos:
+  load v
+  const 255
+  iand
+  ret
+end
+`
+
+const mtrtSpec = `
+# SPECjvm98-style mtrt: mtrt [-w W] [-h H] [-d DEPTH] [-a] [-q] SCENE
+option  {name=-w:--width; type=num; attr=VAL; default=32; has_arg=y}
+option  {name=-h:--height; type=num; attr=VAL; default=32; has_arg=y}
+option  {name=-d:--depth; type=num; attr=VAL; default=1; has_arg=y}
+option  {name=-a:--antialias; type=bin; attr=VAL; default=0; has_arg=n}
+option  {name=-q:--quiet; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=file; attr=mSpheres:SIZE}
+`
+
+// Mtrt returns the mtrt benchmark.
+func Mtrt() *Benchmark {
+	return &Benchmark{
+		Name:              "mtrt",
+		Suite:             "jvm98",
+		Source:            mtrtSource,
+		Spec:              mtrtSpec,
+		DefaultCorpusSize: 40,
+		InputSensitive:    true,
+		RegisterMethods: func(reg *xicl.Registry) error {
+			// mSpheres: the scene header's object count.
+			return reg.Register("mSpheres", headerCountMethod())
+		},
+		GenInputs: genMtrtInputs,
+	}
+}
+
+func genMtrtInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		// Bimodal corpus: quick preview renders and full-size scenes,
+		// the way the application is used in practice. The ideal levels
+		// of the tracing kernels differ sharply between the modes.
+		var w, h, depth, nsph int
+		if rng.Intn(5) < 2 {
+			w, h = 8+rng.Intn(14), 8+rng.Intn(14)
+			depth = rng.Intn(2)
+			nsph = 2 + rng.Intn(6)
+		} else {
+			w, h = 32+rng.Intn(64), 32+rng.Intn(64)
+			depth = 1 + rng.Intn(3)
+			nsph = 8 + rng.Intn(18)
+		}
+
+		sphx := make([]int64, nsph)
+		sphy := make([]int64, nsph)
+		sphr := make([]int64, nsph)
+		var scene strings.Builder
+		fmt.Fprintf(&scene, "%d\n", nsph)
+		for j := 0; j < nsph; j++ {
+			sphx[j] = int64(rng.Intn(w)) * 1024
+			sphy[j] = int64(rng.Intn(h)) * 1024
+			sphr[j] = int64(2+rng.Intn(8)) * 1024
+			fmt.Fprintf(&scene, "%d %d %d\n", sphx[j], sphy[j], sphr[j])
+		}
+		path := fmt.Sprintf("scene%03d.txt", i)
+		args := []string{
+			"-w", fmt.Sprint(w),
+			"-h", fmt.Sprint(h),
+			"-d", fmt.Sprint(depth),
+			path,
+		}
+		setup := setupGlobalsAndArray(map[string]int64{
+			"width":  int64(w),
+			"height": int64(h),
+			"depth":  int64(depth),
+			"nsph":   int64(nsph),
+		}, "sphx", sphx)
+		setup = appendArraySetup(setup, "sphy", sphy)
+		setup = appendArraySetup(setup, "sphr", sphr)
+
+		inputs = append(inputs, Input{
+			ID:    fmt.Sprintf("mtrt-%03d-%dx%d-d%d-s%d", i, w, h, depth, nsph),
+			Args:  args,
+			Files: map[string][]byte{path: []byte(scene.String())},
+			Setup: setup,
+		})
+	}
+	return inputs
+}

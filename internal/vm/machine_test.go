@@ -1,0 +1,237 @@
+package vm
+
+import (
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/jit"
+)
+
+const testSrc = `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  const 50
+  ige
+  jnz done
+  load acc
+  call hot 0
+  iadd
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+func hot() locals j acc
+  const 0
+  store acc
+  const 0
+  store j
+loop:
+  load j
+  gload n
+  ige
+  jnz done
+  load acc
+  load j
+  iadd
+  store acc
+  iinc j 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`
+
+func testProg(t *testing.T) *bytecode.Program {
+	t.Helper()
+	p, err := bytecode.Assemble("vmtest", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// scriptController compiles a method to a fixed level at its kth invocation.
+type scriptController struct {
+	fn, level int
+	at        int64
+}
+
+func (scriptController) Name() string        { return "script" }
+func (scriptController) OnRunStart(*Machine) {}
+func (s scriptController) OnInvoke(m *Machine, fnIdx int, count int64) {
+	if fnIdx == s.fn && count == s.at {
+		if err := m.RequestCompile(fnIdx, s.level); err != nil {
+			panic(err)
+		}
+	}
+}
+func (scriptController) OnSample(*Machine, int) {}
+func (scriptController) OnRunEnd(*Machine)      {}
+
+func setup(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.Engine.SetGlobal("n", bytecode.Int(500)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullControllerStaysBaseline(t *testing.T) {
+	p := testProg(t)
+	m := New(p, jit.DefaultConfig(), nil)
+	setup(t, m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for fn := range p.Funcs {
+		if m.Level(fn) != jit.MinLevel {
+			t.Errorf("method %d at level %d, want baseline", fn, m.Level(fn))
+		}
+	}
+	if m.Recompilations != 0 || m.CompileCycles != 0 {
+		t.Error("null controller recompiled")
+	}
+	if m.BaseCompileCycles <= 0 {
+		t.Error("base compile never charged")
+	}
+}
+
+func TestScriptedRecompileSpeedsUp(t *testing.T) {
+	p := testProg(t)
+	hotIdx, _ := p.FuncIndex("hot")
+
+	mBase := New(p, jit.DefaultConfig(), nil)
+	setup(t, mBase)
+	rBase, err := mBase.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(p, jit.DefaultConfig(), scriptController{fn: hotIdx, level: 2, at: 1})
+	setup(t, m)
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(rBase) {
+		t.Fatalf("results differ: %v vs %v", r, rBase)
+	}
+	if m.Level(hotIdx) != 2 {
+		t.Errorf("hot at level %d, want 2", m.Level(hotIdx))
+	}
+	if m.TotalCycles() >= mBase.TotalCycles() {
+		t.Errorf("compiled run %d cycles >= interpreted %d",
+			m.TotalCycles(), mBase.TotalCycles())
+	}
+	if m.CompileCycles <= 0 || m.Recompilations != 1 {
+		t.Errorf("compile accounting wrong: %d cycles, %d recompiles",
+			m.CompileCycles, m.Recompilations)
+	}
+	if m.CompileCyclesByLevel[2] != m.CompileCycles {
+		t.Error("per-level compile ledger inconsistent")
+	}
+}
+
+func TestRequestCompileNeverDowngrades(t *testing.T) {
+	p := testProg(t)
+	m := New(p, jit.DefaultConfig(), nil)
+	setup(t, m)
+	hotIdx, _ := p.FuncIndex("hot")
+	// Force baseline materialization first.
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestCompile(hotIdx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestCompile(hotIdx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Level(hotIdx) != 2 {
+		t.Errorf("downgrade happened: level %d", m.Level(hotIdx))
+	}
+	if m.Recompilations != 1 {
+		t.Errorf("no-op downgrade counted: %d recompiles", m.Recompilations)
+	}
+	if err := m.RequestCompile(hotIdx, 99); err != nil {
+		t.Errorf("over-max level not clamped: %v", err)
+	}
+	if err := m.RequestCompile(-1, 2); err == nil {
+		t.Error("bad fn index accepted")
+	}
+}
+
+func TestAddOverheadLedger(t *testing.T) {
+	m := New(testProg(t), jit.DefaultConfig(), nil)
+	m.AddOverhead(1000)
+	m.AddOverhead(-5) // ignored
+	if m.OverheadCycles != 1000 {
+		t.Errorf("overhead = %d, want 1000", m.OverheadCycles)
+	}
+	if m.Engine.Cycles != 1000 {
+		t.Errorf("clock = %d, want 1000", m.Engine.Cycles)
+	}
+}
+
+func TestSamplesFlowToProfile(t *testing.T) {
+	p := testProg(t)
+	m := New(p, jit.DefaultConfig(), nil)
+	m.Engine.SampleStride = 2000
+	setup(t, m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hotIdx, _ := p.FuncIndex("hot")
+	if m.Samples[hotIdx] == 0 {
+		t.Error("hot method unsampled")
+	}
+	prof := m.Profile()
+	prof[hotIdx] = -1
+	if m.Samples[hotIdx] == -1 {
+		t.Error("Profile returned aliasing slice")
+	}
+}
+
+func TestStrategyAccuracy(t *testing.T) {
+	pred := Strategy{2, -1, 1}
+	ideal := Strategy{2, 0, 1}
+	samples := []int64{50, 30, 20}
+	got := Accuracy(pred, ideal, samples)
+	want := float64(50+20) / 100
+	if got != want {
+		t.Errorf("Accuracy = %v, want %v", got, want)
+	}
+	if Accuracy(pred, ideal, []int64{0, 0, 0}) != 1 {
+		t.Error("no-sample accuracy != 1")
+	}
+	if Accuracy(nil, nil, nil) != 1 {
+		t.Error("empty accuracy != 1")
+	}
+	// Methods outside the strategies count as mispredicted.
+	if acc := Accuracy(Strategy{1}, Strategy{1}, []int64{10, 10}); acc != 0.5 {
+		t.Errorf("short-strategy accuracy = %v, want 0.5", acc)
+	}
+}
+
+func TestNewStrategyAndClone(t *testing.T) {
+	s := NewStrategy(3)
+	for _, l := range s {
+		if l != jit.MinLevel {
+			t.Fatalf("NewStrategy not all baseline: %v", s)
+		}
+	}
+	c := s.Clone()
+	c[0] = 2
+	if s[0] == 2 {
+		t.Error("Clone aliases")
+	}
+}

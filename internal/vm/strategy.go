@@ -1,0 +1,44 @@
+package vm
+
+import "evolvevm/internal/jit"
+
+// Strategy assigns a compilation level to every function of a program,
+// indexed by function index. Level −1 means "leave at baseline".
+type Strategy []int
+
+// NewStrategy returns an all-baseline strategy for n functions.
+func NewStrategy(n int) Strategy {
+	s := make(Strategy, n)
+	for i := range s {
+		s[i] = jit.MinLevel
+	}
+	return s
+}
+
+// Clone copies the strategy.
+func (s Strategy) Clone() Strategy { return append(Strategy(nil), s...) }
+
+// Accuracy implements the paper's prediction-accuracy measure: the
+// fraction of sampled time spent in methods whose level was predicted
+// correctly,
+//
+//	acc = Σ_{m : pred(m)=ideal(m)} T_m / Σ_m T_m ,
+//
+// where T_m is the number of samples attributed to m. Runs with no
+// samples score 1 (nothing observable was mispredicted).
+func Accuracy(pred, ideal Strategy, samples []int64) float64 {
+	var correct, total int64
+	for fn, t := range samples {
+		if t == 0 {
+			continue
+		}
+		total += t
+		if fn < len(pred) && fn < len(ideal) && pred[fn] == ideal[fn] {
+			correct += t
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}

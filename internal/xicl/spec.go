@@ -1,0 +1,318 @@
+package xicl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueType classifies an input component, deciding how its raw text is
+// interpreted by the predefined extractors.
+type ValueType uint8
+
+const (
+	// TypeNum is a numeric option/operand; VAL yields a quantitative
+	// feature.
+	TypeNum ValueType = iota
+	// TypeBin is a boolean flag; VAL yields 0/1.
+	TypeBin
+	// TypeStr is free text; VAL yields a categorical feature.
+	TypeStr
+	// TypeEnum is a closed set of strings; VAL yields a categorical
+	// feature.
+	TypeEnum
+	// TypeFile is a path into the input filesystem; SIZE/LINES/WORDS
+	// read the file.
+	TypeFile
+)
+
+var valueTypeNames = map[string]ValueType{
+	"num":  TypeNum,
+	"bin":  TypeBin,
+	"str":  TypeStr,
+	"enum": TypeEnum,
+	"file": TypeFile,
+}
+
+func (t ValueType) String() string {
+	for name, v := range valueTypeNames {
+		if v == t {
+			return name
+		}
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// PosEnd marks "the end of the command line" ($) in operand positions.
+const PosEnd = -1
+
+// OptionSpec describes one option construct.
+type OptionSpec struct {
+	// Names holds the option's aliases, e.g. ["-e", "--echo"].
+	Names   []string
+	Type    ValueType
+	Attrs   []string
+	Default string
+	HasArg  bool
+}
+
+// Primary returns the option's first alias, used to name its features.
+func (o *OptionSpec) Primary() string { return o.Names[0] }
+
+// OperandSpec describes one operand construct covering command-line
+// positions [Lo, Hi] (1-based; Hi == PosEnd means "through the end").
+type OperandSpec struct {
+	Lo, Hi int
+	Type   ValueType
+	Attrs  []string
+}
+
+// RuntimeSpec reserves feature-vector positions for values the running
+// application passes to the translator via UpdateV — the enriched-XICL
+// mechanism for exploiting the program's own initialization computation.
+type RuntimeSpec struct {
+	// Name is the programmer-defined feature name (must start with "m").
+	Name string
+	// Count is how many numeric slots the feature occupies.
+	Count int
+	// Default fills the slots until UpdateV supplies values.
+	Default float64
+}
+
+// Spec is a parsed XICL specification.
+type Spec struct {
+	Options  []OptionSpec
+	Operands []OperandSpec
+	Runtime  []RuntimeSpec
+}
+
+// ParseSpec parses XICL source. Lines starting with "#" are comments. A
+// construct is NAME { field=value; ... } and may span lines.
+func ParseSpec(src string) (*Spec, error) {
+	spec := &Spec{}
+	// Strip comments, then scan constructs.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteString("\n")
+	}
+	text := clean.String()
+	pos := 0
+	construct := 0
+	for {
+		// Next word.
+		for pos < len(text) && isSpace(text[pos]) {
+			pos++
+		}
+		if pos >= len(text) {
+			break
+		}
+		start := pos
+		for pos < len(text) && !isSpace(text[pos]) && text[pos] != '{' {
+			pos++
+		}
+		kw := strings.TrimSpace(text[start:pos])
+		for pos < len(text) && isSpace(text[pos]) {
+			pos++
+		}
+		if pos >= len(text) || text[pos] != '{' {
+			return nil, fmt.Errorf("xicl: construct %d (%q): expected '{'", construct+1, kw)
+		}
+		close := strings.IndexByte(text[pos:], '}')
+		if close < 0 {
+			return nil, fmt.Errorf("xicl: construct %d (%q): missing '}'", construct+1, kw)
+		}
+		body := text[pos+1 : pos+close]
+		pos += close + 1
+		construct++
+
+		fields, err := parseFields(body)
+		if err != nil {
+			return nil, fmt.Errorf("xicl: construct %d (%q): %v", construct, kw, err)
+		}
+		switch kw {
+		case "option":
+			o, err := buildOption(fields)
+			if err != nil {
+				return nil, fmt.Errorf("xicl: option %d: %v", construct, err)
+			}
+			spec.Options = append(spec.Options, o)
+		case "operand":
+			o, err := buildOperand(fields)
+			if err != nil {
+				return nil, fmt.Errorf("xicl: operand %d: %v", construct, err)
+			}
+			spec.Operands = append(spec.Operands, o)
+		case "runtime":
+			r, err := buildRuntime(fields)
+			if err != nil {
+				return nil, fmt.Errorf("xicl: runtime %d: %v", construct, err)
+			}
+			spec.Runtime = append(spec.Runtime, r)
+		default:
+			return nil, fmt.Errorf("xicl: unknown construct %q", kw)
+		}
+	}
+	return spec, nil
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func parseFields(body string) (map[string]string, error) {
+	fields := map[string]string{}
+	for _, part := range strings.Split(body, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("field %q is not key=value", part)
+		}
+		key := strings.TrimSpace(part[:eq])
+		val := strings.TrimSpace(part[eq+1:])
+		if _, dup := fields[key]; dup {
+			return nil, fmt.Errorf("duplicate field %q", key)
+		}
+		fields[key] = val
+	}
+	return fields, nil
+}
+
+func parseType(fields map[string]string) (ValueType, error) {
+	ts, ok := fields["type"]
+	if !ok {
+		return 0, fmt.Errorf("missing type")
+	}
+	t, ok := valueTypeNames[ts]
+	if !ok {
+		return 0, fmt.Errorf("unknown type %q", ts)
+	}
+	return t, nil
+}
+
+func parseAttrs(fields map[string]string) []string {
+	if a, ok := fields["attr"]; ok && a != "" {
+		return strings.Split(a, ":")
+	}
+	return nil
+}
+
+func buildOption(fields map[string]string) (OptionSpec, error) {
+	var o OptionSpec
+	name, ok := fields["name"]
+	if !ok || name == "" {
+		return o, fmt.Errorf("missing name")
+	}
+	o.Names = strings.Split(name, ":")
+	for _, n := range o.Names {
+		if !strings.HasPrefix(n, "-") {
+			return o, fmt.Errorf("option name %q must start with '-'", n)
+		}
+	}
+	t, err := parseType(fields)
+	if err != nil {
+		return o, err
+	}
+	o.Type = t
+	o.Attrs = parseAttrs(fields)
+	if len(o.Attrs) == 0 {
+		o.Attrs = []string{"VAL"}
+	}
+	o.Default = fields["default"]
+	switch fields["has_arg"] {
+	case "y", "yes", "1":
+		o.HasArg = true
+	case "", "n", "no", "0":
+		o.HasArg = false
+	default:
+		return o, fmt.Errorf("bad has_arg %q", fields["has_arg"])
+	}
+	if !o.HasArg && o.Type != TypeBin {
+		return o, fmt.Errorf("option %s without argument must have type bin", o.Primary())
+	}
+	return o, nil
+}
+
+func buildOperand(fields map[string]string) (OperandSpec, error) {
+	var o OperandSpec
+	posStr, ok := fields["position"]
+	if !ok {
+		return o, fmt.Errorf("missing position")
+	}
+	lo, hi, err := parsePosition(posStr)
+	if err != nil {
+		return o, err
+	}
+	o.Lo, o.Hi = lo, hi
+	t, err := parseType(fields)
+	if err != nil {
+		return o, err
+	}
+	o.Type = t
+	o.Attrs = parseAttrs(fields)
+	if len(o.Attrs) == 0 {
+		o.Attrs = []string{"VAL"}
+	}
+	return o, nil
+}
+
+func parsePosition(s string) (lo, hi int, err error) {
+	parse := func(tok string) (int, error) {
+		if tok == "$" {
+			return PosEnd, nil
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("bad position %q", tok)
+		}
+		return n, nil
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		if lo, err = parse(s[:i]); err != nil {
+			return 0, 0, err
+		}
+		if hi, err = parse(s[i+1:]); err != nil {
+			return 0, 0, err
+		}
+		if lo == PosEnd {
+			return 0, 0, fmt.Errorf("position range cannot start at $")
+		}
+		if hi != PosEnd && hi < lo {
+			return 0, 0, fmt.Errorf("empty position range %q", s)
+		}
+		return lo, hi, nil
+	}
+	if lo, err = parse(s); err != nil {
+		return 0, 0, err
+	}
+	return lo, lo, nil
+}
+
+func buildRuntime(fields map[string]string) (RuntimeSpec, error) {
+	var r RuntimeSpec
+	name, ok := fields["name"]
+	if !ok || !strings.HasPrefix(name, "m") {
+		return r, fmt.Errorf("runtime feature name %q must start with 'm'", name)
+	}
+	r.Name = name
+	r.Count = 1
+	if c, ok := fields["count"]; ok {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 1 {
+			return r, fmt.Errorf("bad count %q", c)
+		}
+		r.Count = n
+	}
+	if d, ok := fields["default"]; ok {
+		f, err := strconv.ParseFloat(d, 64)
+		if err != nil {
+			return r, fmt.Errorf("bad default %q", d)
+		}
+		r.Default = f
+	}
+	return r, nil
+}

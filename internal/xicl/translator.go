@@ -1,0 +1,319 @@
+package xicl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Translator converts a program's command line into a feature vector
+// according to an XICL specification — the paper's XICLTranslator. One
+// translator serves one run; runtime features arrive through UpdateV and
+// Done (the paper's XICLFeatureVector interface).
+type Translator struct {
+	Spec     *Spec
+	Registry *Registry
+	Env      *Env
+
+	// OnDone, when set, fires once all runtime features have been
+	// delivered (or immediately after BuildFVector when the spec has no
+	// runtime constructs). The evolvable VM hooks prediction here.
+	OnDone func(Vector)
+
+	vector     Vector
+	runtimeIdx map[string]int
+	built      bool
+	done       bool
+}
+
+// NewTranslator builds a translator over the given spec, method registry,
+// and input filesystem.
+func NewTranslator(spec *Spec, reg *Registry, fs FS) *Translator {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Translator{
+		Spec:       spec,
+		Registry:   reg,
+		Env:        &Env{FS: fs},
+		runtimeIdx: make(map[string]int),
+	}
+}
+
+// Cost returns the cycles spent on feature extraction so far.
+func (t *Translator) Cost() int64 { return t.Env.Cycles() }
+
+// Vector returns the current feature vector (valid after BuildFVector).
+func (t *Translator) Vector() Vector { return t.vector }
+
+// BuildFVector parses the command line (arguments only, without the
+// program name) and produces the feature vector. The vector's shape —
+// length, names, kinds — depends only on the specification, never on the
+// particular input, so vectors from different runs are comparable.
+func (t *Translator) BuildFVector(cmdline []string) (Vector, error) {
+	if t.built {
+		return nil, fmt.Errorf("xicl: BuildFVector called twice")
+	}
+	optVals, operands, err := t.parseCommandLine(cmdline)
+	if err != nil {
+		return nil, err
+	}
+
+	var vec Vector
+	for i := range t.Spec.Options {
+		o := &t.Spec.Options[i]
+		raw, present := optVals[o.Primary()]
+		if !present {
+			raw = o.Default
+		}
+		fs, err := t.extract(o.Primary(), o.Attrs, raw, o.Type)
+		if err != nil {
+			return nil, err
+		}
+		vec = append(vec, fs...)
+	}
+	for i := range t.Spec.Operands {
+		od := &t.Spec.Operands[i]
+		matched := matchOperands(operands, od)
+		fs, err := t.operandFeatures(od, matched)
+		if err != nil {
+			return nil, err
+		}
+		vec = append(vec, fs...)
+	}
+	for i := range t.Spec.Runtime {
+		r := &t.Spec.Runtime[i]
+		t.runtimeIdx[r.Name] = len(vec)
+		for j := 0; j < r.Count; j++ {
+			name := r.Name
+			if r.Count > 1 {
+				name = fmt.Sprintf("%s.%d", r.Name, j)
+			}
+			vec = append(vec, NumFeature(name, r.Default))
+		}
+	}
+
+	t.vector = vec
+	t.built = true
+	if len(t.Spec.Runtime) == 0 {
+		t.fireDone()
+	}
+	return vec, nil
+}
+
+// UpdateV stores runtime feature values delivered by the application (the
+// paper's XICLFeatureVector.updateV). Extra values beyond the declared
+// count are ignored; missing ones keep their defaults.
+func (t *Translator) UpdateV(name string, vals ...float64) error {
+	if !t.built {
+		return fmt.Errorf("xicl: UpdateV before BuildFVector")
+	}
+	base, ok := t.runtimeIdx[name]
+	if !ok {
+		return fmt.Errorf("xicl: no runtime construct %q in spec", name)
+	}
+	count := 0
+	for i := range t.Spec.Runtime {
+		if t.Spec.Runtime[i].Name == name {
+			count = t.Spec.Runtime[i].Count
+		}
+	}
+	for j := 0; j < count && j < len(vals); j++ {
+		t.vector[base+j].Num = vals[j]
+	}
+	t.Env.Charge(15 + 5*int64(len(vals)))
+	return nil
+}
+
+// Done signals that no more runtime values will arrive, releasing the
+// prediction hook (the paper's XICLFeatureVector.done).
+func (t *Translator) Done() { t.fireDone() }
+
+func (t *Translator) fireDone() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.OnDone != nil {
+		t.OnDone(t.vector)
+	}
+}
+
+// DoneFired reports whether Done (or an implicit completion) has occurred.
+func (t *Translator) DoneFired() bool { return t.done }
+
+// parseCommandLine splits tokens into option values (keyed by the
+// option's primary name) and positional operands, POSIX style: "--" ends
+// option processing, "--opt=value" is accepted, an option with has_arg
+// consumes the next token, and repeated options keep the last value.
+func (t *Translator) parseCommandLine(cmdline []string) (map[string]string, []string, error) {
+	byAlias := map[string]*OptionSpec{}
+	for i := range t.Spec.Options {
+		for _, alias := range t.Spec.Options[i].Names {
+			byAlias[alias] = &t.Spec.Options[i]
+		}
+	}
+	optVals := map[string]string{}
+	var operands []string
+	onlyOperands := false
+	for i := 0; i < len(cmdline); i++ {
+		tok := cmdline[i]
+		if onlyOperands || tok == "-" || !strings.HasPrefix(tok, "-") || len(tok) == 1 {
+			operands = append(operands, tok)
+			continue
+		}
+		if tok == "--" {
+			onlyOperands = true
+			continue
+		}
+		name, inline, hasInline := tok, "", false
+		if eq := strings.IndexByte(tok, '='); eq >= 0 {
+			name, inline, hasInline = tok[:eq], tok[eq+1:], true
+		}
+		o, ok := byAlias[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("xicl: unknown option %q", name)
+		}
+		switch {
+		case hasInline:
+			if !o.HasArg {
+				return nil, nil, fmt.Errorf("xicl: option %s takes no argument", name)
+			}
+			optVals[o.Primary()] = inline
+		case o.HasArg:
+			if i+1 >= len(cmdline) {
+				return nil, nil, fmt.Errorf("xicl: option %s requires an argument", name)
+			}
+			i++
+			optVals[o.Primary()] = cmdline[i]
+		default:
+			optVals[o.Primary()] = "1"
+		}
+	}
+	return optVals, operands, nil
+}
+
+// matchOperands selects the operands covered by the spec's position
+// range (1-based, PosEnd = through the end, or the last operand when both
+// bounds are PosEnd-like single "$").
+func matchOperands(operands []string, od *OperandSpec) []string {
+	n := len(operands)
+	lo, hi := od.Lo, od.Hi
+	if lo == PosEnd { // single "$": the last operand
+		if n == 0 {
+			return nil
+		}
+		return operands[n-1:]
+	}
+	if hi == PosEnd {
+		hi = n
+	}
+	if lo > n {
+		return nil
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		return nil
+	}
+	return operands[lo-1 : hi]
+}
+
+// componentName names an operand construct's features.
+func componentName(od *OperandSpec) string {
+	switch {
+	case od.Lo == PosEnd:
+		return "arg$"
+	case od.Hi == od.Lo:
+		return fmt.Sprintf("arg%d", od.Lo)
+	case od.Hi == PosEnd:
+		return fmt.Sprintf("arg%d$", od.Lo)
+	default:
+		return fmt.Sprintf("arg%d-%d", od.Lo, od.Hi)
+	}
+}
+
+// operandFeatures extracts and aggregates features for one operand
+// construct. For range constructs, numeric features are summed across
+// matching operands and categorical features keep the first value; a
+// count feature "<name>.N" is prepended so the model can see arity.
+func (t *Translator) operandFeatures(od *OperandSpec, matched []string) (Vector, error) {
+	comp := componentName(od)
+	isRange := od.Hi != od.Lo
+	var out Vector
+	if isRange {
+		out = append(out, NumFeature(comp+".N", float64(len(matched))))
+	}
+
+	// Resolve attr methods up front so absent operands still produce a
+	// stable shape.
+	type attrInfo struct {
+		name   string
+		method XFMethod
+	}
+	attrs := make([]attrInfo, 0, len(od.Attrs))
+	for _, a := range od.Attrs {
+		m, ok := t.Registry.Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("xicl: unknown attr %q (register a method named %q?)", a, a)
+		}
+		attrs = append(attrs, attrInfo{a, m})
+	}
+
+	for _, ai := range attrs {
+		agg := make([]Feature, ai.method.Arity())
+		for j := range agg {
+			name := comp + "." + ai.name
+			if ai.method.Arity() > 1 {
+				name = fmt.Sprintf("%s.%d", name, j)
+			}
+			agg[j] = NumFeature(name, 0)
+		}
+		for oi, raw := range matched {
+			fs, err := ai.method.XFeature(raw, od.Type, t.Env)
+			if err != nil {
+				return nil, fmt.Errorf("xicl: %s on operand %d: %v", ai.name, oi+1, err)
+			}
+			if len(fs) != ai.method.Arity() {
+				return nil, fmt.Errorf("xicl: method %s yielded %d features, declared %d",
+					ai.name, len(fs), ai.method.Arity())
+			}
+			for j, ft := range fs {
+				switch {
+				case ft.Kind == Categorical && (oi == 0 || agg[j].Kind != Categorical):
+					agg[j] = CatFeature(agg[j].Name, ft.Cat)
+				case ft.Kind == Categorical:
+					// keep first categorical value
+				default:
+					agg[j].Num += ft.Num
+				}
+			}
+		}
+		out = append(out, agg...)
+	}
+	return out, nil
+}
+
+// extract runs an option's attr methods over its raw value.
+func (t *Translator) extract(comp string, attrs []string, raw string, typ ValueType) (Vector, error) {
+	var out Vector
+	for _, a := range attrs {
+		m, ok := t.Registry.Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("xicl: unknown attr %q (register a method named %q?)", a, a)
+		}
+		fs, err := m.XFeature(raw, typ, t.Env)
+		if err != nil {
+			return nil, fmt.Errorf("xicl: %s on %s: %v", a, comp, err)
+		}
+		for j, ft := range fs {
+			name := comp + "." + a
+			if len(fs) > 1 {
+				name = fmt.Sprintf("%s.%d", name, j)
+			}
+			ft.Name = name
+			out = append(out, ft)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package xicl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Env gives feature-extraction methods access to the input filesystem and
+// a cycle meter; everything an extractor does is charged to the run that
+// invoked the translator (the paper's overhead analysis measures exactly
+// this).
+type Env struct {
+	FS     FS
+	cycles int64
+}
+
+// Charge adds extraction cost to the meter.
+func (e *Env) Charge(cycles int64) { e.cycles += cycles }
+
+// Cycles returns the accumulated extraction cost.
+func (e *Env) Cycles() int64 { return e.cycles }
+
+// XFMethod is a feature-extraction method — the Go analogue of the
+// paper's XFMethod interface. Implementations compute a fixed number
+// (Arity) of features from one input component's raw value.
+type XFMethod interface {
+	// Arity is the number of features the method yields; the translator
+	// needs it to keep vector shapes stable when components are absent.
+	Arity() int
+	// XFeature extracts the features. Feature names are assigned by the
+	// translator from the component and attr names; only Kind and value
+	// are taken from the returned features.
+	XFeature(raw string, typ ValueType, env *Env) ([]Feature, error)
+}
+
+// XFMethodFunc adapts a function to a single-feature XFMethod.
+type XFMethodFunc func(raw string, typ ValueType, env *Env) (Feature, error)
+
+func (f XFMethodFunc) Arity() int { return 1 }
+
+func (f XFMethodFunc) XFeature(raw string, typ ValueType, env *Env) ([]Feature, error) {
+	ft, err := f(raw, typ, env)
+	if err != nil {
+		return nil, err
+	}
+	return []Feature{ft}, nil
+}
+
+// Registry maps attr names to extraction methods. It is the analogue of
+// the paper's xfMethodsMap plus Class.forName-style lookup: predefined
+// methods are installed by NewRegistry, programmer-defined ones (names
+// starting with "m") are added with Register.
+type Registry struct {
+	methods map[string]XFMethod
+}
+
+// NewRegistry returns a registry with the predefined methods VAL, SIZE,
+// LINES, WORDS and LEN installed.
+func NewRegistry() *Registry {
+	r := &Registry{methods: make(map[string]XFMethod)}
+	r.methods["VAL"] = XFMethodFunc(xfVal)
+	r.methods["SIZE"] = XFMethodFunc(xfSize)
+	r.methods["LINES"] = XFMethodFunc(xfLines)
+	r.methods["WORDS"] = XFMethodFunc(xfWords)
+	r.methods["LEN"] = XFMethodFunc(xfLen)
+	return r
+}
+
+// Register installs a programmer-defined method. Names must start with
+// "m" to be distinguishable from predefined features, as in the paper.
+func (r *Registry) Register(name string, m XFMethod) error {
+	if !strings.HasPrefix(name, "m") {
+		return fmt.Errorf("xicl: programmer-defined method %q must start with 'm'", name)
+	}
+	if m == nil || m.Arity() < 1 {
+		return fmt.Errorf("xicl: method %q must yield at least one feature", name)
+	}
+	if _, dup := r.methods[name]; dup {
+		return fmt.Errorf("xicl: method %q already registered", name)
+	}
+	r.methods[name] = m
+	return nil
+}
+
+// Lookup resolves an attr name to its method.
+func (r *Registry) Lookup(name string) (XFMethod, bool) {
+	m, ok := r.methods[name]
+	return m, ok
+}
+
+// Names returns the registered method names (unsorted).
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.methods))
+	for n := range r.methods {
+		names = append(names, n)
+	}
+	return names
+}
+
+// --- predefined methods ---
+
+// xfVal interprets the component's value directly: quantitative for num
+// and bin, categorical otherwise.
+func xfVal(raw string, typ ValueType, env *Env) (Feature, error) {
+	env.Charge(20)
+	switch typ {
+	case TypeNum:
+		if raw == "" {
+			return NumFeature("", 0), nil
+		}
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Feature{}, fmt.Errorf("VAL: %q is not numeric", raw)
+		}
+		return NumFeature("", f), nil
+	case TypeBin:
+		on := raw == "1" || raw == "true" || raw == "y"
+		if on {
+			return NumFeature("", 1), nil
+		}
+		return NumFeature("", 0), nil
+	default:
+		return CatFeature("", raw), nil
+	}
+}
+
+// xfSize is the file size in bytes.
+func xfSize(raw string, typ ValueType, env *Env) (Feature, error) {
+	env.Charge(60)
+	if typ != TypeFile {
+		return Feature{}, fmt.Errorf("SIZE applies to file components")
+	}
+	if raw == "" {
+		return NumFeature("", 0), nil
+	}
+	n, err := env.FS.Size(raw)
+	if err != nil {
+		return Feature{}, fmt.Errorf("SIZE: %v", err)
+	}
+	return NumFeature("", float64(n)), nil
+}
+
+func readFileCharged(raw string, env *Env) ([]byte, error) {
+	b, err := env.FS.ReadFile(raw)
+	if err != nil {
+		return nil, err
+	}
+	env.Charge(40 + int64(len(b))/8)
+	return b, nil
+}
+
+// xfLines counts newline-separated lines in a file.
+func xfLines(raw string, typ ValueType, env *Env) (Feature, error) {
+	if typ != TypeFile {
+		return Feature{}, fmt.Errorf("LINES applies to file components")
+	}
+	if raw == "" {
+		return NumFeature("", 0), nil
+	}
+	b, err := readFileCharged(raw, env)
+	if err != nil {
+		return Feature{}, fmt.Errorf("LINES: %v", err)
+	}
+	lines := 0
+	for _, c := range b {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if len(b) > 0 && b[len(b)-1] != '\n' {
+		lines++
+	}
+	return NumFeature("", float64(lines)), nil
+}
+
+// xfWords counts whitespace-separated words in a file.
+func xfWords(raw string, typ ValueType, env *Env) (Feature, error) {
+	if typ != TypeFile {
+		return Feature{}, fmt.Errorf("WORDS applies to file components")
+	}
+	if raw == "" {
+		return NumFeature("", 0), nil
+	}
+	b, err := readFileCharged(raw, env)
+	if err != nil {
+		return Feature{}, fmt.Errorf("WORDS: %v", err)
+	}
+	return NumFeature("", float64(len(strings.Fields(string(b))))), nil
+}
+
+// xfLen is the length of the raw value text itself.
+func xfLen(raw string, _ ValueType, env *Env) (Feature, error) {
+	env.Charge(10)
+	return NumFeature("", float64(len(raw))), nil
+}

@@ -1,0 +1,440 @@
+package xicl
+
+import (
+	"strings"
+	"testing"
+)
+
+// routeSpec is the paper's Figure 2(b) example: a shortest-route finder
+// with -n (number of paths), -e/--echo (status messages), and graph-file
+// operands carrying programmer-defined mNodes and mEdges features.
+const routeSpec = `
+# XICL for the route example (paper Fig. 2)
+option  {name=-n; type=num; attr=VAL; default=1; has_arg=y}
+option  {name=-e:--echo; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1:$; type=file; attr=mNodes:mEdges}
+`
+
+// graph files: first line "nodes edges".
+func graphFS() MapFS {
+	return MapFS{
+		"graph":  []byte("100 1000\n0 1\n1 2\n"),
+		"graph2": []byte("7 9\n0 1\n"),
+	}
+}
+
+func registerGraphMethods(t *testing.T, reg *Registry) {
+	t.Helper()
+	header := func(raw string, env *Env) []string {
+		b, err := env.FS.ReadFile(raw)
+		if err != nil {
+			return nil
+		}
+		env.Charge(int64(len(b)) / 4)
+		line, _, _ := strings.Cut(string(b), "\n")
+		return strings.Fields(line)
+	}
+	mustRegister := func(name string, idx int) {
+		err := reg.Register(name, XFMethodFunc(func(raw string, _ ValueType, env *Env) (Feature, error) {
+			fields := header(raw, env)
+			if idx >= len(fields) {
+				return NumFeature("", 0), nil
+			}
+			var v float64
+			for _, c := range fields[idx] {
+				v = v*10 + float64(c-'0')
+			}
+			return NumFeature("", v), nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRegister("mNodes", 0)
+	mustRegister("mEdges", 1)
+}
+
+func buildRoute(t *testing.T, cmdline ...string) Vector {
+	t.Helper()
+	spec, err := ParseSpec(routeSpec)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	reg := NewRegistry()
+	registerGraphMethods(t, reg)
+	tr := NewTranslator(spec, reg, graphFS())
+	vec, err := tr.BuildFVector(cmdline)
+	if err != nil {
+		t.Fatalf("BuildFVector: %v", err)
+	}
+	return vec
+}
+
+func TestPaperRouteExample(t *testing.T) {
+	// "route -n 3 graph" with a 100-node 1000-edge graph must yield
+	// (3, 0, 100, 1000) per the paper (plus the operand-count feature our
+	// range aggregation adds).
+	vec := buildRoute(t, "-n", "3", "graph")
+	want := map[string]float64{
+		"-n.VAL":       3,
+		"-e.VAL":       0,
+		"arg1$.N":      1,
+		"arg1$.mNodes": 100,
+		"arg1$.mEdges": 1000,
+	}
+	if len(vec) != len(want) {
+		t.Fatalf("vector = %v, want %d features", vec, len(want))
+	}
+	for name, v := range want {
+		i := vec.Index(name)
+		if i < 0 {
+			t.Errorf("missing feature %s in %v", name, vec)
+			continue
+		}
+		if vec[i].Num != v {
+			t.Errorf("%s = %v, want %v", name, vec[i].Num, v)
+		}
+	}
+}
+
+func TestDefaultsAndAliases(t *testing.T) {
+	// No options: -n defaults to 1, echo off.
+	vec := buildRoute(t, "graph")
+	if i := vec.Index("-n.VAL"); vec[i].Num != 1 {
+		t.Errorf("-n default = %v, want 1", vec[i].Num)
+	}
+	// Alias --echo sets -e.
+	vec = buildRoute(t, "--echo", "graph")
+	if i := vec.Index("-e.VAL"); vec[i].Num != 1 {
+		t.Errorf("--echo not mapped to -e: %v", vec)
+	}
+}
+
+func TestMultipleOperandsAggregate(t *testing.T) {
+	vec := buildRoute(t, "graph", "graph2")
+	checks := map[string]float64{
+		"arg1$.N":      2,
+		"arg1$.mNodes": 107,  // 100 + 7
+		"arg1$.mEdges": 1009, // 1000 + 9
+	}
+	for name, v := range checks {
+		if i := vec.Index(name); i < 0 || vec[i].Num != v {
+			t.Errorf("%s wrong in %v (want %v)", name, vec, v)
+		}
+	}
+}
+
+func TestVectorShapeStable(t *testing.T) {
+	a := buildRoute(t, "-n", "3", "graph")
+	b := buildRoute(t, "--echo", "graph", "graph2")
+	if len(a) != len(b) {
+		t.Fatalf("shapes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Kind != b[i].Kind {
+			t.Errorf("position %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInlineOptionValue(t *testing.T) {
+	vec := buildRoute(t, "-n=5", "graph")
+	if i := vec.Index("-n.VAL"); vec[i].Num != 5 {
+		t.Errorf("-n=5 gave %v", vec[i].Num)
+	}
+}
+
+func TestDoubleDashEndsOptions(t *testing.T) {
+	spec, _ := ParseSpec(`
+option  {name=-x; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=str; attr=VAL:LEN}
+`)
+	tr := NewTranslator(spec, nil, MapFS{})
+	vec, err := tr.BuildFVector([]string{"--", "-x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := vec.Index("-x.VAL"); vec[i].Num != 0 {
+		t.Error("-x after -- treated as option")
+	}
+	if i := vec.Index("arg1.VAL"); vec[i].Cat != "-x" {
+		t.Errorf("operand VAL = %v, want -x", vec[i])
+	}
+	if i := vec.Index("arg1.LEN"); vec[i].Num != 2 {
+		t.Errorf("operand LEN = %v, want 2", vec[i])
+	}
+}
+
+func TestPredefinedFileMethods(t *testing.T) {
+	spec, err := ParseSpec(`operand {position=1; type=file; attr=SIZE:LINES:WORDS}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := MapFS{"in.txt": []byte("hello world\nsecond line\n")}
+	tr := NewTranslator(spec, nil, fs)
+	vec, err := tr.BuildFVector([]string{"in.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"arg1.SIZE": 24, "arg1.LINES": 2, "arg1.WORDS": 4}
+	for name, v := range want {
+		if i := vec.Index(name); i < 0 || vec[i].Num != v {
+			t.Errorf("%s = %v, want %v", name, vec, v)
+		}
+	}
+	if tr.Cost() <= 0 {
+		t.Error("no extraction cost charged")
+	}
+}
+
+func TestCategoricalEnumOption(t *testing.T) {
+	spec, err := ParseSpec(`option {name=-f; type=enum; attr=VAL; default=text; has_arg=y}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTranslator(spec, nil, MapFS{})
+	vec, err := tr.BuildFVector([]string{"-f", "xml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0].Kind != Categorical || vec[0].Cat != "xml" {
+		t.Errorf("enum VAL = %v, want categorical xml", vec[0])
+	}
+}
+
+func TestRuntimeFeaturesAndDone(t *testing.T) {
+	spec, err := ParseSpec(`
+option  {name=-k; type=num; attr=VAL; default=2; has_arg=y}
+runtime {name=mDims; count=2; default=-1}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTranslator(spec, nil, MapFS{})
+	var fired Vector
+	tr.OnDone = func(v Vector) { fired = append(Vector(nil), v...) }
+
+	vec, err := tr.BuildFVector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != nil {
+		t.Fatal("OnDone fired before runtime features arrived")
+	}
+	if i := vec.Index("mDims.0"); i < 0 || vec[i].Num != -1 {
+		t.Fatalf("runtime defaults missing: %v", vec)
+	}
+	if err := tr.UpdateV("mDims", 33, 44); err != nil {
+		t.Fatal(err)
+	}
+	tr.Done()
+	if fired == nil {
+		t.Fatal("OnDone did not fire after Done")
+	}
+	if i := fired.Index("mDims.0"); fired[i].Num != 33 {
+		t.Errorf("mDims.0 = %v, want 33", fired[i].Num)
+	}
+	if i := fired.Index("mDims.1"); fired[i].Num != 44 {
+		t.Errorf("mDims.1 = %v, want 44", fired[i].Num)
+	}
+	// Done is idempotent.
+	tr.Done()
+	if !tr.DoneFired() {
+		t.Error("DoneFired = false")
+	}
+}
+
+func TestUpdateVUnknownName(t *testing.T) {
+	spec, _ := ParseSpec(`runtime {name=mA}`)
+	tr := NewTranslator(spec, nil, MapFS{})
+	if _, err := tr.BuildFVector(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.UpdateV("mB", 1); err == nil {
+		t.Error("UpdateV with unknown name succeeded")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown construct", `widget {name=-x}`, "unknown construct"},
+		{"missing brace", `option {name=-x; type=bin`, "missing '}'"},
+		{"missing type", `option {name=-x; has_arg=n}`, "missing type"},
+		{"bad type", `option {name=-x; type=zzz; has_arg=n}`, "unknown type"},
+		{"no dash", `option {name=x; type=bin; has_arg=n}`, "must start with '-'"},
+		{"nonbin noarg", `option {name=-x; type=num; has_arg=n}`, "must have type bin"},
+		{"bad position", `operand {position=0; type=str}`, "bad position"},
+		{"range from $", "operand {position=$:2; type=str}", "cannot start at $"},
+		{"empty range", `operand {position=3:2; type=str}`, "empty position range"},
+		{"runtime no m", `runtime {name=dims}`, "must start with 'm'"},
+		{"dup field", `option {name=-x; name=-y; type=bin; has_arg=n}`, "duplicate field"},
+		{"not kv", `option {name}`, "not key=value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.src)
+			if err == nil {
+				t.Fatalf("ParseSpec succeeded, want error with %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	spec, _ := ParseSpec(`
+option  {name=-n; type=num; attr=VAL; default=1; has_arg=y}
+operand {position=1; type=file; attr=SIZE}
+`)
+	tr := func() *Translator { return NewTranslator(spec, nil, MapFS{}) }
+
+	if _, err := tr().BuildFVector([]string{"-z"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown option") {
+		t.Errorf("unknown option not rejected: %v", err)
+	}
+	if _, err := tr().BuildFVector([]string{"-n"}); err == nil ||
+		!strings.Contains(err.Error(), "requires an argument") {
+		t.Errorf("missing argument not rejected: %v", err)
+	}
+	if _, err := tr().BuildFVector([]string{"-n", "abc"}); err == nil ||
+		!strings.Contains(err.Error(), "not numeric") {
+		t.Errorf("non-numeric VAL not rejected: %v", err)
+	}
+	if _, err := tr().BuildFVector([]string{"-n", "1", "nofile"}); err == nil ||
+		!strings.Contains(err.Error(), "no such file") {
+		t.Errorf("missing file not rejected: %v", err)
+	}
+	tt := tr()
+	if _, err := tt.BuildFVector(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.BuildFVector(nil); err == nil {
+		t.Error("second BuildFVector succeeded")
+	}
+}
+
+func TestRegistryRules(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("notM", XFMethodFunc(xfLen)); err == nil {
+		t.Error("Register without m prefix succeeded")
+	}
+	if err := reg.Register("mX", XFMethodFunc(xfLen)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("mX", XFMethodFunc(xfLen)); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if _, ok := reg.Lookup("VAL"); !ok {
+		t.Error("predefined VAL missing")
+	}
+}
+
+func TestAbsentOperandKeepsShape(t *testing.T) {
+	spec, _ := ParseSpec(`operand {position=2; type=str; attr=LEN}`)
+	tr := NewTranslator(spec, nil, MapFS{})
+	vec, err := tr.BuildFVector([]string{"only-one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].Num != 0 {
+		t.Errorf("absent operand features = %v, want single zero", vec)
+	}
+}
+
+func TestLastOperandDollar(t *testing.T) {
+	spec, _ := ParseSpec(`operand {position=$; type=str; attr=LEN}`)
+	tr := NewTranslator(spec, nil, MapFS{})
+	vec, err := tr.BuildFVector([]string{"aa", "bbbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0].Num != 4 {
+		t.Errorf("$ operand LEN = %v, want 4 (last operand)", vec[0].Num)
+	}
+}
+
+func TestGenerateSpecFromPaperUsage(t *testing.T) {
+	// The paper's Figure 2(a) usage text.
+	usage := `
+SYNOPSIS: route [options] FILE...
+OPTIONS:
+-n N: find N shortest paths. N is 1 by default.
+-e, --echo: status message. Off by default.
+`
+	src, err := GenerateSpec(usage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatalf("generated spec does not parse: %v\n%s", err, src)
+	}
+	if len(spec.Options) != 2 {
+		t.Fatalf("got %d options, want 2:\n%s", len(spec.Options), src)
+	}
+	n := spec.Options[0]
+	if n.Primary() != "-n" || n.Type != TypeNum || !n.HasArg {
+		t.Errorf("-n inferred wrong: %+v", n)
+	}
+	echo := spec.Options[1]
+	if echo.Primary() != "-e" || echo.Type != TypeBin || echo.HasArg ||
+		len(echo.Names) != 2 || echo.Names[1] != "--echo" {
+		t.Errorf("-e/--echo inferred wrong: %+v", echo)
+	}
+	if len(spec.Operands) != 1 {
+		t.Fatalf("got %d operands, want 1", len(spec.Operands))
+	}
+	op := spec.Operands[0]
+	if op.Lo != 1 || op.Hi != PosEnd || op.Type != TypeFile {
+		t.Errorf("FILE... operand inferred wrong: %+v", op)
+	}
+
+	// The draft is immediately usable by the translator.
+	tr := NewTranslator(spec, nil, MapFS{"g1": []byte("x"), "g2": []byte("y")})
+	vec, err := tr.BuildFVector([]string{"-n", "3", "--echo", "g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := vec.Index("-n.VAL"); i < 0 || vec[i].Num != 3 {
+		t.Errorf("generated spec unusable: %v", vec)
+	}
+}
+
+func TestGenerateSpecPlaceholderTypes(t *testing.T) {
+	usage := `
+SYNOPSIS: tool INPUTFILE
+OPTIONS:
+-o OUTFILE: write output here.
+-d DEPTH: recursion depth.
+-m MODE: operating mode.
+-q: quiet.
+`
+	src, err := GenerateSpec(usage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]ValueType{}
+	for _, o := range spec.Options {
+		types[o.Primary()] = o.Type
+	}
+	if types["-o"] != TypeFile || types["-d"] != TypeNum ||
+		types["-m"] != TypeStr || types["-q"] != TypeBin {
+		t.Errorf("placeholder types wrong: %v\n%s", types, src)
+	}
+	if len(spec.Operands) != 1 || spec.Operands[0].Type != TypeFile ||
+		spec.Operands[0].Hi != 1 {
+		t.Errorf("INPUTFILE operand wrong: %+v", spec.Operands)
+	}
+}
+
+func TestGenerateSpecRejectsGarbage(t *testing.T) {
+	if _, err := GenerateSpec("hello world"); err == nil {
+		t.Error("garbage usage accepted")
+	}
+}
