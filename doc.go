@@ -34,6 +34,7 @@
 //	internal/rep        repository-based baseline
 //	internal/programs   the 11-benchmark suite
 //	internal/harness    scenario runner and experiment generators
+//	internal/difftest   cross-tier differential tester and fuzz targets
 //	cmd/evolvevm        run programs under a scenario
 //	cmd/xiclc           XICL spec checker and translator
 //	cmd/expdriver       regenerate every table and figure

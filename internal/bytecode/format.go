@@ -1,0 +1,142 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a program as assembler input: the output of Format is
+// accepted by Assemble and produces a semantically identical program.
+// This is the machine-facing counterpart of Disassemble (which favours
+// human readability and does not round-trip).
+//
+// Local slots are renamed canonically (x0, x1, ...) because API-built
+// programs may carry names the assembler grammar cannot express; global
+// and function names are preserved and validated. Constant-pool pushes
+// are emitted as "const"/"fconst" literals, so a CONST of a small integer
+// reassembles as the equivalent IPUSH: Format(Assemble(Format(p))) is a
+// fixpoint, reached after at most one round trip.
+//
+// The program must pass Verify; Format returns an error for programs it
+// cannot express (array-reference constants, an entry function not named
+// "main", or names that are not assembler tokens).
+func Format(p *Program) (string, error) {
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return "", fmt.Errorf("format %s: invalid entry index %d", p.Name, p.Entry)
+	}
+	if name := p.Funcs[p.Entry].Name; name != "main" {
+		return "", fmt.Errorf("format %s: entry function is %q, not \"main\"", p.Name, name)
+	}
+	var b strings.Builder
+	for _, g := range p.Globals {
+		if !validToken(g) {
+			return "", fmt.Errorf("format %s: global name %q is not an assembler token", p.Name, g)
+		}
+		fmt.Fprintf(&b, "global %s\n", g)
+	}
+	for _, f := range p.Funcs {
+		if err := formatFunc(&b, p, f); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// validToken reports whether a name survives the assembler's tokenizer:
+// one whitespace-free field with none of the grammar's metacharacters.
+func validToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	return !strings.ContainsAny(s, " \t\r\n:();#,")
+}
+
+func formatFunc(b *strings.Builder, p *Program, f *Function) error {
+	if !validToken(f.Name) || f.Name == "global" || f.Name == "func" || f.Name == "end" {
+		return fmt.Errorf("format %s: function name %q is not an assembler token", p.Name, f.Name)
+	}
+	local := func(slot int32) string { return "x" + strconv.Itoa(int(slot)) }
+
+	b.WriteString("func ")
+	b.WriteString(f.Name)
+	b.WriteString("(")
+	for i := 0; i < f.NArgs; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(local(int32(i)))
+	}
+	b.WriteString(")")
+	if f.NLocals > f.NArgs {
+		b.WriteString(" locals")
+		for i := f.NArgs; i < f.NLocals; i++ {
+			b.WriteString(" ")
+			b.WriteString(local(int32(i)))
+		}
+	}
+	b.WriteString("\n")
+
+	// Synthesize labels at jump targets, numbered in code order.
+	labels := map[int]string{}
+	for _, in := range f.Code {
+		if in.Op.IsJump() {
+			if int(in.A) < 0 || int(in.A) >= len(f.Code) {
+				return fmt.Errorf("format %s.%s: jump target %d out of range", p.Name, f.Name, in.A)
+			}
+			labels[int(in.A)] = ""
+		}
+	}
+	n := 0
+	for pc := range f.Code {
+		if _, ok := labels[pc]; ok {
+			labels[pc] = "L" + strconv.Itoa(n)
+			n++
+		}
+	}
+
+	for pc, in := range f.Code {
+		if lbl, ok := labels[pc]; ok {
+			fmt.Fprintf(b, "%s:\n", lbl)
+		}
+		switch opTable[in.Op].operands {
+		case opsNone:
+			fmt.Fprintf(b, "  %s\n", in.Op)
+		case opsImm:
+			fmt.Fprintf(b, "  %s %d\n", in.Op, in.A)
+		case opsConst:
+			if int(in.A) < 0 || int(in.A) >= len(f.Consts) {
+				return fmt.Errorf("format %s.%s+%d: const index %d out of range", p.Name, f.Name, pc, in.A)
+			}
+			switch v := f.Consts[in.A]; v.Kind {
+			case KInt:
+				fmt.Fprintf(b, "  const %d\n", v.I)
+			case KFloat:
+				fmt.Fprintf(b, "  fconst %s\n", strconv.FormatFloat(v.F, 'g', -1, 64))
+			default:
+				return fmt.Errorf("format %s.%s+%d: %s constant is not expressible in assembly",
+					p.Name, f.Name, pc, v.Kind)
+			}
+		case opsLocal:
+			fmt.Fprintf(b, "  %s %s\n", in.Op, local(in.A))
+		case opsLocImm:
+			fmt.Fprintf(b, "  %s %s %d\n", in.Op, local(in.A), in.B)
+		case opsGlobal:
+			if int(in.A) < 0 || int(in.A) >= len(p.Globals) {
+				return fmt.Errorf("format %s.%s+%d: global slot %d out of range", p.Name, f.Name, pc, in.A)
+			}
+			fmt.Fprintf(b, "  %s %s\n", in.Op, p.Globals[in.A])
+		case opsTarget:
+			fmt.Fprintf(b, "  %s %s\n", in.Op, labels[int(in.A)])
+		case opsCall:
+			if int(in.A) < 0 || int(in.A) >= len(p.Funcs) {
+				return fmt.Errorf("format %s.%s+%d: call target %d out of range", p.Name, f.Name, pc, in.A)
+			}
+			fmt.Fprintf(b, "  %s %s %d\n", in.Op, p.Funcs[in.A].Name, in.B)
+		default:
+			return fmt.Errorf("format %s.%s+%d: unhandled operand kind for %s", p.Name, f.Name, pc, in.Op)
+		}
+	}
+	b.WriteString("end\n")
+	return nil
+}

@@ -1,0 +1,129 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+const fmtTestSrc = `
+global size
+global out
+
+func main() locals i acc
+  ipush 0
+  store i
+loop:
+  load i
+  gload size
+  ilt
+  jz done
+  load i
+  call twice 1
+  gload out
+  iadd
+  gstore out
+  iinc i 1
+  jmp loop
+done:
+  gload out
+  print
+  const 3000000000
+  fconst 2.5
+  fadd
+  ret
+end
+
+func twice(x)
+  load x
+  ipush 2
+  imul
+  ret
+end
+`
+
+// TestFormatRoundTrip checks the fixpoint property: assembling Format's
+// output yields a program whose own Format is stable.
+func TestFormatRoundTrip(t *testing.T) {
+	p1, err := Assemble("fmt", fmtTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Format(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble("fmt", s1)
+	if err != nil {
+		t.Fatalf("Format output rejected by Assemble:\n%s\nerror: %v", s1, err)
+	}
+	s2, err := Format(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Assemble("fmt", s2)
+	if err != nil {
+		t.Fatalf("second-round Format output rejected:\n%s\nerror: %v", s2, err)
+	}
+	s3, err := Format(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s3 {
+		t.Errorf("Format not a fixpoint after one round trip:\n--- round 2\n%s\n--- round 3\n%s", s2, s3)
+	}
+	if p2.NumInstrs() != p3.NumInstrs() || len(p2.Funcs) != len(p3.Funcs) {
+		t.Errorf("round trips disagree on shape: %d/%d instrs, %d/%d funcs",
+			p2.NumInstrs(), p3.NumInstrs(), len(p2.Funcs), len(p3.Funcs))
+	}
+}
+
+func TestFormatRejectsUnrepresentable(t *testing.T) {
+	p := NewProgram("bad")
+	f := &Function{Name: "main", NLocals: 0, Code: []Instr{
+		{Op: CONST, A: 0}, {Op: RET},
+	}, Consts: []Value{Arr(3)}}
+	if _, err := p.AddFunction(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(p); err == nil {
+		t.Error("Format accepted an array-reference constant")
+	}
+
+	q := NewProgram("bad2")
+	g := &Function{Name: "not main", NLocals: 0, Code: []Instr{{Op: IPUSH, A: 1}, {Op: RET}}}
+	if _, err := q.AddFunction(g); err != nil {
+		t.Fatal(err)
+	}
+	q.Entry = 0
+	if _, err := Format(q); err == nil {
+		t.Error("Format accepted a space-containing entry name")
+	}
+}
+
+func TestVerifyRejectsUnreachableGarbage(t *testing.T) {
+	// An unreachable CONST with an out-of-range pool index must be
+	// rejected: the optimizer walks whole bodies, reachable or not.
+	cases := []struct {
+		name string
+		code []Instr
+	}{
+		{"const", []Instr{{Op: JMP, A: 2}, {Op: CONST, A: 9}, {Op: IPUSH, A: 1}, {Op: RET}}},
+		{"local", []Instr{{Op: JMP, A: 2}, {Op: LOAD, A: 7}, {Op: IPUSH, A: 1}, {Op: RET}}},
+		{"jump", []Instr{{Op: JMP, A: 2}, {Op: JMP, A: 99}, {Op: IPUSH, A: 1}, {Op: RET}}},
+		{"call", []Instr{{Op: JMP, A: 2}, {Op: CALL, A: 44, B: 0}, {Op: IPUSH, A: 1}, {Op: RET}}},
+		{"opcode", []Instr{{Op: JMP, A: 2}, {Op: Op(250)}, {Op: IPUSH, A: 1}, {Op: RET}}},
+	}
+	for _, tc := range cases {
+		p := NewProgram("unreach")
+		f := &Function{Name: "main", NLocals: 1, Code: tc.code}
+		if _, err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+		err := Verify(p)
+		if err == nil {
+			t.Errorf("%s: Verify accepted unreachable garbage", tc.name)
+		} else if !strings.Contains(err.Error(), "verify") {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}

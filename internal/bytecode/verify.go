@@ -11,6 +11,12 @@ import "fmt"
 //   - consistent operand-stack depth at every instruction (a fixed depth
 //     per program point, as in the JVM verifier), never negative;
 //   - execution cannot fall off the end of the code.
+//
+// Static operand checks apply to every instruction, including ones the
+// depth dataflow never reaches: the optimizer walks whole bodies (constant
+// folding reads pool entries, inlining resolves call targets, compaction
+// remaps jump targets), so unreachable-but-malformed instructions must be
+// rejected here, not discovered as panics downstream.
 func Verify(p *Program) error {
 	for _, f := range p.Funcs {
 		if err := verifyFunc(p, f); err != nil {
@@ -43,6 +49,39 @@ func verifyFunc(p *Program, f *Function) error {
 		return fmt.Errorf("verify %s.%s: empty body", p.Name, f.Name)
 	}
 
+	// Static operand validation over every instruction, reachable or not.
+	for pc, in := range f.Code {
+		if !in.Op.Valid() {
+			return errf(pc, "invalid opcode %d", in.Op)
+		}
+		switch opTable[in.Op].operands {
+		case opsConst:
+			if int(in.A) < 0 || int(in.A) >= len(f.Consts) {
+				return errf(pc, "const index %d out of range (pool size %d)", in.A, len(f.Consts))
+			}
+		case opsLocal, opsLocImm:
+			if int(in.A) < 0 || int(in.A) >= f.NLocals {
+				return errf(pc, "local slot %d out of range (%d locals)", in.A, f.NLocals)
+			}
+		case opsGlobal:
+			if int(in.A) < 0 || int(in.A) >= len(p.Globals) {
+				return errf(pc, "global slot %d out of range (%d globals)", in.A, len(p.Globals))
+			}
+		case opsTarget:
+			if int(in.A) < 0 || int(in.A) >= len(f.Code) {
+				return errf(pc, "jump target %d out of range", in.A)
+			}
+		case opsCall:
+			if int(in.A) < 0 || int(in.A) >= len(p.Funcs) {
+				return errf(pc, "call target %d out of range (%d funcs)", in.A, len(p.Funcs))
+			}
+			if callee := p.Funcs[in.A]; callee.NArgs != int(in.B) {
+				return errf(pc, "call to %q with %d args; function takes %d",
+					callee.Name, in.B, callee.NArgs)
+			}
+		}
+	}
+
 	const unseen = -1
 	depth := make([]int, len(f.Code))
 	for i := range depth {
@@ -72,9 +111,6 @@ func verifyFunc(p *Program, f *Function) error {
 		work = work[:len(work)-1]
 		d := depth[pc]
 		in := f.Code[pc]
-		if !in.Op.Valid() {
-			return errf(pc, "invalid opcode %d", in.Op)
-		}
 
 		pops, fixed := in.Op.Pops()
 		if !fixed { // CALL
@@ -86,29 +122,6 @@ func verifyFunc(p *Program, f *Function) error {
 		nd := d - pops + in.Op.Pushes()
 		if nd > maxDepth {
 			maxDepth = nd
-		}
-
-		switch opTable[in.Op].operands {
-		case opsConst:
-			if int(in.A) < 0 || int(in.A) >= len(f.Consts) {
-				return errf(pc, "const index %d out of range (pool size %d)", in.A, len(f.Consts))
-			}
-		case opsLocal, opsLocImm:
-			if int(in.A) < 0 || int(in.A) >= f.NLocals {
-				return errf(pc, "local slot %d out of range (%d locals)", in.A, f.NLocals)
-			}
-		case opsGlobal:
-			if int(in.A) < 0 || int(in.A) >= len(p.Globals) {
-				return errf(pc, "global slot %d out of range (%d globals)", in.A, len(p.Globals))
-			}
-		case opsCall:
-			if int(in.A) < 0 || int(in.A) >= len(p.Funcs) {
-				return errf(pc, "call target %d out of range (%d funcs)", in.A, len(p.Funcs))
-			}
-			if callee := p.Funcs[in.A]; callee.NArgs != int(in.B) {
-				return errf(pc, "call to %q with %d args; function takes %d",
-					callee.Name, in.B, callee.NArgs)
-			}
 		}
 
 		switch {

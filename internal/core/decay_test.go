@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+)
+
+// TestDecayNormalization pins the γ boundary handling: γ is a weight in
+// (0, 1], so 0 and out-of-range values fall back to the paper's 0.7 while
+// γ=1 is legitimate (confidence tracks only the most recent run).
+func TestDecayNormalization(t *testing.T) {
+	prog := bytecode.NewProgram("t")
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0.7},    // zero value: paper default
+		{-0.3, 0.7}, // negative: invalid, default
+		{1.5, 0.7},  // above one: invalid, default
+		{1, 1},      // boundary: valid, keep
+		{0.01, 0.01},
+	}
+	for _, tc := range cases {
+		if got := NewEvolver(prog, Config{Decay: tc.in}).Config().Decay; got != tc.want {
+			t.Errorf("Evolver Decay %v normalized to %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestGCSelectorDecayOne checks the γ=1 boundary semantics: confidence is
+// exactly the last run's accuracy, with no memory of earlier runs.
+func TestGCSelectorDecayOne(t *testing.T) {
+	s := NewGCSelector(Config{Decay: 1})
+
+	// First run: empty model, no prediction, accuracy 0.
+	s.Observe(gcFeatures(1), statsFor(1))
+	if s.Confidence() != 0 {
+		t.Fatalf("conf after first run = %v, want 0", s.Confidence())
+	}
+	// Second identical run: the model now predicts correctly, so with
+	// γ=1 confidence jumps straight to 1.
+	s.Observe(gcFeatures(1), statsFor(1))
+	if s.Confidence() != 1 {
+		t.Fatalf("conf after correct prediction = %v, want 1 under γ=1", s.Confidence())
+	}
+	// One flipped run erases all of it.
+	s.Observe(gcFeatures(1), statsFor(50))
+	if s.Confidence() != 0 {
+		t.Fatalf("conf after misprediction = %v, want 0 under γ=1", s.Confidence())
+	}
+}
+
+// TestGCSelectorDecayZeroFallsBack checks that γ=0 (which would freeze
+// confidence at zero forever) is replaced by the 0.7 default: a single
+// correct prediction must move confidence to exactly γ·1 = 0.7.
+func TestGCSelectorDecayZeroFallsBack(t *testing.T) {
+	for _, bad := range []float64{0, -1, 2} {
+		s := NewGCSelector(Config{Decay: bad})
+		s.Observe(gcFeatures(1), statsFor(1)) // trains, acc 0
+		s.Observe(gcFeatures(1), statsFor(1)) // predicts correctly
+		if s.Confidence() != 0.7 {
+			t.Errorf("Decay=%v: conf after one correct prediction = %v, want 0.7 (default γ)",
+				bad, s.Confidence())
+		}
+	}
+}
+
+// TestGCSelectorResourceOnlyRuns documents that a run whose stats carry
+// allocations but no collections teaches nothing regardless of γ.
+func TestGCSelectorResourceOnlyRuns(t *testing.T) {
+	s := NewGCSelector(Config{Decay: 1})
+	ideal := s.Observe(gcFeatures(3), gc.Stats{Allocs: 500})
+	if ideal != gc.None {
+		t.Errorf("ideal = %v, want none", ideal)
+	}
+	if s.Confidence() != 0 || s.Runs() != 1 {
+		t.Errorf("conf=%v runs=%d after collection-free run, want 0 and 1",
+			s.Confidence(), s.Runs())
+	}
+}

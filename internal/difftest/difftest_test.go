@@ -1,0 +1,294 @@
+package difftest
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"evolvevm/internal/aos"
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/interp"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+)
+
+// -difftest.seed reruns one generator seed under full logging:
+//
+//	go test ./internal/difftest -run TestCrossTier -difftest.seed=12345 -v
+var seedFlag = flag.Int64("difftest.seed", -1, "run only this generator seed through the cross-tier oracle")
+
+// Soak sizes: every seed is cross-checked at all four tiers on every
+// input vector.
+const (
+	soakShort = 100
+	soakLong  = 2000
+
+	// preCap weeds out seeds that run too hot for a fast soak; runCap
+	// gives the surviving runs ample headroom so resource traps stay rare.
+	preCap = 3_000_000
+	runCap = 30_000_000
+)
+
+func soakN(t *testing.T) int {
+	if testing.Short() {
+		return soakShort
+	}
+	return soakLong
+}
+
+func genFor(seed int64) *Generated {
+	return Generate(GenConfig{Seed: seed, AllowTraps: seed%2 == 0})
+}
+
+// TestCrossTier is the tentpole soak: N generated programs, each run at
+// the interpreter and all three JIT levels on several input vectors,
+// asserting identical observable behaviour and sound cycle ledgers, plus
+// the aggregate dynamic-work ordering O2 ≤ O1 ≤ O0 ≤ baseline over the
+// whole corpus.
+func TestCrossTier(t *testing.T) {
+	seeds := make([]int64, 0, soakLong)
+	if *seedFlag >= 0 {
+		seeds = append(seeds, *seedFlag)
+	} else {
+		for s := int64(0); s < int64(soakN(t)); s++ {
+			seeds = append(seeds, s)
+		}
+	}
+
+	var (
+		checked, skipped, trapped int
+		workByLevel               [4]int64
+	)
+	for _, seed := range seeds {
+		g := genFor(seed)
+		for k, input := range g.Inputs {
+			// Deterministically drop (seed, input) pairs that are too hot
+			// to soak quickly: if the baseline can't finish under preCap,
+			// every tier gets skipped.
+			pre, err := RunTier(g.Prog, jit.MinLevel, gc.Config{}, preCap, g.NumericGlobals, input)
+			if err != nil {
+				t.Fatalf("seed %d input %d: %v", seed, k, err)
+			}
+			if pre.ResourceTrapped() {
+				skipped++
+				continue
+			}
+			rep, err := CheckInput(g, input, gc.Config{}, runCap)
+			if err != nil {
+				t.Fatalf("input %d: %v\nreproduce: go test ./internal/difftest -run TestCrossTier -difftest.seed=%d -v", k, err, seed)
+			}
+			if rep.Skipped {
+				skipped++
+				continue
+			}
+			checked++
+			if rep.Execs[0].Trap != "" {
+				trapped++
+			} else {
+				for i, ex := range rep.Execs {
+					workByLevel[i] += ex.Work
+				}
+			}
+		}
+	}
+	t.Logf("cross-tier: %d runs checked (%d trapped identically), %d skipped on resource limits", checked, trapped, skipped)
+	t.Logf("aggregate dynamic work: base=%d O0=%d O1=%d O2=%d",
+		workByLevel[0], workByLevel[1], workByLevel[2], workByLevel[3])
+	if checked == 0 {
+		t.Fatal("soak checked zero runs")
+	}
+	if *seedFlag >= 0 {
+		return // single-seed repro: aggregate assertions are meaningless
+	}
+	if min := len(seeds); checked < min {
+		t.Errorf("only %d of at least %d runs survived the resource-limit filter", checked, min)
+	}
+	// Aggregate ordering over the corpus. Not a per-program theorem (LICM
+	// preheaders lose on zero-trip loops, inlining re-zeroes locals), but
+	// over hundreds of programs each optimization level must pay off.
+	for i := 1; i < 4; i++ {
+		if workByLevel[i] > workByLevel[i-1] {
+			t.Errorf("aggregate dynamic work regressed: level %d did %d, level %d did %d",
+				i-2, workByLevel[i], i-3, workByLevel[i-1])
+		}
+	}
+}
+
+// TestCrossTierGC reruns a slice of the corpus under both collectors with
+// a tight heap budget, so allocation-heavy seeds actually collect. The
+// canonical heap comparison is physical-layout independent, so all tiers
+// must agree under MarkSweep, Copying, and no GC alike.
+func TestCrossTierGC(t *testing.T) {
+	n := soakN(t) / 4
+	if *seedFlag >= 0 {
+		n = 0
+	}
+	cfgs := []gc.Config{
+		{Policy: gc.MarkSweep, BudgetCells: 48},
+		{Policy: gc.Copying, BudgetCells: 48},
+	}
+	var checked, skipped int
+	for s := int64(0); s < int64(n); s++ {
+		g := genFor(s)
+		for k, input := range g.Inputs {
+			for _, cfg := range cfgs {
+				rep, err := CheckInput(g, input, cfg, runCap)
+				if err != nil {
+					t.Fatalf("gc=%s input %d: %v\nreproduce: go test ./internal/difftest -run TestCrossTierGC -difftest.seed=%d -v", cfg.Policy, k, err, s)
+				}
+				if rep.Skipped {
+					skipped++
+					continue
+				}
+				checked++
+			}
+		}
+	}
+	if *seedFlag >= 0 {
+		g := genFor(*seedFlag)
+		for _, input := range g.Inputs {
+			for _, cfg := range cfgs {
+				if rep, err := CheckInput(g, input, cfg, runCap); err != nil {
+					t.Fatal(err)
+				} else if !rep.Skipped {
+					checked++
+				}
+			}
+		}
+	}
+	t.Logf("gc cross-tier: %d runs checked, %d skipped (OOM under tight budget)", checked, skipped)
+	if checked == 0 {
+		t.Fatal("gc soak checked zero runs")
+	}
+}
+
+// TestMetamorphicPasses applies each optimization pass individually and
+// cumulatively, verifying and re-running after every pass, so a pipeline
+// divergence is attributed to the first pass that introduced it.
+func TestMetamorphicPasses(t *testing.T) {
+	n := int64(soakN(t) / 4)
+	seeds := make([]int64, 0, n)
+	if *seedFlag >= 0 {
+		seeds = append(seeds, *seedFlag)
+	} else {
+		for s := int64(0); s < n; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		g := genFor(seed)
+		if err := CheckPasses(g, jit.MaxLevel, runCap); err != nil {
+			t.Fatalf("%v\nreproduce: go test ./internal/difftest -run TestMetamorphicPasses -difftest.seed=%d -v", err, seed)
+		}
+	}
+}
+
+// TestMachineMixedTier runs generated programs through the full vm.Machine
+// with the reactive AOS controller — functions migrate tiers mid-run — and
+// checks the mixed-tier execution agrees with the pure interpreter, and
+// that the machine's cycle ledger reconciles.
+func TestMachineMixedTier(t *testing.T) {
+	n := int64(soakN(t) / 4)
+	seeds := make([]int64, 0, n)
+	if *seedFlag >= 0 {
+		seeds = append(seeds, *seedFlag)
+	} else {
+		for s := int64(0); s < n; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	var checked, skipped int
+	for _, seed := range seeds {
+		g := genFor(seed)
+		for k, input := range g.Inputs {
+			ref, err := RunTier(g.Prog, jit.MinLevel, gc.Config{}, runCap, g.NumericGlobals, input)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if ref.ResourceTrapped() {
+				skipped++
+				continue
+			}
+			m := vm.New(g.Prog, jit.DefaultConfig(), aos.NewReactive())
+			m.Engine.MaxCycles = runCap
+			for j, s := range g.NumericGlobals {
+				m.Engine.Globals[s] = input[j]
+			}
+			got := &Exec{}
+			res, rerr := m.Run()
+			if rerr != nil {
+				re, ok := rerr.(*interp.RuntimeError)
+				if !ok {
+					t.Fatalf("seed %d input %d: %v", seed, k, rerr)
+				}
+				got.Trap = re.Msg
+			}
+			captureState(got, m.Engine, res)
+			if got.ResourceTrapped() {
+				skipped++
+				continue
+			}
+			if err := Compare(ref, got); err != nil {
+				t.Fatalf("seed %d input %d: mixed-tier machine diverged from interpreter: %v", seed, k, err)
+			}
+			if err := m.LedgerError(); err != nil {
+				t.Fatalf("seed %d input %d: %v", seed, k, err)
+			}
+			checked++
+		}
+	}
+	t.Logf("mixed-tier: %d runs checked, %d skipped", checked, skipped)
+	if checked == 0 {
+		t.Fatal("mixed-tier soak checked zero runs")
+	}
+}
+
+// TestGeneratorDeterminism: the same seed must generate byte-identical
+// programs and inputs (the whole subsystem hinges on reproducibility).
+func TestGeneratorDeterminism(t *testing.T) {
+	for s := int64(0); s < 20; s++ {
+		a, b := genFor(s), genFor(s)
+		fa, err := bytecode.Format(a.Prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		fb, err := bytecode.Format(b.Prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if fa != fb {
+			t.Fatalf("seed %d generated two different programs", s)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("seed %d generated different input sets", s)
+		}
+		for k := range a.Inputs {
+			for j := range a.Inputs[k] {
+				if !a.Inputs[k][j].Equal(b.Inputs[k][j]) {
+					t.Fatalf("seed %d input %d differs", s, k)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsFormat: every generated program must be expressible
+// in assembly and round-trip through Assemble unchanged in meaning — this
+// is what lets failing seeds be minimized into committed .evm reproducers.
+func TestGeneratedProgramsFormat(t *testing.T) {
+	for s := int64(0); s < 50; s++ {
+		g := genFor(s)
+		src, err := bytecode.Format(g.Prog)
+		if err != nil {
+			t.Fatalf("seed %d: Format: %v", s, err)
+		}
+		p2, err := bytecode.Assemble(fmt.Sprintf("gen%d", s), src)
+		if err != nil {
+			t.Fatalf("seed %d: reassembly: %v", s, err)
+		}
+		if err := bytecode.Verify(p2); err != nil {
+			t.Fatalf("seed %d: reassembled program invalid: %v", s, err)
+		}
+	}
+}

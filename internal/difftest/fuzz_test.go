@@ -1,0 +1,184 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/interp"
+	"evolvevm/internal/jit"
+)
+
+// FuzzAsmRoundTrip checks the assembler/formatter contract: any program
+// the assembler accepts and the formatter can express must survive
+// Format → Assemble with identical meaning, and Format must reach a
+// fixpoint after one round trip (the first trip canonicalizes local
+// names and const encodings; after that the text is stable).
+func FuzzAsmRoundTrip(f *testing.F) {
+	f.Add("func main()\n  ipush 1\n  ret\nend\n")
+	f.Add("global g\nfunc main() locals i\nL:\n  load i\n  gload g\n  ilt\n  jz E\n  iinc i 1\n  jmp L\nE:\n  ipush 0\n  ret\nend\n")
+	for s := int64(0); s < 4; s++ {
+		if src, err := bytecode.Format(genFor(s).Prog); err == nil {
+			f.Add(src)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := bytecode.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		s1, err := bytecode.Format(p1)
+		if err != nil {
+			return // inexpressible (e.g. entry not named "main")
+		}
+		p2, err := bytecode.Assemble("fuzz", s1)
+		if err != nil {
+			t.Fatalf("Format output rejected by Assemble: %v\n%s", err, s1)
+		}
+		s2, err := bytecode.Format(p2)
+		if err != nil {
+			t.Fatalf("second Format failed: %v", err)
+		}
+		p3, err := bytecode.Assemble("fuzz", s2)
+		if err != nil {
+			t.Fatalf("second round trip rejected: %v\n%s", err, s2)
+		}
+		s3, err := bytecode.Format(p3)
+		if err != nil {
+			t.Fatalf("third Format failed: %v", err)
+		}
+		if s2 != s3 {
+			t.Fatalf("Format not a fixpoint after one round trip:\n--- trip 2\n%s\n--- trip 3\n%s", s2, s3)
+		}
+		if bytecode.Verify(p1) == nil {
+			if err := bytecode.Verify(p2); err != nil {
+				t.Fatalf("round trip broke verification: %v", err)
+			}
+		}
+	})
+}
+
+// decodeProgram deserializes fuzz bytes into a program: a compact,
+// total decoding (any byte string yields some program) so the fuzzer
+// explores the verifier's acceptance frontier instead of fighting a
+// parser. Exhausted input reads as zero.
+func decodeProgram(data []byte) *bytecode.Program {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	p := bytecode.NewProgram("fuzz")
+	for i, n := 0, int(next()%4); i < n; i++ {
+		p.AddGlobal(fmt.Sprintf("g%d", i))
+	}
+	nFuncs := int(next()%3) + 1
+	for i := 0; i < nFuncs; i++ {
+		fn := &bytecode.Function{Name: "main"}
+		if i > 0 {
+			fn.Name = fmt.Sprintf("f%d", i)
+			fn.NArgs = int(next() % 4)
+		}
+		fn.NLocals = fn.NArgs + int(next()%4)
+		for j, n := 0, int(next()%3); j < n; j++ {
+			if next()%2 == 0 {
+				fn.Consts = append(fn.Consts, bytecode.Int(int64(int8(next()))))
+			} else {
+				fn.Consts = append(fn.Consts, bytecode.Float(float64(int8(next()))/2))
+			}
+		}
+		nInstrs := int(next()%32) + 1
+		for j := 0; j < nInstrs; j++ {
+			fn.Code = append(fn.Code, bytecode.Instr{
+				Op: bytecode.Op(next() % byte(bytecode.NumOps)),
+				A:  int32(int8(next())),
+				B:  int32(int8(next())),
+			})
+		}
+		if _, err := p.AddFunction(fn); err != nil {
+			panic(err) // names are unique by construction
+		}
+	}
+	return p
+}
+
+// FuzzVerify probes the verifier's robustness contract: whatever program
+// the verifier accepts must compile cleanly at every optimization level
+// and execute without panicking — runtime traps are fine, crashes and
+// optimizer rejections of verified input are bugs (this is exactly the
+// class the unreachable-operand verifier gap fell into).
+func FuzzVerify(f *testing.F) {
+	// A valid specimen under decodeProgram's encoding: no globals, one
+	// function, one local, no consts, code "ipush 1; ret".
+	f.Add([]byte{0, 0, 1, 0, 1, byte(bytecode.IPUSH), 1, 0, byte(bytecode.RET), 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProgram(data)
+		if err := bytecode.Verify(p); err != nil {
+			return
+		}
+		for level := 0; level <= jit.MaxLevel; level++ {
+			comp := jit.NewCompiler(p, jit.DefaultConfig())
+			if _, _, err := comp.CompileAll(level); err != nil {
+				t.Fatalf("verified program rejected by O%d: %v", level, err)
+			}
+		}
+		eng := interp.NewEngine(p)
+		eng.MaxCycles = 200_000
+		eng.MaxHeapCells = 1 << 16
+		eng.Run() // traps allowed; panics are fuzz failures
+	})
+}
+
+// FuzzCrossTier feeds assembled programs straight into the cross-tier
+// oracle: any verifier-valid text must behave identically at the
+// interpreter and all JIT levels on the fuzzed inputs. GC stays off so
+// heap indices in printed-then-dropped references remain stable.
+func FuzzCrossTier(f *testing.F) {
+	for s := int64(0); s < 4; s++ {
+		if src, err := bytecode.Format(genFor(s).Prog); err == nil {
+			f.Add(src, int64(s), int64(-s), int64(7*s))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string, in1, in2, in3 int64) {
+		prog, err := bytecode.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := bytecode.Verify(prog); err != nil {
+			return
+		}
+		slots := make([]int, 0, 3)
+		for i := range prog.Globals {
+			if len(slots) == 3 {
+				break
+			}
+			slots = append(slots, i)
+		}
+		input := []bytecode.Value{bytecode.Int(in1), bytecode.Float(float64(in2)), bytecode.Int(in3)}
+		input = input[:len(slots)]
+
+		// Skip programs too hot for a fuzz iteration.
+		pre, err := RunTier(prog, jit.MinLevel, gc.Config{}, 500_000, slots, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pre.ResourceTrapped() {
+			return
+		}
+		g := &Generated{
+			Cfg:            GenConfig{Seed: -1},
+			Prog:           prog,
+			NumericGlobals: slots,
+			Inputs:         [][]bytecode.Value{input},
+		}
+		if _, err := CheckInput(g, input, gc.Config{}, 2_000_000); err != nil {
+			t.Fatalf("%v\nprogram:\n%s", err, src)
+		}
+	})
+}

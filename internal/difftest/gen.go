@@ -1,0 +1,577 @@
+// Package difftest is the VM's differential-testing and fuzzing
+// subsystem: a seeded generator of verifier-valid, guaranteed-terminating
+// bytecode programs, a cross-tier oracle that proves the interpreter and
+// every JIT level compute identical results, and a per-pass metamorphic
+// harness that pinpoints the optimization pass responsible for a
+// divergence. See DESIGN.md ("Differential testing") for the invariants.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evolvevm/internal/bytecode"
+)
+
+// GenConfig controls program generation.
+type GenConfig struct {
+	// Seed selects the program deterministically: the same seed always
+	// yields the same program and input vectors.
+	Seed int64
+	// AllowTraps admits constructs that may trap at runtime (unguarded
+	// division, array ops on integer-valued slots). Trap behaviour must
+	// still be identical across tiers; disabling them keeps programs
+	// running to completion for throughput-oriented soaks.
+	AllowTraps bool
+}
+
+// Generated is a generator output: a verified program plus deterministic
+// input vectors for its numeric global slots.
+type Generated struct {
+	Cfg  GenConfig
+	Prog *bytecode.Program
+	// NumericGlobals lists the global slots that act as program inputs.
+	NumericGlobals []int
+	// Inputs holds input vectors; Inputs[k][j] is the value for slot
+	// NumericGlobals[j] in the k-th run.
+	Inputs [][]bytecode.Value
+}
+
+// Generation limits.
+const (
+	genMaxHelpers    = 3
+	genHelperDynCap  = 4_000  // estimated dynamic instructions per helper
+	genMainDynCap    = 30_000 // estimated dynamic instructions for main
+	genMaxBodyInstrs = 220
+	genMaxExprDepth  = 3
+	genMaxLoopDepth  = 2
+	genMaxTrip       = 8
+)
+
+// Generate builds a random program from cfg. The result always passes
+// bytecode.Verify, and — because loop counters live in reserved slots,
+// loop bounds are masked or statically small, and the call graph is a
+// DAG — always terminates within a bounded number of instructions.
+func Generate(cfg GenConfig) *Generated {
+	g := &generator{
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		prog: bytecode.NewProgram(fmt.Sprintf("gen%d", cfg.Seed)),
+		cfg:  cfg,
+	}
+	g.build()
+	if err := bytecode.Verify(g.prog); err != nil {
+		// A generator bug, not an input problem: fail loudly with the
+		// seed so the program can be reproduced.
+		panic(fmt.Sprintf("difftest: seed %d generated an invalid program: %v", cfg.Seed, err))
+	}
+	out := &Generated{Cfg: cfg, Prog: g.prog, NumericGlobals: g.numGlobals}
+	nInputs := 2 + g.rng.Intn(2)
+	for k := 0; k < nInputs; k++ {
+		vec := make([]bytecode.Value, len(g.numGlobals))
+		for j := range vec {
+			switch g.rng.Intn(6) {
+			case 0:
+				vec[j] = bytecode.Int(int64(g.rng.Intn(7)) - 3) // near zero: trip-count & divisor edges
+			case 1:
+				vec[j] = bytecode.Int(g.rng.Int63() - g.rng.Int63()) // full-range int64
+			case 2:
+				vec[j] = bytecode.Float(g.rng.NormFloat64() * 100)
+			default:
+				vec[j] = bytecode.Int(int64(g.rng.Intn(201)) - 100)
+			}
+		}
+		out.Inputs = append(out.Inputs, vec)
+	}
+	return out
+}
+
+type arrSlot struct {
+	slot int32
+	size int64 // power of two, 1..8
+}
+
+func (a arrSlot) mask() int32 { return int32(a.size - 1) }
+
+type generator struct {
+	rng  *rand.Rand
+	prog *bytecode.Program
+	cfg  GenConfig
+
+	numGlobals []int    // numeric global slots (the input vector)
+	arrGlobal  *arrSlot // optional array-typed global
+}
+
+func (g *generator) build() {
+	// Globals: 1..3 numeric inputs plus an optional array global.
+	nNum := 1 + g.rng.Intn(3)
+	for i := 0; i < nNum; i++ {
+		g.numGlobals = append(g.numGlobals, g.prog.AddGlobal(fmt.Sprintf("g%d", i)))
+	}
+	if g.rng.Intn(2) == 0 {
+		size := int64(1) << g.rng.Intn(4)
+		slot := g.prog.AddGlobal("garr")
+		g.arrGlobal = &arrSlot{slot: int32(slot), size: size}
+	}
+
+	// Declare all functions first so call targets resolve to stable
+	// indices, then fill bodies from the last helper backwards: a
+	// function may only call helpers with larger indices, so the call
+	// graph is a DAG and every callee's dynamic-cost estimate is known
+	// when its callers are generated.
+	nHelpers := g.rng.Intn(genMaxHelpers + 1)
+	type fnMeta struct {
+		idx    int
+		fn     *bytecode.Function
+		dynEst int64
+	}
+	metas := make([]*fnMeta, 0, nHelpers+1)
+	for i := 0; i < nHelpers; i++ {
+		fn := &bytecode.Function{Name: fmt.Sprintf("h%d", i), NArgs: g.rng.Intn(4)}
+		idx, err := g.prog.AddFunction(fn)
+		if err != nil {
+			panic(err)
+		}
+		metas = append(metas, &fnMeta{idx: idx, fn: fn})
+	}
+	mainFn := &bytecode.Function{Name: "main"}
+	mainIdx, err := g.prog.AddFunction(mainFn)
+	if err != nil {
+		panic(err)
+	}
+	metas = append(metas, &fnMeta{idx: mainIdx, fn: mainFn})
+
+	for i := len(metas) - 1; i >= 0; i-- {
+		m := metas[i]
+		var callees []callee
+		for _, c := range metas[i+1:] {
+			if c.fn == mainFn {
+				continue
+			}
+			callees = append(callees, callee{idx: int32(c.idx), nargs: c.fn.NArgs, dynEst: c.dynEst})
+		}
+		cap := int64(genHelperDynCap)
+		if m.fn == mainFn {
+			cap = genMainDynCap
+		}
+		fg := &fnGen{g: g, f: m.fn, callees: callees, mult: 1, capEst: cap}
+		fg.generate(m.fn == mainFn)
+		m.dynEst = fg.est
+	}
+}
+
+type callee struct {
+	idx    int32
+	nargs  int
+	dynEst int64
+}
+
+// fnGen builds one function body, tracking an estimate of the dynamic
+// instruction count (est, under the current loop multiplier mult) so
+// generated programs stay cheap to execute at every tier.
+type fnGen struct {
+	g       *generator
+	f       *bytecode.Function
+	callees []callee
+
+	numLocals []int32   // numeric slots usable in expressions and stores
+	arrLocals []arrSlot // numeric-element arrays, safe for aload/astore
+	refArr    *arrSlot  // array whose elements are array references
+	counters  []int32   // reserved loop counters (read-only for exprs)
+
+	mult      int64 // product of enclosing loop trip counts
+	est       int64
+	capEst    int64
+	loopDepth int
+}
+
+func (fg *fnGen) rng() *rand.Rand { return fg.g.rng }
+
+func (fg *fnGen) emit(op bytecode.Op, a, b int32) int {
+	fg.f.Code = append(fg.f.Code, bytecode.Instr{Op: op, A: a, B: b})
+	fg.est += fg.mult
+	return len(fg.f.Code) - 1
+}
+
+func (fg *fnGen) patch(pc int, target int) { fg.f.Code[pc].A = int32(target) }
+
+func (fg *fnGen) here() int { return len(fg.f.Code) }
+
+func (fg *fnGen) newLocal(name string) int32 {
+	slot := int32(fg.f.NLocals)
+	fg.f.NLocals++
+	fg.f.LocalNames = append(fg.f.LocalNames, name)
+	return slot
+}
+
+func (fg *fnGen) generate(isMain bool) {
+	rng := fg.rng()
+
+	// Argument slots are numeric inputs.
+	for i := 0; i < fg.f.NArgs; i++ {
+		fg.numLocals = append(fg.numLocals, fg.newLocal(fmt.Sprintf("a%d", i)))
+	}
+	// Extra numeric locals.
+	for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+		fg.numLocals = append(fg.numLocals, fg.newLocal(fmt.Sprintf("v%d", i)))
+	}
+	// Array locals, initialized in the prologue (sizes are powers of two
+	// so indices can be masked into range with IAND).
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		a := arrSlot{slot: fg.newLocal(fmt.Sprintf("arr%d", i)), size: 1 << rng.Intn(4)}
+		fg.arrLocals = append(fg.arrLocals, a)
+		fg.emit(bytecode.IPUSH, int32(a.size), 0)
+		fg.emit(bytecode.NEWARR, 0, 0)
+		fg.emit(bytecode.STORE, a.slot, 0)
+	}
+	if len(fg.arrLocals) > 0 && rng.Intn(2) == 0 {
+		a := arrSlot{slot: fg.newLocal("refs"), size: 1 << rng.Intn(3)}
+		fg.refArr = &a
+		fg.emit(bytecode.IPUSH, int32(a.size), 0)
+		fg.emit(bytecode.NEWARR, 0, 0)
+		fg.emit(bytecode.STORE, a.slot, 0)
+	}
+	// Main owns the array global: allocate it before anything else runs
+	// so helpers may read it unconditionally.
+	if isMain && fg.g.arrGlobal != nil {
+		fg.emit(bytecode.IPUSH, int32(fg.g.arrGlobal.size), 0)
+		fg.emit(bytecode.NEWARR, 0, 0)
+		fg.emit(bytecode.GSTORE, fg.g.arrGlobal.slot, 0)
+	}
+
+	fg.stmts(1+rng.Intn(5), isMain)
+
+	// Epilogue: return a value.
+	fg.expr(0)
+	fg.emit(bytecode.RET, 0, 0)
+}
+
+// stmts emits n statements.
+func (fg *fnGen) stmts(n int, isMain bool) {
+	for i := 0; i < n; i++ {
+		if len(fg.f.Code) > genMaxBodyInstrs || fg.est > fg.capEst {
+			return
+		}
+		fg.stmt(isMain)
+	}
+}
+
+func (fg *fnGen) stmt(isMain bool) {
+	rng := fg.rng()
+	switch rng.Intn(20) {
+	case 0, 1, 2: // local = expr
+		fg.expr(0)
+		fg.emit(bytecode.STORE, fg.pick(fg.numLocals), 0)
+	case 3, 4: // global = expr
+		fg.expr(0)
+		fg.emit(bytecode.GSTORE, int32(fg.g.numGlobals[rng.Intn(len(fg.g.numGlobals))]), 0)
+	case 5, 6: // print expr
+		fg.expr(0)
+		fg.emit(bytecode.PRINT, 0, 0)
+	case 7, 8, 9: // if / if-else
+		fg.ifStmt(isMain)
+	case 10, 11, 12: // counted loop
+		if fg.loopDepth < genMaxLoopDepth && fg.est+fg.mult*int64(genMaxTrip)*8 < fg.capEst {
+			fg.loop(isMain)
+		} else {
+			fg.expr(0)
+			fg.emit(bytecode.STORE, fg.pick(fg.numLocals), 0)
+		}
+	case 13: // arr[i] = expr
+		if a, ok := fg.pickArr(); ok {
+			fg.emit(bytecode.LOAD, a.slot, 0)
+			fg.maskedIndex(a)
+			fg.expr(1)
+			fg.emit(bytecode.ASTORE, 0, 0)
+		} else {
+			fg.expr(0)
+			fg.emit(bytecode.PRINT, 0, 0)
+		}
+	case 14: // refs[i] = some array (exercises interior GC pointers)
+		if fg.refArr != nil {
+			fg.emit(bytecode.LOAD, fg.refArr.slot, 0)
+			fg.maskedIndex(*fg.refArr)
+			src := fg.arrLocals[rng.Intn(len(fg.arrLocals))]
+			fg.emit(bytecode.LOAD, src.slot, 0)
+			fg.emit(bytecode.ASTORE, 0, 0)
+		} else {
+			fg.expr(0)
+			fg.emit(bytecode.STORE, fg.pick(fg.numLocals), 0)
+		}
+	case 15: // re-allocate an array local (same static size)
+		if a, ok := fg.pickArr(); ok {
+			fg.emit(bytecode.IPUSH, int32(a.size), 0)
+			fg.emit(bytecode.NEWARR, 0, 0)
+			fg.emit(bytecode.STORE, a.slot, 0)
+		} else {
+			fg.expr(0)
+			fg.emit(bytecode.POP, 0, 0)
+		}
+	case 16: // publish a local array through the array global
+		if isMain && fg.g.arrGlobal != nil {
+			if a, ok := fg.arrOfSize(fg.g.arrGlobal.size); ok {
+				fg.emit(bytecode.LOAD, a.slot, 0)
+				fg.emit(bytecode.GSTORE, fg.g.arrGlobal.slot, 0)
+				return
+			}
+		}
+		fg.expr(0)
+		fg.emit(bytecode.POP, 0, 0)
+	case 17: // early return (only makes the tail dead; DCE fodder)
+		if fg.loopDepth > 0 || rng.Intn(3) == 0 {
+			fg.expr(0)
+			fg.emit(bytecode.RET, 0, 0)
+		} else {
+			fg.expr(0)
+			fg.emit(bytecode.PRINT, 0, 0)
+		}
+	case 18: // halt (main only, rare)
+		if isMain && rng.Intn(4) == 0 {
+			fg.expr(0)
+			fg.emit(bytecode.HALT, 0, 0)
+		} else {
+			fg.expr(0)
+			fg.emit(bytecode.GSTORE, int32(fg.g.numGlobals[rng.Intn(len(fg.g.numGlobals))]), 0)
+		}
+	default: // nop sprinkle / call for effect
+		if len(fg.callees) > 0 && rng.Intn(2) == 0 && fg.callExpr() {
+			fg.emit(bytecode.POP, 0, 0)
+		} else {
+			fg.emit(bytecode.NOP, 0, 0)
+		}
+	}
+}
+
+func (fg *fnGen) ifStmt(isMain bool) {
+	rng := fg.rng()
+	fg.expr(0) // condition
+	jz := fg.emit(bytecode.JZ, 0, 0)
+	fg.stmts(1+rng.Intn(3), isMain)
+	if rng.Intn(2) == 0 { // with else
+		jmp := fg.emit(bytecode.JMP, 0, 0)
+		fg.patch(jz, fg.here())
+		fg.stmts(1+rng.Intn(2), isMain)
+		fg.patch(jmp, fg.here())
+	} else {
+		fg.patch(jz, fg.here())
+	}
+}
+
+// loop emits a counted loop with a reserved counter slot. Every bound
+// shape is at most genMaxTrip..16 at runtime, and nothing in the body can
+// write the counter, so termination is guaranteed.
+func (fg *fnGen) loop(isMain bool) {
+	rng := fg.rng()
+	c := fg.newLocal(fmt.Sprintf("c%d", len(fg.counters)))
+
+	fg.emit(bytecode.IPUSH, 0, 0)
+	fg.emit(bytecode.STORE, c, 0)
+	head := fg.here()
+	fg.emit(bytecode.LOAD, c, 0)
+
+	trip := int64(2 + rng.Intn(genMaxTrip-1))
+	switch rng.Intn(4) {
+	case 0: // masked global bound: at most 16 trips whatever the input
+		fg.emit(bytecode.GLOAD, int32(fg.g.numGlobals[rng.Intn(len(fg.g.numGlobals))]), 0)
+		fg.emit(bytecode.IPUSH, 15, 0)
+		fg.emit(bytecode.IAND, 0, 0)
+		trip = 16
+	case 1: // array-length bound (LICM's ALEN candidate)
+		if a, ok := fg.pickArr(); ok {
+			fg.emit(bytecode.LOAD, a.slot, 0)
+			fg.emit(bytecode.ALEN, 0, 0)
+			trip = a.size
+		} else {
+			fg.emit(bytecode.IPUSH, int32(trip), 0)
+		}
+	default:
+		fg.emit(bytecode.IPUSH, int32(trip), 0)
+	}
+	fg.emit(bytecode.ILT, 0, 0)
+	exit := fg.emit(bytecode.JZ, 0, 0)
+
+	outerMult := fg.mult
+	fg.mult *= trip
+	fg.loopDepth++
+	fg.counters = append(fg.counters, c)
+	fg.stmts(1+rng.Intn(3), isMain)
+	fg.counters = fg.counters[:len(fg.counters)-1]
+	fg.loopDepth--
+	fg.mult = outerMult
+
+	fg.emit(bytecode.IINC, c, 1)
+	fg.emit(bytecode.JMP, int32(head), 0)
+	fg.patch(exit, fg.here())
+}
+
+// maskedIndex emits an in-range index for a: <expr> & (size-1).
+func (fg *fnGen) maskedIndex(a arrSlot) {
+	fg.expr(1)
+	fg.emit(bytecode.IPUSH, a.mask(), 0)
+	fg.emit(bytecode.IAND, 0, 0)
+}
+
+func (fg *fnGen) pick(pool []int32) int32 { return pool[fg.rng().Intn(len(pool))] }
+
+func (fg *fnGen) pickArr() (arrSlot, bool) {
+	if len(fg.arrLocals) == 0 {
+		return arrSlot{}, false
+	}
+	return fg.arrLocals[fg.rng().Intn(len(fg.arrLocals))], true
+}
+
+func (fg *fnGen) arrOfSize(size int64) (arrSlot, bool) {
+	for _, a := range fg.arrLocals {
+		if a.size == size {
+			return a, true
+		}
+	}
+	return arrSlot{}, false
+}
+
+// expr emits code pushing exactly one value.
+func (fg *fnGen) expr(depth int) {
+	rng := fg.rng()
+	if depth >= genMaxExprDepth || fg.est > fg.capEst {
+		fg.leaf()
+		return
+	}
+	switch rng.Intn(14) {
+	case 0, 1, 2, 3:
+		fg.leaf()
+	case 4: // unary
+		fg.expr(depth + 1)
+		ops := []bytecode.Op{bytecode.INEG, bytecode.INOT, bytecode.I2F,
+			bytecode.F2I, bytecode.FNEG, bytecode.FSQRT, bytecode.FABS}
+		fg.emit(ops[rng.Intn(len(ops))], 0, 0)
+	case 5, 6, 7: // integer binary
+		fg.expr(depth + 1)
+		fg.expr(depth + 1)
+		ops := []bytecode.Op{bytecode.IADD, bytecode.ISUB, bytecode.IMUL,
+			bytecode.IAND, bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR}
+		fg.emit(ops[rng.Intn(len(ops))], 0, 0)
+	case 8: // division, guarded unless traps are allowed
+		fg.expr(depth + 1)
+		fg.expr(depth + 1)
+		if !fg.g.cfg.AllowTraps || rng.Intn(4) != 0 {
+			fg.emit(bytecode.IPUSH, 1, 0)
+			fg.emit(bytecode.IOR, 0, 0) // divisor|1 is never zero
+		}
+		if rng.Intn(2) == 0 {
+			fg.emit(bytecode.IDIV, 0, 0)
+		} else {
+			fg.emit(bytecode.IMOD, 0, 0)
+		}
+	case 9: // float binary
+		fg.expr(depth + 1)
+		fg.expr(depth + 1)
+		ops := []bytecode.Op{bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV}
+		fg.emit(ops[rng.Intn(len(ops))], 0, 0)
+	case 10: // comparison
+		fg.expr(depth + 1)
+		fg.expr(depth + 1)
+		ops := []bytecode.Op{bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
+			bytecode.IGT, bytecode.IGE, bytecode.FEQ, bytecode.FNE,
+			bytecode.FLT, bytecode.FLE, bytecode.FGT, bytecode.FGE}
+		fg.emit(ops[rng.Intn(len(ops))], 0, 0)
+	case 11: // dup / swap shapes (peephole fodder)
+		fg.expr(depth + 1)
+		if rng.Intn(2) == 0 {
+			fg.emit(bytecode.DUP, 0, 0)
+		} else {
+			fg.expr(depth + 1)
+			fg.emit(bytecode.SWAP, 0, 0)
+		}
+		fg.emit(bytecode.IADD, 0, 0)
+	case 12: // array element
+		if a, ok := fg.pickArr(); ok {
+			fg.emit(bytecode.LOAD, a.slot, 0)
+			fg.maskedIndex(a)
+			fg.emit(bytecode.ALOAD, 0, 0)
+		} else {
+			fg.leaf()
+		}
+	default: // call
+		if !fg.callExpr() {
+			fg.leaf()
+		}
+	}
+}
+
+// callExpr emits a call to a random callee if the budget allows.
+func (fg *fnGen) callExpr() bool {
+	if len(fg.callees) == 0 || fg.loopDepth >= genMaxLoopDepth {
+		return false
+	}
+	c := fg.callees[fg.rng().Intn(len(fg.callees))]
+	cost := (c.dynEst + 2) * fg.mult
+	if fg.est+cost > fg.capEst {
+		return false
+	}
+	for i := 0; i < c.nargs; i++ {
+		fg.expr(genMaxExprDepth - 1) // shallow args
+	}
+	fg.emit(bytecode.CALL, c.idx, int32(c.nargs))
+	fg.est += cost
+	return true
+}
+
+func (fg *fnGen) leaf() {
+	rng := fg.rng()
+	switch rng.Intn(12) {
+	case 0, 1:
+		fg.emit(bytecode.IPUSH, int32(rng.Intn(129))-64, 0)
+	case 2:
+		fg.emit(bytecode.IPUSH, int32(rng.Uint32()), 0)
+	case 3:
+		fg.emit(bytecode.CONST, fg.f.AddConst(bytecode.Int(rng.Int63()-rng.Int63())), 0)
+	case 4:
+		fg.emit(bytecode.CONST, fg.f.AddConst(bytecode.Float(rng.NormFloat64()*10)), 0)
+	case 5, 6:
+		fg.emit(bytecode.LOAD, fg.pick(fg.numLocals), 0)
+	case 7, 8:
+		fg.emit(bytecode.GLOAD, int32(fg.g.numGlobals[rng.Intn(len(fg.g.numGlobals))]), 0)
+	case 9:
+		if len(fg.counters) > 0 {
+			fg.emit(bytecode.LOAD, fg.pick(fg.counters), 0)
+		} else {
+			fg.emit(bytecode.IPUSH, int32(rng.Intn(17))-8, 0)
+		}
+	case 10: // array length
+		switch {
+		case fg.g.cfg.AllowTraps && rng.Intn(5) == 0:
+			// Hazard: ALEN on a numeric slot traps at runtime; all
+			// tiers must trap identically.
+			fg.emit(bytecode.LOAD, fg.pick(fg.numLocals), 0)
+			fg.emit(bytecode.ALEN, 0, 0)
+		case len(fg.arrLocals) > 0:
+			a := fg.arrLocals[rng.Intn(len(fg.arrLocals))]
+			fg.emit(bytecode.LOAD, a.slot, 0)
+			fg.emit(bytecode.ALEN, 0, 0)
+		case fg.g.arrGlobal != nil:
+			fg.emit(bytecode.GLOAD, fg.g.arrGlobal.slot, 0)
+			fg.emit(bytecode.ALEN, 0, 0)
+		default:
+			fg.emit(bytecode.IPUSH, 1, 0)
+		}
+	default: // element of the array global
+		if fg.g.arrGlobal != nil {
+			fg.emit(bytecode.GLOAD, fg.g.arrGlobal.slot, 0)
+			fg.maskedIndexGlobal(*fg.g.arrGlobal)
+			fg.emit(bytecode.ALOAD, 0, 0)
+		} else {
+			fg.emit(bytecode.IPUSH, int32(rng.Intn(9))-4, 0)
+		}
+	}
+}
+
+// maskedIndexGlobal emits a masked index without recursing into expr
+// (used from leaf, which must stay non-recursive).
+func (fg *fnGen) maskedIndexGlobal(a arrSlot) {
+	fg.emit(bytecode.IPUSH, int32(fg.rng().Intn(64)), 0)
+	if len(fg.numLocals) > 0 && fg.rng().Intn(2) == 0 {
+		fg.emit(bytecode.LOAD, fg.pick(fg.numLocals), 0)
+		fg.emit(bytecode.IADD, 0, 0)
+	}
+	fg.emit(bytecode.IPUSH, a.mask(), 0)
+	fg.emit(bytecode.IAND, 0, 0)
+}

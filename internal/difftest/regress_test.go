@@ -1,0 +1,55 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/jit"
+)
+
+// TestRegressions replays the minimized miscompile reproducers in
+// testdata/ — programs distilled from failing generator seeds — through
+// both the per-pass metamorphic harness and the full cross-tier oracle.
+// Each file documents the optimizer bug it pinned down.
+func TestRegressions(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.evm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no reproducers in testdata/")
+	}
+	for _, file := range files {
+		t.Run(strings.TrimSuffix(filepath.Base(file), ".evm"), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := bytecode.Assemble(filepath.Base(file), string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if err := bytecode.Verify(prog); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			// Reproducers take no inputs; wrap into the oracle's shape.
+			g := &Generated{
+				Cfg:    GenConfig{Seed: -1},
+				Prog:   prog,
+				Inputs: [][]bytecode.Value{nil},
+			}
+			if err := CheckPasses(g, jit.MaxLevel, runCap); err != nil {
+				t.Errorf("per-pass: %v", err)
+			}
+			if rep, err := CheckInput(g, nil, gc.Config{}, runCap); err != nil {
+				t.Errorf("cross-tier: %v", err)
+			} else if rep.Skipped {
+				t.Errorf("reproducer unexpectedly hit a resource limit")
+			}
+		})
+	}
+}

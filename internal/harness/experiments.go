@@ -208,43 +208,55 @@ type Fig8Series struct {
 // per-run speedups of Evolve and Rep over Default under the same random
 // input arrival order.
 func Figure8(w io.Writer, opts Options) ([]Fig8Series, error) {
-	benches := opts.Benchmarks
-	if benches == nil {
-		benches = []string{"mtrt", "raytracer"}
+	if opts.Benchmarks == nil {
+		opts.Benchmarks = []string{"mtrt", "raytracer"}
 	}
-	var out []Fig8Series
-	for _, name := range benches {
-		b := programs.ByName(name)
-		if b == nil {
-			return out, fmt.Errorf("harness: no benchmark %q", name)
+	// suite() drops unknown names silently, which would desync the
+	// index-addressed slots below; reject them here instead.
+	for _, name := range opts.Benchmarks {
+		if programs.ByName(name) == nil {
+			return nil, fmt.Errorf("harness: no benchmark %q", name)
 		}
+	}
+	// Per-benchmark work runs through forEachBench so opts.Parallel
+	// applies; results land in slots indexed by suite order, and all
+	// writing to w happens sequentially afterwards.
+	out := make([]Fig8Series, len(opts.Benchmarks))
+	runsBy := make([]int, len(opts.Benchmarks))
+	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
 		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
 		if err != nil {
-			return out, err
+			return err
 		}
 		runs := opts.runsFor(b)
+		runsBy[i] = runs
 		order := r.Order(rand.New(rand.NewSource(opts.Seed+202)), runs)
 
 		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
 		if err != nil {
-			return out, err
+			return err
 		}
 		repRes, err := r.RunSequence(ScenarioRep, order)
 		if err != nil {
-			return out, err
+			return err
 		}
 
-		s := Fig8Series{Program: name}
-		for i := range evolveRes {
-			rec := evolveRes[i].Evolve
+		s := Fig8Series{Program: b.Name}
+		for k := range evolveRes {
+			rec := evolveRes[k].Evolve
 			s.Confidence = append(s.Confidence, rec.Confidence)
 			s.Accuracy = append(s.Accuracy, rec.Accuracy)
-			s.EvolveSpd = append(s.EvolveSpd, evolveRes[i].Speedup)
-			s.RepSpd = append(s.RepSpd, repRes[i].Speedup)
+			s.EvolveSpd = append(s.EvolveSpd, evolveRes[k].Speedup)
+			s.RepSpd = append(s.RepSpd, repRes[k].Speedup)
 		}
-		out = append(out, s)
-
-		fmt.Fprintf(w, "\nFigure 8 — %s (%d runs)\n", name, runs)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range out {
+		fmt.Fprintf(w, "\nFigure 8 — %s (%d runs)\n", s.Program, runsBy[i])
 		AsciiSeries(w, "confidence (*) and prediction accuracy (o)",
 			[]string{"confidence", "accuracy"},
 			[][]float64{s.Confidence, s.Accuracy}, 10)

@@ -5,6 +5,47 @@ import (
 	"testing"
 )
 
+func fig8Equal(a, b Fig8Series) bool {
+	if a.Program != b.Program {
+		return false
+	}
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Confidence, b.Confidence) && eq(a.Accuracy, b.Accuracy) &&
+		eq(a.EvolveSpd, b.EvolveSpd) && eq(a.RepSpd, b.RepSpd)
+}
+
+func TestParallelFigure8Race(t *testing.T) {
+	benches := []string{"compress", "euler", "search"}
+	seq, err := Figure8(io.Discard, Options{Seed: 5, Quick: true, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure8(io.Discard, Options{Seed: 5, Quick: true, Parallel: true,
+		Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("series counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !fig8Equal(seq[i], par[i]) {
+			t.Errorf("series %d (%s) differs between sequential and parallel runs",
+				i, seq[i].Program)
+		}
+	}
+}
+
 func TestParallelTable1Race(t *testing.T) {
 	opts := Options{Seed: 2, Quick: true, Parallel: true,
 		Benchmarks: []string{"compress", "euler", "moldyn", "search"}}

@@ -534,7 +534,11 @@ func (e *Engine) Run() (bytecode.Value, error) {
 				if err != nil {
 					return result, rerr("%v", err)
 				}
-				e.Cycles += 2 * n // allocation cost scales with size
+				// Allocation cost scales with size; charge it to the
+				// allocating function as well so the per-function ledger
+				// (Σ FnCycles) reconciles with the engine clock.
+				e.Cycles += 2 * n
+				*cycP += 2 * n
 				stack[len(stack)-1] = ref
 			case bytecode.ALOAD:
 				n := len(stack)

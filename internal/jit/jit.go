@@ -125,6 +125,24 @@ func (c *Compiler) Compile(fnIdx, level int) (*interp.Code, int64, error) {
 	return code, cycles, nil
 }
 
+// CompileAll compiles every function of the program at the given level
+// and returns the code forms plus the total compile-cycle charge. Used by
+// harnesses that pin a whole program to one tier (e.g. the differential
+// tester's cross-tier oracle).
+func (c *Compiler) CompileAll(level int) ([]*interp.Code, int64, error) {
+	codes := make([]*interp.Code, len(c.prog.Funcs))
+	var total int64
+	for i := range c.prog.Funcs {
+		code, cycles, err := c.Compile(i, level)
+		if err != nil {
+			return nil, total, err
+		}
+		codes[i] = code
+		total += cycles
+	}
+	return codes, total, nil
+}
+
 // EstimateCompileCycles predicts the charge of compiling fnIdx at level
 // without doing the work — the quantity the cost-benefit model reasons
 // with. The estimate uses the pipeline's per-instruction rates on the

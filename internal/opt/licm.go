@@ -35,6 +35,21 @@ func LICM(_ *bytecode.Program, f *bytecode.Function) bool {
 
 type loopRegion struct{ h, e int }
 
+// trapEffectFree reports that an opcode can neither trap nor produce an
+// observable effect (output, global/heap writes, allocation, calls), so a
+// hoisted trap may move above it without changing observable behaviour.
+func trapEffectFree(op bytecode.Op) bool {
+	switch op {
+	case bytecode.IDIV, bytecode.IMOD, // divide-by-zero traps
+		bytecode.ALOAD, bytecode.ASTORE, bytecode.ALEN, // array traps
+		bytecode.NEWARR,                 // allocation: OOM trap, GC, heap growth
+		bytecode.GSTORE, bytecode.PRINT, // observable effects
+		bytecode.CALL, bytecode.RET, bytecode.HALT: // arbitrary effects / exits
+		return false
+	}
+	return true
+}
+
 // findLoops returns single-entry backward-jump regions, innermost first.
 func findLoops(f *bytecode.Function) []loopRegion {
 	var loops []loopRegion
@@ -94,7 +109,13 @@ func hoistInLoop(f *bytecode.Function, lp loopRegion) bool {
 		prefixEnd++
 	}
 
-	// Collect candidates from the prefix.
+	// Collect candidates from the prefix. A GLOAD is hoistable from
+	// anywhere in it: reading an invariant global earlier neither traps
+	// nor is observable. Hoisting an ALEN additionally moves a potential
+	// trap (the local may hold a non-array) to the loop entry, so it is
+	// only sound while every earlier prefix instruction is itself free of
+	// traps and observable effects — otherwise the trap would jump ahead
+	// of prints, global stores, or a differently-worded earlier trap.
 	type candidate struct {
 		kind bytecode.Op // GLOAD or ALEN
 		slot int32       // global slot (GLOAD) or array local (ALEN)
@@ -102,6 +123,7 @@ func hoistInLoop(f *bytecode.Function, lp loopRegion) bool {
 	}
 	var cands []candidate
 	seen := map[[2]int32]bool{}
+	pureSoFar := true
 	for pc := h; pc < prefixEnd; pc++ {
 		in := f.Code[pc]
 		switch {
@@ -112,12 +134,15 @@ func hoistInLoop(f *bytecode.Function, lp loopRegion) bool {
 				cands = append(cands, candidate{kind: bytecode.GLOAD, slot: in.A})
 			}
 		case in.Op == bytecode.LOAD && pc+1 < prefixEnd &&
-			f.Code[pc+1].Op == bytecode.ALEN && !localWritten[in.A]:
+			f.Code[pc+1].Op == bytecode.ALEN && !localWritten[in.A] && pureSoFar:
 			key := [2]int32{int32(bytecode.ALEN), in.A}
 			if !seen[key] {
 				seen[key] = true
 				cands = append(cands, candidate{kind: bytecode.ALEN, slot: in.A})
 			}
+		}
+		if !trapEffectFree(in.Op) {
+			pureSoFar = false
 		}
 	}
 	if len(cands) == 0 {

@@ -21,6 +21,18 @@ func peepholeOnce(_ *bytecode.Program, f *bytecode.Function) bool {
 	code := f.Code
 	changed := false
 
+	// Kind facts gate the rewrites that are only sound for a known
+	// operand kind (the machine is dynamically typed: integer opcodes
+	// read the I field of a float operand, and IINC preserves a local's
+	// kind). Both are computed on the code as it stood at scan start;
+	// rewrites preserve the kinds of produced values, so the facts stay
+	// valid as the scan mutates the body.
+	intLocal := intOnlyLocals(f, targets)
+	topIsKind := func(pc int, k bytecode.Kind) bool {
+		got, known := topKindBefore(f, targets, pc)
+		return known && got == k
+	}
+
 	// free reports that pcs (start, start+n] are not jump targets, so a
 	// pattern of n+1 instructions starting at start is safe to rewrite.
 	free := func(start, n int) bool {
@@ -98,9 +110,13 @@ func peepholeOnce(_ *bytecode.Program, f *bytecode.Function) bool {
 			changed = true
 			continue
 		}
-		// double negation / complement cancels
+		// Double negation / complement cancels — but only on an operand
+		// of the opcode's own kind: INEG;INEG maps a float x to Int(x.I)
+		// twice negated, not back to x, and FNEG;FNEG turns an int into
+		// a float.
 		if in.Op == next.Op &&
-			(in.Op == bytecode.INEG || in.Op == bytecode.INOT || in.Op == bytecode.FNEG) {
+			((in.Op == bytecode.INEG || in.Op == bytecode.INOT) && topIsKind(pc, bytecode.KInt) ||
+				in.Op == bytecode.FNEG && topIsKind(pc, bytecode.KFloat)) {
 			nopOut(pc, pc+1)
 			continue
 		}
@@ -128,16 +144,24 @@ func peepholeOnce(_ *bytecode.Program, f *bytecode.Function) bool {
 		}
 
 		// Algebraic identities and strength reduction on  push c ; <binop>.
+		// Dropping the opcode is only sound when the remaining operand
+		// already has the kind the opcode would have produced: IADD on a
+		// float operand x yields Int(x.I + 0), not x, so "x + 0 => x"
+		// needs a provably integer x (and dually for the float
+		// identities). Strength reduction keeps the opcode's coercion
+		// and needs no kind facts: x.I*2^k == x.I<<k mod 2^64.
 		if isPush(in) && free(pc, 1) {
 			c := pushedValue(f, in)
 			if c.Kind == bytecode.KInt {
 				switch {
 				case c.I == 0 && (next.Op == bytecode.IADD || next.Op == bytecode.ISUB ||
 					next.Op == bytecode.IOR || next.Op == bytecode.IXOR ||
-					next.Op == bytecode.ISHL || next.Op == bytecode.ISHR):
+					next.Op == bytecode.ISHL || next.Op == bytecode.ISHR) &&
+					topIsKind(pc, bytecode.KInt):
 					nopOut(pc, pc+1)
 					continue
-				case c.I == 1 && (next.Op == bytecode.IMUL || next.Op == bytecode.IDIV):
+				case c.I == 1 && (next.Op == bytecode.IMUL || next.Op == bytecode.IDIV) &&
+					topIsKind(pc, bytecode.KInt):
 					nopOut(pc, pc+1)
 					continue
 				case next.Op == bytecode.IMUL && c.I > 1 && c.I&(c.I-1) == 0:
@@ -148,7 +172,8 @@ func peepholeOnce(_ *bytecode.Program, f *bytecode.Function) bool {
 				}
 			}
 			if c.Kind == bytecode.KFloat && c.F == 1 &&
-				(next.Op == bytecode.FMUL || next.Op == bytecode.FDIV) {
+				(next.Op == bytecode.FMUL || next.Op == bytecode.FDIV) &&
+				topIsKind(pc, bytecode.KFloat) {
 				nopOut(pc, pc+1)
 				continue
 			}
@@ -170,10 +195,15 @@ func peepholeOnce(_ *bytecode.Program, f *bytecode.Function) bool {
 		}
 
 		// load x ; push c ; iadd/isub ; store x  =>  iinc x ±c
+		//
+		// IINC adds to the I field in place and leaves the local's kind
+		// alone, whereas IADD coerces a float local to Int(x.I + c), so
+		// the rewrite requires a local that provably never holds a float.
 		if pc+3 < len(code) && free(pc, 3) &&
 			in.Op == bytecode.LOAD && isPush(next) &&
 			(third.Op == bytecode.IADD || third.Op == bytecode.ISUB) &&
-			code[pc+3].Op == bytecode.STORE && code[pc+3].A == in.A {
+			code[pc+3].Op == bytecode.STORE && code[pc+3].A == in.A &&
+			int(in.A) < len(intLocal) && intLocal[in.A] {
 			c := pushedValue(f, next)
 			if c.Kind == bytecode.KInt {
 				delta := c.I

@@ -111,6 +111,67 @@ func emitPush(f *bytecode.Function, v bytecode.Value) bytecode.Instr {
 	return bytecode.Instr{Op: bytecode.CONST, A: f.AddConst(v)}
 }
 
+// resultKind classifies the runtime kind of the value an instruction
+// leaves on top of the operand stack. The machine is dynamically typed —
+// integer opcodes read the I field of whatever operand they meet, and
+// IINC preserves a local's kind while mutating I — so rewrites that drop
+// or synthesize such opcodes are only sound when the operand kind is
+// statically known.
+func resultKind(f *bytecode.Function, in bytecode.Instr) (bytecode.Kind, bool) {
+	switch in.Op {
+	case bytecode.IPUSH,
+		bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IDIV,
+		bytecode.IMOD, bytecode.IAND, bytecode.IOR, bytecode.IXOR,
+		bytecode.ISHL, bytecode.ISHR, bytecode.INEG, bytecode.INOT,
+		bytecode.F2I, bytecode.ALEN,
+		bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
+		bytecode.IGT, bytecode.IGE, bytecode.FEQ, bytecode.FNE,
+		bytecode.FLT, bytecode.FLE, bytecode.FGT, bytecode.FGE:
+		return bytecode.KInt, true
+	case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV,
+		bytecode.FNEG, bytecode.FSQRT, bytecode.FABS, bytecode.I2F:
+		return bytecode.KFloat, true
+	case bytecode.CONST:
+		if int(in.A) < len(f.Consts) {
+			if k := f.Consts[in.A].Kind; k == bytecode.KInt || k == bytecode.KFloat {
+				return k, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// topKindBefore returns the statically known kind of the value on top of
+// the stack on entry to pc: known only when pc's sole predecessor is the
+// fallthrough from pc-1 (pc is not a jump target) and pc-1 has a known
+// result kind.
+func topKindBefore(f *bytecode.Function, targets map[int32]bool, pc int) (bytecode.Kind, bool) {
+	if pc == 0 || targets[int32(pc)] {
+		return 0, false
+	}
+	return resultKind(f, f.Code[pc-1])
+}
+
+// intOnlyLocals marks the local slots guaranteed to hold integers for the
+// whole function: non-argument slots (zero-initialized to integer 0)
+// whose every STORE provably stores an integer. IINC keeps an integer
+// local integer, and nothing else writes locals.
+func intOnlyLocals(f *bytecode.Function, targets map[int32]bool) []bool {
+	ok := make([]bool, f.NLocals)
+	for i := f.NArgs; i < f.NLocals; i++ {
+		ok[i] = true
+	}
+	for pc, in := range f.Code {
+		if in.Op != bytecode.STORE {
+			continue
+		}
+		if k, known := topKindBefore(f, targets, pc); !known || k != bytecode.KInt {
+			ok[in.A] = false
+		}
+	}
+	return ok
+}
+
 // jumpTargets returns the set of pcs that are targets of any jump.
 func jumpTargets(f *bytecode.Function) map[int32]bool {
 	t := make(map[int32]bool)

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSummaryEdgeCases pins down the quantile behaviour at the degenerate
+// sizes the harness actually produces (a bench with zero or one completed
+// run must not panic or emit NaNs into the boxplots).
+func TestSummaryEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want FiveNum
+	}{
+		{"empty", nil, FiveNum{}},
+		{"empty-nonnil", []float64{}, FiveNum{}},
+		{"one", []float64{3.5}, FiveNum{Min: 3.5, Q1: 3.5, Median: 3.5, Q3: 3.5, Max: 3.5}},
+		{"two", []float64{1, 3}, FiveNum{Min: 1, Q1: 1.5, Median: 2, Q3: 2.5, Max: 3}},
+		{"constant", []float64{7, 7, 7, 7}, FiveNum{Min: 7, Q1: 7, Median: 7, Q3: 7, Max: 7}},
+		// R type-7 quantiles on 0..4: positions are exact indices.
+		{"five", []float64{4, 0, 2, 1, 3}, FiveNum{Min: 0, Q1: 1, Median: 2, Q3: 3, Max: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summary(tc.in)
+			if got != tc.want {
+				t.Errorf("Summary(%v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+	if g := GeoMean([]float64{2, 0, 8}); g != 0 {
+		t.Errorf("GeoMean with zero element = %v, want 0", g)
+	}
+	if g := GeoMean([]float64{4, -1}); g != 0 {
+		t.Errorf("GeoMean with negative element = %v, want 0", g)
+	}
+	if s := StdDev(nil); s != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", s)
+	}
+	if s := StdDev([]float64{42}); s != 0 {
+		t.Errorf("StdDev of one element = %v, want 0", s)
+	}
+	if s := StdDev([]float64{5, 5, 5}); s != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", s)
+	}
+	// Undefined correlations must come back as 0, never NaN.
+	for _, c := range [][2][]float64{
+		{nil, nil},
+		{{1}, {2}},             // too short
+		{{1, 2}, {3}},          // length mismatch
+		{{1, 1, 1}, {1, 2, 3}}, // zero variance in xs
+		{{4, 5, 6}, {9, 9, 9}}, // zero variance in ys
+	} {
+		if r := Pearson(c[0], c[1]); r != 0 || math.IsNaN(r) {
+			t.Errorf("Pearson(%v, %v) = %v, want 0", c[0], c[1], r)
+		}
+		if r := Spearman(c[0], c[1]); r != 0 || math.IsNaN(r) {
+			t.Errorf("Spearman(%v, %v) = %v, want 0", c[0], c[1], r)
+		}
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %v,%v, want 0,0", min, max)
+	}
+	if min, max := MinMax([]float64{-2}); min != -2 || max != -2 {
+		t.Errorf("MinMax single = %v,%v, want -2,-2", min, max)
+	}
+}

@@ -172,5 +172,26 @@ func (m *Machine) Run() (bytecode.Value, error) {
 // overhead).
 func (m *Machine) TotalCycles() int64 { return m.Engine.Cycles }
 
+// LedgerError cross-checks the machine's cycle accounting after a run:
+// every cycle on the engine clock must be attributable to executed code
+// (Σ FnCycles), compilation, controller overhead, or the collector.
+// A nonzero discrepancy means a subsystem charged the clock without
+// recording the charge (or vice versa).
+func (m *Machine) LedgerError() error {
+	var exec int64
+	for _, c := range m.Engine.FnCycles {
+		exec += c
+	}
+	charged := exec + m.BaseCompileCycles + m.CompileCycles + m.OverheadCycles +
+		m.Engine.GCStats.GCCycles + m.Engine.GCStats.AllocCycles
+	if charged != m.Engine.Cycles {
+		return fmt.Errorf("vm: cycle ledger off by %d: clock %d, charged %d (exec %d, base-compile %d, compile %d, overhead %d, gc %d, alloc %d)",
+			m.Engine.Cycles-charged, m.Engine.Cycles, charged, exec,
+			m.BaseCompileCycles, m.CompileCycles, m.OverheadCycles,
+			m.Engine.GCStats.GCCycles, m.Engine.GCStats.AllocCycles)
+	}
+	return nil
+}
+
 // Profile returns a copy of the sample counts per function.
 func (m *Machine) Profile() []int64 { return append([]int64(nil), m.Samples...) }
