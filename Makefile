@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the experiment and microbenchmark suite (quick mode, five
+# repetitions) and renders the results into BENCH_substrate.json. The raw
+# `go test` text is kept in bench.out for eyeballing.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 5 . | tee bench.out
+	$(GO) run ./cmd/benchreport -o BENCH_substrate.json bench.out
+
+clean:
+	rm -f bench.out BENCH_substrate.json

@@ -163,6 +163,65 @@ end
 	}
 }
 
+// BenchmarkInterpDispatch measures the same tight loop with the host
+// performance substrate fully on, batching without fusion, and fully off
+// — the spread between the sub-benchmarks is the dispatch saving of
+// block-batched accounting and superinstruction fusion (the virtual
+// results are bit-identical in all three modes; see the substrate suites
+// in internal/difftest and internal/harness).
+func BenchmarkInterpDispatch(b *testing.B) {
+	prog, err := bytecode.Assemble("microloop", `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load acc
+  load i
+  ixor
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name               string
+		noFuse, noBatching bool
+	}{
+		{name: "substrate"},
+		{name: "nofuse", noFuse: true},
+		{name: "off", noBatching: true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := interp.NewEngine(prog)
+				e.DisableFusion = mode.noFuse
+				e.DisableBatching = mode.noBatching
+				if err := e.SetGlobal("n", bytecode.Int(10000)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOptimizePipeline measures a level-2 compile of a mid-size
 // method (mtrt's intersection kernel).
 func BenchmarkOptimizePipeline(b *testing.B) {

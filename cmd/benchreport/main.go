@@ -1,0 +1,163 @@
+// Command benchreport converts `go test -bench` text output into a JSON
+// artifact (BENCH_substrate.json in CI), aggregating repeated -count runs
+// per benchmark so the numbers are robust to scheduler noise.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchreport -o BENCH_substrate.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry aggregates every -count repetition of one benchmark.
+type Entry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	MinNsPerOp  float64 `json:"min_ns_per_op"`
+	MeanNsPerOp float64 `json:"mean_ns_per_op"`
+	MaxNsPerOp  float64 `json:"max_ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the JSON artifact layout.
+type Report struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+type sample struct {
+	ns     float64
+	bytes  int64
+	allocs int64
+	hasMem bool
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{}
+	samples := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  123 ns/op [ 456 B/op  7 allocs/op ]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		s := sample{ns: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				s.bytes, s.hasMem = v, true
+			case "allocs/op":
+				s.allocs, s.hasMem = v, true
+			}
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		ss := samples[name]
+		e := Entry{Name: name, Runs: len(ss), MinNsPerOp: ss[0].ns, MaxNsPerOp: ss[0].ns}
+		var sum float64
+		for _, s := range ss {
+			sum += s.ns
+			if s.ns < e.MinNsPerOp {
+				e.MinNsPerOp = s.ns
+			}
+			if s.ns > e.MaxNsPerOp {
+				e.MaxNsPerOp = s.ns
+			}
+			if s.hasMem {
+				e.BytesPerOp, e.AllocsPerOp = s.bytes, s.allocs
+			}
+		}
+		e.MeanNsPerOp = sum / float64(len(ss))
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return rep, nil
+}

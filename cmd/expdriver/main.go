@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"evolvevm/internal/harness"
@@ -22,15 +24,53 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
-		seed     = flag.Int64("seed", 1, "corpus and arrival-order seed")
-		runs     = flag.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
-		corpus   = flag.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
-		quick    = flag.Bool("quick", false, "shrink corpora and sequences")
-		parallel = flag.Bool("parallel", true, "run independent benchmarks concurrently")
-		benches  = flag.String("bench", "", "comma-separated benchmark filter")
+		exp        = flag.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
+		seed       = flag.Int64("seed", 1, "corpus and arrival-order seed")
+		runs       = flag.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
+		corpus     = flag.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
+		quick      = flag.Bool("quick", false, "shrink corpora and sequences")
+		parallel   = flag.Bool("parallel", true, "run independent benchmarks concurrently")
+		benches    = flag.String("bench", "", "comma-separated benchmark filter")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Profiles must be flushed even when an experiment fails, so teardown
+	// runs before every exit path instead of via defer (os.Exit skips
+	// deferred calls).
+	stopProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		stopCPU := stopProfiles
+		stopProfiles = func() {
+			stopCPU()
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expdriver: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "expdriver: -memprofile: %v\n", err)
+			}
+		}
+	}
 
 	opts := harness.Options{
 		Seed:     *seed,
@@ -48,6 +88,7 @@ func main() {
 		fmt.Fprintf(w, "\n================ %s ================\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "expdriver: %s: %v\n", name, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 	}
@@ -86,6 +127,7 @@ func main() {
 		run("GC selection", func() error { _, err := harness.GCSelection(w, opts); return err })
 		ran = true
 	}
+	stopProfiles()
 	if !ran {
 		fmt.Fprintf(os.Stderr, "expdriver: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,6 +1,12 @@
 package bytecode
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+)
 
 // Function is the unit of compilation: a named method with a fixed set of
 // local slots (the first NArgs slots receive the arguments) and a bytecode
@@ -60,6 +66,47 @@ type Program struct {
 
 	funcIdx   map[string]int
 	globalIdx map[string]int
+
+	fpOnce sync.Once
+	fp     uint64
+}
+
+// Fingerprint returns a content hash of the program: the entry index, the
+// global-slot count, and every function's name, arity, locals, bytecode,
+// and constant pool. Two programs with equal fingerprints compile
+// identically at every optimization level, so the hash keys cross-run
+// compiled-code caches. The value is computed once and cached; programs
+// must not be mutated after the first call.
+func (p *Program) Fingerprint() uint64 {
+	p.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		wInt := func(v int64) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		wInt(int64(p.Entry))
+		wInt(int64(len(p.Globals)))
+		wInt(int64(len(p.Funcs)))
+		for _, f := range p.Funcs {
+			h.Write([]byte(f.Name))
+			wInt(int64(f.NArgs))
+			wInt(int64(f.NLocals))
+			wInt(int64(len(f.Code)))
+			for _, in := range f.Code {
+				wInt(int64(in.Op)<<48 | int64(uint32(in.A))<<16 | int64(uint16(in.B)))
+				wInt(int64(in.B))
+			}
+			wInt(int64(len(f.Consts)))
+			for _, c := range f.Consts {
+				wInt(int64(c.Kind))
+				wInt(c.I)
+				wInt(int64(math.Float64bits(c.F)))
+			}
+		}
+		p.fp = h.Sum64()
+	})
+	return p.fp
 }
 
 // NewProgram returns an empty program with the given name.

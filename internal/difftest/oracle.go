@@ -38,6 +38,12 @@ type Exec struct {
 	CompileCycles int64 // charged by CompileAll before the run
 	GCCycles      int64
 	AllocCycles   int64
+
+	// FnSamples[i] counts the stride samples attributed to function i —
+	// the exact profile an optimization controller would observe. Captured
+	// so the substrate-equivalence suites can assert that the host
+	// performance layer preserves sampling bit-for-bit.
+	FnSamples []int64
 }
 
 // resourceTrap reports whether a trap message describes resource
@@ -122,6 +128,15 @@ func (c *canon) drain() []string {
 // program); runtime traps are captured in Exec.Trap, not returned.
 func RunTier(prog *bytecode.Program, level int, gcCfg gc.Config, maxCycles int64,
 	slots []int, input []bytecode.Value) (*Exec, error) {
+	return RunTierConfigured(prog, level, gcCfg, maxCycles, slots, input, nil)
+}
+
+// RunTierConfigured is RunTier with an engine-configuration hook applied
+// before execution. The substrate suites use it to toggle the host
+// performance layer (batching, fusion) and prove the resulting Execs —
+// including cycle ledgers and sample profiles — are bit-identical.
+func RunTierConfigured(prog *bytecode.Program, level int, gcCfg gc.Config, maxCycles int64,
+	slots []int, input []bytecode.Value, configure func(*interp.Engine)) (*Exec, error) {
 
 	eng := interp.NewEngine(prog)
 	if maxCycles > 0 {
@@ -137,7 +152,12 @@ func RunTier(prog *bytecode.Program, level int, gcCfg gc.Config, maxCycles int64
 			eng.Globals[s] = input[j]
 		}
 	}
-	ex := &Exec{Level: level}
+	samples := make([]int64, len(prog.Funcs))
+	eng.OnSample = func(fnIdx int) { samples[fnIdx]++ }
+	if configure != nil {
+		configure(eng)
+	}
+	ex := &Exec{Level: level, FnSamples: samples}
 	if level > jit.MinLevel {
 		comp := jit.NewCompiler(prog, jit.DefaultConfig())
 		codes, total, err := comp.CompileAll(level)

@@ -8,6 +8,8 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"evolvevm/internal/aos"
 	"evolvevm/internal/bytecode"
@@ -19,6 +21,19 @@ import (
 	"evolvevm/internal/vm"
 	"evolvevm/internal/xicl"
 )
+
+// codeCache is the process-wide cross-run compiled-code cache. Every run
+// still pays its own virtual compile cycles (see jit.Cache); the cache
+// only removes repeated host-side optimizer work when thousands of runs
+// compile the same functions at the same levels. interp.Code is immutable,
+// so sharing across concurrently executing machines is safe.
+var codeCache = jit.NewCache()
+
+// CodeCacheStats reports the process-wide code cache's hit/miss counts
+// and resident entries (diagnostics for benchmark reports).
+func CodeCacheStats() (hits, misses int64, entries int) {
+	return codeCache.Stats()
+}
 
 // Scenario selects the optimization controller for a run.
 type Scenario int
@@ -89,9 +104,18 @@ type Runner struct {
 	// paper's main experiments). Used by the GC-selection extension.
 	GC gc.Config
 
+	// Host-performance substrate switches. All default off (substrate
+	// active): each mechanism is individually toggleable so the
+	// determinism suites can prove bit-identical virtual results with any
+	// combination disabled.
+	NoCodeCache bool // skip the process-wide cross-run code cache
+	NoFusion    bool // batch blocks but without superinstruction fusion
+	NoBatching  bool // original per-instruction dispatch only
+
 	Evolver *core.Evolver
 	Repo    *rep.Repository
 
+	defaultsMu    sync.Mutex
 	defaultCycles map[string]int64
 }
 
@@ -180,6 +204,7 @@ func (r *Runner) RunOne(scenario Scenario, in programs.Input) (*RunResult, error
 
 	m := vm.New(r.Prog, r.JitCfg, ctrl)
 	m.Engine.GC = r.GC
+	r.applySubstrate(m)
 	if scenario == ScenarioRep {
 		repCtrl := r.Repo.Controller(m.Compiler, m.Engine.SampleStride)
 		m.Controller = repCtrl
@@ -216,23 +241,100 @@ func (r *Runner) RunOne(scenario Scenario, in programs.Input) (*RunResult, error
 	return res, nil
 }
 
+// applySubstrate configures a machine's host-performance layer according
+// to the runner's toggles. None of these change virtual results (see
+// DESIGN.md, "Host performance layer").
+func (r *Runner) applySubstrate(m *vm.Machine) {
+	m.Engine.DisableBatching = r.NoBatching
+	m.Engine.DisableFusion = r.NoFusion
+	if !r.NoCodeCache {
+		m.Compiler.UseShared(codeCache)
+	}
+}
+
 // DefaultCycles returns the memoized Default-scenario running time of an
 // input. The reactive controller is stateless, so one measurement per
 // input is exact.
 func (r *Runner) DefaultCycles(in programs.Input) (int64, error) {
-	if c, ok := r.defaultCycles[in.ID]; ok {
+	r.defaultsMu.Lock()
+	c, ok := r.defaultCycles[in.ID]
+	r.defaultsMu.Unlock()
+	if ok {
 		return c, nil
 	}
+	c, err := r.measureDefault(in)
+	if err != nil {
+		return 0, err
+	}
+	r.defaultsMu.Lock()
+	r.defaultCycles[in.ID] = c
+	r.defaultsMu.Unlock()
+	return c, nil
+}
+
+// measureDefault runs an input once under the reactive controller. The
+// measurement is deterministic and independent of all cross-run state, so
+// it may execute concurrently with other measurements.
+func (r *Runner) measureDefault(in programs.Input) (int64, error) {
 	m := vm.New(r.Prog, r.JitCfg, aos.NewReactive())
 	m.Engine.GC = r.GC
+	r.applySubstrate(m)
 	if err := in.Setup(m.Engine); err != nil {
 		return 0, err
 	}
 	if _, err := m.Run(); err != nil {
 		return 0, err
 	}
-	r.defaultCycles[in.ID] = m.TotalCycles()
 	return m.TotalCycles(), nil
+}
+
+// WarmDefaults measures the Default-scenario baseline of every corpus
+// input concurrently and memoizes the results. Each measurement is an
+// independent deterministic run, so parallelism cannot change any value —
+// it only moves host work off the sequential experiment path.
+func (r *Runner) WarmDefaults() error { return r.warmDefaults(r.Inputs) }
+
+func (r *Runner) warmDefaults(inputs []programs.Input) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan programs.Input)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for in := range jobs {
+				if failed {
+					continue // drain so the feeder never blocks
+				}
+				if _, err := r.DefaultCycles(in); err != nil {
+					failed = true
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, in := range inputs {
+		jobs <- in
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
 }
 
 // Order draws a random sequence of input indices — the arrival order of
@@ -248,6 +350,18 @@ func (r *Runner) Order(rng *rand.Rand, runs int) []int {
 // RunSequence executes the inputs selected by order under one scenario,
 // evolving the scenario's cross-run state along the way.
 func (r *Runner) RunSequence(scenario Scenario, order []int) ([]*RunResult, error) {
+	// Warm the default-cycles baselines of the inputs this sequence will
+	// touch, in parallel. Errors are deliberately ignored here: a failing
+	// input fails identically (and with better context) inside RunOne.
+	seen := make(map[int]bool, len(order))
+	var warm []programs.Input
+	for _, idx := range order {
+		if !seen[idx] {
+			seen[idx] = true
+			warm = append(warm, r.Inputs[idx])
+		}
+	}
+	_ = r.warmDefaults(warm)
 	results := make([]*RunResult, 0, len(order))
 	for _, idx := range order {
 		res, err := r.RunOne(scenario, r.Inputs[idx])

@@ -10,7 +10,11 @@
 // substitution for wall-clock time on the paper's hardware (see DESIGN.md).
 package interp
 
-import "evolvevm/internal/bytecode"
+import (
+	"sync/atomic"
+
+	"evolvevm/internal/bytecode"
+)
 
 // BaselineScalePct is the per-op cost multiplier of the baseline
 // interpreter tier, in percent.
@@ -97,6 +101,29 @@ type Code struct {
 	// attribute tier-independent "work" to functions (the oracle's view
 	// of how much computation a method performed).
 	Base []int64
+
+	// plans caches the host-performance execution plans (see fuse.go):
+	// slot 0 without superinstruction fusion, slot 1 with it. Plans are
+	// built lazily on first execution and are immutable afterwards, so a
+	// Code may be shared by concurrently running engines (the harness
+	// code cache does exactly that).
+	plans [2]atomic.Pointer[plan]
+}
+
+// planFor returns the execution plan of the code, building it on first
+// use. Concurrent builders race benignly: the build is deterministic, so
+// whichever plan lands is identical.
+func (c *Code) planFor(fuse bool) *plan {
+	slot := 0
+	if fuse {
+		slot = 1
+	}
+	if p := c.plans[slot].Load(); p != nil {
+		return p
+	}
+	p := buildPlan(c, fuse)
+	c.plans[slot].Store(p)
+	return p
 }
 
 // NewCode builds an executable form from a function body at the given

@@ -51,6 +51,15 @@ type Engine struct {
 	MaxCycles    int64
 	MaxHeapCells int64
 
+	// DisableBatching turns off the host-performance fast path entirely:
+	// every instruction is dispatched and charged individually, as in the
+	// pre-substrate engine. DisableFusion keeps block-batched accounting
+	// but runs segments op by op without superinstructions. Both exist
+	// for the fused-vs-unfused determinism suite; virtual results are
+	// bit-identical in every combination (see fuse.go).
+	DisableBatching bool
+	DisableFusion   bool
+
 	Globals     []bytecode.Value
 	Output      []bytecode.Value
 	Cycles      int64
@@ -94,11 +103,19 @@ func NewEngine(prog *bytecode.Program) *Engine {
 		Work:         make([]int64, len(prog.Funcs)),
 		FnCycles:     make([]int64, len(prog.Funcs)),
 	}
+	// The default provider base-compiles lazily: engines are created per
+	// run by the thousands during experiments, and most replace Provider
+	// (or never touch most functions) before the eager forms would pay
+	// off. NewCode is pure, so laziness is unobservable.
 	baseline := make([]*Code, len(prog.Funcs))
-	for i, f := range prog.Funcs {
-		baseline[i] = NewCode(i, f, -1, BaselineScalePct)
+	e.Provider = func(fnIdx int) *Code {
+		c := baseline[fnIdx]
+		if c == nil {
+			c = NewCode(fnIdx, prog.Funcs[fnIdx], -1, BaselineScalePct)
+			baseline[fnIdx] = c
+		}
+		return c
 	}
-	e.Provider = func(fnIdx int) *Code { return baseline[fnIdx] }
 	return e
 }
 
@@ -260,10 +277,13 @@ func (e *Engine) Collect() {
 // AddCycles charges n cycles of non-executing work (e.g. compilation) to
 // the clock. Stride boundaries crossed this way produce no samples,
 // mirroring Jikes RVM, where the sampler observes only application code.
+// Compilation charges reach hundreds of strides, so the boundary skip is
+// closed-form rather than a loop (this sits on the hot compile-charge
+// path of every recompilation).
 func (e *Engine) AddCycles(n int64) {
 	e.Cycles += n
-	for e.nextSample <= e.Cycles {
-		e.nextSample += e.SampleStride
+	if e.nextSample <= e.Cycles {
+		e.nextSample += ((e.Cycles-e.nextSample)/e.SampleStride + 1) * e.SampleStride
 	}
 }
 
@@ -318,6 +338,10 @@ func (e *Engine) Run() (bytecode.Value, error) {
 		lb := fr.localsBase
 		workP := &e.Work[code.FnIdx]
 		cycP := &e.FnCycles[code.FnIdx]
+		var pl *plan
+		if !e.DisableBatching {
+			pl = code.planFor(!e.DisableFusion)
+		}
 		rerr := func(format string, args ...interface{}) error {
 			return &RuntimeError{Prog: e.Prog.Name, Fn: code.Name, PC: fr.pc,
 				Msg: fmt.Sprintf(format, args...)}
@@ -329,6 +353,313 @@ func (e *Engine) Run() (bytecode.Value, error) {
 			if pc < 0 || pc >= len(code.Instrs) {
 				return result, rerr("pc out of range")
 			}
+
+			// Fast path: a batchable straight-line segment starts here and
+			// charging it whole cannot reach the next sample boundary, so
+			// no sampler tick, cycle-fuse check, trap, or call can occur
+			// inside it. Charge once, then run the pre-decoded
+			// micro-program without per-instruction accounting. Every
+			// other case takes the original per-instruction loop below.
+			if pl != nil {
+				if s := pl.seg[pc]; s != nil && e.Cycles+s.cost < e.nextSample {
+					e.Cycles += s.cost
+					*workP += s.base
+					*cycP += s.cost
+					fr.pc = int(s.end) // branches below overwrite this
+					for i := range s.ops {
+						f := &s.ops[i]
+						switch f.op {
+						case bytecode.NOP:
+						case bytecode.IPUSH:
+							stack = append(stack, bytecode.Int(int64(f.a)))
+						case bytecode.CONST:
+							stack = append(stack, code.Consts[f.a])
+						case bytecode.LOAD:
+							stack = append(stack, locals[lb+int(f.a)])
+						case bytecode.STORE:
+							locals[lb+int(f.a)] = stack[len(stack)-1]
+							stack = stack[:len(stack)-1]
+						case bytecode.GLOAD:
+							stack = append(stack, e.Globals[f.a])
+						case bytecode.GSTORE:
+							e.Globals[f.a] = stack[len(stack)-1]
+							stack = stack[:len(stack)-1]
+						case bytecode.IINC:
+							locals[lb+int(f.a)].I += int64(f.b)
+						case bytecode.POP:
+							stack = stack[:len(stack)-1]
+						case bytecode.DUP:
+							stack = append(stack, stack[len(stack)-1])
+						case bytecode.SWAP:
+							n := len(stack)
+							stack[n-1], stack[n-2] = stack[n-2], stack[n-1]
+						case bytecode.IADD, bytecode.ISUB, bytecode.IMUL,
+							bytecode.IAND, bytecode.IOR, bytecode.IXOR,
+							bytecode.ISHL, bytecode.ISHR:
+							n := len(stack)
+							r := intBin(f.op, stack[n-2].I, stack[n-1].I)
+							stack = stack[:n-1]
+							stack[n-2] = bytecode.Int(r)
+						case bytecode.INEG:
+							stack[len(stack)-1] = bytecode.Int(-stack[len(stack)-1].I)
+						case bytecode.INOT:
+							stack[len(stack)-1] = bytecode.Int(^stack[len(stack)-1].I)
+						case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+							n := len(stack)
+							a, b := stack[n-2].AsFloat(), stack[n-1].AsFloat()
+							stack = stack[:n-1]
+							var r float64
+							switch f.op {
+							case bytecode.FADD:
+								r = a + b
+							case bytecode.FSUB:
+								r = a - b
+							case bytecode.FMUL:
+								r = a * b
+							case bytecode.FDIV:
+								r = a / b
+							}
+							stack[n-2] = bytecode.Float(r)
+						case bytecode.FNEG:
+							stack[len(stack)-1] = bytecode.Float(-stack[len(stack)-1].AsFloat())
+						case bytecode.FSQRT:
+							stack[len(stack)-1] = bytecode.Float(math.Sqrt(stack[len(stack)-1].AsFloat()))
+						case bytecode.FABS:
+							stack[len(stack)-1] = bytecode.Float(math.Abs(stack[len(stack)-1].AsFloat()))
+						case bytecode.I2F:
+							stack[len(stack)-1] = bytecode.Float(float64(stack[len(stack)-1].I))
+						case bytecode.F2I:
+							stack[len(stack)-1] = bytecode.Int(int64(stack[len(stack)-1].F))
+						case bytecode.IEQ, bytecode.INE, bytecode.ILT,
+							bytecode.ILE, bytecode.IGT, bytecode.IGE:
+							n := len(stack)
+							r := intCmp(f.op, stack[n-2].I, stack[n-1].I)
+							stack = stack[:n-1]
+							stack[n-2] = bytecode.Bool(r)
+						case bytecode.FEQ, bytecode.FNE, bytecode.FLT,
+							bytecode.FLE, bytecode.FGT, bytecode.FGE:
+							n := len(stack)
+							a, b := stack[n-2].AsFloat(), stack[n-1].AsFloat()
+							stack = stack[:n-1]
+							var r bool
+							switch f.op {
+							case bytecode.FEQ:
+								r = a == b
+							case bytecode.FNE:
+								r = a != b
+							case bytecode.FLT:
+								r = a < b
+							case bytecode.FLE:
+								r = a <= b
+							case bytecode.FGT:
+								r = a > b
+							case bytecode.FGE:
+								r = a >= b
+							}
+							stack[n-2] = bytecode.Bool(r)
+						case bytecode.IDIV, bytecode.IMOD:
+							n := len(stack)
+							a, b := stack[n-2].I, stack[n-1].I
+							stack = stack[:n-1]
+							if b == 0 {
+								e.Cycles -= int64(f.rem)
+								*workP -= int64(f.remBase)
+								*cycP -= int64(f.rem)
+								fr.pc = int(f.tpc)
+								if f.op == bytecode.IDIV {
+									return result, rerr("integer division by zero")
+								}
+								return result, rerr("integer modulo by zero")
+							}
+							if f.op == bytecode.IDIV {
+								stack[n-2] = bytecode.Int(a / b)
+							} else {
+								stack[n-2] = bytecode.Int(a % b)
+							}
+						case bytecode.ALOAD:
+							n := len(stack)
+							arr, aerr := e.Array(stack[n-2])
+							if aerr == nil {
+								idx := stack[n-1].AsInt()
+								if idx >= 0 && idx < int64(len(arr)) {
+									stack = stack[:n-1]
+									stack[n-2] = arr[idx]
+									break
+								}
+								aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+							}
+							e.Cycles -= int64(f.rem)
+							*workP -= int64(f.remBase)
+							*cycP -= int64(f.rem)
+							fr.pc = int(f.tpc)
+							return result, rerr("aload: %v", aerr)
+						case bytecode.ASTORE:
+							n := len(stack)
+							arr, aerr := e.Array(stack[n-3])
+							if aerr == nil {
+								idx := stack[n-2].AsInt()
+								if idx >= 0 && idx < int64(len(arr)) {
+									arr[idx] = stack[n-1]
+									stack = stack[:n-3]
+									break
+								}
+								aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+							}
+							e.Cycles -= int64(f.rem)
+							*workP -= int64(f.remBase)
+							*cycP -= int64(f.rem)
+							fr.pc = int(f.tpc)
+							return result, rerr("astore: %v", aerr)
+						case bytecode.ALEN:
+							arr, aerr := e.Array(stack[len(stack)-1])
+							if aerr != nil {
+								e.Cycles -= int64(f.rem)
+								*workP -= int64(f.remBase)
+								*cycP -= int64(f.rem)
+								fr.pc = int(f.tpc)
+								return result, rerr("alen: %v", aerr)
+							}
+							stack[len(stack)-1] = bytecode.Int(int64(len(arr)))
+						case bytecode.PRINT:
+							e.Output = append(e.Output, stack[len(stack)-1])
+							stack = stack[:len(stack)-1]
+						case bytecode.JMP:
+							fr.pc = int(f.a)
+						case bytecode.JZ:
+							v := stack[len(stack)-1]
+							stack = stack[:len(stack)-1]
+							if !v.IsTrue() {
+								fr.pc = int(f.a)
+							}
+						case bytecode.JNZ:
+							v := stack[len(stack)-1]
+							stack = stack[:len(stack)-1]
+							if v.IsTrue() {
+								fr.pc = int(f.a)
+							}
+
+						// Fused superinstructions.
+						case fLLBin:
+							stack = append(stack, bytecode.Int(intBin(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, locals[lb+int(f.b)].I)))
+						case fLLCmp:
+							stack = append(stack, bytecode.Bool(intCmp(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, locals[lb+int(f.b)].I)))
+						case fLIBin:
+							stack = append(stack, bytecode.Int(intBin(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, int64(f.b))))
+						case fLICmp:
+							stack = append(stack, bytecode.Bool(intCmp(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, int64(f.b))))
+						case fLGBin:
+							stack = append(stack, bytecode.Int(intBin(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, e.Globals[f.b].I)))
+						case fLGCmp:
+							stack = append(stack, bytecode.Bool(intCmp(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, e.Globals[f.b].I)))
+						case fMove:
+							locals[lb+int(f.b)] = locals[lb+int(f.a)]
+						case fGMove:
+							locals[lb+int(f.b)] = e.Globals[f.a]
+						case fIStore:
+							locals[lb+int(f.a)] = bytecode.Int(int64(f.b))
+						case fCStore:
+							locals[lb+int(f.a)] = code.Consts[f.b]
+						case fIncJmp:
+							locals[lb+int(f.a)].I += int64(f.b)
+							fr.pc = int(f.c)
+						case fCmpJz, fCmpJnz:
+							n := len(stack)
+							r := intCmp(bytecode.Op(f.c), stack[n-2].I, stack[n-1].I)
+							stack = stack[:n-2]
+							if r == (f.op == fCmpJnz) {
+								fr.pc = int(f.b)
+							}
+						case fCCmpJz, fCCmpJnz:
+							n := len(stack)
+							r := intCmp(bytecode.Op(f.c), stack[n-1].I, code.Consts[f.a].I)
+							stack = stack[:n-1]
+							if r == (f.op == fCCmpJnz) {
+								fr.pc = int(f.b)
+							}
+						case fICmpJz, fICmpJnz:
+							n := len(stack)
+							r := intCmp(bytecode.Op(f.c), stack[n-1].I, int64(f.a))
+							stack = stack[:n-1]
+							if r == (f.op == fICmpJnz) {
+								fr.pc = int(f.b)
+							}
+						case fLJz:
+							if !locals[lb+int(f.a)].IsTrue() {
+								fr.pc = int(f.b)
+							}
+						case fLJnz:
+							if locals[lb+int(f.a)].IsTrue() {
+								fr.pc = int(f.b)
+							}
+						case fALoad:
+							arr, aerr := e.Array(locals[lb+int(f.a)])
+							if aerr == nil {
+								idx := locals[lb+int(f.b)].AsInt()
+								if idx >= 0 && idx < int64(len(arr)) {
+									stack = append(stack, arr[idx])
+									break
+								}
+								aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+							}
+							e.Cycles -= int64(f.rem)
+							*workP -= int64(f.remBase)
+							*cycP -= int64(f.rem)
+							fr.pc = int(f.tpc)
+							return result, rerr("aload: %v", aerr)
+						case fGALoad:
+							arr, aerr := e.Array(e.Globals[f.a])
+							if aerr == nil {
+								idx := locals[lb+int(f.b)].AsInt()
+								if idx >= 0 && idx < int64(len(arr)) {
+									stack = append(stack, arr[idx])
+									break
+								}
+								aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+							}
+							e.Cycles -= int64(f.rem)
+							*workP -= int64(f.remBase)
+							*cycP -= int64(f.rem)
+							fr.pc = int(f.tpc)
+							return result, rerr("aload: %v", aerr)
+						case fLLBinS:
+							locals[lb+int(f.d)] = bytecode.Int(intBin(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, locals[lb+int(f.b)].I))
+						case fLIBinS:
+							locals[lb+int(f.d)] = bytecode.Int(intBin(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, int64(f.b)))
+						case fLGBinS:
+							locals[lb+int(f.d)] = bytecode.Int(intBin(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, e.Globals[f.b].I))
+						case fLLCmpJz, fLLCmpJnz:
+							r := intCmp(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, locals[lb+int(f.b)].I)
+							if r == (f.op == fLLCmpJnz) {
+								fr.pc = int(f.d)
+							}
+						case fLGCmpJz, fLGCmpJnz:
+							r := intCmp(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, e.Globals[f.b].I)
+							if r == (f.op == fLGCmpJnz) {
+								fr.pc = int(f.d)
+							}
+						case fLICmpJz, fLICmpJnz:
+							r := intCmp(bytecode.Op(f.c),
+								locals[lb+int(f.a)].I, int64(f.b))
+							if r == (f.op == fLICmpJnz) {
+								fr.pc = int(f.d)
+							}
+						}
+					}
+					continue
+				}
+			}
+
 			in := code.Instrs[pc]
 			e.Cycles += code.Cost[pc]
 			*workP += code.Base[pc]

@@ -1,0 +1,85 @@
+package jit
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CacheKey identifies one compiled code form across runs: the content
+// fingerprint of the program the function lives in (optimization of a
+// function may consult the whole program — inlining does), the function
+// index, the level, and the full tier table. Two runs with equal keys
+// would compile byte-identical code, so sharing the host-side work is
+// unobservable in virtual terms.
+type CacheKey struct {
+	ProgFP uint64
+	FnIdx  int
+	Level  int
+	Cfg    Config
+}
+
+// Cache is a cross-run compiled-code cache. Every run that hits still
+// charges its own full virtual compile cycles (stored alongside the
+// code); only the host-side optimization work is reused. interp.Code is
+// immutable after construction, so one form may be executed by many
+// engines — including concurrently running ones — without copying.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[CacheKey]*compiled
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty cross-run code cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[CacheKey]*compiled)}
+}
+
+func (c *Cache) lookup(key CacheKey) (*compiled, bool) {
+	c.mu.RLock()
+	hit, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return hit, ok
+}
+
+func (c *Cache) store(key CacheKey, v *compiled) {
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+}
+
+// Stats reports cache effectiveness: lookups served from the cache,
+// lookups that compiled, and resident entries.
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.RLock()
+	entries = len(c.m)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), entries
+}
+
+// sharedGet consults the shared cache for the compiler's program.
+func (c *Compiler) sharedGet(fnIdx, level int) (*compiled, bool) {
+	if c.shared == nil {
+		return nil, false
+	}
+	return c.shared.lookup(CacheKey{
+		ProgFP: c.prog.Fingerprint(), FnIdx: fnIdx, Level: level, Cfg: c.cfg})
+}
+
+func (c *Compiler) sharedPut(fnIdx, level int, v *compiled) {
+	if c.shared == nil {
+		return
+	}
+	c.shared.store(CacheKey{
+		ProgFP: c.prog.Fingerprint(), FnIdx: fnIdx, Level: level, Cfg: c.cfg}, v)
+}
+
+// UseShared attaches a cross-run cache to the compiler. Call before the
+// run starts; per-run charge accounting (full charge on the run's first
+// request, zero on re-requests) is unchanged by sharing.
+func (c *Compiler) UseShared(cache *Cache) { c.shared = cache }

@@ -63,6 +63,10 @@ type Compiler struct {
 	cfg   Config
 	prog  *bytecode.Program
 	cache map[cacheKey]*compiled
+	// shared, when set via UseShared, is a cross-run cache: the host-side
+	// compilation work is reused, but each run's virtual compile charge
+	// is governed by the per-run cache above, exactly as without sharing.
+	shared *Cache
 }
 
 type cacheKey struct {
@@ -91,10 +95,16 @@ func (c *Compiler) Baseline(fnIdx int) (*interp.Code, int64) {
 	if hit, ok := c.cache[key]; ok {
 		return hit.code, hit.cycles
 	}
+	if hit, ok := c.sharedGet(fnIdx, MinLevel); ok {
+		c.cache[key] = hit
+		return hit.code, hit.cycles
+	}
 	f := c.prog.Funcs[fnIdx]
 	code := interp.NewCode(fnIdx, f, MinLevel, interp.BaselineScalePct)
 	cycles := int64(len(f.Code))*c.cfg.BaseCompileCyclesPerInstr + 20
-	c.cache[key] = &compiled{code: code, cycles: cycles}
+	hit := &compiled{code: code, cycles: cycles}
+	c.cache[key] = hit
+	c.sharedPut(fnIdx, MinLevel, hit)
 	return code, cycles
 }
 
@@ -114,6 +124,10 @@ func (c *Compiler) Compile(fnIdx, level int) (*interp.Code, int64, error) {
 	if hit, ok := c.cache[key]; ok {
 		return hit.code, 0, nil
 	}
+	if hit, ok := c.sharedGet(fnIdx, level); ok {
+		c.cache[key] = hit
+		return hit.code, hit.cycles, nil
+	}
 	spec := c.cfg.Levels[level]
 	f, res, err := opt.Optimize(c.prog, fnIdx, level)
 	if err != nil {
@@ -121,7 +135,9 @@ func (c *Compiler) Compile(fnIdx, level int) (*interp.Code, int64, error) {
 	}
 	code := interp.NewCode(fnIdx, f, level, spec.ScalePct)
 	cycles := res.Cycles * spec.CostMult
-	c.cache[key] = &compiled{code: code, cycles: cycles, res: res}
+	hit := &compiled{code: code, cycles: cycles, res: res}
+	c.cache[key] = hit
+	c.sharedPut(fnIdx, level, hit)
 	return code, cycles, nil
 }
 

@@ -19,6 +19,7 @@ package programs
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/interp"
@@ -65,25 +66,83 @@ type Benchmark struct {
 	InputSensitive bool
 }
 
+// Benchmark constructors (Compress() etc.) build a fresh value per call,
+// but every call yields identical Source/Spec/RegisterMethods, so the
+// assembled program, parsed spec, and registry are memoized process-wide.
+// All three are read-only after construction: engines never mutate a
+// Program (the optimizer clones), registries are only Lookup'd, and specs
+// are only read — so shared instances are safe, including concurrently.
+var (
+	memoMu   sync.Mutex
+	progMemo = make(map[memoKey]*bytecode.Program)
+	specMemo = make(map[memoKey]*xicl.Spec)
+	regMemo  = make(map[string]*xicl.Registry)
+)
+
+// memoKey keys on name plus the full source text, so a hypothetical
+// same-name benchmark with different source can never collide.
+type memoKey struct {
+	name, src string
+}
+
 // Program assembles and verifies the benchmark's source.
 func (b *Benchmark) Program() (*bytecode.Program, error) {
-	return bytecode.Assemble(b.Name, b.Source)
+	key := memoKey{b.Name, b.Source}
+	memoMu.Lock()
+	p, ok := progMemo[key]
+	memoMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := bytecode.Assemble(b.Name, b.Source)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	progMemo[key] = p
+	memoMu.Unlock()
+	return p, nil
 }
 
 // ParsedSpec parses the benchmark's XICL specification.
 func (b *Benchmark) ParsedSpec() (*xicl.Spec, error) {
-	return xicl.ParseSpec(b.Spec)
+	key := memoKey{b.Name, b.Spec}
+	memoMu.Lock()
+	s, ok := specMemo[key]
+	memoMu.Unlock()
+	if ok {
+		return s, nil
+	}
+	s, err := xicl.ParseSpec(b.Spec)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	specMemo[key] = s
+	memoMu.Unlock()
+	return s, nil
 }
 
 // Registry returns a method registry with the benchmark's
-// programmer-defined extractors installed.
+// programmer-defined extractors installed. Memoized by benchmark name:
+// RegisterMethods is fixed per constructor, and registries are read-only
+// after construction.
 func (b *Benchmark) Registry() (*xicl.Registry, error) {
-	reg := xicl.NewRegistry()
+	memoMu.Lock()
+	reg, ok := regMemo[b.Name]
+	memoMu.Unlock()
+	if ok {
+		return reg, nil
+	}
+	reg = xicl.NewRegistry()
 	if b.RegisterMethods != nil {
 		if err := b.RegisterMethods(reg); err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 	}
+	memoMu.Lock()
+	regMemo[b.Name] = reg
+	memoMu.Unlock()
 	return reg, nil
 }
 
