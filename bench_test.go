@@ -28,7 +28,7 @@ func quickOpts(seed int64) harness.Options {
 // running-time ranges, feature selection, confidence and accuracy.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table1(io.Discard, quickOpts(int64(i)+1))
+		rows, err := harness.Table1(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func BenchmarkTable1(b *testing.B) {
 // accuracy, and Evolve-vs-Rep speedups on mtrt and raytracer.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := harness.Figure8(io.Discard, quickOpts(int64(i)+1))
+		series, err := harness.Figure8(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func BenchmarkFigure8(b *testing.B) {
 // time on mtrt and compress.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := harness.Figure9(io.Discard, quickOpts(int64(i)+1))
+		points, err := harness.Figure9(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func BenchmarkFigure9(b *testing.B) {
 // whole suite under Evolve and Rep.
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure10(io.Discard, quickOpts(int64(i)+1))
+		rows, err := harness.Figure10(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkOverhead regenerates the overhead analysis (E5).
 func BenchmarkOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Overhead(io.Discard, quickOpts(int64(i)+1))
+		rows, err := harness.Overhead(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func BenchmarkOverhead(b *testing.B) {
 // sensitivity study (E6).
 func BenchmarkSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Sensitivity(io.Discard, quickOpts(int64(i)+1)); err != nil {
+		if _, err := harness.Sensitivity(testCtx, io.Discard,quickOpts(int64(i)+1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +112,7 @@ func BenchmarkSensitivity(b *testing.B) {
 // on/off and feature-vector truncation.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Ablation(io.Discard, quickOpts(int64(i)+1))
+		res, err := harness.Ablation(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +301,7 @@ func BenchmarkEndToEndEvolveRun(b *testing.B) {
 	in := r.Inputs[0]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunOne(harness.ScenarioEvolve, in); err != nil {
+		if _, err := r.RunOne(testCtx, harness.ScenarioEvolve, in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -311,7 +311,7 @@ func BenchmarkEndToEndEvolveRun(b *testing.B) {
 // garbage-collector choice on the server workload.
 func BenchmarkGCSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.GCSelection(io.Discard, quickOpts(int64(i)+1))
+		res, err := harness.GCSelection(testCtx, io.Discard,quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}

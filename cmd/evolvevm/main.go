@@ -12,20 +12,21 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
 	"evolvevm/internal/aos"
 	"evolvevm/internal/bytecode"
-	"evolvevm/internal/core"
 	"evolvevm/internal/harness"
 	"evolvevm/internal/jit"
 	"evolvevm/internal/opt"
 	"evolvevm/internal/programs"
+	"evolvevm/internal/stats"
 	"evolvevm/internal/vm"
 )
 
@@ -63,7 +64,8 @@ func main() {
 		runs     = flag.Int("runs", 10, "number of production runs to simulate")
 		corpus   = flag.Int("corpus", 0, "input corpus size (0 = program default)")
 		seed     = flag.Int64("seed", 1, "corpus and arrival-order seed")
-		state    = flag.String("state", "", "persist the evolvable VM's models in this file")
+		state    = flag.String("state", "", "persist the cross-run state (models, repository, baselines) in this file")
+		timeout  = flag.Duration("timeout", 0, "abort in-flight runs after this long (0 = no deadline)")
 		verbose  = flag.Bool("v", false, "print per-method levels after each run")
 		feedback = flag.Bool("feedback", false, "after the runs, print XICL spec feedback (paper §VI)")
 		asmPath  = flag.String("asm", "", "run an assembly file instead of a bundled program")
@@ -115,25 +117,30 @@ func main() {
 		fatal(err)
 	}
 	if *state != "" {
-		if f, err := os.Open(*state); err == nil {
-			ev, err := core.LoadEvolver(r.Prog, r.EvolveCfg, f)
-			f.Close()
-			if err != nil {
+		if blob, err := os.ReadFile(*state); err == nil {
+			if err := r.State.Restore(json.RawMessage(blob)); err != nil {
 				fatal(err)
 			}
-			r.Evolver = ev
-			fmt.Printf("loaded state: %d prior runs, confidence %.3f\n", ev.Runs(), ev.Confidence())
+			fmt.Printf("loaded state: %d prior runs, confidence %.3f\n",
+				r.Evolver().Runs(), r.Evolver().Confidence())
 		}
 	}
 
-	order := r.Order(rand.New(rand.NewSource(*seed+1)), *runs)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	order := r.Order(stats.Stream(*seed, "cli", "order"), *runs)
 	fmt.Printf("%-4s %-28s %12s %8s", "run", "input", "cycles", "speedup")
 	if sc == harness.ScenarioEvolve {
 		fmt.Printf(" %6s %6s %5s", "conf", "acc", "pred")
 	}
 	fmt.Println()
 	for i, idx := range order {
-		res, err := r.RunOne(sc, r.Inputs[idx])
+		res, err := r.RunOne(ctx, sc, r.Inputs[idx])
 		if err != nil {
 			fatal(err)
 		}
@@ -157,22 +164,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(r.Evolver.Feedback(vec.Names()))
+		fmt.Print(r.Evolver().Feedback(vec.Names()))
 	}
 
-	if *state != "" && sc == harness.ScenarioEvolve {
-		f, err := os.Create(*state)
+	if *state != "" && (sc == harness.ScenarioEvolve || sc == harness.ScenarioRep) {
+		blob, err := r.State.Snapshot()
 		if err != nil {
 			fatal(err)
 		}
-		if err := r.Evolver.Save(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := os.WriteFile(*state, blob, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("saved state: %d runs, confidence %.3f -> %s\n",
-			r.Evolver.Runs(), r.Evolver.Confidence(), *state)
+			r.Evolver().Runs(), r.Evolver().Confidence(), *state)
 	}
 }
 

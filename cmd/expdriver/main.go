@@ -9,46 +9,65 @@
 //	expdriver -exp table1 -seed 7
 //	expdriver -exp fig8 -bench mtrt,raytracer -runs 40
 //	expdriver -exp fig10 -quick
+//	expdriver -exp all -checkpoint state.json -timeout 30s   # interruptible
+//	expdriver -exp all -checkpoint state.json -resume state.json
+//
+// With -checkpoint, completed work units are saved — also when the run is
+// interrupted by -timeout or fails — and -resume replays them instead of
+// recomputing, with bit-identical output (see DESIGN.md §8).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"evolvevm/internal/harness"
+	"evolvevm/internal/session"
 )
 
 func main() {
-	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
-		seed       = flag.Int64("seed", 1, "corpus and arrival-order seed")
-		runs       = flag.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
-		corpus     = flag.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
-		quick      = flag.Bool("quick", false, "shrink corpora and sequences")
-		parallel   = flag.Bool("parallel", true, "run independent benchmarks concurrently")
-		benches    = flag.String("bench", "", "comma-separated benchmark filter")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	// Profiles must be flushed even when an experiment fails, so teardown
-	// runs before every exit path instead of via defer (os.Exit skips
-	// deferred calls).
+func run(args []string, w, werr io.Writer) int {
+	fs := flag.NewFlagSet("expdriver", flag.ContinueOnError)
+	fs.SetOutput(werr)
+	var (
+		exp        = fs.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
+		seed       = fs.Int64("seed", 1, "corpus and arrival-order seed")
+		runs       = fs.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
+		corpus     = fs.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
+		quick      = fs.Bool("quick", false, "shrink corpora and sequences")
+		parallel   = fs.Bool("parallel", true, "run independent work units concurrently")
+		workers    = fs.Int("workers", 0, "scheduler worker count (0 = derive from -parallel)")
+		benches    = fs.String("bench", "", "comma-separated benchmark filter")
+		checkpoint = fs.String("checkpoint", "", "save completed work units to this file (also on failure/timeout)")
+		resume     = fs.String("resume", "", "replay completed work units from this checkpoint file")
+		timeout    = fs.Duration("timeout", 0, "abort in-flight runs after this long (0 = no deadline)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
 	stopProfiles := func() {}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "expdriver: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(werr, "expdriver: -cpuprofile: %v\n", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "expdriver: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(werr, "expdriver: -cpuprofile: %v\n", err)
+			return 1
 		}
 		stopProfiles = func() {
 			pprof.StopCPUProfile()
@@ -61,15 +80,26 @@ func main() {
 			stopCPU()
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "expdriver: -memprofile: %v\n", err)
+				fmt.Fprintf(werr, "expdriver: -memprofile: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live objects
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "expdriver: -memprofile: %v\n", err)
+				fmt.Fprintf(werr, "expdriver: -memprofile: %v\n", err)
 			}
 		}
+	}
+	defer stopProfiles()
+
+	sess := session.New()
+	if *resume != "" {
+		loaded, err := session.LoadFile(*resume)
+		if err != nil {
+			fmt.Fprintf(werr, "expdriver: -resume: %v\n", err)
+			return 1
+		}
+		sess = loaded
 	}
 
 	opts := harness.Options{
@@ -78,58 +108,69 @@ func main() {
 		Corpus:   *corpus,
 		Quick:    *quick,
 		Parallel: *parallel,
+		Workers:  *workers,
+		Session:  sess,
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 
-	w := os.Stdout
-	run := func(name string, f func() error) {
-		fmt.Fprintf(w, "\n================ %s ================\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "expdriver: %s: %v\n", name, err)
-			stopProfiles()
-			os.Exit(1)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Completed work units survive a failed or timed-out run: saving the
+	// checkpoint on the error path is what makes -resume useful.
+	saveCheckpoint := func() {
+		if *checkpoint == "" {
+			return
+		}
+		if err := sess.SaveFile(*checkpoint); err != nil {
+			fmt.Fprintf(werr, "expdriver: -checkpoint: %v\n", err)
 		}
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	experiments := []struct {
+		flag, title string
+		run         func() error
+	}{
+		{"table1", "Table I", func() error { _, err := harness.Table1(ctx, w, opts); return err }},
+		{"fig8", "Figure 8", func() error { _, err := harness.Figure8(ctx, w, opts); return err }},
+		{"fig9", "Figure 9", func() error { _, err := harness.Figure9(ctx, w, opts); return err }},
+		{"fig10", "Figure 10", func() error { _, err := harness.Figure10(ctx, w, opts); return err }},
+		{"overhead", "Overhead", func() error { _, err := harness.Overhead(ctx, w, opts); return err }},
+		{"sensitivity", "Sensitivity", func() error { _, err := harness.Sensitivity(ctx, w, opts); return err }},
+		{"ablation", "Ablation", func() error { _, err := harness.Ablation(ctx, w, opts); return err }},
+		{"gc", "GC selection", func() error { _, err := harness.GCSelection(ctx, w, opts); return err }},
+	}
+
 	ran := false
-	if want("table1") {
-		run("Table I", func() error { _, err := harness.Table1(w, opts); return err })
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.flag {
+			continue
+		}
 		ran = true
+		fmt.Fprintf(w, "\n================ %s ================\n", e.title)
+		if err := e.run(); err != nil {
+			saveCheckpoint()
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(werr, "expdriver: %s: deadline exceeded: %v\n", e.title, err)
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintf(werr, "expdriver: %s: canceled: %v\n", e.title, err)
+			default:
+				fmt.Fprintf(werr, "expdriver: %s: %v\n", e.title, err)
+			}
+			return 1
+		}
 	}
-	if want("fig8") {
-		run("Figure 8", func() error { _, err := harness.Figure8(w, opts); return err })
-		ran = true
-	}
-	if want("fig9") {
-		run("Figure 9", func() error { _, err := harness.Figure9(w, opts); return err })
-		ran = true
-	}
-	if want("fig10") {
-		run("Figure 10", func() error { _, err := harness.Figure10(w, opts); return err })
-		ran = true
-	}
-	if want("overhead") {
-		run("Overhead", func() error { _, err := harness.Overhead(w, opts); return err })
-		ran = true
-	}
-	if want("sensitivity") {
-		run("Sensitivity", func() error { _, err := harness.Sensitivity(w, opts); return err })
-		ran = true
-	}
-	if want("ablation") {
-		run("Ablation", func() error { _, err := harness.Ablation(w, opts); return err })
-		ran = true
-	}
-	if want("gc") {
-		run("GC selection", func() error { _, err := harness.GCSelection(w, opts); return err })
-		ran = true
-	}
-	stopProfiles()
 	if !ran {
-		fmt.Fprintf(os.Stderr, "expdriver: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(werr, "expdriver: unknown experiment %q\n", *exp)
+		return 2
 	}
+	saveCheckpoint()
+	return 0
 }

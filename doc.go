@@ -33,6 +33,9 @@
 //	internal/core       the evolvable VM (the paper's contribution)
 //	internal/rep        repository-based baseline
 //	internal/programs   the 11-benchmark suite
+//	internal/exec       stateless per-run executor with cancellation
+//	internal/session    cross-run state, work units, checkpoint/resume
+//	internal/sched      deterministic bounded-worker task scheduler
 //	internal/harness    scenario runner and experiment generators
 //	internal/difftest   cross-tier differential tester and fuzz targets
 //	cmd/evolvevm        run programs under a scenario

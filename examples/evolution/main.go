@@ -10,18 +10,18 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"strings"
 
-	"evolvevm/internal/core"
 	"evolvevm/internal/harness"
 	"evolvevm/internal/programs"
 )
 
 func main() {
+	ctx := context.Background()
 	r, err := harness.NewRunner(programs.ByName("mtrt"), 16, 42)
 	if err != nil {
 		log.Fatal(err)
@@ -32,23 +32,22 @@ func main() {
 	fmt.Println("run  input                      speedup  conf   acc   predicted")
 	for i, idx := range order {
 		if i == len(order)/2 {
-			// Simulate a VM restart: save the models, drop everything,
-			// reload. Learning continues where it left off.
-			var buf bytes.Buffer
-			if err := r.Evolver.Save(&buf); err != nil {
-				log.Fatal(err)
-			}
-			size := buf.Len()
-			ev, err := core.LoadEvolver(r.Prog, r.EvolveCfg, &buf)
+			// Simulate a VM restart: snapshot the cross-run state (models,
+			// repository, baselines), drop everything, restore. Learning
+			// continues where it left off.
+			blob, err := r.State.Snapshot()
 			if err != nil {
 				log.Fatal(err)
 			}
-			r.Evolver = ev
+			r.ResetState()
+			if err := r.State.Restore(blob); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("---- state saved and restored (%d bytes, %d runs) ----\n",
-				size, ev.Runs())
+				len(blob), r.Evolver().Runs())
 		}
 
-		res, err := r.RunOne(harness.ScenarioEvolve, r.Inputs[idx])
+		res, err := r.RunOne(ctx, harness.ScenarioEvolve, r.Inputs[idx])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,12 +59,12 @@ func main() {
 	}
 
 	fmt.Printf("\nfinal confidence: %.3f over %d runs\n",
-		r.Evolver.Confidence(), r.Evolver.Runs())
-	fmt.Printf("features the models actually use: %v\n", r.Evolver.UsedFeatureNames())
+		r.Evolver().Confidence(), r.Evolver().Runs())
+	fmt.Printf("features the models actually use: %v\n", r.Evolver().UsedFeatureNames())
 
 	// Peek inside one learned model: the tree for the tracing kernel.
 	if idx, ok := r.Prog.FuncIndex("trace"); ok {
-		if m := r.Evolver.ModelFor(idx); m != nil && m.Tree() != nil {
+		if m := r.Evolver().ModelFor(idx); m != nil && m.Tree() != nil {
 			fmt.Printf("\nlearned input->level tree for method trace:\n%s", m.Tree())
 		}
 	}

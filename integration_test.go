@@ -1,6 +1,7 @@
 package evolvevm
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -9,16 +10,21 @@ import (
 	"evolvevm/internal/programs"
 )
 
+// testCtx is the background context shared by this package's tests and
+// benchmarks; cancellation gets dedicated coverage in internal/exec and
+// cmd/expdriver.
+var testCtx = context.Background()
+
 // TestExperimentsDeterministic pins the README's reproducibility claim:
 // the same seed yields bit-identical experiment results, run to run.
 func TestExperimentsDeterministic(t *testing.T) {
 	opts := harness.Options{Seed: 4, Quick: true,
 		Benchmarks: []string{"compress", "mtrt"}}
-	a, err := harness.Table1(io.Discard, opts)
+	a, err := harness.Table1(testCtx, io.Discard,opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := harness.Table1(io.Discard, opts)
+	b, err := harness.Table1(testCtx, io.Discard,opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +42,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 // seeds draw different corpora, so results must actually move.
 func TestSeedsChangeOutcomes(t *testing.T) {
 	rows := func(seed int64) []harness.Table1Row {
-		r, err := harness.Table1(io.Discard, harness.Options{
+		r, err := harness.Table1(testCtx, io.Discard,harness.Options{
 			Seed: seed, Quick: true, Benchmarks: []string{"compress"}})
 		if err != nil {
 			t.Fatal(err)
@@ -58,7 +64,7 @@ func TestFullEvolveCycleEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	order := r.Order(rngFor(6), 16)
-	results, err := r.RunSequence(harness.ScenarioEvolve, order)
+	results, err := r.RunSequence(testCtx, harness.ScenarioEvolve, order)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +73,7 @@ func TestFullEvolveCycleEndToEnd(t *testing.T) {
 	}
 	// Results are program outputs: a default-scenario re-run of the same
 	// input must agree.
-	check, err := r.RunOne(harness.ScenarioDefault, r.Inputs[order[len(order)-1]])
+	check, err := r.RunOne(testCtx, harness.ScenarioDefault, r.Inputs[order[len(order)-1]])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,8 +81,8 @@ func TestFullEvolveCycleEndToEnd(t *testing.T) {
 	if !check.Result.Equal(last.Result) {
 		t.Errorf("evolve result %v != default result %v", last.Result, check.Result)
 	}
-	if r.Evolver.Runs() != 16 {
-		t.Errorf("evolver saw %d runs, want 16", r.Evolver.Runs())
+	if r.Evolver().Runs() != 16 {
+		t.Errorf("evolver saw %d runs, want 16", r.Evolver().Runs())
 	}
 }
 

@@ -65,6 +65,53 @@ func (ev *Evolver) Save(w io.Writer) error {
 	return enc.Encode(st)
 }
 
+// persistGCState is the GC selector's saved form. Like the level
+// predictor, only examples and confidence persist; the tree is rebuilt.
+type persistGCState struct {
+	Confidence float64          `json:"confidence"`
+	Runs       int              `json:"runs"`
+	Examples   []persistExample `json:"examples,omitempty"`
+}
+
+// Save writes the GC selector's persistent state as JSON.
+func (s *GCSelector) Save(w io.Writer) error {
+	st := persistGCState{Confidence: s.conf, Runs: s.runs}
+	for _, ex := range s.model.Examples() {
+		pe := persistExample{Label: ex.Label}
+		for _, f := range ex.Features {
+			pe.Features = append(pe.Features,
+				persistFeature{Name: f.Name, Kind: f.Kind.String(), Num: f.Num, Cat: f.Cat})
+		}
+		st.Examples = append(st.Examples, pe)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(st)
+}
+
+// LoadGCSelector restores a selector saved by GCSelector.Save.
+func LoadGCSelector(cfg Config, r io.Reader) (*GCSelector, error) {
+	var st persistGCState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: load gc selector: %w", err)
+	}
+	s := NewGCSelector(cfg)
+	s.conf = st.Confidence
+	s.runs = st.Runs
+	for _, pe := range st.Examples {
+		ex := cart.Example{Label: pe.Label}
+		for _, pf := range pe.Features {
+			if pf.Kind == xicl.Categorical.String() {
+				ex.Features = append(ex.Features, xicl.CatFeature(pf.Name, pf.Cat))
+			} else {
+				ex.Features = append(ex.Features, xicl.NumFeature(pf.Name, pf.Num))
+			}
+		}
+		s.model.Add(ex)
+	}
+	return s, nil
+}
+
 // LoadEvolver restores a learner saved by Save, binding it to prog. The
 // program must declare every function named in the state (extra functions
 // are fine — they simply have no model yet).

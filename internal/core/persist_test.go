@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEvolverSaveIsStable pins the golden property behind checkpointing:
+// serialization is deterministic (same state → same bytes) and lossless
+// (save → load → save reproduces the bytes exactly). Together with
+// TestPersistenceRoundTrip this means a resumed learner is
+// indistinguishable from one that never stopped.
+func TestEvolverSaveIsStable(t *testing.T) {
+	ev := NewEvolver(testProg(t), DefaultConfig())
+	for _, n := range []int64{30, 4000, 30, 4000, 800, 30, 4000} {
+		oneRun(t, ev, n)
+	}
+
+	var first, second bytes.Buffer
+	if err := ev.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two saves of the same state differ")
+	}
+
+	ev2, err := LoadEvolver(ev.prog, DefaultConfig(), bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resaved bytes.Buffer
+	if err := ev2.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), resaved.Bytes()) {
+		t.Errorf("save -> load -> save is not the identity:\n%s\nvs\n%s",
+			first.String(), resaved.String())
+	}
+}
+
+// TestEvolverResumedLearningIsBitIdentical: a learner restored mid-stream
+// must make the same predictions AND evolve identically on future runs.
+func TestEvolverResumedLearningIsBitIdentical(t *testing.T) {
+	warmup := []int64{30, 4000, 30, 4000, 800}
+	future := []int64{30, 4000, 30, 800, 4000, 30}
+
+	ev := NewEvolver(testProg(t), DefaultConfig())
+	for _, n := range warmup {
+		oneRun(t, ev, n)
+	}
+	var blob bytes.Buffer
+	if err := ev.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := LoadEvolver(ev.prog, DefaultConfig(), bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, n := range future {
+		_, ca := oneRun(t, ev, n)
+		_, cb := oneRun(t, ev2, n)
+		ra, rb := ca.Report(), cb.Report()
+		if ra.Predicted != rb.Predicted || ra.Confidence != rb.Confidence ||
+			ra.Accuracy != rb.Accuracy {
+			t.Fatalf("future run %d (n=%d) diverged: original %+v resumed %+v", i, n, ra, rb)
+		}
+	}
+	if ev.Confidence() != ev2.Confidence() || ev.Runs() != ev2.Runs() {
+		t.Errorf("final state diverged: %.6f/%d vs %.6f/%d",
+			ev.Confidence(), ev.Runs(), ev2.Confidence(), ev2.Runs())
+	}
+}
+
+func trainedSelector(t *testing.T) *GCSelector {
+	t.Helper()
+	s := NewGCSelector(DefaultConfig())
+	for _, k := range []float64{1, 50, 2, 40, 1, 60, 2, 30} {
+		s.Observe(gcFeatures(k), statsFor(k))
+	}
+	return s
+}
+
+func TestGCSelectorPersistenceRoundTrip(t *testing.T) {
+	s := trainedSelector(t)
+	var blob bytes.Buffer
+	if err := s.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := LoadGCSelector(DefaultConfig(), bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Confidence() != s.Confidence() || s2.Runs() != s.Runs() {
+		t.Errorf("restored conf/runs = %.3f/%d, want %.3f/%d",
+			s2.Confidence(), s2.Runs(), s.Confidence(), s.Runs())
+	}
+	for _, k := range []float64{1.5, 45, 5, 55} {
+		pa, oka := s.Choose(gcFeatures(k))
+		pb, okb := s2.Choose(gcFeatures(k))
+		if pa != pb || oka != okb {
+			t.Errorf("k=%v: choice %v,%v != restored %v,%v", k, pa, oka, pb, okb)
+		}
+	}
+
+	// Save -> load -> save must be the identity (golden stability).
+	var resaved bytes.Buffer
+	if err := s2.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob.Bytes(), resaved.Bytes()) {
+		t.Error("GC selector save -> load -> save is not the identity")
+	}
+
+	// Garbage rejected.
+	if _, err := LoadGCSelector(DefaultConfig(), strings.NewReader("{nope")); err == nil {
+		t.Error("garbage selector state accepted")
+	}
+}
+
+// TestGCSelectorResumedLearning: observations after a restore move the
+// restored selector exactly as they move the original.
+func TestGCSelectorResumedLearning(t *testing.T) {
+	s := trainedSelector(t)
+	var blob bytes.Buffer
+	if err := s.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadGCSelector(DefaultConfig(), bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{3, 35, 1, 70} {
+		ia := s.Observe(gcFeatures(k), statsFor(k))
+		ib := s2.Observe(gcFeatures(k), statsFor(k))
+		if ia != ib {
+			t.Fatalf("k=%v: ideal %v != resumed %v", k, ia, ib)
+		}
+		if s.Confidence() != s2.Confidence() {
+			t.Fatalf("k=%v: confidence %.6f != resumed %.6f", k, s.Confidence(), s2.Confidence())
+		}
+	}
+}

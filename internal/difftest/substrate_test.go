@@ -241,13 +241,13 @@ func TestSubstrateMachine(t *testing.T) {
 		}
 		checked++
 	}
-	hits, misses, entries := cache.Stats()
+	cs := cache.Stats()
 	t.Logf("machine substrate: %d programs bit-identical; code cache %d hits / %d misses / %d entries",
-		checked, hits, misses, entries)
+		checked, cs.Hits, cs.Misses, cs.Entries)
 	if checked == 0 {
 		t.Fatal("machine substrate soak checked zero runs")
 	}
-	if *seedFlag < 0 && checked > 1 && hits == 0 {
+	if *seedFlag < 0 && checked > 1 && cs.Hits == 0 {
 		t.Error("cross-run code cache never hit across repeated runs")
 	}
 }

@@ -1,0 +1,123 @@
+// Package exec is the stateless per-run execution layer of the system:
+// it turns one immutable RunSpec — program, input binding, scenario
+// controller, jit/GC configuration, substrate switches — into one
+// RunOutcome. It holds no cross-run state of its own (that lives in
+// internal/session) and no experiment logic (internal/harness); a spec
+// may therefore be executed from any goroutine, and thousands of
+// concurrent runs only share immutable inputs plus the explicitly
+// thread-safe shared code cache.
+//
+// Cancellation is first-class: the run's context is threaded into the
+// engine's sample-boundary check, so a canceled or deadline-exceeded run
+// aborts cleanly mid-flight with a typed *interp.CanceledError and a
+// fully attributed cycle ledger (see vm.Machine.LedgerError).
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/gc"
+	"evolvevm/internal/interp"
+	"evolvevm/internal/jit"
+	"evolvevm/internal/vm"
+)
+
+// Substrate toggles the host-performance mechanisms of a run. The zero
+// value enables everything; each switch exists so the determinism suites
+// can prove bit-identical virtual results with any combination disabled.
+type Substrate struct {
+	NoCodeCache bool // skip the shared cross-run code cache
+	NoFusion    bool // batch blocks but without superinstruction fusion
+	NoBatching  bool // original per-instruction dispatch only
+}
+
+// RunSpec describes one run completely. It is immutable from Run's point
+// of view: Run never writes to it, so one spec value may be reused (or
+// copied) freely.
+type RunSpec struct {
+	Prog *bytecode.Program
+	Jit  jit.Config
+	GC   gc.Config
+
+	Substrate Substrate
+	// SharedCode, when non-nil and not disabled by the substrate, lets the
+	// run reuse host-side compilation work across runs. Virtual compile
+	// charges are unaffected.
+	SharedCode *jit.Cache
+
+	// Controller builds the run's optimization controller once the machine
+	// exists (repository controllers need the compiler's cost model). A
+	// nil Controller runs under vm.NullController.
+	Controller func(m *vm.Machine) vm.Controller
+
+	// Setup binds the input to the engine (globals, array arguments)
+	// before execution. May be nil.
+	Setup func(e *interp.Engine) error
+
+	// Inspect, when non-nil, observes the machine after the run finishes —
+	// on success and on abort — before Run returns. Used by ledger
+	// cross-checks and tests; production callers usually leave it nil.
+	Inspect func(m *vm.Machine)
+}
+
+// RunOutcome captures the virtual observables of one finished run.
+type RunOutcome struct {
+	Result         bytecode.Value
+	Cycles         int64
+	CompileCycles  int64
+	OverheadCycles int64
+	Recompilations int
+	TotalSamples   int64
+	Levels         []int
+	GCStats        gc.Stats
+}
+
+// Run executes spec under ctx. On success it returns the run's outcome;
+// on failure the error is either the program's own runtime error or, for
+// a canceled/expired context, a *interp.CanceledError wrapping ctx.Err().
+func Run(ctx context.Context, spec *RunSpec) (*RunOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &interp.CanceledError{Prog: spec.Prog.Name, Cause: err}
+	}
+	m := vm.New(spec.Prog, spec.Jit, nil)
+	if spec.Controller != nil {
+		m.Controller = spec.Controller(m)
+	}
+	m.SetContext(ctx)
+	m.Engine.GC = spec.GC
+	m.Engine.DisableBatching = spec.Substrate.NoBatching
+	m.Engine.DisableFusion = spec.Substrate.NoFusion
+	if !spec.Substrate.NoCodeCache && spec.SharedCode != nil {
+		m.Compiler.UseShared(spec.SharedCode)
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(m.Engine); err != nil {
+			return nil, fmt.Errorf("exec: setup: %w", err)
+		}
+	}
+	v, err := m.Run()
+	if spec.Inspect != nil {
+		spec.Inspect(m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutcome{
+		Result:         v,
+		Cycles:         m.TotalCycles(),
+		CompileCycles:  m.CompileCycles,
+		OverheadCycles: m.OverheadCycles,
+		Recompilations: m.Recompilations,
+		Levels:         m.Levels(),
+		GCStats:        m.Engine.GCStats,
+	}
+	for _, s := range m.Samples {
+		out.TotalSamples += s
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"evolvevm/internal/session"
+)
+
+// The acceptance suite of the layering refactor: every experiment must
+// produce bit-identical results with the scheduler fully serial, fully
+// parallel, and resumed from a mid-experiment checkpoint that carries
+// only half the work units. The checkpoint round-trips through a file,
+// so the serialized form is what is proven equivalent.
+
+type equivExperiment struct {
+	name string
+	run  func(t *testing.T, opts Options) any
+}
+
+var equivExperiments = []equivExperiment{
+	{"table1", func(t *testing.T, opts Options) any {
+		rows, err := Table1(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}},
+	{"figure8", func(t *testing.T, opts Options) any {
+		series, err := Figure8(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}},
+	{"figure9", func(t *testing.T, opts Options) any {
+		points, err := Figure9(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}},
+	{"figure10", func(t *testing.T, opts Options) any {
+		rows, err := Figure10(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}},
+	{"overhead", func(t *testing.T, opts Options) any {
+		rows, err := Overhead(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}},
+	{"sensitivity", func(t *testing.T, opts Options) any {
+		res, err := Sensitivity(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}},
+	{"ablation", func(t *testing.T, opts Options) any {
+		res, err := Ablation(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}},
+	{"gcselection", func(t *testing.T, opts Options) any {
+		res, err := GCSelection(testCtx, io.Discard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}},
+}
+
+func equivOpts(name string) Options {
+	opts := Options{Seed: 6, Quick: true}
+	switch name {
+	case "table1", "figure10":
+		opts.Benchmarks = []string{"compress", "mtrt"}
+	case "figure8", "figure9", "sensitivity":
+		opts.Benchmarks = []string{"mtrt"}
+	case "overhead", "ablation":
+		opts.Benchmarks = []string{"compress"}
+	}
+	return opts
+}
+
+func TestSchedulerEquivalence(t *testing.T) {
+	for _, e := range equivExperiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			// Serial reference run, recording work units into a session.
+			full := session.New()
+			serialOpts := equivOpts(e.name)
+			serialOpts.Workers = 1
+			serialOpts.Session = full
+			serial := e.run(t, serialOpts)
+
+			// Fully parallel, no session.
+			parOpts := equivOpts(e.name)
+			parOpts.Parallel = true
+			parallel := e.run(t, parOpts)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("parallel run diverged from serial:\nserial   %+v\nparallel %+v",
+					serial, parallel)
+			}
+
+			// Simulate an interrupted run: a checkpoint carrying only the
+			// first half of the units, round-tripped through a file.
+			partial := session.New()
+			keys := full.UnitKeys()
+			if len(keys) == 0 {
+				t.Fatal("experiment recorded no work units")
+			}
+			for _, k := range keys[:(len(keys)+1)/2] {
+				raw, ok := full.Unit(k)
+				if !ok {
+					t.Fatalf("unit %q vanished", k)
+				}
+				partial.CompleteUnit(k, raw)
+			}
+			path := filepath.Join(t.TempDir(), "checkpoint.json")
+			if err := partial.SaveFile(path); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := session.LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resOpts := equivOpts(e.name)
+			resOpts.Parallel = true
+			resOpts.Session = restored
+			resumed := e.run(t, resOpts)
+			if !reflect.DeepEqual(serial, resumed) {
+				t.Errorf("resumed run diverged from serial:\nserial  %+v\nresumed %+v",
+					serial, resumed)
+			}
+
+			// After the resumed run, the session holds every unit again — a
+			// second resume would be a pure replay.
+			if got := len(restored.UnitKeys()); got != len(keys) {
+				t.Errorf("resumed session has %d units, want %d", got, len(keys))
+			}
+		})
+	}
+}
+
+// TestResumeIsPureReplay: with every unit cached, the experiment must
+// reproduce its results without executing any runs (cheap and identical).
+func TestResumeIsPureReplay(t *testing.T) {
+	full := session.New()
+	opts := equivOpts("table1")
+	opts.Session = full
+	serial := equivExperiments[0].run(t, opts)
+
+	replayOpts := equivOpts("table1")
+	replayOpts.Session = full
+	replay := equivExperiments[0].run(t, replayOpts)
+	if !reflect.DeepEqual(serial, replay) {
+		t.Errorf("pure replay diverged:\nfirst  %+v\nreplay %+v", serial, replay)
+	}
+}
+
+// TestUnitKeysScopeBySetup: units computed under one (seed, quick, runs,
+// corpus) setup must never be replayed under another.
+func TestUnitKeysScopeBySetup(t *testing.T) {
+	s := session.New()
+	a := Options{Seed: 6, Quick: true, Benchmarks: []string{"compress"}, Session: s}
+	if _, err := Table1(testCtx, io.Discard, a); err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.UnitKeys())
+	if before == 0 {
+		t.Fatal("no units recorded")
+	}
+	b := Options{Seed: 7, Quick: true, Benchmarks: []string{"compress"}, Session: s}
+	if _, err := Table1(testCtx, io.Discard, b); err != nil {
+		t.Fatal(err)
+	}
+	after := len(s.UnitKeys())
+	if after <= before {
+		t.Errorf("different seed reused the same unit keys (%d -> %d)", before, after)
+	}
+}

@@ -1,22 +1,25 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"evolvevm/internal/core"
 	"evolvevm/internal/programs"
+	"evolvevm/internal/session"
 	"evolvevm/internal/stats"
 )
 
 // Options scales the experiments. The zero value reproduces the paper's
 // setup; Quick shrinks corpora and sequences for fast test runs.
 type Options struct {
-	// Seed drives corpus generation and input arrival order.
+	// Seed drives corpus generation and input arrival order. Derived
+	// random streams are named, not offset: see stats.Stream.
 	Seed int64
 	// Benchmarks filters the suite by name (nil = all).
 	Benchmarks []string
@@ -27,40 +30,17 @@ type Options struct {
 	Corpus int
 	// Quick reduces corpora and sequences for unit tests.
 	Quick bool
-	// Parallel runs independent benchmarks concurrently (per-benchmark
-	// results are unchanged: every benchmark's cross-run state is its
-	// own, and rows are collected in suite order).
+	// Parallel runs independent work units concurrently on one worker per
+	// CPU. Results are bit-identical either way: units are scheduled by a
+	// deterministic dependency graph and merged in canonical order.
 	Parallel bool
-}
-
-// forEachBench applies f to every selected benchmark, concurrently when
-// opts.Parallel is set, and returns the first error.
-func (o Options) forEachBench(f func(i int, b *programs.Benchmark) error) error {
-	suite := o.suite()
-	if !o.Parallel {
-		for i, b := range suite {
-			if err := f(i, b); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, len(suite))
-	var wg sync.WaitGroup
-	for i, b := range suite {
-		wg.Add(1)
-		go func(i int, b *programs.Benchmark) {
-			defer wg.Done()
-			errs[i] = f(i, b)
-		}(i, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	// Workers overrides the scheduler's worker count (0 = derive from
+	// Parallel). Workers=1 is fully serial.
+	Workers int
+	// Session, when non-nil, memoizes completed work units and enables
+	// checkpoint/resume (expdriver -checkpoint/-resume). Nil runs with an
+	// ephemeral session.
+	Session *session.Session
 }
 
 func (o Options) suite() []*programs.Benchmark {
@@ -105,6 +85,15 @@ func (o Options) runsFor(b *programs.Benchmark) int {
 	return 30
 }
 
+// sharedRunner builds one lazily constructed runner shared by the units
+// of one benchmark arm. Construction happens inside whichever unit runs
+// first; sync.OnceValues makes that safe and exactly-once.
+func (o Options) sharedRunner(b *programs.Benchmark) func() (*Runner, error) {
+	return sync.OnceValues(func() (*Runner, error) {
+		return NewRunner(b, o.corpusFor(b), o.Seed)
+	})
+}
+
 // ---------------------------------------------------------------------
 // Experiment E1 — Table I
 // ---------------------------------------------------------------------
@@ -122,61 +111,102 @@ type Table1Row struct {
 	Acc       float64 // mean prediction accuracy over the second half
 }
 
+// table1Defaults is the corpus-characterization unit of one benchmark.
+type table1Defaults struct {
+	Inputs    int
+	MinMcyc   float64
+	MaxMcyc   float64
+	TotalFeat int
+}
+
+// table1Evolve is the learning unit of one benchmark.
+type table1Evolve struct {
+	Conf     float64
+	Acc      float64
+	UsedFeat int
+}
+
 // Table1 reproduces the paper's Table I: per benchmark, the corpus size,
 // the running-time range under the Default VM, the raw and tree-selected
 // feature counts, and Evolve's confidence and accuracy.
-func Table1(w io.Writer, opts Options) ([]Table1Row, error) {
-	rows := make([]Table1Row, len(opts.suite()))
-	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
-		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-		if err != nil {
-			return err
-		}
-		row := Table1Row{Program: b.Name, Suite: b.Suite, Inputs: len(r.Inputs)}
-
-		minC, maxC := int64(1<<62), int64(0)
-		for _, in := range r.Inputs {
-			c, err := r.DefaultCycles(in)
+func Table1(ctx context.Context, w io.Writer, opts Options) ([]Table1Row, error) {
+	suite := opts.suite()
+	p := opts.planner("table1")
+	defs := make([]table1Defaults, len(suite))
+	evs := make([]table1Evolve, len(suite))
+	for i, b := range suite {
+		b := b
+		runner := opts.sharedRunner(b)
+		unit(p, "defaults/"+b.Name, &defs[i], nil, func(ctx context.Context) (table1Defaults, error) {
+			var out table1Defaults
+			r, err := runner()
 			if err != nil {
-				return err
+				return out, err
 			}
-			if c < minC {
-				minC = c
+			if err := r.WarmDefaults(ctx); err != nil {
+				return out, err
 			}
-			if c > maxC {
-				maxC = c
+			minC, maxC := int64(1<<62), int64(0)
+			for _, in := range r.Inputs {
+				c, err := r.DefaultCycles(ctx, in)
+				if err != nil {
+					return out, err
+				}
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
 			}
-		}
-		row.MinMcyc = float64(minC) / 1e6
-		row.MaxMcyc = float64(maxC) / 1e6
-
-		vec, _, err := r.Features(r.Inputs[0])
-		if err != nil {
-			return err
-		}
-		row.TotalFeat = len(vec)
-
-		rng := rand.New(rand.NewSource(opts.Seed + 101))
-		order := r.Order(rng, opts.runsFor(b))
-		results, err := r.RunSequence(ScenarioEvolve, order)
-		if err != nil {
-			return err
-		}
-		var confs, accs []float64
-		for _, res := range results[len(results)/2:] {
-			if res.Evolve != nil {
-				confs = append(confs, res.Evolve.Confidence)
-				accs = append(accs, res.Evolve.Accuracy)
+			vec, _, err := r.Features(r.Inputs[0])
+			if err != nil {
+				return out, err
 			}
-		}
-		row.Conf = stats.Mean(confs)
-		row.Acc = stats.Mean(accs)
-		row.UsedFeat = len(r.Evolver.UsedFeatureNames())
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
+			return table1Defaults{
+				Inputs:    len(r.Inputs),
+				MinMcyc:   float64(minC) / 1e6,
+				MaxMcyc:   float64(maxC) / 1e6,
+				TotalFeat: len(vec),
+			}, nil
+		})
+		unit(p, "evolve/"+b.Name, &evs[i], nil, func(ctx context.Context) (table1Evolve, error) {
+			var out table1Evolve
+			r, err := runner()
+			if err != nil {
+				return out, err
+			}
+			order := r.Order(stats.Stream(opts.Seed, "table1", "order", b.Name), opts.runsFor(b))
+			results, err := r.RunSequence(ctx, ScenarioEvolve, order)
+			if err != nil {
+				return out, err
+			}
+			var confs, accs []float64
+			for _, res := range results[len(results)/2:] {
+				if res.Evolve != nil {
+					confs = append(confs, res.Evolve.Confidence)
+					accs = append(accs, res.Evolve.Accuracy)
+				}
+			}
+			return table1Evolve{
+				Conf:     stats.Mean(confs),
+				Acc:      stats.Mean(accs),
+				UsedFeat: len(r.Evolver().UsedFeatureNames()),
+			}, nil
+		})
+	}
+	if err := p.run(ctx, opts); err != nil {
 		return nil, err
+	}
+
+	rows := make([]Table1Row, len(suite))
+	for i, b := range suite {
+		rows[i] = Table1Row{
+			Program: b.Name, Suite: b.Suite,
+			Inputs: defs[i].Inputs, MinMcyc: defs[i].MinMcyc, MaxMcyc: defs[i].MaxMcyc,
+			TotalFeat: defs[i].TotalFeat, UsedFeat: evs[i].UsedFeat,
+			Conf: evs[i].Conf, Acc: evs[i].Acc,
+		}
 	}
 
 	fmt.Fprintln(w, "Table I — Benchmarks (running time in Mcycles; conf/acc from Evolve)")
@@ -203,11 +233,17 @@ type Fig8Series struct {
 	RepSpd     []float64
 }
 
+type fig8Evolve struct {
+	Confidence []float64
+	Accuracy   []float64
+	Speedup    []float64
+}
+
 // Figure8 reproduces the paper's Figure 8 for Mtrt and RayTracer: the
 // temporal evolution of Evolve's confidence and prediction accuracy, with
 // per-run speedups of Evolve and Rep over Default under the same random
 // input arrival order.
-func Figure8(w io.Writer, opts Options) ([]Fig8Series, error) {
+func Figure8(ctx context.Context, w io.Writer, opts Options) ([]Fig8Series, error) {
 	if opts.Benchmarks == nil {
 		opts.Benchmarks = []string{"mtrt", "raytracer"}
 	}
@@ -218,42 +254,60 @@ func Figure8(w io.Writer, opts Options) ([]Fig8Series, error) {
 			return nil, fmt.Errorf("harness: no benchmark %q", name)
 		}
 	}
-	// Per-benchmark work runs through forEachBench so opts.Parallel
-	// applies; results land in slots indexed by suite order, and all
-	// writing to w happens sequentially afterwards.
-	out := make([]Fig8Series, len(opts.Benchmarks))
-	runsBy := make([]int, len(opts.Benchmarks))
-	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
-		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-		if err != nil {
-			return err
+	suite := opts.suite()
+	p := opts.planner("figure8")
+	evs := make([]fig8Evolve, len(suite))
+	reps := make([][]float64, len(suite))
+	runsBy := make([]int, len(suite))
+	for i, b := range suite {
+		b := b
+		runsBy[i] = opts.runsFor(b)
+		runner := opts.sharedRunner(b)
+		orderFor := func(r *Runner) []int {
+			return r.Order(stats.Stream(opts.Seed, "figure8", "order", b.Name), opts.runsFor(b))
 		}
-		runs := opts.runsFor(b)
-		runsBy[i] = runs
-		order := r.Order(rand.New(rand.NewSource(opts.Seed+202)), runs)
-
-		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
-		if err != nil {
-			return err
-		}
-		repRes, err := r.RunSequence(ScenarioRep, order)
-		if err != nil {
-			return err
-		}
-
-		s := Fig8Series{Program: b.Name}
-		for k := range evolveRes {
-			rec := evolveRes[k].Evolve
-			s.Confidence = append(s.Confidence, rec.Confidence)
-			s.Accuracy = append(s.Accuracy, rec.Accuracy)
-			s.EvolveSpd = append(s.EvolveSpd, evolveRes[k].Speedup)
-			s.RepSpd = append(s.RepSpd, repRes[k].Speedup)
-		}
-		out[i] = s
-		return nil
-	})
-	if err != nil {
+		unit(p, "evolve/"+b.Name, &evs[i], nil, func(ctx context.Context) (fig8Evolve, error) {
+			var out fig8Evolve
+			r, err := runner()
+			if err != nil {
+				return out, err
+			}
+			results, err := r.RunSequence(ctx, ScenarioEvolve, orderFor(r))
+			if err != nil {
+				return out, err
+			}
+			for _, res := range results {
+				out.Confidence = append(out.Confidence, res.Evolve.Confidence)
+				out.Accuracy = append(out.Accuracy, res.Evolve.Accuracy)
+				out.Speedup = append(out.Speedup, res.Speedup)
+			}
+			return out, nil
+		})
+		unit(p, "rep/"+b.Name, &reps[i], nil, func(ctx context.Context) ([]float64, error) {
+			r, err := runner()
+			if err != nil {
+				return nil, err
+			}
+			results, err := r.RunSequence(ctx, ScenarioRep, orderFor(r))
+			if err != nil {
+				return nil, err
+			}
+			return Speedups(results), nil
+		})
+	}
+	if err := p.run(ctx, opts); err != nil {
 		return nil, err
+	}
+
+	out := make([]Fig8Series, len(suite))
+	for i, b := range suite {
+		out[i] = Fig8Series{
+			Program:    b.Name,
+			Confidence: evs[i].Confidence,
+			Accuracy:   evs[i].Accuracy,
+			EvolveSpd:  evs[i].Speedup,
+			RepSpd:     reps[i],
+		}
 	}
 	for i, s := range out {
 		fmt.Fprintf(w, "\nFigure 8 — %s (%d runs)\n", s.Program, runsBy[i])
@@ -278,64 +332,107 @@ type Fig9Point struct {
 	RepSpd      float64
 }
 
+// fig9Evolve records the learning sequence: which runs the guard
+// released, their speedups, and their inputs' default times.
+type fig9Evolve struct {
+	Order     []int
+	Predicted []bool
+	Speedup   []float64
+	DefCycles []int64
+}
+
 // Figure9 reproduces the paper's Figure 9 for Mtrt and Compress: the
 // correlation between a run's Default running time and the speedup Evolve
 // achieves, against Rep using a repository pre-filled with the whole
 // corpus (the paper's "histogram of all runs" to avoid warmup). The
 // initial non-predicting Evolve runs are excluded, as in the paper.
-func Figure9(w io.Writer, opts Options) (map[string][]Fig9Point, error) {
+func Figure9(ctx context.Context, w io.Writer, opts Options) (map[string][]Fig9Point, error) {
 	benches := opts.Benchmarks
 	if benches == nil {
 		benches = []string{"mtrt", "compress"}
 	}
-	out := make(map[string][]Fig9Point)
 	for _, name := range benches {
+		if programs.ByName(name) == nil {
+			return nil, fmt.Errorf("harness: no benchmark %q", name)
+		}
+	}
+	p := opts.planner("figure9")
+	evs := make([]fig9Evolve, len(benches))
+	reps := make([][]float64, len(benches))
+	for i, name := range benches {
+		i, name := i, name
 		b := programs.ByName(name)
-		if b == nil {
-			return out, fmt.Errorf("harness: no benchmark %q", name)
-		}
-		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-		if err != nil {
-			return out, err
-		}
 		runs := opts.runsFor(b)
 		if !opts.Quick && opts.Runs == 0 && name == "mtrt" {
 			runs = 92 // the paper's Mtrt sequence length
 		}
-		order := r.Order(rand.New(rand.NewSource(opts.Seed+303)), runs)
-
-		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
-		if err != nil {
-			return out, err
-		}
-
+		evKey := unit(p, "evolve/"+name, &evs[i], nil, func(ctx context.Context) (fig9Evolve, error) {
+			var out fig9Evolve
+			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			if err != nil {
+				return out, err
+			}
+			out.Order = r.Order(stats.Stream(opts.Seed, "figure9", "order", name), runs)
+			results, err := r.RunSequence(ctx, ScenarioEvolve, out.Order)
+			if err != nil {
+				return out, err
+			}
+			for k, res := range results {
+				def, err := r.DefaultCycles(ctx, r.Inputs[out.Order[k]])
+				if err != nil {
+					return out, err
+				}
+				out.Predicted = append(out.Predicted, res.Evolve.Predicted)
+				out.Speedup = append(out.Speedup, res.Speedup)
+				out.DefCycles = append(out.DefCycles, def)
+			}
+			return out, nil
+		})
 		// Rep with a warmed repository: record a Default profile of every
-		// corpus input once, then measure each sequenced run.
-		r2, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-		if err != nil {
-			return out, err
-		}
-		if err := r2.PrefillRepository(); err != nil {
-			return out, err
-		}
+		// corpus input once, then measure each predicted sequenced run.
+		// Depends on the evolve unit: the guard's Predicted flags select
+		// which runs execute, and Rep's state evolves per executed run.
+		unit(p, "rep/"+name, &reps[i], []string{evKey}, func(ctx context.Context) ([]float64, error) {
+			r2, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := r2.PrefillRepository(ctx); err != nil {
+				return nil, err
+			}
+			var spd []float64
+			for k, idx := range evs[i].Order {
+				if !evs[i].Predicted[k] {
+					continue // paper excludes the pre-confidence runs
+				}
+				res, err := r2.RunOne(ctx, ScenarioRep, r2.Inputs[idx])
+				if err != nil {
+					return nil, err
+				}
+				spd = append(spd, res.Speedup)
+			}
+			return spd, nil
+		})
+	}
+	if err := p.run(ctx, opts); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string][]Fig9Point)
+	for i, name := range benches {
 		var points []Fig9Point
-		for i, idx := range order {
-			if !evolveRes[i].Evolve.Predicted {
-				continue // paper excludes the pre-confidence runs
-			}
-			repRes, err := r2.RunOne(ScenarioRep, r2.Inputs[idx])
-			if err != nil {
-				return out, err
-			}
-			def, err := r.DefaultCycles(r.Inputs[idx])
-			if err != nil {
-				return out, err
+		rep := reps[i]
+		n := 0
+		for k := range evs[i].Order {
+			if !evs[i].Predicted[k] {
+				continue
 			}
 			points = append(points, Fig9Point{
-				DefaultMcyc: float64(def) / 1e6,
-				EvolveSpd:   evolveRes[i].Speedup,
-				RepSpd:      repRes.Speedup,
+				DefaultMcyc: float64(evs[i].DefCycles[k]) / 1e6,
+				EvolveSpd:   evs[i].Speedup[k],
+				RepSpd:      rep[n],
 			})
+			n++
 		}
 		sort.Slice(points, func(a, z int) bool {
 			return points[a].DefaultMcyc < points[z].DefaultMcyc
@@ -345,17 +442,17 @@ func Figure9(w io.Writer, opts Options) (map[string][]Fig9Point, error) {
 		fmt.Fprintf(w, "\nFigure 9 — %s: speedup vs default running time (%d predicted runs)\n",
 			name, len(points))
 		fmt.Fprintf(w, "%10s %10s %10s\n", "def(Mcyc)", "evolve", "rep")
-		for _, p := range points {
-			fmt.Fprintf(w, "%10.2f %10.3f %10.3f\n", p.DefaultMcyc, p.EvolveSpd, p.RepSpd)
+		for _, pt := range points {
+			fmt.Fprintf(w, "%10.2f %10.3f %10.3f\n", pt.DefaultMcyc, pt.EvolveSpd, pt.RepSpd)
 		}
-		var times, evs, reps []float64
-		for _, p := range points {
-			times = append(times, p.DefaultMcyc)
-			evs = append(evs, p.EvolveSpd)
-			reps = append(reps, p.RepSpd)
+		var times, evsS, repsS []float64
+		for _, pt := range points {
+			times = append(times, pt.DefaultMcyc)
+			evsS = append(evsS, pt.EvolveSpd)
+			repsS = append(repsS, pt.RepSpd)
 		}
 		fmt.Fprintf(w, "rank correlation(time, evolve-rep gap): %.3f\n",
-			stats.Spearman(times, sub(evs, reps)))
+			stats.Spearman(times, sub(evsS, repsS)))
 	}
 	return out, nil
 }
@@ -372,9 +469,9 @@ func sub(a, b []float64) []float64 {
 // repository (Figure 9's warm-start, the paper's "histogram of all
 // runs"). Each input is executed once under the Rep scenario, whose
 // controller records the run.
-func (r *Runner) PrefillRepository() error {
+func (r *Runner) PrefillRepository(ctx context.Context) error {
 	for _, in := range r.Inputs {
-		if _, err := r.RunOne(ScenarioRep, in); err != nil {
+		if _, err := r.RunOne(ctx, ScenarioRep, in); err != nil {
 			return err
 		}
 	}
@@ -394,33 +491,41 @@ type Fig10Row struct {
 
 // Figure10 reproduces the paper's Figure 10: boxplots of per-run speedups
 // for every benchmark under Evolve and Rep, over the same input order.
-func Figure10(w io.Writer, opts Options) ([]Fig10Row, error) {
-	rows := make([]Fig10Row, len(opts.suite()))
-	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
-		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-		if err != nil {
-			return err
+func Figure10(ctx context.Context, w io.Writer, opts Options) ([]Fig10Row, error) {
+	suite := opts.suite()
+	p := opts.planner("figure10")
+	evolve := make([]stats.FiveNum, len(suite))
+	repSum := make([]stats.FiveNum, len(suite))
+	for i, b := range suite {
+		b := b
+		runner := opts.sharedRunner(b)
+		orderFor := func(r *Runner) []int {
+			return r.Order(stats.Stream(opts.Seed, "figure10", "order", b.Name), opts.runsFor(b))
 		}
-		order := r.Order(rand.New(rand.NewSource(opts.Seed+404)), opts.runsFor(b))
-		evolveRes, err := r.RunSequence(ScenarioEvolve, order)
-		if err != nil {
-			return err
+		seq := func(scenario Scenario) func(ctx context.Context) (stats.FiveNum, error) {
+			return func(ctx context.Context) (stats.FiveNum, error) {
+				r, err := runner()
+				if err != nil {
+					return stats.FiveNum{}, err
+				}
+				results, err := r.RunSequence(ctx, scenario, orderFor(r))
+				if err != nil {
+					return stats.FiveNum{}, err
+				}
+				return stats.Summary(Speedups(results)), nil
+			}
 		}
-		repRes, err := r.RunSequence(ScenarioRep, order)
-		if err != nil {
-			return err
-		}
-		rows[i] = Fig10Row{
-			Program: b.Name,
-			Evolve:  stats.Summary(Speedups(evolveRes)),
-			Rep:     stats.Summary(Speedups(repRes)),
-		}
-		return nil
-	})
-	if err != nil {
+		unit(p, "evolve/"+b.Name, &evolve[i], nil, seq(ScenarioEvolve))
+		unit(p, "rep/"+b.Name, &repSum[i], nil, seq(ScenarioRep))
+	}
+	if err := p.run(ctx, opts); err != nil {
 		return nil, err
 	}
 
+	rows := make([]Fig10Row, len(suite))
+	for i, b := range suite {
+		rows[i] = Fig10Row{Program: b.Name, Evolve: evolve[i], Rep: repSum[i]}
+	}
 	fmt.Fprintln(w, "Figure 10 — speedup distributions (Evolve vs Rep, normalized to Default)")
 	fmt.Fprintf(w, "%-11s %-7s %7s %7s %7s %7s %7s  %s\n",
 		"Program", "VM", "min", "q1", "median", "q3", "max", "0.5 .. 2.0")
@@ -454,32 +559,36 @@ type OverheadRow struct {
 // Overhead reproduces the paper's overhead analysis: the fraction of run
 // time Evolve spends on feature extraction and prediction (model
 // construction happens after the run and is not charged).
-func Overhead(w io.Writer, opts Options) ([]OverheadRow, error) {
-	rows := make([]OverheadRow, len(opts.suite()))
-	err := opts.forEachBench(func(i int, b *programs.Benchmark) error {
-		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-		if err != nil {
-			return err
-		}
-		order := r.Order(rand.New(rand.NewSource(opts.Seed+505)), opts.runsFor(b))
-		results, err := r.RunSequence(ScenarioEvolve, order)
-		if err != nil {
-			return err
-		}
-		row := OverheadRow{Program: b.Name}
-		var fracs []float64
-		for _, res := range results {
-			frac := 100 * float64(res.OverheadCycles) / float64(res.Cycles)
-			fracs = append(fracs, frac)
-			if frac > row.MaxPct {
-				row.MaxPct, row.MaxInput = frac, res.InputID
+func Overhead(ctx context.Context, w io.Writer, opts Options) ([]OverheadRow, error) {
+	suite := opts.suite()
+	p := opts.planner("overhead")
+	rows := make([]OverheadRow, len(suite))
+	for i, b := range suite {
+		i, b := i, b
+		unit(p, "evolve/"+b.Name, &rows[i], nil, func(ctx context.Context) (OverheadRow, error) {
+			row := OverheadRow{Program: b.Name}
+			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			if err != nil {
+				return row, err
 			}
-		}
-		row.MeanPct = stats.Mean(fracs)
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
+			order := r.Order(stats.Stream(opts.Seed, "overhead", "order", b.Name), opts.runsFor(b))
+			results, err := r.RunSequence(ctx, ScenarioEvolve, order)
+			if err != nil {
+				return row, err
+			}
+			var fracs []float64
+			for _, res := range results {
+				frac := 100 * float64(res.OverheadCycles) / float64(res.Cycles)
+				fracs = append(fracs, frac)
+				if frac > row.MaxPct {
+					row.MaxPct, row.MaxInput = frac, res.InputID
+				}
+			}
+			row.MeanPct = stats.Mean(fracs)
+			return row, nil
+		})
+	}
+	if err := p.run(ctx, opts); err != nil {
 		return nil, err
 	}
 	fmt.Fprintln(w, "Overhead — Evolve bookkeeping as % of run time")
@@ -505,13 +614,25 @@ type SensitivityResult struct {
 	OrderMinRep    []float64
 }
 
+type sensitivityOrder struct {
+	MinEvolve float64
+	MinRep    float64
+}
+
 // Sensitivity reproduces §V-B.3: higher confidence thresholds make Evolve
 // more conservative (smaller speedup ranges, better worst case), and
-// changing the input arrival order hurts Rep more than Evolve.
-func Sensitivity(w io.Writer, opts Options) ([]SensitivityResult, error) {
+// changing the input arrival order hurts Rep more than Evolve. Every
+// ⟨threshold⟩ and ⟨order⟩ arm is an independent work unit on its own
+// fresh learner, so all of them run concurrently.
+func Sensitivity(ctx context.Context, w io.Writer, opts Options) ([]SensitivityResult, error) {
 	benches := opts.Benchmarks
 	if benches == nil {
 		benches = []string{"mtrt", "raytracer"}
+	}
+	for _, name := range benches {
+		if programs.ByName(name) == nil {
+			return nil, fmt.Errorf("harness: no benchmark %q", name)
+		}
 	}
 	thresholds := []float64{0.5, 0.7, 0.9}
 	orders := 5
@@ -519,47 +640,73 @@ func Sensitivity(w io.Writer, opts Options) ([]SensitivityResult, error) {
 		orders = 3
 	}
 
-	var out []SensitivityResult
-	for _, name := range benches {
+	p := opts.planner("sensitivity")
+	byTh := make([][]stats.FiveNum, len(benches))
+	byOrder := make([][]sensitivityOrder, len(benches))
+	for i, name := range benches {
+		name := name
 		b := programs.ByName(name)
-		if b == nil {
-			return out, fmt.Errorf("harness: no benchmark %q", name)
-		}
-		res := SensitivityResult{Program: name, ByThreshold: map[float64]stats.FiveNum{}}
+		byTh[i] = make([]stats.FiveNum, len(thresholds))
+		byOrder[i] = make([]sensitivityOrder, orders)
 
-		for _, th := range thresholds {
-			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-			if err != nil {
-				return out, err
-			}
-			r.EvolveCfg.ConfidenceThreshold = th
-			r.ResetState()
-			order := r.Order(rand.New(rand.NewSource(opts.Seed+606)), opts.runsFor(b))
-			results, err := r.RunSequence(ScenarioEvolve, order)
-			if err != nil {
-				return out, err
-			}
-			res.ByThreshold[th] = stats.Summary(Speedups(results))
+		for t, th := range thresholds {
+			th := th
+			unit(p, fmt.Sprintf("threshold/%s/%.1f", name, th), &byTh[i][t], nil,
+				func(ctx context.Context) (stats.FiveNum, error) {
+					r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+					if err != nil {
+						return stats.FiveNum{}, err
+					}
+					r.EvolveCfg.ConfidenceThreshold = th
+					r.ResetState()
+					// All thresholds replay the same arrival order.
+					order := r.Order(stats.Stream(opts.Seed, "sensitivity", "threshold-order", name),
+						opts.runsFor(b))
+					results, err := r.RunSequence(ctx, ScenarioEvolve, order)
+					if err != nil {
+						return stats.FiveNum{}, err
+					}
+					return stats.Summary(Speedups(results)), nil
+				})
 		}
-
 		for o := 0; o < orders; o++ {
-			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-			if err != nil {
-				return out, err
-			}
-			order := r.Order(rand.New(rand.NewSource(opts.Seed+700+int64(o))), opts.runsFor(b))
-			evolveRes, err := r.RunSequence(ScenarioEvolve, order)
-			if err != nil {
-				return out, err
-			}
-			repRes, err := r.RunSequence(ScenarioRep, order)
-			if err != nil {
-				return out, err
-			}
-			e := stats.Summary(Speedups(evolveRes))
-			p := stats.Summary(Speedups(repRes))
-			res.OrderMinEvolve = append(res.OrderMinEvolve, e.Min)
-			res.OrderMinRep = append(res.OrderMinRep, p.Min)
+			o := o
+			unit(p, fmt.Sprintf("order/%s/%d", name, o), &byOrder[i][o], nil,
+				func(ctx context.Context) (sensitivityOrder, error) {
+					var out sensitivityOrder
+					r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+					if err != nil {
+						return out, err
+					}
+					order := r.Order(stats.Stream(opts.Seed, "sensitivity", "order", name, strconv.Itoa(o)),
+						opts.runsFor(b))
+					evolveRes, err := r.RunSequence(ctx, ScenarioEvolve, order)
+					if err != nil {
+						return out, err
+					}
+					repRes, err := r.RunSequence(ctx, ScenarioRep, order)
+					if err != nil {
+						return out, err
+					}
+					out.MinEvolve = stats.Summary(Speedups(evolveRes)).Min
+					out.MinRep = stats.Summary(Speedups(repRes)).Min
+					return out, nil
+				})
+		}
+	}
+	if err := p.run(ctx, opts); err != nil {
+		return nil, err
+	}
+
+	var out []SensitivityResult
+	for i, name := range benches {
+		res := SensitivityResult{Program: name, ByThreshold: map[float64]stats.FiveNum{}}
+		for t, th := range thresholds {
+			res.ByThreshold[th] = byTh[i][t]
+		}
+		for o := 0; o < orders; o++ {
+			res.OrderMinEvolve = append(res.OrderMinEvolve, byOrder[i][o].MinEvolve)
+			res.OrderMinRep = append(res.OrderMinRep, byOrder[i][o].MinRep)
 		}
 		out = append(out, res)
 
@@ -609,73 +756,94 @@ type AblationResult struct {
 	AccTruncated float64
 }
 
+// ablationArm is one sequence variant's outcome: the early-run speedups
+// (first quarter) and the second-half mean accuracy.
+type ablationArm struct {
+	Early []float64
+	Acc   float64
+}
+
 // Ablation runs the design ablations DESIGN.md calls out: (a) disabling
 // the discriminative guard (predict from run 1), and (b) collapsing the
-// XICL feature vector to a single feature.
-func Ablation(w io.Writer, opts Options) ([]AblationResult, error) {
+// XICL feature vector to a single feature. Every ⟨variant, order⟩ arm is
+// an independent unit.
+func Ablation(ctx context.Context, w io.Writer, opts Options) ([]AblationResult, error) {
 	benches := opts.Benchmarks
 	if benches == nil {
 		benches = []string{"mtrt", "compress"}
 	}
-	var out []AblationResult
 	for _, name := range benches {
+		if programs.ByName(name) == nil {
+			return nil, fmt.Errorf("harness: no benchmark %q", name)
+		}
+	}
+	// Aggregate the early-run (first quarter) speedups across several
+	// arrival orders: the guard's value is worst-case protection, so a
+	// single lucky order under-reports it.
+	orders := 5
+	if opts.Quick {
+		orders = 2
+	}
+
+	p := opts.planner("ablation")
+	guarded := make([][]ablationArm, len(benches))
+	unguarded := make([][]ablationArm, len(benches))
+	truncated := make([]ablationArm, len(benches))
+	for i, name := range benches {
+		name := name
 		b := programs.ByName(name)
-		if b == nil {
-			return out, fmt.Errorf("harness: no benchmark %q", name)
-		}
-		res := AblationResult{Program: name}
+		guarded[i] = make([]ablationArm, orders)
+		unguarded[i] = make([]ablationArm, orders)
 
-		run := func(threshold float64, truncate bool, orderSeed int64) ([]*RunResult, *core.Evolver, error) {
-			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
-			if err != nil {
-				return nil, nil, err
+		arm := func(threshold float64, truncate bool, o int) func(ctx context.Context) (ablationArm, error) {
+			return func(ctx context.Context) (ablationArm, error) {
+				var out ablationArm
+				r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+				if err != nil {
+					return out, err
+				}
+				r.EvolveCfg.ConfidenceThreshold = threshold
+				r.ResetState()
+				r.TruncateFeatures = truncate
+				order := r.Order(stats.Stream(opts.Seed, "ablation", "order", name, strconv.Itoa(o)),
+					opts.runsFor(b))
+				results, err := r.RunSequence(ctx, ScenarioEvolve, order)
+				if err != nil {
+					return out, err
+				}
+				quarter := len(results) / 4
+				if quarter < 2 {
+					quarter = 2
+				}
+				out.Early = Speedups(results[:quarter])
+				out.Acc = lastConfAcc(r.Evolver())
+				return out, nil
 			}
-			r.EvolveCfg.ConfidenceThreshold = threshold
-			r.ResetState()
-			r.TruncateFeatures = truncate
-			order := r.Order(rand.New(rand.NewSource(orderSeed)), opts.runsFor(b))
-			results, err := r.RunSequence(ScenarioEvolve, order)
-			return results, r.Evolver, err
 		}
+		for o := 0; o < orders; o++ {
+			unit(p, fmt.Sprintf("guarded/%s/%d", name, o), &guarded[i][o], nil, arm(0.7, false, o))
+			unit(p, fmt.Sprintf("unguarded/%s/%d", name, o), &unguarded[i][o], nil, arm(-1, false, o))
+		}
+		// The full-feature accuracy comes from the guarded order-0 arm; only
+		// the truncated variant needs its own sequence.
+		unit(p, "truncated/"+name, &truncated[i], nil, arm(0.7, true, 0))
+	}
+	if err := p.run(ctx, opts); err != nil {
+		return nil, err
+	}
 
-		// Aggregate the early-run (first quarter) speedups across several
-		// arrival orders: the guard's value is worst-case protection, so
-		// a single lucky order under-reports it.
-		orders := 5
-		if opts.Quick {
-			orders = 2
-		}
+	var out []AblationResult
+	for i, name := range benches {
+		res := AblationResult{Program: name}
 		var earlyGuarded, earlyUnguarded []float64
 		for o := 0; o < orders; o++ {
-			seed := opts.Seed + 808 + int64(o)
-			guarded, _, err := run(0.7, false, seed)
-			if err != nil {
-				return out, err
-			}
-			unguarded, _, err := run(-1, false, seed) // conf > -1 always: no guard
-			if err != nil {
-				return out, err
-			}
-			quarter := len(guarded) / 4
-			if quarter < 2 {
-				quarter = 2
-			}
-			earlyGuarded = append(earlyGuarded, Speedups(guarded[:quarter])...)
-			earlyUnguarded = append(earlyUnguarded, Speedups(unguarded[:quarter])...)
+			earlyGuarded = append(earlyGuarded, guarded[i][o].Early...)
+			earlyUnguarded = append(earlyUnguarded, unguarded[i][o].Early...)
 		}
 		res.EarlyGuarded = stats.Summary(earlyGuarded)
 		res.EarlyUnguarded = stats.Summary(earlyUnguarded)
-
-		_, evFull, err := run(0.7, false, opts.Seed+808)
-		if err != nil {
-			return out, err
-		}
-		_, evTrunc, err := run(0.7, true, opts.Seed+808)
-		if err != nil {
-			return out, err
-		}
-		res.AccFull = lastConfAcc(evFull)
-		res.AccTruncated = lastConfAcc(evTrunc)
+		res.AccFull = guarded[i][0].Acc
+		res.AccTruncated = truncated[i].Acc
 		out = append(out, res)
 
 		fmt.Fprintf(w, "\nAblation — %s\n", name)

@@ -1,13 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math/rand"
 
-	"evolvevm/internal/core"
 	"evolvevm/internal/gc"
 	"evolvevm/internal/programs"
+	"evolvevm/internal/stats"
 )
 
 // GCBudgetCells is the heap budget of the GC-selection experiment: small
@@ -37,12 +37,27 @@ type GCResult struct {
 	FinalConfidence                  float64
 }
 
+// gcLearnedRun is one run of the learned-selector sequence.
+type gcLearnedRun struct {
+	InputID   string
+	Cycles    int64
+	Predicted bool
+	Correct   bool
+}
+
+type gcLearned struct {
+	Runs            []gcLearnedRun
+	FinalConfidence float64
+}
+
 // GCSelection runs the §VI extension experiment: cross-input learning of
 // the garbage collector on the allocation-heavy server program. Four
 // configurations are compared on one random arrival sequence: the two
 // fixed collectors, the evolvable selector (discriminative, defaulting
-// to mark-sweep while unconfident), and the per-input oracle.
-func GCSelection(w io.Writer, opts Options) (*GCResult, error) {
+// to mark-sweep while unconfident), and the per-input oracle. The fixed
+// per-input measurements are independent work units; the learned
+// sequence is a strict chain and runs as one unit alongside them.
+func GCSelection(ctx context.Context, w io.Writer, opts Options) (*GCResult, error) {
 	b := programs.Server()
 	mkRunner := func(policy gc.Policy) (*Runner, error) {
 		r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
@@ -52,6 +67,9 @@ func GCSelection(w io.Writer, opts Options) (*GCResult, error) {
 		r.GC = gc.Config{Policy: policy, BudgetCells: GCBudgetCells}
 		return r, nil
 	}
+	// The fixed-policy runners are shared across the per-input units:
+	// Default-scenario runs touch no learner state, so concurrent inputs
+	// only share the (mutex-protected) baseline memo and the code cache.
 	msRunner, err := mkRunner(gc.MarkSweep)
 	if err != nil {
 		return nil, err
@@ -60,56 +78,76 @@ func GCSelection(w io.Writer, opts Options) (*GCResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	learnedRunner, err := mkRunner(gc.MarkSweep) // policy set per run below
-	if err != nil {
+
+	p := opts.planner("gcselection")
+	rows := make([]GCRow, len(msRunner.Inputs))
+	var learned gcLearned
+	for i := range msRunner.Inputs {
+		i := i
+		unit(p, fmt.Sprintf("fixed/%d", i), &rows[i], nil, func(ctx context.Context) (GCRow, error) {
+			var row GCRow
+			in := msRunner.Inputs[i]
+			ms, err := msRunner.RunOne(ctx, ScenarioDefault, in)
+			if err != nil {
+				return row, err
+			}
+			cp, err := cpRunner.RunOne(ctx, ScenarioDefault, cpRunner.Inputs[i])
+			if err != nil {
+				return row, err
+			}
+			return GCRow{
+				InputID:   in.ID,
+				MarkSweep: ms.Cycles,
+				Copying:   cp.Cycles,
+				Ideal:     gc.IdealPolicy(ms.GCStats.Collections, ms.GCStats.Allocs),
+			}, nil
+		})
+	}
+	unit(p, "learned", &learned, nil, func(ctx context.Context) (gcLearned, error) {
+		var out gcLearned
+		learnedRunner, err := mkRunner(gc.MarkSweep) // policy set per run below
+		if err != nil {
+			return out, err
+		}
+		selector := learnedRunner.State.GCSelector(learnedRunner.EvolveCfg)
+		order := learnedRunner.Order(stats.Stream(opts.Seed, "gcselection", "order"), opts.runsFor(b))
+		for _, idx := range order {
+			in := learnedRunner.Inputs[idx]
+			vec, _, err := learnedRunner.Features(in)
+			if err != nil {
+				return out, err
+			}
+			policy, predicted := selector.Choose(vec)
+			if !predicted {
+				policy = gc.MarkSweep // the VM's shipped default collector
+			}
+			learnedRunner.GC = gc.Config{Policy: policy, BudgetCells: GCBudgetCells}
+			run, err := learnedRunner.RunOne(ctx, ScenarioDefault, in)
+			if err != nil {
+				return out, err
+			}
+			ideal := selector.Observe(vec, run.GCStats)
+			out.Runs = append(out.Runs, gcLearnedRun{
+				InputID:   in.ID,
+				Cycles:    run.Cycles,
+				Predicted: predicted,
+				Correct:   predicted && policy == ideal,
+			})
+		}
+		out.FinalConfidence = selector.Confidence()
+		return out, nil
+	})
+	if err := p.run(ctx, opts); err != nil {
 		return nil, err
 	}
 
-	res := &GCResult{}
-
-	// Per-input fixed-policy costs and the oracle labels.
-	perInput := make(map[string]GCRow)
-	for i, in := range msRunner.Inputs {
-		ms, err := msRunner.RunOne(ScenarioDefault, in)
-		if err != nil {
-			return nil, err
-		}
-		cp, err := cpRunner.RunOne(ScenarioDefault, cpRunner.Inputs[i])
-		if err != nil {
-			return nil, err
-		}
-		row := GCRow{
-			InputID:   in.ID,
-			MarkSweep: ms.Cycles,
-			Copying:   cp.Cycles,
-			Ideal:     gc.IdealPolicy(ms.GCStats.Collections, ms.GCStats.Allocs),
-		}
-		perInput[in.ID] = row
-		res.Rows = append(res.Rows, row)
+	res := &GCResult{Rows: rows, FinalConfidence: learned.FinalConfidence}
+	perInput := make(map[string]GCRow, len(rows))
+	for _, row := range rows {
+		perInput[row.InputID] = row
 	}
-
-	// The learned sequence.
-	selector := core.NewGCSelector(learnedRunner.EvolveCfg)
-	rng := rand.New(rand.NewSource(opts.Seed + 909))
-	order := learnedRunner.Order(rng, opts.runsFor(b))
-	for _, idx := range order {
-		in := learnedRunner.Inputs[idx]
-		row := perInput[in.ID]
-		vec, _, err := learnedRunner.Features(in)
-		if err != nil {
-			return nil, err
-		}
-		policy, predicted := selector.Choose(vec)
-		if !predicted {
-			policy = gc.MarkSweep // the VM's shipped default collector
-		}
-		learnedRunner.GC = gc.Config{Policy: policy, BudgetCells: GCBudgetCells}
-		run, err := learnedRunner.RunOne(ScenarioDefault, in)
-		if err != nil {
-			return nil, err
-		}
-		ideal := selector.Observe(vec, run.GCStats)
-
+	for _, run := range learned.Runs {
+		row := perInput[run.InputID]
 		res.Runs++
 		res.Learned += run.Cycles
 		res.FixedMarkSweep += row.MarkSweep
@@ -123,14 +161,13 @@ func GCSelection(w io.Writer, opts Options) (*GCResult, error) {
 		} else {
 			res.Oracle += row.MarkSweep
 		}
-		if predicted {
+		if run.Predicted {
 			res.PredictedRuns++
-			if policy == ideal {
+			if run.Correct {
 				res.CorrectRuns++
 			}
 		}
 	}
-	res.FinalConfidence = selector.Confidence()
 
 	fmt.Fprintf(w, "GC selection — server benchmark, %d inputs, %d runs, budget %d cells\n",
 		len(res.Rows), res.Runs, GCBudgetCells)

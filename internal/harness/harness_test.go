@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,6 +11,10 @@ import (
 	"evolvevm/internal/stats"
 	"evolvevm/internal/vm"
 )
+
+// testCtx is the background context shared by the package's tests; the
+// cancellation paths get dedicated coverage in the exec and cmd tests.
+var testCtx = context.Background()
 
 func newRunner(t *testing.T, name string, corpus int) *Runner {
 	t.Helper()
@@ -25,7 +30,7 @@ func TestScenariosProduceSameResults(t *testing.T) {
 	for _, in := range r.Inputs {
 		var want *RunResult
 		for _, sc := range []Scenario{ScenarioNull, ScenarioDefault, ScenarioRep, ScenarioEvolve} {
-			res, err := r.RunOne(sc, in)
+			res, err := r.RunOne(testCtx, sc, in)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -44,11 +49,11 @@ func TestScenariosProduceSameResults(t *testing.T) {
 func TestDefaultBeatsNull(t *testing.T) {
 	r := newRunner(t, "mtrt", 6)
 	for _, in := range r.Inputs[:3] {
-		null, err := r.RunOne(ScenarioNull, in)
+		null, err := r.RunOne(testCtx, ScenarioNull, in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		def, err := r.RunOne(ScenarioDefault, in)
+		def, err := r.RunOne(testCtx, ScenarioDefault, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +68,7 @@ func TestEvolveLearnsAndSpeedsUp(t *testing.T) {
 	r := newRunner(t, "mtrt", 12)
 	rng := rand.New(rand.NewSource(3))
 	order := r.Order(rng, 30)
-	results, err := r.RunSequence(ScenarioEvolve, order)
+	results, err := r.RunSequence(testCtx, ScenarioEvolve, order)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,9 +79,9 @@ func TestEvolveLearnsAndSpeedsUp(t *testing.T) {
 	if results[0].Evolve.Predicted {
 		t.Error("first run predicted despite zero confidence")
 	}
-	if r.Evolver.Confidence() <= r.EvolveCfg.ConfidenceThreshold {
+	if r.Evolver().Confidence() <= r.EvolveCfg.ConfidenceThreshold {
 		t.Fatalf("confidence %.3f never exceeded threshold %.2f after %d runs",
-			r.Evolver.Confidence(), r.EvolveCfg.ConfidenceThreshold, len(order))
+			r.Evolver().Confidence(), r.EvolveCfg.ConfidenceThreshold, len(order))
 	}
 	predicted := 0
 	for _, res := range results {
@@ -97,7 +102,7 @@ func TestEvolveLearnsAndSpeedsUp(t *testing.T) {
 	}
 	mean := stats.Mean(predSpeedups)
 	t.Logf("predicted on %d/%d runs; mean speedup while predicting = %.3f; final conf=%.3f acc(last)=%.3f",
-		predicted, len(results), mean, r.Evolver.Confidence(),
+		predicted, len(results), mean, r.Evolver().Confidence(),
 		results[len(results)-1].Evolve.Accuracy)
 	if mean < 1.02 {
 		t.Errorf("mean Evolve speedup while predicting = %.3f, want > 1.02", mean)
@@ -109,11 +114,11 @@ func TestEvolveOutperformsRepOnInputSensitive(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	order := r.Order(rng, 40)
 
-	evolveRes, err := r.RunSequence(ScenarioEvolve, order)
+	evolveRes, err := r.RunSequence(testCtx, ScenarioEvolve, order)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repRes, err := r.RunSequence(ScenarioRep, order)
+	repRes, err := r.RunSequence(testCtx, ScenarioRep, order)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +138,7 @@ func TestRepositoryImprovesOverDefault(t *testing.T) {
 	r := newRunner(t, "moldyn", 8)
 	rng := rand.New(rand.NewSource(11))
 	order := r.Order(rng, 20)
-	results, err := r.RunSequence(ScenarioRep, order)
+	results, err := r.RunSequence(testCtx, ScenarioRep, order)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +156,7 @@ func TestOverheadIsSmall(t *testing.T) {
 	r := newRunner(t, "compress", 8)
 	rng := rand.New(rand.NewSource(2))
 	order := r.Order(rng, 16)
-	results, err := r.RunSequence(ScenarioEvolve, order)
+	results, err := r.RunSequence(testCtx, ScenarioEvolve, order)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,11 +26,11 @@ func fig8Equal(a, b Fig8Series) bool {
 
 func TestParallelFigure8Race(t *testing.T) {
 	benches := []string{"compress", "euler", "search"}
-	seq, err := Figure8(io.Discard, Options{Seed: 5, Quick: true, Benchmarks: benches})
+	seq, err := Figure8(testCtx, io.Discard, Options{Seed: 5, Quick: true, Benchmarks: benches})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Figure8(io.Discard, Options{Seed: 5, Quick: true, Parallel: true,
+	par, err := Figure8(testCtx, io.Discard, Options{Seed: 5, Quick: true, Parallel: true,
 		Benchmarks: benches})
 	if err != nil {
 		t.Fatal(err)
@@ -49,12 +49,12 @@ func TestParallelFigure8Race(t *testing.T) {
 func TestParallelTable1Race(t *testing.T) {
 	opts := Options{Seed: 2, Quick: true, Parallel: true,
 		Benchmarks: []string{"compress", "euler", "moldyn", "search"}}
-	seq, err := Table1(io.Discard, Options{Seed: 2, Quick: true,
+	seq, err := Table1(testCtx, io.Discard, Options{Seed: 2, Quick: true,
 		Benchmarks: opts.Benchmarks})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Table1(io.Discard, opts)
+	par, err := Table1(testCtx, io.Discard, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

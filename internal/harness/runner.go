@@ -3,9 +3,15 @@
 // Evolve (the evolvable VM) — and regenerates every table and figure of
 // the paper's evaluation section (see experiments.go and DESIGN.md's
 // per-experiment index).
+//
+// The harness is a thin orchestration layer: internal/exec executes one
+// stateless run, internal/session owns the cross-run state, and
+// internal/sched sequences experiment work units deterministically (see
+// DESIGN.md §8 for the layering).
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -14,24 +20,27 @@ import (
 	"evolvevm/internal/aos"
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/core"
+	"evolvevm/internal/exec"
 	"evolvevm/internal/gc"
 	"evolvevm/internal/jit"
 	"evolvevm/internal/programs"
 	"evolvevm/internal/rep"
+	"evolvevm/internal/session"
 	"evolvevm/internal/vm"
 	"evolvevm/internal/xicl"
 )
 
-// codeCache is the process-wide cross-run compiled-code cache. Every run
-// still pays its own virtual compile cycles (see jit.Cache); the cache
-// only removes repeated host-side optimizer work when thousands of runs
-// compile the same functions at the same levels. interp.Code is immutable,
-// so sharing across concurrently executing machines is safe.
+// codeCache is the process-wide cross-run compiled-code cache, bounded
+// with LRU eviction (see jit.DefaultCacheCapacity). Every run still pays
+// its own virtual compile cycles; the cache only removes repeated
+// host-side optimizer work when thousands of runs compile the same
+// functions at the same levels. interp.Code is immutable, so sharing
+// across concurrently executing machines is safe.
 var codeCache = jit.NewCache()
 
-// CodeCacheStats reports the process-wide code cache's hit/miss counts
-// and resident entries (diagnostics for benchmark reports).
-func CodeCacheStats() (hits, misses int64, entries int) {
+// CodeCacheStats reports the process-wide code cache's counters
+// (diagnostics for benchmark reports).
+func CodeCacheStats() jit.CacheStats {
 	return codeCache.Stats()
 }
 
@@ -84,8 +93,9 @@ type RunResult struct {
 	FeatureCount int
 }
 
-// Runner executes one benchmark's runs, holding the cross-run state of
-// the Rep repository and the Evolve learner.
+// Runner binds one benchmark's corpus and configuration to its cross-run
+// state and executes runs through the exec layer. The Runner itself is
+// stateless between runs: everything that persists lives in State.
 type Runner struct {
 	Bench  *programs.Benchmark
 	Prog   *bytecode.Program
@@ -104,19 +114,15 @@ type Runner struct {
 	// paper's main experiments). Used by the GC-selection extension.
 	GC gc.Config
 
-	// Host-performance substrate switches. All default off (substrate
-	// active): each mechanism is individually toggleable so the
-	// determinism suites can prove bit-identical virtual results with any
-	// combination disabled.
-	NoCodeCache bool // skip the process-wide cross-run code cache
-	NoFusion    bool // batch blocks but without superinstruction fusion
-	NoBatching  bool // original per-instruction dispatch only
+	// Substrate toggles the host-performance mechanisms (all default on;
+	// see exec.Substrate).
+	Substrate exec.Substrate
 
-	Evolver *core.Evolver
-	Repo    *rep.Repository
-
-	defaultsMu    sync.Mutex
-	defaultCycles map[string]int64
+	// State is the benchmark's cross-run state: the Evolve learner, the
+	// Rep repository, and the memoized default baselines. Replaceable for
+	// checkpoint/resume (session.BenchState implements
+	// session.CrossRunState).
+	State *session.BenchState
 }
 
 // NewRunner builds a runner with a deterministic input corpus of the
@@ -142,24 +148,29 @@ func NewRunner(b *programs.Benchmark, corpusSize int, seed int64) (*Runner, erro
 		return nil, fmt.Errorf("harness: %s generated no inputs", b.Name)
 	}
 	r := &Runner{
-		Bench:         b,
-		Prog:          prog,
-		Spec:          spec,
-		Reg:           reg,
-		Inputs:        inputs,
-		JitCfg:        jit.DefaultConfig(),
-		EvolveCfg:     core.DefaultConfig(),
-		defaultCycles: make(map[string]int64),
+		Bench:     b,
+		Prog:      prog,
+		Spec:      spec,
+		Reg:       reg,
+		Inputs:    inputs,
+		JitCfg:    jit.DefaultConfig(),
+		EvolveCfg: core.DefaultConfig(),
 	}
-	r.ResetState()
+	r.State = session.NewBenchState(prog, r.EvolveCfg)
 	return r, nil
 }
 
+// Evolver returns the cross-run Evolve learner.
+func (r *Runner) Evolver() *core.Evolver { return r.State.Evolver() }
+
+// Repo returns the cross-run Rep repository.
+func (r *Runner) Repo() *rep.Repository { return r.State.Repo() }
+
 // ResetState clears the cross-run state (Evolve models, Rep repository),
-// keeping the corpus and configs. Used between experiment variants.
+// keeping the corpus, configs, and memoized default baselines. Call
+// after changing EvolveCfg so the fresh learner picks it up.
 func (r *Runner) ResetState() {
-	r.Evolver = core.NewEvolver(r.Prog, r.EvolveCfg)
-	r.Repo = rep.NewRepository(r.Prog)
+	r.State = session.NewBenchState(r.Prog, r.EvolveCfg)
 }
 
 // Features translates an input's command line into its feature vector,
@@ -176,43 +187,48 @@ func (r *Runner) Features(in programs.Input) (xicl.Vector, int64, error) {
 	return vec, tr.Cost(), nil
 }
 
+// spec assembles the exec.RunSpec shared by every scenario.
+func (r *Runner) spec(in programs.Input) *exec.RunSpec {
+	return &exec.RunSpec{
+		Prog:       r.Prog,
+		Jit:        r.JitCfg,
+		GC:         r.GC,
+		Substrate:  r.Substrate,
+		SharedCode: codeCache,
+		Setup:      in.Setup,
+	}
+}
+
 // RunOne executes the input under the scenario, updating cross-run state
 // for Rep and Evolve.
-func (r *Runner) RunOne(scenario Scenario, in programs.Input) (*RunResult, error) {
-	var ctrl vm.Controller
+func (r *Runner) RunOne(ctx context.Context, scenario Scenario, in programs.Input) (*RunResult, error) {
+	spec := r.spec(in)
 	var evolveCtrl *core.Controller
 	var featureCount int
 
 	switch scenario {
 	case ScenarioDefault:
-		ctrl = aos.NewReactive()
+		spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
 	case ScenarioNull:
-		ctrl = vm.NullController{}
+		spec.Controller = nil
 	case ScenarioRep:
-		// The plan needs the compiler's cost model; build machine first.
+		repo := r.State.Repo()
+		spec.Controller = func(m *vm.Machine) vm.Controller {
+			return repo.Controller(m.Compiler, m.Engine.SampleStride)
+		}
 	case ScenarioEvolve:
 		vec, cost, err := r.Features(in)
 		if err != nil {
 			return nil, err
 		}
 		featureCount = len(vec)
-		evolveCtrl = r.Evolver.Controller(vec, cost)
-		ctrl = evolveCtrl
+		evolveCtrl = r.State.Evolver().Controller(vec, cost)
+		spec.Controller = func(*vm.Machine) vm.Controller { return evolveCtrl }
 	default:
 		return nil, fmt.Errorf("harness: unknown scenario %v", scenario)
 	}
 
-	m := vm.New(r.Prog, r.JitCfg, ctrl)
-	m.Engine.GC = r.GC
-	r.applySubstrate(m)
-	if scenario == ScenarioRep {
-		repCtrl := r.Repo.Controller(m.Compiler, m.Engine.SampleStride)
-		m.Controller = repCtrl
-	}
-	if err := in.Setup(m.Engine); err != nil {
-		return nil, fmt.Errorf("harness: %s: setup: %w", in.ID, err)
-	}
-	v, err := m.Run()
+	out, err := exec.Run(ctx, spec)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s under %s: %w", in.ID, scenario, err)
 	}
@@ -220,81 +236,51 @@ func (r *Runner) RunOne(scenario Scenario, in programs.Input) (*RunResult, error
 	res := &RunResult{
 		InputID:        in.ID,
 		Scenario:       scenario,
-		Result:         v,
-		Cycles:         m.TotalCycles(),
-		CompileCycles:  m.CompileCycles,
-		OverheadCycles: m.OverheadCycles,
-		Recompilations: m.Recompilations,
-		Levels:         m.Levels(),
-		GCStats:        m.Engine.GCStats,
+		Result:         out.Result,
+		Cycles:         out.Cycles,
+		CompileCycles:  out.CompileCycles,
+		OverheadCycles: out.OverheadCycles,
+		Recompilations: out.Recompilations,
+		TotalSamples:   out.TotalSamples,
+		Levels:         out.Levels,
+		GCStats:        out.GCStats,
 		FeatureCount:   featureCount,
-	}
-	for _, s := range m.Samples {
-		res.TotalSamples += s
 	}
 	if evolveCtrl != nil {
 		res.Evolve = evolveCtrl.Report()
 	}
-	if def, err := r.DefaultCycles(in); err == nil && res.Cycles > 0 {
+	if def, err := r.DefaultCycles(ctx, in); err == nil && res.Cycles > 0 {
 		res.Speedup = float64(def) / float64(res.Cycles)
 	}
 	return res, nil
 }
 
-// applySubstrate configures a machine's host-performance layer according
-// to the runner's toggles. None of these change virtual results (see
-// DESIGN.md, "Host performance layer").
-func (r *Runner) applySubstrate(m *vm.Machine) {
-	m.Engine.DisableBatching = r.NoBatching
-	m.Engine.DisableFusion = r.NoFusion
-	if !r.NoCodeCache {
-		m.Compiler.UseShared(codeCache)
-	}
-}
-
 // DefaultCycles returns the memoized Default-scenario running time of an
 // input. The reactive controller is stateless, so one measurement per
 // input is exact.
-func (r *Runner) DefaultCycles(in programs.Input) (int64, error) {
-	r.defaultsMu.Lock()
-	c, ok := r.defaultCycles[in.ID]
-	r.defaultsMu.Unlock()
-	if ok {
+func (r *Runner) DefaultCycles(ctx context.Context, in programs.Input) (int64, error) {
+	if c, ok := r.State.DefaultCycles(in.ID); ok {
 		return c, nil
 	}
-	c, err := r.measureDefault(in)
+	spec := r.spec(in)
+	spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
+	out, err := exec.Run(ctx, spec)
 	if err != nil {
 		return 0, err
 	}
-	r.defaultsMu.Lock()
-	r.defaultCycles[in.ID] = c
-	r.defaultsMu.Unlock()
-	return c, nil
-}
-
-// measureDefault runs an input once under the reactive controller. The
-// measurement is deterministic and independent of all cross-run state, so
-// it may execute concurrently with other measurements.
-func (r *Runner) measureDefault(in programs.Input) (int64, error) {
-	m := vm.New(r.Prog, r.JitCfg, aos.NewReactive())
-	m.Engine.GC = r.GC
-	r.applySubstrate(m)
-	if err := in.Setup(m.Engine); err != nil {
-		return 0, err
-	}
-	if _, err := m.Run(); err != nil {
-		return 0, err
-	}
-	return m.TotalCycles(), nil
+	r.State.SetDefaultCycles(in.ID, out.Cycles)
+	return out.Cycles, nil
 }
 
 // WarmDefaults measures the Default-scenario baseline of every corpus
 // input concurrently and memoizes the results. Each measurement is an
 // independent deterministic run, so parallelism cannot change any value —
 // it only moves host work off the sequential experiment path.
-func (r *Runner) WarmDefaults() error { return r.warmDefaults(r.Inputs) }
+func (r *Runner) WarmDefaults(ctx context.Context) error {
+	return r.warmDefaults(ctx, r.Inputs)
+}
 
-func (r *Runner) warmDefaults(inputs []programs.Input) error {
+func (r *Runner) warmDefaults(ctx context.Context, inputs []programs.Input) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(inputs) {
 		workers = len(inputs)
@@ -314,7 +300,7 @@ func (r *Runner) warmDefaults(inputs []programs.Input) error {
 				if failed {
 					continue // drain so the feeder never blocks
 				}
-				if _, err := r.DefaultCycles(in); err != nil {
+				if _, err := r.DefaultCycles(ctx, in); err != nil {
 					failed = true
 					select {
 					case errs <- err:
@@ -348,8 +334,11 @@ func (r *Runner) Order(rng *rand.Rand, runs int) []int {
 }
 
 // RunSequence executes the inputs selected by order under one scenario,
-// evolving the scenario's cross-run state along the way.
-func (r *Runner) RunSequence(scenario Scenario, order []int) ([]*RunResult, error) {
+// evolving the scenario's cross-run state along the way. A learner's
+// sequence is a strict chain — run k+1's prediction depends on run k's
+// model update — so the runs execute serially; only the default-baseline
+// warming ahead of the chain is concurrent.
+func (r *Runner) RunSequence(ctx context.Context, scenario Scenario, order []int) ([]*RunResult, error) {
 	// Warm the default-cycles baselines of the inputs this sequence will
 	// touch, in parallel. Errors are deliberately ignored here: a failing
 	// input fails identically (and with better context) inside RunOne.
@@ -361,10 +350,10 @@ func (r *Runner) RunSequence(scenario Scenario, order []int) ([]*RunResult, erro
 			warm = append(warm, r.Inputs[idx])
 		}
 	}
-	_ = r.warmDefaults(warm)
+	_ = r.warmDefaults(ctx, warm)
 	results := make([]*RunResult, 0, len(order))
 	for _, idx := range order {
-		res, err := r.RunOne(scenario, r.Inputs[idx])
+		res, err := r.RunOne(ctx, scenario, r.Inputs[idx])
 		if err != nil {
 			return results, err
 		}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"evolvevm/internal/exec"
 	"evolvevm/internal/programs"
 )
 
@@ -30,11 +31,9 @@ func runVariant(t *testing.T, b *programs.Benchmark, scenario Scenario,
 	if err != nil {
 		t.Fatalf("%s: %v", b.Name, err)
 	}
-	r.NoCodeCache = v.noCache
-	r.NoFusion = v.noFusion
-	r.NoBatching = v.noBatching
+	r.Substrate = exec.Substrate{NoCodeCache: v.noCache, NoFusion: v.noFusion, NoBatching: v.noBatching}
 	order := r.Order(rand.New(rand.NewSource(seed+7)), runs)
-	results, err := r.RunSequence(scenario, order)
+	results, err := r.RunSequence(testCtx, scenario, order)
 	if err != nil {
 		t.Fatalf("%s under %s (%s): %v", b.Name, scenario, v.name, err)
 	}
@@ -104,10 +103,10 @@ func TestSubstrateBenchmarksBitIdentical(t *testing.T) {
 			}
 		}
 	}
-	hits, misses, entries := CodeCacheStats()
-	t.Logf("benchmark substrate: %d benchmarks × %d scenarios identical; code cache %d hits / %d misses / %d entries",
-		len(benches), len(scenarios), hits, misses, entries)
-	if hits == 0 {
+	cs := CodeCacheStats()
+	t.Logf("benchmark substrate: %d benchmarks × %d scenarios identical; code cache %d hits / %d misses / %d entries (%d evictions)",
+		len(benches), len(scenarios), cs.Hits, cs.Misses, cs.Entries, cs.Evictions)
+	if cs.Hits == 0 {
 		t.Error("cross-run code cache never hit during benchmark sequences")
 	}
 }

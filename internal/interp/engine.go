@@ -21,6 +21,32 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("runtime: %s.%s+%d: %s", e.Prog, e.Fn, e.PC, e.Msg)
 }
 
+// CanceledError reports a run aborted by its interrupt hook (context
+// cancellation or deadline). The abort happens at a sample boundary, after
+// the crossing instruction's cycles were charged, so the engine's cycle
+// ledger remains fully attributed: every cycle on the clock is accounted
+// to executed code, compilation, overhead, or the collector.
+type CanceledError struct {
+	Prog string
+	// Fn and PC locate the executing function when the abort fired. Fn is
+	// empty when the run was canceled before its first instruction.
+	Fn     string
+	PC     int
+	Cycles int64 // virtual cycles charged before the abort
+	Cause  error // the interrupt hook's error (e.g. context.Canceled)
+}
+
+func (e *CanceledError) Error() string {
+	if e.Fn == "" {
+		return fmt.Sprintf("canceled: %s before execution: %v", e.Prog, e.Cause)
+	}
+	return fmt.Sprintf("canceled: %s.%s+%d after %d cycles: %v", e.Prog, e.Fn, e.PC, e.Cycles, e.Cause)
+}
+
+// Unwrap exposes the cancellation cause so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) work.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // Defaults for engine limits.
 const (
 	DefaultSampleStride = 20_000         // cycles between method samples
@@ -50,6 +76,14 @@ type Engine struct {
 	SampleStride int64
 	MaxCycles    int64
 	MaxHeapCells int64
+
+	// Interrupt, when set, is polled once before the first instruction and
+	// then at every sample boundary (every SampleStride cycles of executed
+	// code). A non-nil return aborts the run with a *CanceledError wrapping
+	// it. The poll sits off the batched fast path — segments never cross a
+	// sample boundary — so an idle hook costs nothing per instruction.
+	// Typically wired to a context.Context's Err method (vm.Machine.SetContext).
+	Interrupt func() error
 
 	// DisableBatching turns off the host-performance fast path entirely:
 	// every instruction is dispatched and charged individually, as in the
@@ -299,6 +333,11 @@ type frame struct {
 func (e *Engine) Run() (bytecode.Value, error) {
 	e.nextSample = e.Cycles + e.SampleStride
 	e.halted = false
+	if e.Interrupt != nil {
+		if cause := e.Interrupt(); cause != nil {
+			return bytecode.Value{}, &CanceledError{Prog: e.Prog.Name, Cycles: e.Cycles, Cause: cause}
+		}
+	}
 
 	locals := make([]bytecode.Value, 0, 256)
 	stack := make([]bytecode.Value, 0, 256)
@@ -673,6 +712,12 @@ func (e *Engine) Run() (bytecode.Value, error) {
 				}
 				if e.Cycles > e.MaxCycles {
 					return result, rerr("cycle limit %d exceeded", e.MaxCycles)
+				}
+				if e.Interrupt != nil {
+					if cause := e.Interrupt(); cause != nil {
+						return result, &CanceledError{Prog: e.Prog.Name, Fn: code.Name,
+							PC: pc, Cycles: e.Cycles, Cause: cause}
+					}
 				}
 			}
 			fr.pc = pc + 1

@@ -1,8 +1,8 @@
 package jit
 
 import (
+	"container/list"
 	"sync"
-	"sync/atomic"
 )
 
 // CacheKey identifies one compiled code form across runs: the content
@@ -18,48 +18,98 @@ type CacheKey struct {
 	Cfg    Config
 }
 
-// Cache is a cross-run compiled-code cache. Every run that hits still
-// charges its own full virtual compile cycles (stored alongside the
-// code); only the host-side optimization work is reused. interp.Code is
-// immutable after construction, so one form may be executed by many
-// engines — including concurrently running ones — without copying.
-type Cache struct {
-	mu     sync.RWMutex
-	m      map[CacheKey]*compiled
-	hits   atomic.Int64
-	misses atomic.Int64
+// DefaultCacheCapacity bounds the process-wide code cache. At roughly a
+// few kilobytes per compiled form this caps resident code in the tens of
+// megabytes — far above any single experiment's working set, so steady
+// state evicts only when a long-lived session cycles through many
+// programs or configurations.
+const DefaultCacheCapacity = 4096
+
+// CacheStats reports cache effectiveness and occupancy.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int // 0 = unbounded
 }
 
-// NewCache returns an empty cross-run code cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[CacheKey]*compiled)}
+// Cache is a bounded cross-run compiled-code cache with LRU eviction.
+// Every run that hits still charges its own full virtual compile cycles
+// (stored alongside the code); only the host-side optimization work is
+// reused. interp.Code is immutable after construction, so one form may
+// be executed by many engines — including concurrently running ones —
+// without copying. Eviction likewise cannot change virtual results: a
+// re-miss merely re-runs the host-side optimizer, which is deterministic.
+type Cache struct {
+	mu        sync.Mutex // plain Mutex: lookups mutate recency order
+	m         map[CacheKey]*list.Element
+	order     *list.List // front = most recently used
+	capacity  int
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	v   *compiled
+}
+
+// NewCache returns an empty cache bounded at DefaultCacheCapacity.
+func NewCache() *Cache { return NewCacheCap(DefaultCacheCapacity) }
+
+// NewCacheCap returns an empty cache holding at most capacity entries
+// (capacity <= 0 means unbounded).
+func NewCacheCap(capacity int) *Cache {
+	return &Cache{
+		m:        make(map[CacheKey]*list.Element),
+		order:    list.New(),
+		capacity: capacity,
+	}
 }
 
 func (c *Cache) lookup(key CacheKey) (*compiled, bool) {
-	c.mu.RLock()
-	hit, ok := c.m[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
 	}
-	return hit, ok
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
 }
 
 func (c *Cache) store(key CacheKey, v *compiled) {
 	c.mu.Lock()
-	c.m[key] = v
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.order.PushFront(&cacheEntry{key: key, v: v})
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
 }
 
-// Stats reports cache effectiveness: lookups served from the cache,
-// lookups that compiled, and resident entries.
-func (c *Cache) Stats() (hits, misses int64, entries int) {
-	c.mu.RLock()
-	entries = len(c.m)
-	c.mu.RUnlock()
-	return c.hits.Load(), c.misses.Load(), entries
+// Stats returns a snapshot of the cache's counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.m),
+		Capacity:  c.capacity,
+	}
 }
 
 // sharedGet consults the shared cache for the compiler's program.

@@ -1,0 +1,115 @@
+package jit
+
+import (
+	"sync"
+	"testing"
+)
+
+func key(i int) CacheKey {
+	return CacheKey{ProgFP: 7, FnIdx: i, Level: 1}
+}
+
+func put(c *Cache, i int) { c.store(key(i), &compiled{}) }
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.lookup(key(1)); ok {
+		t.Fatal("hit in empty cache")
+	}
+	put(c, 1)
+	if _, ok := c.lookup(key(1)); !ok {
+		t.Fatal("miss after store")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Evictions != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry / 0 evictions", s)
+	}
+	if s.Capacity != DefaultCacheCapacity {
+		t.Errorf("capacity = %d, want default %d", s.Capacity, DefaultCacheCapacity)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCacheCap(3)
+	for i := 0; i < 3; i++ {
+		put(c, i)
+	}
+	// Touch 0 and 1 so 2 is the least recently used.
+	c.lookup(key(0))
+	c.lookup(key(1))
+	put(c, 3) // evicts 2
+	if _, ok := c.lookup(key(2)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if _, ok := c.lookup(key(i)); !ok {
+			t.Errorf("recently used entry %d evicted", i)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 3 {
+		t.Errorf("entries = %d, want 3 (capacity)", s.Entries)
+	}
+}
+
+func TestCacheBoundedUnderChurn(t *testing.T) {
+	const capacity = 8
+	c := NewCacheCap(capacity)
+	for i := 0; i < 100; i++ {
+		put(c, i)
+	}
+	s := c.Stats()
+	if s.Entries > capacity {
+		t.Errorf("entries = %d exceeds capacity %d", s.Entries, capacity)
+	}
+	if s.Evictions != 100-capacity {
+		t.Errorf("evictions = %d, want %d", s.Evictions, 100-capacity)
+	}
+}
+
+func TestCacheUpdateInPlaceDoesNotEvict(t *testing.T) {
+	c := NewCacheCap(2)
+	put(c, 1)
+	put(c, 2)
+	put(c, 1) // same key: update, not insert
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 0 {
+		t.Errorf("stats after re-store = %+v, want 2 entries / 0 evictions", s)
+	}
+}
+
+func TestCacheUnboundedWhenCapZero(t *testing.T) {
+	c := NewCacheCap(0)
+	for i := 0; i < 10_000; i++ {
+		put(c, i)
+	}
+	s := c.Stats()
+	if s.Entries != 10_000 || s.Evictions != 0 {
+		t.Errorf("unbounded cache stats = %+v", s)
+	}
+	if s.Capacity != 0 {
+		t.Errorf("capacity = %d, want 0 (unbounded)", s.Capacity)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCacheCap(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				put(c, (w*500+i)%64)
+				c.lookup(key(i % 64))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries > 32 {
+		t.Errorf("entries = %d exceeds capacity under concurrency", s.Entries)
+	}
+}

@@ -1,0 +1,46 @@
+package rep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"evolvevm/internal/bytecode"
+)
+
+// The repository's persistent state is its raw work history: plans are
+// derived on demand from the history and the current compiler cost
+// model, so they are never stored.
+
+type persistState struct {
+	Program string    `json:"program"`
+	Work    [][]int64 `json:"work"`
+}
+
+// Save writes the repository's recorded history as JSON.
+func (r *Repository) Save(w io.Writer) error {
+	st := persistState{Program: r.prog.Name, Work: r.workHist}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(st)
+}
+
+// LoadRepository restores a repository saved by Save, binding it to prog.
+func LoadRepository(prog *bytecode.Program, rd io.Reader) (*Repository, error) {
+	var st persistState
+	if err := json.NewDecoder(rd).Decode(&st); err != nil {
+		return nil, fmt.Errorf("rep: load: %w", err)
+	}
+	if st.Program != prog.Name {
+		return nil, fmt.Errorf("rep: state is for program %q, not %q", st.Program, prog.Name)
+	}
+	nf := len(prog.Funcs)
+	for i, run := range st.Work {
+		if len(run) != nf {
+			return nil, fmt.Errorf("rep: run %d records %d functions, program has %d", i, len(run), nf)
+		}
+	}
+	repo := NewRepository(prog)
+	repo.workHist = st.Work
+	return repo, nil
+}

@@ -1,0 +1,75 @@
+package rep
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"evolvevm/internal/bytecode"
+)
+
+// histRow builds one work-history row sized to the program.
+func histRow(prog *bytecode.Program, base int64) []int64 {
+	row := make([]int64, len(prog.Funcs))
+	for i := range row {
+		row[i] = base + int64(i)*100
+	}
+	return row
+}
+
+func TestRepositoryPersistenceRoundTrip(t *testing.T) {
+	prog := testProg(t)
+	r := NewRepository(prog)
+	r.workHist = [][]int64{histRow(prog, 100), histRow(prog, 5000), histRow(prog, 80)}
+
+	var blob bytes.Buffer
+	if err := r.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadRepository(prog, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2.workHist, r.workHist) {
+		t.Errorf("history diverged: %v vs %v", r2.workHist, r.workHist)
+	}
+	if r2.Runs() != r.Runs() {
+		t.Errorf("runs = %d, want %d", r2.Runs(), r.Runs())
+	}
+
+	// Save -> load -> save is the identity.
+	var resaved bytes.Buffer
+	if err := r2.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob.Bytes(), resaved.Bytes()) {
+		t.Error("repository save -> load -> save is not the identity")
+	}
+}
+
+func TestLoadRepositoryRejectsMismatches(t *testing.T) {
+	prog := testProg(t)
+	r := NewRepository(prog)
+	r.workHist = [][]int64{histRow(prog, 1)}
+	var blob bytes.Buffer
+	if err := r.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := bytecode.Assemble("otherprog", "func main()\n const 1\n ret\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRepository(other, bytes.NewReader(blob.Bytes())); err == nil {
+		t.Error("state loaded into wrong program")
+	}
+	// A history row with the wrong function count is rejected.
+	if _, err := LoadRepository(prog,
+		strings.NewReader(`{"program":"reptest","work":[[1]]}`)); err == nil && len(prog.Funcs) != 1 {
+		t.Error("malformed history accepted")
+	}
+	if _, err := LoadRepository(prog, strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package sched provides a deterministic bounded-worker scheduler for
+// experiment work units. Tasks form a DAG: each task may depend on tasks
+// registered before it (insertion order is therefore a topological
+// order, and cycles are impossible by construction). Workers always pick
+// the ready task with the lowest insertion index, and every task writes
+// its result into its own pre-allocated slot, so the *set* of executed
+// work and all merged outputs are identical whether the graph runs on
+// one worker or many — determinism comes from the dependency structure,
+// not from scheduling luck.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Task is one unit of work. It receives the graph's context, which is
+// canceled as soon as any task fails.
+type Task func(ctx context.Context) error
+
+// Graph is a dependency graph of tasks built once and run once.
+type Graph struct {
+	tasks []node
+	byKey map[string]int
+}
+
+type node struct {
+	key  string
+	run  Task
+	deps []int
+	done bool // pre-satisfied (e.g. restored from a checkpoint)
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph {
+	return &Graph{byKey: make(map[string]int)}
+}
+
+// Add registers a task under key, depending on previously registered
+// keys. Unknown dependencies and duplicate keys panic: graph shape is
+// static program structure, and a malformed graph is a programming
+// error, not a runtime condition.
+func (g *Graph) Add(key string, run Task, deps ...string) {
+	if _, ok := g.byKey[key]; ok {
+		panic(fmt.Sprintf("sched: duplicate task %q", key))
+	}
+	n := node{key: key, run: run, deps: make([]int, 0, len(deps))}
+	for _, d := range deps {
+		idx, ok := g.byKey[d]
+		if !ok {
+			panic(fmt.Sprintf("sched: task %q depends on unregistered %q", key, d))
+		}
+		n.deps = append(n.deps, idx)
+	}
+	g.byKey[key] = len(g.tasks)
+	g.tasks = append(g.tasks, n)
+}
+
+// Done marks key as already satisfied: its task will not run, and
+// dependents treat it as complete. Used for work units restored from a
+// checkpoint.
+func (g *Graph) Done(key string) {
+	idx, ok := g.byKey[key]
+	if !ok {
+		panic(fmt.Sprintf("sched: Done on unregistered task %q", key))
+	}
+	g.tasks[idx].done = true
+}
+
+// Run executes the graph on at most workers goroutines (min 1). It
+// returns the first error in task-insertion order — preferring real
+// failures over the cancellation errors they induce in downstream
+// tasks — so the reported error is the same regardless of worker count.
+// On error, remaining tasks are abandoned and the shared context is
+// canceled.
+func (g *Graph) Run(ctx context.Context, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if len(g.tasks) == 0 {
+		return nil
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		pending  = make([]int, len(g.tasks)) // unmet dep counts
+		state    = make([]int, len(g.tasks)) // 0 waiting, 1 running, 2 done
+		errs     = make([]error, len(g.tasks))
+		failed   bool
+		remained = 0
+	)
+	dependents := make([][]int, len(g.tasks))
+	for i, t := range g.tasks {
+		if t.done {
+			state[i] = 2
+			continue
+		}
+		remained++
+		pending[i] = 0
+		for _, d := range t.deps {
+			if !g.tasks[d].done {
+				pending[i]++
+				dependents[d] = append(dependents[d], i)
+			}
+		}
+	}
+	// deps always have lower indices than dependents, so a dependent
+	// counts only not-yet-done tasks and no count is ever missed.
+
+	next := func() (int, bool) {
+		// Lowest-index ready task. Linear scan keeps the policy obvious;
+		// graphs are tens to hundreds of tasks, not millions.
+		for i := range g.tasks {
+			if state[i] == 0 && pending[i] == 0 {
+				return i, true
+			}
+		}
+		return -1, false
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				var idx int
+				for {
+					if failed || remained == 0 {
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					var ok bool
+					if idx, ok = next(); ok {
+						break
+					}
+					cond.Wait()
+				}
+				state[idx] = 1
+				mu.Unlock()
+
+				err := g.tasks[idx].run(runCtx)
+
+				mu.Lock()
+				state[idx] = 2
+				remained--
+				if err != nil {
+					errs[idx] = err
+					failed = true
+					cancel()
+				} else {
+					for _, d := range dependents[idx] {
+						pending[d]--
+					}
+				}
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: lowest-index non-cancellation error,
+	// falling back to the lowest-index error of any kind.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return fallback
+}

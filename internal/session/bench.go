@@ -1,0 +1,193 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/core"
+	"evolvevm/internal/rep"
+)
+
+// BenchState bundles one benchmark's cross-run state: the Evolve
+// learner, the Rep repository, the optional GC selector, and the
+// memoized Default-scenario baselines. It implements CrossRunState so a
+// whole benchmark's learned state checkpoints and resumes as one blob.
+//
+// Locking: the defaults map is written concurrently by parallel baseline
+// measurements; the learners are only touched from their (serial) run
+// sequences, but Snapshot/Restore may race with baseline warming, so one
+// mutex covers everything.
+type BenchState struct {
+	mu   sync.Mutex
+	prog *bytecode.Program
+
+	evolveCfg core.Config
+	gcCfg     core.Config
+
+	evolver  *core.Evolver
+	repo     *rep.Repository
+	gcsel    *core.GCSelector
+	defaults map[string]int64
+}
+
+var _ CrossRunState = (*BenchState)(nil)
+
+// NewBenchState returns fresh cross-run state for prog.
+func NewBenchState(prog *bytecode.Program, evolveCfg core.Config) *BenchState {
+	b := &BenchState{prog: prog, evolveCfg: evolveCfg}
+	b.reset()
+	return b
+}
+
+func (b *BenchState) reset() {
+	b.evolver = core.NewEvolver(b.prog, b.evolveCfg)
+	b.repo = rep.NewRepository(b.prog)
+	b.gcsel = nil
+	if b.defaults == nil {
+		b.defaults = make(map[string]int64)
+	}
+}
+
+// Reset clears the learned state (Evolve models, Rep history, GC
+// selector) while keeping the memoized default baselines — those are
+// deterministic properties of the inputs, not learned state.
+func (b *BenchState) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reset()
+}
+
+// Evolver returns the benchmark's Evolve learner.
+func (b *BenchState) Evolver() *core.Evolver {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evolver
+}
+
+// SetEvolver replaces the learner (e.g. one loaded from a legacy
+// single-learner state file).
+func (b *BenchState) SetEvolver(ev *core.Evolver) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.evolver = ev
+}
+
+// Repo returns the benchmark's Rep repository.
+func (b *BenchState) Repo() *rep.Repository {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.repo
+}
+
+// GCSelector returns the benchmark's GC selector, creating it with cfg
+// on first use (later calls ignore cfg).
+func (b *BenchState) GCSelector(cfg core.Config) *core.GCSelector {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gcsel == nil {
+		b.gcCfg = cfg
+		b.gcsel = core.NewGCSelector(cfg)
+	}
+	return b.gcsel
+}
+
+// DefaultCycles returns the memoized Default-scenario cycles of an input.
+func (b *BenchState) DefaultCycles(inputID string) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.defaults[inputID]
+	return c, ok
+}
+
+// SetDefaultCycles memoizes an input's Default-scenario cycles.
+func (b *BenchState) SetDefaultCycles(inputID string, cycles int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.defaults[inputID] = cycles
+}
+
+// benchBlob is BenchState's serialized form. The learners' own Save
+// formats are embedded verbatim, so the per-component golden tests cover
+// the session checkpoint too.
+type benchBlob struct {
+	Program    string           `json:"program"`
+	Evolver    json.RawMessage  `json:"evolver,omitempty"`
+	Repository json.RawMessage  `json:"repository,omitempty"`
+	GCConfig   *core.Config     `json:"gcconfig,omitempty"`
+	GCSelector json.RawMessage  `json:"gcselector,omitempty"`
+	Defaults   map[string]int64 `json:"defaults,omitempty"`
+}
+
+// Snapshot implements CrossRunState.
+func (b *BenchState) Snapshot() (json.RawMessage, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blob := benchBlob{Program: b.prog.Name, Defaults: b.defaults}
+	var buf bytes.Buffer
+	if err := b.evolver.Save(&buf); err != nil {
+		return nil, err
+	}
+	blob.Evolver = append(json.RawMessage(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := b.repo.Save(&buf); err != nil {
+		return nil, err
+	}
+	blob.Repository = append(json.RawMessage(nil), buf.Bytes()...)
+	if b.gcsel != nil {
+		buf.Reset()
+		if err := b.gcsel.Save(&buf); err != nil {
+			return nil, err
+		}
+		cfg := b.gcCfg
+		blob.GCConfig = &cfg
+		blob.GCSelector = append(json.RawMessage(nil), buf.Bytes()...)
+	}
+	return json.Marshal(blob)
+}
+
+// Restore implements CrossRunState.
+func (b *BenchState) Restore(raw json.RawMessage) error {
+	var blob benchBlob
+	if err := json.Unmarshal(raw, &blob); err != nil {
+		return fmt.Errorf("session: bench state: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if blob.Program != b.prog.Name {
+		return fmt.Errorf("session: bench state is for program %q, not %q", blob.Program, b.prog.Name)
+	}
+	b.reset()
+	if len(blob.Evolver) > 0 {
+		ev, err := core.LoadEvolver(b.prog, b.evolveCfg, bytes.NewReader(blob.Evolver))
+		if err != nil {
+			return err
+		}
+		b.evolver = ev
+	}
+	if len(blob.Repository) > 0 {
+		repo, err := rep.LoadRepository(b.prog, bytes.NewReader(blob.Repository))
+		if err != nil {
+			return err
+		}
+		b.repo = repo
+	}
+	if len(blob.GCSelector) > 0 {
+		cfg := b.evolveCfg
+		if blob.GCConfig != nil {
+			cfg = *blob.GCConfig
+		}
+		sel, err := core.LoadGCSelector(cfg, bytes.NewReader(blob.GCSelector))
+		if err != nil {
+			return err
+		}
+		b.gcCfg = cfg
+		b.gcsel = sel
+	}
+	for id, c := range blob.Defaults {
+		b.defaults[id] = c
+	}
+	return nil
+}

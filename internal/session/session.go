@@ -1,0 +1,188 @@
+// Package session is the cross-run state layer of the system. Where
+// internal/exec executes one stateless run, a Session owns everything
+// that outlives a run — the Evolve learner, the Rep repository, the GC
+// selector, the memoized default-cycles baselines — behind the
+// CrossRunState interface, plus the memoized outputs of completed
+// experiment work units. A Session serializes completely, so a process
+// can checkpoint mid-experiment and a later process can resume it with
+// bit-identical results (see DESIGN.md §8).
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// CrossRunState is state that persists across runs and survives process
+// restarts. Snapshot captures the full state as an opaque blob; Restore
+// replaces the state from a blob. Snapshot-then-Restore must be a
+// semantic no-op: after a Restore, all future behaviour (predictions,
+// plans, confidences) is bit-identical to the snapshotted original.
+type CrossRunState interface {
+	Snapshot() (json.RawMessage, error)
+	Restore(blob json.RawMessage) error
+}
+
+// savedSession is the checkpoint file format.
+type savedSession struct {
+	Version    int                        `json:"version"`
+	Components map[string]json.RawMessage `json:"components,omitempty"`
+	Units      map[string]json.RawMessage `json:"units,omitempty"`
+}
+
+const formatVersion = 1
+
+// Session is a serializable container of cross-run components and
+// completed work-unit outputs. All methods are safe for concurrent use.
+type Session struct {
+	mu         sync.Mutex
+	components map[string]CrossRunState
+	// pending holds component blobs loaded from a checkpoint before the
+	// owning component has been attached; Attach consumes them.
+	pending map[string]json.RawMessage
+	units   map[string]json.RawMessage
+}
+
+// New returns an empty session.
+func New() *Session {
+	return &Session{
+		components: make(map[string]CrossRunState),
+		pending:    make(map[string]json.RawMessage),
+		units:      make(map[string]json.RawMessage),
+	}
+}
+
+// Attach registers a live component under name. If the session was
+// loaded from a checkpoint that carried state for that name, the
+// component is restored from it immediately. Attaching a name twice
+// replaces the previous component (the usual pattern when an experiment
+// rebuilds its per-benchmark state objects on resume).
+func (s *Session) Attach(name string, c CrossRunState) error {
+	s.mu.Lock()
+	blob, ok := s.pending[name]
+	s.components[name] = c
+	s.mu.Unlock()
+	if ok {
+		if err := c.Restore(blob); err != nil {
+			return fmt.Errorf("session: restore component %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Unit returns the memoized output of a completed work unit.
+func (s *Session) Unit(key string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.units[key]
+	return raw, ok
+}
+
+// CompleteUnit records a work unit's output for checkpointing.
+func (s *Session) CompleteUnit(key string, out json.RawMessage) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.units[key] = out
+}
+
+// UnitKeys returns the completed unit keys in sorted order.
+func (s *Session) UnitKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.units))
+	for k := range s.units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Save writes the session — every attached component's snapshot, any
+// still-pending component blobs, and all completed units — as JSON.
+func (s *Session) Save(w io.Writer) error {
+	s.mu.Lock()
+	saved := savedSession{
+		Version:    formatVersion,
+		Components: make(map[string]json.RawMessage, len(s.components)+len(s.pending)),
+		Units:      make(map[string]json.RawMessage, len(s.units)),
+	}
+	for name, blob := range s.pending {
+		saved.Components[name] = blob
+	}
+	comps := make(map[string]CrossRunState, len(s.components))
+	for name, c := range s.components {
+		comps[name] = c
+	}
+	for k, v := range s.units {
+		saved.Units[k] = v
+	}
+	s.mu.Unlock()
+
+	// Snapshot outside the session lock: components have their own locks,
+	// and snapshotting may be slow.
+	for name, c := range comps {
+		blob, err := c.Snapshot()
+		if err != nil {
+			return fmt.Errorf("session: snapshot component %q: %w", name, err)
+		}
+		saved.Components[name] = blob
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(saved)
+}
+
+// Load reads a session checkpoint written by Save. Component blobs stay
+// pending until their components are attached.
+func Load(r io.Reader) (*Session, error) {
+	var saved savedSession
+	if err := json.NewDecoder(r).Decode(&saved); err != nil {
+		return nil, fmt.Errorf("session: load: %w", err)
+	}
+	if saved.Version != formatVersion {
+		return nil, fmt.Errorf("session: checkpoint version %d, want %d", saved.Version, formatVersion)
+	}
+	s := New()
+	for name, blob := range saved.Components {
+		s.pending[name] = blob
+	}
+	for k, v := range saved.Units {
+		s.units[k] = v
+	}
+	return s, nil
+}
+
+// SaveFile atomically writes the session checkpoint to path (write to a
+// temp file in the same directory, then rename), so an interrupted save
+// never corrupts an existing checkpoint.
+func (s *Session) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

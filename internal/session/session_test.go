@@ -1,0 +1,266 @@
+package session_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"evolvevm/internal/core"
+	"evolvevm/internal/harness"
+	"evolvevm/internal/programs"
+	"evolvevm/internal/session"
+	"evolvevm/internal/stats"
+)
+
+// fakeComponent is a minimal CrossRunState: a JSON blob it hands back.
+type fakeComponent struct {
+	blob json.RawMessage
+}
+
+func (f *fakeComponent) Snapshot() (json.RawMessage, error) { return f.blob, nil }
+func (f *fakeComponent) Restore(b json.RawMessage) error {
+	f.blob = append(json.RawMessage(nil), b...)
+	return nil
+}
+
+// sameJSON compares two blobs semantically: the checkpoint encoder may
+// re-indent embedded raw messages, which consumers never see because
+// every unit output is read back through json.Unmarshal.
+func sameJSON(t *testing.T, a, b json.RawMessage) bool {
+	t.Helper()
+	var va, vb any
+	if err := json.Unmarshal(a, &va); err != nil {
+		t.Fatalf("bad JSON %q: %v", a, err)
+	}
+	if err := json.Unmarshal(b, &vb); err != nil {
+		t.Fatalf("bad JSON %q: %v", b, err)
+	}
+	return reflect.DeepEqual(va, vb)
+}
+
+func TestUnitMemoRoundTrip(t *testing.T) {
+	s := session.New()
+	s.CompleteUnit("b/unit", json.RawMessage(`{"x":2}`))
+	s.CompleteUnit("a/unit", json.RawMessage(`[1,2,3]`))
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := session.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Unit("a/unit"); !ok || !sameJSON(t, got, json.RawMessage(`[1,2,3]`)) {
+		t.Errorf("unit a/unit = %q, %v", got, ok)
+	}
+	if got, ok := s2.Unit("b/unit"); !ok || !sameJSON(t, got, json.RawMessage(`{"x":2}`)) {
+		t.Errorf("unit b/unit = %q, %v", got, ok)
+	}
+	if _, ok := s2.Unit("missing"); ok {
+		t.Error("missing unit reported present")
+	}
+	if keys := s2.UnitKeys(); !reflect.DeepEqual(keys, []string{"a/unit", "b/unit"}) {
+		t.Errorf("UnitKeys = %v, want sorted pair", keys)
+	}
+}
+
+func TestAttachConsumesPendingComponentBlob(t *testing.T) {
+	s := session.New()
+	orig := &fakeComponent{blob: json.RawMessage(`{"learned":true}`)}
+	if err := s.Attach("bench/mtrt", orig); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := session.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blob stays pending until a live component claims the name...
+	fresh := &fakeComponent{}
+	if err := s2.Attach("bench/mtrt", fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !sameJSON(t, fresh.blob, json.RawMessage(`{"learned":true}`)) {
+		t.Errorf("attached component not restored: %q", fresh.blob)
+	}
+	// ...and an unrelated name restores nothing.
+	other := &fakeComponent{}
+	if err := s2.Attach("bench/other", other); err != nil {
+		t.Fatal(err)
+	}
+	if other.blob != nil {
+		t.Errorf("unrelated component restored from %q", other.blob)
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	s := session.New()
+	s.CompleteUnit("k", json.RawMessage(`7`))
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write leaves no temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after SaveFile, want 1", len(entries))
+	}
+	s2, err := session.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Unit("k"); !ok || string(got) != "7" {
+		t.Errorf("unit = %q, %v", got, ok)
+	}
+	if _, err := session.LoadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("loading a missing checkpoint succeeded")
+	}
+}
+
+func TestLoadRejectsGarbageAndWrongVersion(t *testing.T) {
+	if _, err := session.Load(bytes.NewReader([]byte("{nope"))); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	if _, err := session.Load(bytes.NewReader([]byte(`{"version":999}`))); err == nil {
+		t.Error("future-version checkpoint accepted")
+	}
+}
+
+// TestBenchStateResumeBitIdentical is the session-level persistence
+// guarantee: snapshot a benchmark's learned state mid-sequence, restore
+// it into a fresh process-worth of state, and the remaining runs must be
+// bit-identical in every recorded observable.
+func TestBenchStateResumeBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	mk := func() *harness.Runner {
+		r, err := harness.NewRunner(programs.ByName("mtrt"), 8, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := mk()
+	order := a.Order(stats.Stream(9, "session-test", "order"), 20)
+	half := len(order) / 2
+
+	if _, err := a.RunSequence(ctx, harness.ScenarioEvolve, order[:half]); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.State.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := mk()
+	if err := b.State.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if a.Evolver().Confidence() != b.Evolver().Confidence() ||
+		a.Evolver().Runs() != b.Evolver().Runs() {
+		t.Fatalf("restored learner differs: %.6f/%d vs %.6f/%d",
+			a.Evolver().Confidence(), a.Evolver().Runs(),
+			b.Evolver().Confidence(), b.Evolver().Runs())
+	}
+
+	for _, idx := range order[half:] {
+		ra, err := a.RunOne(ctx, harness.ScenarioEvolve, a.Inputs[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.RunOne(ctx, harness.ScenarioEvolve, b.Inputs[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Cycles != rb.Cycles || ra.Speedup != rb.Speedup ||
+			!ra.Result.Equal(rb.Result) {
+			t.Fatalf("input %s: run diverged after resume:\noriginal %+v\nresumed  %+v",
+				ra.InputID, ra, rb)
+		}
+		if ra.Evolve == nil || rb.Evolve == nil ||
+			!reflect.DeepEqual(ra.Evolve, rb.Evolve) {
+			t.Fatalf("input %s: learning record diverged:\noriginal %+v\nresumed  %+v",
+				ra.InputID, ra.Evolve, rb.Evolve)
+		}
+	}
+}
+
+// TestBenchStateRejectsWrongProgram: a snapshot binds to its program.
+func TestBenchStateRejectsWrongProgram(t *testing.T) {
+	mtrt, err := programs.ByName("mtrt").Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compress, err := programs.ByName("compress").Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := session.NewBenchState(mtrt, core.DefaultConfig())
+	blob, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := session.NewBenchState(compress, core.DefaultConfig())
+	if err := b.Restore(blob); err == nil {
+		t.Error("mtrt snapshot restored into compress state")
+	}
+	if err := b.Restore(json.RawMessage("{nope")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+// TestBenchStateResetKeepsBaselines: Reset drops learned state but keeps
+// the memoized default baselines — they are input properties.
+func TestBenchStateResetKeepsBaselines(t *testing.T) {
+	prog, err := programs.ByName("compress").Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := session.NewBenchState(prog, core.DefaultConfig())
+	s.SetDefaultCycles("in-0", 12345)
+	ev := s.Evolver()
+	s.Reset()
+	if s.Evolver() == ev {
+		t.Error("Reset kept the old learner")
+	}
+	if c, ok := s.DefaultCycles("in-0"); !ok || c != 12345 {
+		t.Errorf("Reset dropped the baseline memo: %d, %v", c, ok)
+	}
+}
+
+// errComponent fails to restore; Attach must surface the error.
+type errComponent struct{}
+
+func (errComponent) Snapshot() (json.RawMessage, error) { return json.RawMessage("{}"), nil }
+func (errComponent) Restore(json.RawMessage) error      { return errors.New("corrupt") }
+
+func TestAttachSurfacesRestoreError(t *testing.T) {
+	s := session.New()
+	if err := s.Attach("x", &fakeComponent{blob: json.RawMessage("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := session.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Attach("x", errComponent{}); err == nil {
+		t.Error("failing Restore not surfaced by Attach")
+	}
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Named random streams. Experiments used to derive independent RNGs by
+// adding magic offsets to the root seed (seed+101, seed+202, ...), which
+// silently collides as soon as two sites pick nearby offsets or a user
+// passes -seed 101. StreamSeed instead hashes the root seed together
+// with a named purpose path, so streams are keyed by *what they are for*
+// — (seed, experiment, purpose) — and distinct names give independent
+// streams by construction.
+
+// StreamSeed derives the deterministic sub-seed for the stream named by
+// parts under the root seed.
+func StreamSeed(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	for _, p := range parts {
+		h.Write([]byte{0}) // separator: ("ab","c") ≠ ("a","bc")
+		h.Write([]byte(p))
+	}
+	return int64(splitmix64(h.Sum64()))
+}
+
+// Stream returns a deterministic rand.Rand for the named stream.
+func Stream(seed int64, parts ...string) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(seed, parts...)))
+}
+
+// splitmix64 finalizes the hash so near-identical inputs (seed, seed+1)
+// still yield well-separated seeds for rand's LCG-ish sources.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d4a08685acd6bd
+	return x ^ (x >> 31)
+}

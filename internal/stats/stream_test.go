@@ -1,0 +1,71 @@
+package stats
+
+import "testing"
+
+func TestStreamSeedDeterministic(t *testing.T) {
+	a := StreamSeed(1, "table1", "order", "mtrt")
+	b := StreamSeed(1, "table1", "order", "mtrt")
+	if a != b {
+		t.Fatalf("same name, different seeds: %d vs %d", a, b)
+	}
+}
+
+func TestStreamSeedKeyedByEveryPart(t *testing.T) {
+	base := StreamSeed(1, "exp", "purpose")
+	variants := []int64{
+		StreamSeed(2, "exp", "purpose"),     // root seed
+		StreamSeed(1, "exp2", "purpose"),    // experiment
+		StreamSeed(1, "exp", "purpose2"),    // purpose
+		StreamSeed(1, "exp"),                // arity
+		StreamSeed(1, "exp", "purpose", ""), // trailing empty part
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base stream", i)
+		}
+	}
+}
+
+// TestStreamSeedSeparatorsMatter: part boundaries are part of the key, so
+// ("ab","c") and ("a","bc") are different streams.
+func TestStreamSeedSeparatorsMatter(t *testing.T) {
+	if StreamSeed(1, "ab", "c") == StreamSeed(1, "a", "bc") {
+		t.Error("part boundaries not separated in the hash")
+	}
+}
+
+// TestStreamSeedNearbySeedsSeparate guards the reason the magic-offset
+// scheme was replaced: seed and seed+101 must not produce related streams
+// for any purpose name.
+func TestStreamSeedNearbySeedsSeparate(t *testing.T) {
+	seen := map[int64]string{}
+	for seed := int64(0); seed < 300; seed++ {
+		s := StreamSeed(seed, "exp", "order")
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("seed %d collides with %s", seed, prev)
+		}
+		seen[s] = "earlier seed"
+	}
+}
+
+func TestStreamDrawsAreReproducible(t *testing.T) {
+	a := Stream(5, "x")
+	b := Stream(5, "x")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("identical streams diverged")
+		}
+	}
+	// And a differently named stream draws a different sequence.
+	c := Stream(5, "y")
+	same := 0
+	d := Stream(5, "x")
+	for i := 0; i < 100; i++ {
+		if c.Int63() == d.Int63() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("differently named streams drew identical sequences")
+	}
+}

@@ -8,6 +8,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 
 	"evolvevm/internal/bytecode"
@@ -155,6 +156,17 @@ func (m *Machine) AddOverhead(cycles int64) {
 	}
 	m.OverheadCycles += cycles
 	m.Engine.AddCycles(cycles)
+}
+
+// SetContext arranges for the run to abort with a *interp.CanceledError at
+// the next sample boundary once ctx is done. A nil or never-canceled
+// context clears the hook. Call before Run.
+func (m *Machine) SetContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		m.Engine.Interrupt = nil
+		return
+	}
+	m.Engine.Interrupt = ctx.Err
 }
 
 // Run executes the program to completion.
