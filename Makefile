@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench benchcmp clean
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,20 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the experiment and microbenchmark suite (quick mode, five
-# repetitions) and renders the results into BENCH_substrate.json. The raw
-# `go test` text is kept in bench.out for eyeballing.
+# repetitions) and appends a snapshot for the current commit to the
+# BENCH_substrate.json trajectory. The raw `go test` text is kept in
+# bench.out for eyeballing.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -count 5 . | tee bench.out
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 5 -benchmem . | tee bench.out
 	$(GO) run ./cmd/benchreport -o BENCH_substrate.json bench.out
 
+# benchcmp re-measures the suite and diffs it against the committed
+# baseline trajectory: exit 1 on a >10% mean regression (warn), exit 2 on
+# >25% (hard fail). CI runs this warn-tolerant on shared runners.
+benchcmp:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 5 -benchmem . | tee bench.out
+	$(GO) run ./cmd/benchreport -flat -o bench.new.json bench.out
+	$(GO) run ./cmd/benchreport compare BENCH_substrate.json bench.new.json
+
 clean:
-	rm -f bench.out BENCH_substrate.json
+	rm -f bench.out bench.new.json BENCH_substrate.json

@@ -2,9 +2,23 @@
 // artifact (BENCH_substrate.json in CI), aggregating repeated -count runs
 // per benchmark so the numbers are robust to scheduler noise.
 //
+// The default artifact is an append-only *trajectory*: each invocation
+// appends one snapshot (commit, date, machine, benchmark table) to the
+// history instead of overwriting it, so the file records how performance
+// evolved per commit. Re-running on the same commit replaces that
+// commit's snapshot rather than growing the history. A pre-trajectory
+// flat report is migrated into a one-entry history on first append.
+//
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchreport -o BENCH_substrate.json
+//	go test -run '^$' -bench . -benchtime 1x -count 5 -benchmem . |
+//	    benchreport -o BENCH_substrate.json
+//	benchreport -flat -o new.json bench.out
+//	benchreport compare [-warn 0.10] [-fail 0.25] old.json new.json
+//
+// compare diffs the latest snapshots of two artifacts (flat or
+// trajectory) and exits 1 if any benchmark's mean regressed by more than
+// the warn threshold, 2 if by more than the fail threshold.
 package main
 
 import (
@@ -14,9 +28,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry aggregates every -count repetition of one benchmark.
@@ -30,12 +46,20 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Report is the JSON artifact layout.
+// Report is one benchmark snapshot: the flat artifact layout, and one
+// history element of the trajectory layout.
 type Report struct {
+	Commit     string  `json:"commit,omitempty"`
+	Date       string  `json:"date,omitempty"`
 	Goos       string  `json:"goos,omitempty"`
 	Goarch     string  `json:"goarch,omitempty"`
 	CPU        string  `json:"cpu,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Trajectory is the append-only artifact layout: newest snapshot last.
+type Trajectory struct {
+	History []Report `json:"history"`
 }
 
 type sample struct {
@@ -46,15 +70,28 @@ type sample struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	os.Exit(runGenerate(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runGenerate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	flat := fs.Bool("flat", false, "write a single flat report instead of appending to a trajectory")
+	commit := fs.String("commit", "", "commit id for the snapshot (default: git rev-parse --short HEAD)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	var in io.Reader = os.Stdin
-	if args := flag.Args(); len(args) == 1 {
-		f, err := os.Open(args[0])
+	if rest := fs.Args(); len(rest) == 1 {
+		f, err := os.Open(rest[0])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchreport: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
@@ -62,23 +99,169 @@ func main() {
 
 	rep, err := parse(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 1
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+
+	var data []byte
+	if *flat {
+		data, err = json.MarshalIndent(rep, "", "  ")
+	} else {
+		rep.Commit = *commit
+		if rep.Commit == "" {
+			rep.Commit = gitHead()
+		}
+		rep.Date = time.Now().UTC().Format(time.RFC3339)
+		var traj Trajectory
+		if *out != "" {
+			if traj, err = loadTrajectory(*out); err != nil {
+				fmt.Fprintf(stderr, "benchreport: %v\n", err)
+				return 1
+			}
+		}
+		traj.append(*rep)
+		data, err = json.MarshalIndent(traj, "", "  ")
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 1
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
-		return
+		stdout.Write(data)
+		return 0
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 1
 	}
+	return 0
+}
+
+// append adds rep as the newest snapshot, replacing the newest existing
+// snapshot when it carries the same non-empty commit id (re-running the
+// bench target on one commit refreshes rather than duplicates).
+func (t *Trajectory) append(rep Report) {
+	if n := len(t.History); n > 0 && rep.Commit != "" && t.History[n-1].Commit == rep.Commit {
+		t.History[n-1] = rep
+		return
+	}
+	t.History = append(t.History, rep)
+}
+
+// loadTrajectory reads an existing artifact for appending. A missing file
+// yields an empty trajectory; a pre-trajectory flat report becomes a
+// one-entry history.
+func loadTrajectory(path string) (Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Trajectory{}, nil
+	}
+	if err != nil {
+		return Trajectory{}, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err == nil && traj.History != nil {
+		return traj, nil
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Benchmarks) == 0 {
+		return Trajectory{}, fmt.Errorf("%s: neither a trajectory nor a flat report", path)
+	}
+	return Trajectory{History: []Report{rep}}, nil
+}
+
+// latestSnapshot reads an artifact in either layout and returns its
+// newest snapshot, for comparison.
+func latestSnapshot(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err == nil && len(traj.History) > 0 {
+		return &traj.History[len(traj.History)-1], nil
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark snapshot found", path)
+	}
+	return &rep, nil
+}
+
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runCompare diffs the latest snapshots of old and new artifacts on
+// mean ns/op. Exit status: 0 all within the warn threshold, 1 some
+// benchmark regressed past warn, 2 past fail.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	warn := fs.Float64("warn", 0.10, "fractional mean regression that makes the exit status 1")
+	fail := fs.Float64("fail", 0.25, "fractional mean regression that makes the exit status 2")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fmt.Fprintln(stderr, "usage: benchreport compare [-warn F] [-fail F] old.json new.json")
+		return 2
+	}
+	oldRep, err := latestSnapshot(rest[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport compare: %v\n", err)
+		return 2
+	}
+	newRep, err := latestSnapshot(rest[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport compare: %v\n", err)
+		return 2
+	}
+	status := compareReports(oldRep, newRep, *warn, *fail, stdout)
+	switch status {
+	case 1:
+		fmt.Fprintf(stdout, "WARN: mean regression > %.0f%% detected\n", *warn*100)
+	case 2:
+		fmt.Fprintf(stdout, "FAIL: mean regression > %.0f%% detected\n", *fail*100)
+	}
+	return status
+}
+
+func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int {
+	oldBy := make(map[string]Entry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	status := 0
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "old mean", "new mean", "delta")
+	for _, ne := range newRep.Benchmarks {
+		oe, ok := oldBy[ne.Name]
+		if !ok || oe.MeanNsPerOp <= 0 {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", ne.Name, "-", ne.MeanNsPerOp, "new")
+			continue
+		}
+		delta := ne.MeanNsPerOp/oe.MeanNsPerOp - 1
+		mark := ""
+		switch {
+		case delta > fail:
+			mark = " FAIL"
+			status = 2
+		case delta > warn:
+			mark = " warn"
+			if status < 1 {
+				status = 1
+			}
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
+			ne.Name, oe.MeanNsPerOp, ne.MeanNsPerOp, delta*100, mark)
+	}
+	return status
 }
 
 func parse(in io.Reader) (*Report, error) {

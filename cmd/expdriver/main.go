@@ -28,7 +28,9 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"evolvevm/internal/exec"
 	"evolvevm/internal/harness"
+	"evolvevm/internal/sched"
 	"evolvevm/internal/session"
 )
 
@@ -58,6 +60,13 @@ func run(args []string, w, werr io.Writer) int {
 		return 2
 	}
 
+	if *cpuprofile != "" || *memprofile != "" {
+		// Label runs and scheduler tasks so the profile attributes time by
+		// experiment work unit, program, and controller. Labels allocate per
+		// run, so they stay off unless a profile was asked for.
+		exec.ProfileLabels = true
+		sched.ProfileLabels = true
+	}
 	stopProfiles := func() {}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

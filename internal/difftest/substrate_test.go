@@ -23,14 +23,21 @@ import (
 // compared bit-for-bit like completed ones.
 
 // substrateModes enumerates the metamorphic ladder: the original
-// per-instruction loop, batching without fusion, and the full substrate.
+// per-instruction loop, batching without fusion, the full fused switch,
+// and the closure-threaded tier (eager, so every tier from baseline up is
+// threaded from the first instruction), fused and unfused. "full" leaves
+// closures on their production hotness gate, so it also covers mid-run
+// promotion from the fused switch to the threaded form.
 var substrateModes = []struct {
 	name      string
 	configure func(*interp.Engine)
 }{
 	{"off", func(e *interp.Engine) { e.DisableBatching = true }},
-	{"batch-nofuse", func(e *interp.Engine) { e.DisableFusion = true }},
+	{"batch-nofuse", func(e *interp.Engine) { e.DisableFusion = true; e.DisableClosures = true }},
 	{"full", nil},
+	{"closure", func(e *interp.Engine) { e.EagerClosures = true }},
+	{"closure-nofuse", func(e *interp.Engine) { e.EagerClosures = true; e.DisableFusion = true }},
+	{"noclosure", func(e *interp.Engine) { e.DisableClosures = true }},
 }
 
 // execBitIdentical asserts two Execs agree on every observable — semantic

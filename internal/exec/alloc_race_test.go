@@ -1,0 +1,9 @@
+//go:build race
+
+package exec
+
+// raceEnabled relaxes the numeric allocation bounds: under the race
+// detector sync.Pool intentionally drops items at random, so pooled hot
+// paths allocate nondeterministically. The tests still execute every path
+// (catching data races); only the allocs-per-run assertions are skipped.
+const raceEnabled = true

@@ -11,11 +11,20 @@
 // engine's sample-boundary check, so a canceled or deadline-exceeded run
 // aborts cleanly mid-flight with a typed *interp.CanceledError and a
 // fully attributed cycle ledger (see vm.Machine.LedgerError).
+//
+// Machines are pooled per program: a run acquires a reset vm.Machine
+// from a sync.Pool keyed by the program and releases it on the way out,
+// so the steady state of repeated runs allocates no machine, engine,
+// compiler, or ledger memory. Correctness does not depend on the pool —
+// a Reset machine is observationally a fresh one (the substrate and
+// scheduler equivalence suites run with pooling active).
 package exec
 
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"sync"
 
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/gc"
@@ -31,7 +40,15 @@ type Substrate struct {
 	NoCodeCache bool // skip the shared cross-run code cache
 	NoFusion    bool // batch blocks but without superinstruction fusion
 	NoBatching  bool // original per-instruction dispatch only
+	NoClosures  bool // fused switch only, no closure-threaded tier
 }
+
+// ProfileLabels, when enabled, wraps every run in a runtime/pprof label
+// set (exec_prog, exec_controller) so CPU profiles attribute time by
+// program and scenario. Off by default: attaching labels allocates per
+// run, which would break the allocation-free steady state, so the
+// profiling CLIs switch it on only when a profile is requested.
+var ProfileLabels = false
 
 // RunSpec describes one run completely. It is immutable from Run's point
 // of view: Run never writes to it, so one spec value may be reused (or
@@ -74,17 +91,59 @@ type RunOutcome struct {
 	GCStats        gc.Stats
 }
 
+// machinePools maps *bytecode.Program → *sync.Pool of reset vm.Machines.
+// Programs are memoized package-level values (programs.Registry), so the
+// key set stays small and the pools live for the process.
+var machinePools sync.Map
+
+// acquireMachine returns a machine for prog, reusing a pooled one when
+// available. The machine comes back in its post-New state (vm.Machine.Reset).
+func acquireMachine(prog *bytecode.Program, cfg jit.Config) *vm.Machine {
+	if p, ok := machinePools.Load(prog); ok {
+		if m, _ := p.(*sync.Pool).Get().(*vm.Machine); m != nil {
+			m.Reset(cfg)
+			return m
+		}
+	}
+	return vm.New(prog, cfg, nil)
+}
+
+// releaseMachine returns a machine to its program's pool. Callers must be
+// done with every reference into the machine (the outcome copies all of
+// them out).
+func releaseMachine(m *vm.Machine) {
+	p, ok := machinePools.Load(m.Prog)
+	if !ok {
+		p, _ = machinePools.LoadOrStore(m.Prog, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(m)
+}
+
 // Run executes spec under ctx. On success it returns the run's outcome;
 // on failure the error is either the program's own runtime error or, for
 // a canceled/expired context, a *interp.CanceledError wrapping ctx.Err().
 func Run(ctx context.Context, spec *RunSpec) (*RunOutcome, error) {
+	out := &RunOutcome{}
+	if err := RunInto(ctx, spec, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunInto executes spec like Run but fills a caller-owned outcome,
+// reusing its Levels and GC-stats backing when capacities allow. Callers
+// that measure many runs and fold each outcome into aggregates (baseline
+// warming, sequence driving) reuse one outcome value to keep the steady
+// state allocation-free; callers that retain the outcome use Run.
+func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, &interp.CanceledError{Prog: spec.Prog.Name, Cause: err}
+		return &interp.CanceledError{Prog: spec.Prog.Name, Cause: err}
 	}
-	m := vm.New(spec.Prog, spec.Jit, nil)
+	m := acquireMachine(spec.Prog, spec.Jit)
+	defer releaseMachine(m)
 	if spec.Controller != nil {
 		m.Controller = spec.Controller(m)
 	}
@@ -92,32 +151,43 @@ func Run(ctx context.Context, spec *RunSpec) (*RunOutcome, error) {
 	m.Engine.GC = spec.GC
 	m.Engine.DisableBatching = spec.Substrate.NoBatching
 	m.Engine.DisableFusion = spec.Substrate.NoFusion
+	m.Engine.DisableClosures = spec.Substrate.NoClosures
 	if !spec.Substrate.NoCodeCache && spec.SharedCode != nil {
 		m.Compiler.UseShared(spec.SharedCode)
 	}
 	if spec.Setup != nil {
 		if err := spec.Setup(m.Engine); err != nil {
-			return nil, fmt.Errorf("exec: setup: %w", err)
+			return fmt.Errorf("exec: setup: %w", err)
 		}
 	}
-	v, err := m.Run()
+	var v bytecode.Value
+	var err error
+	if ProfileLabels {
+		pprof.Do(ctx, pprof.Labels(
+			"exec_prog", spec.Prog.Name,
+			"exec_controller", m.Controller.Name(),
+		), func(context.Context) {
+			v, err = m.Run()
+		})
+	} else {
+		v, err = m.Run()
+	}
 	if spec.Inspect != nil {
 		spec.Inspect(m)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := &RunOutcome{
-		Result:         v,
-		Cycles:         m.TotalCycles(),
-		CompileCycles:  m.CompileCycles,
-		OverheadCycles: m.OverheadCycles,
-		Recompilations: m.Recompilations,
-		Levels:         m.Levels(),
-		GCStats:        m.Engine.GCStats,
-	}
+	out.Result = v
+	out.Cycles = m.TotalCycles()
+	out.CompileCycles = m.CompileCycles
+	out.OverheadCycles = m.OverheadCycles
+	out.Recompilations = m.Recompilations
+	out.Levels = m.LevelsInto(out.Levels[:0])
+	out.GCStats = m.Engine.GCStats
+	out.TotalSamples = 0
 	for _, s := range m.Samples {
 		out.TotalSamples += s
 	}
-	return out, nil
+	return nil
 }

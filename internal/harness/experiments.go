@@ -467,13 +467,20 @@ func sub(a, b []float64) []float64 {
 
 // PrefillRepository records one profile per corpus input into the Rep
 // repository (Figure 9's warm-start, the paper's "histogram of all
-// runs"). Each input is executed once under the Rep scenario, whose
-// controller records the run.
+// runs"). The recorded quantity is the per-function baseline-work
+// profile, which is controller- and level-independent — so the prefill
+// replays each input's profile from the process-wide baseline cache
+// (measuring it once if missing) instead of executing a throwaway run
+// per input. The resulting repository state is bit-identical to one
+// built by executing every input under the Rep scenario.
 func (r *Runner) PrefillRepository(ctx context.Context) error {
+	repo := r.State.Repo()
 	for _, in := range r.Inputs {
-		if _, err := r.RunOne(ctx, ScenarioRep, in); err != nil {
+		bl, err := r.baseline(ctx, in)
+		if err != nil {
 			return err
 		}
+		repo.RecordWork(bl.work)
 	}
 	return nil
 }

@@ -38,6 +38,32 @@ import (
 // across concurrently executing machines is safe.
 var codeCache = jit.NewCache()
 
+// baselineCache memoizes Default-scenario run outcomes process-wide. A
+// reactive-controller run is a pure function of (benchmark, corpus seed
+// and size, input, jit tier table, gc config) — the substrate switches
+// provably cannot change a virtual observable (internal/difftest), so
+// they stay out of the key. Experiments re-measure the same baselines
+// from freshly built runners constantly (every figure, every benchmark
+// iteration); replaying the memoized outcome removes those redundant
+// host executions without changing a single reported number.
+var baselineCache sync.Map // baselineKey -> *baselineOutcome
+
+type baselineKey struct {
+	bench  string
+	seed   int64
+	corpus int
+	input  string
+	jit    jit.Config
+	gc     gc.Config
+}
+
+// baselineOutcome is immutable once stored: total virtual cycles plus the
+// per-function baseline-work profile (what rep prefilling records).
+type baselineOutcome struct {
+	cycles int64
+	work   []int64
+}
+
 // CodeCacheStats reports the process-wide code cache's counters
 // (diagnostics for benchmark reports).
 func CodeCacheStats() jit.CacheStats {
@@ -103,6 +129,12 @@ type Runner struct {
 	Reg    *xicl.Registry
 	Inputs []programs.Input
 
+	// corpusSeed and corpusSize identify the deterministic input corpus
+	// (GenInputs is a pure function of both) — they key the process-wide
+	// baseline-outcome cache.
+	corpusSeed int64
+	corpusSize int
+
 	JitCfg    jit.Config
 	EvolveCfg core.Config
 
@@ -148,13 +180,15 @@ func NewRunner(b *programs.Benchmark, corpusSize int, seed int64) (*Runner, erro
 		return nil, fmt.Errorf("harness: %s generated no inputs", b.Name)
 	}
 	r := &Runner{
-		Bench:     b,
-		Prog:      prog,
-		Spec:      spec,
-		Reg:       reg,
-		Inputs:    inputs,
-		JitCfg:    jit.DefaultConfig(),
-		EvolveCfg: core.DefaultConfig(),
+		Bench:      b,
+		Prog:       prog,
+		Spec:       spec,
+		Reg:        reg,
+		Inputs:     inputs,
+		corpusSeed: seed,
+		corpusSize: corpusSize,
+		JitCfg:     jit.DefaultConfig(),
+		EvolveCfg:  core.DefaultConfig(),
 	}
 	r.State = session.NewBenchState(prog, r.EvolveCfg)
 	return r, nil
@@ -174,17 +208,30 @@ func (r *Runner) ResetState() {
 }
 
 // Features translates an input's command line into its feature vector,
-// returning the extraction cost in cycles.
+// returning the extraction cost in cycles. Extraction is a pure function
+// of the input, so the full vector and its cost are memoized per input ID
+// in the cross-run state; every run is still charged the cost, exactly as
+// if the translator had run again. Cached vectors are shared and must not
+// be mutated (the harness paths only read them); the feature-ablation
+// truncation is a reslice applied after the cache, so it composes with
+// memoization without copying.
 func (r *Runner) Features(in programs.Input) (xicl.Vector, int64, error) {
-	tr := xicl.NewTranslator(r.Spec, r.Reg, in.Files)
-	vec, err := tr.BuildFVector(in.Args)
-	if err != nil {
-		return nil, 0, fmt.Errorf("harness: %s: %w", in.ID, err)
+	cache := r.State.FVCache()
+	vec, cost, ok := cache.Get(in.ID)
+	if !ok {
+		tr := xicl.NewTranslator(r.Spec, r.Reg, in.Files)
+		var err error
+		vec, err = tr.BuildFVector(in.Args)
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: %s: %w", in.ID, err)
+		}
+		cost = tr.Cost()
+		cache.Put(in.ID, vec, cost)
 	}
 	if r.TruncateFeatures && len(vec) > 1 {
 		vec = vec[:1]
 	}
-	return vec, tr.Cost(), nil
+	return vec, cost, nil
 }
 
 // spec assembles the exec.RunSpec shared by every scenario.
@@ -257,19 +304,52 @@ func (r *Runner) RunOne(ctx context.Context, scenario Scenario, in programs.Inpu
 
 // DefaultCycles returns the memoized Default-scenario running time of an
 // input. The reactive controller is stateless, so one measurement per
-// input is exact.
+// input is exact — and process-wide: a second runner over the same corpus
+// replays the outcome from the baseline cache instead of re-executing.
 func (r *Runner) DefaultCycles(ctx context.Context, in programs.Input) (int64, error) {
 	if c, ok := r.State.DefaultCycles(in.ID); ok {
 		return c, nil
 	}
-	spec := r.spec(in)
-	spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
-	out, err := exec.Run(ctx, spec)
+	bl, err := r.baseline(ctx, in)
 	if err != nil {
 		return 0, err
 	}
-	r.State.SetDefaultCycles(in.ID, out.Cycles)
-	return out.Cycles, nil
+	r.State.SetDefaultCycles(in.ID, bl.cycles)
+	return bl.cycles, nil
+}
+
+func (r *Runner) baselineKey(in programs.Input) baselineKey {
+	return baselineKey{
+		bench:  r.Bench.Name,
+		seed:   r.corpusSeed,
+		corpus: r.corpusSize,
+		input:  in.ID,
+		jit:    r.JitCfg,
+		gc:     r.GC,
+	}
+}
+
+// baseline measures (or replays) the input's Default-scenario outcome.
+func (r *Runner) baseline(ctx context.Context, in programs.Input) (*baselineOutcome, error) {
+	key := r.baselineKey(in)
+	if v, ok := baselineCache.Load(key); ok {
+		return v.(*baselineOutcome), nil
+	}
+	spec := r.spec(in)
+	spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
+	bl := &baselineOutcome{}
+	spec.Inspect = func(m *vm.Machine) {
+		bl.work = append([]int64(nil), m.Engine.Work...)
+	}
+	out, err := exec.Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	bl.cycles = out.Cycles
+	if v, loaded := baselineCache.LoadOrStore(key, bl); loaded {
+		return v.(*baselineOutcome), nil
+	}
+	return bl, nil
 }
 
 // WarmDefaults measures the Default-scenario baseline of every corpus

@@ -11,13 +11,14 @@ import (
 
 // substrateVariant is one setting of the host-performance toggles.
 type substrateVariant struct {
-	name                          string
-	noCache, noFusion, noBatching bool
+	name                                      string
+	noCache, noFusion, noBatching, noClosures bool
 }
 
 var substrateVariants = []substrateVariant{
-	{name: "off", noCache: true, noFusion: true, noBatching: true},
+	{name: "off", noCache: true, noFusion: true, noBatching: true, noClosures: true},
 	{name: "nofuse", noFusion: true},
+	{name: "noclos", noClosures: true},
 	{name: "full"},
 }
 
@@ -31,7 +32,7 @@ func runVariant(t *testing.T, b *programs.Benchmark, scenario Scenario,
 	if err != nil {
 		t.Fatalf("%s: %v", b.Name, err)
 	}
-	r.Substrate = exec.Substrate{NoCodeCache: v.noCache, NoFusion: v.noFusion, NoBatching: v.noBatching}
+	r.Substrate = exec.Substrate{NoCodeCache: v.noCache, NoFusion: v.noFusion, NoBatching: v.noBatching, NoClosures: v.noClosures}
 	order := r.Order(rand.New(rand.NewSource(seed+7)), runs)
 	results, err := r.RunSequence(testCtx, scenario, order)
 	if err != nil {
@@ -74,7 +75,8 @@ func sameRunResult(t *testing.T, ctx string, ref, got *RunResult) {
 
 // TestSubstrateBenchmarksBitIdentical runs every benchmark of the suite
 // (plus the GC-selection extension) through Default, Rep, and Evolve
-// sequences with the substrate fully off, batching-only, and fully on —
+// sequences with the substrate fully off, batching-only, closure-tier
+// disabled, and fully on (hotness-promoted closures included) —
 // cross-run code cache included — and asserts the recorded RunResults
 // are identical field for field. This is the harness-level counterpart
 // of the difftest substrate soak: it covers the real benchmark programs,

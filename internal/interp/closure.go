@@ -1,0 +1,665 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"evolvevm/internal/bytecode"
+)
+
+// This file implements the closure-threaded host tier: a second executable
+// form of a Code's execution plan in which every micro-op of a segment is
+// a Go closure with its operands, constants, and arithmetic pre-bound at
+// build time (subroutine threading, after Izawa et al.'s one-interpreter/
+// one-engine design and Deegen's observation that dispatch discipline buys
+// most of a VM's host speed). The engine runs a closure segment as a flat
+// loop of indirect calls — no per-op operand decoding and no mega-switch.
+//
+// The tier is built FROM the fusion plan (fuse.go), segment by segment and
+// fop by fop, so its segmentation, batched cycle charges, and suffix-charge
+// trap rollback are identical by construction: a closure plan can never
+// change a virtual observable. The substrate equivalence suites hold the
+// closure tier to bit identity against the accounted loop and the fused
+// switch over the full generator corpus, trapped and GC runs included.
+//
+// Closure plans are built when a Code at an optimized tier (level ≥ 0) has
+// accumulated enough deterministic sampler ticks (see closureHotSamples),
+// or eagerly under Engine.EagerClosures (the equivalence suites use this
+// to cover every tier, baseline included). Built plans are cached on the
+// Code next to the fusion plans, so cross-run reuse through jit.Cache
+// carries the closure program along with the code it threads.
+
+// closOp is one closure-threaded micro-op. The live operand stack is
+// threaded through the call in registers (passed in, returned back) so the
+// hot stack top never round-trips through memory between micro-ops; slower
+// state — locals, globals, trap rollback — lives behind the cstate
+// pointer. The int result is closFall to fall through, closTrap after
+// filling the cstate trap fields, or a non-negative branch-target pc
+// (only segment-final ops branch).
+type closOp func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int)
+
+const (
+	closFall = -1
+	closTrap = -2
+)
+
+// cstate is the out-of-band register file a closure segment threads
+// through: the locals arena of the running frame plus the engine for
+// globals, heap, and output. Trapping closures deposit their rollback
+// data (suffix charges, successor pc, message) before returning closTrap.
+type cstate struct {
+	e      *Engine
+	locals []bytecode.Value
+	lb     int
+
+	rem, remBase int32
+	tpc          int32
+	msg          string
+}
+
+// closSeg mirrors segRun: one batchable straight-line segment with its
+// summed charges, fall-through pc, and closure micro-program.
+type closSeg struct {
+	cost int64
+	base int64
+	end  int32
+	fns  []closOp
+}
+
+// closPlan indexes closure segments by the pc of their first instruction,
+// exactly like plan.seg.
+type closPlan struct {
+	seg []*closSeg
+}
+
+// buildClosurePlan translates the code's fusion plan (or its unfused
+// sibling) into closure form. Segments whose micro-ops cannot all be
+// compiled degrade to nil and run on the accounted path — a host-side
+// slowdown only, never a virtual difference.
+func buildClosurePlan(c *Code, fuse bool) *closPlan {
+	p := c.planFor(fuse)
+	cp := &closPlan{seg: make([]*closSeg, len(p.seg))}
+	for pc, s := range p.seg {
+		if s == nil {
+			continue
+		}
+		cs := &closSeg{cost: s.cost, base: s.base, end: s.end, fns: make([]closOp, 0, len(s.ops))}
+		ok := true
+		for i := range s.ops {
+			fn := closCompile(c, &s.ops[i])
+			if fn == nil {
+				ok = false
+				break
+			}
+			cs.fns = append(cs.fns, fn)
+		}
+		if ok {
+			cp.seg[pc] = cs
+		}
+	}
+	return cp
+}
+
+// cmpFlags decomposes an integer comparison into its three-region truth
+// table: the result for a<b, a==b, and a>b. A closure captures the three
+// booleans and evaluates the comparison with two compares and no call —
+// the subroutine-threading analogue of the fused switch's inline compare.
+// Semantics match intCmp case by case (every one of the six comparisons
+// is a function of sign(a−b) alone).
+func cmpFlags(op bytecode.Op) (lt, eq, gt, ok bool) {
+	switch op {
+	case bytecode.IEQ:
+		return false, true, false, true
+	case bytecode.INE:
+		return true, false, true, true
+	case bytecode.ILT:
+		return true, false, false, true
+	case bytecode.ILE:
+		return true, true, false, true
+	case bytecode.IGT:
+		return false, false, true, true
+	case bytecode.IGE:
+		return false, true, true, true
+	}
+	return false, false, false, false
+}
+
+// cmpJumpFlags folds a compare-and-branch's taken/not-taken sense into the
+// comparison's three-region truth table: the returned booleans say "take
+// the branch" directly for a<b, a==b, and a>b.
+func cmpJumpFlags(op bytecode.Op, want bool) (jlt, jeq, jgt bool) {
+	lt, eq, gt, _ := cmpFlags(op)
+	return lt == want, eq == want, gt == want
+}
+
+// closCompile builds the closure for one micro-op, pre-binding decoded
+// operands, constants, branch targets, comparison truth tables, and trap
+// rollback data. Every case reproduces the corresponding arm of the
+// engine's fused switch operation for operation.
+func closCompile(c *Code, f *fop) closOp {
+	a, b, d := int(f.a), int(f.b), int(f.d)
+	rem, remBase, tpc := f.rem, f.remBase, f.tpc
+
+	switch f.op {
+	case bytecode.NOP:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return sp, closFall
+		}
+	case bytecode.IPUSH:
+		v := bytecode.Int(int64(f.a))
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, v), closFall
+		}
+	case bytecode.CONST:
+		v := c.Consts[a]
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, v), closFall
+		}
+	case bytecode.LOAD:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, st.locals[st.lb+a]), closFall
+		}
+	case bytecode.STORE:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			st.locals[st.lb+a] = sp[n-1]
+			return sp[:n-1], closFall
+		}
+	case bytecode.GLOAD:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, st.e.Globals[a]), closFall
+		}
+	case bytecode.GSTORE:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			st.e.Globals[a] = sp[n-1]
+			return sp[:n-1], closFall
+		}
+	case bytecode.IINC:
+		inc := int64(f.b)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+a].I += inc
+			return sp, closFall
+		}
+	case bytecode.POP:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return sp[:len(sp)-1], closFall
+		}
+	case bytecode.DUP:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, sp[len(sp)-1]), closFall
+		}
+	case bytecode.SWAP:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			sp[n-1], sp[n-2] = sp[n-2], sp[n-1]
+			return sp, closFall
+		}
+
+	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL,
+		bytecode.IAND, bytecode.IOR, bytecode.IXOR,
+		bytecode.ISHL, bytecode.ISHR:
+		opc := f.op
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			r := intBin(opc, sp[n-2].I, sp[n-1].I)
+			sp = sp[:n-1]
+			sp[n-2] = bytecode.Int(r)
+			return sp, closFall
+		}
+	case bytecode.INEG:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Int(-sp[len(sp)-1].I)
+			return sp, closFall
+		}
+	case bytecode.INOT:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Int(^sp[len(sp)-1].I)
+			return sp, closFall
+		}
+
+	case bytecode.FADD:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			r := sp[n-2].AsFloat() + sp[n-1].AsFloat()
+			sp = sp[:n-1]
+			sp[n-2] = bytecode.Float(r)
+			return sp, closFall
+		}
+	case bytecode.FSUB:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			r := sp[n-2].AsFloat() - sp[n-1].AsFloat()
+			sp = sp[:n-1]
+			sp[n-2] = bytecode.Float(r)
+			return sp, closFall
+		}
+	case bytecode.FMUL:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			r := sp[n-2].AsFloat() * sp[n-1].AsFloat()
+			sp = sp[:n-1]
+			sp[n-2] = bytecode.Float(r)
+			return sp, closFall
+		}
+	case bytecode.FDIV:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			r := sp[n-2].AsFloat() / sp[n-1].AsFloat()
+			sp = sp[:n-1]
+			sp[n-2] = bytecode.Float(r)
+			return sp, closFall
+		}
+	case bytecode.FNEG:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Float(-sp[len(sp)-1].AsFloat())
+			return sp, closFall
+		}
+	case bytecode.FSQRT:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Float(math.Sqrt(sp[len(sp)-1].AsFloat()))
+			return sp, closFall
+		}
+	case bytecode.FABS:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Float(math.Abs(sp[len(sp)-1].AsFloat()))
+			return sp, closFall
+		}
+	case bytecode.I2F:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Float(float64(sp[len(sp)-1].I))
+			return sp, closFall
+		}
+	case bytecode.F2I:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			sp[len(sp)-1] = bytecode.Int(int64(sp[len(sp)-1].F))
+			return sp, closFall
+		}
+
+	case bytecode.IEQ, bytecode.INE, bytecode.ILT,
+		bytecode.ILE, bytecode.IGT, bytecode.IGE:
+		lt, eq, gt, _ := cmpFlags(f.op)
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			x, y := sp[n-2].I, sp[n-1].I
+			r := gt
+			if x < y {
+				r = lt
+			} else if x == y {
+				r = eq
+			}
+			sp = sp[:n-1]
+			sp[n-2] = bytecode.Bool(r)
+			return sp, closFall
+		}
+	case bytecode.FEQ, bytecode.FNE, bytecode.FLT,
+		bytecode.FLE, bytecode.FGT, bytecode.FGE:
+		op := f.op
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			x, y := sp[n-2].AsFloat(), sp[n-1].AsFloat()
+			sp = sp[:n-1]
+			var r bool
+			switch op {
+			case bytecode.FEQ:
+				r = x == y
+			case bytecode.FNE:
+				r = x != y
+			case bytecode.FLT:
+				r = x < y
+			case bytecode.FLE:
+				r = x <= y
+			case bytecode.FGT:
+				r = x > y
+			case bytecode.FGE:
+				r = x >= y
+			}
+			sp[n-2] = bytecode.Bool(r)
+			return sp, closFall
+		}
+
+	case bytecode.IDIV, bytecode.IMOD:
+		msg := "integer division by zero"
+		div := f.op == bytecode.IDIV
+		if !div {
+			msg = "integer modulo by zero"
+		}
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			x, y := sp[n-2].I, sp[n-1].I
+			sp = sp[:n-1]
+			if y == 0 {
+				st.rem, st.remBase, st.tpc, st.msg = rem, remBase, tpc, msg
+				return sp, closTrap
+			}
+			if div {
+				sp[n-2] = bytecode.Int(x / y)
+			} else {
+				sp[n-2] = bytecode.Int(x % y)
+			}
+			return sp, closFall
+		}
+
+	case bytecode.ALOAD:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			arr, aerr := st.e.Array(sp[n-2])
+			if aerr == nil {
+				idx := sp[n-1].AsInt()
+				if idx >= 0 && idx < int64(len(arr)) {
+					sp = sp[:n-1]
+					sp[n-2] = arr[idx]
+					return sp, closFall
+				}
+				aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+			}
+			st.rem, st.remBase, st.tpc = rem, remBase, tpc
+			st.msg = fmt.Sprintf("aload: %v", aerr)
+			return sp, closTrap
+		}
+	case bytecode.ASTORE:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			arr, aerr := st.e.Array(sp[n-3])
+			if aerr == nil {
+				idx := sp[n-2].AsInt()
+				if idx >= 0 && idx < int64(len(arr)) {
+					arr[idx] = sp[n-1]
+					return sp[:n-3], closFall
+				}
+				aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+			}
+			st.rem, st.remBase, st.tpc = rem, remBase, tpc
+			st.msg = fmt.Sprintf("astore: %v", aerr)
+			return sp, closTrap
+		}
+	case bytecode.ALEN:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			arr, aerr := st.e.Array(sp[len(sp)-1])
+			if aerr != nil {
+				st.rem, st.remBase, st.tpc = rem, remBase, tpc
+				st.msg = fmt.Sprintf("alen: %v", aerr)
+				return sp, closTrap
+			}
+			sp[len(sp)-1] = bytecode.Int(int64(len(arr)))
+			return sp, closFall
+		}
+
+	case bytecode.PRINT:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			st.e.Output = append(st.e.Output, sp[n-1])
+			return sp[:n-1], closFall
+		}
+
+	case bytecode.JMP:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return sp, a
+		}
+	case bytecode.JZ:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			v := sp[n-1]
+			sp = sp[:n-1]
+			if !v.IsTrue() {
+				return sp, a
+			}
+			return sp, closFall
+		}
+	case bytecode.JNZ:
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			v := sp[n-1]
+			sp = sp[:n-1]
+			if v.IsTrue() {
+				return sp, a
+			}
+			return sp, closFall
+		}
+
+	// Fused superinstructions.
+	case fLLBin:
+		opc := bytecode.Op(f.c)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, bytecode.Int(intBin(opc, st.locals[st.lb+a].I, st.locals[st.lb+b].I))), closFall
+		}
+	case fLLCmp:
+		lt, eq, gt, _ := cmpFlags(bytecode.Op(f.c))
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			x, y := st.locals[st.lb+a].I, st.locals[st.lb+b].I
+			r := gt
+			if x < y {
+				r = lt
+			} else if x == y {
+				r = eq
+			}
+			return append(sp, bytecode.Bool(r)), closFall
+		}
+	case fLIBin:
+		opc := bytecode.Op(f.c)
+		imm := int64(f.b)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, bytecode.Int(intBin(opc, st.locals[st.lb+a].I, imm))), closFall
+		}
+	case fLICmp:
+		lt, eq, gt, _ := cmpFlags(bytecode.Op(f.c))
+		imm := int64(f.b)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			x := st.locals[st.lb+a].I
+			r := gt
+			if x < imm {
+				r = lt
+			} else if x == imm {
+				r = eq
+			}
+			return append(sp, bytecode.Bool(r)), closFall
+		}
+	case fLGBin:
+		opc := bytecode.Op(f.c)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			return append(sp, bytecode.Int(intBin(opc, st.locals[st.lb+a].I, st.e.Globals[b].I))), closFall
+		}
+	case fLGCmp:
+		lt, eq, gt, _ := cmpFlags(bytecode.Op(f.c))
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			x, y := st.locals[st.lb+a].I, st.e.Globals[b].I
+			r := gt
+			if x < y {
+				r = lt
+			} else if x == y {
+				r = eq
+			}
+			return append(sp, bytecode.Bool(r)), closFall
+		}
+	case fMove:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+b] = st.locals[st.lb+a]
+			return sp, closFall
+		}
+	case fGMove:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+b] = st.e.Globals[a]
+			return sp, closFall
+		}
+	case fIStore:
+		v := bytecode.Int(int64(f.b))
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+a] = v
+			return sp, closFall
+		}
+	case fCStore:
+		v := c.Consts[b]
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+a] = v
+			return sp, closFall
+		}
+	case fIncJmp:
+		inc := int64(f.b)
+		to := int(f.c)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+a].I += inc
+			return sp, to
+		}
+	case fCmpJz, fCmpJnz:
+		jlt, jeq, jgt := cmpJumpFlags(bytecode.Op(f.c), f.op == fCmpJnz)
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			x, y := sp[n-2].I, sp[n-1].I
+			sp = sp[:n-2]
+			r := jgt
+			if x < y {
+				r = jlt
+			} else if x == y {
+				r = jeq
+			}
+			if r {
+				return sp, b
+			}
+			return sp, closFall
+		}
+	case fCCmpJz, fCCmpJnz:
+		jlt, jeq, jgt := cmpJumpFlags(bytecode.Op(f.c), f.op == fCCmpJnz)
+		cv := c.Consts[a].I
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			x := sp[n-1].I
+			sp = sp[:n-1]
+			r := jgt
+			if x < cv {
+				r = jlt
+			} else if x == cv {
+				r = jeq
+			}
+			if r {
+				return sp, b
+			}
+			return sp, closFall
+		}
+	case fICmpJz, fICmpJnz:
+		jlt, jeq, jgt := cmpJumpFlags(bytecode.Op(f.c), f.op == fICmpJnz)
+		imm := int64(f.a)
+		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			n := len(sp)
+			x := sp[n-1].I
+			sp = sp[:n-1]
+			r := jgt
+			if x < imm {
+				r = jlt
+			} else if x == imm {
+				r = jeq
+			}
+			if r {
+				return sp, b
+			}
+			return sp, closFall
+		}
+	case fLJz:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			if !st.locals[st.lb+a].IsTrue() {
+				return sp, b
+			}
+			return sp, closFall
+		}
+	case fLJnz:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			if st.locals[st.lb+a].IsTrue() {
+				return sp, b
+			}
+			return sp, closFall
+		}
+	case fALoad:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			arr, aerr := st.e.Array(st.locals[st.lb+a])
+			if aerr == nil {
+				idx := st.locals[st.lb+b].AsInt()
+				if idx >= 0 && idx < int64(len(arr)) {
+					return append(sp, arr[idx]), closFall
+				}
+				aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+			}
+			st.rem, st.remBase, st.tpc = rem, remBase, tpc
+			st.msg = fmt.Sprintf("aload: %v", aerr)
+			return sp, closTrap
+		}
+	case fGALoad:
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			arr, aerr := st.e.Array(st.e.Globals[a])
+			if aerr == nil {
+				idx := st.locals[st.lb+b].AsInt()
+				if idx >= 0 && idx < int64(len(arr)) {
+					return append(sp, arr[idx]), closFall
+				}
+				aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+			}
+			st.rem, st.remBase, st.tpc = rem, remBase, tpc
+			st.msg = fmt.Sprintf("aload: %v", aerr)
+			return sp, closTrap
+		}
+	case fLLBinS:
+		opc := bytecode.Op(f.c)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+d] = bytecode.Int(intBin(opc, st.locals[st.lb+a].I, st.locals[st.lb+b].I))
+			return sp, closFall
+		}
+	case fLIBinS:
+		opc := bytecode.Op(f.c)
+		imm := int64(f.b)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+d] = bytecode.Int(intBin(opc, st.locals[st.lb+a].I, imm))
+			return sp, closFall
+		}
+	case fLGBinS:
+		opc := bytecode.Op(f.c)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			st.locals[st.lb+d] = bytecode.Int(intBin(opc, st.locals[st.lb+a].I, st.e.Globals[b].I))
+			return sp, closFall
+		}
+	case fLLCmpJz, fLLCmpJnz:
+		jlt, jeq, jgt := cmpJumpFlags(bytecode.Op(f.c), f.op == fLLCmpJnz)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			x, y := st.locals[st.lb+a].I, st.locals[st.lb+b].I
+			r := jgt
+			if x < y {
+				r = jlt
+			} else if x == y {
+				r = jeq
+			}
+			if r {
+				return sp, d
+			}
+			return sp, closFall
+		}
+	case fLGCmpJz, fLGCmpJnz:
+		jlt, jeq, jgt := cmpJumpFlags(bytecode.Op(f.c), f.op == fLGCmpJnz)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			x, y := st.locals[st.lb+a].I, st.e.Globals[b].I
+			r := jgt
+			if x < y {
+				r = jlt
+			} else if x == y {
+				r = jeq
+			}
+			if r {
+				return sp, d
+			}
+			return sp, closFall
+		}
+	case fLICmpJz, fLICmpJnz:
+		jlt, jeq, jgt := cmpJumpFlags(bytecode.Op(f.c), f.op == fLICmpJnz)
+		imm := int64(f.b)
+		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+			x := st.locals[st.lb+a].I
+			r := jgt
+			if x < imm {
+				r = jlt
+			} else if x == imm {
+				r = jeq
+			}
+			if r {
+				return sp, d
+			}
+			return sp, closFall
+		}
+	}
+	return nil
+}

@@ -108,6 +108,54 @@ type Code struct {
 	// Code may be shared by concurrently running engines (the harness
 	// code cache does exactly that).
 	plans [2]atomic.Pointer[plan]
+
+	// closures caches the closure-threaded forms of the plans (see
+	// closure.go), same slot convention. Built once hot, immutable after,
+	// shared exactly like plans — a Code that travels through jit.Cache
+	// carries its closure program to every later run.
+	closures [2]atomic.Pointer[closPlan]
+
+	// samples counts deterministic sampler ticks attributed to this code
+	// across every engine and run sharing it — the hotness signal that
+	// triggers the closure tier. Host-side only: the count never feeds
+	// back into any virtual observable.
+	samples atomic.Int64
+}
+
+// ClosureHotSamples is the number of sampler ticks after which an
+// optimized Code (level ≥ 0) is closure-threaded. One tick equals a full
+// sample stride of executed cycles attributed to the function, so two
+// ticks mark genuinely hot code while staying early enough that the
+// threaded form covers most of the remaining execution.
+const ClosureHotSamples = 2
+
+// noteSample records one sampler tick for hotness tracking.
+func (c *Code) noteSample() { c.samples.Add(1) }
+
+// Samples returns the cumulative sampler ticks attributed to this code
+// (diagnostics).
+func (c *Code) Samples() int64 { return c.samples.Load() }
+
+// closureFor returns the closure-threaded plan, building it when the code
+// qualifies: eager forces a build at any tier (the equivalence suites use
+// this to cover baseline code too); otherwise the code must be at an
+// optimized level and past the hotness threshold. Returns nil when the
+// code has not (yet) earned its closure form. Concurrent builders race
+// benignly, like planFor.
+func (c *Code) closureFor(fuse, eager bool) *closPlan {
+	slot := 0
+	if fuse {
+		slot = 1
+	}
+	if p := c.closures[slot].Load(); p != nil {
+		return p
+	}
+	if !eager && (c.Level < 0 || c.samples.Load() < ClosureHotSamples) {
+		return nil
+	}
+	p := buildClosurePlan(c, fuse)
+	c.closures[slot].Store(p)
+	return p
 }
 
 // planFor returns the execution plan of the code, building it on first

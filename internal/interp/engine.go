@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/gc"
@@ -93,6 +94,16 @@ type Engine struct {
 	// bit-identical in every combination (see fuse.go).
 	DisableBatching bool
 	DisableFusion   bool
+
+	// DisableClosures turns off the closure-threaded tier (closure.go):
+	// hot segments keep running through the fused switch. EagerClosures
+	// closure-threads every executed Code immediately, regardless of
+	// level or hotness — the equivalence suites use it to hold the
+	// closure tier to bit identity at every tier from the first
+	// instruction. Both host-side only; virtual results are identical in
+	// every combination.
+	DisableClosures bool
+	EagerClosures   bool
 
 	Globals     []bytecode.Value
 	Output      []bytecode.Value
@@ -328,6 +339,65 @@ type frame struct {
 	spBase     int
 }
 
+// runScratch is the pooled per-run working memory of the evaluator: the
+// locals arena, operand stack, frame stack, and the closure-tier register
+// file. Engines are created (or reset) per run by the thousands during
+// experiments; recycling the arenas makes the steady state allocation-free.
+// Values carry no pointers, so retaining their backing arrays in the pool
+// pins nothing.
+type runScratch struct {
+	locals []bytecode.Value
+	stack  []bytecode.Value
+	frames []frame
+	st     cstate
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &runScratch{
+			locals: make([]bytecode.Value, 0, 256),
+			stack:  make([]bytecode.Value, 0, 256),
+			frames: make([]frame, 0, 32),
+		}
+	},
+}
+
+// Reset returns the engine to its post-NewEngine state for a fresh run of
+// the same program, keeping the Provider (and any baseline-code cache
+// behind it) and the allocated ledger slices. Pooled vm.Machines use this
+// to make repeated runs allocation-free; everything a run can observe —
+// globals, output, clocks, ledgers, heap, GC state, limits, hooks, and
+// substrate toggles — is restored to defaults.
+func (e *Engine) Reset() {
+	e.OnInvoke = nil
+	e.OnSample = nil
+	e.SampleStride = DefaultSampleStride
+	e.MaxCycles = DefaultMaxCycles
+	e.MaxHeapCells = DefaultMaxHeapCells
+	e.Interrupt = nil
+	e.DisableBatching = false
+	e.DisableFusion = false
+	e.DisableClosures = false
+	e.EagerClosures = false
+	clear(e.Globals)
+	e.Output = e.Output[:0]
+	e.Cycles = 0
+	clear(e.Invocations)
+	clear(e.Work)
+	clear(e.FnCycles)
+	e.GC = gc.Config{}
+	e.GCStats = gc.Stats{}
+	for i := range e.heap {
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:0]
+	e.heapCells = 0
+	e.freeSlots = e.freeSlots[:0]
+	e.rootLocals, e.rootStack = nil, nil
+	e.nextSample = 0
+	e.halted = false
+}
+
 // Run executes the program's entry function to completion and returns its
 // result value.
 func (e *Engine) Run() (bytecode.Value, error) {
@@ -339,10 +409,26 @@ func (e *Engine) Run() (bytecode.Value, error) {
 		}
 	}
 
-	locals := make([]bytecode.Value, 0, 256)
-	stack := make([]bytecode.Value, 0, 256)
-	frames := make([]frame, 0, 32)
+	sc := scratchPool.Get().(*runScratch)
+	locals := sc.locals[:0]
+	stack := sc.stack[:0]
+	frames := sc.frames[:0]
+	st := &sc.st
+	st.e = e
 	e.rootLocals, e.rootStack = nil, nil
+	defer func() {
+		// Hand the (possibly grown) arenas back. The frame stack holds
+		// *Code pointers; clear it so the pool pins no compiled code, and
+		// unpublish the GC roots so the engine no longer aliases pooled
+		// memory.
+		sc.locals, sc.stack = locals[:0], stack[:0]
+		sc.frames = frames[:cap(frames)]
+		clear(sc.frames)
+		sc.frames = sc.frames[:0]
+		sc.st = cstate{}
+		e.rootLocals, e.rootStack = nil, nil
+		scratchPool.Put(sc)
+	}()
 
 	push := func(fnIdx int) error {
 		if len(frames) >= maxCallDepth {
@@ -378,8 +464,14 @@ func (e *Engine) Run() (bytecode.Value, error) {
 		workP := &e.Work[code.FnIdx]
 		cycP := &e.FnCycles[code.FnIdx]
 		var pl *plan
+		var cp *closPlan
 		if !e.DisableBatching {
-			pl = code.planFor(!e.DisableFusion)
+			if !e.DisableClosures {
+				cp = code.closureFor(!e.DisableFusion, e.EagerClosures)
+			}
+			if cp == nil {
+				pl = code.planFor(!e.DisableFusion)
+			}
 		}
 		rerr := func(format string, args ...interface{}) error {
 			return &RuntimeError{Prog: e.Prog.Name, Fn: code.Name, PC: fr.pc,
@@ -391,6 +483,40 @@ func (e *Engine) Run() (bytecode.Value, error) {
 			pc := fr.pc
 			if pc < 0 || pc >= len(code.Instrs) {
 				return result, rerr("pc out of range")
+			}
+
+			// Fastest path: the closure-threaded tier. Same segment
+			// geometry and batched charge as the fused plan below — the
+			// closure program is compiled from it fop for fop — but each
+			// micro-op is a pre-bound closure, so there is no operand
+			// decoding and no dispatch switch. A trapping closure deposits
+			// the identical suffix-charge rollback in st.
+			if cp != nil {
+				if s := cp.seg[pc]; s != nil && e.Cycles+s.cost < e.nextSample {
+					e.Cycles += s.cost
+					*workP += s.base
+					*cycP += s.cost
+					st.locals, st.lb = locals, lb
+					npc := int(s.end)
+					sp := stack
+					for _, fn := range s.fns {
+						var r int
+						if sp, r = fn(st, sp); r != closFall {
+							if r == closTrap {
+								stack = sp
+								e.Cycles -= int64(st.rem)
+								*workP -= int64(st.remBase)
+								*cycP -= int64(st.rem)
+								fr.pc = int(st.tpc)
+								return result, rerr("%s", st.msg)
+							}
+							npc = r // branches only terminate segments
+						}
+					}
+					stack = sp
+					fr.pc = npc
+					continue
+				}
 			}
 
 			// Fast path: a batchable straight-line segment starts here and
@@ -706,8 +832,19 @@ func (e *Engine) Run() (bytecode.Value, error) {
 			if e.Cycles >= e.nextSample {
 				for e.Cycles >= e.nextSample {
 					e.nextSample += e.SampleStride
+					code.noteSample()
 					if e.OnSample != nil {
 						e.OnSample(code.FnIdx)
+					}
+				}
+				// A sampler tick is the promotion point of the closure
+				// tier: re-ask for the threaded form so code that just got
+				// hot (or was recompiled hot in OnSample) starts threading
+				// without leaving the frame. Host-side only — the virtual
+				// stream is untouched.
+				if cp == nil && !e.DisableBatching && !e.DisableClosures {
+					if cp = code.closureFor(!e.DisableFusion, e.EagerClosures); cp != nil {
+						pl = nil
 					}
 				}
 				if e.Cycles > e.MaxCycles {

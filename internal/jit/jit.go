@@ -88,6 +88,16 @@ func NewCompiler(prog *bytecode.Program, cfg Config) *Compiler {
 // Config returns the compiler's tier table.
 func (c *Compiler) Config() Config { return c.cfg }
 
+// Reset returns the compiler to its just-constructed state: the per-run
+// memo empties, so a subsequent run pays its own virtual compile charges
+// again (first request per (function, level) charges, repeats are free),
+// and any shared cross-run cache is detached — reattach it with UseShared.
+// Pooled vm.Machines reset their compiler between runs this way.
+func (c *Compiler) Reset() {
+	clear(c.cache)
+	c.shared = nil
+}
+
 // Baseline returns the level −1 form of a function together with the base
 // compiler charge.
 func (c *Compiler) Baseline(fnIdx int) (*interp.Code, int64) {
@@ -171,10 +181,7 @@ func (c *Compiler) EstimateCompileCycles(fnIdx, level int) int64 {
 		level = MaxLevel
 	}
 	size := int64(len(c.prog.Funcs[fnIdx].Code))
-	var perInstr int64 = 8
-	for _, pass := range opt.Pipeline(level) {
-		perInstr += pass.CostPerInstr
-	}
+	perInstr := 8 + opt.PipelineRate(level)
 	return (400 + size*perInstr) * c.cfg.Levels[level].CostMult
 }
 

@@ -16,20 +16,24 @@ type Pass struct {
 	Apply        func(p *bytecode.Program, f *bytecode.Function) bool
 }
 
-// Pipeline returns the pass sequence of an optimization level (0–2).
+// pipelines holds the pass sequence of each optimization level (0–2),
+// built once: Pipeline sits on the cost-benefit model's estimation path,
+// which every controller consults after every run, so rebuilding the
+// slices per call was a measurable steady-state allocation source.
 // Higher levels strictly extend lower ones, so they cost more compile
-// cycles and produce code that is at least as optimized.
-func Pipeline(level int) []Pass {
+// cycles and produce code that is at least as optimized. Callers must
+// treat the returned slices as read-only.
+var pipelines = func() [3][]Pass {
 	o0 := []Pass{
 		{Name: "peephole", CostPerInstr: 14, Apply: Peephole},
 	}
-	o1 := append(o0,
+	o1 := append(o0[:len(o0):len(o0)],
 		Pass{Name: "inline", CostPerInstr: 22, Apply: Inline},
 		Pass{Name: "constprop", CostPerInstr: 12, Apply: ConstProp},
 		Pass{Name: "dce", CostPerInstr: 10, Apply: DeadCode},
 		Pass{Name: "peephole2", CostPerInstr: 14, Apply: Peephole},
 	)
-	o2 := append(o1,
+	o2 := append(o1[:len(o1):len(o1)],
 		Pass{Name: "licm", CostPerInstr: 30, Apply: LICM},
 		Pass{Name: "unroll", CostPerInstr: 26, Apply: Unroll},
 		Pass{Name: "peephole3", CostPerInstr: 14, Apply: Peephole},
@@ -38,13 +42,45 @@ func Pipeline(level int) []Pass {
 		// last cheap peephole mops them up.
 		Pass{Name: "peephole4", CostPerInstr: 14, Apply: Peephole},
 	)
+	return [3][]Pass{o0, o1, o2}
+}()
+
+// pipelineRates[level] is the summed CostPerInstr of the level's passes —
+// the closed form of the estimation loop over Pipeline(level).
+var pipelineRates = func() [3]int64 {
+	var r [3]int64
+	for i, passes := range pipelines {
+		for _, p := range passes {
+			r[i] += p.CostPerInstr
+		}
+	}
+	return r
+}()
+
+// Pipeline returns the pass sequence of an optimization level (0–2). The
+// slice is shared and must not be modified.
+func Pipeline(level int) []Pass {
 	switch {
 	case level <= 0:
-		return o0
+		return pipelines[0]
 	case level == 1:
-		return o1
+		return pipelines[1]
 	default:
-		return o2
+		return pipelines[2]
+	}
+}
+
+// PipelineRate returns the summed per-instruction compile-cycle rate of a
+// level's passes, allocation-free (the cost model's estimator calls this
+// after every run for every function × level).
+func PipelineRate(level int) int64 {
+	switch {
+	case level <= 0:
+		return pipelineRates[0]
+	case level == 1:
+		return pipelineRates[1]
+	default:
+		return pipelineRates[2]
 	}
 }
 

@@ -29,6 +29,17 @@ type Repository struct {
 	// workHist[r][fn] is the baseline-equivalent work fn performed in
 	// recorded run r.
 	workHist [][]int64
+
+	// Plan memoization: BuildPlan is a pure function of the history, the
+	// compiler's tier table, and the sample stride, but Controller used to
+	// rebuild it on every run — an O(funcs × triggers × levels × history)
+	// rescan per run. The cache is invalidated by construction when any
+	// input changes (a Record grows the history; a different compiler
+	// config or stride misses the key).
+	cached       Plan
+	cachedRuns   int
+	cachedCfg    jit.Config
+	cachedStride int64
 }
 
 // NewRepository returns an empty repository bound to prog.
@@ -41,7 +52,16 @@ func (r *Repository) Runs() int { return len(r.workHist) }
 
 // Record adds a finished run's profile to the repository.
 func (r *Repository) Record(m *vm.Machine) {
-	r.workHist = append(r.workHist, append([]int64(nil), m.Engine.Work...))
+	r.RecordWork(m.Engine.Work)
+}
+
+// RecordWork adds one run's per-function baseline-work profile directly.
+// Work profiles are level- and controller-independent (the execution path
+// is a pure function of program and input), so a profile measured under
+// any scenario — or replayed from a deterministic-outcome cache — records
+// identically to one observed live. The slice is copied.
+func (r *Repository) RecordWork(work []int64) {
+	r.workHist = append(r.workHist, append([]int64(nil), work...))
 }
 
 // triggerGrid is the candidate sample-count triggers a plan may use.
@@ -102,8 +122,16 @@ func (r *Repository) BuildPlan(compiler *jit.Compiler, sampleStride int64) Plan 
 // Controller returns the vm.Controller executing the repository's current
 // plan for one run and recording the run back into the repository when it
 // finishes. planCost cycles are charged at run start for loading the plan.
+// The plan is memoized across runs until the history, tier table, or
+// stride changes, so steady-state Rep runs skip the BuildPlan rescan.
 func (r *Repository) Controller(compiler *jit.Compiler, sampleStride int64) *Controller {
-	return &Controller{repo: r, plan: r.BuildPlan(compiler, sampleStride)}
+	cfg := compiler.Config()
+	if r.cached == nil || r.cachedRuns != len(r.workHist) ||
+		r.cachedCfg != cfg || r.cachedStride != sampleStride {
+		r.cached = r.BuildPlan(compiler, sampleStride)
+		r.cachedRuns, r.cachedCfg, r.cachedStride = len(r.workHist), cfg, sampleStride
+	}
+	return &Controller{repo: r, plan: r.cached}
 }
 
 // Controller executes a repository plan.

@@ -13,8 +13,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 )
+
+// ProfileLabels, when enabled, wraps every task in a runtime/pprof label
+// set (sched_task = the task's key) so CPU profiles attribute worker time
+// by experiment work unit; the labeled context flows into the task, so
+// exec's per-run labels nest under it. Off by default: label sets
+// allocate per task, and the profiling CLIs switch this on only when a
+// profile was requested.
+var ProfileLabels = false
 
 // Task is one unit of work. It receives the graph's context, which is
 // canceled as soon as any task fails.
@@ -146,7 +155,7 @@ func (g *Graph) Run(ctx context.Context, workers int) error {
 				state[idx] = 1
 				mu.Unlock()
 
-				err := g.tasks[idx].run(runCtx)
+				err := g.runTask(runCtx, idx)
 
 				mu.Lock()
 				state[idx] = 2
@@ -182,4 +191,18 @@ func (g *Graph) Run(ctx context.Context, workers int) error {
 		}
 	}
 	return fallback
+}
+
+// runTask executes one task, under a pprof label set when profiling is
+// enabled. The labeled context is handed to the task so every run it
+// spawns inherits the sched_task label.
+func (g *Graph) runTask(ctx context.Context, idx int) error {
+	if !ProfileLabels {
+		return g.tasks[idx].run(ctx)
+	}
+	var err error
+	pprof.Do(ctx, pprof.Labels("sched_task", g.tasks[idx].key), func(ctx context.Context) {
+		err = g.tasks[idx].run(ctx)
+	})
+	return err
 }

@@ -9,6 +9,7 @@ import (
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/core"
 	"evolvevm/internal/rep"
+	"evolvevm/internal/xicl"
 )
 
 // BenchState bundles one benchmark's cross-run state: the Evolve
@@ -31,6 +32,7 @@ type BenchState struct {
 	repo     *rep.Repository
 	gcsel    *core.GCSelector
 	defaults map[string]int64
+	fvcache  *xicl.FVCache
 }
 
 var _ CrossRunState = (*BenchState)(nil)
@@ -48,6 +50,9 @@ func (b *BenchState) reset() {
 	b.gcsel = nil
 	if b.defaults == nil {
 		b.defaults = make(map[string]int64)
+	}
+	if b.fvcache == nil {
+		b.fvcache = xicl.NewFVCache()
 	}
 }
 
@@ -92,6 +97,17 @@ func (b *BenchState) GCSelector(cfg core.Config) *core.GCSelector {
 		b.gcsel = core.NewGCSelector(cfg)
 	}
 	return b.gcsel
+}
+
+// FVCache returns the benchmark's feature-vector memo. Like the default
+// baselines it survives Reset and is excluded from Snapshot/Restore:
+// feature extraction is a deterministic property of the inputs, not
+// learned state, so the cache is always safe to rebuild and never worth
+// serializing.
+func (b *BenchState) FVCache() *xicl.FVCache {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fvcache
 }
 
 // DefaultCycles returns the memoized Default-scenario cycles of an input.

@@ -70,6 +70,11 @@ type Machine struct {
 
 	current []*interp.Code
 	levels  []int
+
+	// Hook closures wired into the engine, created once at New so Reset
+	// can rewire them without allocating.
+	onInvoke func(fnIdx int, count int64)
+	onSample func(fnIdx int)
 }
 
 // New builds a machine for a single run of prog.
@@ -90,15 +95,46 @@ func New(prog *bytecode.Program, cfg jit.Config, ctrl Controller) *Machine {
 	for i := range m.levels {
 		m.levels[i] = jit.MinLevel - 1 // not yet base-compiled
 	}
-	m.Engine.Provider = m.provide
-	m.Engine.OnInvoke = func(fnIdx int, count int64) {
+	m.onInvoke = func(fnIdx int, count int64) {
 		m.Controller.OnInvoke(m, fnIdx, count)
 	}
-	m.Engine.OnSample = func(fnIdx int) {
+	m.onSample = func(fnIdx int) {
 		m.Samples[fnIdx]++
 		m.Controller.OnSample(m, fnIdx)
 	}
+	m.Engine.Provider = m.provide
+	m.Engine.OnInvoke = m.onInvoke
+	m.Engine.OnSample = m.onSample
 	return m
+}
+
+// Reset prepares the machine for a fresh run of the same program:
+// compiler per-run memo cleared (each run pays its own virtual compile
+// charges; reattach a shared cache with Compiler.UseShared), ledgers
+// zeroed, code table and levels back to never-invoked, engine fully reset
+// with its hooks rewired, controller back to Null until the caller
+// installs one. With an unchanged tier table this allocates nothing —
+// internal/exec pools machines per program on top of it.
+func (m *Machine) Reset(cfg jit.Config) {
+	if cfg == m.Compiler.Config() {
+		m.Compiler.Reset()
+	} else {
+		m.Compiler = jit.NewCompiler(m.Prog, cfg)
+	}
+	m.Controller = NullController{}
+	clear(m.Samples)
+	m.CompileCycles = 0
+	m.BaseCompileCycles = 0
+	clear(m.CompileCyclesByLevel)
+	m.Recompilations = 0
+	m.OverheadCycles = 0
+	clear(m.current)
+	for i := range m.levels {
+		m.levels[i] = jit.MinLevel - 1 // not yet base-compiled
+	}
+	m.Engine.Reset()
+	m.Engine.OnInvoke = m.onInvoke
+	m.Engine.OnSample = m.onSample
 }
 
 // provide returns the current code form of fnIdx, lazily base-compiling
@@ -120,6 +156,10 @@ func (m *Machine) Level(fnIdx int) int { return m.levels[fnIdx] }
 
 // Levels returns a copy of the current per-function levels.
 func (m *Machine) Levels() []int { return append([]int(nil), m.levels...) }
+
+// LevelsInto appends the current per-function levels to dst (pass
+// dst[:0] to reuse its backing) — the allocation-free form of Levels.
+func (m *Machine) LevelsInto(dst []int) []int { return append(dst, m.levels...) }
 
 // RequestCompile recompiles fnIdx at level if that is an upgrade over its
 // current tier, charging the compile cycles to the run clock. The new

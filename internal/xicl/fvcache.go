@@ -1,0 +1,53 @@
+package xicl
+
+import "sync"
+
+// FVCache memoizes feature-vector extraction by input signature. Feature
+// extraction is a pure function of the input (command line plus files),
+// so a learner that sees the same input many times across a production
+// sequence can reuse the vector and its extraction cost instead of
+// re-materializing both — the virtual extraction charge is still paid by
+// every run, exactly as if the translator had run again.
+//
+// Cached vectors are shared: callers (and anything they hand the vector
+// to, such as training examples) must treat them as immutable. A
+// translator with runtime constructs mutates its vector through UpdateV
+// and must not be memoized; the cache is for the static BuildFVector
+// path.
+type FVCache struct {
+	mu sync.RWMutex
+	m  map[string]fvEntry
+}
+
+type fvEntry struct {
+	vec  Vector
+	cost int64
+}
+
+// NewFVCache returns an empty cache.
+func NewFVCache() *FVCache {
+	return &FVCache{m: make(map[string]fvEntry)}
+}
+
+// Get returns the memoized vector and extraction cost for the signature.
+func (c *FVCache) Get(sig string) (Vector, int64, bool) {
+	c.mu.RLock()
+	e, ok := c.m[sig]
+	c.mu.RUnlock()
+	return e.vec, e.cost, ok
+}
+
+// Put memoizes a vector and its extraction cost under the signature. The
+// cache takes shared ownership of vec; it must not be mutated afterwards.
+func (c *FVCache) Put(sig string, vec Vector, cost int64) {
+	c.mu.Lock()
+	c.m[sig] = fvEntry{vec: vec, cost: cost}
+	c.mu.Unlock()
+}
+
+// Len returns the number of memoized signatures.
+func (c *FVCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
