@@ -12,6 +12,7 @@ import (
 
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/cart"
+	"evolvevm/internal/exec"
 	"evolvevm/internal/harness"
 	"evolvevm/internal/interp"
 	"evolvevm/internal/opt"
@@ -28,7 +29,7 @@ func quickOpts(seed int64) harness.Options {
 // running-time ranges, feature selection, confidence and accuracy.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table1(testCtx, io.Discard,quickOpts(int64(i)+1))
+		rows, err := harness.Table1(testCtx, io.Discard, quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func BenchmarkTable1(b *testing.B) {
 // accuracy, and Evolve-vs-Rep speedups on mtrt and raytracer.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := harness.Figure8(testCtx, io.Discard,quickOpts(int64(i)+1))
+		series, err := harness.Figure8(testCtx, io.Discard, quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,38 +54,80 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// substrateColumns are the host-tier variants the loop-heavy experiment
+// benchmarks record: the full substrate (register traces included) vs
+// the previous fastest configuration (register tier off, closure tier
+// and below unchanged). Virtual results are bit-identical across the
+// columns (substrate equivalence suites); the ns/op spread is the
+// register tier's end-to-end host-side win.
+var substrateColumns = []struct {
+	name string
+	sub  exec.Substrate
+}{
+	{"reg", exec.Substrate{}},
+	{"noreg", exec.Substrate{NoRegTier: true}},
+}
+
 // BenchmarkFigure9 regenerates Figure 9 (E3): speedup vs default running
-// time on mtrt and compress.
+// time on mtrt and compress, with and without the register trace tier.
 func BenchmarkFigure9(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := harness.Figure9(testCtx, io.Discard,quickOpts(int64(i)+1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(len(points["mtrt"])), "mtrt-points")
+	for _, col := range substrateColumns {
+		b.Run(col.name, func(b *testing.B) {
+			// Warm the process-wide baseline and code caches untimed so the
+			// columns compare steady states, not who ran first.
+			opts := quickOpts(1)
+			opts.Substrate = col.sub
+			if _, err := harness.Figure9(testCtx, io.Discard, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := quickOpts(int64(i) + 1)
+				opts.Substrate = col.sub
+				points, err := harness.Figure9(testCtx, io.Discard, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(points["mtrt"])), "mtrt-points")
+			}
+		})
 	}
 }
 
 // BenchmarkFigure10 regenerates Figure 10 (E4): speedup boxplots for the
-// whole suite under Evolve and Rep.
+// whole suite under Evolve and Rep, with and without the register trace
+// tier.
 func BenchmarkFigure10(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure10(testCtx, io.Discard,quickOpts(int64(i)+1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		var medians []float64
-		for _, r := range rows {
-			medians = append(medians, r.Evolve.Median)
-		}
-		b.ReportMetric(stats.Mean(medians), "mean-evolve-median")
+	for _, col := range substrateColumns {
+		b.Run(col.name, func(b *testing.B) {
+			// Same untimed cache warmup as Figure9.
+			opts := quickOpts(1)
+			opts.Substrate = col.sub
+			if _, err := harness.Figure10(testCtx, io.Discard, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := quickOpts(int64(i) + 1)
+				opts.Substrate = col.sub
+				rows, err := harness.Figure10(testCtx, io.Discard, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var medians []float64
+				for _, r := range rows {
+					medians = append(medians, r.Evolve.Median)
+				}
+				b.ReportMetric(stats.Mean(medians), "mean-evolve-median")
+			}
+		})
 	}
 }
 
 // BenchmarkOverhead regenerates the overhead analysis (E5).
 func BenchmarkOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Overhead(testCtx, io.Discard,quickOpts(int64(i)+1))
+		rows, err := harness.Overhead(testCtx, io.Discard, quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +145,7 @@ func BenchmarkOverhead(b *testing.B) {
 // sensitivity study (E6).
 func BenchmarkSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Sensitivity(testCtx, io.Discard,quickOpts(int64(i)+1)); err != nil {
+		if _, err := harness.Sensitivity(testCtx, io.Discard, quickOpts(int64(i)+1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +155,7 @@ func BenchmarkSensitivity(b *testing.B) {
 // on/off and feature-vector truncation.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Ablation(testCtx, io.Discard,quickOpts(int64(i)+1))
+		res, err := harness.Ablation(testCtx, io.Discard, quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,6 +269,86 @@ end
 	}
 }
 
+// BenchmarkDispatchTiers compares the four dispatch tiers — batched
+// switch, fused switch, closure-threaded, and register-converted traces —
+// on the same tight loop, honestly: one engine per tier, warmed before
+// the timer so every mode runs its steady state (plans decoded, closures
+// compiled, traces converted, pools populated) rather than paying
+// one-time build costs inside the measurement. The virtual results are
+// bit-identical across all four (see the substrate suites); the spread is
+// pure host dispatch cost.
+func BenchmarkDispatchTiers(b *testing.B) {
+	prog, err := bytecode.Assemble("microloop", `
+global n
+func main() locals i acc
+  const 0
+  store acc
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load acc
+  load i
+  ixor
+  store acc
+  iinc i 1
+  jmp loop
+done:
+  load acc
+  ret
+end
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiers := []struct {
+		name      string
+		configure func(*interp.Engine)
+	}{
+		{"switch", func(e *interp.Engine) {
+			e.DisableFusion = true
+			e.DisableClosures = true
+			e.DisableRegTier = true
+		}},
+		{"fused", func(e *interp.Engine) {
+			e.DisableClosures = true
+			e.DisableRegTier = true
+		}},
+		{"closure", func(e *interp.Engine) {
+			e.EagerClosures = true
+			e.DisableRegTier = true
+		}},
+		{"register", func(e *interp.Engine) {
+			e.EagerClosures = true
+			e.EagerRegTier = true
+		}},
+	}
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			e := interp.NewEngine(prog)
+			run := func() {
+				e.Reset()
+				tier.configure(e)
+				if err := e.SetGlobal("n", bytecode.Int(10000)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			run() // warm: plans, closures, traces, pooled scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}
+
 // BenchmarkOptimizePipeline measures a level-2 compile of a mid-size
 // method (mtrt's intersection kernel).
 func BenchmarkOptimizePipeline(b *testing.B) {
@@ -322,7 +445,7 @@ func BenchmarkEndToEndEvolveRun(b *testing.B) {
 // garbage-collector choice on the server workload.
 func BenchmarkGCSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.GCSelection(testCtx, io.Discard,quickOpts(int64(i)+1))
+		res, err := harness.GCSelection(testCtx, io.Discard, quickOpts(int64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"os"
 	"reflect"
 	"testing"
 
@@ -24,20 +25,44 @@ import (
 
 // substrateModes enumerates the metamorphic ladder: the original
 // per-instruction loop, batching without fusion, the full fused switch,
-// and the closure-threaded tier (eager, so every tier from baseline up is
-// threaded from the first instruction), fused and unfused. "full" leaves
-// closures on their production hotness gate, so it also covers mid-run
-// promotion from the fused switch to the threaded form.
+// the closure-threaded tier (eager, so every tier from baseline up is
+// threaded from the first instruction), fused and unfused, and the
+// register-converted trace tier (eager, entered from the first back-edge
+// arrival), again fused and unfused. "full" leaves closures and traces on
+// their production hotness gates, so it also covers mid-run promotion
+// from the fused switch to the threaded and register forms.
 var substrateModes = []struct {
 	name      string
 	configure func(*interp.Engine)
 }{
 	{"off", func(e *interp.Engine) { e.DisableBatching = true }},
-	{"batch-nofuse", func(e *interp.Engine) { e.DisableFusion = true; e.DisableClosures = true }},
+	{"batch-nofuse", func(e *interp.Engine) { e.DisableFusion = true; e.DisableClosures = true; e.DisableRegTier = true }},
 	{"full", nil},
-	{"closure", func(e *interp.Engine) { e.EagerClosures = true }},
-	{"closure-nofuse", func(e *interp.Engine) { e.EagerClosures = true; e.DisableFusion = true }},
+	{"closure", func(e *interp.Engine) { e.EagerClosures = true; e.DisableRegTier = true }},
+	{"closure-nofuse", func(e *interp.Engine) { e.EagerClosures = true; e.DisableFusion = true; e.DisableRegTier = true }},
 	{"noclosure", func(e *interp.Engine) { e.DisableClosures = true }},
+	{"reg", func(e *interp.Engine) { e.EagerRegTier = true }},
+	{"reg-nofuse", func(e *interp.Engine) { e.EagerRegTier = true; e.DisableFusion = true }},
+	{"reg-noclosure", func(e *interp.Engine) { e.EagerRegTier = true; e.DisableClosures = true }},
+	{"noreg", func(e *interp.Engine) { e.DisableRegTier = true }},
+}
+
+// withEagerReg layers the CI force-enable knob over a mode: when
+// EVOLVEVM_EAGER_REGTIER is set, every mode that leaves the register tier
+// enabled enters traces eagerly, so the soak exercises the register
+// executor on all generated code rather than only on loops that cross the
+// hotness thresholds. Modes that disable the tier (or batching entirely)
+// are unaffected — their configure runs last and wins.
+func withEagerReg(configure func(*interp.Engine)) func(*interp.Engine) {
+	if os.Getenv("EVOLVEVM_EAGER_REGTIER") == "" {
+		return configure
+	}
+	return func(e *interp.Engine) {
+		e.EagerRegTier = true
+		if configure != nil {
+			configure(e)
+		}
+	}
 }
 
 // execBitIdentical asserts two Execs agree on every observable — semantic
@@ -87,7 +112,7 @@ func TestSubstrateBitIdentical(t *testing.T) {
 				}
 				for _, mode := range substrateModes[1:] {
 					got, err := RunTierConfigured(g.Prog, level, gc.Config{}, preCap,
-						g.NumericGlobals, input, mode.configure)
+						g.NumericGlobals, input, withEagerReg(mode.configure))
 					if err != nil {
 						t.Fatalf("seed %d mode %s: %v", seed, mode.name, err)
 					}
@@ -131,7 +156,7 @@ func TestSubstrateBitIdenticalGC(t *testing.T) {
 					}
 					for _, mode := range substrateModes[1:] {
 						got, err := RunTierConfigured(g.Prog, level, cfg, preCap,
-							g.NumericGlobals, input, mode.configure)
+							g.NumericGlobals, input, withEagerReg(mode.configure))
 						if err != nil {
 							t.Fatalf("seed %d gc=%s mode %s: %v", seed, cfg.Policy, mode.name, err)
 						}

@@ -105,6 +105,16 @@ func TestAllocsClosureTierExecution(t *testing.T) {
 	checkAllocs(t, "closure tier", 0, run)
 }
 
+// TestAllocsRegTier locks in the register-converted trace tier: after
+// the one-time trace conversion (paid in the warm-up run via the shared
+// Code) and the scratch register file's first growth (pooled with the
+// run scratch), steady-state loop iterations are allocation-free.
+func TestAllocsRegTier(t *testing.T) {
+	e := interp.NewEngine(allocLoopProg(t))
+	run := engineRun(t, e, func(e *interp.Engine) { e.EagerRegTier = true })
+	checkAllocs(t, "register tier", 0, run)
+}
+
 // TestAllocsJitCacheHit locks in the shared-cache hit path: a compiler
 // that resolves a compile request from the cross-run cache must not
 // allocate once its local memo map has been sized.

@@ -41,6 +41,13 @@ type Substrate struct {
 	NoFusion    bool // batch blocks but without superinstruction fusion
 	NoBatching  bool // original per-instruction dispatch only
 	NoClosures  bool // fused switch only, no closure-threaded tier
+	NoRegTier   bool // no register-converted hot-loop traces
+
+	// EagerRegTier builds and enters register traces without any hotness
+	// gate, at every tier including baseline. The equivalence suites and
+	// CI use it to force the register tier over code that would otherwise
+	// stay below the promotion thresholds.
+	EagerRegTier bool
 }
 
 // ProfileLabels, when enabled, wraps every run in a runtime/pprof label
@@ -152,6 +159,8 @@ func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	m.Engine.DisableBatching = spec.Substrate.NoBatching
 	m.Engine.DisableFusion = spec.Substrate.NoFusion
 	m.Engine.DisableClosures = spec.Substrate.NoClosures
+	m.Engine.DisableRegTier = spec.Substrate.NoRegTier
+	m.Engine.EagerRegTier = spec.Substrate.EagerRegTier
 	if !spec.Substrate.NoCodeCache && spec.SharedCode != nil {
 		m.Compiler.UseShared(spec.SharedCode)
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"evolvevm/internal/core"
+	"evolvevm/internal/exec"
 	"evolvevm/internal/programs"
 	"evolvevm/internal/session"
 	"evolvevm/internal/stats"
@@ -41,6 +42,23 @@ type Options struct {
 	// checkpoint/resume (expdriver -checkpoint/-resume). Nil runs with an
 	// ephemeral session.
 	Session *session.Session
+	// Substrate sets the host-performance toggles of every runner the
+	// experiment builds (zero value: everything on). Virtual results are
+	// provably independent of it (the substrate equivalence suites); the
+	// benchmark variant columns use it to measure the host-side effect of
+	// individual tiers on whole experiments.
+	Substrate exec.Substrate
+}
+
+// newRunner builds a runner for b with the experiment's substrate
+// toggles applied.
+func (o Options) newRunner(b *programs.Benchmark) (*Runner, error) {
+	r, err := NewRunner(b, o.corpusFor(b), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Substrate = o.Substrate
+	return r, nil
 }
 
 func (o Options) suite() []*programs.Benchmark {
@@ -90,7 +108,7 @@ func (o Options) runsFor(b *programs.Benchmark) int {
 // first; sync.OnceValues makes that safe and exactly-once.
 func (o Options) sharedRunner(b *programs.Benchmark) func() (*Runner, error) {
 	return sync.OnceValues(func() (*Runner, error) {
-		return NewRunner(b, o.corpusFor(b), o.Seed)
+		return o.newRunner(b)
 	})
 }
 
@@ -368,7 +386,7 @@ func Figure9(ctx context.Context, w io.Writer, opts Options) (map[string][]Fig9P
 		}
 		evKey := unit(p, "evolve/"+name, &evs[i], nil, func(ctx context.Context) (fig9Evolve, error) {
 			var out fig9Evolve
-			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			r, err := opts.newRunner(b)
 			if err != nil {
 				return out, err
 			}
@@ -393,7 +411,7 @@ func Figure9(ctx context.Context, w io.Writer, opts Options) (map[string][]Fig9P
 		// Depends on the evolve unit: the guard's Predicted flags select
 		// which runs execute, and Rep's state evolves per executed run.
 		unit(p, "rep/"+name, &reps[i], []string{evKey}, func(ctx context.Context) ([]float64, error) {
-			r2, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			r2, err := opts.newRunner(b)
 			if err != nil {
 				return nil, err
 			}
@@ -574,7 +592,7 @@ func Overhead(ctx context.Context, w io.Writer, opts Options) ([]OverheadRow, er
 		i, b := i, b
 		unit(p, "evolve/"+b.Name, &rows[i], nil, func(ctx context.Context) (OverheadRow, error) {
 			row := OverheadRow{Program: b.Name}
-			r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+			r, err := opts.newRunner(b)
 			if err != nil {
 				return row, err
 			}
@@ -660,7 +678,7 @@ func Sensitivity(ctx context.Context, w io.Writer, opts Options) ([]SensitivityR
 			th := th
 			unit(p, fmt.Sprintf("threshold/%s/%.1f", name, th), &byTh[i][t], nil,
 				func(ctx context.Context) (stats.FiveNum, error) {
-					r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+					r, err := opts.newRunner(b)
 					if err != nil {
 						return stats.FiveNum{}, err
 					}
@@ -681,7 +699,7 @@ func Sensitivity(ctx context.Context, w io.Writer, opts Options) ([]SensitivityR
 			unit(p, fmt.Sprintf("order/%s/%d", name, o), &byOrder[i][o], nil,
 				func(ctx context.Context) (sensitivityOrder, error) {
 					var out sensitivityOrder
-					r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+					r, err := opts.newRunner(b)
 					if err != nil {
 						return out, err
 					}
@@ -805,7 +823,7 @@ func Ablation(ctx context.Context, w io.Writer, opts Options) ([]AblationResult,
 		arm := func(threshold float64, truncate bool, o int) func(ctx context.Context) (ablationArm, error) {
 			return func(ctx context.Context) (ablationArm, error) {
 				var out ablationArm
-				r, err := NewRunner(b, opts.corpusFor(b), opts.Seed)
+				r, err := opts.newRunner(b)
 				if err != nil {
 					return out, err
 				}

@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"math/rand"
@@ -38,15 +39,18 @@ import (
 // across concurrently executing machines is safe.
 var codeCache = jit.NewCache()
 
-// baselineCache memoizes Default-scenario run outcomes process-wide. A
+// baselineCache memoizes Default-scenario run outcomes process-wide,
+// bounded with LRU eviction at the same capacity as the code cache. A
 // reactive-controller run is a pure function of (benchmark, corpus seed
 // and size, input, jit tier table, gc config) — the substrate switches
 // provably cannot change a virtual observable (internal/difftest), so
 // they stay out of the key. Experiments re-measure the same baselines
 // from freshly built runners constantly (every figure, every benchmark
 // iteration); replaying the memoized outcome removes those redundant
-// host executions without changing a single reported number.
-var baselineCache sync.Map // baselineKey -> *baselineOutcome
+// host executions without changing a single reported number. Eviction
+// is equally unobservable: a re-miss re-runs the deterministic baseline
+// measurement.
+var baselineCache = newBaselineLRU(jit.DefaultCacheCapacity)
 
 type baselineKey struct {
 	bench  string
@@ -64,10 +68,86 @@ type baselineOutcome struct {
 	work   []int64
 }
 
+// baselineLRU is a bounded memo of baseline outcomes with LRU eviction,
+// the same structure as jit.Cache specialized to baselineKey.
+type baselineLRU struct {
+	mu        sync.Mutex // plain Mutex: lookups mutate recency order
+	m         map[baselineKey]*list.Element
+	order     *list.List // front = most recently used
+	capacity  int
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type baselineEntry struct {
+	key baselineKey
+	v   *baselineOutcome
+}
+
+func newBaselineLRU(capacity int) *baselineLRU {
+	return &baselineLRU{
+		m:        make(map[baselineKey]*list.Element),
+		order:    list.New(),
+		capacity: capacity,
+	}
+}
+
+func (c *baselineLRU) load(key baselineKey) (*baselineOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*baselineEntry).v, true
+}
+
+// loadOrStore returns the existing outcome for key when present (marking
+// it most recently used) and otherwise stores v, evicting the least
+// recently used entries beyond capacity.
+func (c *baselineLRU) loadOrStore(key baselineKey, v *baselineOutcome) (*baselineOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*baselineEntry).v, true
+	}
+	c.m[key] = c.order.PushFront(&baselineEntry{key: key, v: v})
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*baselineEntry).key)
+		c.evictions++
+	}
+	return v, false
+}
+
+func (c *baselineLRU) stats() jit.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return jit.CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.m),
+		Capacity:  c.capacity,
+	}
+}
+
 // CodeCacheStats reports the process-wide code cache's counters
 // (diagnostics for benchmark reports).
 func CodeCacheStats() jit.CacheStats {
 	return codeCache.Stats()
+}
+
+// BaselineCacheStats reports the process-wide baseline-outcome cache's
+// counters (diagnostics for benchmark reports).
+func BaselineCacheStats() jit.CacheStats {
+	return baselineCache.stats()
 }
 
 // Scenario selects the optimization controller for a run.
@@ -332,8 +412,8 @@ func (r *Runner) baselineKey(in programs.Input) baselineKey {
 // baseline measures (or replays) the input's Default-scenario outcome.
 func (r *Runner) baseline(ctx context.Context, in programs.Input) (*baselineOutcome, error) {
 	key := r.baselineKey(in)
-	if v, ok := baselineCache.Load(key); ok {
-		return v.(*baselineOutcome), nil
+	if v, ok := baselineCache.load(key); ok {
+		return v, nil
 	}
 	spec := r.spec(in)
 	spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
@@ -346,10 +426,8 @@ func (r *Runner) baseline(ctx context.Context, in programs.Input) (*baselineOutc
 		return nil, err
 	}
 	bl.cycles = out.Cycles
-	if v, loaded := baselineCache.LoadOrStore(key, bl); loaded {
-		return v.(*baselineOutcome), nil
-	}
-	return bl, nil
+	v, _ := baselineCache.loadOrStore(key, bl)
+	return v, nil
 }
 
 // WarmDefaults measures the Default-scenario baseline of every corpus

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
 
@@ -11,14 +12,17 @@ import (
 
 // substrateVariant is one setting of the host-performance toggles.
 type substrateVariant struct {
-	name                                      string
-	noCache, noFusion, noBatching, noClosures bool
+	name                                             string
+	noCache, noFusion, noBatching, noClosures, noReg bool
+	eagerReg                                         bool
 }
 
 var substrateVariants = []substrateVariant{
-	{name: "off", noCache: true, noFusion: true, noBatching: true, noClosures: true},
+	{name: "off", noCache: true, noFusion: true, noBatching: true, noClosures: true, noReg: true},
 	{name: "nofuse", noFusion: true},
 	{name: "noclos", noClosures: true},
+	{name: "noreg", noReg: true},
+	{name: "reg", eagerReg: true},
 	{name: "full"},
 }
 
@@ -32,7 +36,13 @@ func runVariant(t *testing.T, b *programs.Benchmark, scenario Scenario,
 	if err != nil {
 		t.Fatalf("%s: %v", b.Name, err)
 	}
-	r.Substrate = exec.Substrate{NoCodeCache: v.noCache, NoFusion: v.noFusion, NoBatching: v.noBatching, NoClosures: v.noClosures}
+	r.Substrate = exec.Substrate{
+		NoCodeCache: v.noCache, NoFusion: v.noFusion, NoBatching: v.noBatching,
+		NoClosures: v.noClosures, NoRegTier: v.noReg,
+		// The CI soak job force-enables the register tier everywhere it is
+		// not explicitly disabled, mirroring difftest's withEagerReg.
+		EagerRegTier: v.eagerReg || (os.Getenv("EVOLVEVM_EAGER_REGTIER") != "" && !v.noReg && !v.noBatching),
+	}
 	order := r.Order(rand.New(rand.NewSource(seed+7)), runs)
 	results, err := r.RunSequence(testCtx, scenario, order)
 	if err != nil {
@@ -75,9 +85,10 @@ func sameRunResult(t *testing.T, ctx string, ref, got *RunResult) {
 
 // TestSubstrateBenchmarksBitIdentical runs every benchmark of the suite
 // (plus the GC-selection extension) through Default, Rep, and Evolve
-// sequences with the substrate fully off, batching-only, closure-tier
-// disabled, and fully on (hotness-promoted closures included) —
-// cross-run code cache included — and asserts the recorded RunResults
+// sequences with the substrate fully off, fusion disabled, closure-tier
+// disabled, register-tier disabled, register-tier eager, and fully on
+// (hotness-promoted closures and traces included) — cross-run code cache
+// included — and asserts the recorded RunResults
 // are identical field for field. This is the harness-level counterpart
 // of the difftest substrate soak: it covers the real benchmark programs,
 // cross-run learning state, and the speedup bookkeeping.

@@ -115,6 +115,16 @@ type Code struct {
 	// carries its closure program to every later run.
 	closures [2]atomic.Pointer[closPlan]
 
+	// traces caches the register-converted hot-loop traces (trace.go,
+	// regir.go). A single slot: trace conversion reads the raw
+	// instruction stream over the plan's segment geometry, which is
+	// identical with and without superinstruction fusion, so fused and
+	// unfused runs share one trace program. Built once hot, immutable
+	// after, shared across engines and runs exactly like plans and
+	// closures — a Code cached in jit.Cache carries its register plans
+	// to every later run.
+	traces atomic.Pointer[tracePlan]
+
 	// samples counts deterministic sampler ticks attributed to this code
 	// across every engine and run sharing it — the hotness signal that
 	// triggers the closure tier. Host-side only: the count never feeds
@@ -128,6 +138,13 @@ type Code struct {
 // ticks mark genuinely hot code while staying early enough that the
 // threaded form covers most of the remaining execution.
 const ClosureHotSamples = 2
+
+// TraceHotSamples is the sampler-tick threshold after which an optimized
+// Code's loops are register-converted (trace.go). Same threshold as the
+// closure tier: both forms are built at the same promotion point, and a
+// trace additionally proves itself by back-edge arrivals before it runs
+// (traceHotEntries).
+const TraceHotSamples = 2
 
 // noteSample records one sampler tick for hotness tracking.
 func (c *Code) noteSample() { c.samples.Add(1) }
@@ -157,6 +174,28 @@ func (c *Code) closureFor(fuse, eager bool) *closPlan {
 	c.closures[slot].Store(p)
 	return p
 }
+
+// traceFor returns the register-converted trace plan, building it when
+// the code qualifies: eager forces a build at any tier (the equivalence
+// suites use this to cover baseline code too); otherwise the code must
+// be at an optimized level and past the hotness threshold. Concurrent
+// builders race benignly, like planFor.
+func (c *Code) traceFor(eager bool) *tracePlan {
+	if p := c.traces.Load(); p != nil {
+		return p
+	}
+	if !eager && (c.Level < 0 || c.samples.Load() < TraceHotSamples) {
+		return nil
+	}
+	p := buildTracePlan(c)
+	c.traces.Store(p)
+	return p
+}
+
+// TraceReady reports whether a trace plan has been built for this code
+// (diagnostics; cache tests use it to prove register plans travel with
+// cached Codes).
+func (c *Code) TraceReady() bool { return c.traces.Load() != nil }
 
 // planFor returns the execution plan of the code, building it on first
 // use. Concurrent builders race benignly: the build is deterministic, so

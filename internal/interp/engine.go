@@ -105,6 +105,16 @@ type Engine struct {
 	DisableClosures bool
 	EagerClosures   bool
 
+	// DisableRegTier turns off the register-converted trace tier
+	// (trace.go, regir.go): hot loops keep running through closures or
+	// the fused switch. EagerRegTier builds and activates traces for
+	// every executed Code immediately, regardless of level or hotness —
+	// the equivalence suites use it to hold the register tier to bit
+	// identity at every tier from the first instruction. Both host-side
+	// only; virtual results are identical in every combination.
+	DisableRegTier bool
+	EagerRegTier   bool
+
 	Globals     []bytecode.Value
 	Output      []bytecode.Value
 	Cycles      int64
@@ -340,16 +350,17 @@ type frame struct {
 }
 
 // runScratch is the pooled per-run working memory of the evaluator: the
-// locals arena, operand stack, frame stack, and the closure-tier register
-// file. Engines are created (or reset) per run by the thousands during
-// experiments; recycling the arenas makes the steady state allocation-free.
-// Values carry no pointers, so retaining their backing arrays in the pool
-// pins nothing.
+// locals arena, operand stack, frame stack, the closure-tier threading
+// state, and the trace-tier register file. Engines are created (or reset)
+// per run by the thousands during experiments; recycling the arenas makes
+// the steady state allocation-free. Values carry no pointers, so retaining
+// their backing arrays in the pool pins nothing.
 type runScratch struct {
 	locals []bytecode.Value
 	stack  []bytecode.Value
 	frames []frame
 	st     cstate
+	regs   []bytecode.Value
 }
 
 var scratchPool = sync.Pool{
@@ -379,6 +390,8 @@ func (e *Engine) Reset() {
 	e.DisableFusion = false
 	e.DisableClosures = false
 	e.EagerClosures = false
+	e.DisableRegTier = false
+	e.EagerRegTier = false
 	clear(e.Globals)
 	e.Output = e.Output[:0]
 	e.Cycles = 0
@@ -465,7 +478,11 @@ func (e *Engine) Run() (bytecode.Value, error) {
 		cycP := &e.FnCycles[code.FnIdx]
 		var pl *plan
 		var cp *closPlan
+		var tp *tracePlan
 		if !e.DisableBatching {
+			if !e.DisableRegTier {
+				tp = code.traceFor(e.EagerRegTier)
+			}
 			if !e.DisableClosures {
 				cp = code.closureFor(!e.DisableFusion, e.EagerClosures)
 			}
@@ -485,7 +502,29 @@ func (e *Engine) Run() (bytecode.Value, error) {
 				return result, rerr("pc out of range")
 			}
 
-			// Fastest path: the closure-threaded tier. Same segment
+			// Fastest path: the register-converted trace tier. A hot loop
+			// head whose whole next iteration fits the sample window runs
+			// as a register program — locals live in a register file, the
+			// operand stack is untouched, and one batched debit covers the
+			// iteration. Side exits and traps roll back the unexecuted
+			// suffix and land on exactly the accounted loop's state.
+			if tp != nil {
+				if tr := tp.tr[pc]; tr != nil && e.Cycles+tr.cost < e.nextSample &&
+					(e.EagerRegTier || tr.entries.Add(1) >= traceHotEntries) {
+					var npc int
+					var tpc int32
+					var msg string
+					stack, npc, tpc, msg = e.runTrace(tr, sc, locals, lb, stack, workP, cycP)
+					if msg != "" {
+						fr.pc = int(tpc)
+						return result, rerr("%s", msg)
+					}
+					fr.pc = npc
+					continue
+				}
+			}
+
+			// Next: the closure-threaded tier. Same segment
 			// geometry and batched charge as the fused plan below — the
 			// closure program is compiled from it fop for fop — but each
 			// micro-op is a pre-bound closure, so there is no operand
@@ -846,6 +885,9 @@ func (e *Engine) Run() (bytecode.Value, error) {
 					if cp = code.closureFor(!e.DisableFusion, e.EagerClosures); cp != nil {
 						pl = nil
 					}
+				}
+				if tp == nil && !e.DisableBatching && !e.DisableRegTier {
+					tp = code.traceFor(e.EagerRegTier)
 				}
 				if e.Cycles > e.MaxCycles {
 					return result, rerr("cycle limit %d exceeded", e.MaxCycles)

@@ -1,0 +1,836 @@
+package interp
+
+import (
+	"math"
+
+	"evolvevm/internal/bytecode"
+)
+
+// This file implements the register IR of the trace tier (trace.go) and
+// the stack-to-register converter that produces it. A linearized hot-loop
+// body (one iteration of bytecode, discovered over the fusion plan's
+// segment geometry) is abstract-interpreted with a symbolic operand
+// stack: LOADs become register references (copy propagation), pushed
+// immediates and constants stay symbolic until a consumer needs them in a
+// register (constant rematerialization), and pure stack shuffles (DUP,
+// SWAP, POP) compile to nothing. What remains is a short register
+// program over a file that mirrors the frame's locals in its low slots —
+// loop-carried values never touch the operand stack while the trace
+// runs.
+//
+// The conversion refuses anything it cannot prove equivalent and returns
+// nil, degrading that loop to the closure/fused path: ops outside the
+// segment-safe set (which excludes CALL/RET/NEWARR/HALT by plan
+// construction), operand-stack pops below the loop-entry depth or a
+// non-empty symbolic stack at the back edge ("escaping stack depth"),
+// and register or cost overflows.
+//
+// Bit identity is inherited from the same two mechanisms as the fused
+// and closure tiers (fuse.go §comment, DESIGN.md §10): a whole iteration
+// is charged only when it fits inside the current sample window, and
+// every side exit or trap carries the summed charge of the unexecuted
+// instruction suffix so the rollback lands on exactly the ledger state
+// of the per-instruction loop. Register writes are invisible between
+// exits by construction: locals are copied in at trace entry and written
+// back at every exit, and nothing observable (globals, output, heap)
+// is ever reordered or elided — only stack and local traffic is.
+
+// Trace conversion limits.
+const (
+	// traceMaxInstrs caps one linearized iteration.
+	traceMaxInstrs = 256
+	// traceMaxRegs caps the register file: the function's locals plus the
+	// converter's temporaries.
+	traceMaxRegs = 64
+)
+
+// rOp is a register-IR opcode.
+type rOp uint8
+
+const (
+	rLoadI   rOp = iota // regs[d] = Int(a)
+	rLoadC              // regs[d] = Consts[a]
+	rMove               // regs[d] = regs[a]
+	rGLoad              // regs[d] = Globals[a]
+	rGStore             // Globals[a] = regs[b]
+	rInc                // regs[d].I += a (kind-preserving, like IINC)
+	rBin                // regs[d] = Int(intBin(sub, regs[a].I, regs[b].I))
+	rBinI               // regs[d] = Int(intBin(sub, regs[a].I, b))
+	rCmp                // regs[d] = Bool(intCmp(sub, regs[a].I, regs[b].I))
+	rCmpI               // regs[d] = Bool(intCmp(sub, regs[a].I, b))
+	rNeg                // regs[d] = Int(-regs[a].I)
+	rNot                // regs[d] = Int(^regs[a].I)
+	rFBin               // regs[d] = Float(fltBin(sub, regs[a].AsFloat(), regs[b].AsFloat()))
+	rFCmp               // regs[d] = Bool(fltCmp(sub, regs[a].AsFloat(), regs[b].AsFloat()))
+	rFNeg               // regs[d] = Float(-regs[a].AsFloat())
+	rFSqrt              // regs[d] = Float(math.Sqrt(regs[a].AsFloat()))
+	rFAbs               // regs[d] = Float(math.Abs(regs[a].AsFloat()))
+	rI2F                // regs[d] = Float(float64(regs[a].I))
+	rF2I                // regs[d] = Int(int64(regs[a].F))
+	rDivMod             // regs[d] = Int(regs[a].I / or % regs[b].I); trap x on zero
+	rALoad              // regs[d] = Array(regs[a])[regs[b].AsInt()]; trap x
+	rAStore             // Array(regs[a])[regs[b].AsInt()] = regs[d]; trap x
+	rALen               // regs[d] = Int(len(Array(regs[a]))); trap x
+	rPrint              // Output = append(Output, regs[a])
+	rBrTrue             // exit x when regs[a].IsTrue()
+	rBrFalse            // exit x when !regs[a].IsTrue()
+	rBrCmp              // exit x when intCmp(sub, regs[a].I, regs[b].I) == (d != 0)
+	rBrCmpI             // exit x when intCmp(sub, regs[a].I, b) == (d != 0)
+	rBrFCmp             // exit x when fltCmp(sub, regs[a].AsFloat(), regs[b].AsFloat()) == (d != 0)
+)
+
+// rins is one register instruction. d is the destination register except
+// for rAStore (value source), rInc (the incremented local), and the
+// branch-exit ops (the wanted condition sense, 0/1). x indexes the
+// trace's exit table for branches and its trap table for trapping ops.
+type rins struct {
+	op   rOp
+	sub  bytecode.Op // arithmetic/comparison selector for grouped ops
+	d    int32
+	a, b int32
+	x    int32
+}
+
+// rWritesD reports whether op writes regs[d] as a pure result — the set
+// the store peephole may retarget at a local.
+func rWritesD(op rOp) bool {
+	switch op {
+	case rLoadI, rLoadC, rMove, rGLoad, rBin, rBinI, rCmp, rCmpI,
+		rNeg, rNot, rFBin, rFCmp, rFNeg, rFSqrt, rFAbs, rI2F, rF2I,
+		rDivMod, rALoad, rALen:
+		return true
+	}
+	return false
+}
+
+// rpush is one value the engine must push onto the real operand stack
+// when a side exit fires: a register's current value, a rematerialized
+// immediate, or a constant-pool entry. kind uses the symKind numbering.
+type rpush struct {
+	kind uint8
+	v    int32
+}
+
+// rexit is one side exit: the off-trace resume pc plus the suffix
+// rollback (summed Cost/Base of the linearized instructions after the
+// branch) and the symbolic stack to rematerialize.
+type rexit struct {
+	pc, rem, remBase int32
+	push             []rpush
+}
+
+// rtrap is the rollback record of one trapping instruction: suffix
+// charges and the successor pc the accounted loop would report.
+type rtrap struct {
+	rem, remBase, tpc int32
+}
+
+// fltBin applies a float binop, mirroring the accounted interpreter.
+func fltBin(op bytecode.Op, a, b float64) float64 {
+	switch op {
+	case bytecode.FADD:
+		return a + b
+	case bytecode.FSUB:
+		return a - b
+	case bytecode.FMUL:
+		return a * b
+	default: // FDIV
+		return a / b
+	}
+}
+
+// fltCmp applies a float comparison, mirroring the accounted interpreter.
+func fltCmp(op bytecode.Op, a, b float64) bool {
+	switch op {
+	case bytecode.FEQ:
+		return a == b
+	case bytecode.FNE:
+		return a != b
+	case bytecode.FLT:
+		return a < b
+	case bytecode.FLE:
+		return a <= b
+	case bytecode.FGT:
+		return a > b
+	default: // FGE
+		return a >= b
+	}
+}
+
+// symKind classifies a symbolic stack slot.
+type symKind uint8
+
+const (
+	symReg   symKind = iota // a register (local or temp) holds the value
+	symImm                  // an int32 immediate, not yet materialized
+	symConst                // a constant-pool entry, not yet materialized
+)
+
+// sym is one slot of the converter's symbolic operand stack.
+type sym struct {
+	k symKind
+	v int32
+}
+
+// rconv is the conversion state for one trace.
+type rconv struct {
+	c            *Code
+	head         int
+	pcs          []int   // linearized instruction pcs, one iteration
+	suf, sufBase []int32 // suffix charge sums over pcs (len(pcs)+1)
+
+	ins   []rins
+	exits []rexit
+	traps []rtrap
+
+	stk   []sym
+	nloc  int
+	nregs int
+	ref   []int16 // per-register refcount; slots < nloc are locals (untracked)
+}
+
+// convertTrace compiles one linearized loop iteration into a trace, or
+// nil when any instruction defeats the conversion.
+func convertTrace(c *Code, head int, pcs []int) *trace {
+	if c.NLocals >= traceMaxRegs {
+		return nil
+	}
+	n := len(pcs)
+	cv := &rconv{
+		c:       c,
+		head:    head,
+		pcs:     pcs,
+		suf:     make([]int32, n+1),
+		sufBase: make([]int32, n+1),
+		nloc:    c.NLocals,
+		nregs:   c.NLocals,
+		ref:     make([]int16, c.NLocals),
+	}
+	var cost, base int64
+	for k := n - 1; k >= 0; k-- {
+		cost += c.Cost[pcs[k]]
+		base += c.Base[pcs[k]]
+		if cost > math.MaxInt32 {
+			return nil
+		}
+		cv.suf[k] = cv.suf[k+1] + int32(c.Cost[pcs[k]])
+		cv.sufBase[k] = cv.sufBase[k+1] + int32(c.Base[pcs[k]])
+	}
+	for i := 0; i < n; i++ {
+		if !cv.instr(i) {
+			return nil
+		}
+	}
+	if len(cv.stk) != 0 {
+		return nil // iteration not stack-neutral: escaping stack depth
+	}
+	t := &trace{
+		head:   int32(head),
+		cost:   cost,
+		base:   base,
+		nloc:   int32(cv.nloc),
+		nregs:  int32(cv.nregs),
+		consts: c.Consts,
+		ins:    cv.ins,
+		exits:  cv.exits,
+		traps:  cv.traps,
+	}
+	return t
+}
+
+func (cv *rconv) emit(in rins) { cv.ins = append(cv.ins, in) }
+
+func (cv *rconv) push(s sym) { cv.stk = append(cv.stk, s) }
+
+// pop takes the top symbolic slot; failure means the instruction would
+// consume a value pushed before the loop was entered.
+func (cv *rconv) pop() (sym, bool) {
+	if len(cv.stk) == 0 {
+		return sym{}, false
+	}
+	s := cv.stk[len(cv.stk)-1]
+	cv.stk = cv.stk[:len(cv.stk)-1]
+	return s, true
+}
+
+// alloc claims a free temporary register (refcount 1), or -1 when the
+// file is full.
+func (cv *rconv) alloc() int32 {
+	for i := cv.nloc; i < cv.nregs; i++ {
+		if cv.ref[i] == 0 {
+			cv.ref[i] = 1
+			return int32(i)
+		}
+	}
+	if cv.nregs >= traceMaxRegs {
+		return -1
+	}
+	cv.ref = append(cv.ref, 1)
+	cv.nregs++
+	return int32(cv.nregs - 1)
+}
+
+func (cv *rconv) retain(r int32) {
+	if int(r) >= cv.nloc {
+		cv.ref[r]++
+	}
+}
+
+func (cv *rconv) release(r int32) {
+	if int(r) >= cv.nloc {
+		cv.ref[r]--
+	}
+}
+
+func (cv *rconv) releaseSym(s sym) {
+	if s.k == symReg {
+		cv.release(s.v)
+	}
+}
+
+// use returns a register holding s, materializing immediates and
+// constants into a fresh temp. The caller releases the returned register
+// after emitting its consumer (a no-op for locals; for temps this drops
+// either the symbolic stack's reference or the materialization's).
+func (cv *rconv) use(s sym) int32 {
+	switch s.k {
+	case symReg:
+		return s.v
+	case symImm:
+		d := cv.alloc()
+		if d >= 0 {
+			cv.emit(rins{op: rLoadI, d: d, a: s.v})
+		}
+		return d
+	default:
+		d := cv.alloc()
+		if d >= 0 {
+			cv.emit(rins{op: rLoadC, d: d, a: s.v})
+		}
+		return d
+	}
+}
+
+// immVal extracts the int64 the accounted interpreter would read from
+// s's .I field, for constant folding and reg-imm forms.
+func (cv *rconv) immVal(s sym) (int64, bool) {
+	switch s.k {
+	case symImm:
+		return int64(s.v), true
+	case symConst:
+		return cv.c.Consts[s.v].I, true
+	}
+	return 0, false
+}
+
+// spillLocal rewrites symbolic stack slots that reference local k into a
+// fresh temp holding its current value — required before any write to k
+// so earlier LOADs keep observing the pre-write value.
+func (cv *rconv) spillLocal(k int32) bool {
+	t := int32(-1)
+	for j := range cv.stk {
+		if cv.stk[j].k == symReg && cv.stk[j].v == k {
+			if t < 0 {
+				if t = cv.alloc(); t < 0 {
+					return false
+				}
+				cv.emit(rins{op: rMove, d: t, a: k})
+			} else {
+				cv.retain(t)
+			}
+			cv.stk[j] = sym{k: symReg, v: t}
+		}
+	}
+	return true
+}
+
+// store compiles "local k = v". When v is a dead temp produced by the
+// immediately preceding instruction, that instruction is retargeted at k
+// and the move disappears (safe: spillLocal already ran, so no live
+// symbolic slot reads k, and no instruction was emitted after the
+// producer).
+func (cv *rconv) store(k int32, v sym) {
+	switch v.k {
+	case symImm:
+		cv.emit(rins{op: rLoadI, d: k, a: v.v})
+	case symConst:
+		cv.emit(rins{op: rLoadC, d: k, a: v.v})
+	default:
+		if int(v.v) >= cv.nloc {
+			cv.release(v.v)
+			if cv.ref[v.v] == 0 && len(cv.ins) > 0 {
+				if last := &cv.ins[len(cv.ins)-1]; last.d == v.v && rWritesD(last.op) {
+					last.d = k
+					return
+				}
+			}
+			cv.emit(rins{op: rMove, d: k, a: v.v})
+			return
+		}
+		if v.v != k {
+			cv.emit(rins{op: rMove, d: k, a: v.v})
+		}
+	}
+}
+
+// addExit records a side exit at linearized position i resuming at
+// target, snapshotting the symbolic stack (condition already popped) for
+// rematerialization.
+func (cv *rconv) addExit(i, target int) int32 {
+	var push []rpush
+	if len(cv.stk) > 0 {
+		push = make([]rpush, len(cv.stk))
+		for j, s := range cv.stk {
+			push[j] = rpush{kind: uint8(s.k), v: s.v}
+		}
+	}
+	cv.exits = append(cv.exits, rexit{
+		pc:      int32(target),
+		rem:     cv.suf[i+1],
+		remBase: cv.sufBase[i+1],
+		push:    push,
+	})
+	return int32(len(cv.exits) - 1)
+}
+
+// addTrap records the rollback data of a trapping instruction at
+// linearized position i.
+func (cv *rconv) addTrap(i int) int32 {
+	cv.traps = append(cv.traps, rtrap{
+		rem:     cv.suf[i+1],
+		remBase: cv.sufBase[i+1],
+		tpc:     int32(cv.pcs[i] + 1),
+	})
+	return int32(len(cv.traps) - 1)
+}
+
+// instr converts the instruction at linearized position i; false aborts
+// the trace.
+func (cv *rconv) instr(i int) bool {
+	pc := cv.pcs[i]
+	in := cv.c.Instrs[pc]
+	switch in.Op {
+	case bytecode.NOP:
+
+	case bytecode.IPUSH:
+		cv.push(sym{k: symImm, v: in.A})
+	case bytecode.CONST:
+		cv.push(sym{k: symConst, v: in.A})
+	case bytecode.LOAD:
+		cv.push(sym{k: symReg, v: in.A})
+
+	case bytecode.STORE:
+		v, ok := cv.pop()
+		if !ok || !cv.spillLocal(in.A) {
+			return false
+		}
+		cv.store(in.A, v)
+
+	case bytecode.GLOAD:
+		// Globals are mutable under the trace's own GSTOREs, so a global
+		// read materializes immediately instead of staying symbolic.
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		cv.emit(rins{op: rGLoad, d: d, a: in.A})
+		cv.push(sym{k: symReg, v: d})
+	case bytecode.GSTORE:
+		v, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		r := cv.use(v)
+		if r < 0 {
+			return false
+		}
+		cv.emit(rins{op: rGStore, a: in.A, b: r})
+		cv.release(r)
+
+	case bytecode.IINC:
+		if !cv.spillLocal(in.A) {
+			return false
+		}
+		cv.emit(rins{op: rInc, d: in.A, a: in.B})
+
+	case bytecode.POP:
+		v, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		cv.releaseSym(v)
+	case bytecode.DUP:
+		if len(cv.stk) == 0 {
+			return false
+		}
+		s := cv.stk[len(cv.stk)-1]
+		if s.k == symReg {
+			cv.retain(s.v)
+		}
+		cv.push(s)
+	case bytecode.SWAP:
+		n := len(cv.stk)
+		if n < 2 {
+			return false
+		}
+		cv.stk[n-1], cv.stk[n-2] = cv.stk[n-2], cv.stk[n-1]
+
+	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IAND,
+		bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR:
+		b, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		a, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		av, aImm := cv.immVal(a)
+		bv, bImm := cv.immVal(b)
+		if aImm && bImm {
+			if r := intBin(in.Op, av, bv); r >= math.MinInt32 && r <= math.MaxInt32 {
+				cv.push(sym{k: symImm, v: int32(r)})
+				return true
+			}
+		}
+		if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
+			ra := cv.use(a)
+			if ra < 0 {
+				return false
+			}
+			cv.release(ra)
+			d := cv.alloc()
+			if d < 0 {
+				return false
+			}
+			cv.emit(rins{op: rBinI, sub: in.Op, d: d, a: ra, b: int32(bv)})
+			cv.push(sym{k: symReg, v: d})
+			return true
+		}
+		ra := cv.use(a)
+		rb := cv.use(b)
+		if ra < 0 || rb < 0 {
+			return false
+		}
+		cv.release(ra)
+		cv.release(rb)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		cv.emit(rins{op: rBin, sub: in.Op, d: d, a: ra, b: rb})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
+		bytecode.IGT, bytecode.IGE:
+		b, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		a, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		av, aImm := cv.immVal(a)
+		bv, bImm := cv.immVal(b)
+		if aImm && bImm {
+			// Bool() is Int(0/1), so the fold stays an integer immediate.
+			r := int32(0)
+			if intCmp(in.Op, av, bv) {
+				r = 1
+			}
+			cv.push(sym{k: symImm, v: r})
+			return true
+		}
+		if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
+			ra := cv.use(a)
+			if ra < 0 {
+				return false
+			}
+			cv.release(ra)
+			d := cv.alloc()
+			if d < 0 {
+				return false
+			}
+			cv.emit(rins{op: rCmpI, sub: in.Op, d: d, a: ra, b: int32(bv)})
+			cv.push(sym{k: symReg, v: d})
+			return true
+		}
+		ra := cv.use(a)
+		rb := cv.use(b)
+		if ra < 0 || rb < 0 {
+			return false
+		}
+		cv.release(ra)
+		cv.release(rb)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		cv.emit(rins{op: rCmp, sub: in.Op, d: d, a: ra, b: rb})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.INEG, bytecode.INOT:
+		v, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		if iv, isImm := cv.immVal(v); isImm {
+			r := -iv
+			if in.Op == bytecode.INOT {
+				r = ^iv
+			}
+			if r >= math.MinInt32 && r <= math.MaxInt32 {
+				cv.push(sym{k: symImm, v: int32(r)})
+				return true
+			}
+		}
+		rv := cv.use(v)
+		if rv < 0 {
+			return false
+		}
+		cv.release(rv)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		op := rNeg
+		if in.Op == bytecode.INOT {
+			op = rNot
+		}
+		cv.emit(rins{op: op, d: d, a: rv})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV,
+		bytecode.FEQ, bytecode.FNE, bytecode.FLT, bytecode.FLE,
+		bytecode.FGT, bytecode.FGE:
+		b, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		a, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		ra := cv.use(a)
+		rb := cv.use(b)
+		if ra < 0 || rb < 0 {
+			return false
+		}
+		cv.release(ra)
+		cv.release(rb)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		op := rFBin
+		switch in.Op {
+		case bytecode.FEQ, bytecode.FNE, bytecode.FLT, bytecode.FLE,
+			bytecode.FGT, bytecode.FGE:
+			op = rFCmp
+		}
+		cv.emit(rins{op: op, sub: in.Op, d: d, a: ra, b: rb})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.FNEG, bytecode.FSQRT, bytecode.FABS, bytecode.I2F, bytecode.F2I:
+		v, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		rv := cv.use(v)
+		if rv < 0 {
+			return false
+		}
+		cv.release(rv)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		var op rOp
+		switch in.Op {
+		case bytecode.FNEG:
+			op = rFNeg
+		case bytecode.FSQRT:
+			op = rFSqrt
+		case bytecode.FABS:
+			op = rFAbs
+		case bytecode.I2F:
+			op = rI2F
+		default:
+			op = rF2I
+		}
+		cv.emit(rins{op: op, d: d, a: rv})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.IDIV, bytecode.IMOD:
+		b, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		a, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		ra := cv.use(a)
+		rb := cv.use(b)
+		if ra < 0 || rb < 0 {
+			return false
+		}
+		cv.release(ra)
+		cv.release(rb)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		cv.emit(rins{op: rDivMod, sub: in.Op, d: d, a: ra, b: rb, x: cv.addTrap(i)})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.ALOAD:
+		idx, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		ref, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		rr := cv.use(ref)
+		ri := cv.use(idx)
+		if rr < 0 || ri < 0 {
+			return false
+		}
+		cv.release(rr)
+		cv.release(ri)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		cv.emit(rins{op: rALoad, d: d, a: rr, b: ri, x: cv.addTrap(i)})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.ASTORE:
+		val, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		idx, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		ref, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		rr := cv.use(ref)
+		ri := cv.use(idx)
+		rv := cv.use(val)
+		if rr < 0 || ri < 0 || rv < 0 {
+			return false
+		}
+		cv.emit(rins{op: rAStore, d: rv, a: rr, b: ri, x: cv.addTrap(i)})
+		cv.release(rr)
+		cv.release(ri)
+		cv.release(rv)
+
+	case bytecode.ALEN:
+		ref, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		rr := cv.use(ref)
+		if rr < 0 {
+			return false
+		}
+		cv.release(rr)
+		d := cv.alloc()
+		if d < 0 {
+			return false
+		}
+		cv.emit(rins{op: rALen, d: d, a: rr, x: cv.addTrap(i)})
+		cv.push(sym{k: symReg, v: d})
+
+	case bytecode.PRINT:
+		v, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		r := cv.use(v)
+		if r < 0 {
+			return false
+		}
+		cv.emit(rins{op: rPrint, a: r})
+		cv.release(r)
+
+	case bytecode.JMP:
+		// Control flow is already encoded in the linearization: a closing
+		// JMP loops, a non-closing one falls through to pcs[i+1].
+
+	case bytecode.JZ, bytecode.JNZ:
+		v, ok := cv.pop()
+		if !ok {
+			return false
+		}
+		// Where does the off-trace edge go, and on which branch sense?
+		// Non-closing branches (and a closing branch whose fall-through
+		// is the head) exit when taken; a closing branch whose taken
+		// target is the head exits when not taken, at the fall-through.
+		closing := i == len(cv.pcs)-1
+		exitWhenTaken := true
+		exitPC := int(in.A)
+		if closing && int(in.A) == cv.head {
+			exitWhenTaken = false
+			exitPC = pc + 1
+		}
+		wantTrue := exitWhenTaken // JNZ is taken on IsTrue
+		if in.Op == bytecode.JZ {
+			wantTrue = !exitWhenTaken
+		}
+		if v.k != symReg {
+			// Statically known condition: a branch that never exits
+			// compiles to nothing; one that always exits means the loop
+			// never completes an iteration, so the trace is useless.
+			t := v.v != 0
+			if v.k == symConst {
+				t = cv.c.Consts[v.v].IsTrue()
+			}
+			return t != wantTrue
+		}
+		x := cv.addExit(i, exitPC)
+		want := int32(0)
+		if wantTrue {
+			want = 1
+		}
+		if int(v.v) >= cv.nloc {
+			cv.release(v.v)
+			if cv.ref[v.v] == 0 && len(cv.ins) > 0 {
+				// Compare-and-branch fusion: fold a dead, just-emitted
+				// comparison into the exit test itself.
+				if last := &cv.ins[len(cv.ins)-1]; last.d == v.v {
+					switch last.op {
+					case rCmp:
+						*last = rins{op: rBrCmp, sub: last.sub, d: want, a: last.a, b: last.b, x: x}
+						return true
+					case rCmpI:
+						*last = rins{op: rBrCmpI, sub: last.sub, d: want, a: last.a, b: last.b, x: x}
+						return true
+					case rFCmp:
+						*last = rins{op: rBrFCmp, sub: last.sub, d: want, a: last.a, b: last.b, x: x}
+						return true
+					}
+				}
+			}
+		}
+		op := rBrFalse
+		if wantTrue {
+			op = rBrTrue
+		}
+		cv.emit(rins{op: op, a: v.v, x: x})
+
+	default:
+		// CALL, RET, NEWARR, HALT and anything unknown never reach here —
+		// the linearization only walks plan segments — but degrade rather
+		// than miscompile if they ever do.
+		return false
+	}
+	return true
+}

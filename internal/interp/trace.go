@@ -1,0 +1,317 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/opt"
+)
+
+// This file implements the trace tier, the fourth host tier: hot loop
+// bodies run as register programs (regir.go) instead of stack programs.
+// A trace anchors at a loop head from opt.Loops and linearizes the hot
+// path through the fusion plan's segment geometry — following
+// fall-throughs and unconditional jumps, recording a side exit at every
+// conditional branch — until the path closes back at the head. One
+// iteration becomes one register program; the engine runs it in a flat
+// loop that charges the whole iteration in a single batched debit.
+//
+// Bit identity follows the same two-part argument as the fused and
+// closure tiers (fuse.go, closure.go): an iteration is entered only when
+// its full charge fits inside the current sample window, so no sampler
+// tick, cycle-fuse check, or interrupt poll can fall inside it; and
+// every side exit and trap subtracts the summed charge of the
+// not-yet-executed suffix, landing on exactly the ledger state, stack,
+// locals, and pc of the per-instruction loop. Loops the converter cannot
+// express (calls, allocation, escaping stack depth, too large) simply
+// never get a trace and keep running on the closure/fused path —
+// per-loop degradation, never a virtual difference.
+//
+// Trace activation is two-staged and deterministic on the host side:
+// the Code must be hot by sampler count (TraceHotSamples, like the
+// closure tier), and then each individual loop must prove itself by
+// back-edge arrivals (traceHotEntries) before its register program runs.
+// Engine.EagerRegTier short-circuits both gates for the equivalence
+// suites. Neither gate feeds back into any virtual observable.
+
+// traceHotEntries is the per-trace back-edge arrival count after which a
+// built trace starts executing. Arrivals are counted only when the
+// iteration would fit the sample window, so the counter tracks genuine
+// execution opportunities.
+const traceHotEntries = 4
+
+// trace is the compiled register program of one hot loop: one iteration
+// of straight-line register instructions, its batched charge, the side
+// exits back to bytecode, and the trap rollback table.
+type trace struct {
+	head   int32
+	cost   int64 // summed Cost of one iteration (the batched debit)
+	base   int64 // summed Base of one iteration
+	nloc   int32 // locals mirrored in regs[0:nloc]
+	nregs  int32 // full register file size (locals + temps)
+	consts []bytecode.Value
+	ins    []rins
+	exits  []rexit
+	traps  []rtrap
+
+	// entries counts hot-loop arrivals across every engine sharing the
+	// Code (host-side only; the gate for traceHotEntries).
+	entries atomic.Int64
+}
+
+// tracePlan indexes traces by loop-head pc; tr[pc] is nil when no
+// convertible loop starts at pc.
+type tracePlan struct {
+	tr []*trace
+}
+
+// buildTracePlan discovers and converts every traceable loop of the
+// code. Geometry comes from the fused plan slot: segmentation is
+// identical with and without superinstruction fusion (only the
+// micro-programs differ), so fused and unfused runs share one trace
+// program per Code.
+func buildTracePlan(c *Code) *tracePlan {
+	tp := &tracePlan{tr: make([]*trace, len(c.Instrs))}
+	p := c.planFor(true)
+	tried := make(map[int]bool)
+	for _, lp := range opt.Loops(c.Instrs) {
+		if lp.Head >= len(tp.tr) || tried[lp.Head] {
+			continue
+		}
+		tried[lp.Head] = true
+		if pcs := linearizeTrace(c, p, lp.Head); pcs != nil {
+			tp.tr[lp.Head] = convertTrace(c, lp.Head, pcs)
+		}
+	}
+	return tp
+}
+
+// linearizeTrace walks plan segments from the loop head, linearizing the
+// fall-through/unconditional path of one iteration. It returns the pcs
+// of the iteration's instructions in execution order, or nil when the
+// loop is untraceable: a needed pc has no batchable segment (covers
+// CALL/RET/NEWARR/HALT and cold glue code), the walk revisits a segment
+// without passing the head (an inner loop's back edge — the inner loop
+// earns its own trace instead), or the iteration exceeds the size cap.
+func linearizeTrace(c *Code, p *plan, head int) []int {
+	var pcs []int
+	seen := make(map[int]bool)
+	cur := head
+	for {
+		if cur < 0 || cur >= len(p.seg) || seen[cur] {
+			return nil
+		}
+		s := p.seg[cur]
+		if s == nil {
+			return nil
+		}
+		seen[cur] = true
+		end := int(s.end)
+		for pc := cur; pc < end; pc++ {
+			pcs = append(pcs, pc)
+		}
+		if len(pcs) > traceMaxInstrs {
+			return nil
+		}
+		switch in := c.Instrs[end-1]; in.Op {
+		case bytecode.JMP:
+			if int(in.A) == head {
+				return pcs // the back edge: iteration closed
+			}
+			cur = int(in.A)
+		case bytecode.JZ, bytecode.JNZ:
+			if int(in.A) == head || end == head {
+				return pcs // conditional back edge (either sense)
+			}
+			cur = end // stay on trace through the fall-through
+		default:
+			if end == head {
+				return pcs // fall-through back into the head
+			}
+			cur = end
+		}
+	}
+}
+
+// runTrace executes iterations of tr until the next one would not fit
+// the sample window (normal return at the head), a side exit fires, or
+// a trap fires. The caller has already verified the first iteration
+// fits and charged nothing; every path out of this function leaves the
+// engine's ledgers, locals, operand stack, and resume pc bit-identical
+// to the per-instruction loop's.
+//
+// Returns the (possibly grown) operand stack, the resume pc, and — for
+// traps only — the trap's successor pc and message (msg == "" means no
+// trap).
+func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64) ([]bytecode.Value, int, int32, string) {
+	if cap(sc.regs) < int(tr.nregs) {
+		sc.regs = make([]bytecode.Value, tr.nregs)
+	}
+	regs := sc.regs[:tr.nregs]
+	nloc := int(tr.nloc)
+	copy(regs[:nloc], locals[lb:lb+nloc])
+
+	for {
+		// One batched debit per iteration; exits and traps roll back the
+		// unexecuted suffix below.
+		e.Cycles += tr.cost
+		*workP += tr.base
+		*cycP += tr.cost
+
+		for i := range tr.ins {
+			in := &tr.ins[i]
+			switch in.op {
+			case rLoadI:
+				regs[in.d] = bytecode.Int(int64(in.a))
+			case rLoadC:
+				regs[in.d] = tr.consts[in.a]
+			case rMove:
+				regs[in.d] = regs[in.a]
+			case rGLoad:
+				regs[in.d] = e.Globals[in.a]
+			case rGStore:
+				e.Globals[in.a] = regs[in.b]
+			case rInc:
+				regs[in.d].I += int64(in.a)
+			case rBin:
+				regs[in.d] = bytecode.Int(intBin(in.sub, regs[in.a].I, regs[in.b].I))
+			case rBinI:
+				regs[in.d] = bytecode.Int(intBin(in.sub, regs[in.a].I, int64(in.b)))
+			case rCmp:
+				regs[in.d] = bytecode.Bool(intCmp(in.sub, regs[in.a].I, regs[in.b].I))
+			case rCmpI:
+				regs[in.d] = bytecode.Bool(intCmp(in.sub, regs[in.a].I, int64(in.b)))
+			case rNeg:
+				regs[in.d] = bytecode.Int(-regs[in.a].I)
+			case rNot:
+				regs[in.d] = bytecode.Int(^regs[in.a].I)
+			case rFBin:
+				regs[in.d] = bytecode.Float(fltBin(in.sub, regs[in.a].AsFloat(), regs[in.b].AsFloat()))
+			case rFCmp:
+				regs[in.d] = bytecode.Bool(fltCmp(in.sub, regs[in.a].AsFloat(), regs[in.b].AsFloat()))
+			case rFNeg:
+				regs[in.d] = bytecode.Float(-regs[in.a].AsFloat())
+			case rFSqrt:
+				regs[in.d] = bytecode.Float(math.Sqrt(regs[in.a].AsFloat()))
+			case rFAbs:
+				regs[in.d] = bytecode.Float(math.Abs(regs[in.a].AsFloat()))
+			case rI2F:
+				regs[in.d] = bytecode.Float(float64(regs[in.a].I))
+			case rF2I:
+				regs[in.d] = bytecode.Int(int64(regs[in.a].F))
+			case rDivMod:
+				y := regs[in.b].I
+				if y == 0 {
+					msg := "integer division by zero"
+					if in.sub == bytecode.IMOD {
+						msg = "integer modulo by zero"
+					}
+					return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP, msg)
+				}
+				if in.sub == bytecode.IDIV {
+					regs[in.d] = bytecode.Int(regs[in.a].I / y)
+				} else {
+					regs[in.d] = bytecode.Int(regs[in.a].I % y)
+				}
+			case rALoad:
+				arr, aerr := e.Array(regs[in.a])
+				if aerr == nil {
+					idx := regs[in.b].AsInt()
+					if idx >= 0 && idx < int64(len(arr)) {
+						regs[in.d] = arr[idx]
+						break
+					}
+					aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+				}
+				return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP,
+					fmt.Sprintf("aload: %v", aerr))
+			case rAStore:
+				arr, aerr := e.Array(regs[in.a])
+				if aerr == nil {
+					idx := regs[in.b].AsInt()
+					if idx >= 0 && idx < int64(len(arr)) {
+						arr[idx] = regs[in.d]
+						break
+					}
+					aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+				}
+				return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP,
+					fmt.Sprintf("astore: %v", aerr))
+			case rALen:
+				arr, aerr := e.Array(regs[in.a])
+				if aerr != nil {
+					return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP,
+						fmt.Sprintf("alen: %v", aerr))
+				}
+				regs[in.d] = bytecode.Int(int64(len(arr)))
+			case rPrint:
+				e.Output = append(e.Output, regs[in.a])
+			case rBrTrue:
+				if regs[in.a].IsTrue() {
+					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+				}
+			case rBrFalse:
+				if !regs[in.a].IsTrue() {
+					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+				}
+			case rBrCmp:
+				if intCmp(in.sub, regs[in.a].I, regs[in.b].I) == (in.d != 0) {
+					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+				}
+			case rBrCmpI:
+				if intCmp(in.sub, regs[in.a].I, int64(in.b)) == (in.d != 0) {
+					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+				}
+			case rBrFCmp:
+				if fltCmp(in.sub, regs[in.a].AsFloat(), regs[in.b].AsFloat()) == (in.d != 0) {
+					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+				}
+			}
+		}
+
+		// Back at the head. Loop only while the next full iteration still
+		// fits the sample window; otherwise hand back to the engine loop,
+		// which crosses the boundary on the accounted path exactly as the
+		// other tiers do.
+		if e.Cycles+tr.cost >= e.nextSample {
+			copy(locals[lb:lb+nloc], regs[:nloc])
+			return stack, int(tr.head), 0, ""
+		}
+	}
+}
+
+// traceLeave takes side exit x: roll back the unexecuted suffix, write
+// the register file back to the locals, and rematerialize the symbolic
+// operand stack, resuming at the exit's bytecode pc.
+func (e *Engine) traceLeave(tr *trace, x int32, regs, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64) ([]bytecode.Value, int, int32, string) {
+	ex := &tr.exits[x]
+	e.Cycles -= int64(ex.rem)
+	*workP -= int64(ex.remBase)
+	*cycP -= int64(ex.rem)
+	copy(locals[lb:lb+int(tr.nloc)], regs[:tr.nloc])
+	for _, p := range ex.push {
+		switch symKind(p.kind) {
+		case symReg:
+			stack = append(stack, regs[p.v])
+		case symImm:
+			stack = append(stack, bytecode.Int(int64(p.v)))
+		default:
+			stack = append(stack, tr.consts[p.v])
+		}
+	}
+	return stack, int(ex.pc), 0, ""
+}
+
+// traceTrap aborts the run at trap x: same suffix rollback and local
+// write-back as a side exit, then the trap surfaces at the successor pc
+// with the message the accounted loop would produce.
+func (e *Engine) traceTrap(tr *trace, x int32, regs, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64, msg string) ([]bytecode.Value, int, int32, string) {
+	t := &tr.traps[x]
+	e.Cycles -= int64(t.rem)
+	*workP -= int64(t.remBase)
+	*cycP -= int64(t.rem)
+	copy(locals[lb:lb+int(tr.nloc)], regs[:tr.nloc])
+	return stack, 0, t.tpc, msg
+}

@@ -39,8 +39,12 @@ type CacheStats struct {
 // (stored alongside the code); only the host-side optimization work is
 // reused. interp.Code is immutable after construction, so one form may
 // be executed by many engines — including concurrently running ones —
-// without copying. Eviction likewise cannot change virtual results: a
-// re-miss merely re-runs the host-side optimizer, which is deterministic.
+// without copying. The host execution plans a form accumulates (fused
+// segments, closure programs, register-converted loop traces) live on
+// the Code itself, so a cache hit hands later runs an already-warmed
+// form — one conversion serves every subsequent run of the same code.
+// Eviction likewise cannot change virtual results: a re-miss merely
+// re-runs the host-side optimizer, which is deterministic.
 type Cache struct {
 	mu        sync.Mutex // plain Mutex: lookups mutate recency order
 	m         map[CacheKey]*list.Element

@@ -3,6 +3,9 @@ package jit
 import (
 	"sync"
 	"testing"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/interp"
 )
 
 func key(i int) CacheKey {
@@ -111,5 +114,65 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s := c.Stats(); s.Entries > 32 {
 		t.Errorf("entries = %d exceeds capacity under concurrency", s.Entries)
+	}
+}
+
+// TestCacheCarriesTracePlans proves that host-side execution plans built
+// on a cached Code travel with it: a run that register-converts the hot
+// loop leaves the trace plan on the interp.Code stored in the shared
+// cache, so every later run resolving the same key starts with the
+// register tier already built — the cross-run analogue of the closure
+// plans the cache has always carried.
+func TestCacheCarriesTracePlans(t *testing.T) {
+	prog := testProg(t)
+	shared := NewCache()
+	c1 := NewCompiler(prog, Config{})
+	c1.UseShared(shared)
+	hotIdx, ok := prog.FuncIndex("hot")
+	if !ok {
+		t.Fatal("no hot function")
+	}
+	code, _, err := c1.Compile(hotIdx, MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.TraceReady() {
+		t.Fatal("fresh compile already had a trace plan")
+	}
+
+	// Execute the form with the register tier forced on; the run converts
+	// the loop and stores the plan on the shared Code.
+	e := interp.NewEngine(prog)
+	e.EagerRegTier = true
+	base := e.Provider
+	e.Provider = func(fn int) *interp.Code {
+		if fn == hotIdx {
+			return code
+		}
+		return base(fn)
+	}
+	if err := e.SetGlobal("n", bytecode.Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !code.TraceReady() {
+		t.Fatal("run with EagerRegTier built no trace plan")
+	}
+
+	// A second compiler resolving from the shared cache receives the same
+	// form, register plans included.
+	c2 := NewCompiler(prog, Config{})
+	c2.UseShared(shared)
+	code2, _, err := c2.Compile(hotIdx, MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code2 != code {
+		t.Fatal("shared cache returned a different code form")
+	}
+	if !code2.TraceReady() {
+		t.Fatal("cached form lost its trace plan")
 	}
 }

@@ -1,0 +1,7 @@
+package opt
+
+// Test-only bridge: the tests live in package opt_test (they exercise the
+// interpreter, which now imports this package, so an in-package test would
+// create an import cycle in the test binary). Re-export the few unexported
+// hooks they assert on.
+var Inlinable = inlinable

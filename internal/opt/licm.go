@@ -33,8 +33,6 @@ func LICM(_ *bytecode.Program, f *bytecode.Function) bool {
 	return changed
 }
 
-type loopRegion struct{ h, e int }
-
 // trapEffectFree reports that an opcode can neither trap nor produce an
 // observable effect (output, global/heap writes, allocation, calls), so a
 // hoisted trap may move above it without changing observable behaviour.
@@ -50,33 +48,8 @@ func trapEffectFree(op bytecode.Op) bool {
 	return true
 }
 
-// findLoops returns single-entry backward-jump regions, innermost first.
-func findLoops(f *bytecode.Function) []loopRegion {
-	var loops []loopRegion
-	for e, in := range f.Code {
-		if !in.Op.IsJump() || int(in.A) > e {
-			continue
-		}
-		h := int(in.A)
-		ok := true
-		for pc, jn := range f.Code {
-			if pc >= h && pc <= e {
-				continue
-			}
-			if jn.Op.IsJump() && int(jn.A) > h && int(jn.A) <= e {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			loops = append(loops, loopRegion{h, e})
-		}
-	}
-	return loops
-}
-
 func licmOnce(f *bytecode.Function) bool {
-	for _, lp := range findLoops(f) {
+	for _, lp := range Loops(f.Code) {
 		if hoistInLoop(f, lp) {
 			return true
 		}
@@ -84,8 +57,8 @@ func licmOnce(f *bytecode.Function) bool {
 	return false
 }
 
-func hoistInLoop(f *bytecode.Function, lp loopRegion) bool {
-	h, e := lp.h, lp.e
+func hoistInLoop(f *bytecode.Function, lp Loop) bool {
+	h, e := lp.Head, lp.End
 
 	// Region facts.
 	regionHasCall := false
@@ -209,7 +182,7 @@ func hoistInLoop(f *bytecode.Function, lp loopRegion) bool {
 		case t < h:
 			// unchanged
 		case t == h:
-			if orig >= lp.h && orig <= lp.e {
+			if orig >= lp.Head && orig <= lp.End {
 				in.A = int32(h + P) // backedge: skip the preheader
 			}
 			// entry edges keep targeting h = preheader start

@@ -1,0 +1,43 @@
+package opt
+
+import "evolvevm/internal/bytecode"
+
+// Loop is one natural single-entry loop of an instruction sequence: a
+// region [Head, End] whose last instruction is a backward jump to Head
+// and whose interior is never entered from outside the region. This is
+// the loop shape every loop-aware consumer in the system agrees on:
+// LICM hoists out of it, Unroll duplicates its body, and the interp
+// register-trace converter (internal/interp/trace.go) anchors its
+// hot-loop traces at Head.
+type Loop struct {
+	Head int // pc of the loop header (the back-edge target)
+	End  int // pc of the backward jump that closes the loop
+}
+
+// Loops returns the single-entry backward-jump regions of code,
+// innermost-back-edge first (the iteration order LICM relies on). It is
+// a pure function of the instruction stream, so callers outside the
+// optimizer may use it on any executable form.
+func Loops(code []bytecode.Instr) []Loop {
+	var loops []Loop
+	for e, in := range code {
+		if !in.Op.IsJump() || int(in.A) > e {
+			continue
+		}
+		h := int(in.A)
+		ok := true
+		for pc, jn := range code {
+			if pc >= h && pc <= e {
+				continue
+			}
+			if jn.Op.IsJump() && int(jn.A) > h && int(jn.A) <= e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			loops = append(loops, Loop{Head: h, End: e})
+		}
+	}
+	return loops
+}

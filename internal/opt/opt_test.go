@@ -1,10 +1,11 @@
-package opt
+package opt_test
 
 import (
 	"testing"
 
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/interp"
+	"evolvevm/internal/opt"
 )
 
 func mustProg(t *testing.T, src string) *bytecode.Program {
@@ -56,7 +57,7 @@ func checkEquivalent(t *testing.T, src string, globals map[string]bytecode.Value
 	for level := 0; level <= 2; level++ {
 		forms := map[int]*bytecode.Function{}
 		for idx := range prog.Funcs {
-			g, _, err := Optimize(prog, idx, level)
+			g, _, err := opt.Optimize(prog, idx, level)
 			if err != nil {
 				t.Fatalf("Optimize level %d %s: %v", level, prog.Funcs[idx].Name, err)
 			}
@@ -324,7 +325,7 @@ func main() locals x
   ret
 end
 `)
-	f, _, err := Optimize(prog, 0, 0)
+	f, _, err := opt.Optimize(prog, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ end
 
 func TestPeepholeSynthesizesIinc(t *testing.T) {
 	prog := mustProg(t, loopProg)
-	f, _, err := Optimize(prog, 0, 0)
+	f, _, err := opt.Optimize(prog, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +371,7 @@ func byeight(x)
 end
 `)
 	idx, _ := prog.FuncIndex("byeight")
-	f, _, err := Optimize(prog, idx, 0)
+	f, _, err := opt.Optimize(prog, idx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +392,7 @@ end
 func TestInlineExpandsSmallLeaf(t *testing.T) {
 	prog := mustProg(t, callProg)
 	mainIdx, _ := prog.FuncIndex("main")
-	f, _, err := Optimize(prog, mainIdx, 1)
+	f, _, err := opt.Optimize(prog, mainIdx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func TestInlineExpandsSmallLeaf(t *testing.T) {
 
 func TestLICMHoistsBoundComputation(t *testing.T) {
 	prog := mustProg(t, arrayProg)
-	f, _, err := Optimize(prog, 0, 2)
+	f, _, err := opt.Optimize(prog, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +433,7 @@ func TestLevelsMonotonicallyFaster(t *testing.T) {
 	for level := 0; level <= 2; level++ {
 		forms := map[int]*bytecode.Function{}
 		for idx := range prog.Funcs {
-			g, _, err := Optimize(prog, idx, level)
+			g, _, err := opt.Optimize(prog, idx, level)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -453,7 +454,7 @@ func TestOptimizeCostGrowsWithLevel(t *testing.T) {
 	prog := mustProg(t, arrayProg)
 	var prev int64
 	for level := 0; level <= 2; level++ {
-		_, res, err := Optimize(prog, 0, level)
+		_, res, err := opt.Optimize(prog, 0, level)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -478,7 +479,7 @@ func main() locals dead live
   ret
 end
 `)
-	f, _, err := Optimize(prog, 0, 1)
+	f, _, err := opt.Optimize(prog, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,7 +507,7 @@ yes:
   ret
 end
 `)
-	f, _, err := Optimize(prog, 0, 1)
+	f, _, err := opt.Optimize(prog, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,14 +544,14 @@ func main() locals x y
 end
 `)
 	f := prog.Funcs[0].Clone()
-	if !ConstProp(prog, f) {
+	if !opt.ConstProp(prog, f) {
 		t.Fatal("ConstProp reported no change")
 	}
 	// After propagation and a couple of cleanup rounds (as in the real
 	// pipeline) the function collapses to a single push of 42.
 	for i := 0; i < 3; i++ {
-		Peephole(prog, f)
-		DeadCode(prog, f)
+		opt.Peephole(prog, f)
+		opt.DeadCode(prog, f)
 	}
 	if len(f.Code) != 2 || f.Code[0].Op != bytecode.IPUSH || f.Code[0].A != 42 {
 		t.Errorf("did not collapse to ipush 42:\n%s", bytecode.Disassemble(prog, f))
@@ -568,10 +569,10 @@ func main() locals x
 end
 `)
 	f := prog.Funcs[0].Clone()
-	ConstProp(prog, f)
+	opt.ConstProp(prog, f)
 	for i := 0; i < 3; i++ {
-		Peephole(prog, f)
-		DeadCode(prog, f)
+		opt.Peephole(prog, f)
+		opt.DeadCode(prog, f)
 	}
 	if len(f.Code) != 2 || f.Code[0].A != 15 {
 		t.Errorf("iinc not tracked:\n%s", bytecode.Disassemble(prog, f))
@@ -595,7 +596,7 @@ skip:
 end
 `)
 	f := prog.Funcs[0].Clone()
-	ConstProp(prog, f)
+	opt.ConstProp(prog, f)
 	// The final "load x" starts a block (jump target): it must survive.
 	found := false
 	for _, in := range f.Code {
@@ -664,7 +665,7 @@ end
 `
 	checkEquivalent(t, src, map[string]bytecode.Value{"n": bytecode.Int(100)})
 	prog := mustProg(t, src)
-	f, _, err := Optimize(prog, 0, 1)
+	f, _, err := opt.Optimize(prog, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -716,11 +717,11 @@ end
 `
 	checkEquivalent(t, src, nil)
 	prog := mustProg(t, src)
-	f, _, err := Optimize(prog, 0, 2)
+	f, _, err := opt.Optimize(prog, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Code) >= InlineMaxCaller {
+	if len(f.Code) >= opt.InlineMaxCaller {
 		t.Errorf("mutual recursion blew the inline cap: %d instrs", len(f.Code))
 	}
 }
@@ -750,7 +751,7 @@ base:
 end
 `)
 	factIdx, _ := prog.FuncIndex("fact")
-	if inlinable(prog, prog.Funcs[factIdx]) {
+	if opt.Inlinable(prog, prog.Funcs[factIdx]) {
 		t.Error("directly recursive function considered inlinable")
 	}
 	checkEquivalent(t, `

@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 // Property-based testing of the optimizer: generate random structured
 // programs (expressions, branches, counted loops, calls), verify them,
@@ -16,6 +16,7 @@ import (
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/gc"
 	"evolvevm/internal/interp"
+	"evolvevm/internal/opt"
 )
 
 // progGen emits random but always-verifiable assembly. Programs are
@@ -226,7 +227,7 @@ func TestQuickOptimizerEquivalence(t *testing.T) {
 		for level := 0; level <= 2; level++ {
 			forms := make([]*bytecode.Function, len(prog.Funcs))
 			for idx := range prog.Funcs {
-				f, _, err := Optimize(prog, idx, level)
+				f, _, err := opt.Optimize(prog, idx, level)
 				if err != nil {
 					t.Logf("seed %d: optimize L%d %s: %v\n%s", seed, level,
 						prog.Funcs[idx].Name, err,

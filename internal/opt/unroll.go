@@ -38,8 +38,8 @@ func Unroll(_ *bytecode.Program, f *bytecode.Function) bool {
 }
 
 func unrollOnce(f *bytecode.Function) bool {
-	for _, lp := range findLoops(f) {
-		h, e := lp.h, lp.e
+	for _, lp := range Loops(f.Code) {
+		h, e := lp.Head, lp.End
 		if f.Code[e].Op != bytecode.JMP { // need an unconditional back edge
 			continue
 		}

@@ -1,13 +1,35 @@
 package xicl
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
-// FVCache memoizes feature-vector extraction by input signature. Feature
-// extraction is a pure function of the input (command line plus files),
-// so a learner that sees the same input many times across a production
-// sequence can reuse the vector and its extraction cost instead of
-// re-materializing both — the virtual extraction charge is still paid by
-// every run, exactly as if the translator had run again.
+// DefaultFVCacheCapacity bounds a feature-vector cache. Vectors are a few
+// dozen floats plus a signature string, so the bound keeps a cache to a
+// couple of megabytes while still covering any realistic input corpus —
+// the same sizing philosophy as jit.DefaultCacheCapacity. Long sessions
+// that stream unbounded distinct inputs now evict the least recently used
+// vector instead of growing without limit.
+const DefaultFVCacheCapacity = 4096
+
+// FVCacheStats reports cache effectiveness and occupancy.
+type FVCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int // 0 = unbounded
+}
+
+// FVCache memoizes feature-vector extraction by input signature, bounded
+// with LRU eviction. Feature extraction is a pure function of the input
+// (command line plus files), so a learner that sees the same input many
+// times across a production sequence can reuse the vector and its
+// extraction cost instead of re-materializing both — the virtual
+// extraction charge is still paid by every run, exactly as if the
+// translator had run again. Eviction cannot change virtual results: a
+// re-miss merely re-runs the deterministic extractor.
 //
 // Cached vectors are shared: callers (and anything they hand the vector
 // to, such as training examples) must treat them as immutable. A
@@ -15,39 +37,85 @@ import "sync"
 // and must not be memoized; the cache is for the static BuildFVector
 // path.
 type FVCache struct {
-	mu sync.RWMutex
-	m  map[string]fvEntry
+	mu        sync.Mutex // plain Mutex: lookups mutate recency order
+	m         map[string]*list.Element
+	order     *list.List // front = most recently used
+	capacity  int
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type fvEntry struct {
+	sig  string
 	vec  Vector
 	cost int64
 }
 
-// NewFVCache returns an empty cache.
-func NewFVCache() *FVCache {
-	return &FVCache{m: make(map[string]fvEntry)}
+// NewFVCache returns an empty cache bounded at DefaultFVCacheCapacity.
+func NewFVCache() *FVCache { return NewFVCacheCap(DefaultFVCacheCapacity) }
+
+// NewFVCacheCap returns an empty cache holding at most capacity entries
+// (capacity <= 0 means unbounded).
+func NewFVCacheCap(capacity int) *FVCache {
+	return &FVCache{
+		m:        make(map[string]*list.Element),
+		order:    list.New(),
+		capacity: capacity,
+	}
 }
 
 // Get returns the memoized vector and extraction cost for the signature.
 func (c *FVCache) Get(sig string) (Vector, int64, bool) {
-	c.mu.RLock()
-	e, ok := c.m[sig]
-	c.mu.RUnlock()
-	return e.vec, e.cost, ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sig]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e := el.Value.(*fvEntry)
+	return e.vec, e.cost, true
 }
 
 // Put memoizes a vector and its extraction cost under the signature. The
 // cache takes shared ownership of vec; it must not be mutated afterwards.
 func (c *FVCache) Put(sig string, vec Vector, cost int64) {
 	c.mu.Lock()
-	c.m[sig] = fvEntry{vec: vec, cost: cost}
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sig]; ok {
+		e := el.Value.(*fvEntry)
+		e.vec, e.cost = vec, cost
+		c.order.MoveToFront(el)
+		return
+	}
+	c.m[sig] = c.order.PushFront(&fvEntry{sig: sig, vec: vec, cost: cost})
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*fvEntry).sig)
+		c.evictions++
+	}
 }
 
 // Len returns the number of memoized signatures.
 func (c *FVCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns a snapshot of the cache's counters and occupancy.
+func (c *FVCache) Stats() FVCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return FVCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.m),
+		Capacity:  c.capacity,
+	}
 }
