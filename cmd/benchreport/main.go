@@ -44,6 +44,10 @@ type Entry struct {
 	MaxNsPerOp  float64 `json:"max_ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics aggregates custom benchmark units (testing.B.ReportMetric
+	// or hand-emitted lines) as per-unit means — the serving load test
+	// reports p99-ns, req/s, and virtual-cycle quantiles this way.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is one benchmark snapshot: the flat artifact layout, and one
@@ -63,10 +67,11 @@ type Trajectory struct {
 }
 
 type sample struct {
-	ns     float64
-	bytes  int64
-	allocs int64
-	hasMem bool
+	ns      float64
+	bytes   int64
+	allocs  int64
+	hasMem  bool
+	metrics map[string]float64
 }
 
 func main() {
@@ -247,21 +252,52 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 			continue
 		}
 		delta := ne.MeanNsPerOp/oe.MeanNsPerOp - 1
-		mark := ""
-		switch {
-		case delta > fail:
-			mark = " FAIL"
-			status = 2
-		case delta > warn:
-			mark = " warn"
-			if status < 1 {
-				status = 1
-			}
+		mark, status2 := judge(delta, warn, fail)
+		if status2 > status {
+			status = status2
 		}
 		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
 			ne.Name, oe.MeanNsPerOp, ne.MeanNsPerOp, delta*100, mark)
+		// Custom latency metrics (unit suffix "-ns", e.g. the serving load
+		// test's p99-ns) gate exactly like ns/op; other units — through-
+		// put, virtual cycles — are shown but never fail the comparison,
+		// since bigger is not uniformly worse for them.
+		units := make([]string, 0, len(ne.Metrics))
+		for unit := range ne.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, ok := oe.Metrics[unit]
+			if !ok || ov <= 0 {
+				continue
+			}
+			nv := ne.Metrics[unit]
+			delta := nv/ov - 1
+			mark := ""
+			if strings.HasSuffix(unit, "-ns") {
+				var s2 int
+				mark, s2 = judge(delta, warn, fail)
+				if s2 > status {
+					status = s2
+				}
+			}
+			fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
+				ne.Name+" ["+unit+"]", ov, nv, delta*100, mark)
+		}
 	}
 	return status
+}
+
+// judge classifies one fractional regression against the thresholds.
+func judge(delta, warn, fail float64) (string, int) {
+	switch {
+	case delta > fail:
+		return " FAIL", 2
+	case delta > warn:
+		return " warn", 1
+	}
+	return "", 0
 }
 
 func parse(in io.Reader) (*Report, error) {
@@ -300,15 +336,20 @@ func parse(in io.Reader) (*Report, error) {
 		}
 		s := sample{ns: ns}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
-				s.bytes, s.hasMem = v, true
+				s.bytes, s.hasMem = int64(v), true
 			case "allocs/op":
-				s.allocs, s.hasMem = v, true
+				s.allocs, s.hasMem = int64(v), true
+			default:
+				if s.metrics == nil {
+					s.metrics = make(map[string]float64)
+				}
+				s.metrics[unit] = v
 			}
 		}
 		if _, seen := samples[name]; !seen {
@@ -340,6 +381,20 @@ func parse(in io.Reader) (*Report, error) {
 			}
 		}
 		e.MeanNsPerOp = sum / float64(len(ss))
+		metricSums := make(map[string]float64)
+		metricRuns := make(map[string]int)
+		for _, s := range ss {
+			for unit, v := range s.metrics {
+				metricSums[unit] += v
+				metricRuns[unit]++
+			}
+		}
+		for unit, total := range metricSums {
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = total / float64(metricRuns[unit])
+		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
 	return rep, nil

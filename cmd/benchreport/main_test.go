@@ -177,6 +177,68 @@ func TestCompareExitCodes(t *testing.T) {
 	}
 }
 
+const serveBenchText = `BenchmarkServeLoad 	    2000	      150000 ns/op	      900000 p99-ns	      1234.5 req/s	        4096 vp50-cycles	       65536 vp99-cycles
+BenchmarkServeLoad 	    2000	      160000 ns/op	     1100000 p99-ns	      1200.5 req/s	        4096 vp50-cycles	       65536 vp99-cycles
+PASS
+`
+
+func TestParseCustomMetrics(t *testing.T) {
+	rep, err := parse(strings.NewReader(serveBenchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("want 1 benchmark, got %d", len(rep.Benchmarks))
+	}
+	e := rep.Benchmarks[0]
+	if e.Runs != 2 || e.MeanNsPerOp != 155000 {
+		t.Errorf("ns/op aggregation wrong: %+v", e)
+	}
+	want := map[string]float64{
+		"p99-ns":      1000000,
+		"req/s":       1217.5,
+		"vp50-cycles": 4096,
+		"vp99-cycles": 65536,
+	}
+	for unit, v := range want {
+		if got := e.Metrics[unit]; got != v {
+			t.Errorf("metric %s = %v, want %v", unit, got, v)
+		}
+	}
+}
+
+func TestCompareGatesOnLatencyMetrics(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", []Entry{{
+		Name: "BenchmarkServeLoad", MeanNsPerOp: 1000,
+		Metrics: map[string]float64{"p99-ns": 1000, "req/s": 500},
+	}})
+	cases := []struct {
+		name string
+		p99  float64
+		rps  float64
+		want int
+	}{
+		{"all flat", 1000, 500, 0},
+		{"p99 warn", 1150, 500, 1},
+		{"p99 fail", 1300, 500, 2},
+		{"throughput drop is informational", 1000, 100, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newer := writeSnapshot(t, dir, "new.json", []Entry{{
+				Name: "BenchmarkServeLoad", MeanNsPerOp: 1000,
+				Metrics: map[string]float64{"p99-ns": tc.p99, "req/s": tc.rps},
+			}})
+			var stdout, stderr bytes.Buffer
+			got := runCompare([]string{"-warn", "0.10", "-fail", "0.25", old, newer}, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("exit %d, want %d\n%s%s", got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
 func TestCompareNewBenchmarkIsNotRegression(t *testing.T) {
 	dir := t.TempDir()
 	old := writeSnapshot(t, dir, "old.json", []Entry{{Name: "BenchmarkA", MeanNsPerOp: 1000}})

@@ -9,6 +9,12 @@
 //	evolvevm -program compress -scenario default -runs 5 -v
 //	evolvevm -program mtrt -scenario evolve -runs 10 -state mtrt.model
 //	evolvevm -asm prog.asm -g n=5000 -g mode=1       # run your own program
+//
+// Serving subcommands (see cmd/evolvevm/serve.go):
+//
+//	evolvevm serve -addr :8347 -benches compress,search -record trace.json
+//	evolvevm replay -trace trace.json
+//	evolvevm loadtest -requests 2000 -tenants 8 -cold newbie -compare
 package main
 
 import (
@@ -57,6 +63,19 @@ func (g globalFlags) Set(s string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "replay":
+			runReplay(os.Args[2:])
+			return
+		case "loadtest":
+			runLoadTest(os.Args[2:])
+			return
+		}
+	}
 	var (
 		list     = flag.Bool("list", false, "list available programs")
 		progName = flag.String("program", "", "benchmark program to run")

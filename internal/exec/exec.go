@@ -142,6 +142,13 @@ func Run(ctx context.Context, spec *RunSpec) (*RunOutcome, error) {
 // that measure many runs and fold each outcome into aggregates (baseline
 // warming, sequence driving) reuse one outcome value to keep the steady
 // state allocation-free; callers that retain the outcome use Run.
+//
+// On a failed run — a program trap (*interp.RuntimeError) or an abort
+// (*interp.CanceledError) — RunInto still fills the outcome's ledger
+// fields (Cycles, CompileCycles, OverheadCycles, Recompilations, Levels,
+// samples, GC stats) before returning the error: a trap is a legitimate,
+// fully attributed outcome for a serving front end, not a measurement
+// failure. Only Result is left zero, since a failed run has none.
 func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -184,9 +191,6 @@ func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	if spec.Inspect != nil {
 		spec.Inspect(m)
 	}
-	if err != nil {
-		return err
-	}
 	out.Result = v
 	out.Cycles = m.TotalCycles()
 	out.CompileCycles = m.CompileCycles
@@ -197,6 +201,10 @@ func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	out.TotalSamples = 0
 	for _, s := range m.Samples {
 		out.TotalSamples += s
+	}
+	if err != nil {
+		out.Result = bytecode.Value{}
+		return err
 	}
 	return nil
 }

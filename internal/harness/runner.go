@@ -13,6 +13,7 @@ package harness
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"evolvevm/internal/core"
 	"evolvevm/internal/exec"
 	"evolvevm/internal/gc"
+	"evolvevm/internal/interp"
 	"evolvevm/internal/jit"
 	"evolvevm/internal/programs"
 	"evolvevm/internal/rep"
@@ -197,6 +199,12 @@ type RunResult struct {
 	Evolve *core.RunRecord
 	// FeatureCount is the raw feature-vector length (Evolve runs).
 	FeatureCount int
+	// Trap carries the normalized runtime-error message when the program
+	// faulted (division by zero, bad array access, ...). Only RunRequest
+	// fills it; RunOne keeps treating traps as errors. A trapped run has
+	// no Result and no Speedup, but its ledger fields are fully
+	// attributed.
+	Trap string
 }
 
 // Runner binds one benchmark's corpus and configuration to its cross-run
@@ -235,6 +243,11 @@ type Runner struct {
 	// checkpoint/resume (session.BenchState implements
 	// session.CrossRunState).
 	State *session.BenchState
+
+	// Inspect, when non-nil, observes the machine after every scenario
+	// run, exactly like exec.RunSpec.Inspect. The serving front end uses
+	// it to cross-check the cycle ledger on every request.
+	Inspect func(m *vm.Machine)
 }
 
 // NewRunner builds a runner with a deterministic input corpus of the
@@ -272,6 +285,18 @@ func NewRunner(b *programs.Benchmark, corpusSize int, seed int64) (*Runner, erro
 	}
 	r.State = session.NewBenchState(prog, r.EvolveCfg)
 	return r, nil
+}
+
+// Fork returns a runner sharing the benchmark, program, corpus, and
+// configuration with r but owning fresh cross-run state. The shared
+// pieces are all read-only after construction, so forks may run
+// concurrently with each other and with r — the multi-tenant serving
+// front end forks one runner per (tenant, benchmark) state chain off a
+// per-benchmark prototype.
+func (r *Runner) Fork() *Runner {
+	c := *r
+	c.State = session.NewBenchState(c.Prog, c.EvolveCfg)
+	return &c
 }
 
 // Evolver returns the cross-run Evolve learner.
@@ -323,16 +348,13 @@ func (r *Runner) spec(in programs.Input) *exec.RunSpec {
 		Substrate:  r.Substrate,
 		SharedCode: codeCache,
 		Setup:      in.Setup,
+		Inspect:    r.Inspect,
 	}
 }
 
-// RunOne executes the input under the scenario, updating cross-run state
-// for Rep and Evolve.
-func (r *Runner) RunOne(ctx context.Context, scenario Scenario, in programs.Input) (*RunResult, error) {
-	spec := r.spec(in)
-	var evolveCtrl *core.Controller
-	var featureCount int
-
+// configure installs the scenario's controller into spec, returning the
+// Evolve controller (nil for other scenarios) and the feature count.
+func (r *Runner) configure(spec *exec.RunSpec, scenario Scenario, in programs.Input) (*core.Controller, int, error) {
 	switch scenario {
 	case ScenarioDefault:
 		spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
@@ -346,20 +368,20 @@ func (r *Runner) RunOne(ctx context.Context, scenario Scenario, in programs.Inpu
 	case ScenarioEvolve:
 		vec, cost, err := r.Features(in)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		featureCount = len(vec)
-		evolveCtrl = r.State.Evolver().Controller(vec, cost)
+		evolveCtrl := r.State.Evolver().Controller(vec, cost)
 		spec.Controller = func(*vm.Machine) vm.Controller { return evolveCtrl }
+		return evolveCtrl, len(vec), nil
 	default:
-		return nil, fmt.Errorf("harness: unknown scenario %v", scenario)
+		return nil, 0, fmt.Errorf("harness: unknown scenario %v", scenario)
 	}
+	return nil, 0, nil
+}
 
-	out, err := exec.Run(ctx, spec)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s under %s: %w", in.ID, scenario, err)
-	}
-
+// result folds an exec outcome into a RunResult.
+func (r *Runner) result(scenario Scenario, in programs.Input, out *exec.RunOutcome,
+	evolveCtrl *core.Controller, featureCount int) *RunResult {
 	res := &RunResult{
 		InputID:        in.ID,
 		Scenario:       scenario,
@@ -376,6 +398,57 @@ func (r *Runner) RunOne(ctx context.Context, scenario Scenario, in programs.Inpu
 	if evolveCtrl != nil {
 		res.Evolve = evolveCtrl.Report()
 	}
+	return res
+}
+
+// RunOne executes the input under the scenario, updating cross-run state
+// for Rep and Evolve.
+func (r *Runner) RunOne(ctx context.Context, scenario Scenario, in programs.Input) (*RunResult, error) {
+	spec := r.spec(in)
+	evolveCtrl, featureCount, err := r.configure(spec, scenario, in)
+	if err != nil {
+		return nil, err
+	}
+	out, err := exec.Run(ctx, spec)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s under %s: %w", in.ID, scenario, err)
+	}
+	res := r.result(scenario, in, out, evolveCtrl, featureCount)
+	if def, err := r.DefaultCycles(ctx, in); err == nil && res.Cycles > 0 {
+		res.Speedup = float64(def) / float64(res.Cycles)
+	}
+	return res, nil
+}
+
+// RunRequest executes one serving request: like RunOne, but a program
+// trap is captured as part of the result (Trap set, ledger fields
+// attributed, no Result or Speedup) instead of failing the call. An
+// aborted run — context cancellation or deadline — still returns the
+// typed *interp.CanceledError so the front end can answer with a timeout
+// status; cross-run state is untouched by failed runs (the controller
+// only commits in OnRunEnd, which aborted and trapped runs never reach).
+//
+// RunRequest takes no state locks of its own: a caller whose state is
+// snapshotted concurrently (the serving front end under checkpoint or
+// epoch publication) brackets the call with State.BeginRun/EndRun.
+func (r *Runner) RunRequest(ctx context.Context, scenario Scenario, in programs.Input) (*RunResult, error) {
+	spec := r.spec(in)
+	evolveCtrl, featureCount, err := r.configure(spec, scenario, in)
+	if err != nil {
+		return nil, err
+	}
+	out := &exec.RunOutcome{}
+	err = exec.RunInto(ctx, spec, out)
+	if err != nil {
+		var rerr *interp.RuntimeError
+		if errors.As(err, &rerr) {
+			res := r.result(scenario, in, out, evolveCtrl, featureCount)
+			res.Trap = rerr.Msg
+			return res, nil
+		}
+		return nil, err
+	}
+	res := r.result(scenario, in, out, evolveCtrl, featureCount)
 	if def, err := r.DefaultCycles(ctx, in); err == nil && res.Cycles > 0 {
 		res.Speedup = float64(def) / float64(res.Cycles)
 	}
@@ -418,8 +491,12 @@ func (r *Runner) baseline(ctx context.Context, in programs.Input) (*baselineOutc
 	spec := r.spec(in)
 	spec.Controller = func(*vm.Machine) vm.Controller { return aos.NewReactive() }
 	bl := &baselineOutcome{}
+	userInspect := spec.Inspect
 	spec.Inspect = func(m *vm.Machine) {
 		bl.work = append([]int64(nil), m.Engine.Work...)
+		if userInspect != nil {
+			userInspect(m)
+		}
 	}
 	out, err := exec.Run(ctx, spec)
 	if err != nil {

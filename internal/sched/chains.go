@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Chains is the dynamic counterpart of Graph: a bounded-worker executor
+// for tasks that arrive at runtime, ordered by named serial chains and
+// global barriers rather than by a pre-built DAG. It is the scheduling
+// substrate of the serving front end (internal/serve), where requests
+// arrive over time and the dependency structure — per-(tenant,benchmark)
+// state chains plus epoch publication barriers — is only known as they
+// are admitted.
+//
+// Ordering guarantees, independent of worker count:
+//
+//   - Tasks submitted to the same chain run serially, in submission order.
+//   - A barrier runs alone: every task submitted before it completes
+//     first, and no task submitted after it starts until it returns.
+//   - Tasks on different chains between two barriers run concurrently in
+//     any order.
+//
+// Determinism therefore comes from the submission order and the chain
+// names, not from scheduling luck: if tasks on distinct chains share no
+// mutable state except what barriers publish, every observable outcome is
+// a pure function of the submission sequence (the argument mirrors
+// Graph's; see DESIGN.md §11).
+type Chains struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue     *list.List // *chainTask in submission order
+	busy      map[string]bool
+	inBarrier bool // a barrier body is running; nothing else may start
+	active    int  // tasks currently running (including a barrier)
+	pending int // tasks submitted and not yet finished
+	closed  bool
+	panicV  any // first panic raised by a task, rethrown by Wait/Close
+
+	workers int
+	wg      sync.WaitGroup
+}
+
+type chainTask struct {
+	chain   string
+	barrier bool
+	fn      func()
+}
+
+// NewChains starts a chain executor with the given worker count (min 1).
+func NewChains(workers int) *Chains {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Chains{
+		queue:   list.New(),
+		busy:    make(map[string]bool),
+		workers: workers,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go c.work()
+	}
+	return c
+}
+
+// Go submits fn to the named chain. It never blocks on execution: the
+// task runs when the chain's earlier tasks and any earlier barriers have
+// completed. Submitting to a closed executor panics (a programming
+// error, like sending on a closed channel).
+func (c *Chains) Go(chain string, fn func()) {
+	c.submit(&chainTask{chain: chain, fn: fn})
+}
+
+// Barrier submits fn as a global barrier: it runs alone, after every
+// previously submitted task and before any later one. Barriers are where
+// the caller may safely read or publish state shared across chains.
+func (c *Chains) Barrier(fn func()) {
+	c.submit(&chainTask{barrier: true, fn: fn})
+}
+
+func (c *Chains) submit(t *chainTask) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		panic("sched: submit on closed Chains")
+	}
+	c.queue.PushBack(t)
+	c.pending++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// next pops the first runnable task under c.mu, or returns nil. Only
+// tasks before the first queued barrier are candidates, so a barrier
+// partitions the queue exactly as documented.
+func (c *Chains) next() *chainTask {
+	if c.inBarrier {
+		// The barrier task has been popped but its body is still running;
+		// it must finish before anything submitted after it may start.
+		return nil
+	}
+	for el := c.queue.Front(); el != nil; el = el.Next() {
+		t := el.Value.(*chainTask)
+		if t.barrier {
+			// A barrier is runnable only when it is the queue head and
+			// nothing is in flight; it blocks everything behind it.
+			if el == c.queue.Front() && c.active == 0 {
+				c.queue.Remove(el)
+				return t
+			}
+			return nil
+		}
+		if !c.busy[t.chain] {
+			c.queue.Remove(el)
+			return t
+		}
+	}
+	return nil
+}
+
+func (c *Chains) work() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		var t *chainTask
+		for {
+			if c.closed && c.pending == 0 {
+				c.mu.Unlock()
+				return
+			}
+			if t = c.next(); t != nil {
+				break
+			}
+			c.cond.Wait()
+		}
+		c.active++
+		if t.barrier {
+			c.inBarrier = true
+		} else {
+			c.busy[t.chain] = true
+		}
+		c.mu.Unlock()
+
+		c.run(t)
+
+		c.mu.Lock()
+		c.active--
+		c.pending--
+		if t.barrier {
+			c.inBarrier = false
+		} else {
+			delete(c.busy, t.chain)
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}
+}
+
+// run executes one task, capturing the first panic so Wait can rethrow
+// it instead of deadlocking on a never-finished task.
+func (c *Chains) run(t *chainTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			if c.panicV == nil {
+				c.panicV = r
+			}
+			c.mu.Unlock()
+		}
+	}()
+	t.fn()
+}
+
+// Wait blocks until every submitted task has finished. If any task
+// panicked, Wait rethrows the first panic value.
+func (c *Chains) Wait() {
+	c.mu.Lock()
+	for c.pending > 0 {
+		c.cond.Wait()
+	}
+	p := c.panicV
+	c.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// Close waits for all submitted work and stops the workers. Like Wait it
+// rethrows the first task panic. The executor cannot be reused.
+func (c *Chains) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.mu.Lock()
+	for c.pending > 0 {
+		c.cond.Wait()
+	}
+	p := c.panicV
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.wg.Wait()
+	if p != nil {
+		panic(p)
+	}
+}

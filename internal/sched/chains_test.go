@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestChainsSerialOrder asserts per-chain submission order is execution
+// order regardless of worker count.
+func TestChainsSerialOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := NewChains(workers)
+			var mu sync.Mutex
+			logs := map[string][]int{}
+			for i := 0; i < 200; i++ {
+				chain := fmt.Sprintf("c%d", i%7)
+				i := i
+				c.Go(chain, func() {
+					mu.Lock()
+					logs[chain] = append(logs[chain], i)
+					mu.Unlock()
+				})
+			}
+			c.Close()
+			for chain, seq := range logs {
+				for j := 1; j < len(seq); j++ {
+					if seq[j] <= seq[j-1] {
+						t.Fatalf("chain %s ran out of order: %v", chain, seq)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChainsBarrier asserts a barrier sees exactly the tasks submitted
+// before it, and no later task starts before the barrier returns.
+func TestChainsBarrier(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := NewChains(workers)
+			var mu sync.Mutex
+			done := map[int]bool{}
+			var snapshots [][]int
+
+			total := 0
+			for epoch := 0; epoch < 4; epoch++ {
+				for i := 0; i < 25; i++ {
+					id := total
+					total++
+					c.Go(fmt.Sprintf("c%d", i%5), func() {
+						mu.Lock()
+						done[id] = true
+						mu.Unlock()
+					})
+				}
+				want := total
+				c.Barrier(func() {
+					mu.Lock()
+					var seen []int
+					for id := range done {
+						seen = append(seen, id)
+					}
+					mu.Unlock()
+					if len(seen) != want {
+						t.Errorf("barrier after %d submissions saw %d completions", want, len(seen))
+					}
+					snapshots = append(snapshots, seen)
+				})
+			}
+			c.Close()
+			if len(snapshots) != 4 {
+				t.Fatalf("ran %d barriers, want 4", len(snapshots))
+			}
+		})
+	}
+}
+
+// TestChainsBarrierExclusive asserts no task submitted after a barrier
+// starts while the barrier body is still running — the publication
+// window the serving tier relies on. Tasks both sides of a slow barrier
+// record whether they observed it mid-flight.
+func TestChainsBarrierExclusive(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := NewChains(workers)
+			var mu sync.Mutex
+			inBarrier := false
+			violations := 0
+			for epoch := 0; epoch < 20; epoch++ {
+				for i := 0; i < 10; i++ {
+					c.Go(fmt.Sprintf("c%d", i), func() {
+						mu.Lock()
+						if inBarrier {
+							violations++
+						}
+						mu.Unlock()
+					})
+				}
+				c.Barrier(func() {
+					mu.Lock()
+					inBarrier = true
+					mu.Unlock()
+					// Widen the window: a pre-fix scheduler starts queued
+					// tasks here while the barrier body runs.
+					for i := 0; i < 1000; i++ {
+						mu.Lock()
+						mu.Unlock() //lint:ignore SA2001 deliberate contention window
+					}
+					mu.Lock()
+					inBarrier = false
+					mu.Unlock()
+				})
+			}
+			c.Close()
+			if violations > 0 {
+				t.Fatalf("%d tasks started while a barrier body was running", violations)
+			}
+		})
+	}
+}
+
+// TestChainsDeterministicEffects runs the same workload at several worker
+// counts: per-chain effect logs and barrier-published aggregates must be
+// identical, the determinism contract internal/serve relies on.
+func TestChainsDeterministicEffects(t *testing.T) {
+	run := func(workers int) (map[string][]int, []int) {
+		c := NewChains(workers)
+		var mu sync.Mutex
+		state := map[string][]int{} // per-chain private state
+		var published []int         // global tier, touched only at barriers
+		n := 0
+		for epoch := 0; epoch < 3; epoch++ {
+			for i := 0; i < 40; i++ {
+				chain := fmt.Sprintf("t%d/b%d", i%4, i%3)
+				v := n
+				n++
+				c.Go(chain, func() {
+					mu.Lock() // protects the map shell; values are per-chain
+					state[chain] = append(state[chain], v)
+					mu.Unlock()
+				})
+			}
+			c.Barrier(func() {
+				sum := 0
+				mu.Lock()
+				for _, s := range state {
+					for _, v := range s {
+						sum += v
+					}
+				}
+				mu.Unlock()
+				published = append(published, sum)
+			})
+		}
+		c.Close()
+		return state, published
+	}
+	baseState, basePub := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		state, pub := run(workers)
+		if !reflect.DeepEqual(state, baseState) {
+			t.Fatalf("workers=%d: chain state diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(pub, basePub) {
+			t.Fatalf("workers=%d: barrier publications diverged: %v vs %v", workers, pub, basePub)
+		}
+	}
+}
+
+// TestChainsWait asserts Wait drains without closing, allowing reuse.
+func TestChainsWait(t *testing.T) {
+	c := NewChains(4)
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 50; i++ {
+		c.Go("a", func() { mu.Lock(); count++; mu.Unlock() })
+	}
+	c.Wait()
+	mu.Lock()
+	got := count
+	mu.Unlock()
+	if got != 50 {
+		t.Fatalf("after Wait: %d tasks ran, want 50", got)
+	}
+	c.Go("a", func() { mu.Lock(); count++; mu.Unlock() })
+	c.Close()
+	if count != 51 {
+		t.Fatalf("after Close: %d tasks ran, want 51", count)
+	}
+}
+
+// TestChainsPanic asserts a panicking task surfaces at Close instead of
+// deadlocking the executor.
+func TestChainsPanic(t *testing.T) {
+	c := NewChains(2)
+	c.Go("a", func() { panic("boom") })
+	c.Go("b", func() {})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	c.Close()
+}

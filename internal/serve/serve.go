@@ -1,0 +1,741 @@
+// Package serve is the multi-tenant serving front end: a long-running
+// process that accepts concurrent run requests from many tenants,
+// executes them through internal/exec off a bounded worker pool, and
+// shares cross-run learning state between requests.
+//
+// # Determinism under concurrency
+//
+// Every tenant's virtual observables (results, traps, cycles, ledgers,
+// latency-histogram buckets) are a pure function of the request trace
+// and the server config — never of worker count, goroutine interleaving,
+// or wall-clock time. Three rules make that hold:
+//
+//  1. Learning state is sharded into per-(tenant, benchmark) chains;
+//     a chain's requests execute serially in global sequence order
+//     (sched.Chains), so each learner sees a deterministic run sequence.
+//  2. The shared cross-tenant tier is read and written only at epoch
+//     barriers — every Config.EpochLength sequence numbers, a barrier
+//     drains the pool and publishes, per benchmark, a snapshot of the
+//     most-trained chain (ties to the lexicographically smallest
+//     tenant). A chain created between barriers seeds from the snapshot
+//     published at its epoch's start, so a cold tenant's first request
+//     benefits from what other tenants already learned, by exactly the
+//     same amount in every replay.
+//  3. Wall-clock effects never commit: a deadline-expired run aborts
+//     with *interp.CanceledError before the controller's OnRunEnd, so
+//     cancellation cannot perturb learner state; recorded traces mark
+//     canceled sequence numbers and replay skips them instead of
+//     depending on live timing.
+//
+// Admission control keeps the pool bounded: a queue-depth cap with
+// backpressure (Submit blocks, TrySubmit rejects for HTTP 429), per-
+// tenant in-flight caps, and request deadlines threaded down to the
+// engine's sample-boundary cancellation check.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"evolvevm/internal/bytecode"
+	"evolvevm/internal/exec"
+	"evolvevm/internal/harness"
+	"evolvevm/internal/interp"
+	"evolvevm/internal/programs"
+	"evolvevm/internal/sched"
+	"evolvevm/internal/session"
+	"evolvevm/internal/traffic"
+	"evolvevm/internal/vm"
+)
+
+// Admission and lifecycle errors. The HTTP layer maps the first two to
+// 429 with a Retry-After hint and ErrClosed to 503.
+var (
+	ErrQueueFull  = errors.New("serve: request queue full")
+	ErrTenantBusy = errors.New("serve: tenant in-flight cap reached")
+	ErrClosed     = errors.New("serve: server is draining")
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// serviceable default; Benches defaults to all registered benchmarks.
+type Config struct {
+	// Workers bounds the execution pool (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-unfinished requests (default 256).
+	// Submit blocks for a slot; TrySubmit rejects with ErrQueueFull.
+	QueueDepth int
+	// TenantCap bounds one tenant's in-flight requests (0 = unlimited).
+	// Live admission only — replayed traces already passed admission.
+	TenantCap int
+	// EpochLength is the shared-tier publication cadence in sequence
+	// numbers (default 32). Smaller epochs share learning faster but
+	// drain the pool more often.
+	EpochLength int
+	// Scenario selects the optimization controller (default Evolve).
+	Scenario harness.Scenario
+	// Seed keys every deterministic choice: input corpora and, through
+	// the trace, the workload itself.
+	Seed int64
+	// CorpusSize is the per-benchmark input corpus size (0 = default).
+	CorpusSize int
+	// Isolated disables the shared cross-tenant tier: chains never seed
+	// from other tenants' learning. The control arm of the cold-start
+	// experiment.
+	Isolated bool
+	// Substrate toggles the host-performance mechanisms for every run the
+	// server executes. Virtual observables must not change with it — the
+	// difftest soak serves identical traces across host tiers to prove so.
+	Substrate exec.Substrate
+	// Benches names the benchmarks this server accepts (default: all).
+	Benches []string
+	// Record captures every live-submitted request and outcome into a
+	// trace retrievable with RecordedTrace.
+	Record bool
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.EpochLength <= 0 {
+		c.EpochLength = 32
+	}
+	if len(c.Benches) == 0 {
+		for _, b := range programs.All() {
+			c.Benches = append(c.Benches, b.Name)
+		}
+	}
+}
+
+// Response is one request's outcome. Every field except Wall is a
+// virtual observable — deterministic for a given trace and config.
+type Response struct {
+	Seq     int64  `json:"seq"`
+	Tenant  string `json:"tenant"`
+	Bench   string `json:"bench"`
+	InputID string `json:"input_id"`
+	// Status is "ok", "trap", or "canceled" (traffic.Status*).
+	Status string `json:"status"`
+	// Trap is the normalized runtime-error message for status "trap".
+	Trap string `json:"trap,omitempty"`
+	// Value is the program result for status "ok".
+	Value         bytecode.Value `json:"value"`
+	Cycles        int64          `json:"cycles"`
+	CompileCycles int64          `json:"compile_cycles"`
+	Speedup       float64        `json:"speedup,omitempty"`
+	// Predicted reports whether the discriminative guard passed and a
+	// learned strategy was installed up front (Evolve scenario).
+	Predicted bool `json:"predicted,omitempty"`
+	// Checksum folds the virtual observables of this response into one
+	// value; per-tenant folds of these are the replay-equivalence oracle.
+	Checksum uint64 `json:"checksum"`
+	// Wall is host wall time — reporting only, never checksummed.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// chain is one (tenant, benchmark) learning chain. Its fields are only
+// touched from the chain's serially-executing tasks, so it needs no lock
+// of its own.
+type chain struct {
+	tenant string
+	bench  string
+	runner *harness.Runner
+	// runs counts deterministic outcomes (ok and trap, never canceled) —
+	// the shared-tier publication rule ranks chains by it.
+	runs int
+}
+
+// Server is the multi-tenant serving front end. Create with New, submit
+// with Submit/TrySubmit (live) or Run (trace replay), stop with Close.
+type Server struct {
+	cfg    Config
+	protos map[string]*harness.Runner // per-benchmark prototype runners
+
+	pool *sched.Chains
+	sess *session.Session
+
+	// mu is the submission lock: it orders sequence-number assignment,
+	// admission accounting, epoch-barrier enqueueing, and pool submission,
+	// making pool queue order equal seq order — the determinism source.
+	mu        sync.Mutex
+	space     *sync.Cond // signaled when queue slots free up
+	nextSeq   int64
+	lastEpoch int64 // highest epoch whose barrier has been enqueued
+	inflight  int
+	perTenant map[string]int
+	closed    bool
+	rejected  int64
+
+	// tier is the shared cross-tenant state: per-benchmark snapshots
+	// published only at epoch barriers. Tasks read it (RLock) when a new
+	// chain is created; only the barrier writes it, with the pool empty.
+	tierMu sync.RWMutex
+	tier   map[string]json.RawMessage
+
+	// chains maps chain key → chain. Tasks of different chains create
+	// entries concurrently; chainMu guards only the map structure.
+	chainMu sync.Mutex
+	chains  map[string]*chain
+
+	// outcomes collects every finished request by seq. Per-tenant
+	// checksums fold them in seq order at read time, so collection order
+	// (which is racy) never matters.
+	outMu      sync.Mutex
+	outcomes   map[int64]*Response
+	vhist      traffic.TenantHistograms // virtual-cycle latency
+	whist      traffic.Histogram        // wall nanos; reporting only
+	ledgerErrs []string
+	trace      *traffic.Trace // live recording (cfg.Record)
+}
+
+// New builds a server, constructing one prototype runner per benchmark.
+// Prototypes are forked per chain, so corpus generation and program
+// compilation happen once per benchmark, not once per tenant.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:       cfg,
+		protos:    make(map[string]*harness.Runner, len(cfg.Benches)),
+		pool:      sched.NewChains(cfg.Workers),
+		sess:      session.New(),
+		perTenant: make(map[string]int),
+		tier:      make(map[string]json.RawMessage),
+		chains:    make(map[string]*chain),
+		outcomes:  make(map[int64]*Response),
+		vhist:     make(traffic.TenantHistograms),
+		lastEpoch: -1,
+	}
+	s.space = sync.NewCond(&s.mu)
+	for _, name := range cfg.Benches {
+		b := programs.ByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("serve: unknown benchmark %q", name)
+		}
+		r, err := harness.NewRunner(b, cfg.CorpusSize, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", name, err)
+		}
+		r.Substrate = cfg.Substrate
+		r.Inspect = func(m *vm.Machine) {
+			if err := m.LedgerError(); err != nil {
+				s.outMu.Lock()
+				s.ledgerErrs = append(s.ledgerErrs, err.Error())
+				s.outMu.Unlock()
+			}
+		}
+		s.protos[name] = r
+	}
+	if cfg.Record {
+		s.trace = &traffic.Trace{Version: traffic.TraceVersion}
+	}
+	return s, nil
+}
+
+// Submit executes one live request, blocking for a queue slot under
+// backpressure and for the response. A per-tenant cap rejects rather
+// than blocks (a capped tenant should back off, not pile up).
+func (s *Server) Submit(ctx context.Context, tenant, bench string, input int, deadline time.Duration) (*Response, error) {
+	return s.submitLive(ctx, tenant, bench, input, deadline, true)
+}
+
+// TrySubmit is Submit without backpressure: a full queue or a capped
+// tenant rejects immediately (ErrQueueFull / ErrTenantBusy) so the HTTP
+// layer can answer 429 with Retry-After.
+func (s *Server) TrySubmit(ctx context.Context, tenant, bench string, input int, deadline time.Duration) (*Response, error) {
+	return s.submitLive(ctx, tenant, bench, input, deadline, false)
+}
+
+func (s *Server) submitLive(ctx context.Context, tenant, bench string, input int, deadline time.Duration, wait bool) (*Response, error) {
+	if tenant == "" || s.protos[bench] == nil {
+		return nil, fmt.Errorf("serve: bad request: tenant %q bench %q", tenant, bench)
+	}
+	deadlineMicros := deadline.Microseconds()
+	if deadline > 0 && deadlineMicros == 0 {
+		deadlineMicros = 1 // round sub-microsecond deadlines up, not to "none"
+	}
+	req := traffic.Request{
+		Tenant:         tenant,
+		Bench:          bench,
+		Input:          input,
+		DeadlineMicros: deadlineMicros,
+	}
+	done := make(chan *Response, 1)
+
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if s.cfg.TenantCap > 0 && s.perTenant[tenant] >= s.cfg.TenantCap {
+			s.rejected++
+			s.mu.Unlock()
+			return nil, ErrTenantBusy
+		}
+		if s.inflight < s.cfg.QueueDepth {
+			break
+		}
+		if !wait {
+			s.rejected++
+			s.mu.Unlock()
+			return nil, ErrQueueFull
+		}
+		s.space.Wait()
+	}
+	req.Seq = s.nextSeq
+	s.nextSeq++
+	s.admitLocked(req, done)
+	s.mu.Unlock()
+
+	select {
+	case resp := <-done:
+		return resp, nil
+	case <-ctx.Done():
+		// The request is already admitted and will run to completion (or
+		// its own deadline); only this caller stops waiting.
+		return nil, &interp.CanceledError{Cause: ctx.Err()}
+	}
+}
+
+// admitLocked records, epoch-gates, and enqueues one admitted request.
+// Caller holds s.mu; the queue slot is already reserved.
+func (s *Server) admitLocked(req traffic.Request, done chan<- *Response) {
+	s.inflight++
+	s.perTenant[req.Tenant]++
+	if s.trace != nil {
+		s.trace.Requests = append(s.trace.Requests, req)
+	}
+	if epoch := req.Seq / int64(s.cfg.EpochLength); epoch > s.lastEpoch {
+		s.lastEpoch = epoch
+		if epoch > 0 {
+			s.pool.Barrier(s.publish)
+		}
+	}
+	s.pool.Go(req.Chain(), func() {
+		resp := s.execute(req)
+		s.finish(req, resp)
+		if done != nil {
+			done <- resp
+		}
+	})
+}
+
+// Run executes a trace in sequence order through the pool and drains.
+// Sequence numbers recorded as canceled are reproduced as canceled
+// without executing — live cancellation is a wall-clock event, and
+// replay must not depend on wall clocks. Tenant caps don't apply (the
+// trace already passed admission when it was recorded); queue-depth
+// backpressure does, bounding memory.
+func (s *Server) Run(ctx context.Context, tr *traffic.Trace) error {
+	om := tr.OutcomeMap()
+	for _, req := range tr.Requests {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if o, ok := om[req.Seq]; ok && o.Status == traffic.StatusCanceled {
+			s.record(&Response{
+				Seq: req.Seq, Tenant: req.Tenant, Bench: req.Bench,
+				Status: traffic.StatusCanceled,
+			}, 0)
+			continue
+		}
+		if s.protos[req.Bench] == nil {
+			return fmt.Errorf("serve: trace request %d wants unserved benchmark %q", req.Seq, req.Bench)
+		}
+		req := req
+		req.DeadlineMicros = 0 // statuses come from the record, not live timing
+		s.mu.Lock()
+		for !s.closed && s.inflight >= s.cfg.QueueDepth {
+			s.space.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if req.Seq >= s.nextSeq {
+			s.nextSeq = req.Seq + 1
+		}
+		s.admitLocked(req, nil)
+		s.mu.Unlock()
+	}
+	s.Drain()
+	return nil
+}
+
+// execute runs one admitted request on its learning chain. It executes
+// inside the chain's serially-ordered pool task.
+func (s *Server) execute(req traffic.Request) *Response {
+	ch := s.chain(req)
+	in := ch.runner.Inputs[((req.Input%len(ch.runner.Inputs))+len(ch.runner.Inputs))%len(ch.runner.Inputs)]
+
+	ctx := context.Background()
+	if req.DeadlineMicros > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMicros)*time.Microsecond)
+		defer cancel()
+	}
+
+	resp := &Response{Seq: req.Seq, Tenant: req.Tenant, Bench: req.Bench, InputID: in.ID}
+	start := time.Now()
+
+	// BeginRun/EndRun bracket the learner mutation and the session unit
+	// so checkpoints never tear between them (see session.BenchState).
+	// Only cancellation skips the unit: a canceled run committed nothing
+	// and replay reproduces it without executing, so it must leave no
+	// ledger trace; every deterministic outcome completes exactly one.
+	ch.runner.State.BeginRun()
+	res, err := ch.runner.RunRequest(ctx, s.cfg.Scenario, in)
+	var cerr *interp.CanceledError
+	canceled := err != nil && errors.As(err, &cerr)
+	if !canceled {
+		s.sess.CompleteUnit(fmt.Sprintf("seq:%d", req.Seq), nil)
+		ch.runs++
+	}
+	ch.runner.State.EndRun()
+	resp.Wall = time.Since(start)
+
+	if canceled {
+		resp.Status = traffic.StatusCanceled
+		return resp
+	}
+	if err != nil {
+		// Configuration errors (bad feature spec etc.) surface as traps
+		// with the error text: deterministic, answerable outcomes.
+		resp.Status = traffic.StatusTrap
+		resp.Trap = err.Error()
+		resp.Checksum = checksum(resp)
+		return resp
+	}
+	resp.Cycles = res.Cycles
+	resp.CompileCycles = res.CompileCycles
+	resp.Speedup = res.Speedup
+	if res.Evolve != nil {
+		resp.Predicted = res.Evolve.Predicted
+	}
+	if res.Trap != "" {
+		resp.Status = traffic.StatusTrap
+		resp.Trap = res.Trap
+	} else {
+		resp.Status = traffic.StatusOK
+		resp.Value = res.Result
+	}
+	resp.Checksum = checksum(resp)
+	return resp
+}
+
+// chain returns (or creates) the request's learning chain. Creation
+// seeds from the shared tier's snapshot for the benchmark — published at
+// the current epoch's barrier — unless the server is Isolated.
+func (s *Server) chain(req traffic.Request) *chain {
+	key := req.Chain()
+	s.chainMu.Lock()
+	ch := s.chains[key]
+	if ch == nil {
+		ch = &chain{
+			tenant: req.Tenant,
+			bench:  req.Bench,
+			runner: s.protos[req.Bench].Fork(),
+		}
+		s.chains[key] = ch
+		s.chainMu.Unlock()
+		if !s.cfg.Isolated {
+			s.tierMu.RLock()
+			blob := s.tier[req.Bench]
+			s.tierMu.RUnlock()
+			if blob != nil {
+				// A failed seed leaves the chain cold — it still serves.
+				_ = ch.runner.State.Restore(blob)
+			}
+		}
+		// Attach after seeding so a checkpoint taken later captures the
+		// chain under its key. Attach only takes the session lock.
+		_ = s.sess.Attach(key, ch.runner.State)
+		return ch
+	}
+	s.chainMu.Unlock()
+	return ch
+}
+
+// publish is the epoch barrier body: with the pool drained, snapshot the
+// most-trained chain of each benchmark (ties to the smallest tenant
+// name) into the shared tier. Runs and tenant names are deterministic,
+// so the published snapshots are too.
+func (s *Server) publish() {
+	if s.cfg.Isolated {
+		return
+	}
+	s.chainMu.Lock()
+	best := make(map[string]*chain)
+	for _, ch := range s.chains {
+		if ch.runs == 0 {
+			continue
+		}
+		b := best[ch.bench]
+		if b == nil || ch.runs > b.runs || (ch.runs == b.runs && ch.tenant < b.tenant) {
+			best[ch.bench] = ch
+		}
+	}
+	s.chainMu.Unlock()
+	for bench, ch := range best {
+		blob, err := ch.runner.State.Snapshot()
+		if err != nil {
+			continue
+		}
+		s.tierMu.Lock()
+		s.tier[bench] = blob
+		s.tierMu.Unlock()
+	}
+}
+
+// finish releases the request's admission slot and records its outcome.
+func (s *Server) finish(req traffic.Request, resp *Response) {
+	s.record(resp, resp.Wall.Nanoseconds())
+	s.mu.Lock()
+	s.inflight--
+	s.perTenant[req.Tenant]--
+	if s.perTenant[req.Tenant] == 0 {
+		delete(s.perTenant, req.Tenant)
+	}
+	s.space.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Server) record(resp *Response, wallNanos int64) {
+	s.outMu.Lock()
+	s.outcomes[resp.Seq] = resp
+	if resp.Status != traffic.StatusCanceled {
+		s.vhist.Observe(resp.Tenant, resp.Cycles)
+	}
+	if wallNanos > 0 {
+		s.whist.Observe(wallNanos)
+	}
+	if s.trace != nil {
+		s.trace.Outcomes = append(s.trace.Outcomes, traffic.Outcome{
+			Seq: resp.Seq, Status: resp.Status, Checksum: resp.Checksum,
+			Cycles: resp.Cycles, Trap: resp.Trap,
+		})
+	}
+	s.outMu.Unlock()
+}
+
+// Drain blocks until every admitted request has finished.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	for s.inflight > 0 {
+		s.space.Wait()
+	}
+	s.mu.Unlock()
+	s.pool.Wait()
+}
+
+// Close drains and shuts the pool down. Further submissions fail with
+// ErrClosed; Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.space.Broadcast()
+	s.mu.Unlock()
+	s.Drain()
+	s.pool.Close()
+}
+
+// checksum folds a response's virtual observables into one value. Wall
+// time deliberately excluded.
+func checksum(resp *Response) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%d|%d|%d|%d|%t",
+		resp.Tenant, resp.Bench, resp.InputID, resp.Status, resp.Trap,
+		resp.Value.Kind, resp.Value.I, math.Float64bits(resp.Value.F),
+		resp.Cycles, resp.Predicted)
+	return h.Sum64()
+}
+
+// TenantChecksums folds every tenant's outcomes — in sequence order, so
+// the value is independent of completion interleaving — into one
+// checksum per tenant. Two servers that serve the same trace must agree
+// on every fold, whatever their worker counts.
+func (s *Server) TenantChecksums() map[string]uint64 {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	seqs := make([]int64, 0, len(s.outcomes))
+	for seq := range s.outcomes {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	hs := make(map[string]*fnvState)
+	for _, seq := range seqs {
+		o := s.outcomes[seq]
+		st := hs[o.Tenant]
+		if st == nil {
+			st = &fnvState{sum: 14695981039346656037}
+			hs[o.Tenant] = st
+		}
+		st.fold(uint64(o.Seq))
+		st.fold(o.Checksum)
+	}
+	out := make(map[string]uint64, len(hs))
+	for t, st := range hs {
+		out[t] = st.sum
+	}
+	return out
+}
+
+// fnvState is an incremental FNV-1a fold over uint64 words.
+type fnvState struct{ sum uint64 }
+
+func (f *fnvState) fold(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.sum ^= v & 0xff
+		f.sum *= 1099511628211
+		v >>= 8
+	}
+}
+
+// Outcomes returns every recorded outcome sorted by sequence number.
+func (s *Server) Outcomes() []traffic.Outcome {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	out := make([]traffic.Outcome, 0, len(s.outcomes))
+	for _, resp := range s.outcomes {
+		out = append(out, traffic.Outcome{
+			Seq: resp.Seq, Status: resp.Status, Checksum: resp.Checksum,
+			Cycles: resp.Cycles, Trap: resp.Trap,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// RecordedTrace returns the live-recorded trace (Config.Record), with
+// outcomes sorted by seq — ready for WriteFile and later Run.
+func (s *Server) RecordedTrace() *traffic.Trace {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	if s.trace == nil {
+		return nil
+	}
+	sort.Slice(s.trace.Outcomes, func(i, j int) bool {
+		return s.trace.Outcomes[i].Seq < s.trace.Outcomes[j].Seq
+	})
+	return s.trace
+}
+
+// Stats is a point-in-time summary of the server's work.
+type Stats struct {
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Traps     int64 `json:"traps"`
+	Canceled  int64 `json:"canceled"`
+	InFlight  int   `json:"in_flight"`
+	Tenants   int   `json:"tenants"`
+	Chains    int   `json:"chains"`
+	Epoch     int64 `json:"epoch"`
+	// Virtual-cycle latency quantiles (deterministic).
+	VirtualP50 int64 `json:"virtual_p50"`
+	VirtualP99 int64 `json:"virtual_p99"`
+	// Wall-clock latency quantiles in nanoseconds (reporting only).
+	WallP50 int64 `json:"wall_p50_ns"`
+	WallP99 int64 `json:"wall_p99_ns"`
+}
+
+// StatsNow reads the current stats.
+func (s *Server) StatsNow() Stats {
+	var st Stats
+	s.mu.Lock()
+	st.Admitted = s.nextSeq
+	st.Rejected = s.rejected
+	st.InFlight = s.inflight
+	st.Epoch = s.lastEpoch
+	s.mu.Unlock()
+	s.chainMu.Lock()
+	st.Chains = len(s.chains)
+	tenants := make(map[string]bool)
+	for _, ch := range s.chains {
+		tenants[ch.tenant] = true
+	}
+	st.Tenants = len(tenants)
+	s.chainMu.Unlock()
+	s.outMu.Lock()
+	st.Completed = int64(len(s.outcomes))
+	var all traffic.Histogram
+	for _, t := range s.vhist.Tenants() {
+		all.Merge(s.vhist[t])
+	}
+	for _, o := range s.outcomes {
+		switch o.Status {
+		case traffic.StatusTrap:
+			st.Traps++
+		case traffic.StatusCanceled:
+			st.Canceled++
+		}
+	}
+	st.VirtualP50 = all.Quantile(0.50)
+	st.VirtualP99 = all.Quantile(0.99)
+	st.WallP50 = s.whist.Quantile(0.50)
+	st.WallP99 = s.whist.Quantile(0.99)
+	s.outMu.Unlock()
+	return st
+}
+
+// TenantHistogram returns a copy of one tenant's virtual-cycle latency
+// histogram (zero histogram if the tenant never completed a request).
+func (s *Server) TenantHistogram(tenant string) traffic.Histogram {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	if h := s.vhist[tenant]; h != nil {
+		return *h
+	}
+	return traffic.Histogram{}
+}
+
+// LedgerBalanced verifies the session ledger after a drain: every
+// deterministic outcome (ok or trap) completed exactly one session unit,
+// and no per-run cycle-ledger cross-check failed. It reports an error
+// describing the first imbalance found.
+func (s *Server) LedgerBalanced() error {
+	s.outMu.Lock()
+	var deterministic int
+	for _, o := range s.outcomes {
+		if o.Status != traffic.StatusCanceled {
+			deterministic++
+		}
+	}
+	nledger := len(s.ledgerErrs)
+	var first string
+	if nledger > 0 {
+		first = s.ledgerErrs[0]
+	}
+	s.outMu.Unlock()
+	if nledger > 0 {
+		return fmt.Errorf("serve: %d per-run ledger violations (first: %s)", nledger, first)
+	}
+	units := len(s.sess.UnitKeys())
+	if units != deterministic {
+		return fmt.Errorf("serve: session ledger unbalanced: %d units for %d deterministic outcomes", units, deterministic)
+	}
+	return nil
+}
+
+// Checkpoint writes a consistent snapshot of every chain's learned state
+// plus the completed-unit ledger — the session Save path, which acquires
+// every chain's commit lock so no checkpoint tears mid-request.
+func (s *Server) Checkpoint(w io.Writer) error {
+	return s.sess.Save(w)
+}

@@ -21,9 +21,19 @@ import (
 // measurements; the learners are only touched from their (serial) run
 // sequences, but Snapshot/Restore may race with baseline warming, so one
 // mutex covers everything.
+//
+// The learners themselves (Evolver, Repository, GCSelector) have no
+// internal locks: a run's controller mutates them directly when the run
+// commits (Controller.OnRunEnd). runMu is the commit lock that keeps
+// Snapshot consistent with that: the executing layer brackets every
+// state-mutating run with BeginRun/EndRun, and Snapshot/Restore acquire
+// runMu first, so a snapshot observes the state strictly between run
+// commits — never a half-applied one. Lock order: runMu, then mu; and
+// never a session lock while holding either (see Session.Save).
 type BenchState struct {
-	mu   sync.Mutex
-	prog *bytecode.Program
+	runMu sync.Mutex
+	mu    sync.Mutex
+	prog  *bytecode.Program
 
 	evolveCfg core.Config
 	gcCfg     core.Config
@@ -60,10 +70,24 @@ func (b *BenchState) reset() {
 // selector) while keeping the memoized default baselines — those are
 // deterministic properties of the inputs, not learned state.
 func (b *BenchState) Reset() {
+	b.runMu.Lock()
+	defer b.runMu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.reset()
 }
+
+// BeginRun acquires the state's commit lock for one state-mutating run.
+// The run's controller mutates the learners without further locking; a
+// concurrent Snapshot waits at the commit boundary instead of observing a
+// torn state. Callers must pair it with EndRun. Completing session
+// units inside the bracket is fine (CompleteUnit takes only the session
+// mutex); saving the owning session is not — Save acquires this same
+// commit lock and would deadlock.
+func (b *BenchState) BeginRun() { b.runMu.Lock() }
+
+// EndRun releases the commit lock taken by BeginRun.
+func (b *BenchState) EndRun() { b.runMu.Unlock() }
 
 // Evolver returns the benchmark's Evolve learner.
 func (b *BenchState) Evolver() *core.Evolver {
@@ -137,8 +161,18 @@ type benchBlob struct {
 	Defaults   map[string]int64 `json:"defaults,omitempty"`
 }
 
-// Snapshot implements CrossRunState.
+// Snapshot implements CrossRunState. It acquires the commit lock, so a
+// snapshot taken while runs are in flight captures the state at a run
+// boundary, never mid-commit.
 func (b *BenchState) Snapshot() (json.RawMessage, error) {
+	b.runMu.Lock()
+	defer b.runMu.Unlock()
+	return b.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot with the commit lock already held — the path
+// Session.Save uses after pre-acquiring every component's commit lock.
+func (b *BenchState) snapshotLocked() (json.RawMessage, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	blob := benchBlob{Program: b.prog.Name, Defaults: b.defaults}
@@ -164,12 +198,15 @@ func (b *BenchState) Snapshot() (json.RawMessage, error) {
 	return json.Marshal(blob)
 }
 
-// Restore implements CrossRunState.
+// Restore implements CrossRunState. Like Snapshot it waits for any
+// in-flight run to commit before replacing the state.
 func (b *BenchState) Restore(raw json.RawMessage) error {
 	var blob benchBlob
 	if err := json.Unmarshal(raw, &blob); err != nil {
 		return fmt.Errorf("session: bench state: %w", err)
 	}
+	b.runMu.Lock()
+	defer b.runMu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if blob.Program != b.prog.Name {

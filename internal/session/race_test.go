@@ -1,0 +1,186 @@
+package session_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"evolvevm/internal/core"
+	"evolvevm/internal/programs"
+	"evolvevm/internal/session"
+)
+
+// counterState is a CrossRunState with its own lock, standing in for
+// foreign components in the Attach/Save race below.
+type counterState struct {
+	mu      sync.Mutex
+	version int64
+}
+
+func (c *counterState) Snapshot() (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(c.version)
+}
+
+func (c *counterState) Restore(blob json.RawMessage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Unmarshal(blob, &c.version)
+}
+
+// TestSaveRacesAttachAndCompleteUnit hammers Save concurrently with
+// Attach and CompleteUnit under the race detector: every produced
+// checkpoint must decode cleanly.
+func TestSaveRacesAttachAndCompleteUnit(t *testing.T) {
+	s := session.New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // attacher: continually re-attaches components (the resume pattern)
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Attach(fmt.Sprintf("comp%d", i%4), &counterState{version: int64(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // unit completer
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.CompleteUnit(fmt.Sprintf("unit%d", i%64), json.RawMessage(`1`))
+			s.Unit(fmt.Sprintf("unit%d", (i+1)%64))
+			s.UnitKeys()
+		}
+	}()
+
+	for i := 0; i < 100; i++ {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := session.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("checkpoint does not decode: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSaveAtomicWithRunCommit asserts the commit-lock protocol: a writer
+// that brackets [state commit, CompleteUnit] with BeginRun/EndRun can
+// never be split by a concurrent Save — in every checkpoint the
+// repository's recorded run count equals the number of completed units.
+// Before Save pre-acquired component commit locks, a Save interleaved
+// between the commit and CompleteUnit produced a checkpoint whose resume
+// would replay a run the learner had already absorbed.
+func TestSaveAtomicWithRunCommit(t *testing.T) {
+	prog, err := programs.Compress().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := session.NewBenchState(prog, core.DefaultConfig())
+	s := session.New()
+	if err := s.Attach("bench", st); err != nil {
+		t.Fatal(err)
+	}
+
+	const commits = 300
+	work := make([]int64, len(prog.Funcs))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < commits; i++ {
+			st.BeginRun()
+			// Commit: mutate learned state outside BenchState.mu, exactly
+			// like a run's controller does, then record the unit.
+			st.Repo().RecordWork(work)
+			s.CompleteUnit(fmt.Sprintf("run%d", i), json.RawMessage(`1`))
+			st.EndRun()
+		}
+	}()
+
+	check := func() int {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		chk, err := session.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2 := session.NewBenchState(prog, core.DefaultConfig())
+		if err := chk.Attach("bench", st2); err != nil {
+			t.Fatal(err)
+		}
+		runs, units := st2.Repo().Runs(), len(chk.UnitKeys())
+		if runs != units {
+			t.Fatalf("torn checkpoint: repository has %d runs but %d units completed", runs, units)
+		}
+		return units
+	}
+	for {
+		check()
+		select {
+		case <-done:
+			if got := check(); got != commits {
+				t.Fatalf("final checkpoint has %d units, want %d", got, commits)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestSnapshotNeverTearsMidCommit races BenchState.Snapshot against
+// BeginRun/EndRun-bracketed commits: every snapshot must restore cleanly
+// into a fresh state, and its run count reflects a commit boundary.
+func TestSnapshotNeverTearsMidCommit(t *testing.T) {
+	prog, err := programs.Compress().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := session.NewBenchState(prog, core.DefaultConfig())
+	work := make([]int64, len(prog.Funcs))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			st.BeginRun()
+			st.Repo().RecordWork(work)
+			st.EndRun()
+		}
+	}()
+	for {
+		blob, err := st.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2 := session.NewBenchState(prog, core.DefaultConfig())
+		if err := st2.Restore(blob); err != nil {
+			t.Fatalf("snapshot does not restore: %v", err)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}

@@ -104,33 +104,75 @@ func (s *Session) UnitKeys() []string {
 
 // Save writes the session — every attached component's snapshot, any
 // still-pending component blobs, and all completed units — as JSON.
+//
+// Save captures one consistent view. An earlier version copied the unit
+// map under the session lock but snapshotted components after releasing
+// it, so a run that committed into a component while Save was in flight
+// could appear in the component snapshot without its completed unit — a
+// checkpoint whose resume would replay that run against a learner that
+// had already learned it. Save now acquires the commit lock of every
+// BenchState component (in name order, deduplicated by identity) before
+// the session lock. A writer that brackets [run commit, CompleteUnit]
+// with BeginRun/EndRun therefore cannot be split by a Save: the
+// checkpoint's units and component states always describe the same run
+// boundary. Lock order everywhere: component commit lock → session lock;
+// components must never call back into their session from
+// Snapshot/Restore.
 func (s *Session) Save(w io.Writer) error {
+	s.mu.Lock()
+	type comp struct {
+		name string
+		c    CrossRunState
+	}
+	comps := make([]comp, 0, len(s.components))
+	for name, c := range s.components {
+		comps = append(comps, comp{name, c})
+	}
+	s.mu.Unlock()
+	sort.Slice(comps, func(i, j int) bool { return comps[i].name < comps[j].name })
+
+	// Hold the commit lock of every bench-state component across the
+	// capture. Deduplicate by identity: the same state attached under two
+	// names must be locked once.
+	locked := make(map[*BenchState]bool)
+	for _, cp := range comps {
+		if bs, ok := cp.c.(*BenchState); ok && !locked[bs] {
+			locked[bs] = true
+			bs.runMu.Lock()
+			defer bs.runMu.Unlock()
+		}
+	}
+
 	s.mu.Lock()
 	saved := savedSession{
 		Version:    formatVersion,
-		Components: make(map[string]json.RawMessage, len(s.components)+len(s.pending)),
+		Components: make(map[string]json.RawMessage, len(comps)+len(s.pending)),
 		Units:      make(map[string]json.RawMessage, len(s.units)),
 	}
 	for name, blob := range s.pending {
 		saved.Components[name] = blob
 	}
-	comps := make(map[string]CrossRunState, len(s.components))
-	for name, c := range s.components {
-		comps[name] = c
-	}
 	for k, v := range s.units {
 		saved.Units[k] = v
 	}
-	s.mu.Unlock()
-
-	// Snapshot outside the session lock: components have their own locks,
-	// and snapshotting may be slow.
-	for name, c := range comps {
-		blob, err := c.Snapshot()
-		if err != nil {
-			return fmt.Errorf("session: snapshot component %q: %w", name, err)
+	var snapErr error
+	for _, cp := range comps {
+		var blob json.RawMessage
+		var err error
+		if bs, ok := cp.c.(*BenchState); ok {
+			blob, err = bs.snapshotLocked() // commit lock already held above
+		} else {
+			blob, err = cp.c.Snapshot()
 		}
-		saved.Components[name] = blob
+		if err != nil {
+			snapErr = fmt.Errorf("session: snapshot component %q: %w", cp.name, err)
+			break
+		}
+		saved.Components[cp.name] = blob
+	}
+	s.mu.Unlock()
+	if snapErr != nil {
+		return snapErr
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log2-bucketed latency histogram. Bucket i counts
+// observations v with 2^(i-1) ≤ v < 2^i (bucket 0 counts v ≤ 0 and
+// v == 1 lands in bucket 1). Powers of two make the histogram exact and
+// deterministic — no float binning — so two replays of the same trace
+// produce byte-identical histograms, and the serving checksums can fold
+// bucket counts in. It records virtual cycles, not wall time: wall-clock
+// latency is reported alongside but never checksummed.
+type Histogram struct {
+	Buckets [65]int64 `json:"buckets"`
+	Count   int64     `json:"count"`
+	Sum     int64     `json:"sum"`
+}
+
+// bucketOf maps a value to its bucket index: 1 + floor(log2(v)).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.Buckets[bucketOf(v)]++
+	h.Count++
+	h.Sum += v
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// exclusive upper edge of the bucket containing the q-th observation.
+// Bucket edges are exact powers of two, so the bound is deterministic
+// and within 2× of the true value — tight enough for regression gating,
+// stable enough for goldens.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count-1))
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i) // exclusive upper edge of bucket i
+		}
+	}
+	return 1<<63 - 1
+}
+
+// Mean returns the exact mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "count=12 sum=340 [2^4:3 2^5:9]".
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d sum=%d [", h.Count, h.Sum)
+	first := true
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		if i == 0 {
+			fmt.Fprintf(&b, "<=0:%d", c)
+		} else {
+			fmt.Fprintf(&b, "2^%d:%d", i-1, c)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// TenantHistograms aggregates per-tenant histograms with deterministic
+// iteration order.
+type TenantHistograms map[string]*Histogram
+
+// Observe records v for tenant.
+func (th TenantHistograms) Observe(tenant string, v int64) {
+	h := th[tenant]
+	if h == nil {
+		h = &Histogram{}
+		th[tenant] = h
+	}
+	h.Observe(v)
+}
+
+// Tenants returns the tenant names in sorted order.
+func (th TenantHistograms) Tenants() []string {
+	names := make([]string, 0, len(th))
+	for name := range th {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,158 @@
+// Package traffic generates deterministic multi-tenant workloads for the
+// serving front end (internal/serve) and records them as replayable
+// traces. A trace is a pure function of its generator config: the same
+// seed always yields the same request sequence — tenants, benchmarks,
+// input choices, arrival offsets, deadlines — so a load test is an
+// experiment, not an anecdote ("Virtual Machine Warmup Blows Hot and
+// Cold", PAPERS.md, is the cautionary tale). Recorded traces round-trip
+// through a versioned file format that `evolvevm replay` re-runs
+// byte-identically in every virtual observable.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"evolvevm/internal/stats"
+)
+
+// Request is one serving request: which tenant asks for which benchmark
+// input, when, and with what deadline. Seq is the request's global
+// sequence number — the serving front end's single determinism source:
+// state-chain order, epoch boundaries, and shared-tier publication are
+// all functions of Seq, never of wall-clock arrival interleaving.
+type Request struct {
+	Seq    int64  `json:"seq"`
+	Tenant string `json:"tenant"`
+	Bench  string `json:"bench"`
+	// Input indexes the benchmark's deterministic corpus (reduced modulo
+	// the corpus size at serve time).
+	Input int `json:"input"`
+	// ArrivalMicros is the request's arrival offset from the start of the
+	// trace, in microseconds of modeled time. Generators produce a
+	// nondecreasing sequence; load drivers may pace by it or ignore it.
+	ArrivalMicros int64 `json:"arrival_us"`
+	// DeadlineMicros bounds the request's wall-clock service time once
+	// admitted (0 = no deadline). Deadlines thread through the server to
+	// vm.Machine.SetContext; an expired one aborts the run with a typed
+	// *interp.CanceledError.
+	DeadlineMicros int64 `json:"deadline_us,omitempty"`
+}
+
+// Chain returns the request's state-chain key: one serially-ordered
+// learning chain exists per (tenant, benchmark).
+func (r *Request) Chain() string { return r.Tenant + "/" + r.Bench }
+
+// GenConfig parameterizes a deterministic workload.
+type GenConfig struct {
+	// Seed drives every random choice through named streams
+	// (stats.Stream), so distinct concerns (mix, arrivals, deadlines)
+	// draw from independent deterministic sources.
+	Seed int64 `json:"seed"`
+	// Requests is the trace length.
+	Requests int `json:"requests"`
+	// Tenants is the number of tenants, named t0..t{n-1}. Tenant load is
+	// skewed (Zipf s=1.1): a realistic mix of heavy and light tenants.
+	Tenants int `json:"tenants"`
+	// Benches names the benchmarks in the mix, drawn uniformly per
+	// request.
+	Benches []string `json:"benches"`
+	// MeanGapMicros is the mean inter-arrival gap of the Poisson arrival
+	// process (exponential gaps), in microseconds of modeled time.
+	// 0 means all requests arrive at time zero (a closed-loop hammer).
+	MeanGapMicros int64 `json:"mean_gap_us,omitempty"`
+	// DeadlineMicros, when nonzero, stamps every request with this
+	// deadline.
+	DeadlineMicros int64 `json:"deadline_us,omitempty"`
+	// ColdTenant, when set, adds one extra tenant by this name whose
+	// requests all fall in the trailing (1−ColdStart) fraction of the
+	// trace — the cold-start probe: it first speaks after the regular
+	// tenants have warmed the shared tier.
+	ColdTenant string `json:"cold_tenant,omitempty"`
+	// ColdStart is the fraction of the trace that elapses before the
+	// cold tenant's first request (default 0.75 when ColdTenant is set).
+	ColdStart float64 `json:"cold_start,omitempty"`
+	// ColdRequests is how many requests the cold tenant issues (default
+	// max(8, Requests/64)). They all target Benches[0], so its very
+	// first request is measurable against a warmed shared tier.
+	ColdRequests int `json:"cold_requests,omitempty"`
+}
+
+// Generate builds the deterministic request sequence for cfg.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("traffic: config needs Requests > 0, got %d", cfg.Requests)
+	}
+	if cfg.Tenants <= 0 {
+		return nil, fmt.Errorf("traffic: config needs Tenants > 0, got %d", cfg.Tenants)
+	}
+	if len(cfg.Benches) == 0 {
+		return nil, fmt.Errorf("traffic: config needs at least one benchmark")
+	}
+	mix := stats.Stream(cfg.Seed, "traffic", "mix")
+	arrivals := stats.Stream(cfg.Seed, "traffic", "arrivals")
+	zipf := rand.NewZipf(stats.Stream(cfg.Seed, "traffic", "tenants"), 1.1, 1, uint64(cfg.Tenants-1))
+
+	tr := &Trace{Version: TraceVersion, Config: cfg}
+	clock := int64(0)
+	for i := 0; i < cfg.Requests; i++ {
+		if cfg.MeanGapMicros > 0 {
+			clock += int64(arrivals.ExpFloat64() * float64(cfg.MeanGapMicros))
+		}
+		tr.Requests = append(tr.Requests, Request{
+			Tenant:         fmt.Sprintf("t%d", zipf.Uint64()),
+			Bench:          cfg.Benches[mix.Intn(len(cfg.Benches))],
+			Input:          mix.Intn(1 << 16),
+			ArrivalMicros:  clock,
+			DeadlineMicros: cfg.DeadlineMicros,
+		})
+	}
+
+	if cfg.ColdTenant != "" {
+		frac := cfg.ColdStart
+		if frac <= 0 || frac >= 1 {
+			frac = 0.75
+		}
+		n := cfg.ColdRequests
+		if n <= 0 {
+			n = cfg.Requests / 64
+			if n < 8 {
+				n = 8
+			}
+		}
+		cold := stats.Stream(cfg.Seed, "traffic", "cold")
+		start := int(float64(len(tr.Requests)) * frac)
+		startClock := int64(0)
+		if start > 0 {
+			startClock = tr.Requests[start-1].ArrivalMicros
+		}
+		for i := 0; i < n; i++ {
+			// Scatter the cold requests over the trace tail, keeping the
+			// overall arrival order sortable by time then insertion.
+			at := startClock
+			if cfg.MeanGapMicros > 0 {
+				at += int64(cold.ExpFloat64() * float64(cfg.MeanGapMicros) * float64(i+1))
+			}
+			tr.Requests = append(tr.Requests, Request{
+				Tenant:         cfg.ColdTenant,
+				Bench:          cfg.Benches[0],
+				Input:          cold.Intn(1 << 16),
+				ArrivalMicros:  at,
+				DeadlineMicros: cfg.DeadlineMicros,
+			})
+		}
+		// Interleave by arrival time; stable sort keeps the generation
+		// order among equal timestamps, so the result stays deterministic
+		// even with MeanGapMicros == 0 (where the cold block lands after
+		// the warm prefix it was placed behind).
+		warmTail := tr.Requests[start:]
+		sort.SliceStable(warmTail, func(i, j int) bool {
+			return warmTail[i].ArrivalMicros < warmTail[j].ArrivalMicros
+		})
+	}
+	for i := range tr.Requests {
+		tr.Requests[i].Seq = int64(i)
+	}
+	return tr, nil
+}
