@@ -244,10 +244,15 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 		oldBy[e.Name] = e
 	}
 	status := 0
+	fresh := 0
 	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "old mean", "new mean", "delta")
 	for _, ne := range newRep.Benchmarks {
 		oe, ok := oldBy[ne.Name]
 		if !ok || oe.MeanNsPerOp <= 0 {
+			// Absent from the baseline: nothing to regress against, so the
+			// row is informational only and never gates — a newly landed
+			// benchmark's first run must be green.
+			fresh++
 			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", ne.Name, "-", ne.MeanNsPerOp, "new")
 			continue
 		}
@@ -285,6 +290,9 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 			fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
 				ne.Name+" ["+unit+"]", ov, nv, delta*100, mark)
 		}
+	}
+	if fresh > 0 {
+		fmt.Fprintf(w, "note: %d benchmark(s) not in baseline; comparison skipped for them\n", fresh)
 	}
 	return status
 }

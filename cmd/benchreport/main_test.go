@@ -253,6 +253,19 @@ func TestCompareNewBenchmarkIsNotRegression(t *testing.T) {
 	if !strings.Contains(stdout.String(), "new") {
 		t.Errorf("new benchmark not reported:\n%s", stdout.String())
 	}
+	if !strings.Contains(stdout.String(), "1 benchmark(s) not in baseline") {
+		t.Errorf("skip note missing:\n%s", stdout.String())
+	}
+	// Even a grossly slower new benchmark must not gate: there is no
+	// baseline to regress against.
+	slower := writeSnapshot(t, dir, "slower.json", []Entry{
+		{Name: "BenchmarkA", MeanNsPerOp: 1000},
+		{Name: "BenchmarkNew", MeanNsPerOp: 9e9},
+	})
+	stdout.Reset()
+	if got := runCompare([]string{"-warn", "0.01", "-fail", "0.02", old, slower}, &stdout, &stderr); got != 0 {
+		t.Errorf("exit %d, want 0: new benchmark gated against missing baseline\n%s", got, stdout.String())
+	}
 }
 
 func TestCompareMissingFile(t *testing.T) {

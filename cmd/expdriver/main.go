@@ -26,10 +26,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"evolvevm/internal/exec"
 	"evolvevm/internal/harness"
+	"evolvevm/internal/interp"
 	"evolvevm/internal/sched"
 	"evolvevm/internal/session"
 )
@@ -55,6 +57,7 @@ func run(args []string, w, werr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "abort in-flight runs after this long (0 = no deadline)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		tracestats = fs.Bool("tracestats", false, "print register-trace tier counters (builds, degradations, OSR entries, deopts) to stderr on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -181,5 +184,31 @@ func run(args []string, w, werr io.Writer) int {
 		return 2
 	}
 	saveCheckpoint()
+	if *tracestats {
+		printTraceStats(werr)
+	}
 	return 0
+}
+
+// printTraceStats reports the process-global register-trace counters.
+// They go to stderr: experiment output on stdout must stay byte-stable
+// across serial and parallel schedules, and host-side trace activity is
+// schedule-dependent diagnostics, not a virtual observable.
+func printTraceStats(werr io.Writer) {
+	st := interp.ReadTraceStats()
+	fmt.Fprintf(werr, "trace tier: built=%d head_entries=%d osr_entries=%d side_exits=%d traps=%d stress_deopts=%d guard_fails=%d inlined_calls=%d inline_deopts=%d\n",
+		st.Built, st.HeadEntries, st.OSREntries, st.SideExits, st.Traps,
+		st.Deopts, st.GuardFails, st.InlinedCalls, st.InlineDeopts)
+	if len(st.Degrade) == 0 {
+		fmt.Fprintf(werr, "trace tier: no degradations\n")
+		return
+	}
+	reasons := make([]string, 0, len(st.Degrade))
+	for r := range st.Degrade {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(werr, "trace tier: degraded %s=%d\n", r, st.Degrade[r])
+	}
 }

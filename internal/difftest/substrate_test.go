@@ -45,20 +45,37 @@ var substrateModes = []struct {
 	{"reg-nofuse", func(e *interp.Engine) { e.EagerRegTier = true; e.DisableFusion = true }},
 	{"reg-noclosure", func(e *interp.Engine) { e.EagerRegTier = true; e.DisableClosures = true }},
 	{"noreg", func(e *interp.Engine) { e.DisableRegTier = true }},
+	// OSR / deopt / inlining ladder: forced mid-iteration entry at every
+	// OSR point, forced deoptimization back to the accounted loop after a
+	// single trace iteration (every exit boundary's state mapping fires),
+	// OSR disabled entirely (loop-head entries only), and CALL inlining
+	// refused (traces degrade at calls, pre-inlining behaviour).
+	{"osr-eager", func(e *interp.Engine) { e.EagerRegTier = true; e.EagerOSR = true }},
+	{"osr-deopt", func(e *interp.Engine) { e.EagerRegTier = true; e.EagerOSR = true; e.StressDeopt = true }},
+	{"noosr", func(e *interp.Engine) { e.EagerRegTier = true; e.DisableOSR = true }},
+	{"noinline", func(e *interp.Engine) { e.EagerRegTier = true; e.DisableCallInline = true }},
 }
 
-// withEagerReg layers the CI force-enable knob over a mode: when
+// withEagerReg layers the CI force-enable knobs over a mode: when
 // EVOLVEVM_EAGER_REGTIER is set, every mode that leaves the register tier
 // enabled enters traces eagerly, so the soak exercises the register
 // executor on all generated code rather than only on loops that cross the
-// hotness thresholds. Modes that disable the tier (or batching entirely)
-// are unaffected — their configure runs last and wins.
+// hotness thresholds; EVOLVEVM_EAGER_OSR additionally forces OSR entry at
+// every mid-loop entry point. Modes that disable the tier (or batching
+// entirely) are unaffected — their configure runs last and wins.
 func withEagerReg(configure func(*interp.Engine)) func(*interp.Engine) {
-	if os.Getenv("EVOLVEVM_EAGER_REGTIER") == "" {
+	eagerReg := os.Getenv("EVOLVEVM_EAGER_REGTIER") != ""
+	eagerOSR := os.Getenv("EVOLVEVM_EAGER_OSR") != ""
+	if !eagerReg && !eagerOSR {
 		return configure
 	}
 	return func(e *interp.Engine) {
-		e.EagerRegTier = true
+		if eagerReg {
+			e.EagerRegTier = true
+		}
+		if eagerOSR {
+			e.EagerOSR = true
+		}
 		if configure != nil {
 			configure(e)
 		}

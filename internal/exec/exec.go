@@ -48,6 +48,19 @@ type Substrate struct {
 	// CI use it to force the register tier over code that would otherwise
 	// stay below the promotion thresholds.
 	EagerRegTier bool
+
+	// NoOSR disables mid-iteration (on-stack replacement) trace entries;
+	// traces activate at loop heads only. EagerOSR activates OSR entry
+	// points without the parent trace's back-edge hotness gate (forced
+	// OSR entry, EVOLVEVM_EAGER_OSR in the difftest soak). ForcedDeopt
+	// makes every trace run deoptimize back to the accounted loop after
+	// one iteration, exercising the exit/re-entry state mapping on every
+	// boundary. NoCallInline refuses CALL during trace building (the
+	// pre-inlining per-loop degradation). All host-side only.
+	NoOSR        bool
+	EagerOSR     bool
+	ForcedDeopt  bool
+	NoCallInline bool
 }
 
 // ProfileLabels, when enabled, wraps every run in a runtime/pprof label
@@ -168,6 +181,10 @@ func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	m.Engine.DisableClosures = spec.Substrate.NoClosures
 	m.Engine.DisableRegTier = spec.Substrate.NoRegTier
 	m.Engine.EagerRegTier = spec.Substrate.EagerRegTier
+	m.Engine.DisableOSR = spec.Substrate.NoOSR
+	m.Engine.EagerOSR = spec.Substrate.EagerOSR
+	m.Engine.StressDeopt = spec.Substrate.ForcedDeopt
+	m.Engine.DisableCallInline = spec.Substrate.NoCallInline
 	if !spec.Substrate.NoCodeCache && spec.SharedCode != nil {
 		m.Compiler.UseShared(spec.SharedCode)
 	}

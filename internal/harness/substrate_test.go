@@ -15,6 +15,7 @@ type substrateVariant struct {
 	name                                             string
 	noCache, noFusion, noBatching, noClosures, noReg bool
 	eagerReg                                         bool
+	noOSR, eagerOSR, forcedDeopt, noInline           bool
 }
 
 var substrateVariants = []substrateVariant{
@@ -23,6 +24,10 @@ var substrateVariants = []substrateVariant{
 	{name: "noclos", noClosures: true},
 	{name: "noreg", noReg: true},
 	{name: "reg", eagerReg: true},
+	{name: "osr-eager", eagerReg: true, eagerOSR: true},
+	{name: "osr-deopt", eagerReg: true, eagerOSR: true, forcedDeopt: true},
+	{name: "noosr", eagerReg: true, noOSR: true},
+	{name: "noinline", eagerReg: true, noInline: true},
 	{name: "full"},
 }
 
@@ -39,9 +44,14 @@ func runVariant(t *testing.T, b *programs.Benchmark, scenario Scenario,
 	r.Substrate = exec.Substrate{
 		NoCodeCache: v.noCache, NoFusion: v.noFusion, NoBatching: v.noBatching,
 		NoClosures: v.noClosures, NoRegTier: v.noReg,
-		// The CI soak job force-enables the register tier everywhere it is
-		// not explicitly disabled, mirroring difftest's withEagerReg.
+		// The CI soak job force-enables the register tier (and OSR entries)
+		// everywhere they are not explicitly disabled, mirroring difftest's
+		// withEagerReg.
 		EagerRegTier: v.eagerReg || (os.Getenv("EVOLVEVM_EAGER_REGTIER") != "" && !v.noReg && !v.noBatching),
+		NoOSR:        v.noOSR,
+		EagerOSR:     v.eagerOSR || (os.Getenv("EVOLVEVM_EAGER_OSR") != "" && !v.noOSR && !v.noReg && !v.noBatching),
+		ForcedDeopt:  v.forcedDeopt,
+		NoCallInline: v.noInline,
 	}
 	order := r.Order(rand.New(rand.NewSource(seed+7)), runs)
 	results, err := r.RunSequence(testCtx, scenario, order)
@@ -86,7 +96,8 @@ func sameRunResult(t *testing.T, ctx string, ref, got *RunResult) {
 // TestSubstrateBenchmarksBitIdentical runs every benchmark of the suite
 // (plus the GC-selection extension) through Default, Rep, and Evolve
 // sequences with the substrate fully off, fusion disabled, closure-tier
-// disabled, register-tier disabled, register-tier eager, and fully on
+// disabled, register-tier disabled, register-tier eager, OSR forced /
+// stress-deopted / disabled, CALL inlining refused, and fully on
 // (hotness-promoted closures and traces included) — cross-run code cache
 // included — and asserts the recorded RunResults
 // are identical field for field. This is the harness-level counterpart

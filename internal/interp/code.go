@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"math"
 	"sync/atomic"
 
 	"evolvevm/internal/bytecode"
@@ -116,14 +117,19 @@ type Code struct {
 	closures [2]atomic.Pointer[closPlan]
 
 	// traces caches the register-converted hot-loop traces (trace.go,
-	// regir.go). A single slot: trace conversion reads the raw
-	// instruction stream over the plan's segment geometry, which is
-	// identical with and without superinstruction fusion, so fused and
-	// unfused runs share one trace program. Built once hot, immutable
-	// after, shared across engines and runs exactly like plans and
-	// closures — a Code cached in jit.Cache carries its register plans
-	// to every later run.
-	traces atomic.Pointer[tracePlan]
+	// regir.go): slot 0 without CALL inlining, slot 1 with it. Trace
+	// conversion reads the raw instruction stream over the plan's segment
+	// geometry, which is identical with and without superinstruction
+	// fusion, so fused and unfused runs share one trace program per
+	// inline mode. Built once hot, immutable after, shared across engines
+	// and runs exactly like plans and closures — a Code cached in
+	// jit.Cache carries its register plans, OSR entry maps, and inline
+	// guards to every later run (the guards re-validate against each
+	// run's own code table, so a stale inlined body can never execute).
+	traces [2]atomic.Pointer[tracePlan]
+
+	// fp caches Fingerprint (0 = not yet computed).
+	fp atomic.Uint64
 
 	// samples counts deterministic sampler ticks attributed to this code
 	// across every engine and run sharing it — the hotness signal that
@@ -175,27 +181,115 @@ func (c *Code) closureFor(fuse, eager bool) *closPlan {
 	return p
 }
 
-// traceFor returns the register-converted trace plan, building it when
-// the code qualifies: eager forces a build at any tier (the equivalence
-// suites use this to cover baseline code too); otherwise the code must
-// be at an optimized level and past the hotness threshold. Concurrent
-// builders race benignly, like planFor.
-func (c *Code) traceFor(eager bool) *tracePlan {
-	if p := c.traces.Load(); p != nil {
-		return p
+// traceFor returns the register-converted trace plan for the requested
+// inline mode, building it when the code qualifies: eager forces a build
+// at any tier (the equivalence suites use this to cover baseline code
+// too); otherwise the code must be at an optimized level and past the
+// hotness threshold. peek supplies the current code table for callee
+// inlining. Concurrent builders race benignly, like planFor: competing
+// plans may inline against different callee snapshots, but every inlined
+// site re-guards at run time, so any built plan is valid under any code
+// table.
+func (c *Code) traceFor(eager, inline bool, peek func(int) *Code) *tracePlan {
+	slot := 0
+	if inline {
+		slot = 1
 	}
-	if !eager && (c.Level < 0 || c.samples.Load() < TraceHotSamples) {
+	if p := c.traces[slot].Load(); p != nil {
+		// A plan that refused an inline only because the callee had never
+		// been compiled is rebuilt once the callee's code exists (bounded:
+		// each callee becomes available at most once per code table).
+		if !p.retry(peek) {
+			return p
+		}
+	} else if !eager && (c.Level < 0 || c.samples.Load() < TraceHotSamples) {
 		return nil
 	}
-	p := buildTracePlan(c)
-	c.traces.Store(p)
+	p := buildTracePlan(c, inline, peek)
+	c.traces[slot].Store(p)
 	return p
 }
 
 // TraceReady reports whether a trace plan has been built for this code
-// (diagnostics; cache tests use it to prove register plans travel with
-// cached Codes).
-func (c *Code) TraceReady() bool { return c.traces.Load() != nil }
+// in either inline mode (diagnostics; cache tests use it to prove
+// register plans travel with cached Codes).
+func (c *Code) TraceReady() bool {
+	return c.traces[0].Load() != nil || c.traces[1].Load() != nil
+}
+
+// TraceInfo summarizes the built trace plan of one inline mode: the
+// number of loop-head traces, OSR entry points, and inlined call sites.
+// All zeros when no plan is built. Diagnostics; the jit.Cache round-trip
+// test uses it to prove OSR entry maps and inline guards travel with
+// cached Codes.
+func (c *Code) TraceInfo(inline bool) (heads, osrEntries, inlinedCalls int) {
+	slot := 0
+	if inline {
+		slot = 1
+	}
+	tp := c.traces[slot].Load()
+	if tp == nil {
+		return 0, 0, 0
+	}
+	for _, t := range tp.tr {
+		if t != nil {
+			heads++
+			inlinedCalls += len(t.calls)
+		}
+	}
+	for _, t := range tp.osr {
+		if t != nil {
+			osrEntries++
+			inlinedCalls += len(t.calls)
+		}
+	}
+	return heads, osrEntries, inlinedCalls
+}
+
+// Fingerprint returns a content hash of the code's observable execution
+// behaviour — level, arity, locals, instruction stream, constant pool,
+// and cost table — used as the inline guard of the trace tier: an
+// inlined callee body may run only while the engine's current code for
+// that function still fingerprints the same. Computed lazily and cached;
+// two Codes with equal fingerprints execute identically under the
+// engine.
+func (c *Code) Fingerprint() uint64 {
+	if fp := c.fp.Load(); fp != 0 {
+		return fp
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(int64(c.Level)))
+	mix(uint64(c.NArgs))
+	mix(uint64(c.NLocals))
+	mix(uint64(len(c.Instrs)))
+	for _, in := range c.Instrs {
+		mix(uint64(in.Op))
+		mix(uint64(int64(in.A)))
+		mix(uint64(int64(in.B)))
+	}
+	mix(uint64(len(c.Consts)))
+	for _, v := range c.Consts {
+		mix(uint64(v.Kind))
+		mix(uint64(v.I))
+		mix(math.Float64bits(v.F))
+	}
+	for _, cost := range c.Cost {
+		mix(uint64(cost))
+	}
+	if h == 0 {
+		h = 1 // reserve 0 for "not yet computed"
+	}
+	c.fp.Store(h)
+	return h
+}
 
 // planFor returns the execution plan of the code, building it on first
 // use. Concurrent builders race benignly: the build is deterministic, so

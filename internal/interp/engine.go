@@ -115,6 +115,30 @@ type Engine struct {
 	DisableRegTier bool
 	EagerRegTier   bool
 
+	// DisableOSR turns off mid-iteration (on-stack replacement) entries
+	// into the register tier: traces activate at loop heads only.
+	// EagerOSR activates OSR entry points without waiting for the parent
+	// trace's back-edge hotness gate. StressDeopt forces every trace run
+	// to hand back to the accounted loop after a single iteration,
+	// hammering the exit/re-entry state mapping. DisableCallInline
+	// refuses CALL during trace building, restoring the pre-inlining
+	// per-loop degradation. All four are host-side only; virtual results
+	// are identical in every combination.
+	DisableOSR        bool
+	EagerOSR          bool
+	StressDeopt       bool
+	DisableCallInline bool
+
+	// PeekCode reports the code the engine's current Provider would
+	// return for fnIdx WITHOUT side effects — nil when the function has
+	// no current code form yet (never invoked). The trace tier uses it to
+	// guard inlined call sites; the contract is that whenever PeekCode
+	// returns non-nil, a Provider call for the same function is pure and
+	// returns an equivalent code. NewEngine wires it to the default
+	// Provider's table; anyone replacing Provider (vm.Machine, the
+	// difftest harnesses) replaces PeekCode alongside it.
+	PeekCode func(fnIdx int) *Code
+
 	Globals     []bytecode.Value
 	Output      []bytecode.Value
 	Cycles      int64
@@ -171,6 +195,7 @@ func NewEngine(prog *bytecode.Program) *Engine {
 		}
 		return c
 	}
+	e.PeekCode = func(fnIdx int) *Code { return baseline[fnIdx] }
 	return e
 }
 
@@ -361,6 +386,15 @@ type runScratch struct {
 	frames []frame
 	st     cstate
 	regs   []bytecode.Value
+
+	// Trace-tier side channels (trace.go): curCodes holds the guarded
+	// current callee code per inlined call site of the running trace;
+	// deopt carries a callee-frame materialization request out of
+	// runTrace; trapFn re-attributes a trace trap to an inlined callee
+	// (-1: none).
+	curCodes []*Code
+	deopt    deoptState
+	trapFn   int32
 }
 
 var scratchPool = sync.Pool{
@@ -392,6 +426,10 @@ func (e *Engine) Reset() {
 	e.EagerClosures = false
 	e.DisableRegTier = false
 	e.EagerRegTier = false
+	e.DisableOSR = false
+	e.EagerOSR = false
+	e.StressDeopt = false
+	e.DisableCallInline = false
 	clear(e.Globals)
 	e.Output = e.Output[:0]
 	e.Cycles = 0
@@ -428,17 +466,23 @@ func (e *Engine) Run() (bytecode.Value, error) {
 	frames := sc.frames[:0]
 	st := &sc.st
 	st.e = e
+	sc.deopt = deoptState{}
+	sc.trapFn = -1
 	e.rootLocals, e.rootStack = nil, nil
 	defer func() {
-		// Hand the (possibly grown) arenas back. The frame stack holds
-		// *Code pointers; clear it so the pool pins no compiled code, and
-		// unpublish the GC roots so the engine no longer aliases pooled
-		// memory.
+		// Hand the (possibly grown) arenas back. The frame stack and the
+		// trace side channels hold *Code pointers; clear them so the pool
+		// pins no compiled code, and unpublish the GC roots so the engine
+		// no longer aliases pooled memory.
 		sc.locals, sc.stack = locals[:0], stack[:0]
 		sc.frames = frames[:cap(frames)]
 		clear(sc.frames)
 		sc.frames = sc.frames[:0]
 		sc.st = cstate{}
+		sc.curCodes = sc.curCodes[:cap(sc.curCodes)]
+		clear(sc.curCodes)
+		sc.curCodes = sc.curCodes[:0]
+		sc.deopt = deoptState{}
 		e.rootLocals, e.rootStack = nil, nil
 		scratchPool.Put(sc)
 	}()
@@ -481,7 +525,7 @@ func (e *Engine) Run() (bytecode.Value, error) {
 		var tp *tracePlan
 		if !e.DisableBatching {
 			if !e.DisableRegTier {
-				tp = code.traceFor(e.EagerRegTier)
+				tp = code.traceFor(e.EagerRegTier, !e.DisableCallInline, e.PeekCode)
 			}
 			if !e.DisableClosures {
 				cp = code.closureFor(!e.DisableFusion, e.EagerClosures)
@@ -506,18 +550,66 @@ func (e *Engine) Run() (bytecode.Value, error) {
 			// head whose whole next iteration fits the sample window runs
 			// as a register program — locals live in a register file, the
 			// operand stack is untouched, and one batched debit covers the
-			// iteration. Side exits and traps roll back the unexecuted
-			// suffix and land on exactly the accounted loop's state.
+			// iteration. Mid-iteration pcs with an OSR entry point enter
+			// the same way and run the iteration's remainder (on-stack
+			// replacement; any interpreter stack values stay untouched
+			// beneath the trace, which is entry-stack-neutral by
+			// construction). Side exits and traps roll back the unexecuted
+			// suffix and land on exactly the accounted loop's state; exits
+			// inside an inlined callee materialize a real callee frame.
 			if tp != nil {
-				if tr := tp.tr[pc]; tr != nil && e.Cycles+tr.cost < e.nextSample &&
-					(e.EagerRegTier || tr.entries.Add(1) >= traceHotEntries) {
+				run := (*trace)(nil)
+				if tr := tp.tr[pc]; tr != nil {
+					if e.Cycles+tr.cost < e.nextSample &&
+						(e.EagerRegTier || tr.entries.Add(1) >= traceHotEntries) {
+						run = tr
+					}
+				} else if !e.DisableOSR {
+					if os := tp.osr[pc]; os != nil && e.Cycles+os.cost < e.nextSample &&
+						(e.EagerOSR || e.EagerRegTier || os.parent.entries.Load() >= traceHotEntries) {
+						run = os
+					}
+				}
+				if run != nil {
 					var npc int
 					var tpc int32
 					var msg string
-					stack, npc, tpc, msg = e.runTrace(tr, sc, locals, lb, stack, workP, cycP)
+					stack, npc, tpc, msg = e.runTrace(run, sc, len(frames), locals, lb, stack, workP, cycP)
 					if msg != "" {
+						if fn := sc.trapFn; fn >= 0 {
+							sc.trapFn = -1
+							return result, &RuntimeError{Prog: e.Prog.Name,
+								Fn: e.Prog.Funcs[fn].Name, PC: int(tpc), Msg: msg}
+						}
 						fr.pc = int(tpc)
 						return result, rerr("%s", msg)
+					}
+					if sc.deopt.active {
+						// Materialize the inlined callee as a real frame:
+						// locals from its pinned register block (entry
+						// deopt zero-fills past the arguments), operand
+						// stack rematerialized above its frame base. The
+						// caller resumes after the CALL when the callee
+						// returns. fr dangles once frames grows — set its
+						// resume pc first.
+						d := sc.deopt
+						sc.deopt = deoptState{}
+						fr.pc = npc
+						nf := frame{code: d.code, pc: int(d.pc), localsBase: len(locals)}
+						if d.entry {
+							locals = append(locals, sc.regs[d.lbase:d.lbase+d.nargs]...)
+							for i := d.nargs; i < d.nloc; i++ {
+								locals = append(locals, bytecode.Value{})
+							}
+						} else {
+							locals = append(locals, sc.regs[d.lbase:d.lbase+d.nloc]...)
+						}
+						nf.spBase = len(stack)
+						for _, p := range d.cpush {
+							stack = rpushVal(stack, d.tr, sc.regs, p)
+						}
+						frames = append(frames, nf)
+						break body // switch to the reconstructed callee frame
 					}
 					fr.pc = npc
 					continue
@@ -887,7 +979,7 @@ func (e *Engine) Run() (bytecode.Value, error) {
 					}
 				}
 				if tp == nil && !e.DisableBatching && !e.DisableRegTier {
-					tp = code.traceFor(e.EagerRegTier)
+					tp = code.traceFor(e.EagerRegTier, !e.DisableCallInline, e.PeekCode)
 				}
 				if e.Cycles > e.MaxCycles {
 					return result, rerr("cycle limit %d exceeded", e.MaxCycles)

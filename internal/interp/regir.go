@@ -18,30 +18,46 @@ import (
 // loop-carried values never touch the operand stack while the trace
 // runs.
 //
-// The conversion refuses anything it cannot prove equivalent and returns
-// nil, degrading that loop to the closure/fused path: ops outside the
-// segment-safe set (which excludes CALL/RET/NEWARR/HALT by plan
-// construction), operand-stack pops below the loop-entry depth or a
-// non-empty symbolic stack at the back edge ("escaping stack depth"),
-// and register or cost overflows.
+// CALL is admitted by trace-style inlining: a small, non-recursive callee
+// body is linearized (following its hot fall-through path) and spliced
+// into the iteration's item stream, with the callee's locals pinned to a
+// fresh contiguous register block. The inlined body is guarded by the
+// callee Code's fingerprint — if the runtime callee no longer matches,
+// the trace deoptimizes at the CALL itself and the interpreter replays
+// the whole call sequence. Conditional branches inside the callee become
+// callee exits: deoptimization points that materialize a real callee
+// frame (locals from the pinned block, operand stack rematerialized) so
+// the switch loop resumes mid-callee bit-identically.
+//
+// The conversion refuses anything it cannot prove equivalent and reports
+// a degradation reason (stats.go), degrading that loop to the
+// closure/fused path: ops outside the segment-safe set, operand-stack
+// pops below the loop-entry depth or a non-empty symbolic stack at the
+// back edge ("escaping stack depth"), register or cost overflows, and
+// callee bodies with loops, nested calls, or allocation.
 //
 // Bit identity is inherited from the same two mechanisms as the fused
 // and closure tiers (fuse.go §comment, DESIGN.md §10): a whole iteration
 // is charged only when it fits inside the current sample window, and
 // every side exit or trap carries the summed charge of the unexecuted
-// instruction suffix so the rollback lands on exactly the ledger state
-// of the per-instruction loop. Register writes are invisible between
-// exits by construction: locals are copied in at trace entry and written
-// back at every exit, and nothing observable (globals, output, heap)
-// is ever reordered or elided — only stack and local traffic is.
+// instruction suffix — split per function once calls are inlined — so the
+// rollback lands on exactly the ledger state of the per-instruction
+// loop. Register writes are invisible between exits by construction:
+// locals are copied in at trace entry and written back at every exit, and
+// nothing observable (globals, output, heap) is ever reordered or elided
+// — only stack and local traffic is.
 
 // Trace conversion limits.
 const (
-	// traceMaxInstrs caps one linearized iteration.
+	// traceMaxInstrs caps one linearized iteration (inlined callee
+	// instructions included).
 	traceMaxInstrs = 256
 	// traceMaxRegs caps the register file: the function's locals plus the
-	// converter's temporaries.
+	// converter's temporaries plus pinned callee-local blocks.
 	traceMaxRegs = 64
+	// inlineMaxInstrs caps one inlined callee body ("small" in the
+	// trace-inlining rule): the linearized path from entry to RET.
+	inlineMaxInstrs = 48
 )
 
 // rOp is a register-IR opcode.
@@ -77,12 +93,14 @@ const (
 	rBrCmp              // exit x when intCmp(sub, regs[a].I, regs[b].I) == (d != 0)
 	rBrCmpI             // exit x when intCmp(sub, regs[a].I, b) == (d != 0)
 	rBrFCmp             // exit x when fltCmp(sub, regs[a].AsFloat(), regs[b].AsFloat()) == (d != 0)
+	rCall               // inlined call site x: guard, hook, zero callee locals
 )
 
 // rins is one register instruction. d is the destination register except
 // for rAStore (value source), rInc (the incremented local), and the
 // branch-exit ops (the wanted condition sense, 0/1). x indexes the
-// trace's exit table for branches and its trap table for trapping ops.
+// trace's exit table for branches, its trap table for trapping ops, and
+// its call table for rCall.
 type rins struct {
 	op   rOp
 	sub  bytecode.Op // arithmetic/comparison selector for grouped ops
@@ -111,18 +129,63 @@ type rpush struct {
 	v    int32
 }
 
+// slotRem is the rollback charge of one inlined-callee slot (1-based
+// index into trace.xfns via slot-1): the summed Cost/Base of that
+// function's not-yet-executed instructions.
+type slotRem struct {
+	slot, rem, remBase int32
+}
+
 // rexit is one side exit: the off-trace resume pc plus the suffix
-// rollback (summed Cost/Base of the linearized instructions after the
-// branch) and the symbolic stack to rematerialize.
+// rollback — tot comes off the engine clock, rem/remBase off the caller's
+// ledgers, crem off each inlined callee's — and the symbolic stack to
+// rematerialize. A callee exit (callIdx >= 0) additionally materializes a
+// callee frame resuming at cpc, with the callee's operand stack in cpush
+// (push then holds only the caller's residual stack below the call).
 type rexit struct {
-	pc, rem, remBase int32
-	push             []rpush
+	pc           int32
+	tot          int32
+	rem, remBase int32
+	crem         []slotRem
+	push         []rpush
+	callIdx      int32 // -1 for plain exits
+	cpc          int32 // callee resume pc (callee exits only)
+	cpush        []rpush
 }
 
 // rtrap is the rollback record of one trapping instruction: suffix
-// charges and the successor pc the accounted loop would report.
+// charges and the successor pc the accounted loop would report. fn >= 0
+// attributes the trap to an inlined callee (error Fn/PC name that
+// function, exactly as the interpreted call would).
 type rtrap struct {
-	rem, remBase, tpc int32
+	tot          int32
+	rem, remBase int32
+	crem         []slotRem
+	tpc          int32
+	fn           int32 // -1: the trace's own function
+}
+
+// rcall is one inlined call site: the build-time callee (the guard), the
+// pinned register block holding the callee's locals, the deopt records
+// for guard failure (exitX: resume at the CALL with the args still on the
+// stack) and for a mid-call bail after the invocation hook charged cycles
+// (ptot/prem/premBase/pcrem position the clock at the accounted post-CALL
+// point; push rematerializes the caller's residual stack).
+type rcall struct {
+	fnIdx  int32
+	slot   int32 // charge slot (index into trace.xfns via slot-1)
+	code   *Code // expected callee code at build time
+	fp     uint64
+	callPC int32
+	lbase  int32 // pinned register block: callee local k lives in regs[lbase+k]
+	nargs  int32
+	nloc   int32
+	exitX  int32
+
+	ptot           int32
+	prem, premBase int32
+	pcrem          []slotRem
+	push           []rpush // caller residual stack (args consumed)
 }
 
 // fltBin applies a float binop, mirroring the accounted interpreter.
@@ -163,7 +226,7 @@ type symKind uint8
 const (
 	symReg   symKind = iota // a register (local or temp) holds the value
 	symImm                  // an int32 immediate, not yet materialized
-	symConst                // a constant-pool entry, not yet materialized
+	symConst                // a merged-constant-pool entry, not yet materialized
 )
 
 // sym is one slot of the converter's symbolic operand stack.
@@ -172,70 +235,244 @@ type sym struct {
 	v int32
 }
 
+// titem is one linearized instruction of the trace: its owning Code (the
+// loop's function, or an inlined callee), its pc there, the charge slot
+// its Cost/Base accrue to, and — for a CALL instruction — the ordinal of
+// its call site.
+type titem struct {
+	code *Code
+	pc   int32
+	slot int32
+	call int32 // call-site ordinal at a CALL item, else -1
+}
+
 // rconv is the conversion state for one trace.
 type rconv struct {
-	c            *Code
-	head         int
-	pcs          []int   // linearized instruction pcs, one iteration
-	suf, sufBase []int32 // suffix charge sums over pcs (len(pcs)+1)
+	caller *Code
+	head   int
+	items  []titem
+	fns    []int32 // charge-slot function indexes; fns[0] is the caller
+
+	// Per-slot suffix charge sums over items (len(items)+1 each): sufT is
+	// the engine-clock total, sufS/sufSB split it per charge slot.
+	sufT        []int32
+	sufS, sufSB [][]int32
+
+	// consts is the trace's constant pool: the caller's pool, copied on
+	// write when an inlined callee contributes entries.
+	consts      []bytecode.Value
+	constsOwned bool
 
 	ins   []rins
 	exits []rexit
 	traps []rtrap
+	calls []rcall
 
-	stk   []sym
-	nloc  int
-	nregs int
-	ref   []int16 // per-register refcount; slots < nloc are locals (untracked)
+	stk    []sym
+	nloc   int
+	nregs  int
+	ref    []int16 // per-register refcount; slots < nloc are locals (untracked)
+	pinned []bool  // pinned callee-local blocks: never allocated, never refcounted
+
+	// Callee-conversion context: curCall >= 0 while converting inside an
+	// inlined body; floor is the symbolic stack depth at callee entry
+	// (pops below it refuse, exits split caller/callee stacks there).
+	curCall int32
+	floor   int
+
+	// missing records a CALL refused only because the callee has never
+	// been compiled (peek returned nil). Such a refusal is provisional:
+	// the plan records it so traceFor can rebuild once the callee's code
+	// exists (see tracePlan.missing).
+	missing []int32
 }
 
-// convertTrace compiles one linearized loop iteration into a trace, or
-// nil when any instruction defeats the conversion.
-func convertTrace(c *Code, head int, pcs []int) *trace {
+// convertTrace compiles one linearized loop iteration into a trace. pcs
+// holds the caller's linearized pcs (CALL instructions included when
+// inlining); callee bodies are expanded here. Returns nil and a
+// degradation reason when any instruction defeats the conversion; the
+// third result lists callees whose absence (never compiled) caused the
+// refusal, so the caller can schedule a rebuild when they appear.
+func convertTrace(c *Code, head int, pcs []int, inline bool, peek func(int) *Code) (*trace, int, []int32) {
 	if c.NLocals >= traceMaxRegs {
-		return nil
+		return nil, degRegs, nil
 	}
-	n := len(pcs)
 	cv := &rconv{
-		c:       c,
+		caller:  c,
 		head:    head,
-		pcs:     pcs,
-		suf:     make([]int32, n+1),
-		sufBase: make([]int32, n+1),
+		fns:     []int32{int32(c.FnIdx)},
+		consts:  c.Consts,
 		nloc:    c.NLocals,
 		nregs:   c.NLocals,
 		ref:     make([]int16, c.NLocals),
+		pinned:  make([]bool, c.NLocals),
+		curCall: -1,
 	}
-	var cost, base int64
-	for k := n - 1; k >= 0; k-- {
-		cost += c.Cost[pcs[k]]
-		base += c.Base[pcs[k]]
-		if cost > math.MaxInt32 {
-			return nil
-		}
-		cv.suf[k] = cv.suf[k+1] + int32(c.Cost[pcs[k]])
-		cv.sufBase[k] = cv.sufBase[k+1] + int32(c.Base[pcs[k]])
+	if reason := cv.expand(pcs, inline, peek); reason != degCount {
+		return nil, reason, cv.missing
 	}
-	for i := 0; i < n; i++ {
-		if !cv.instr(i) {
-			return nil
+	if reason := cv.sumSuffixes(); reason != degCount {
+		return nil, reason, nil
+	}
+	for i := range cv.items {
+		if ok, reason := cv.instr(i); !ok {
+			return nil, reason, nil
 		}
 	}
 	if len(cv.stk) != 0 {
-		return nil // iteration not stack-neutral: escaping stack depth
+		return nil, degStack, nil // iteration not stack-neutral: escaping stack depth
 	}
 	t := &trace{
 		head:   int32(head),
-		cost:   cost,
-		base:   base,
+		cost:   int64(cv.sufT[0]),
+		cost0:  int64(cv.sufS[0][0]),
+		base0:  int64(cv.sufSB[0][0]),
 		nloc:   int32(cv.nloc),
 		nregs:  int32(cv.nregs),
-		consts: c.Consts,
+		consts: cv.consts,
 		ins:    cv.ins,
 		exits:  cv.exits,
 		traps:  cv.traps,
+		calls:  cv.calls,
 	}
-	return t
+	for s := 1; s < len(cv.fns); s++ {
+		t.xfns = append(t.xfns, cv.fns[s])
+		t.xcost = append(t.xcost, int64(cv.sufS[s][0]))
+		t.xbase = append(t.xbase, int64(cv.sufSB[s][0]))
+	}
+	return t, degCount, nil
+}
+
+// expand turns the caller's linearized pcs into the trace's item stream,
+// splicing each inlinable CALL's callee body in place. Returns degCount
+// on success, a degradation reason otherwise.
+func (cv *rconv) expand(pcs []int, inline bool, peek func(int) *Code) int {
+	c := cv.caller
+	for _, pc := range pcs {
+		in := c.Instrs[pc]
+		if in.Op != bytecode.CALL {
+			cv.items = append(cv.items, titem{code: c, pc: int32(pc), slot: 0, call: -1})
+			continue
+		}
+		if !inline || peek == nil {
+			return degCall
+		}
+		fnIdx := int(in.A)
+		if fnIdx == c.FnIdx {
+			return degCall // self-recursion can never be guard-stable
+		}
+		cc := peek(fnIdx)
+		if cc == nil {
+			// Callee never invoked: nothing to inline against yet. Record
+			// it so the plan can be rebuilt once the code table has a body
+			// — with a lazy provider the first build often precedes the
+			// callee's first invocation.
+			cv.missing = append(cv.missing, int32(fnIdx))
+			return degCall
+		}
+		cpcs, reason := linearizeCallee(cc)
+		if cpcs == nil {
+			return reason
+		}
+		slot := int32(-1)
+		for s, fn := range cv.fns {
+			if fn == int32(fnIdx) {
+				slot = int32(s)
+				break
+			}
+		}
+		if slot < 0 {
+			cv.fns = append(cv.fns, int32(fnIdx))
+			slot = int32(len(cv.fns) - 1)
+		}
+		cv.calls = append(cv.calls, rcall{
+			fnIdx:  int32(fnIdx),
+			slot:   slot,
+			code:   cc,
+			fp:     cc.Fingerprint(),
+			callPC: int32(pc),
+			nargs:  in.B,
+			nloc:   int32(cc.NLocals),
+		})
+		cv.items = append(cv.items, titem{code: c, pc: int32(pc), slot: 0, call: int32(len(cv.calls) - 1)})
+		for _, cpc := range cpcs {
+			cv.items = append(cv.items, titem{code: cc, pc: cpc, slot: slot, call: -1})
+		}
+	}
+	if len(cv.items) > traceMaxInstrs {
+		return degTooLarge
+	}
+	return degCount
+}
+
+// linearizeCallee walks a callee body from its entry to RET, following
+// fall-throughs, unconditional jumps, and the fall-through arm of
+// conditional branches (the taken arm becomes a callee exit during
+// conversion). Refuses loops, nested calls, allocation, HALT, and bodies
+// over the inline size cap.
+func linearizeCallee(cc *Code) ([]int32, int) {
+	var pcs []int32
+	seen := make(map[int]bool)
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(cc.Instrs) || seen[pc] {
+			return nil, degCallee
+		}
+		seen[pc] = true
+		in := cc.Instrs[pc]
+		switch in.Op {
+		case bytecode.RET:
+			pcs = append(pcs, int32(pc))
+			return pcs, degCount
+		case bytecode.JMP:
+			pcs = append(pcs, int32(pc))
+			pc = int(in.A)
+		case bytecode.CALL:
+			return nil, degCallee // depth-1 inlining only
+		case bytecode.NEWARR:
+			return nil, degNewArr
+		case bytecode.HALT:
+			return nil, degHalt
+		default:
+			pcs = append(pcs, int32(pc))
+			pc++
+		}
+		if len(pcs) > inlineMaxInstrs {
+			return nil, degCallee
+		}
+	}
+}
+
+// sumSuffixes computes the per-position suffix charge sums over the item
+// stream: the engine-clock total and the per-slot split the exit and trap
+// rollbacks subtract.
+func (cv *rconv) sumSuffixes() int {
+	n := len(cv.items)
+	cv.sufT = make([]int32, n+1)
+	cv.sufS = make([][]int32, len(cv.fns))
+	cv.sufSB = make([][]int32, len(cv.fns))
+	for s := range cv.sufS {
+		cv.sufS[s] = make([]int32, n+1)
+		cv.sufSB[s] = make([]int32, n+1)
+	}
+	var total int64
+	for k := n - 1; k >= 0; k-- {
+		it := cv.items[k]
+		cost := it.code.Cost[it.pc]
+		base := it.code.Base[it.pc]
+		total += cost
+		if total > math.MaxInt32 {
+			return degTooLarge
+		}
+		cv.sufT[k] = cv.sufT[k+1] + int32(cost)
+		for s := range cv.sufS {
+			cv.sufS[s][k] = cv.sufS[s][k+1]
+			cv.sufSB[s][k] = cv.sufSB[s][k+1]
+		}
+		cv.sufS[it.slot][k] += int32(cost)
+		cv.sufSB[it.slot][k] += int32(base)
+	}
+	return degCount
 }
 
 func (cv *rconv) emit(in rins) { cv.ins = append(cv.ins, in) }
@@ -243,9 +480,10 @@ func (cv *rconv) emit(in rins) { cv.ins = append(cv.ins, in) }
 func (cv *rconv) push(s sym) { cv.stk = append(cv.stk, s) }
 
 // pop takes the top symbolic slot; failure means the instruction would
-// consume a value pushed before the loop was entered.
+// consume a value pushed before the loop (or, inside an inlined callee,
+// before the call) was entered.
 func (cv *rconv) pop() (sym, bool) {
-	if len(cv.stk) == 0 {
+	if len(cv.stk) <= cv.floor {
 		return sym{}, false
 	}
 	s := cv.stk[len(cv.stk)-1]
@@ -254,7 +492,8 @@ func (cv *rconv) pop() (sym, bool) {
 }
 
 // alloc claims a free temporary register (refcount 1), or -1 when the
-// file is full.
+// file is full. Pinned callee-local blocks hold refcount 1 forever, so
+// the scan never reuses them.
 func (cv *rconv) alloc() int32 {
 	for i := cv.nloc; i < cv.nregs; i++ {
 		if cv.ref[i] == 0 {
@@ -266,18 +505,19 @@ func (cv *rconv) alloc() int32 {
 		return -1
 	}
 	cv.ref = append(cv.ref, 1)
+	cv.pinned = append(cv.pinned, false)
 	cv.nregs++
 	return int32(cv.nregs - 1)
 }
 
 func (cv *rconv) retain(r int32) {
-	if int(r) >= cv.nloc {
+	if int(r) >= cv.nloc && !cv.pinned[r] {
 		cv.ref[r]++
 	}
 }
 
 func (cv *rconv) release(r int32) {
-	if int(r) >= cv.nloc {
+	if int(r) >= cv.nloc && !cv.pinned[r] {
 		cv.ref[r]--
 	}
 }
@@ -318,13 +558,44 @@ func (cv *rconv) immVal(s sym) (int64, bool) {
 	case symImm:
 		return int64(s.v), true
 	case symConst:
-		return cv.c.Consts[s.v].I, true
+		return cv.consts[s.v].I, true
 	}
 	return 0, false
 }
 
-// spillLocal rewrites symbolic stack slots that reference local k into a
-// fresh temp holding its current value — required before any write to k
+// constIdx maps a constant-pool reference of code to the trace's merged
+// pool, copying the caller's pool on first callee contribution.
+func (cv *rconv) constIdx(code *Code, idx int32) int32 {
+	if code == cv.caller {
+		return idx
+	}
+	v := code.Consts[idx]
+	for j, have := range cv.consts {
+		if have == v {
+			return int32(j)
+		}
+	}
+	if !cv.constsOwned {
+		cv.consts = append(append([]bytecode.Value(nil), cv.consts...), v)
+		cv.constsOwned = true
+	} else {
+		cv.consts = append(cv.consts, v)
+	}
+	return int32(len(cv.consts) - 1)
+}
+
+// localReg maps a LOAD/STORE/IINC slot of the current context to its
+// register: the caller's locals mirror regs[0:nloc], an inlined callee's
+// live in its pinned block.
+func (cv *rconv) localReg(k int32) int32 {
+	if cv.curCall >= 0 {
+		return cv.calls[cv.curCall].lbase + k
+	}
+	return k
+}
+
+// spillLocal rewrites symbolic stack slots that reference register k into
+// a fresh temp holding its current value — required before any write to k
 // so earlier LOADs keep observing the pre-write value.
 func (cv *rconv) spillLocal(k int32) bool {
 	t := int32(-1)
@@ -344,11 +615,11 @@ func (cv *rconv) spillLocal(k int32) bool {
 	return true
 }
 
-// store compiles "local k = v". When v is a dead temp produced by the
-// immediately preceding instruction, that instruction is retargeted at k
-// and the move disappears (safe: spillLocal already ran, so no live
-// symbolic slot reads k, and no instruction was emitted after the
-// producer).
+// store compiles "register k = v" for a local or pinned callee-local k.
+// When v is a dead temp produced by the immediately preceding
+// instruction, that instruction is retargeted at k and the move
+// disappears (safe: spillLocal already ran, so no live symbolic slot
+// reads k, and no instruction was emitted after the producer).
 func (cv *rconv) store(k int32, v sym) {
 	switch v.k {
 	case symImm:
@@ -358,13 +629,15 @@ func (cv *rconv) store(k int32, v sym) {
 	default:
 		if int(v.v) >= cv.nloc {
 			cv.release(v.v)
-			if cv.ref[v.v] == 0 && len(cv.ins) > 0 {
+			if !cv.pinned[v.v] && cv.ref[v.v] == 0 && len(cv.ins) > 0 {
 				if last := &cv.ins[len(cv.ins)-1]; last.d == v.v && rWritesD(last.op) {
 					last.d = k
 					return
 				}
 			}
-			cv.emit(rins{op: rMove, d: k, a: v.v})
+			if v.v != k {
+				cv.emit(rins{op: rMove, d: k, a: v.v})
+			}
 			return
 		}
 		if v.v != k {
@@ -373,95 +646,145 @@ func (cv *rconv) store(k int32, v sym) {
 	}
 }
 
-// addExit records a side exit at linearized position i resuming at
-// target, snapshotting the symbolic stack (condition already popped) for
-// rematerialization.
-func (cv *rconv) addExit(i, target int) int32 {
-	var push []rpush
-	if len(cv.stk) > 0 {
-		push = make([]rpush, len(cv.stk))
-		for j, s := range cv.stk {
-			push[j] = rpush{kind: uint8(s.k), v: s.v}
+// snapshot freezes syms into a rematerialization push list.
+func snapshot(syms []sym) []rpush {
+	if len(syms) == 0 {
+		return nil
+	}
+	push := make([]rpush, len(syms))
+	for j, s := range syms {
+		push[j] = rpush{kind: uint8(s.k), v: s.v}
+	}
+	return push
+}
+
+// remAt returns the rollback charges for resuming before item j: the
+// engine-clock total, the caller slot's share, and the per-callee shares.
+func (cv *rconv) remAt(j int) (tot, rem, remBase int32, crem []slotRem) {
+	tot = cv.sufT[j]
+	rem = cv.sufS[0][j]
+	remBase = cv.sufSB[0][j]
+	for s := 1; s < len(cv.fns); s++ {
+		if cv.sufS[s][j] != 0 || cv.sufSB[s][j] != 0 {
+			crem = append(crem, slotRem{slot: int32(s), rem: cv.sufS[s][j], remBase: cv.sufSB[s][j]})
 		}
 	}
-	cv.exits = append(cv.exits, rexit{
+	return
+}
+
+// addExit records a side exit at item position i resuming at target,
+// snapshotting the symbolic stack (condition already popped) for
+// rematerialization. atCall includes item i itself in the rollback (the
+// guard-failure exit replays the CALL instruction). Inside an inlined
+// callee the exit becomes a callee-frame deopt: the caller's residual
+// stack and the callee's own stack are split at the call floor.
+func (cv *rconv) addExit(i, target int, atCall bool) int32 {
+	j := i + 1
+	if atCall {
+		j = i
+	}
+	tot, rem, remBase, crem := cv.remAt(j)
+	ex := rexit{
 		pc:      int32(target),
-		rem:     cv.suf[i+1],
-		remBase: cv.sufBase[i+1],
-		push:    push,
-	})
+		tot:     tot,
+		rem:     rem,
+		remBase: remBase,
+		crem:    crem,
+		callIdx: -1,
+	}
+	if cv.curCall >= 0 {
+		ex.callIdx = cv.curCall
+		ex.cpc = int32(target)
+		ex.pc = cv.calls[cv.curCall].callPC
+		ex.push = snapshot(cv.stk[:cv.floor])
+		ex.cpush = snapshot(cv.stk[cv.floor:])
+	} else {
+		ex.push = snapshot(cv.stk)
+	}
+	cv.exits = append(cv.exits, ex)
 	return int32(len(cv.exits) - 1)
 }
 
-// addTrap records the rollback data of a trapping instruction at
-// linearized position i.
+// addTrap records the rollback data of a trapping instruction at item
+// position i, attributing it to the inlined callee when inside one.
 func (cv *rconv) addTrap(i int) int32 {
-	cv.traps = append(cv.traps, rtrap{
-		rem:     cv.suf[i+1],
-		remBase: cv.sufBase[i+1],
-		tpc:     int32(cv.pcs[i] + 1),
-	})
+	tot, rem, remBase, crem := cv.remAt(i + 1)
+	t := rtrap{
+		tot:     tot,
+		rem:     rem,
+		remBase: remBase,
+		crem:    crem,
+		tpc:     cv.items[i].pc + 1,
+		fn:      -1,
+	}
+	if cv.curCall >= 0 {
+		t.fn = cv.calls[cv.curCall].fnIdx
+	}
+	cv.traps = append(cv.traps, t)
 	return int32(len(cv.traps) - 1)
 }
 
-// instr converts the instruction at linearized position i; false aborts
-// the trace.
-func (cv *rconv) instr(i int) bool {
-	pc := cv.pcs[i]
-	in := cv.c.Instrs[pc]
+// instr converts the item at position i; on failure the second return is
+// the degradation reason.
+func (cv *rconv) instr(i int) (bool, int) {
+	it := cv.items[i]
+	pc := int(it.pc)
+	in := it.code.Instrs[it.pc]
 	switch in.Op {
 	case bytecode.NOP:
 
 	case bytecode.IPUSH:
 		cv.push(sym{k: symImm, v: in.A})
 	case bytecode.CONST:
-		cv.push(sym{k: symConst, v: in.A})
+		cv.push(sym{k: symConst, v: cv.constIdx(it.code, in.A)})
 	case bytecode.LOAD:
-		cv.push(sym{k: symReg, v: in.A})
+		cv.push(sym{k: symReg, v: cv.localReg(in.A)})
 
 	case bytecode.STORE:
 		v, ok := cv.pop()
-		if !ok || !cv.spillLocal(in.A) {
-			return false
+		k := cv.localReg(in.A)
+		if !ok || !cv.spillLocal(k) {
+			return false, degStack
 		}
-		cv.store(in.A, v)
+		cv.store(k, v)
 
 	case bytecode.GLOAD:
 		// Globals are mutable under the trace's own GSTOREs, so a global
 		// read materializes immediately instead of staying symbolic.
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rGLoad, d: d, a: in.A})
 		cv.push(sym{k: symReg, v: d})
 	case bytecode.GSTORE:
 		v, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		r := cv.use(v)
 		if r < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rGStore, a: in.A, b: r})
 		cv.release(r)
 
 	case bytecode.IINC:
-		if !cv.spillLocal(in.A) {
-			return false
+		k := cv.localReg(in.A)
+		if !cv.spillLocal(k) {
+			return false, degRegs
 		}
-		cv.emit(rins{op: rInc, d: in.A, a: in.B})
+		cv.emit(rins{op: rInc, d: k, a: in.B})
 
 	case bytecode.POP:
 		v, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		cv.releaseSym(v)
 	case bytecode.DUP:
-		if len(cv.stk) == 0 {
-			return false
+		if len(cv.stk) <= cv.floor {
+			return false, degStack
 		}
 		s := cv.stk[len(cv.stk)-1]
 		if s.k == symReg {
@@ -470,8 +793,8 @@ func (cv *rconv) instr(i int) bool {
 		cv.push(s)
 	case bytecode.SWAP:
 		n := len(cv.stk)
-		if n < 2 {
-			return false
+		if n-cv.floor < 2 {
+			return false, degStack
 		}
 		cv.stk[n-1], cv.stk[n-2] = cv.stk[n-2], cv.stk[n-1]
 
@@ -479,44 +802,44 @@ func (cv *rconv) instr(i int) bool {
 		bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR:
 		b, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		a, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		av, aImm := cv.immVal(a)
 		bv, bImm := cv.immVal(b)
 		if aImm && bImm {
 			if r := intBin(in.Op, av, bv); r >= math.MinInt32 && r <= math.MaxInt32 {
 				cv.push(sym{k: symImm, v: int32(r)})
-				return true
+				return true, degCount
 			}
 		}
 		if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
 			ra := cv.use(a)
 			if ra < 0 {
-				return false
+				return false, degRegs
 			}
 			cv.release(ra)
 			d := cv.alloc()
 			if d < 0 {
-				return false
+				return false, degRegs
 			}
 			cv.emit(rins{op: rBinI, sub: in.Op, d: d, a: ra, b: int32(bv)})
 			cv.push(sym{k: symReg, v: d})
-			return true
+			return true, degCount
 		}
 		ra := cv.use(a)
 		rb := cv.use(b)
 		if ra < 0 || rb < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(ra)
 		cv.release(rb)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rBin, sub: in.Op, d: d, a: ra, b: rb})
 		cv.push(sym{k: symReg, v: d})
@@ -525,11 +848,11 @@ func (cv *rconv) instr(i int) bool {
 		bytecode.IGT, bytecode.IGE:
 		b, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		a, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		av, aImm := cv.immVal(a)
 		bv, bImm := cv.immVal(b)
@@ -540,32 +863,32 @@ func (cv *rconv) instr(i int) bool {
 				r = 1
 			}
 			cv.push(sym{k: symImm, v: r})
-			return true
+			return true, degCount
 		}
 		if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
 			ra := cv.use(a)
 			if ra < 0 {
-				return false
+				return false, degRegs
 			}
 			cv.release(ra)
 			d := cv.alloc()
 			if d < 0 {
-				return false
+				return false, degRegs
 			}
 			cv.emit(rins{op: rCmpI, sub: in.Op, d: d, a: ra, b: int32(bv)})
 			cv.push(sym{k: symReg, v: d})
-			return true
+			return true, degCount
 		}
 		ra := cv.use(a)
 		rb := cv.use(b)
 		if ra < 0 || rb < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(ra)
 		cv.release(rb)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rCmp, sub: in.Op, d: d, a: ra, b: rb})
 		cv.push(sym{k: symReg, v: d})
@@ -573,7 +896,7 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.INEG, bytecode.INOT:
 		v, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		if iv, isImm := cv.immVal(v); isImm {
 			r := -iv
@@ -582,17 +905,17 @@ func (cv *rconv) instr(i int) bool {
 			}
 			if r >= math.MinInt32 && r <= math.MaxInt32 {
 				cv.push(sym{k: symImm, v: int32(r)})
-				return true
+				return true, degCount
 			}
 		}
 		rv := cv.use(v)
 		if rv < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(rv)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		op := rNeg
 		if in.Op == bytecode.INOT {
@@ -606,22 +929,22 @@ func (cv *rconv) instr(i int) bool {
 		bytecode.FGT, bytecode.FGE:
 		b, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		a, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		ra := cv.use(a)
 		rb := cv.use(b)
 		if ra < 0 || rb < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(ra)
 		cv.release(rb)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		op := rFBin
 		switch in.Op {
@@ -635,16 +958,16 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.FNEG, bytecode.FSQRT, bytecode.FABS, bytecode.I2F, bytecode.F2I:
 		v, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		rv := cv.use(v)
 		if rv < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(rv)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		var op rOp
 		switch in.Op {
@@ -665,22 +988,22 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.IDIV, bytecode.IMOD:
 		b, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		a, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		ra := cv.use(a)
 		rb := cv.use(b)
 		if ra < 0 || rb < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(ra)
 		cv.release(rb)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rDivMod, sub: in.Op, d: d, a: ra, b: rb, x: cv.addTrap(i)})
 		cv.push(sym{k: symReg, v: d})
@@ -688,22 +1011,22 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.ALOAD:
 		idx, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		ref, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		rr := cv.use(ref)
 		ri := cv.use(idx)
 		if rr < 0 || ri < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(rr)
 		cv.release(ri)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rALoad, d: d, a: rr, b: ri, x: cv.addTrap(i)})
 		cv.push(sym{k: symReg, v: d})
@@ -711,21 +1034,21 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.ASTORE:
 		val, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		idx, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		ref, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		rr := cv.use(ref)
 		ri := cv.use(idx)
 		rv := cv.use(val)
 		if rr < 0 || ri < 0 || rv < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rAStore, d: rv, a: rr, b: ri, x: cv.addTrap(i)})
 		cv.release(rr)
@@ -735,16 +1058,16 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.ALEN:
 		ref, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		rr := cv.use(ref)
 		if rr < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.release(rr)
 		d := cv.alloc()
 		if d < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rALen, d: d, a: rr, x: cv.addTrap(i)})
 		cv.push(sym{k: symReg, v: d})
@@ -752,34 +1075,38 @@ func (cv *rconv) instr(i int) bool {
 	case bytecode.PRINT:
 		v, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		r := cv.use(v)
 		if r < 0 {
-			return false
+			return false, degRegs
 		}
 		cv.emit(rins{op: rPrint, a: r})
 		cv.release(r)
 
 	case bytecode.JMP:
 		// Control flow is already encoded in the linearization: a closing
-		// JMP loops, a non-closing one falls through to pcs[i+1].
+		// JMP loops, a non-closing one falls through to the next item.
 
 	case bytecode.JZ, bytecode.JNZ:
 		v, ok := cv.pop()
 		if !ok {
-			return false
+			return false, degStack
 		}
 		// Where does the off-trace edge go, and on which branch sense?
-		// Non-closing branches (and a closing branch whose fall-through
-		// is the head) exit when taken; a closing branch whose taken
-		// target is the head exits when not taken, at the fall-through.
-		closing := i == len(cv.pcs)-1
+		// In the caller: non-closing branches (and a closing branch whose
+		// fall-through is the head) exit when taken; a closing branch
+		// whose taken target is the head exits when not taken, at the
+		// fall-through. Inside an inlined callee the fall-through is the
+		// traced path, so the exit is always the taken arm.
 		exitWhenTaken := true
 		exitPC := int(in.A)
-		if closing && int(in.A) == cv.head {
-			exitWhenTaken = false
-			exitPC = pc + 1
+		if cv.curCall < 0 {
+			closing := i == len(cv.items)-1
+			if closing && int(in.A) == cv.head {
+				exitWhenTaken = false
+				exitPC = pc + 1
+			}
 		}
 		wantTrue := exitWhenTaken // JNZ is taken on IsTrue
 		if in.Op == bytecode.JZ {
@@ -787,20 +1114,23 @@ func (cv *rconv) instr(i int) bool {
 		}
 		if v.k != symReg {
 			// Statically known condition: a branch that never exits
-			// compiles to nothing; one that always exits means the loop
-			// never completes an iteration, so the trace is useless.
+			// compiles to nothing; one that always exits means the traced
+			// path never completes, so the trace is useless.
 			t := v.v != 0
 			if v.k == symConst {
-				t = cv.c.Consts[v.v].IsTrue()
+				t = cv.consts[v.v].IsTrue()
 			}
-			return t != wantTrue
+			if t == wantTrue {
+				return false, degOther
+			}
+			return true, degCount
 		}
-		x := cv.addExit(i, exitPC)
+		x := cv.addExit(i, exitPC, false)
 		want := int32(0)
 		if wantTrue {
 			want = 1
 		}
-		if int(v.v) >= cv.nloc {
+		if int(v.v) >= cv.nloc && !cv.pinned[v.v] {
 			cv.release(v.v)
 			if cv.ref[v.v] == 0 && len(cv.ins) > 0 {
 				// Compare-and-branch fusion: fold a dead, just-emitted
@@ -809,13 +1139,13 @@ func (cv *rconv) instr(i int) bool {
 					switch last.op {
 					case rCmp:
 						*last = rins{op: rBrCmp, sub: last.sub, d: want, a: last.a, b: last.b, x: x}
-						return true
+						return true, degCount
 					case rCmpI:
 						*last = rins{op: rBrCmpI, sub: last.sub, d: want, a: last.a, b: last.b, x: x}
-						return true
+						return true, degCount
 					case rFCmp:
 						*last = rins{op: rBrFCmp, sub: last.sub, d: want, a: last.a, b: last.b, x: x}
-						return true
+						return true, degCount
 					}
 				}
 			}
@@ -826,11 +1156,77 @@ func (cv *rconv) instr(i int) bool {
 		}
 		cv.emit(rins{op: op, a: v.v, x: x})
 
+	case bytecode.CALL:
+		if cv.curCall >= 0 || it.call < 0 {
+			return false, degCall
+		}
+		argc := int(in.B)
+		if len(cv.stk) < argc {
+			return false, degStack // args pushed before the loop was entered
+		}
+		rc := &cv.calls[it.call]
+		// Guard-failure exit first, while the args are still symbolically
+		// on the stack: it resumes AT the CALL, so its rollback includes
+		// this item's own charge and the interpreter replays the call.
+		rc.exitX = cv.addExit(i, pc, true)
+		// Pin a fresh contiguous register block for the callee's locals.
+		if cv.nregs+int(rc.nloc) > traceMaxRegs {
+			return false, degRegs
+		}
+		rc.lbase = int32(cv.nregs)
+		for j := int32(0); j < rc.nloc; j++ {
+			cv.ref = append(cv.ref, 1)
+			cv.pinned = append(cv.pinned, true)
+		}
+		cv.nregs += int(rc.nloc)
+		// Materialize the arguments into the block, then drop their
+		// symbolic references (no allocation happens in between, so exit
+		// snapshots taken above stay valid at runtime).
+		args := cv.stk[len(cv.stk)-argc:]
+		for j, a := range args {
+			d := rc.lbase + int32(j)
+			switch a.k {
+			case symImm:
+				cv.emit(rins{op: rLoadI, d: d, a: a.v})
+			case symConst:
+				cv.emit(rins{op: rLoadC, d: d, a: a.v})
+			default:
+				cv.emit(rins{op: rMove, d: d, a: a.v})
+			}
+		}
+		cv.stk = cv.stk[:len(cv.stk)-argc]
+		for _, a := range args {
+			cv.releaseSym(a)
+		}
+		rc.push = snapshot(cv.stk)
+		rc.ptot, rc.prem, rc.premBase, rc.pcrem = cv.remAt(i + 1)
+		cv.emit(rins{op: rCall, x: it.call})
+		cv.curCall = it.call
+		cv.floor = len(cv.stk)
+
+	case bytecode.RET:
+		if cv.curCall < 0 {
+			return false, degRet
+		}
+		rv, ok := cv.pop()
+		if !ok {
+			return false, degStack
+		}
+		// The accounted RET truncates to the frame base before pushing the
+		// return value: drop anything the callee left above its floor.
+		for len(cv.stk) > cv.floor {
+			s, _ := cv.pop()
+			cv.releaseSym(s)
+		}
+		cv.curCall = -1
+		cv.floor = 0
+		cv.push(rv)
+
 	default:
-		// CALL, RET, NEWARR, HALT and anything unknown never reach here —
-		// the linearization only walks plan segments — but degrade rather
-		// than miscompile if they ever do.
-		return false
+		// NEWARR, HALT and anything unknown never reach here — the
+		// linearization refuses them — but degrade rather than miscompile
+		// if they ever do.
+		return false, degOther
 	}
-	return true
+	return true, degCount
 }

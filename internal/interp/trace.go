@@ -18,23 +18,62 @@ import (
 // iteration becomes one register program; the engine runs it in a flat
 // loop that charges the whole iteration in a single batched debit.
 //
+// Two mechanisms widen the tier's reach beyond whole simple loops:
+//
+// On-stack replacement (OSR). Besides the head trace, the plan carries
+// partial traces anchored at the head trace's in-loop side-exit pcs.
+// When the switch/fused interpreter finds itself mid-iteration at such a
+// pc — most often right after a side exit took the cold arm of a branch
+// — it enters the register tier there, runs the REST of the iteration as
+// a register program, and rejoins the head trace at the back edge
+// (tr.once). Entry state mapping is the same locals→register copy as a
+// head entry; no operand-stack mapping is needed because a partial trace
+// is built from an empty symbolic stack and refuses to pop below its
+// entry depth, so it can only exist at pcs where the remainder of the
+// iteration is stack-neutral — any values the interpreter left on the
+// stack stay untouched beneath it. Deoptimization from any side exit
+// reconstructs interpreter state exactly as head-trace exits do: suffix
+// charge rollback, register→locals writeback, symbolic-stack
+// rematerialization.
+//
+// CALL inlining. A loop whose body calls a small non-recursive function
+// no longer degrades: the callee's hot path is spliced into the
+// iteration (regir.go), its locals pinned to a private register block.
+// Each inlined site is guarded by the callee Code's fingerprint against
+// the engine's current code table (Engine.PeekCode): on mismatch the
+// trace side-exits AT the CALL, with the arguments rematerialized on the
+// operand stack and every charge of the call rolled back, so the
+// interpreter replays the whole call sequence — including a possibly
+// charging Provider fetch — against the new code. Invocation counts and
+// the OnInvoke hook fire inside the trace at exactly the interpreter's
+// clock position (the trace's overcharge is subtracted around the hook
+// and re-added after); if the hook charges compile cycles that push the
+// rest of the iteration over the sample window, the trace deoptimizes by
+// materializing a real callee frame at its entry (args from the pinned
+// block), which is also how a side exit inside the callee body resumes:
+// a reconstructed callee frame at the branch target, caller frame
+// resuming after the CALL.
+//
 // Bit identity follows the same two-part argument as the fused and
-// closure tiers (fuse.go, closure.go): an iteration is entered only when
-// its full charge fits inside the current sample window, so no sampler
-// tick, cycle-fuse check, or interrupt poll can fall inside it; and
-// every side exit and trap subtracts the summed charge of the
-// not-yet-executed suffix, landing on exactly the ledger state, stack,
-// locals, and pc of the per-instruction loop. Loops the converter cannot
-// express (calls, allocation, escaping stack depth, too large) simply
-// never get a trace and keep running on the closure/fused path —
-// per-loop degradation, never a virtual difference.
+// closure tiers (fuse.go, closure.go): an iteration (or iteration
+// remainder, for OSR) is entered only when its full charge fits inside
+// the current sample window, so no sampler tick, cycle-fuse check, or
+// interrupt poll can fall inside it; and every side exit and trap
+// subtracts the summed charge of the not-yet-executed suffix — split per
+// function once calls are inlined — landing on exactly the ledger state,
+// stack, locals, frames, and pc of the per-instruction loop. Loops the
+// converter cannot express simply never get a trace and keep running on
+// the closure/fused path — per-loop degradation, never a virtual
+// difference.
 //
 // Trace activation is two-staged and deterministic on the host side:
 // the Code must be hot by sampler count (TraceHotSamples, like the
 // closure tier), and then each individual loop must prove itself by
 // back-edge arrivals (traceHotEntries) before its register program runs.
+// OSR traces inherit their parent head trace's arrival count.
 // Engine.EagerRegTier short-circuits both gates for the equivalence
-// suites. Neither gate feeds back into any virtual observable.
+// suites; Engine.EagerOSR only the OSR gate. Neither gate feeds back
+// into any virtual observable.
 
 // traceHotEntries is the per-trace back-edge arrival count after which a
 // built trace starts executing. Arrivals are counted only when the
@@ -42,123 +81,311 @@ import (
 // execution opportunities.
 const traceHotEntries = 4
 
-// trace is the compiled register program of one hot loop: one iteration
-// of straight-line register instructions, its batched charge, the side
-// exits back to bytecode, and the trap rollback table.
+// trace is the compiled register program of one hot loop (or, for
+// once-traces, the tail of one iteration): straight-line register
+// instructions, the batched charge split per charged function, side
+// exits back to bytecode, trap rollbacks, and inlined call sites.
 type trace struct {
-	head   int32
-	cost   int64 // summed Cost of one iteration (the batched debit)
-	base   int64 // summed Base of one iteration
+	head int32
+	// cost is the full batched debit to the engine clock per iteration;
+	// cost0/base0 are the shares charged to the trace's own function.
+	// Inlined callees' shares live in the parallel xfns/xcost/xbase
+	// (nil when nothing is inlined).
+	cost         int64
+	cost0, base0 int64
+	xfns         []int32
+	xcost, xbase []int64
+
 	nloc   int32 // locals mirrored in regs[0:nloc]
-	nregs  int32 // full register file size (locals + temps)
+	nregs  int32 // full register file size (locals + temps + pinned blocks)
 	consts []bytecode.Value
 	ins    []rins
 	exits  []rexit
 	traps  []rtrap
+	calls  []rcall
+
+	// once marks an OSR partial trace: it covers the tail of one
+	// iteration from a mid-loop pc to the back edge and always returns at
+	// the head after a single pass (the head trace takes over there).
+	// parent is the head trace whose arrival count gates it.
+	once   bool
+	parent *trace
 
 	// entries counts hot-loop arrivals across every engine sharing the
 	// Code (host-side only; the gate for traceHotEntries).
 	entries atomic.Int64
 }
 
-// tracePlan indexes traces by loop-head pc; tr[pc] is nil when no
-// convertible loop starts at pc.
+// tracePlan indexes traces by pc: tr[pc] is the head trace of a loop
+// starting at pc, osr[pc] the partial trace entering mid-iteration at pc
+// (both nil when absent).
 type tracePlan struct {
-	tr []*trace
+	tr  []*trace
+	osr []*trace
+
+	// missing lists callees that defeated an inlining attempt only
+	// because they had never been compiled when the plan was built (a
+	// lazy provider compiles on first invocation, which may come after
+	// the loop's first frame). traceFor rebuilds the plan once any of
+	// them exists; each callee flips nil→non-nil at most once per code
+	// table, so rebuilds are bounded.
+	missing []int32
+}
+
+// retry reports whether rebuilding the plan could now succeed: some
+// refusal was provisional (missing callee) and the current code table
+// has a body for that callee.
+func (tp *tracePlan) retry(peek func(int) *Code) bool {
+	if len(tp.missing) == 0 || peek == nil {
+		return false
+	}
+	for _, fn := range tp.missing {
+		if peek(int(fn)) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// noteMissing records provisional refusals, deduplicated.
+func (tp *tracePlan) noteMissing(fns []int32) {
+	for _, fn := range fns {
+		dup := false
+		for _, m := range tp.missing {
+			if m == fn {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tp.missing = append(tp.missing, fn)
+		}
+	}
+}
+
+// deoptState is the side channel through which runTrace asks the engine
+// loop to materialize an inlined callee as a real interpreter frame: at
+// its entry (entry=true, after the invocation hook charged cycles that
+// broke the window fit) or at a side exit inside its body (resume at pc
+// with the callee's operand stack rematerialized from cpush).
+type deoptState struct {
+	active bool
+	entry  bool
+	code   *Code
+	pc     int32
+	lbase  int32
+	nargs  int32
+	nloc   int32
+	tr     *trace
+	cpush  []rpush
 }
 
 // buildTracePlan discovers and converts every traceable loop of the
-// code. Geometry comes from the fused plan slot: segmentation is
+// code, then grows OSR entry points at the head traces' in-loop side
+// exits. Geometry comes from the fused plan slot: segmentation is
 // identical with and without superinstruction fusion (only the
 // micro-programs differ), so fused and unfused runs share one trace
-// program per Code.
-func buildTracePlan(c *Code) *tracePlan {
-	tp := &tracePlan{tr: make([]*trace, len(c.Instrs))}
+// program per inline mode. peek supplies the engine's current code table
+// for callee inlining (see Engine.PeekCode); the resulting plan is still
+// valid under any other code table because every inlined site re-guards
+// at run time.
+func buildTracePlan(c *Code, inline bool, peek func(int) *Code) *tracePlan {
+	n := len(c.Instrs)
+	tp := &tracePlan{tr: make([]*trace, n), osr: make([]*trace, n)}
 	p := c.planFor(true)
+	loops := opt.Loops(c.Instrs)
+	// A head with several back edges (cold arms rejoining the loop) is
+	// reported once per back edge; the loop region for OSR purposes is
+	// the widest one — exit-handler blocks between the first and last
+	// back edge are legitimate mid-iteration entry points.
+	lastEnd := make(map[int]int)
+	for _, lp := range loops {
+		if lp.End > lastEnd[lp.Head] {
+			lastEnd[lp.Head] = lp.End
+		}
+	}
 	tried := make(map[int]bool)
-	for _, lp := range opt.Loops(c.Instrs) {
-		if lp.Head >= len(tp.tr) || tried[lp.Head] {
+	for _, lp := range loops {
+		if lp.Head >= n || tried[lp.Head] {
 			continue
 		}
 		tried[lp.Head] = true
-		if pcs := linearizeTrace(c, p, lp.Head); pcs != nil {
-			tp.tr[lp.Head] = convertTrace(c, lp.Head, pcs)
+		pcs, reason := linearizeFrom(c, p, lp.Head, lp.Head, inline)
+		var t *trace
+		var miss []int32
+		if pcs != nil {
+			t, reason, miss = convertTrace(c, lp.Head, pcs, inline, peek)
+		}
+		if t == nil {
+			// A refusal caused only by a never-yet-compiled callee is
+			// provisional — the plan is rebuilt when the callee appears —
+			// so it is not counted as a degradation.
+			if len(miss) == 0 {
+				noteDegrade(reason)
+			}
+			tp.noteMissing(miss)
+			continue
+		}
+		traceStats.built.Add(1)
+		tp.tr[lp.Head] = t
+
+		// OSR entry points: for every plain in-loop side exit of the head
+		// trace, try to trace the remainder of the iteration from the
+		// exit pc back to the head. Exits that left values on the operand
+		// stack cannot have a stack-neutral remainder (the head trace's
+		// own neutrality proves the remainder must consume them), so the
+		// conversion below would refuse them; skip the work.
+		for _, ex := range t.exits {
+			epc := int(ex.pc)
+			if ex.callIdx >= 0 || len(ex.push) != 0 ||
+				epc <= lp.Head || epc > lastEnd[lp.Head] || tp.tr[epc] != nil || tp.osr[epc] != nil {
+				continue
+			}
+			opcs, _ := linearizeFrom(c, p, epc, lp.Head, inline)
+			if opcs == nil {
+				continue
+			}
+			ot, _, omiss := convertTrace(c, lp.Head, opcs, inline, peek)
+			if ot == nil {
+				tp.noteMissing(omiss)
+				continue
+			}
+			ot.once = true
+			ot.parent = t
+			tp.osr[epc] = ot
 		}
 	}
 	return tp
 }
 
-// linearizeTrace walks plan segments from the loop head, linearizing the
-// fall-through/unconditional path of one iteration. It returns the pcs
-// of the iteration's instructions in execution order, or nil when the
-// loop is untraceable: a needed pc has no batchable segment (covers
-// CALL/RET/NEWARR/HALT and cold glue code), the walk revisits a segment
-// without passing the head (an inner loop's back edge — the inner loop
-// earns its own trace instead), or the iteration exceeds the size cap.
-func linearizeTrace(c *Code, p *plan, head int) []int {
+// linearizeFrom walks plan segments from start, linearizing the
+// fall-through/unconditional path until it closes at head: for
+// start == head, one full loop iteration; otherwise the tail of an
+// iteration (an OSR trace). It returns the pcs of the path's
+// instructions in execution order, with CALL instructions passed through
+// for inlining when inline is set, or nil plus a degradation reason:
+// a needed pc has no batchable segment (RET/NEWARR/HALT and cold glue
+// code), the walk revisits a segment without passing the head (an inner
+// loop's back edge — the inner loop earns its own trace instead), or the
+// path exceeds the size cap.
+func linearizeFrom(c *Code, p *plan, start, head int, inline bool) ([]int, int) {
 	var pcs []int
 	seen := make(map[int]bool)
-	cur := head
+	cur := start
 	for {
-		if cur < 0 || cur >= len(p.seg) || seen[cur] {
-			return nil
+		if cur < 0 || cur >= len(p.seg) {
+			return nil, degOther
 		}
-		s := p.seg[cur]
-		if s == nil {
-			return nil
+		if seen[cur] {
+			return nil, degInner
 		}
 		seen[cur] = true
+		s := p.seg[cur]
+		if s == nil {
+			switch c.Instrs[cur].Op {
+			case bytecode.CALL:
+				if !inline {
+					return nil, degCall
+				}
+				pcs = append(pcs, cur)
+				if len(pcs) > traceMaxInstrs {
+					return nil, degTooLarge
+				}
+				cur++ // the callee returns to the next pc
+				continue
+			case bytecode.RET:
+				return nil, degRet
+			case bytecode.NEWARR:
+				return nil, degNewArr
+			case bytecode.HALT:
+				return nil, degHalt
+			default:
+				return nil, degCold
+			}
+		}
 		end := int(s.end)
 		for pc := cur; pc < end; pc++ {
 			pcs = append(pcs, pc)
 		}
 		if len(pcs) > traceMaxInstrs {
-			return nil
+			return nil, degTooLarge
 		}
 		switch in := c.Instrs[end-1]; in.Op {
 		case bytecode.JMP:
 			if int(in.A) == head {
-				return pcs // the back edge: iteration closed
+				return pcs, degCount // the back edge: path closed
 			}
 			cur = int(in.A)
 		case bytecode.JZ, bytecode.JNZ:
 			if int(in.A) == head || end == head {
-				return pcs // conditional back edge (either sense)
+				return pcs, degCount // conditional back edge (either sense)
 			}
 			cur = end // stay on trace through the fall-through
 		default:
 			if end == head {
-				return pcs // fall-through back into the head
+				return pcs, degCount // fall-through back into the head
 			}
 			cur = end
 		}
 	}
 }
 
+// rpushVal rematerializes one symbolic stack slot onto the real operand
+// stack at a deoptimization point.
+func rpushVal(stack []bytecode.Value, tr *trace, regs []bytecode.Value, p rpush) []bytecode.Value {
+	switch symKind(p.kind) {
+	case symReg:
+		return append(stack, regs[p.v])
+	case symImm:
+		return append(stack, bytecode.Int(int64(p.v)))
+	default:
+		return append(stack, tr.consts[p.v])
+	}
+}
+
 // runTrace executes iterations of tr until the next one would not fit
-// the sample window (normal return at the head), a side exit fires, or
-// a trap fires. The caller has already verified the first iteration
-// fits and charged nothing; every path out of this function leaves the
-// engine's ledgers, locals, operand stack, and resume pc bit-identical
-// to the per-instruction loop's.
+// the sample window (normal return at the head; after a single pass for
+// once-traces), a side exit fires, or a trap fires. The caller has
+// already verified the first iteration fits and charged nothing; every
+// path out of this function leaves the engine's ledgers, locals, operand
+// stack, frames-to-be, and resume pc bit-identical to the
+// per-instruction loop's. depth is the current frame-stack depth (the
+// inlined-call depth check).
 //
 // Returns the (possibly grown) operand stack, the resume pc, and — for
 // traps only — the trap's successor pc and message (msg == "" means no
-// trap).
-func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64) ([]bytecode.Value, int, int32, string) {
+// trap). Two further outcomes travel through sc: sc.deopt asks the
+// engine loop to materialize an inlined-callee frame, and sc.trapFn
+// re-attributes a trap to an inlined callee.
+func (e *Engine) runTrace(tr *trace, sc *runScratch, depth int, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64) ([]bytecode.Value, int, int32, string) {
 	if cap(sc.regs) < int(tr.nregs) {
 		sc.regs = make([]bytecode.Value, tr.nregs)
 	}
 	regs := sc.regs[:tr.nregs]
 	nloc := int(tr.nloc)
 	copy(regs[:nloc], locals[lb:lb+nloc])
+	if len(tr.calls) > 0 {
+		if cap(sc.curCodes) < len(tr.calls) {
+			sc.curCodes = make([]*Code, len(tr.calls))
+		}
+		sc.curCodes = sc.curCodes[:len(tr.calls)]
+	}
+	if tr.once {
+		traceStats.osrEntries.Add(1)
+	} else {
+		traceStats.headEntries.Add(1)
+	}
 
 	for {
-		// One batched debit per iteration; exits and traps roll back the
-		// unexecuted suffix below.
+		// One batched debit per iteration, split per charged function;
+		// exits and traps roll back the unexecuted suffix below.
 		e.Cycles += tr.cost
-		*workP += tr.base
-		*cycP += tr.cost
+		*workP += tr.base0
+		*cycP += tr.cost0
+		for k, fn := range tr.xfns {
+			e.Work[fn] += tr.xbase[k]
+			e.FnCycles[fn] += tr.xcost[k]
+		}
 
 		for i := range tr.ins {
 			in := &tr.ins[i]
@@ -208,7 +435,7 @@ func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb
 					if in.sub == bytecode.IMOD {
 						msg = "integer modulo by zero"
 					}
-					return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP, msg)
+					return e.traceTrap(tr, sc, in.x, regs, locals, lb, stack, workP, cycP, msg)
 				}
 				if in.sub == bytecode.IDIV {
 					regs[in.d] = bytecode.Int(regs[in.a].I / y)
@@ -225,7 +452,7 @@ func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb
 					}
 					aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
 				}
-				return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP,
+				return e.traceTrap(tr, sc, in.x, regs, locals, lb, stack, workP, cycP,
 					fmt.Sprintf("aload: %v", aerr))
 			case rAStore:
 				arr, aerr := e.Array(regs[in.a])
@@ -237,12 +464,12 @@ func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb
 					}
 					aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
 				}
-				return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP,
+				return e.traceTrap(tr, sc, in.x, regs, locals, lb, stack, workP, cycP,
 					fmt.Sprintf("astore: %v", aerr))
 			case rALen:
 				arr, aerr := e.Array(regs[in.a])
 				if aerr != nil {
-					return e.traceTrap(tr, in.x, regs, locals, lb, stack, workP, cycP,
+					return e.traceTrap(tr, sc, in.x, regs, locals, lb, stack, workP, cycP,
 						fmt.Sprintf("alen: %v", aerr))
 				}
 				regs[in.d] = bytecode.Int(int64(len(arr)))
@@ -250,31 +477,99 @@ func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb
 				e.Output = append(e.Output, regs[in.a])
 			case rBrTrue:
 				if regs[in.a].IsTrue() {
-					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+					return e.traceLeave(tr, sc, in.x, regs, locals, lb, stack, workP, cycP)
 				}
 			case rBrFalse:
 				if !regs[in.a].IsTrue() {
-					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+					return e.traceLeave(tr, sc, in.x, regs, locals, lb, stack, workP, cycP)
 				}
 			case rBrCmp:
 				if intCmp(in.sub, regs[in.a].I, regs[in.b].I) == (in.d != 0) {
-					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+					return e.traceLeave(tr, sc, in.x, regs, locals, lb, stack, workP, cycP)
 				}
 			case rBrCmpI:
 				if intCmp(in.sub, regs[in.a].I, int64(in.b)) == (in.d != 0) {
-					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+					return e.traceLeave(tr, sc, in.x, regs, locals, lb, stack, workP, cycP)
 				}
 			case rBrFCmp:
 				if fltCmp(in.sub, regs[in.a].AsFloat(), regs[in.b].AsFloat()) == (in.d != 0) {
-					return e.traceLeave(tr, in.x, regs, locals, lb, stack, workP, cycP)
+					return e.traceLeave(tr, sc, in.x, regs, locals, lb, stack, workP, cycP)
 				}
+			case rCall:
+				rc := &tr.calls[in.x]
+				// Inline guard: the engine's current code for the callee
+				// must still be what was inlined. On mismatch, side-exit
+				// AT the CALL (arguments rematerialized, every charge of
+				// the call rolled back) and let the interpreter replay it
+				// — including any charging Provider fetch — against the
+				// current code.
+				cur := e.PeekCode(int(rc.fnIdx))
+				if cur != rc.code && (cur == nil || cur.Fingerprint() != rc.fp) {
+					traceStats.guardFails.Add(1)
+					return e.traceLeave(tr, sc, rc.exitX, regs, locals, lb, stack, workP, cycP)
+				}
+				sc.curCodes[in.x] = cur
+				// Depth check, before the invocation is recorded — the
+				// interpreter's push() errors out in the same order. The
+				// clock is positioned after the CALL's own charge, where
+				// the accounted loop reports this trap (at callee pc 0).
+				if depth >= maxCallDepth {
+					e.rollbackPost(tr, rc, workP, cycP)
+					copy(locals[lb:lb+nloc], regs[:nloc])
+					sc.trapFn = rc.fnIdx
+					traceStats.traps.Add(1)
+					return stack, 0, 0, fmt.Sprintf("call depth exceeds %d", maxCallDepth)
+				}
+				e.Invocations[rc.fnIdx]++
+				if e.OnInvoke != nil {
+					// The hook must observe the clock at the accounted
+					// post-CALL position: subtract the iteration's
+					// still-uncharged suffix, fire, re-add. If the hook
+					// charged cycles (a compile) and the remainder no
+					// longer fits the sample window, deoptimize by
+					// materializing the callee as a real frame at its
+					// entry — the interpreter crosses the boundary on the
+					// accounted path inside the callee, exactly as it
+					// would have.
+					e.rollbackPost(tr, rc, workP, cycP)
+					e.OnInvoke(int(rc.fnIdx), e.Invocations[rc.fnIdx])
+					if e.Cycles+int64(rc.ptot) >= e.nextSample {
+						traceStats.inlineDeopts.Add(1)
+						copy(locals[lb:lb+nloc], regs[:nloc])
+						for _, p := range rc.push {
+							stack = rpushVal(stack, tr, regs, p)
+						}
+						sc.deopt = deoptState{
+							active: true, entry: true, code: sc.curCodes[in.x],
+							pc: 0, lbase: rc.lbase, nargs: rc.nargs, nloc: rc.nloc, tr: tr,
+						}
+						return stack, int(rc.callPC) + 1, 0, ""
+					}
+					e.chargePost(tr, rc, workP, cycP)
+				}
+				// Fresh activation: non-argument callee locals start zero
+				// (the argument registers were filled just above by the
+				// trace's own moves).
+				for j := rc.lbase + rc.nargs; j < rc.lbase+rc.nloc; j++ {
+					regs[j] = bytecode.Value{}
+				}
+				traceStats.inlinedCalls.Add(1)
 			}
 		}
 
-		// Back at the head. Loop only while the next full iteration still
-		// fits the sample window; otherwise hand back to the engine loop,
-		// which crosses the boundary on the accounted path exactly as the
-		// other tiers do.
+		// Back at the head. A once-trace (OSR tail) always hands back —
+		// the head trace takes over from here — and StressDeopt forces a
+		// hand-back every iteration to hammer the exit/re-entry machinery.
+		// Otherwise loop only while the next full iteration still fits the
+		// sample window; the engine loop crosses the boundary on the
+		// accounted path exactly as the other tiers do.
+		if tr.once || e.StressDeopt {
+			if e.StressDeopt && !tr.once {
+				traceStats.deopts.Add(1)
+			}
+			copy(locals[lb:lb+nloc], regs[:nloc])
+			return stack, int(tr.head), 0, ""
+		}
 		if e.Cycles+tr.cost >= e.nextSample {
 			copy(locals[lb:lb+nloc], regs[:nloc])
 			return stack, int(tr.head), 0, ""
@@ -282,36 +577,85 @@ func (e *Engine) runTrace(tr *trace, sc *runScratch, locals []bytecode.Value, lb
 	}
 }
 
-// traceLeave takes side exit x: roll back the unexecuted suffix, write
-// the register file back to the locals, and rematerialize the symbolic
-// operand stack, resuming at the exit's bytecode pc.
-func (e *Engine) traceLeave(tr *trace, x int32, regs, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64) ([]bytecode.Value, int, int32, string) {
+// rollbackPost subtracts the iteration charges not yet earned at the
+// accounted post-CALL position of call site rc: the suffix after the
+// CALL item, split per charged function.
+func (e *Engine) rollbackPost(tr *trace, rc *rcall, workP, cycP *int64) {
+	e.Cycles -= int64(rc.ptot)
+	*workP -= int64(rc.premBase)
+	*cycP -= int64(rc.prem)
+	for _, sr := range rc.pcrem {
+		fn := tr.xfns[sr.slot-1]
+		e.Work[fn] -= int64(sr.remBase)
+		e.FnCycles[fn] -= int64(sr.rem)
+	}
+}
+
+// chargePost re-adds what rollbackPost subtracted, returning the clock to
+// the whole-iteration-charged state the trace runs under.
+func (e *Engine) chargePost(tr *trace, rc *rcall, workP, cycP *int64) {
+	e.Cycles += int64(rc.ptot)
+	*workP += int64(rc.premBase)
+	*cycP += int64(rc.prem)
+	for _, sr := range rc.pcrem {
+		fn := tr.xfns[sr.slot-1]
+		e.Work[fn] += int64(sr.remBase)
+		e.FnCycles[fn] += int64(sr.rem)
+	}
+}
+
+// traceLeave takes side exit x: roll back the unexecuted suffix (per
+// charged function), write the register file back to the locals, and
+// rematerialize the symbolic operand stack, resuming at the exit's
+// bytecode pc. A callee exit additionally deposits a frame
+// materialization request in sc.deopt: the engine loop reconstructs the
+// inlined callee as a real frame resuming at the branch target, with the
+// caller set to resume after the CALL.
+func (e *Engine) traceLeave(tr *trace, sc *runScratch, x int32, regs, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64) ([]bytecode.Value, int, int32, string) {
 	ex := &tr.exits[x]
-	e.Cycles -= int64(ex.rem)
+	e.Cycles -= int64(ex.tot)
 	*workP -= int64(ex.remBase)
 	*cycP -= int64(ex.rem)
+	for _, sr := range ex.crem {
+		fn := tr.xfns[sr.slot-1]
+		e.Work[fn] -= int64(sr.remBase)
+		e.FnCycles[fn] -= int64(sr.rem)
+	}
 	copy(locals[lb:lb+int(tr.nloc)], regs[:tr.nloc])
 	for _, p := range ex.push {
-		switch symKind(p.kind) {
-		case symReg:
-			stack = append(stack, regs[p.v])
-		case symImm:
-			stack = append(stack, bytecode.Int(int64(p.v)))
-		default:
-			stack = append(stack, tr.consts[p.v])
+		stack = rpushVal(stack, tr, regs, p)
+	}
+	traceStats.sideExits.Add(1)
+	if ex.callIdx >= 0 {
+		rc := &tr.calls[ex.callIdx]
+		sc.deopt = deoptState{
+			active: true, code: sc.curCodes[ex.callIdx],
+			pc: ex.cpc, lbase: rc.lbase, nargs: rc.nargs, nloc: rc.nloc,
+			tr: tr, cpush: ex.cpush,
 		}
+		return stack, int(rc.callPC) + 1, 0, ""
 	}
 	return stack, int(ex.pc), 0, ""
 }
 
 // traceTrap aborts the run at trap x: same suffix rollback and local
 // write-back as a side exit, then the trap surfaces at the successor pc
-// with the message the accounted loop would produce.
-func (e *Engine) traceTrap(tr *trace, x int32, regs, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64, msg string) ([]bytecode.Value, int, int32, string) {
+// with the message the accounted loop would produce — re-attributed via
+// sc.trapFn when the trapping instruction was inlined from a callee.
+func (e *Engine) traceTrap(tr *trace, sc *runScratch, x int32, regs, locals []bytecode.Value, lb int, stack []bytecode.Value, workP, cycP *int64, msg string) ([]bytecode.Value, int, int32, string) {
 	t := &tr.traps[x]
-	e.Cycles -= int64(t.rem)
+	e.Cycles -= int64(t.tot)
 	*workP -= int64(t.remBase)
 	*cycP -= int64(t.rem)
+	for _, sr := range t.crem {
+		fn := tr.xfns[sr.slot-1]
+		e.Work[fn] -= int64(sr.remBase)
+		e.FnCycles[fn] -= int64(sr.rem)
+	}
 	copy(locals[lb:lb+int(tr.nloc)], regs[:tr.nloc])
+	if t.fn >= 0 {
+		sc.trapFn = t.fn
+	}
+	traceStats.traps.Add(1)
 	return stack, 0, t.tpc, msg
 }

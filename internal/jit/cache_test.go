@@ -176,3 +176,107 @@ func TestCacheCarriesTracePlans(t *testing.T) {
 		t.Fatal("cached form lost its trace plan")
 	}
 }
+
+// TestCacheCarriesOSRAndInlineGuards extends the round trip to the OSR
+// and inlining machinery: a run that builds a trace plan with mid-loop
+// OSR entry points and guarded inlined call sites leaves them on the
+// shared Code, and a second compiler resolving the same key receives the
+// identical plan — entry maps and inline guards included. The guards
+// re-validate against each run's own code table, so carrying them across
+// runs is safe by construction.
+func TestCacheCarriesOSRAndInlineGuards(t *testing.T) {
+	src := `
+global n
+func main() locals acc
+  const 0
+  call hot 1
+  store acc
+  load acc
+  ret
+end
+func hot(x) locals i s
+  const 0
+  store s
+  const 0
+  store i
+loop:
+  load i
+  gload n
+  ige
+  jnz done
+  load s
+  load i
+  call leaf 1
+  iadd
+  store s
+  load i
+  const 3
+  imod
+  jz skip
+  iinc i 1
+  jmp loop
+skip:
+  load s
+  const 1
+  iadd
+  store s
+  iinc i 1
+  jmp loop
+done:
+  load s
+  ret
+end
+func leaf(x)
+  load x
+  load x
+  imul
+  const 1
+  iadd
+  ret
+end
+`
+	prog, err := bytecode.Assemble("cachetest", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewCache()
+	c1 := NewCompiler(prog, Config{})
+	c1.UseShared(shared)
+	hotIdx, ok := prog.FuncIndex("hot")
+	if !ok {
+		t.Fatal("no hot function")
+	}
+	codes := make([]*interp.Code, len(prog.Funcs))
+	for i := range prog.Funcs {
+		codes[i], _ = c1.Baseline(i)
+	}
+
+	e := interp.NewEngine(prog)
+	e.EagerRegTier = true
+	e.EagerOSR = true
+	e.Provider = func(fn int) *interp.Code { return codes[fn] }
+	e.PeekCode = func(fn int) *interp.Code { return codes[fn] }
+	if err := e.SetGlobal("n", bytecode.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	heads, osr, inlined := codes[hotIdx].TraceInfo(true)
+	if heads == 0 || osr == 0 || inlined == 0 {
+		t.Fatalf("run built heads=%d osr=%d inlined=%d; want all nonzero", heads, osr, inlined)
+	}
+
+	// Second compiler, same shared cache: identical Code, identical plan.
+	c2 := NewCompiler(prog, Config{})
+	c2.UseShared(shared)
+	code2, _ := c2.Baseline(hotIdx)
+	if code2 != codes[hotIdx] {
+		t.Fatal("shared cache returned a different code form")
+	}
+	h2, o2, i2 := code2.TraceInfo(true)
+	if h2 != heads || o2 != osr || i2 != inlined {
+		t.Fatalf("cached form's trace plan changed: heads=%d osr=%d inlined=%d, want %d/%d/%d",
+			h2, o2, i2, heads, osr, inlined)
+	}
+}

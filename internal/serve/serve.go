@@ -653,6 +653,12 @@ type Stats struct {
 	// Wall-clock latency quantiles in nanoseconds (reporting only).
 	WallP50 int64 `json:"wall_p50_ns"`
 	WallP99 int64 `json:"wall_p99_ns"`
+	// Trace reports the register-trace tier's activity — builds,
+	// per-reason degradations, head/OSR entries, side exits, deopts,
+	// guard failures, inlined calls. Process-global (the counters
+	// aggregate every engine in the process, not only this server's);
+	// host-side diagnostics only, never a virtual observable.
+	Trace interp.TraceStats `json:"trace"`
 }
 
 // StatsNow reads the current stats.
@@ -691,6 +697,7 @@ func (s *Server) StatsNow() Stats {
 	st.WallP50 = s.whist.Quantile(0.50)
 	st.WallP99 = s.whist.Quantile(0.99)
 	s.outMu.Unlock()
+	st.Trace = interp.ReadTraceStats()
 	return st
 }
 
