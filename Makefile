@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchcmp clean
+.PHONY: build generate test race vet bench benchcmp clean
 
 build:
 	$(GO) build ./...
+
+# generate rebuilds every *_gen.go file from the single op spec in
+# internal/opspec via cmd/tiergen. CI fails if the committed generated
+# files drift from the generator's output.
+generate:
+	$(GO) generate ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"evolvevm/internal/opspec"
+)
+
+// genBytecode emits internal/bytecode/ops_gen.go: the opcode constants in
+// spec order, the static metadata table, the control-flow predicate
+// flags, and the baseline cycle-cost table.
+func genBytecode(table []opspec.Op) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString("package bytecode\n\n")
+
+	b.WriteString("// The instruction set, in spec order. Opcode byte values are ABI:\n")
+	b.WriteString("// serialized programs and experiment checksums depend on them, so the\n")
+	b.WriteString("// spec only ever appends.\n")
+	b.WriteString("const (\n")
+	for i, o := range table {
+		if i == 0 {
+			fmt.Fprintf(&b, "\t%s Op = iota // %s\n", o.Enum, o.Name)
+		} else {
+			fmt.Fprintf(&b, "\t%s // %s\n", o.Enum, o.Name)
+		}
+	}
+	b.WriteString("\n\tnumOps\n)\n\n")
+
+	b.WriteString("// opTable holds the static properties of every opcode: mnemonic, stack\n")
+	b.WriteString("// effect, and the operand kind checked by the assembler and verifier.\n")
+	b.WriteString("var opTable = [numOps]opInfo{\n")
+	for _, o := range table {
+		kind, _ := o.Operands.GoName()
+		fmt.Fprintf(&b, "\t%s: {%q, %d, %d, %s},\n", o.Enum, o.Name, o.Pops, o.Pushes, kind)
+	}
+	b.WriteString("}\n\n")
+
+	b.WriteString("// opFlags holds the control-flow and trap predicates of every opcode.\n")
+	b.WriteString("var opFlags = [numOps]uint8{\n")
+	for _, o := range table {
+		var flags []string
+		if o.Jump {
+			flags = append(flags, "flagJump")
+		}
+		if o.CondJump {
+			flags = append(flags, "flagCondJump")
+		}
+		if o.Terminator {
+			flags = append(flags, "flagTerminator")
+		}
+		if o.CanTrap() {
+			flags = append(flags, "flagTrap")
+		}
+		if len(flags) > 0 {
+			fmt.Fprintf(&b, "\t%s: %s,\n", o.Enum, strings.Join(flags, " | "))
+		}
+	}
+	b.WriteString("}\n\n")
+
+	b.WriteString("// opCost holds the baseline interpreter cycle cost of each opcode — the\n")
+	b.WriteString("// single source of every tier's charge tables and of the harness's\n")
+	b.WriteString("// cycle accounting.\n")
+	b.WriteString("var opCost = [numOps]int64{\n")
+	for _, o := range table {
+		fmt.Fprintf(&b, "\t%s: %d,\n", o.Enum, o.Cost)
+	}
+	b.WriteString("}\n\n")
+
+	b.WriteString("// OpCost returns the baseline interpreter cycle cost of op.\n")
+	b.WriteString("func OpCost(op Op) int64 { return opCost[op] }\n")
+	return b.String()
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"evolvevm/internal/opspec"
+)
+
+// genClosure emits internal/interp/closure_gen.go: the closure-threaded
+// tier's constructors for plain (opcode-level) micro-ops. The fused
+// superinstruction constructors stay in closure.go's scaffolding — they
+// are combinations of ops, not ops — but every opcode-level closure is
+// derived from the spec: scalar groups bind the generated group helpers
+// (or their trap clauses), pure kernel ops lift the generated semantic
+// kernels, and structural ops come from the snippet table below.
+func genClosure(table []opspec.Op) string {
+	var b strings.Builder
+	for _, ar := range kernelArities(table) {
+		emitClosKernelHelper(&b, ar)
+	}
+	b.WriteString(closTop)
+	doneGroups := make(map[string]bool)
+	doneArity := make(map[int]bool)
+	for _, o := range table {
+		if segClassOf(o) == "" {
+			continue
+		}
+		switch {
+		case o.Group != "":
+			if !doneGroups[o.Group] {
+				doneGroups[o.Group] = true
+				emitClosGroupArms(&b, table, o.Group)
+			}
+		case kernelOp(o):
+			if !doneArity[o.Pops] {
+				doneArity[o.Pops] = true
+				emitClosKernelArm(&b, table, o.Pops)
+			}
+		default:
+			snip, ok := closSnippets[o.Enum]
+			if !ok {
+				fail("op %s has no scalar group, no kernel, and no closure-tier snippet", o.Enum)
+			}
+			fmt.Fprintf(&b, "case bytecode.%s:\n", o.Enum)
+			b.WriteString(snip)
+		}
+	}
+	b.WriteString(closBottom)
+	return interpFile(b.String())
+}
+
+// kernelArities returns the distinct pop counts of the spec's segment-
+// admitted kernel ops, in spec order.
+func kernelArities(table []opspec.Op) []int {
+	var ars []int
+	seen := make(map[int]bool)
+	for _, o := range table {
+		if kernelOp(o) && segClassOf(o) != "" && !seen[o.Pops] {
+			seen[o.Pops] = true
+			ars = append(ars, o.Pops)
+		}
+	}
+	return ars
+}
+
+// emitClosKernelHelper emits closKernelN, which lifts an N-operand
+// semantic kernel into a closure micro-op.
+func emitClosKernelHelper(b *strings.Builder, ar int) {
+	params := strings.TrimSuffix(strings.Repeat("bytecode.Value, ", ar), ", ")
+	fmt.Fprintf(b, "// closKernel%d lifts a %d-operand semantic kernel into a closure micro-op.\n", ar, ar)
+	fmt.Fprintf(b, "func closKernel%d(k func(%s) bytecode.Value) closOp {\n", ar, params)
+	if ar == 1 {
+		b.WriteString(`return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+sp[len(sp)-1] = k(sp[len(sp)-1])
+return sp, closFall
+}
+}
+
+`)
+		return
+	}
+	var args []string
+	for i := 0; i < ar; i++ {
+		args = append(args, fmt.Sprintf("sp[n-%d]", ar-i))
+	}
+	fmt.Fprintf(b, `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+v := k(%s)
+sp = sp[:n-%d]
+sp[n-%d] = v
+return sp, closFall
+}
+}
+
+`, strings.Join(args, ", "), ar-1, ar)
+}
+
+// emitClosKernelArm emits the arm binding every segment-admitted kernel
+// op of one arity to the matching closKernelN/semTabN pair.
+func emitClosKernelArm(b *strings.Builder, table []opspec.Op, ar int) {
+	var names []string
+	for _, o := range table {
+		if kernelOp(o) && segClassOf(o) != "" && o.Pops == ar {
+			names = append(names, "bytecode."+o.Enum)
+		}
+	}
+	fmt.Fprintf(b, "case %s:\n", strings.Join(names, ", "))
+	fmt.Fprintf(b, "return closKernel%d(semTab%d[f.op])\n", ar, ar)
+}
+
+// closGroupHelpers maps each scalar group to the generated helper its
+// non-trapping closure binds (intcmp instead pre-decomposes into its
+// cmpFlags truth table, trading the call for two compares).
+var closGroupHelpers = map[string]string{
+	"intbin": "intBin",
+	"fltbin": "fltBin",
+	"fltcmp": "fltCmp",
+}
+
+// emitClosGroupArms emits one scalar group's closure constructors: a
+// shared arm for the non-trapping members (helper or truth table bound at
+// build time) and one generated arm per trapping member with its spec
+// trap clauses and suffix-charge rollback spliced in.
+func emitClosGroupArms(b *strings.Builder, table []opspec.Op, group string) {
+	gi := groupInfos[group]
+	var plain, traps []opspec.Op
+	for _, o := range membersOf(table, group) {
+		if o.CanTrap() {
+			traps = append(traps, o)
+		} else {
+			plain = append(plain, o)
+		}
+	}
+	if len(plain) > 0 {
+		var names []string
+		for _, o := range plain {
+			names = append(names, "bytecode."+o.Enum)
+		}
+		fmt.Fprintf(b, "case %s:\n", strings.Join(names, ", "))
+		if group == "intcmp" {
+			b.WriteString(`lt, eq, gt, _ := cmpFlags(f.op)
+return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+x, y := sp[n-2].I, sp[n-1].I
+r := gt
+if x < y {
+r = lt
+} else if x == y {
+r = eq
+}
+sp = sp[:n-1]
+sp[n-2] = bytecode.Bool(r)
+return sp, closFall
+}
+`)
+		} else {
+			helper, ok := closGroupHelpers[group]
+			if !ok {
+				fail("scalar group %q has no closure helper form", group)
+			}
+			fmt.Fprintf(b, `opc := f.op
+return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+r := %s(opc, sp[n-2]%s, sp[n-1]%s)
+sp = sp[:n-1]
+sp[n-2] = %s(r)
+return sp, closFall
+}
+`, helper, gi.access, gi.access, gi.wrap)
+		}
+	}
+	for _, o := range traps {
+		fmt.Fprintf(b, "case bytecode.%s:\n", o.Enum)
+		fmt.Fprintf(b, "return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {\nn := len(sp)\na, b := sp[n-2]%s, sp[n-1]%s\nsp = sp[:n-1]\n", gi.access, gi.access)
+		for _, t := range o.Traps {
+			if t.Cond != "" {
+				fmt.Fprintf(b, "if %s {\n", t.Cond)
+			}
+			fmt.Fprintf(b, "st.rem, st.remBase, st.tpc, st.msg = rem, remBase, tpc, %q\nreturn sp, closTrap\n", t.Msg)
+			if t.Cond != "" {
+				b.WriteString("}\n")
+			}
+		}
+		fmt.Fprintf(b, "sp[n-2] = %s(%s)\nreturn sp, closFall\n}\n", gi.wrap, o.Scalar)
+	}
+}
+
+// closTop opens closCompilePlain: prologue binding the decoded operand
+// and the trap rollback data every arm may capture.
+const closTop = `// closCompilePlain builds the closure for one plain (opcode-level)
+// micro-op, pre-binding decoded operands, constants, comparison truth
+// tables, and trap rollback data. Every arm reproduces the corresponding
+// case of the generated plan switch in engine_run_gen.go; ops outside
+// the fusion classes return nil and keep their segment on the accounted
+// path.
+func closCompilePlain(c *Code, f *fop) closOp {
+	a := int(f.a)
+	rem, remBase, tpc := f.rem, f.remBase, f.tpc
+
+	switch f.op {
+`
+
+const closBottom = `}
+return nil
+}
+`
+
+// closSnippets are the closure constructors of the segment-admitted
+// structural ops, whose semantics live in engine state rather than in a
+// value kernel. Each snippet is the body of one case arm and returns the
+// pre-bound closure.
+var closSnippets = map[string]string{
+	"NOP": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return sp, closFall
+}
+`,
+	"IPUSH": `v := bytecode.Int(int64(f.a))
+return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return append(sp, v), closFall
+}
+`,
+	"CONST": `v := c.Consts[a]
+return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return append(sp, v), closFall
+}
+`,
+	"LOAD": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return append(sp, st.locals[st.lb+a]), closFall
+}
+`,
+	"STORE": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+st.locals[st.lb+a] = sp[n-1]
+return sp[:n-1], closFall
+}
+`,
+	"GLOAD": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return append(sp, st.e.Globals[a]), closFall
+}
+`,
+	"GSTORE": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+st.e.Globals[a] = sp[n-1]
+return sp[:n-1], closFall
+}
+`,
+	"IINC": `inc := int64(f.b)
+return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+st.locals[st.lb+a].I += inc
+return sp, closFall
+}
+`,
+	"POP": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return sp[:len(sp)-1], closFall
+}
+`,
+	"DUP": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return append(sp, sp[len(sp)-1]), closFall
+}
+`,
+	"SWAP": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+sp[n-1], sp[n-2] = sp[n-2], sp[n-1]
+return sp, closFall
+}
+`,
+	"JMP": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+return sp, a
+}
+`,
+	"JZ": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+v := sp[n-1]
+sp = sp[:n-1]
+if !v.IsTrue() {
+return sp, a
+}
+return sp, closFall
+}
+`,
+	"JNZ": `return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+v := sp[n-1]
+sp = sp[:n-1]
+if v.IsTrue() {
+return sp, a
+}
+return sp, closFall
+}
+`,
+	"ALOAD": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+arr, aerr := st.e.Array(sp[n-2])
+if aerr == nil {
+idx := sp[n-1].AsInt()
+if idx >= 0 && idx < int64(len(arr)) {
+sp = sp[:n-1]
+sp[n-2] = arr[idx]
+return sp, closFall
+}
+aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+}
+st.rem, st.remBase, st.tpc = rem, remBase, tpc
+st.msg = fmt.Sprintf("aload: %v", aerr)
+return sp, closTrap
+}
+`,
+	"ASTORE": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+arr, aerr := st.e.Array(sp[n-3])
+if aerr == nil {
+idx := sp[n-2].AsInt()
+if idx >= 0 && idx < int64(len(arr)) {
+arr[idx] = sp[n-1]
+return sp[:n-3], closFall
+}
+aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+}
+st.rem, st.remBase, st.tpc = rem, remBase, tpc
+st.msg = fmt.Sprintf("astore: %v", aerr)
+return sp, closTrap
+}
+`,
+	"ALEN": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+arr, aerr := st.e.Array(sp[len(sp)-1])
+if aerr != nil {
+st.rem, st.remBase, st.tpc = rem, remBase, tpc
+st.msg = fmt.Sprintf("alen: %v", aerr)
+return sp, closTrap
+}
+sp[len(sp)-1] = bytecode.Int(int64(len(arr)))
+return sp, closFall
+}
+`,
+	"PRINT": `return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
+n := len(sp)
+st.e.Output = append(st.e.Output, sp[n-1])
+return sp[:n-1], closFall
+}
+`,
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"evolvevm/internal/opspec"
+)
+
+// genRegir emits internal/interp/regir_gen.go: the register tier's
+// lowering rules. The stack-to-register converter's structural handling
+// (symbolic stack, register allocation, exits, inlining) is scaffolding
+// in regir.go; which register form each value op lowers to — and the
+// trap message a trapping group op reports — is derived from the spec
+// here, so a spec-only opcode reaches the trace tier with no converter
+// edits.
+func genRegir(table []opspec.Op) string {
+	var b strings.Builder
+	b.WriteString(regirTop)
+	for _, o := range table {
+		k := regLowerKindOf(o)
+		if k == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "bytecode.%s: %s,\n", o.Enum, k)
+	}
+	b.WriteString("}\n\n")
+	b.WriteString(`// regTrapMsg is the trap message of each trapping group op, for the
+// register forms that re-check the trap condition at run time.
+var regTrapMsg = [bytecode.NumOps]string{
+`)
+	for _, o := range table {
+		if o.Group != "" && o.CanTrap() {
+			fmt.Fprintf(&b, "bytecode.%s: %q,\n", o.Enum, o.Traps[0].Msg)
+		}
+	}
+	b.WriteString("}\n")
+	return interpFile(b.String())
+}
+
+// regLowerKindOf classifies one op for the register tier, or "" for ops
+// the converter's scaffolding handles (or refuses) by name.
+func regLowerKindOf(o opspec.Op) string {
+	switch {
+	case o.Group == "intbin" && o.CanTrap():
+		return "lowTrapBin"
+	case o.Group == "intbin":
+		return "lowIntBin"
+	case o.Group == "intcmp":
+		return "lowIntCmp"
+	case o.Group == "fltbin":
+		return "lowFltBin"
+	case o.Group == "fltcmp":
+		return "lowFltCmp"
+	case o.Group != "":
+		fail("scalar group %q has no register-tier lowering", o.Group)
+	case kernelOp(o):
+		if o.Pops < 1 || o.Pops > 3 {
+			fail("kernel op %s pops %d values; the register tier lowers 1-3", o.Enum, o.Pops)
+		}
+		return fmt.Sprintf("lowPure%d", o.Pops)
+	}
+	if o.CanTrap() && o.Group != "" {
+		fail("trapping op %s has no register-tier trap lowering", o.Enum)
+	}
+	return ""
+}
+
+const regirTop = `// regLowerKind classifies how the stack-to-register converter lowers a
+// value op: scalar groups map to their shared register forms (with
+// immediate variants and integer constant folding), trapping group
+// members re-check their trap condition at run time, and pure kernel
+// ops become rPureN over the generated semantic tables. lowPure1..3
+// are consecutive: the converter computes the arity as
+// kind - lowPure1 + 1.
+type regLowerKind uint8
+
+const (
+	lowNone    regLowerKind = iota // converter scaffolding handles (or refuses) by name
+	lowIntBin                      // rBin/rBinI
+	lowIntCmp                      // rCmp/rCmpI, fusible into branch exits
+	lowFltBin                      // rFBin
+	lowFltCmp                      // rFCmp, fusible into branch exits
+	lowTrapBin                     // rDivMod with trap record
+	lowPure1                       // rPure1: semTab1 kernel
+	lowPure2                       // rPure2: semTab2 kernel
+	lowPure3                       // rPure3: semTab3 kernel
+)
+
+// regLower maps every opcode to its lowering rule.
+var regLower = [bytecode.NumOps]regLowerKind{
+`

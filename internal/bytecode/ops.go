@@ -7,111 +7,21 @@
 // operand stack. Methods are the unit of compilation, exactly as in the
 // paper's Jikes RVM substrate: the optimizer chooses a compilation level for
 // every function independently.
+//
+// The instruction set itself is declared once, in internal/opspec; the
+// opcode constants and every static metadata table in this package
+// (ops_gen.go) are generated from that spec by cmd/tiergen, together with
+// the dispatch arms of all four execution tiers in internal/interp. See
+// DESIGN.md §13.
 package bytecode
+
+//go:generate go run evolvevm/cmd/tiergen -root ../..
 
 import "fmt"
 
-// Op is a bytecode opcode.
+// Op is a bytecode opcode. The constants live in ops_gen.go, in spec
+// order; see internal/opspec for each op's semantics.
 type Op uint8
-
-// The instruction set. Unless stated otherwise, operands A and B of an
-// Instr are unused.
-const (
-	// NOP does nothing. Eliminated by every optimization level.
-	NOP Op = iota
-
-	// IPUSH pushes the int32 literal A as an integer value.
-	IPUSH
-	// CONST pushes constant-pool entry A.
-	CONST
-
-	// LOAD pushes local slot A; STORE pops into local slot A.
-	LOAD
-	STORE
-	// GLOAD pushes global slot A; GSTORE pops into global slot A.
-	GLOAD
-	GSTORE
-
-	// IINC adds the immediate B to integer local A (no stack traffic).
-	IINC
-
-	// POP discards the top of stack; DUP duplicates it; SWAP exchanges the
-	// top two values.
-	POP
-	DUP
-	SWAP
-
-	// Integer arithmetic. Binary ops pop b then a and push a∘b.
-	IADD
-	ISUB
-	IMUL
-	IDIV
-	IMOD
-	INEG
-	IAND
-	IOR
-	IXOR
-	ISHL
-	ISHR
-	INOT
-
-	// Float arithmetic.
-	FADD
-	FSUB
-	FMUL
-	FDIV
-	FNEG
-	FSQRT
-	FABS
-
-	// Conversions.
-	I2F
-	F2I
-
-	// Comparisons push integer 1 or 0.
-	IEQ
-	INE
-	ILT
-	ILE
-	IGT
-	IGE
-	FEQ
-	FNE
-	FLT
-	FLE
-	FGT
-	FGE
-
-	// JMP jumps to instruction index A. JZ/JNZ pop an integer and jump if
-	// it is zero / nonzero.
-	JMP
-	JZ
-	JNZ
-
-	// CALL invokes function index A with B arguments taken from the stack
-	// (pushed left to right). The callee's return value is pushed.
-	CALL
-	// RET returns the top of stack to the caller. Every function returns
-	// exactly one value.
-	RET
-
-	// NEWARR pops a length n and pushes a reference to a new zeroed array
-	// of n values. ALOAD pops index then array and pushes the element.
-	// ASTORE pops value, index, array. ALEN pops an array and pushes its
-	// length.
-	NEWARR
-	ALOAD
-	ASTORE
-	ALEN
-
-	// PRINT pops a value and appends it to the machine's output log.
-	PRINT
-
-	// HALT stops the machine.
-	HALT
-
-	numOps
-)
 
 // NumOps is the number of defined opcodes.
 const NumOps = int(numOps)
@@ -138,63 +48,13 @@ const (
 	opsCall               // A is a function index, B an arg count
 )
 
-var opTable = [numOps]opInfo{
-	NOP:    {"nop", 0, 0, opsNone},
-	IPUSH:  {"ipush", 0, 1, opsImm},
-	CONST:  {"const", 0, 1, opsConst},
-	LOAD:   {"load", 0, 1, opsLocal},
-	STORE:  {"store", 1, 0, opsLocal},
-	GLOAD:  {"gload", 0, 1, opsGlobal},
-	GSTORE: {"gstore", 1, 0, opsGlobal},
-	IINC:   {"iinc", 0, 0, opsLocImm},
-	POP:    {"pop", 1, 0, opsNone},
-	DUP:    {"dup", 1, 2, opsNone},
-	SWAP:   {"swap", 2, 2, opsNone},
-	IADD:   {"iadd", 2, 1, opsNone},
-	ISUB:   {"isub", 2, 1, opsNone},
-	IMUL:   {"imul", 2, 1, opsNone},
-	IDIV:   {"idiv", 2, 1, opsNone},
-	IMOD:   {"imod", 2, 1, opsNone},
-	INEG:   {"ineg", 1, 1, opsNone},
-	IAND:   {"iand", 2, 1, opsNone},
-	IOR:    {"ior", 2, 1, opsNone},
-	IXOR:   {"ixor", 2, 1, opsNone},
-	ISHL:   {"ishl", 2, 1, opsNone},
-	ISHR:   {"ishr", 2, 1, opsNone},
-	INOT:   {"inot", 1, 1, opsNone},
-	FADD:   {"fadd", 2, 1, opsNone},
-	FSUB:   {"fsub", 2, 1, opsNone},
-	FMUL:   {"fmul", 2, 1, opsNone},
-	FDIV:   {"fdiv", 2, 1, opsNone},
-	FNEG:   {"fneg", 1, 1, opsNone},
-	FSQRT:  {"fsqrt", 1, 1, opsNone},
-	FABS:   {"fabs", 1, 1, opsNone},
-	I2F:    {"i2f", 1, 1, opsNone},
-	F2I:    {"f2i", 1, 1, opsNone},
-	IEQ:    {"ieq", 2, 1, opsNone},
-	INE:    {"ine", 2, 1, opsNone},
-	ILT:    {"ilt", 2, 1, opsNone},
-	ILE:    {"ile", 2, 1, opsNone},
-	IGT:    {"igt", 2, 1, opsNone},
-	IGE:    {"ige", 2, 1, opsNone},
-	FEQ:    {"feq", 2, 1, opsNone},
-	FNE:    {"fne", 2, 1, opsNone},
-	FLT:    {"flt", 2, 1, opsNone},
-	FLE:    {"fle", 2, 1, opsNone},
-	FGT:    {"fgt", 2, 1, opsNone},
-	FGE:    {"fge", 2, 1, opsNone},
-	JMP:    {"jmp", 0, 0, opsTarget},
-	JZ:     {"jz", 1, 0, opsTarget},
-	JNZ:    {"jnz", 1, 0, opsTarget},
-	CALL:   {"call", -1, 1, opsCall},
-	RET:    {"ret", 1, 0, opsNone},
-	NEWARR: {"newarr", 1, 1, opsNone},
-	ALOAD:  {"aload", 2, 1, opsNone},
-	ASTORE: {"astore", 3, 0, opsNone},
-	ALEN:   {"alen", 1, 1, opsNone},
-	PRINT:  {"print", 1, 0, opsNone},
-	HALT:   {"halt", 0, 0, opsNone},
-}
+// Flag bits of the generated opFlags table.
+const (
+	flagJump       = 1 << iota // transfers control to operand A
+	flagCondJump               // conditional branch
+	flagTerminator             // control never falls through
+	flagTrap                   // has at least one trap clause
+)
 
 // String returns the assembler mnemonic of the opcode.
 func (op Op) String() string {
@@ -218,13 +78,17 @@ func (op Op) Pops() (n int, fixed bool) {
 func (op Op) Pushes() int { return opTable[op].pushes }
 
 // IsJump reports whether the opcode transfers control to its A operand.
-func (op Op) IsJump() bool { return op == JMP || op == JZ || op == JNZ }
+func (op Op) IsJump() bool { return op < numOps && opFlags[op]&flagJump != 0 }
 
 // IsConditionalJump reports whether the opcode is a conditional branch.
-func (op Op) IsConditionalJump() bool { return op == JZ || op == JNZ }
+func (op Op) IsConditionalJump() bool { return op < numOps && opFlags[op]&flagCondJump != 0 }
 
 // IsTerminator reports whether control never falls through the opcode.
-func (op Op) IsTerminator() bool { return op == JMP || op == RET || op == HALT }
+func (op Op) IsTerminator() bool { return op < numOps && opFlags[op]&flagTerminator != 0 }
+
+// CanTrap reports whether the opcode has at least one trap clause in the
+// spec (division by zero, array bounds, allocation failure).
+func (op Op) CanTrap() bool { return op < numOps && opFlags[op]&flagTrap != 0 }
 
 // opByName maps mnemonics to opcodes for the assembler.
 var opByName = func() map[string]Op {
@@ -244,7 +108,7 @@ func OpByName(name string) (Op, bool) {
 }
 
 // Instr is a single bytecode instruction. The interpretation of A and B
-// depends on the opcode; see the Op constants.
+// depends on the opcode; see internal/opspec.
 type Instr struct {
 	Op Op
 	A  int32

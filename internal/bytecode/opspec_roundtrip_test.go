@@ -1,0 +1,72 @@
+package bytecode
+
+import (
+	"testing"
+
+	"evolvevm/internal/opspec"
+)
+
+// TestSpecRoundTrip round-trips every opcode between the declarative spec
+// and the generated metadata in this package: opcode values follow spec
+// order, and each op's mnemonic, stack effect, cost, and control-flow/trap
+// predicates must match its spec entry exactly. A failure here means the
+// committed generated tables have drifted from internal/opspec.
+func TestSpecRoundTrip(t *testing.T) {
+	if len(opspec.Table) != NumOps {
+		t.Fatalf("spec has %d ops, generated tables have %d", len(opspec.Table), NumOps)
+	}
+	for i := range opspec.Table {
+		so := &opspec.Table[i]
+		op := Op(i)
+		if !op.Valid() {
+			t.Errorf("%s: Op(%d) not valid", so.Enum, i)
+			continue
+		}
+		if op.String() != so.Name {
+			t.Errorf("%s: mnemonic %q, spec says %q", so.Enum, op.String(), so.Name)
+		}
+		if got, ok := OpByName(so.Name); !ok || got != op {
+			t.Errorf("%s: OpByName(%q) = %v, %v; want %v", so.Enum, so.Name, got, ok, op)
+		}
+		pops, fixed := op.Pops()
+		if fixed != (so.Pops >= 0) || (fixed && pops != so.Pops) {
+			t.Errorf("%s: pops = %d (fixed=%v), spec says %d", so.Enum, pops, fixed, so.Pops)
+		}
+		if op.Pushes() != so.Pushes {
+			t.Errorf("%s: pushes = %d, spec says %d", so.Enum, op.Pushes(), so.Pushes)
+		}
+		if OpCost(op) != so.Cost {
+			t.Errorf("%s: cost = %d, spec says %d", so.Enum, OpCost(op), so.Cost)
+		}
+		if op.IsJump() != so.Jump {
+			t.Errorf("%s: IsJump = %v, spec says %v", so.Enum, op.IsJump(), so.Jump)
+		}
+		if op.IsConditionalJump() != so.CondJump {
+			t.Errorf("%s: IsConditionalJump = %v, spec says %v", so.Enum, op.IsConditionalJump(), so.CondJump)
+		}
+		if op.IsTerminator() != so.Terminator {
+			t.Errorf("%s: IsTerminator = %v, spec says %v", so.Enum, op.IsTerminator(), so.Terminator)
+		}
+		if op.CanTrap() != so.CanTrap() {
+			t.Errorf("%s: CanTrap = %v, spec says %v", so.Enum, op.CanTrap(), so.CanTrap())
+		}
+		if kindName, ok := so.Operands.GoName(); !ok {
+			t.Errorf("%s: spec operand kind %d unknown", so.Enum, so.Operands)
+		} else if got := operandKindNames[opTable[op].operands]; got != kindName {
+			t.Errorf("%s: operand kind %s, spec says %s", so.Enum, got, kindName)
+		}
+	}
+}
+
+// operandKindNames mirrors the bytecode-side operand enum for the
+// round-trip check; the spec side guarantees index compatibility.
+var operandKindNames = map[operandKind]string{
+	opsNone:   "opsNone",
+	opsImm:    "opsImm",
+	opsConst:  "opsConst",
+	opsLocal:  "opsLocal",
+	opsLocImm: "opsLocImm",
+	opsGlobal: "opsGlobal",
+	opsTarget: "opsTarget",
+	opsCall:   "opsCall",
+}

@@ -435,13 +435,14 @@ func (fg *fnGen) expr(depth int) {
 		fg.leaf()
 		return
 	}
-	switch rng.Intn(14) {
+	switch rng.Intn(15) {
 	case 0, 1, 2, 3:
 		fg.leaf()
 	case 4: // unary
 		fg.expr(depth + 1)
 		ops := []bytecode.Op{bytecode.INEG, bytecode.INOT, bytecode.I2F,
-			bytecode.F2I, bytecode.FNEG, bytecode.FSQRT, bytecode.FABS}
+			bytecode.F2I, bytecode.FNEG, bytecode.FSQRT, bytecode.FABS,
+			bytecode.IABS}
 		fg.emit(ops[rng.Intn(len(ops))], 0, 0)
 	case 5, 6, 7: // integer binary
 		fg.expr(depth + 1)
@@ -490,6 +491,11 @@ func (fg *fnGen) expr(depth int) {
 		} else {
 			fg.leaf()
 		}
+	case 13: // select: pick between two values on a computed condition
+		fg.expr(depth + 1)
+		fg.expr(depth + 1)
+		fg.expr(depth + 1)
+		fg.emit(bytecode.SELECT, 0, 0)
 	default: // call
 		if !fg.callExpr() {
 			fg.leaf()

@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"math"
 
 	"evolvevm/internal/bytecode"
 )
@@ -100,323 +99,21 @@ func buildClosurePlan(c *Code, fuse bool) *closPlan {
 	return cp
 }
 
-// cmpFlags decomposes an integer comparison into its three-region truth
-// table: the result for a<b, a==b, and a>b. A closure captures the three
-// booleans and evaluates the comparison with two compares and no call —
-// the subroutine-threading analogue of the fused switch's inline compare.
-// Semantics match intCmp case by case (every one of the six comparisons
-// is a function of sign(a−b) alone).
-func cmpFlags(op bytecode.Op) (lt, eq, gt, ok bool) {
-	switch op {
-	case bytecode.IEQ:
-		return false, true, false, true
-	case bytecode.INE:
-		return true, false, true, true
-	case bytecode.ILT:
-		return true, false, false, true
-	case bytecode.ILE:
-		return true, true, false, true
-	case bytecode.IGT:
-		return false, false, true, true
-	case bytecode.IGE:
-		return false, true, true, true
-	}
-	return false, false, false, false
-}
-
-// cmpJumpFlags folds a compare-and-branch's taken/not-taken sense into the
-// comparison's three-region truth table: the returned booleans say "take
-// the branch" directly for a<b, a==b, and a>b.
-func cmpJumpFlags(op bytecode.Op, want bool) (jlt, jeq, jgt bool) {
-	lt, eq, gt, _ := cmpFlags(op)
-	return lt == want, eq == want, gt == want
-}
-
-// closCompile builds the closure for one micro-op, pre-binding decoded
-// operands, constants, branch targets, comparison truth tables, and trap
-// rollback data. Every case reproduces the corresponding arm of the
-// engine's fused switch operation for operation.
+// closCompile builds the closure for one micro-op. Plain opcode-level
+// micro-ops are built by the generated closCompilePlain (closure_gen.go),
+// so an opcode's closure semantics have exactly one source — the spec;
+// the fused superinstruction arms below stay scaffolding because they
+// encode combinations of ops, pre-binding decoded operands, constants,
+// branch targets, comparison truth tables, and trap rollback data
+// exactly like the engine's fused switch.
 func closCompile(c *Code, f *fop) closOp {
+	if int(f.op) < bytecode.NumOps {
+		return closCompilePlain(c, f)
+	}
 	a, b, d := int(f.a), int(f.b), int(f.d)
 	rem, remBase, tpc := f.rem, f.remBase, f.tpc
 
 	switch f.op {
-	case bytecode.NOP:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return sp, closFall
-		}
-	case bytecode.IPUSH:
-		v := bytecode.Int(int64(f.a))
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return append(sp, v), closFall
-		}
-	case bytecode.CONST:
-		v := c.Consts[a]
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return append(sp, v), closFall
-		}
-	case bytecode.LOAD:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return append(sp, st.locals[st.lb+a]), closFall
-		}
-	case bytecode.STORE:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			st.locals[st.lb+a] = sp[n-1]
-			return sp[:n-1], closFall
-		}
-	case bytecode.GLOAD:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return append(sp, st.e.Globals[a]), closFall
-		}
-	case bytecode.GSTORE:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			st.e.Globals[a] = sp[n-1]
-			return sp[:n-1], closFall
-		}
-	case bytecode.IINC:
-		inc := int64(f.b)
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			st.locals[st.lb+a].I += inc
-			return sp, closFall
-		}
-	case bytecode.POP:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return sp[:len(sp)-1], closFall
-		}
-	case bytecode.DUP:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return append(sp, sp[len(sp)-1]), closFall
-		}
-	case bytecode.SWAP:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			sp[n-1], sp[n-2] = sp[n-2], sp[n-1]
-			return sp, closFall
-		}
-
-	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL,
-		bytecode.IAND, bytecode.IOR, bytecode.IXOR,
-		bytecode.ISHL, bytecode.ISHR:
-		opc := f.op
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			r := intBin(opc, sp[n-2].I, sp[n-1].I)
-			sp = sp[:n-1]
-			sp[n-2] = bytecode.Int(r)
-			return sp, closFall
-		}
-	case bytecode.INEG:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Int(-sp[len(sp)-1].I)
-			return sp, closFall
-		}
-	case bytecode.INOT:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Int(^sp[len(sp)-1].I)
-			return sp, closFall
-		}
-
-	case bytecode.FADD:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			r := sp[n-2].AsFloat() + sp[n-1].AsFloat()
-			sp = sp[:n-1]
-			sp[n-2] = bytecode.Float(r)
-			return sp, closFall
-		}
-	case bytecode.FSUB:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			r := sp[n-2].AsFloat() - sp[n-1].AsFloat()
-			sp = sp[:n-1]
-			sp[n-2] = bytecode.Float(r)
-			return sp, closFall
-		}
-	case bytecode.FMUL:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			r := sp[n-2].AsFloat() * sp[n-1].AsFloat()
-			sp = sp[:n-1]
-			sp[n-2] = bytecode.Float(r)
-			return sp, closFall
-		}
-	case bytecode.FDIV:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			r := sp[n-2].AsFloat() / sp[n-1].AsFloat()
-			sp = sp[:n-1]
-			sp[n-2] = bytecode.Float(r)
-			return sp, closFall
-		}
-	case bytecode.FNEG:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Float(-sp[len(sp)-1].AsFloat())
-			return sp, closFall
-		}
-	case bytecode.FSQRT:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Float(math.Sqrt(sp[len(sp)-1].AsFloat()))
-			return sp, closFall
-		}
-	case bytecode.FABS:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Float(math.Abs(sp[len(sp)-1].AsFloat()))
-			return sp, closFall
-		}
-	case bytecode.I2F:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Float(float64(sp[len(sp)-1].I))
-			return sp, closFall
-		}
-	case bytecode.F2I:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			sp[len(sp)-1] = bytecode.Int(int64(sp[len(sp)-1].F))
-			return sp, closFall
-		}
-
-	case bytecode.IEQ, bytecode.INE, bytecode.ILT,
-		bytecode.ILE, bytecode.IGT, bytecode.IGE:
-		lt, eq, gt, _ := cmpFlags(f.op)
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			x, y := sp[n-2].I, sp[n-1].I
-			r := gt
-			if x < y {
-				r = lt
-			} else if x == y {
-				r = eq
-			}
-			sp = sp[:n-1]
-			sp[n-2] = bytecode.Bool(r)
-			return sp, closFall
-		}
-	case bytecode.FEQ, bytecode.FNE, bytecode.FLT,
-		bytecode.FLE, bytecode.FGT, bytecode.FGE:
-		op := f.op
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			x, y := sp[n-2].AsFloat(), sp[n-1].AsFloat()
-			sp = sp[:n-1]
-			var r bool
-			switch op {
-			case bytecode.FEQ:
-				r = x == y
-			case bytecode.FNE:
-				r = x != y
-			case bytecode.FLT:
-				r = x < y
-			case bytecode.FLE:
-				r = x <= y
-			case bytecode.FGT:
-				r = x > y
-			case bytecode.FGE:
-				r = x >= y
-			}
-			sp[n-2] = bytecode.Bool(r)
-			return sp, closFall
-		}
-
-	case bytecode.IDIV, bytecode.IMOD:
-		msg := "integer division by zero"
-		div := f.op == bytecode.IDIV
-		if !div {
-			msg = "integer modulo by zero"
-		}
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			x, y := sp[n-2].I, sp[n-1].I
-			sp = sp[:n-1]
-			if y == 0 {
-				st.rem, st.remBase, st.tpc, st.msg = rem, remBase, tpc, msg
-				return sp, closTrap
-			}
-			if div {
-				sp[n-2] = bytecode.Int(x / y)
-			} else {
-				sp[n-2] = bytecode.Int(x % y)
-			}
-			return sp, closFall
-		}
-
-	case bytecode.ALOAD:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			arr, aerr := st.e.Array(sp[n-2])
-			if aerr == nil {
-				idx := sp[n-1].AsInt()
-				if idx >= 0 && idx < int64(len(arr)) {
-					sp = sp[:n-1]
-					sp[n-2] = arr[idx]
-					return sp, closFall
-				}
-				aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
-			}
-			st.rem, st.remBase, st.tpc = rem, remBase, tpc
-			st.msg = fmt.Sprintf("aload: %v", aerr)
-			return sp, closTrap
-		}
-	case bytecode.ASTORE:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			arr, aerr := st.e.Array(sp[n-3])
-			if aerr == nil {
-				idx := sp[n-2].AsInt()
-				if idx >= 0 && idx < int64(len(arr)) {
-					arr[idx] = sp[n-1]
-					return sp[:n-3], closFall
-				}
-				aerr = fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
-			}
-			st.rem, st.remBase, st.tpc = rem, remBase, tpc
-			st.msg = fmt.Sprintf("astore: %v", aerr)
-			return sp, closTrap
-		}
-	case bytecode.ALEN:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			arr, aerr := st.e.Array(sp[len(sp)-1])
-			if aerr != nil {
-				st.rem, st.remBase, st.tpc = rem, remBase, tpc
-				st.msg = fmt.Sprintf("alen: %v", aerr)
-				return sp, closTrap
-			}
-			sp[len(sp)-1] = bytecode.Int(int64(len(arr)))
-			return sp, closFall
-		}
-
-	case bytecode.PRINT:
-		return func(st *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			st.e.Output = append(st.e.Output, sp[n-1])
-			return sp[:n-1], closFall
-		}
-
-	case bytecode.JMP:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			return sp, a
-		}
-	case bytecode.JZ:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			v := sp[n-1]
-			sp = sp[:n-1]
-			if !v.IsTrue() {
-				return sp, a
-			}
-			return sp, closFall
-		}
-	case bytecode.JNZ:
-		return func(_ *cstate, sp []bytecode.Value) ([]bytecode.Value, int) {
-			n := len(sp)
-			v := sp[n-1]
-			sp = sp[:n-1]
-			if v.IsTrue() {
-				return sp, a
-			}
-			return sp, closFall
-		}
-
 	// Fused superinstructions.
 	case fLLBin:
 		opc := bytecode.Op(f.c)

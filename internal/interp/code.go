@@ -21,67 +21,9 @@ import (
 // interpreter tier, in percent.
 const BaselineScalePct = 100
 
-// baseCost holds the baseline interpreter cycle cost of each opcode.
-var baseCost = [bytecode.NumOps]int64{
-	bytecode.NOP:    2,
-	bytecode.IPUSH:  8,
-	bytecode.CONST:  8,
-	bytecode.LOAD:   8,
-	bytecode.STORE:  8,
-	bytecode.GLOAD:  10,
-	bytecode.GSTORE: 10,
-	bytecode.IINC:   9,
-	bytecode.POP:    6,
-	bytecode.DUP:    7,
-	bytecode.SWAP:   7,
-	bytecode.IADD:   8,
-	bytecode.ISUB:   8,
-	bytecode.IMUL:   10,
-	bytecode.IDIV:   22,
-	bytecode.IMOD:   22,
-	bytecode.INEG:   7,
-	bytecode.IAND:   8,
-	bytecode.IOR:    8,
-	bytecode.IXOR:   8,
-	bytecode.ISHL:   8,
-	bytecode.ISHR:   8,
-	bytecode.INOT:   7,
-	bytecode.FADD:   10,
-	bytecode.FSUB:   10,
-	bytecode.FMUL:   12,
-	bytecode.FDIV:   26,
-	bytecode.FNEG:   8,
-	bytecode.FSQRT:  32,
-	bytecode.FABS:   8,
-	bytecode.I2F:    8,
-	bytecode.F2I:    8,
-	bytecode.IEQ:    8,
-	bytecode.INE:    8,
-	bytecode.ILT:    8,
-	bytecode.ILE:    8,
-	bytecode.IGT:    8,
-	bytecode.IGE:    8,
-	bytecode.FEQ:    9,
-	bytecode.FNE:    9,
-	bytecode.FLT:    9,
-	bytecode.FLE:    9,
-	bytecode.FGT:    9,
-	bytecode.FGE:    9,
-	bytecode.JMP:    6,
-	bytecode.JZ:     9,
-	bytecode.JNZ:    9,
-	bytecode.CALL:   42,
-	bytecode.RET:    20,
-	bytecode.NEWARR: 40,
-	bytecode.ALOAD:  12,
-	bytecode.ASTORE: 12,
-	bytecode.ALEN:   8,
-	bytecode.PRINT:  60,
-	bytecode.HALT:   1,
-}
-
-// BaseCost returns the baseline interpreter cycle cost of op.
-func BaseCost(op bytecode.Op) int64 { return baseCost[op] }
+// BaseCost returns the baseline interpreter cycle cost of op, read from
+// the generated single-source cost table in internal/bytecode.
+func BaseCost(op bytecode.Op) int64 { return bytecode.OpCost(op) }
 
 // Code is an executable form of one function: instructions (original or
 // optimizer-rewritten), a constant pool, and precomputed per-instruction
@@ -323,12 +265,12 @@ func NewCode(fnIdx int, f *bytecode.Function, level, scalePct int) *Code {
 		Base:     make([]int64, len(f.Code)),
 	}
 	for i, in := range f.Code {
-		cost := baseCost[in.Op] * int64(scalePct) / 100
+		cost := bytecode.OpCost(in.Op) * int64(scalePct) / 100
 		if cost < 1 {
 			cost = 1
 		}
 		c.Cost[i] = cost
-		c.Base[i] = baseCost[in.Op]
+		c.Base[i] = bytecode.OpCost(in.Op)
 	}
 	return c
 }

@@ -139,25 +139,22 @@ type plan struct {
 	seg []*segRun
 }
 
+// The predicates below read the spec-derived classification tables in
+// fuse_gen.go (opSegClass, opGroupOf), so an op added to internal/opspec
+// is admitted into segments — or kept on the accounted path — by its
+// declared class and trap clauses alone. The bounds guards keep the
+// predicates total over fused superinstruction opcodes, which extend
+// bytecode.Op past the table length.
+
 // intBinOp reports whether op is a non-trapping integer binop (IDIV and
-// IMOD trap on zero and stay on the accounted path).
+// IMOD trap on zero and carry rollback data instead).
 func intBinOp(op bytecode.Op) bool {
-	switch op {
-	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IAND,
-		bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR:
-		return true
-	}
-	return false
+	return int(op) < len(opGroupOf) && opGroupOf[op] == groupIntBin && opSegClass[op] == segInterior
 }
 
 // intCmpOp reports whether op is an integer comparison.
 func intCmpOp(op bytecode.Op) bool {
-	switch op {
-	case bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
-		bytecode.IGT, bytecode.IGE:
-		return true
-	}
-	return false
+	return int(op) < len(opGroupOf) && opGroupOf[op] == groupIntCmp
 }
 
 // trappingSafe reports whether op may appear inside a segment despite
@@ -167,43 +164,21 @@ func intCmpOp(op bytecode.Op) bool {
 // alloc cycles and can start a collection, both of which belong on the
 // accounted path.
 func trappingSafe(op bytecode.Op) bool {
-	switch op {
-	case bytecode.IDIV, bytecode.IMOD,
-		bytecode.ALOAD, bytecode.ASTORE, bytecode.ALEN:
-		return true
-	}
-	return false
+	return int(op) < len(opSegClass) && opSegClass[op] == segTrapping
 }
 
 // interiorSafe reports whether op may appear inside a segment: it cannot
 // trap, cannot transfer control, and touches no engine state other than
 // stack, locals, globals, and the output log.
 func interiorSafe(op bytecode.Op) bool {
-	switch op {
-	case bytecode.NOP, bytecode.IPUSH, bytecode.CONST, bytecode.LOAD,
-		bytecode.STORE, bytecode.GLOAD, bytecode.GSTORE, bytecode.IINC,
-		bytecode.POP, bytecode.DUP, bytecode.SWAP,
-		bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.INEG,
-		bytecode.IAND, bytecode.IOR, bytecode.IXOR, bytecode.ISHL,
-		bytecode.ISHR, bytecode.INOT,
-		bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV,
-		bytecode.FNEG, bytecode.FSQRT, bytecode.FABS,
-		bytecode.I2F, bytecode.F2I,
-		bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
-		bytecode.IGT, bytecode.IGE,
-		bytecode.FEQ, bytecode.FNE, bytecode.FLT, bytecode.FLE,
-		bytecode.FGT, bytecode.FGE,
-		bytecode.PRINT:
-		return true
-	}
-	return false
+	return int(op) < len(opSegClass) && opSegClass[op] == segInterior
 }
 
 // branchOp reports whether op may terminate a segment: an unconditional
 // or conditional jump (non-trapping; included in the batch charge, with
 // the branch itself executed as the segment's final micro-op).
 func branchOp(op bytecode.Op) bool {
-	return op == bytecode.JMP || op == bytecode.JZ || op == bytecode.JNZ
+	return int(op) < len(opSegClass) && opSegClass[op] == segBranch
 }
 
 // buildPlan analyses the code and constructs its execution plan. With
@@ -379,46 +354,4 @@ func matchFused(in []bytecode.Instr) (fop, int) {
 		}
 	}
 	return fop{}, 0
-}
-
-// intBin applies a non-trapping integer binop, mirroring the accounted
-// interpreter case by case.
-func intBin(op bytecode.Op, a, b int64) int64 {
-	switch op {
-	case bytecode.IADD:
-		return a + b
-	case bytecode.ISUB:
-		return a - b
-	case bytecode.IMUL:
-		return a * b
-	case bytecode.IAND:
-		return a & b
-	case bytecode.IOR:
-		return a | b
-	case bytecode.IXOR:
-		return a ^ b
-	case bytecode.ISHL:
-		return a << (uint64(b) & 63)
-	default: // ISHR
-		return a >> (uint64(b) & 63)
-	}
-}
-
-// intCmp applies an integer comparison, mirroring the accounted
-// interpreter case by case.
-func intCmp(op bytecode.Op, a, b int64) bool {
-	switch op {
-	case bytecode.IEQ:
-		return a == b
-	case bytecode.INE:
-		return a != b
-	case bytecode.ILT:
-		return a < b
-	case bytecode.ILE:
-		return a <= b
-	case bytecode.IGT:
-		return a > b
-	default: // IGE
-		return a >= b
-	}
 }

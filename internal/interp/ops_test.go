@@ -62,6 +62,13 @@ func TestOpcodeSemantics(t *testing.T) {
 		{"pop", "const 1\nconst 2\npop", bytecode.Int(1)},
 		{"nop", "nop\nconst 3\nnop", bytecode.Int(3)},
 
+		{"select true", "const 7\nconst 9\nconst 1\nselect", bytecode.Int(7)},
+		{"select false", "const 7\nconst 9\nconst 0\nselect", bytecode.Int(9)},
+		{"select float cond", "fconst 1.5\nfconst 2.5\nfconst 0\nselect", bytecode.Float(2.5)},
+		{"iabs negative", "const -9\niabs", bytecode.Int(9)},
+		{"iabs positive", "const 9\niabs", bytecode.Int(9)},
+		{"iabs zero", "const 0\niabs", bytecode.Int(0)},
+
 		{"jnz taken", "const 1\njnz over\nconst 10\nret\nover:\nconst 20", bytecode.Int(20)},
 		{"jz not taken", "const 1\njz over\nconst 10\nret\nover:\nconst 20", bytecode.Int(10)},
 		{"jz float zero", "fconst 0\njz over\nconst 10\nret\nover:\nconst 20", bytecode.Int(20)},

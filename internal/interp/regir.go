@@ -74,15 +74,11 @@ const (
 	rBinI               // regs[d] = Int(intBin(sub, regs[a].I, b))
 	rCmp                // regs[d] = Bool(intCmp(sub, regs[a].I, regs[b].I))
 	rCmpI               // regs[d] = Bool(intCmp(sub, regs[a].I, b))
-	rNeg                // regs[d] = Int(-regs[a].I)
-	rNot                // regs[d] = Int(^regs[a].I)
 	rFBin               // regs[d] = Float(fltBin(sub, regs[a].AsFloat(), regs[b].AsFloat()))
 	rFCmp               // regs[d] = Bool(fltCmp(sub, regs[a].AsFloat(), regs[b].AsFloat()))
-	rFNeg               // regs[d] = Float(-regs[a].AsFloat())
-	rFSqrt              // regs[d] = Float(math.Sqrt(regs[a].AsFloat()))
-	rFAbs               // regs[d] = Float(math.Abs(regs[a].AsFloat()))
-	rI2F                // regs[d] = Float(float64(regs[a].I))
-	rF2I                // regs[d] = Int(int64(regs[a].F))
+	rPure1              // regs[d] = semTab1[sub](regs[a])
+	rPure2              // regs[d] = semTab2[sub](regs[a], regs[b])
+	rPure3              // regs[d] = semTab3[sub](regs[a], regs[b], regs[x])
 	rDivMod             // regs[d] = Int(regs[a].I / or % regs[b].I); trap x on zero
 	rALoad              // regs[d] = Array(regs[a])[regs[b].AsInt()]; trap x
 	rAStore             // Array(regs[a])[regs[b].AsInt()] = regs[d]; trap x
@@ -114,7 +110,7 @@ type rins struct {
 func rWritesD(op rOp) bool {
 	switch op {
 	case rLoadI, rLoadC, rMove, rGLoad, rBin, rBinI, rCmp, rCmpI,
-		rNeg, rNot, rFBin, rFCmp, rFNeg, rFSqrt, rFAbs, rI2F, rF2I,
+		rFBin, rFCmp, rPure1, rPure2, rPure3,
 		rDivMod, rALoad, rALen:
 		return true
 	}
@@ -186,38 +182,6 @@ type rcall struct {
 	prem, premBase int32
 	pcrem          []slotRem
 	push           []rpush // caller residual stack (args consumed)
-}
-
-// fltBin applies a float binop, mirroring the accounted interpreter.
-func fltBin(op bytecode.Op, a, b float64) float64 {
-	switch op {
-	case bytecode.FADD:
-		return a + b
-	case bytecode.FSUB:
-		return a - b
-	case bytecode.FMUL:
-		return a * b
-	default: // FDIV
-		return a / b
-	}
-}
-
-// fltCmp applies a float comparison, mirroring the accounted interpreter.
-func fltCmp(op bytecode.Op, a, b float64) bool {
-	switch op {
-	case bytecode.FEQ:
-		return a == b
-	case bytecode.FNE:
-		return a != b
-	case bytecode.FLT:
-		return a < b
-	case bytecode.FLE:
-		return a <= b
-	case bytecode.FGT:
-		return a > b
-	default: // FGE
-		return a >= b
-	}
 }
 
 // symKind classifies a symbolic stack slot.
@@ -798,216 +762,6 @@ func (cv *rconv) instr(i int) (bool, int) {
 		}
 		cv.stk[n-1], cv.stk[n-2] = cv.stk[n-2], cv.stk[n-1]
 
-	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IAND,
-		bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR:
-		b, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		a, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		av, aImm := cv.immVal(a)
-		bv, bImm := cv.immVal(b)
-		if aImm && bImm {
-			if r := intBin(in.Op, av, bv); r >= math.MinInt32 && r <= math.MaxInt32 {
-				cv.push(sym{k: symImm, v: int32(r)})
-				return true, degCount
-			}
-		}
-		if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
-			ra := cv.use(a)
-			if ra < 0 {
-				return false, degRegs
-			}
-			cv.release(ra)
-			d := cv.alloc()
-			if d < 0 {
-				return false, degRegs
-			}
-			cv.emit(rins{op: rBinI, sub: in.Op, d: d, a: ra, b: int32(bv)})
-			cv.push(sym{k: symReg, v: d})
-			return true, degCount
-		}
-		ra := cv.use(a)
-		rb := cv.use(b)
-		if ra < 0 || rb < 0 {
-			return false, degRegs
-		}
-		cv.release(ra)
-		cv.release(rb)
-		d := cv.alloc()
-		if d < 0 {
-			return false, degRegs
-		}
-		cv.emit(rins{op: rBin, sub: in.Op, d: d, a: ra, b: rb})
-		cv.push(sym{k: symReg, v: d})
-
-	case bytecode.IEQ, bytecode.INE, bytecode.ILT, bytecode.ILE,
-		bytecode.IGT, bytecode.IGE:
-		b, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		a, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		av, aImm := cv.immVal(a)
-		bv, bImm := cv.immVal(b)
-		if aImm && bImm {
-			// Bool() is Int(0/1), so the fold stays an integer immediate.
-			r := int32(0)
-			if intCmp(in.Op, av, bv) {
-				r = 1
-			}
-			cv.push(sym{k: symImm, v: r})
-			return true, degCount
-		}
-		if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
-			ra := cv.use(a)
-			if ra < 0 {
-				return false, degRegs
-			}
-			cv.release(ra)
-			d := cv.alloc()
-			if d < 0 {
-				return false, degRegs
-			}
-			cv.emit(rins{op: rCmpI, sub: in.Op, d: d, a: ra, b: int32(bv)})
-			cv.push(sym{k: symReg, v: d})
-			return true, degCount
-		}
-		ra := cv.use(a)
-		rb := cv.use(b)
-		if ra < 0 || rb < 0 {
-			return false, degRegs
-		}
-		cv.release(ra)
-		cv.release(rb)
-		d := cv.alloc()
-		if d < 0 {
-			return false, degRegs
-		}
-		cv.emit(rins{op: rCmp, sub: in.Op, d: d, a: ra, b: rb})
-		cv.push(sym{k: symReg, v: d})
-
-	case bytecode.INEG, bytecode.INOT:
-		v, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		if iv, isImm := cv.immVal(v); isImm {
-			r := -iv
-			if in.Op == bytecode.INOT {
-				r = ^iv
-			}
-			if r >= math.MinInt32 && r <= math.MaxInt32 {
-				cv.push(sym{k: symImm, v: int32(r)})
-				return true, degCount
-			}
-		}
-		rv := cv.use(v)
-		if rv < 0 {
-			return false, degRegs
-		}
-		cv.release(rv)
-		d := cv.alloc()
-		if d < 0 {
-			return false, degRegs
-		}
-		op := rNeg
-		if in.Op == bytecode.INOT {
-			op = rNot
-		}
-		cv.emit(rins{op: op, d: d, a: rv})
-		cv.push(sym{k: symReg, v: d})
-
-	case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV,
-		bytecode.FEQ, bytecode.FNE, bytecode.FLT, bytecode.FLE,
-		bytecode.FGT, bytecode.FGE:
-		b, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		a, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		ra := cv.use(a)
-		rb := cv.use(b)
-		if ra < 0 || rb < 0 {
-			return false, degRegs
-		}
-		cv.release(ra)
-		cv.release(rb)
-		d := cv.alloc()
-		if d < 0 {
-			return false, degRegs
-		}
-		op := rFBin
-		switch in.Op {
-		case bytecode.FEQ, bytecode.FNE, bytecode.FLT, bytecode.FLE,
-			bytecode.FGT, bytecode.FGE:
-			op = rFCmp
-		}
-		cv.emit(rins{op: op, sub: in.Op, d: d, a: ra, b: rb})
-		cv.push(sym{k: symReg, v: d})
-
-	case bytecode.FNEG, bytecode.FSQRT, bytecode.FABS, bytecode.I2F, bytecode.F2I:
-		v, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		rv := cv.use(v)
-		if rv < 0 {
-			return false, degRegs
-		}
-		cv.release(rv)
-		d := cv.alloc()
-		if d < 0 {
-			return false, degRegs
-		}
-		var op rOp
-		switch in.Op {
-		case bytecode.FNEG:
-			op = rFNeg
-		case bytecode.FSQRT:
-			op = rFSqrt
-		case bytecode.FABS:
-			op = rFAbs
-		case bytecode.I2F:
-			op = rI2F
-		default:
-			op = rF2I
-		}
-		cv.emit(rins{op: op, d: d, a: rv})
-		cv.push(sym{k: symReg, v: d})
-
-	case bytecode.IDIV, bytecode.IMOD:
-		b, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		a, ok := cv.pop()
-		if !ok {
-			return false, degStack
-		}
-		ra := cv.use(a)
-		rb := cv.use(b)
-		if ra < 0 || rb < 0 {
-			return false, degRegs
-		}
-		cv.release(ra)
-		cv.release(rb)
-		d := cv.alloc()
-		if d < 0 {
-			return false, degRegs
-		}
-		cv.emit(rins{op: rDivMod, sub: in.Op, d: d, a: ra, b: rb, x: cv.addTrap(i)})
-		cv.push(sym{k: symReg, v: d})
-
 	case bytecode.ALOAD:
 		idx, ok := cv.pop()
 		if !ok {
@@ -1223,10 +977,162 @@ func (cv *rconv) instr(i int) (bool, int) {
 		cv.push(rv)
 
 	default:
-		// NEWARR, HALT and anything unknown never reach here — the
-		// linearization refuses them — but degrade rather than miscompile
-		// if they ever do.
-		return false, degOther
+		// Everything else is a value op whose lowering rule is derived
+		// from the spec (regLower, regir_gen.go). NEWARR, HALT and
+		// anything unknown classify lowNone and degrade rather than
+		// miscompile.
+		return cv.lower(i, in)
 	}
 	return true, degCount
+}
+
+// lower compiles one value-producing instruction by its spec-derived
+// lowering rule. Scalar groups keep their immediate forms and integer
+// constant folds; pure kernel ops fold through the generated kernel
+// itself when every operand is symbolically known, and otherwise become
+// an rPureN over the generated semantic tables.
+func (cv *rconv) lower(i int, in bytecode.Instr) (bool, int) {
+	kind := regLower[in.Op]
+	switch kind {
+	case lowPure1, lowPure2, lowPure3:
+		ar := int(kind-lowPure1) + 1
+		var vs [3]sym
+		for j := ar - 1; j >= 0; j-- {
+			s, ok := cv.pop()
+			if !ok {
+				return false, degStack
+			}
+			vs[j] = s
+		}
+		if f, ok := cv.foldKernel(in.Op, ar, vs); ok {
+			cv.push(f)
+			return true, degCount
+		}
+		var rs [3]int32
+		for j := 0; j < ar; j++ {
+			if rs[j] = cv.use(vs[j]); rs[j] < 0 {
+				return false, degRegs
+			}
+		}
+		for j := 0; j < ar; j++ {
+			cv.release(rs[j])
+		}
+		d := cv.alloc()
+		if d < 0 {
+			return false, degRegs
+		}
+		cv.emit(rins{op: rPure1 + rOp(ar-1), sub: in.Op, d: d, a: rs[0], b: rs[1], x: rs[2]})
+		cv.push(sym{k: symReg, v: d})
+		return true, degCount
+
+	case lowIntBin, lowIntCmp, lowFltBin, lowFltCmp, lowTrapBin:
+		b, ok := cv.pop()
+		if !ok {
+			return false, degStack
+		}
+		a, ok := cv.pop()
+		if !ok {
+			return false, degStack
+		}
+		if kind == lowIntBin || kind == lowIntCmp {
+			av, aImm := cv.immVal(a)
+			bv, bImm := cv.immVal(b)
+			if aImm && bImm {
+				if kind == lowIntCmp {
+					// Bool() is Int(0/1), so the fold stays an integer
+					// immediate.
+					r := int32(0)
+					if intCmp(in.Op, av, bv) {
+						r = 1
+					}
+					cv.push(sym{k: symImm, v: r})
+					return true, degCount
+				}
+				if r := intBin(in.Op, av, bv); r >= math.MinInt32 && r <= math.MaxInt32 {
+					cv.push(sym{k: symImm, v: int32(r)})
+					return true, degCount
+				}
+			}
+			if bImm && bv >= math.MinInt32 && bv <= math.MaxInt32 {
+				ra := cv.use(a)
+				if ra < 0 {
+					return false, degRegs
+				}
+				cv.release(ra)
+				d := cv.alloc()
+				if d < 0 {
+					return false, degRegs
+				}
+				op := rBinI
+				if kind == lowIntCmp {
+					op = rCmpI
+				}
+				cv.emit(rins{op: op, sub: in.Op, d: d, a: ra, b: int32(bv)})
+				cv.push(sym{k: symReg, v: d})
+				return true, degCount
+			}
+		}
+		ra := cv.use(a)
+		rb := cv.use(b)
+		if ra < 0 || rb < 0 {
+			return false, degRegs
+		}
+		cv.release(ra)
+		cv.release(rb)
+		d := cv.alloc()
+		if d < 0 {
+			return false, degRegs
+		}
+		ins := rins{sub: in.Op, d: d, a: ra, b: rb}
+		switch kind {
+		case lowIntBin:
+			ins.op = rBin
+		case lowIntCmp:
+			ins.op = rCmp
+		case lowFltBin:
+			ins.op = rFBin
+		case lowFltCmp:
+			ins.op = rFCmp
+		default:
+			ins.op = rDivMod
+			ins.x = cv.addTrap(i)
+		}
+		cv.emit(ins)
+		cv.push(sym{k: symReg, v: d})
+		return true, degCount
+	}
+	return false, degOther
+}
+
+// foldKernel constant-folds a pure kernel op whose operands are all
+// symbolically known, by running the generated kernel on exactly the
+// values the accounted interpreter would see (symImm rematerializes as
+// bytecode.Int, symConst as the pool entry). The fold is kept only when
+// the result is an immediate-representable integer; anything else
+// materializes normally.
+func (cv *rconv) foldKernel(op bytecode.Op, ar int, vs [3]sym) (sym, bool) {
+	var vals [3]bytecode.Value
+	for j := 0; j < ar; j++ {
+		switch vs[j].k {
+		case symImm:
+			vals[j] = bytecode.Int(int64(vs[j].v))
+		case symConst:
+			vals[j] = cv.consts[vs[j].v]
+		default:
+			return sym{}, false
+		}
+	}
+	var r bytecode.Value
+	switch ar {
+	case 1:
+		r = semTab1[op](vals[0])
+	case 2:
+		r = semTab2[op](vals[0], vals[1])
+	default:
+		r = semTab3[op](vals[0], vals[1], vals[2])
+	}
+	if r.Kind != bytecode.KInt || r.I < math.MinInt32 || r.I > math.MaxInt32 {
+		return sym{}, false
+	}
+	return sym{k: symImm, v: int32(r.I)}, true
 }

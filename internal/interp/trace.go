@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"math"
 	"sync/atomic"
 
 	"evolvevm/internal/bytecode"
@@ -410,32 +409,20 @@ func (e *Engine) runTrace(tr *trace, sc *runScratch, depth int, locals []bytecod
 				regs[in.d] = bytecode.Bool(intCmp(in.sub, regs[in.a].I, regs[in.b].I))
 			case rCmpI:
 				regs[in.d] = bytecode.Bool(intCmp(in.sub, regs[in.a].I, int64(in.b)))
-			case rNeg:
-				regs[in.d] = bytecode.Int(-regs[in.a].I)
-			case rNot:
-				regs[in.d] = bytecode.Int(^regs[in.a].I)
 			case rFBin:
 				regs[in.d] = bytecode.Float(fltBin(in.sub, regs[in.a].AsFloat(), regs[in.b].AsFloat()))
 			case rFCmp:
 				regs[in.d] = bytecode.Bool(fltCmp(in.sub, regs[in.a].AsFloat(), regs[in.b].AsFloat()))
-			case rFNeg:
-				regs[in.d] = bytecode.Float(-regs[in.a].AsFloat())
-			case rFSqrt:
-				regs[in.d] = bytecode.Float(math.Sqrt(regs[in.a].AsFloat()))
-			case rFAbs:
-				regs[in.d] = bytecode.Float(math.Abs(regs[in.a].AsFloat()))
-			case rI2F:
-				regs[in.d] = bytecode.Float(float64(regs[in.a].I))
-			case rF2I:
-				regs[in.d] = bytecode.Int(int64(regs[in.a].F))
+			case rPure1:
+				regs[in.d] = semTab1[in.sub](regs[in.a])
+			case rPure2:
+				regs[in.d] = semTab2[in.sub](regs[in.a], regs[in.b])
+			case rPure3:
+				regs[in.d] = semTab3[in.sub](regs[in.a], regs[in.b], regs[in.x])
 			case rDivMod:
 				y := regs[in.b].I
 				if y == 0 {
-					msg := "integer division by zero"
-					if in.sub == bytecode.IMOD {
-						msg = "integer modulo by zero"
-					}
-					return e.traceTrap(tr, sc, in.x, regs, locals, lb, stack, workP, cycP, msg)
+					return e.traceTrap(tr, sc, in.x, regs, locals, lb, stack, workP, cycP, regTrapMsg[in.sub])
 				}
 				if in.sub == bytecode.IDIV {
 					regs[in.d] = bytecode.Int(regs[in.a].I / y)

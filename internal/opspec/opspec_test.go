@@ -1,0 +1,177 @@
+package opspec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableValidates pins the committed instruction set: the table the
+// generator consumes must be free of structural mistakes.
+func TestTableValidates(t *testing.T) {
+	if errs := Validate(Table); len(errs) > 0 {
+		for _, err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+// TestTableInvariants checks spec-wide properties the validator cannot
+// express per entry: the ABI prefix is frozen (NOP is opcode 0) and the
+// table fits the one-byte opcode space with room to grow.
+func TestTableInvariants(t *testing.T) {
+	if Table[0].Enum != "NOP" {
+		t.Errorf("opcode 0 is %s, want NOP", Table[0].Enum)
+	}
+	if len(Table) > 256 {
+		t.Errorf("%d opcodes exceed the uint8 opcode space", len(Table))
+	}
+	for i := range Table {
+		if ByEnum(Table, Table[i].Enum) != i {
+			t.Errorf("ByEnum(%s) != %d", Table[i].Enum, i)
+		}
+	}
+	if ByEnum(Table, "NOSUCH") != -1 {
+		t.Error("ByEnum of unknown enum did not return -1")
+	}
+}
+
+// valid returns a minimal well-formed op to mutate in rejection cases.
+func valid() Op {
+	return Op{Enum: "TESTOP", Name: "testop", Pops: 1, Pushes: 1, Cost: 8,
+		Class: Pure, Kernel: "v0"}
+}
+
+// TestValidateRejects feeds the validator one malformed spec entry at a
+// time and asserts a positioned error naming the offending op.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Op)
+		wantMsg string
+	}{
+		{"unknown operand kind",
+			func(o *Op) { o.Operands = OperandKind(200) },
+			"unknown operand kind"},
+		{"negative cost",
+			func(o *Op) { o.Cost = -8 },
+			"cost -8 is not positive"},
+		{"zero cost",
+			func(o *Op) { o.Cost = 0 },
+			"cost 0 is not positive"},
+		{"unreachable trap clause",
+			func(o *Op) {
+				o.Traps = []Trap{
+					{Cond: "", Msg: "always"},
+					{Cond: "b == 0", Msg: "never reached"},
+				}
+			},
+			"unreachable"},
+		{"trap clause without message",
+			func(o *Op) { o.Traps = []Trap{{Cond: "b == 0"}} },
+			"no message"},
+		{"missing mnemonic",
+			func(o *Op) { o.Name = "" },
+			"missing enum or mnemonic"},
+		{"invalid pop count",
+			func(o *Op) { o.Pops = -1 },
+			"invalid pop count"},
+		{"negative push count",
+			func(o *Op) { o.Pushes = -2 },
+			"negative push count"},
+		{"unknown group",
+			func(o *Op) { o.Group = "strbin"; o.Scalar = "a + b"; o.Kernel = ""; o.Pops = 2 },
+			"unknown group"},
+		{"grouped op without scalar",
+			func(o *Op) { o.Group = "intbin"; o.Kernel = ""; o.Pops = 2 },
+			"no scalar expression"},
+		{"grouped op with kernel",
+			func(o *Op) { o.Group = "intbin"; o.Scalar = "a + b"; o.Pops = 2 },
+			"must not also define a kernel"},
+		{"grouped op wrong stack effect",
+			func(o *Op) { o.Group = "intbin"; o.Scalar = "a + b"; o.Kernel = ""; o.Pops = 3 },
+			"must pop 2 and push 1"},
+		{"pure op without semantics",
+			func(o *Op) { o.Kernel = "" },
+			"neither group nor kernel"},
+		{"pure op pushing two",
+			func(o *Op) { o.Pushes = 2 },
+			"must push exactly 1"},
+		{"trapping control op",
+			func(o *Op) {
+				o.Class = Control
+				o.Kernel = ""
+				o.Traps = []Trap{{Cond: "b == 0", Msg: "boom"}}
+			},
+			"control op cannot carry trap clauses"},
+		{"jump without target operand",
+			func(o *Op) { o.Class = Control; o.Kernel = ""; o.Jump = true },
+			"must take a target operand"},
+		{"conditional jump that is not a jump",
+			func(o *Op) {
+				o.Class = Control
+				o.Kernel = ""
+				o.CondJump = true
+				o.Operands = OpsTarget
+			},
+			"must also be a jump"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			op := valid()
+			tc.mutate(&op)
+			table := []Op{{Enum: "NOP", Name: "nop", Cost: 2, Class: Structural}, op}
+			errs := Validate(table)
+			if len(errs) == 0 {
+				t.Fatalf("malformed op accepted: %+v", op)
+			}
+			found := false
+			for _, err := range errs {
+				se, ok := err.(*SpecError)
+				if !ok {
+					t.Fatalf("error is %T, want *SpecError: %v", err, err)
+				}
+				if se.Index != 1 {
+					t.Errorf("error positioned at op %d, want 1: %v", se.Index, se)
+				}
+				if strings.Contains(se.Msg, tc.wantMsg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no error mentions %q; got %v", tc.wantMsg, errs)
+			}
+		})
+	}
+}
+
+// TestValidateRejectsDuplicates covers the cross-entry checks: duplicate
+// enums and mnemonics are reported at the second occurrence.
+func TestValidateRejectsDuplicates(t *testing.T) {
+	a := valid()
+	b := valid() // same enum and mnemonic
+	errs := Validate([]Op{a, b})
+	var msgs []string
+	for _, err := range errs {
+		se := err.(*SpecError)
+		if se.Index != 1 {
+			t.Errorf("duplicate reported at op %d, want 1: %v", se.Index, se)
+		}
+		msgs = append(msgs, se.Msg)
+	}
+	joined := strings.Join(msgs, "; ")
+	if !strings.Contains(joined, "duplicate enum") || !strings.Contains(joined, "duplicate mnemonic") {
+		t.Errorf("duplicate enum/mnemonic not both reported: %v", errs)
+	}
+}
+
+// TestSpecErrorFormat pins the positioned rendering the generator prints.
+func TestSpecErrorFormat(t *testing.T) {
+	e := &SpecError{Index: 12, Enum: "IDIV", Msg: "boom"}
+	if got := e.Error(); got != "opspec: op 12 (IDIV): boom" {
+		t.Errorf("positioned error = %q", got)
+	}
+	tableLevel := &SpecError{Index: -1, Msg: "too many ops"}
+	if got := tableLevel.Error(); got != "opspec: too many ops" {
+		t.Errorf("table-level error = %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package opspec
+
+// Table is the instruction set, in opcode-value order. The order is ABI:
+// opcode byte values, serialized programs, and experiment checksums all
+// depend on it, so new ops are appended at the end and existing entries
+// are never reordered or removed.
+var Table = []Op{
+	{Enum: "NOP", Name: "nop", Operands: OpsNone, Pops: 0, Pushes: 0, Cost: 2, Class: Structural},
+
+	{Enum: "IPUSH", Name: "ipush", Operands: OpsImm, Pops: 0, Pushes: 1, Cost: 8, Class: Structural},
+	{Enum: "CONST", Name: "const", Operands: OpsConst, Pops: 0, Pushes: 1, Cost: 8, Class: Structural},
+
+	{Enum: "LOAD", Name: "load", Operands: OpsLocal, Pops: 0, Pushes: 1, Cost: 8, Class: Structural},
+	{Enum: "STORE", Name: "store", Operands: OpsLocal, Pops: 1, Pushes: 0, Cost: 8, Class: Structural},
+	{Enum: "GLOAD", Name: "gload", Operands: OpsGlobal, Pops: 0, Pushes: 1, Cost: 10, Class: Structural},
+	{Enum: "GSTORE", Name: "gstore", Operands: OpsGlobal, Pops: 1, Pushes: 0, Cost: 10, Class: Structural},
+
+	{Enum: "IINC", Name: "iinc", Operands: OpsLocImm, Pops: 0, Pushes: 0, Cost: 9, Class: Structural},
+
+	{Enum: "POP", Name: "pop", Operands: OpsNone, Pops: 1, Pushes: 0, Cost: 6, Class: Structural},
+	{Enum: "DUP", Name: "dup", Operands: OpsNone, Pops: 1, Pushes: 2, Cost: 7, Class: Structural},
+	{Enum: "SWAP", Name: "swap", Operands: OpsNone, Pops: 2, Pushes: 2, Cost: 7, Class: Structural},
+
+	// Integer arithmetic. Binary ops pop b then a and push a∘b; the
+	// scalar expressions are over int64 a and b.
+	{Enum: "IADD", Name: "iadd", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a + b"},
+	{Enum: "ISUB", Name: "isub", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a - b"},
+	{Enum: "IMUL", Name: "imul", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 10, Class: Pure, Group: "intbin", Scalar: "a * b"},
+	{Enum: "IDIV", Name: "idiv", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 22, Class: Pure, Group: "intbin", Scalar: "a / b",
+		Traps: []Trap{{Cond: "b == 0", Msg: "integer division by zero"}}},
+	{Enum: "IMOD", Name: "imod", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 22, Class: Pure, Group: "intbin", Scalar: "a % b",
+		Traps: []Trap{{Cond: "b == 0", Msg: "integer modulo by zero"}}},
+	{Enum: "INEG", Name: "ineg", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 7, Class: Pure, Kernel: "bytecode.Int(-v0.I)"},
+	{Enum: "IAND", Name: "iand", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a & b"},
+	{Enum: "IOR", Name: "ior", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a | b"},
+	{Enum: "IXOR", Name: "ixor", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a ^ b"},
+	{Enum: "ISHL", Name: "ishl", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a << (uint64(b) & 63)"},
+	{Enum: "ISHR", Name: "ishr", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intbin", Scalar: "a >> (uint64(b) & 63)"},
+	{Enum: "INOT", Name: "inot", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 7, Class: Pure, Kernel: "bytecode.Int(^v0.I)"},
+
+	// Float arithmetic; scalar expressions are over float64 a and b.
+	{Enum: "FADD", Name: "fadd", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 10, Class: Pure, Group: "fltbin", Scalar: "a + b"},
+	{Enum: "FSUB", Name: "fsub", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 10, Class: Pure, Group: "fltbin", Scalar: "a - b"},
+	{Enum: "FMUL", Name: "fmul", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 12, Class: Pure, Group: "fltbin", Scalar: "a * b"},
+	{Enum: "FDIV", Name: "fdiv", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 26, Class: Pure, Group: "fltbin", Scalar: "a / b"},
+	{Enum: "FNEG", Name: "fneg", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 8, Class: Pure, Kernel: "bytecode.Float(-v0.AsFloat())"},
+	{Enum: "FSQRT", Name: "fsqrt", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 32, Class: Pure, Kernel: "bytecode.Float(math.Sqrt(v0.AsFloat()))"},
+	{Enum: "FABS", Name: "fabs", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 8, Class: Pure, Kernel: "bytecode.Float(math.Abs(v0.AsFloat()))"},
+
+	// Conversions.
+	{Enum: "I2F", Name: "i2f", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 8, Class: Pure, Kernel: "bytecode.Float(float64(v0.I))"},
+	{Enum: "F2I", Name: "f2i", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 8, Class: Pure, Kernel: "bytecode.Int(int64(v0.F))"},
+
+	// Comparisons push integer 1 or 0.
+	{Enum: "IEQ", Name: "ieq", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intcmp", Scalar: "a == b"},
+	{Enum: "INE", Name: "ine", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intcmp", Scalar: "a != b"},
+	{Enum: "ILT", Name: "ilt", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intcmp", Scalar: "a < b"},
+	{Enum: "ILE", Name: "ile", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intcmp", Scalar: "a <= b"},
+	{Enum: "IGT", Name: "igt", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intcmp", Scalar: "a > b"},
+	{Enum: "IGE", Name: "ige", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 8, Class: Pure, Group: "intcmp", Scalar: "a >= b"},
+	{Enum: "FEQ", Name: "feq", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 9, Class: Pure, Group: "fltcmp", Scalar: "a == b"},
+	{Enum: "FNE", Name: "fne", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 9, Class: Pure, Group: "fltcmp", Scalar: "a != b"},
+	{Enum: "FLT", Name: "flt", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 9, Class: Pure, Group: "fltcmp", Scalar: "a < b"},
+	{Enum: "FLE", Name: "fle", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 9, Class: Pure, Group: "fltcmp", Scalar: "a <= b"},
+	{Enum: "FGT", Name: "fgt", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 9, Class: Pure, Group: "fltcmp", Scalar: "a > b"},
+	{Enum: "FGE", Name: "fge", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 9, Class: Pure, Group: "fltcmp", Scalar: "a >= b"},
+
+	// Control transfer.
+	{Enum: "JMP", Name: "jmp", Operands: OpsTarget, Pops: 0, Pushes: 0, Cost: 6, Class: Control, Jump: true, Terminator: true},
+	{Enum: "JZ", Name: "jz", Operands: OpsTarget, Pops: 1, Pushes: 0, Cost: 9, Class: Control, Jump: true, CondJump: true},
+	{Enum: "JNZ", Name: "jnz", Operands: OpsTarget, Pops: 1, Pushes: 0, Cost: 9, Class: Control, Jump: true, CondJump: true},
+
+	{Enum: "CALL", Name: "call", Operands: OpsCall, Pops: -1, Pushes: 1, Cost: 42, Class: Control},
+	{Enum: "RET", Name: "ret", Operands: OpsNone, Pops: 1, Pushes: 0, Cost: 20, Class: Control, Terminator: true},
+
+	// Heap arrays. The array-op bodies are tier scaffolding (they need
+	// the engine's heap), but the trap clauses below drive the fusion
+	// legality and loop-hoisting tables, and the rollback bookkeeping of
+	// the batched tiers is generated from the CanTrap flag.
+	{Enum: "NEWARR", Name: "newarr", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 40, Class: Structural, Alloc: true,
+		Traps: []Trap{{Cond: "allocation exceeds the heap budget", Msg: "%v"}}},
+	{Enum: "ALOAD", Name: "aload", Operands: OpsNone, Pops: 2, Pushes: 1, Cost: 12, Class: Structural,
+		Traps: []Trap{{Cond: "dead array reference or index out of bounds", Msg: "aload: %v"}}},
+	{Enum: "ASTORE", Name: "astore", Operands: OpsNone, Pops: 3, Pushes: 0, Cost: 12, Class: Structural,
+		Traps: []Trap{{Cond: "dead array reference or index out of bounds", Msg: "astore: %v"}}},
+	{Enum: "ALEN", Name: "alen", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 8, Class: Structural,
+		Traps: []Trap{{Cond: "dead array reference", Msg: "alen: %v"}}},
+
+	{Enum: "PRINT", Name: "print", Operands: OpsNone, Pops: 1, Pushes: 0, Cost: 60, Class: Structural},
+
+	{Enum: "HALT", Name: "halt", Operands: OpsNone, Pops: 0, Pushes: 0, Cost: 1, Class: Control, Terminator: true},
+
+	// Ops below were added after the v0 instruction set; appended here so
+	// every earlier opcode keeps its byte value.
+
+	// SELECT pops a condition c, then b, then a (a pushed first) and
+	// pushes a when c is true, else b — a branch-free conditional move.
+	{Enum: "SELECT", Name: "select", Operands: OpsNone, Pops: 3, Pushes: 1, Cost: 8, Class: Pure, KernelStmts: true,
+		Kernel: "if v2.IsTrue() {\n\treturn v0\n}\nreturn v1"},
+	// IABS pushes the absolute value of an integer (math.MinInt64 maps to
+	// itself, matching Go negation).
+	{Enum: "IABS", Name: "iabs", Operands: OpsNone, Pops: 1, Pushes: 1, Cost: 7, Class: Pure, KernelStmts: true,
+		Kernel: "if v0.I < 0 {\n\treturn bytecode.Int(-v0.I)\n}\nreturn bytecode.Int(v0.I)"},
+}

@@ -10,6 +10,7 @@ package vm
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/interp"
@@ -210,6 +211,22 @@ func (m *Machine) AddOverhead(cycles int64) {
 func (m *Machine) SetContext(ctx context.Context) {
 	if ctx == nil || ctx.Done() == nil {
 		m.Engine.Interrupt = nil
+		return
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Check the deadline against the wall clock rather than relying
+		// on ctx.Err() alone: Err() only flips after the runtime timer
+		// fires, and timer delivery latency can exceed a tight deadline
+		// by more than the run's own wall time on coarse-tick kernels.
+		m.Engine.Interrupt = func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !time.Now().Before(dl) {
+				return context.DeadlineExceeded
+			}
+			return nil
+		}
 		return
 	}
 	m.Engine.Interrupt = ctx.Err
