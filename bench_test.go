@@ -6,8 +6,11 @@ package evolvevm
 // paper-scale versions with cmd/expdriver.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"evolvevm/internal/bytecode"
@@ -18,6 +21,7 @@ import (
 	"evolvevm/internal/jit"
 	"evolvevm/internal/opt"
 	"evolvevm/internal/programs"
+	"evolvevm/internal/serve"
 	"evolvevm/internal/stats"
 	"evolvevm/internal/xicl"
 )
@@ -599,6 +603,57 @@ end
 			}
 		})
 	}
+}
+
+// BenchmarkServeHotPath measures one warmed in-process request through
+// the serving front end — admission, chain dispatch, execution, striped
+// outcome recording — with no HTTP layer. RunParallel drives it from
+// GOMAXPROCS submitters, so ns/op tracks the contention behavior of the
+// admission path and the sharded bookkeeping, not just single-thread
+// cost. Epoch barriers (every 64 seqs, the CI loadtest cadence) stay in
+// the measurement: they are part of the steady-state serve path.
+func BenchmarkServeHotPath(b *testing.B) {
+	const tenants, inputs = 8, 4
+	benches := []string{"compress", "search"}
+	s, err := serve.New(serve.Config{
+		Workers:     runtime.GOMAXPROCS(0),
+		QueueDepth:  256,
+		EpochLength: 64,
+		Scenario:    harness.ScenarioEvolve,
+		Seed:        42,
+		CorpusSize:  inputs,
+		Benches:     benches,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	// Warm every chain untimed: the first requests pay corpus generation,
+	// compilation, and learner bootstrap; the hot path starts after.
+	for t := 0; t < tenants; t++ {
+		for _, bench := range benches {
+			for in := 0; in < inputs; in++ {
+				if _, err := s.Submit(testCtx, fmt.Sprintf("t%d", t), bench, in, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	s.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			tenant := fmt.Sprintf("t%d", i%tenants)
+			bench := benches[i%int64(len(benches))]
+			if _, err := s.Submit(testCtx, tenant, bench, int(i%inputs), 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkGCSelection runs the §VI extension (E8): learned per-input

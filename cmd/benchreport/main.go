@@ -245,7 +245,10 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 	}
 	status := 0
 	fresh := 0
-	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "old mean", "new mean", "delta")
+	// The runs column shows how many samples each side's gate rests on
+	// (old/new): a comparison against a single-run baseline is noise-
+	// prone, and the column makes that visible instead of implicit.
+	fmt.Fprintf(w, "%-34s %14s %14s %8s  %9s\n", "benchmark", "old mean", "new mean", "delta", "runs(o/n)")
 	for _, ne := range newRep.Benchmarks {
 		oe, ok := oldBy[ne.Name]
 		if !ok || oe.MeanNsPerOp <= 0 {
@@ -253,7 +256,7 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 			// row is informational only and never gates — a newly landed
 			// benchmark's first run must be green.
 			fresh++
-			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", ne.Name, "-", ne.MeanNsPerOp, "new")
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s  %9s\n", ne.Name, "-", ne.MeanNsPerOp, "new", fmt.Sprintf("-/%d", ne.Runs))
 			continue
 		}
 		delta := ne.MeanNsPerOp/oe.MeanNsPerOp - 1
@@ -261,8 +264,8 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 		if status2 > status {
 			status = status2
 		}
-		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
-			ne.Name, oe.MeanNsPerOp, ne.MeanNsPerOp, delta*100, mark)
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s  %9s\n",
+			ne.Name, oe.MeanNsPerOp, ne.MeanNsPerOp, delta*100, mark, fmt.Sprintf("%d/%d", oe.Runs, ne.Runs))
 		// Custom latency metrics (unit suffix "-ns", e.g. the serving load
 		// test's p99-ns) gate exactly like ns/op; other units — through-
 		// put, virtual cycles — are shown but never fail the comparison,

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -16,6 +18,46 @@ import (
 	"evolvevm/internal/serve"
 	"evolvevm/internal/traffic"
 )
+
+// profileFlags registers -mutexprofile/-blockprofile on the serving
+// subcommands. start (call after Parse) enables sampling; stop writes
+// the requested profiles on exit. Contention profiling is the acceptance
+// oracle for the sharded serving path: the mutex profile of a loaded
+// server must no longer show the old global cache and bookkeeping locks.
+func profileFlags(fs *flag.FlagSet) (start, stop func()) {
+	var (
+		mutexprofile = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockprofile = fs.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
+	)
+	start = func() {
+		if *mutexprofile != "" {
+			// Fraction 1 samples every contention event — these runs are for
+			// finding serializing locks, not low-overhead monitoring.
+			runtime.SetMutexProfileFraction(1)
+		}
+		if *blockprofile != "" {
+			runtime.SetBlockProfileRate(1)
+		}
+	}
+	write := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+	}
+	stop = func() {
+		write("mutex", *mutexprofile)
+		write("block", *blockprofile)
+	}
+	return start, stop
+}
 
 // serveScenario maps the -scenario flag shared by the serving
 // subcommands.
@@ -77,7 +119,9 @@ func runServe(args []string) {
 	addr := fs.String("addr", ":8347", "listen address")
 	record := fs.String("record", "", "write the request/outcome trace here on shutdown")
 	build := serverFlags(fs)
+	startProf, stopProf := profileFlags(fs)
 	fs.Parse(args)
+	startProf()
 
 	cfg, err := build()
 	if err != nil {
@@ -119,6 +163,7 @@ func runServe(args []string) {
 	st := s.StatsNow()
 	fmt.Printf("served %d requests (%d traps, %d canceled, %d rejected)\n",
 		st.Completed, st.Traps, st.Canceled, st.Rejected)
+	stopProf()
 }
 
 // runReplay is `evolvevm replay`: re-run a recorded trace through a
@@ -128,6 +173,7 @@ func runReplay(args []string) {
 	tracePath := fs.String("trace", "", "trace file to replay (required)")
 	out := fs.String("out", "", "write the re-recorded trace here")
 	noVerify := fs.Bool("no-verify", false, "skip comparing outcomes against the recording")
+	clients := fs.Int("clients", 1, "concurrent submission loops (chain-partitioned; outcomes are identical for every value)")
 	build := serverFlags(fs)
 	fs.Parse(args)
 
@@ -151,7 +197,7 @@ func runReplay(args []string) {
 		fatal(err)
 	}
 	defer s.Close()
-	if err := s.Run(context.Background(), tr); err != nil {
+	if err := s.RunClients(context.Background(), tr, *clients); err != nil {
 		fatal(err)
 	}
 	if err := s.LedgerBalanced(); err != nil {
@@ -219,9 +265,13 @@ func runLoadTest(args []string) {
 		compare   = fs.Bool("compare", false, "also run the isolated control arm for the cold-start comparison")
 		traceOut  = fs.String("trace-out", "", "write the generated+recorded trace here")
 		benchName = fs.String("bench", "", "emit a go-bench line under this name instead of JSON")
+		clients   = fs.Int("clients", 1, "concurrent submission loops (chain-partitioned; checksums are identical for every value)")
 	)
 	build := serverFlags(fs)
+	startProf, stopProf := profileFlags(fs)
 	fs.Parse(args)
+	startProf()
+	defer stopProf()
 
 	cfg, err := build()
 	if err != nil {
@@ -240,6 +290,7 @@ func runLoadTest(args []string) {
 		},
 		Server:  cfg,
 		Compare: *compare,
+		Clients: *clients,
 	}
 	if len(lc.Traffic.Benches) == 0 {
 		lc.Traffic.Benches = []string{"compress", "search"}

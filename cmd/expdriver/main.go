@@ -44,20 +44,22 @@ func run(args []string, w, werr io.Writer) int {
 	fs := flag.NewFlagSet("expdriver", flag.ContinueOnError)
 	fs.SetOutput(werr)
 	var (
-		exp        = fs.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
-		seed       = fs.Int64("seed", 1, "corpus and arrival-order seed")
-		runs       = fs.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
-		corpus     = fs.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
-		quick      = fs.Bool("quick", false, "shrink corpora and sequences")
-		parallel   = fs.Bool("parallel", true, "run independent work units concurrently")
-		workers    = fs.Int("workers", 0, "scheduler worker count (0 = derive from -parallel)")
-		benches    = fs.String("bench", "", "comma-separated benchmark filter")
-		checkpoint = fs.String("checkpoint", "", "save completed work units to this file (also on failure/timeout)")
-		resume     = fs.String("resume", "", "replay completed work units from this checkpoint file")
-		timeout    = fs.Duration("timeout", 0, "abort in-flight runs after this long (0 = no deadline)")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
-		tracestats = fs.Bool("tracestats", false, "print register-trace tier counters (builds, degradations, OSR entries, deopts) to stderr on exit")
+		exp          = fs.String("exp", "all", "experiment: table1|fig8|fig9|fig10|overhead|sensitivity|ablation|gc|all")
+		seed         = fs.Int64("seed", 1, "corpus and arrival-order seed")
+		runs         = fs.Int("runs", 0, "runs per benchmark (0 = paper defaults)")
+		corpus       = fs.Int("corpus", 0, "inputs per benchmark (0 = paper defaults)")
+		quick        = fs.Bool("quick", false, "shrink corpora and sequences")
+		parallel     = fs.Bool("parallel", true, "run independent work units concurrently")
+		workers      = fs.Int("workers", 0, "scheduler worker count (0 = derive from -parallel)")
+		benches      = fs.String("bench", "", "comma-separated benchmark filter")
+		checkpoint   = fs.String("checkpoint", "", "save completed work units to this file (also on failure/timeout)")
+		resume       = fs.String("resume", "", "replay completed work units from this checkpoint file")
+		timeout      = fs.Duration("timeout", 0, "abort in-flight runs after this long (0 = no deadline)")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockprofile = fs.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
+		tracestats   = fs.Bool("tracestats", false, "print register-trace tier counters (builds, degradations, OSR entries, deopts) to stderr on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +102,25 @@ func run(args []string, w, werr io.Writer) int {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(werr, "expdriver: -memprofile: %v\n", err)
 			}
+		}
+	}
+	if *mutexprofile != "" {
+		// Fraction 1 samples every contention event — the profile is for
+		// finding which locks serialize the run, not for low-overhead
+		// production monitoring.
+		runtime.SetMutexProfileFraction(1)
+		prev := stopProfiles
+		stopProfiles = func() {
+			prev()
+			writeLookupProfile(werr, "mutex", *mutexprofile)
+		}
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		prev := stopProfiles
+		stopProfiles = func() {
+			prev()
+			writeLookupProfile(werr, "block", *blockprofile)
 		}
 	}
 	defer stopProfiles()
@@ -188,6 +209,20 @@ func run(args []string, w, werr io.Writer) int {
 		printTraceStats(werr)
 	}
 	return 0
+}
+
+// writeLookupProfile dumps one of the runtime's named profiles ("mutex",
+// "block") to path.
+func writeLookupProfile(werr io.Writer, name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(werr, "expdriver: -%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(werr, "expdriver: -%sprofile: %v\n", name, err)
+	}
 }
 
 // printTraceStats reports the process-global register-trace counters.

@@ -11,7 +11,6 @@
 package harness
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -29,6 +28,7 @@ import (
 	"evolvevm/internal/programs"
 	"evolvevm/internal/rep"
 	"evolvevm/internal/session"
+	"evolvevm/internal/stripe"
 	"evolvevm/internal/vm"
 	"evolvevm/internal/xicl"
 )
@@ -42,7 +42,9 @@ import (
 var codeCache = jit.NewCache()
 
 // baselineCache memoizes Default-scenario run outcomes process-wide,
-// bounded with LRU eviction at the same capacity as the code cache. A
+// bounded at the same capacity as the code cache and lock-striped with
+// CLOCK eviction (internal/stripe) so concurrent serving requests that
+// replay the same baselines never serialize behind a recency update. A
 // reactive-controller run is a pure function of (benchmark, corpus seed
 // and size, input, jit tier table, gc config) — the substrate switches
 // provably cannot change a virtual observable (internal/difftest), so
@@ -52,7 +54,7 @@ var codeCache = jit.NewCache()
 // host executions without changing a single reported number. Eviction
 // is equally unobservable: a re-miss re-runs the deterministic baseline
 // measurement.
-var baselineCache = newBaselineLRU(jit.DefaultCacheCapacity)
+var baselineCache = newBaselineCache(jit.DefaultCacheCapacity)
 
 type baselineKey struct {
 	bench  string
@@ -70,73 +72,34 @@ type baselineOutcome struct {
 	work   []int64
 }
 
-// baselineLRU is a bounded memo of baseline outcomes with LRU eviction,
-// the same structure as jit.Cache specialized to baselineKey.
-type baselineLRU struct {
-	mu        sync.Mutex // plain Mutex: lookups mutate recency order
-	m         map[baselineKey]*list.Element
-	order     *list.List // front = most recently used
-	capacity  int
-	hits      int64
-	misses    int64
-	evictions int64
+// baselineMemo is the bounded memo of baseline outcomes — stripe.Cache
+// specialized to baselineKey, same structure as jit.Cache.
+type baselineMemo struct {
+	c *stripe.Cache[baselineKey, *baselineOutcome]
 }
 
-type baselineEntry struct {
-	key baselineKey
-	v   *baselineOutcome
+func newBaselineCache(capacity int) *baselineMemo {
+	return &baselineMemo{c: stripe.New[baselineKey, *baselineOutcome](capacity)}
 }
 
-func newBaselineLRU(capacity int) *baselineLRU {
-	return &baselineLRU{
-		m:        make(map[baselineKey]*list.Element),
-		order:    list.New(),
-		capacity: capacity,
-	}
+func (c *baselineMemo) load(key baselineKey) (*baselineOutcome, bool) {
+	return c.c.Lookup(key)
 }
 
-func (c *baselineLRU) load(key baselineKey) (*baselineOutcome, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*baselineEntry).v, true
+// loadOrStore returns the existing outcome for key when present and
+// otherwise stores v, evicting past capacity via the shard clock.
+func (c *baselineMemo) loadOrStore(key baselineKey, v *baselineOutcome) (*baselineOutcome, bool) {
+	return c.c.LoadOrStore(key, v)
 }
 
-// loadOrStore returns the existing outcome for key when present (marking
-// it most recently used) and otherwise stores v, evicting the least
-// recently used entries beyond capacity.
-func (c *baselineLRU) loadOrStore(key baselineKey, v *baselineOutcome) (*baselineOutcome, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
-		c.order.MoveToFront(el)
-		return el.Value.(*baselineEntry).v, true
-	}
-	c.m[key] = c.order.PushFront(&baselineEntry{key: key, v: v})
-	for c.capacity > 0 && c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.m, oldest.Value.(*baselineEntry).key)
-		c.evictions++
-	}
-	return v, false
-}
-
-func (c *baselineLRU) stats() jit.CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+func (c *baselineMemo) stats() jit.CacheStats {
+	st := c.c.Stats()
 	return jit.CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.m),
-		Capacity:  c.capacity,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Capacity:  st.Capacity,
 	}
 }
 

@@ -1,8 +1,7 @@
 package jit
 
 import (
-	"container/list"
-	"sync"
+	"evolvevm/internal/stripe"
 )
 
 // CacheKey identifies one compiled code form across runs: the content
@@ -34,7 +33,11 @@ type CacheStats struct {
 	Capacity  int // 0 = unbounded
 }
 
-// Cache is a bounded cross-run compiled-code cache with LRU eviction.
+// Cache is a bounded cross-run compiled-code cache. It is lock-striped
+// with CLOCK (second-chance) eviction — see internal/stripe — so a hit
+// takes only a per-shard read lock plus one atomic reference-bit touch;
+// the serving hot path never serializes concurrent readers the way the
+// previous plain-mutex LRU did (every lookup mutated recency order).
 // Every run that hits still charges its own full virtual compile cycles
 // (stored alongside the code); only the host-side optimization work is
 // reused. interp.Code is immutable after construction, so one form may
@@ -43,21 +46,11 @@ type CacheStats struct {
 // segments, closure programs, register-converted loop traces) live on
 // the Code itself, so a cache hit hands later runs an already-warmed
 // form — one conversion serves every subsequent run of the same code.
-// Eviction likewise cannot change virtual results: a re-miss merely
-// re-runs the host-side optimizer, which is deterministic.
+// Eviction order is a CLOCK approximation of LRU rather than exact, and
+// neither order nor eviction can change virtual results: a re-miss
+// merely re-runs the host-side optimizer, which is deterministic.
 type Cache struct {
-	mu        sync.Mutex // plain Mutex: lookups mutate recency order
-	m         map[CacheKey]*list.Element
-	order     *list.List // front = most recently used
-	capacity  int
-	hits      int64
-	misses    int64
-	evictions int64
-}
-
-type cacheEntry struct {
-	key CacheKey
-	v   *compiled
+	c *stripe.Cache[CacheKey, *compiled]
 }
 
 // NewCache returns an empty cache bounded at DefaultCacheCapacity.
@@ -66,53 +59,28 @@ func NewCache() *Cache { return NewCacheCap(DefaultCacheCapacity) }
 // NewCacheCap returns an empty cache holding at most capacity entries
 // (capacity <= 0 means unbounded).
 func NewCacheCap(capacity int) *Cache {
-	return &Cache{
-		m:        make(map[CacheKey]*list.Element),
-		order:    list.New(),
-		capacity: capacity,
-	}
+	return &Cache{c: stripe.New[CacheKey, *compiled](capacity)}
 }
 
 func (c *Cache) lookup(key CacheKey) (*compiled, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).v, true
+	return c.c.Lookup(key)
 }
 
 func (c *Cache) store(key CacheKey, v *compiled) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
-		el.Value.(*cacheEntry).v = v
-		c.order.MoveToFront(el)
-		return
-	}
-	c.m[key] = c.order.PushFront(&cacheEntry{key: key, v: v})
-	for c.capacity > 0 && c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
+	c.c.Store(key, v)
 }
 
-// Stats returns a snapshot of the cache's counters and occupancy.
+// Stats returns a snapshot of the cache's counters and occupancy. The
+// counters are per-shard atomics aggregated here, so reading them never
+// blocks a concurrent lookup.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	st := c.c.Stats()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.m),
-		Capacity:  c.capacity,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Capacity:  st.Capacity,
 	}
 }
 

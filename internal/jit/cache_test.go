@@ -32,29 +32,26 @@ func TestCacheHitMissCounters(t *testing.T) {
 	}
 }
 
-func TestCacheEvictsLRU(t *testing.T) {
+// TestCacheEvictsUnderPressure pins the sharded CLOCK contract that
+// replaced exact LRU: the capacity bound is exact, every insert beyond
+// it evicts exactly one entry (conservation: stores − entries ==
+// evictions for distinct keys), and entries stored after the churn are
+// resident.
+func TestCacheEvictsUnderPressure(t *testing.T) {
 	c := NewCacheCap(3)
-	for i := 0; i < 3; i++ {
+	const stores = 20
+	for i := 0; i < stores; i++ {
 		put(c, i)
-	}
-	// Touch 0 and 1 so 2 is the least recently used.
-	c.lookup(key(0))
-	c.lookup(key(1))
-	put(c, 3) // evicts 2
-	if _, ok := c.lookup(key(2)); ok {
-		t.Error("LRU entry survived eviction")
-	}
-	for _, i := range []int{0, 1, 3} {
-		if _, ok := c.lookup(key(i)); !ok {
-			t.Errorf("recently used entry %d evicted", i)
+		if s := c.Stats(); s.Entries > 3 {
+			t.Fatalf("entries = %d exceeds capacity after %d stores", s.Entries, i+1)
 		}
 	}
 	s := c.Stats()
-	if s.Evictions != 1 {
-		t.Errorf("evictions = %d, want 1", s.Evictions)
+	if int(s.Evictions) != stores-s.Entries {
+		t.Errorf("evictions = %d, want stores−entries = %d", s.Evictions, stores-s.Entries)
 	}
-	if s.Entries != 3 {
-		t.Errorf("entries = %d, want 3 (capacity)", s.Entries)
+	if _, ok := c.lookup(key(stores - 1)); !ok {
+		t.Error("most recently stored entry evicted")
 	}
 }
 
@@ -68,19 +65,28 @@ func TestCacheBoundedUnderChurn(t *testing.T) {
 	if s.Entries > capacity {
 		t.Errorf("entries = %d exceeds capacity %d", s.Entries, capacity)
 	}
-	if s.Evictions != 100-capacity {
-		t.Errorf("evictions = %d, want %d", s.Evictions, 100-capacity)
+	if int(s.Evictions) != 100-s.Entries {
+		t.Errorf("evictions = %d, want 100−entries = %d", s.Evictions, 100-s.Entries)
 	}
 }
 
 func TestCacheUpdateInPlaceDoesNotEvict(t *testing.T) {
-	c := NewCacheCap(2)
+	// Capacity 1 collapses the stripe to a single one-slot shard, making
+	// the in-place-update property deterministic under key hashing.
+	c := NewCacheCap(1)
 	put(c, 1)
-	put(c, 2)
 	put(c, 1) // same key: update, not insert
 	s := c.Stats()
-	if s.Entries != 2 || s.Evictions != 0 {
-		t.Errorf("stats after re-store = %+v, want 2 entries / 0 evictions", s)
+	if s.Entries != 1 || s.Evictions != 0 {
+		t.Errorf("stats after re-store = %+v, want 1 entry / 0 evictions", s)
+	}
+	put(c, 2) // distinct key in a full shard: evicts
+	s = c.Stats()
+	if s.Entries != 1 || s.Evictions != 1 {
+		t.Errorf("stats after colliding store = %+v, want 1 entry / 1 eviction", s)
+	}
+	if _, ok := c.lookup(key(2)); !ok {
+		t.Error("new entry missing after eviction")
 	}
 }
 

@@ -27,16 +27,22 @@ import (
 // a pure function of the submission sequence (the argument mirrors
 // Graph's; see DESIGN.md §11).
 type Chains struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+	// workCond wakes workers when a task may have become runnable;
+	// doneCond wakes Wait/Close when pending work finishes. Splitting
+	// them keeps every task completion from broadcasting to drain
+	// waiters, and lets a submission wake exactly one worker instead of
+	// all of them.
+	workCond *sync.Cond
+	doneCond *sync.Cond
 
 	queue     *list.List // *chainTask in submission order
 	busy      map[string]bool
 	inBarrier bool // a barrier body is running; nothing else may start
 	active    int  // tasks currently running (including a barrier)
-	pending int // tasks submitted and not yet finished
-	closed  bool
-	panicV  any // first panic raised by a task, rethrown by Wait/Close
+	pending   int  // tasks submitted and not yet finished
+	closed    bool
+	panicV    any // first panic raised by a task, rethrown by Wait/Close
 
 	workers int
 	wg      sync.WaitGroup
@@ -58,7 +64,8 @@ func NewChains(workers int) *Chains {
 		busy:    make(map[string]bool),
 		workers: workers,
 	}
-	c.cond = sync.NewCond(&c.mu)
+	c.workCond = sync.NewCond(&c.mu)
+	c.doneCond = sync.NewCond(&c.mu)
 	c.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go c.work()
@@ -90,7 +97,8 @@ func (c *Chains) submit(t *chainTask) {
 	c.queue.PushBack(t)
 	c.pending++
 	c.mu.Unlock()
-	c.cond.Broadcast()
+	// One new task can occupy at most one idle worker.
+	c.workCond.Signal()
 }
 
 // next pops the first runnable task under c.mu, or returns nil. Only
@@ -134,7 +142,7 @@ func (c *Chains) work() {
 			if t = c.next(); t != nil {
 				break
 			}
-			c.cond.Wait()
+			c.workCond.Wait()
 		}
 		c.active++
 		if t.barrier {
@@ -154,8 +162,15 @@ func (c *Chains) work() {
 		} else {
 			delete(c.busy, t.chain)
 		}
+		done := c.pending == 0
 		c.mu.Unlock()
-		c.cond.Broadcast()
+		// A completion can unblock several tasks at once (a finished
+		// barrier releases every chain head behind it), so workers get a
+		// broadcast; drain waiters only care about pending reaching zero.
+		c.workCond.Broadcast()
+		if done {
+			c.doneCond.Broadcast()
+		}
 	}
 }
 
@@ -179,7 +194,7 @@ func (c *Chains) run(t *chainTask) {
 func (c *Chains) Wait() {
 	c.mu.Lock()
 	for c.pending > 0 {
-		c.cond.Wait()
+		c.doneCond.Wait()
 	}
 	p := c.panicV
 	c.mu.Unlock()
@@ -194,14 +209,14 @@ func (c *Chains) Close() {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
-	c.cond.Broadcast()
+	c.workCond.Broadcast()
 	c.mu.Lock()
 	for c.pending > 0 {
-		c.cond.Wait()
+		c.doneCond.Wait()
 	}
 	p := c.panicV
 	c.mu.Unlock()
-	c.cond.Broadcast()
+	c.workCond.Broadcast()
 	c.wg.Wait()
 	if p != nil {
 		panic(p)

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"evolvevm/internal/stripe"
+	"evolvevm/internal/traffic"
+	"evolvevm/internal/xicl"
+)
+
+// TestRunClientsDeterminism pins the multi-client replay contract: the
+// same trace driven by 1, 2, 3, and 5 submission clients — on a
+// multi-worker pool — yields byte-identical per-tenant checksums,
+// outcomes, and latency histograms. Client count, like worker count, is
+// a host knob, never a virtual observable.
+func TestRunClientsDeterminism(t *testing.T) {
+	tr := testTrace(t, 96, 4)
+	ref := runTrace(t, testConfig(1), tr)
+	defer ref.Close()
+	refSums := ref.TenantChecksums()
+	refOut := ref.Outcomes()
+
+	for _, clients := range []int{2, 3, 5} {
+		s, err := New(testConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunClients(context.Background(), tr, clients); err != nil {
+			t.Fatal(err)
+		}
+		sums := s.TenantChecksums()
+		if len(sums) != len(refSums) {
+			t.Fatalf("clients=%d saw %d tenants, want %d", clients, len(sums), len(refSums))
+		}
+		for tenant, want := range refSums {
+			if got := sums[tenant]; got != want {
+				t.Errorf("clients=%d tenant %s checksum %#x, want %#x", clients, tenant, got, want)
+			}
+		}
+		out := s.Outcomes()
+		if len(out) != len(refOut) {
+			t.Fatalf("clients=%d completed %d outcomes, want %d", clients, len(out), len(refOut))
+		}
+		for i, o := range out {
+			if o != refOut[i] {
+				t.Fatalf("clients=%d outcome %d = %+v, want %+v", clients, i, o, refOut[i])
+			}
+		}
+		for tenant := range refSums {
+			if got, want := s.TenantHistogram(tenant), ref.TenantHistogram(tenant); got != want {
+				t.Errorf("clients=%d tenant %s histogram differs", clients, tenant)
+			}
+		}
+		if err := s.LedgerBalanced(); err != nil {
+			t.Errorf("clients=%d: %v", clients, err)
+		}
+		s.Close()
+	}
+}
+
+// TestRunClientsCanceledAndSparseEpochs covers the epoch-barrier edge
+// cases of multi-client replay: recorded cancellations are reproduced
+// without executing, and an epoch whose every request was canceled
+// produces no barrier (matching the serial loop's epoch-crossing rule) —
+// the outcomes must still match the serial replay exactly.
+func TestRunClientsCanceledAndSparseEpochs(t *testing.T) {
+	tr := testTrace(t, 64, 3)
+	// Mark all of epoch 1 (seqs 16..31 at EpochLength 16) and a scatter of
+	// other seqs canceled, as a live deadline would have.
+	for _, req := range tr.Requests {
+		if (req.Seq >= 16 && req.Seq < 32) || req.Seq%13 == 5 {
+			tr.Outcomes = append(tr.Outcomes, traffic.Outcome{
+				Seq: req.Seq, Status: traffic.StatusCanceled,
+			})
+		}
+	}
+	ref := runTrace(t, testConfig(1), tr)
+	defer ref.Close()
+	refOut := ref.Outcomes()
+
+	for _, clients := range []int{2, 4} {
+		s, err := New(testConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunClients(context.Background(), tr, clients); err != nil {
+			t.Fatal(err)
+		}
+		out := s.Outcomes()
+		if len(out) != len(refOut) {
+			t.Fatalf("clients=%d completed %d outcomes, want %d", clients, len(out), len(refOut))
+		}
+		for i, o := range out {
+			if o != refOut[i] {
+				t.Fatalf("clients=%d outcome %d = %+v, want %+v", clients, i, o, refOut[i])
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestClientChecksumsPartitionTenants pins the per-client checksum
+// fold: the folds are deterministic across runs and worker counts, and
+// together cover every outcome exactly once (each chain belongs to
+// exactly one client).
+func TestClientChecksumsPartitionTenants(t *testing.T) {
+	tr := testTrace(t, 64, 4)
+	const clients = 3
+	sums := make([]map[string]uint64, 0, 2)
+	for _, workers := range []int{1, 4} {
+		s, err := New(testConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunClients(context.Background(), tr, clients); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, clientChecksums(s, tr, clients))
+		s.Close()
+	}
+	if len(sums[0]) != clients {
+		t.Fatalf("got %d client folds, want %d", len(sums[0]), clients)
+	}
+	for c, want := range sums[0] {
+		if got := sums[1][c]; got != want {
+			t.Errorf("client %s checksum %#x on 4 workers, %#x on 1", c, got, want)
+		}
+	}
+	// Every request's chain maps to exactly one client in range.
+	for _, req := range tr.Requests {
+		c := ClientOf(req.Chain(), clients)
+		if c < 0 || c >= clients {
+			t.Fatalf("ClientOf(%q, %d) = %d out of range", req.Chain(), clients, c)
+		}
+	}
+}
+
+// TestServeContentionBattery is the serving-path slice of the race
+// battery: a multi-worker, multi-client replay runs to completion while
+// GOMAXPROCS hammer goroutines pound the same striped structures the
+// servers use — a sharded code-cache stand-in (stripe.Cache), a
+// feature-vector cache, the server's atomic stat counters, and its
+// histogram snapshots. Under -race this proves the hot path is free of
+// data races; the serial oracle proves the concurrency is unobservable
+// in virtual terms; and the cache stats prove the exact capacity bound
+// and counter conservation survive the hammering.
+func TestServeContentionBattery(t *testing.T) {
+	tr := testTrace(t, 96, 4)
+	ref := runTrace(t, testConfig(1), tr)
+	defer ref.Close()
+	refSums := ref.TenantChecksums()
+	refOut := ref.Outcomes()
+
+	s, err := New(testConfig(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const cacheCap = 64
+	sc := stripe.New[int, int](cacheCap)
+	fv := xicl.NewFVCacheCap(cacheCap)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var lookups int64
+	hammers := runtime.GOMAXPROCS(0)
+	for w := 0; w < hammers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					// Fold this hammer's lookup count in for the conservation
+					// check below.
+					atomic.AddInt64(&lookups, n)
+					return
+				default:
+				}
+				key := (w*31 + i) % (cacheCap * 4)
+				if _, ok := sc.Lookup(key); !ok {
+					sc.Store(key, key)
+				}
+				n++
+				sig := fmt.Sprintf("sig-%d", key)
+				if _, _, ok := fv.Get(sig); !ok {
+					fv.Put(sig, nil, int64(key))
+				}
+				if i%64 == 0 {
+					// Stat reads ride the same striped/atomic state the
+					// request path updates.
+					_ = s.StatsNow()
+					_ = s.TenantHistogram("t0")
+					_ = s.retryAfter()
+				}
+			}
+		}(w)
+	}
+
+	err = s.RunClients(context.Background(), tr, 4)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Virtual observables: byte-identical to the serial oracle.
+	sums := s.TenantChecksums()
+	for tenant, want := range refSums {
+		if got := sums[tenant]; got != want {
+			t.Errorf("tenant %s checksum %#x, want %#x", tenant, got, want)
+		}
+	}
+	out := s.Outcomes()
+	if len(out) != len(refOut) {
+		t.Fatalf("completed %d outcomes, want %d", len(out), len(refOut))
+	}
+	for i, o := range out {
+		if o != refOut[i] {
+			t.Fatalf("outcome %d = %+v, want %+v", i, o, refOut[i])
+		}
+	}
+	if err := s.LedgerBalanced(); err != nil {
+		t.Error(err)
+	}
+
+	// Cache invariants: exact capacity bound and counter conservation.
+	st := sc.Stats()
+	if st.Entries > cacheCap {
+		t.Errorf("stripe cache holds %d entries, capacity %d", st.Entries, cacheCap)
+	}
+	if st.Hits+st.Misses != lookups {
+		t.Errorf("stripe cache hits %d + misses %d != lookups %d", st.Hits, st.Misses, lookups)
+	}
+	fst := fv.Stats()
+	if fst.Entries > cacheCap {
+		t.Errorf("fv cache holds %d entries, capacity %d", fst.Entries, cacheCap)
+	}
+}

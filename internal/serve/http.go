@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -64,7 +67,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var body RunRequestBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if err := readJSON(r.Body, &body); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -102,11 +105,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // retryAfter estimates how long a rejected client should back off: the
 // observed wall p50 latency, floored at one second (Retry-After is whole
-// seconds).
+// seconds). The histogram read is lock-free (advisory hint, exactness
+// not needed).
 func (s *Server) retryAfter() string {
-	s.outMu.Lock()
 	p50 := s.whist.Quantile(0.50)
-	s.outMu.Unlock()
 	secs := int64(time.Duration(p50) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -114,8 +116,43 @@ func (s *Server) retryAfter() string {
 	return strconv.FormatInt(secs, 10)
 }
 
+// maxRequestBody bounds POST bodies; run requests are a few dozen bytes.
+const maxRequestBody = 1 << 20
+
+// bufPool recycles encode/decode buffers across requests so the serving
+// hot path doesn't allocate a fresh buffer (and, on the write side, a
+// chunked-transfer state machine) per request.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readJSON decodes one JSON value from r through a pooled buffer.
+func readJSON(r io.Reader, v any) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(r, maxRequestBody)); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), v)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// putBuf returns a buffer to the pool unless it grew past the point
+// where keeping it would pin memory.
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() > 1<<16 {
+		return
+	}
+	buf.Reset()
+	bufPool.Put(buf)
 }

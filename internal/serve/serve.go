@@ -39,11 +39,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"hash/maphash"
 	"io"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"evolvevm/internal/bytecode"
@@ -157,8 +159,106 @@ type chain struct {
 	runs int
 }
 
+// shardCount stripes the chain and outcome maps. 16 matches
+// internal/stripe's default — enough to spread any plausible worker
+// count without making snapshot iteration expensive.
+const shardCount = 16
+
+var chainSeed = maphash.MakeSeed()
+
+// chainShard is one stripe of the chain map; its mutex guards only the
+// map structure, never chain state (chains are touched only from their
+// serially-executing pool tasks).
+type chainShard struct {
+	mu sync.Mutex
+	m  map[string]*chain
+}
+
+// chainMap is the lock-striped chain key → chain map. Different chains
+// resolve on different shards, so concurrent tasks creating or looking
+// up chains no longer serialize on one global chainMu.
+type chainMap struct {
+	shards [shardCount]chainShard
+}
+
+func (cm *chainMap) init() {
+	for i := range cm.shards {
+		cm.shards[i].m = make(map[string]*chain)
+	}
+}
+
+func (cm *chainMap) shard(key string) *chainShard {
+	return &cm.shards[maphash.String(chainSeed, key)%shardCount]
+}
+
+// get returns the chain for key, or nil.
+func (cm *chainMap) get(key string) *chain {
+	sh := cm.shard(key)
+	sh.mu.Lock()
+	ch := sh.m[key]
+	sh.mu.Unlock()
+	return ch
+}
+
+// all collects every chain across shards (order unspecified).
+func (cm *chainMap) all() []*chain {
+	var out []*chain
+	for i := range cm.shards {
+		sh := &cm.shards[i]
+		sh.mu.Lock()
+		for _, ch := range sh.m {
+			out = append(out, ch)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// outcomeShard is one stripe of the outcome map, sharded by seq.
+type outcomeShard struct {
+	mu sync.Mutex
+	m  map[int64]*Response
+}
+
+// outcomeMap collects finished requests by seq behind striped locks, so
+// concurrent completions on different workers no longer serialize on one
+// global outMu. Per-tenant checksums fold outcomes in seq order at read
+// time, so collection order (which is racy) never matters.
+type outcomeMap struct {
+	shards [shardCount]outcomeShard
+}
+
+func (om *outcomeMap) init() {
+	for i := range om.shards {
+		om.shards[i].m = make(map[int64]*Response)
+	}
+}
+
+func (om *outcomeMap) put(resp *Response) {
+	sh := &om.shards[uint64(resp.Seq)%shardCount]
+	sh.mu.Lock()
+	sh.m[resp.Seq] = resp
+	sh.mu.Unlock()
+}
+
+// all returns every recorded response sorted by seq.
+func (om *outcomeMap) all() []*Response {
+	var out []*Response
+	for i := range om.shards {
+		sh := &om.shards[i]
+		sh.mu.Lock()
+		for _, resp := range sh.m {
+			out = append(out, resp)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
 // Server is the multi-tenant serving front end. Create with New, submit
-// with Submit/TrySubmit (live) or Run (trace replay), stop with Close.
+// with Submit/TrySubmit (live) or Run/RunClients (trace replay), stop
+// with Close.
 type Server struct {
 	cfg    Config
 	protos map[string]*harness.Runner // per-benchmark prototype runners
@@ -166,38 +266,51 @@ type Server struct {
 	pool *sched.Chains
 	sess *session.Session
 
-	// mu is the submission lock: it orders sequence-number assignment,
-	// admission accounting, epoch-barrier enqueueing, and pool submission,
-	// making pool queue order equal seq order — the determinism source.
+	// mu is the admission lock: it orders sequence-number assignment,
+	// admission accounting, epoch-barrier enqueueing, and (live) pool
+	// submission, making pool queue order equal seq order — the
+	// determinism source. It is intentionally narrow: completion
+	// bookkeeping, outcome recording, and stat counters all live outside
+	// it on striped or atomic state.
 	mu        sync.Mutex
 	space     *sync.Cond // signaled when queue slots free up
+	drained   *sync.Cond // broadcast when inflight reaches zero
+	waiters   int        // submitters blocked on space
 	nextSeq   int64
 	lastEpoch int64 // highest epoch whose barrier has been enqueued
 	inflight  int
 	perTenant map[string]int
 	closed    bool
-	rejected  int64
+
+	// Hot-path stat counters: atomics, aggregated on read. Host-side
+	// only — never virtual observables.
+	rejected  atomic.Int64
+	completed atomic.Int64
+	traps     atomic.Int64
+	canceled  atomic.Int64
 
 	// tier is the shared cross-tenant state: per-benchmark snapshots
 	// published only at epoch barriers. Tasks read it (RLock) when a new
 	// chain is created; only the barrier writes it, with the pool empty.
+	// This is the one remaining epoch-scoped lock on the request path.
 	tierMu sync.RWMutex
 	tier   map[string]json.RawMessage
 
-	// chains maps chain key → chain. Tasks of different chains create
-	// entries concurrently; chainMu guards only the map structure.
-	chainMu sync.Mutex
-	chains  map[string]*chain
+	// chains and out are lock-striped; see chainMap and outcomeMap.
+	chains chainMap
+	out    outcomeMap
 
-	// outcomes collects every finished request by seq. Per-tenant
-	// checksums fold them in seq order at read time, so collection order
-	// (which is racy) never matters.
-	outMu      sync.Mutex
-	outcomes   map[int64]*Response
-	vhist      traffic.TenantHistograms // virtual-cycle latency
-	whist      traffic.Histogram        // wall nanos; reporting only
+	// Latency histograms: per-tenant virtual cycles (striped map of
+	// atomic histograms) and wall nanos (reporting only, one atomic
+	// histogram).
+	vhist traffic.ShardedTenantHistograms
+	whist traffic.AtomicHistogram
+
+	ledgerMu   sync.Mutex
 	ledgerErrs []string
-	trace      *traffic.Trace // live recording (cfg.Record)
+
+	traceMu sync.Mutex
+	trace   *traffic.Trace // live recording (cfg.Record); set once in New
 }
 
 // New builds a server, constructing one prototype runner per benchmark.
@@ -212,12 +325,12 @@ func New(cfg Config) (*Server, error) {
 		sess:      session.New(),
 		perTenant: make(map[string]int),
 		tier:      make(map[string]json.RawMessage),
-		chains:    make(map[string]*chain),
-		outcomes:  make(map[int64]*Response),
-		vhist:     make(traffic.TenantHistograms),
 		lastEpoch: -1,
 	}
+	s.chains.init()
+	s.out.init()
 	s.space = sync.NewCond(&s.mu)
+	s.drained = sync.NewCond(&s.mu)
 	for _, name := range cfg.Benches {
 		b := programs.ByName(name)
 		if b == nil {
@@ -230,9 +343,9 @@ func New(cfg Config) (*Server, error) {
 		r.Substrate = cfg.Substrate
 		r.Inspect = func(m *vm.Machine) {
 			if err := m.LedgerError(); err != nil {
-				s.outMu.Lock()
+				s.ledgerMu.Lock()
 				s.ledgerErrs = append(s.ledgerErrs, err.Error())
-				s.outMu.Unlock()
+				s.ledgerMu.Unlock()
 			}
 		}
 		s.protos[name] = r
@@ -280,19 +393,21 @@ func (s *Server) submitLive(ctx context.Context, tenant, bench string, input int
 			return nil, ErrClosed
 		}
 		if s.cfg.TenantCap > 0 && s.perTenant[tenant] >= s.cfg.TenantCap {
-			s.rejected++
 			s.mu.Unlock()
+			s.rejected.Add(1)
 			return nil, ErrTenantBusy
 		}
 		if s.inflight < s.cfg.QueueDepth {
 			break
 		}
 		if !wait {
-			s.rejected++
 			s.mu.Unlock()
+			s.rejected.Add(1)
 			return nil, ErrQueueFull
 		}
+		s.waiters++
 		s.space.Wait()
+		s.waiters--
 	}
 	req.Seq = s.nextSeq
 	s.nextSeq++
@@ -315,7 +430,9 @@ func (s *Server) admitLocked(req traffic.Request, done chan<- *Response) {
 	s.inflight++
 	s.perTenant[req.Tenant]++
 	if s.trace != nil {
+		s.traceMu.Lock()
 		s.trace.Requests = append(s.trace.Requests, req)
+		s.traceMu.Unlock()
 	}
 	if epoch := req.Seq / int64(s.cfg.EpochLength); epoch > s.lastEpoch {
 		s.lastEpoch = epoch
@@ -339,39 +456,217 @@ func (s *Server) admitLocked(req traffic.Request, done chan<- *Response) {
 // trace already passed admission when it was recorded); queue-depth
 // backpressure does, bounding memory.
 func (s *Server) Run(ctx context.Context, tr *traffic.Trace) error {
+	return s.RunClients(ctx, tr, 1)
+}
+
+// ClientOf deterministically assigns a chain to one of n replay clients.
+// The hash is FNV-1a of the chain key — stable across processes and
+// machines, so recorded per-client checksums compare across runs (unlike
+// maphash, which is seeded per process).
+func ClientOf(chainKey string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(chainKey))
+	return int(h.Sum32() % uint32(n))
+}
+
+// RunClients executes a trace through the pool using n concurrent
+// submission loops and drains. Virtual observables are byte-identical to
+// Run's for every n:
+//
+//   - Requests are partitioned by chain (ClientOf), so each chain's
+//     requests are submitted by one client in seq order — and a chain's
+//     tasks execute serially in submission order (sched.Chains), which
+//     preserves rule 1 of the determinism argument.
+//   - Submission proceeds in epoch lockstep: no client submits a request
+//     of epoch k+1 until every client has finished submitting epoch k.
+//     The last client to reach the epoch latch enqueues the epoch
+//     barrier while it still holds the latch, so the barrier lands
+//     between the last epoch-k submission and the first epoch-k+1
+//     submission — exactly where the serial loop puts it. Barriers are
+//     enqueued only for epochs that have at least one executed
+//     (non-canceled) request, matching the serial loop's epoch-crossing
+//     rule.
+//
+// Queue-depth backpressure cannot deadlock the latch: a client blocked
+// on a queue slot is waiting on running tasks, all of which come from
+// epochs whose submissions already passed the latch.
+func (s *Server) RunClients(ctx context.Context, tr *traffic.Trace, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if len(tr.Requests) == 0 {
+		s.Drain()
+		return nil
+	}
 	om := tr.OutcomeMap()
 	for _, req := range tr.Requests {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if o, ok := om[req.Seq]; ok && o.Status == traffic.StatusCanceled {
-			s.record(&Response{
-				Seq: req.Seq, Tenant: req.Tenant, Bench: req.Bench,
-				Status: traffic.StatusCanceled,
-			}, 0)
-			continue
-		}
 		if s.protos[req.Bench] == nil {
 			return fmt.Errorf("serve: trace request %d wants unserved benchmark %q", req.Seq, req.Bench)
 		}
-		req := req
-		req.DeadlineMicros = 0 // statuses come from the record, not live timing
+	}
+	epochLen := int64(s.cfg.EpochLength)
+	var maxSeq int64
+	executed := make(map[int64]bool) // epochs with ≥1 non-canceled request
+	for _, req := range tr.Requests {
+		if req.Seq > maxSeq {
+			maxSeq = req.Seq
+		}
+		if o, ok := om[req.Seq]; !ok || o.Status != traffic.StatusCanceled {
+			executed[req.Seq/epochLen] = true
+		}
+	}
+	epochs := maxSeq/epochLen + 1
+
+	// parts[c][e] is client c's epoch-e requests. Trace requests are
+	// densely numbered (traffic.Load validates), so iteration order is
+	// seq order and each slice stays seq-sorted.
+	parts := make([][][]traffic.Request, n)
+	for c := range parts {
+		parts[c] = make([][]traffic.Request, epochs)
+	}
+	for _, req := range tr.Requests {
+		c := ClientOf(req.Chain(), n)
+		e := req.Seq / epochLen
+		parts[c][e] = append(parts[c][e], req)
+	}
+
+	// Mirror the serial loop's lastEpoch bookkeeping: epoch 0 is current
+	// as soon as its first request is admitted, with no barrier.
+	if executed[0] {
 		s.mu.Lock()
-		for !s.closed && s.inflight >= s.cfg.QueueDepth {
-			s.space.Wait()
+		if s.lastEpoch < 0 {
+			s.lastEpoch = 0
 		}
-		if s.closed {
-			s.mu.Unlock()
-			return ErrClosed
-		}
-		if req.Seq >= s.nextSeq {
-			s.nextSeq = req.Seq + 1
-		}
-		s.admitLocked(req, nil)
 		s.mu.Unlock()
 	}
+
+	var (
+		latch    = newEpochLatch(n)
+		aborted  atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	abort := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		aborted.Store(true)
+	}
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for e := int64(0); e < epochs; e++ {
+				if !aborted.Load() {
+					for _, req := range parts[c][e] {
+						if err := ctx.Err(); err != nil {
+							abort(err)
+							break
+						}
+						if o, ok := om[req.Seq]; ok && o.Status == traffic.StatusCanceled {
+							s.record(&Response{
+								Seq: req.Seq, Tenant: req.Tenant, Bench: req.Bench,
+								Status: traffic.StatusCanceled,
+							}, 0)
+							continue
+						}
+						req := req
+						req.DeadlineMicros = 0 // statuses come from the record, not live timing
+						if err := s.admitReplay(req); err != nil {
+							abort(err)
+							break
+						}
+					}
+				}
+				next := e + 1
+				latch.arrive(func() {
+					if aborted.Load() || next >= epochs || !executed[next] {
+						return
+					}
+					s.pool.Barrier(s.publish)
+					s.mu.Lock()
+					if next > s.lastEpoch {
+						s.lastEpoch = next
+					}
+					s.mu.Unlock()
+				})
+			}
+		}(c)
+	}
+	wg.Wait()
 	s.Drain()
+	return firstErr
+}
+
+// admitReplay admits one replayed request and enqueues its task. Unlike
+// the live path, pool submission happens outside s.mu: per-chain order
+// is already guaranteed by the owning client's serial submission loop,
+// and cross-chain pool order is irrelevant between barriers.
+func (s *Server) admitReplay(req traffic.Request) error {
+	s.mu.Lock()
+	for !s.closed && s.inflight >= s.cfg.QueueDepth {
+		s.waiters++
+		s.space.Wait()
+		s.waiters--
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if req.Seq >= s.nextSeq {
+		s.nextSeq = req.Seq + 1
+	}
+	s.inflight++
+	s.perTenant[req.Tenant]++
+	s.mu.Unlock()
+	if s.trace != nil {
+		s.traceMu.Lock()
+		s.trace.Requests = append(s.trace.Requests, req)
+		s.traceMu.Unlock()
+	}
+	s.pool.Go(req.Chain(), func() {
+		resp := s.execute(req)
+		s.finish(req, resp)
+	})
 	return nil
+}
+
+// epochLatch is a reusable rendezvous for the replay clients: every
+// party arrives, the last arriver runs onLast while the latch is still
+// held (so no party races ahead of the barrier it enqueues), then all
+// parties release into the next round together.
+type epochLatch struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	round   int64
+}
+
+func newEpochLatch(parties int) *epochLatch {
+	l := &epochLatch{parties: parties}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *epochLatch) arrive(onLast func()) {
+	l.mu.Lock()
+	l.arrived++
+	if l.arrived == l.parties {
+		onLast()
+		l.arrived = 0
+		l.round++
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return
+	}
+	r := l.round
+	for l.round == r {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
 }
 
 // execute runs one admitted request on its learning chain. It executes
@@ -440,16 +735,17 @@ func (s *Server) execute(req traffic.Request) *Response {
 // the current epoch's barrier — unless the server is Isolated.
 func (s *Server) chain(req traffic.Request) *chain {
 	key := req.Chain()
-	s.chainMu.Lock()
-	ch := s.chains[key]
+	sh := s.chains.shard(key)
+	sh.mu.Lock()
+	ch := sh.m[key]
 	if ch == nil {
 		ch = &chain{
 			tenant: req.Tenant,
 			bench:  req.Bench,
 			runner: s.protos[req.Bench].Fork(),
 		}
-		s.chains[key] = ch
-		s.chainMu.Unlock()
+		sh.m[key] = ch
+		sh.mu.Unlock()
 		if !s.cfg.Isolated {
 			s.tierMu.RLock()
 			blob := s.tier[req.Bench]
@@ -464,7 +760,7 @@ func (s *Server) chain(req traffic.Request) *chain {
 		_ = s.sess.Attach(key, ch.runner.State)
 		return ch
 	}
-	s.chainMu.Unlock()
+	sh.mu.Unlock()
 	return ch
 }
 
@@ -476,9 +772,10 @@ func (s *Server) publish() {
 	if s.cfg.Isolated {
 		return
 	}
-	s.chainMu.Lock()
+	// Best-chain selection is a max over (runs desc, tenant asc) — order-
+	// independent, so shard iteration order doesn't matter.
 	best := make(map[string]*chain)
-	for _, ch := range s.chains {
+	for _, ch := range s.chains.all() {
 		if ch.runs == 0 {
 			continue
 		}
@@ -487,7 +784,6 @@ func (s *Server) publish() {
 			best[ch.bench] = ch
 		}
 	}
-	s.chainMu.Unlock()
 	for bench, ch := range best {
 		blob, err := ch.runner.State.Snapshot()
 		if err != nil {
@@ -500,6 +796,10 @@ func (s *Server) publish() {
 }
 
 // finish releases the request's admission slot and records its outcome.
+// Recording happens entirely on striped/atomic state; only the slot
+// release takes s.mu, and it wakes exactly one blocked submitter (plus
+// the drain waiters when the pool empties) instead of broadcasting to
+// every waiter on every completion.
 func (s *Server) finish(req traffic.Request, resp *Response) {
 	s.record(resp, resp.Wall.Nanoseconds())
 	s.mu.Lock()
@@ -508,13 +808,24 @@ func (s *Server) finish(req traffic.Request, resp *Response) {
 	if s.perTenant[req.Tenant] == 0 {
 		delete(s.perTenant, req.Tenant)
 	}
-	s.space.Broadcast()
+	if s.waiters > 0 {
+		s.space.Signal()
+	}
+	if s.inflight == 0 {
+		s.drained.Broadcast()
+	}
 	s.mu.Unlock()
 }
 
 func (s *Server) record(resp *Response, wallNanos int64) {
-	s.outMu.Lock()
-	s.outcomes[resp.Seq] = resp
+	s.out.put(resp)
+	s.completed.Add(1)
+	switch resp.Status {
+	case traffic.StatusTrap:
+		s.traps.Add(1)
+	case traffic.StatusCanceled:
+		s.canceled.Add(1)
+	}
 	if resp.Status != traffic.StatusCanceled {
 		s.vhist.Observe(resp.Tenant, resp.Cycles)
 	}
@@ -522,19 +833,20 @@ func (s *Server) record(resp *Response, wallNanos int64) {
 		s.whist.Observe(wallNanos)
 	}
 	if s.trace != nil {
+		s.traceMu.Lock()
 		s.trace.Outcomes = append(s.trace.Outcomes, traffic.Outcome{
 			Seq: resp.Seq, Status: resp.Status, Checksum: resp.Checksum,
 			Cycles: resp.Cycles, Trap: resp.Trap,
 		})
+		s.traceMu.Unlock()
 	}
-	s.outMu.Unlock()
 }
 
 // Drain blocks until every admitted request has finished.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	for s.inflight > 0 {
-		s.space.Wait()
+		s.drained.Wait()
 	}
 	s.mu.Unlock()
 	s.pool.Wait()
@@ -571,16 +883,8 @@ func checksum(resp *Response) uint64 {
 // checksum per tenant. Two servers that serve the same trace must agree
 // on every fold, whatever their worker counts.
 func (s *Server) TenantChecksums() map[string]uint64 {
-	s.outMu.Lock()
-	defer s.outMu.Unlock()
-	seqs := make([]int64, 0, len(s.outcomes))
-	for seq := range s.outcomes {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	hs := make(map[string]*fnvState)
-	for _, seq := range seqs {
-		o := s.outcomes[seq]
+	for _, o := range s.out.all() {
 		st := hs[o.Tenant]
 		if st == nil {
 			st = &fnvState{sum: 14695981039346656037}
@@ -609,27 +913,30 @@ func (f *fnvState) fold(v uint64) {
 
 // Outcomes returns every recorded outcome sorted by sequence number.
 func (s *Server) Outcomes() []traffic.Outcome {
-	s.outMu.Lock()
-	defer s.outMu.Unlock()
-	out := make([]traffic.Outcome, 0, len(s.outcomes))
-	for _, resp := range s.outcomes {
+	all := s.out.all()
+	out := make([]traffic.Outcome, 0, len(all))
+	for _, resp := range all {
 		out = append(out, traffic.Outcome{
 			Seq: resp.Seq, Status: resp.Status, Checksum: resp.Checksum,
 			Cycles: resp.Cycles, Trap: resp.Trap,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
 // RecordedTrace returns the live-recorded trace (Config.Record), with
-// outcomes sorted by seq — ready for WriteFile and later Run.
+// requests and outcomes sorted by seq — ready for WriteFile and later
+// Run. (Multi-client replay appends requests in admission-race order, so
+// both slices need the sort.)
 func (s *Server) RecordedTrace() *traffic.Trace {
-	s.outMu.Lock()
-	defer s.outMu.Unlock()
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
 	if s.trace == nil {
 		return nil
 	}
+	sort.Slice(s.trace.Requests, func(i, j int) bool {
+		return s.trace.Requests[i].Seq < s.trace.Requests[j].Seq
+	})
 	sort.Slice(s.trace.Outcomes, func(i, j int) bool {
 		return s.trace.Outcomes[i].Seq < s.trace.Outcomes[j].Seq
 	})
@@ -661,42 +968,33 @@ type Stats struct {
 	Trace interp.TraceStats `json:"trace"`
 }
 
-// StatsNow reads the current stats.
+// StatsNow reads the current stats. The hot-path counters are atomics,
+// so this never blocks a request; quantiles come from histogram
+// snapshots.
 func (s *Server) StatsNow() Stats {
 	var st Stats
 	s.mu.Lock()
 	st.Admitted = s.nextSeq
-	st.Rejected = s.rejected
 	st.InFlight = s.inflight
 	st.Epoch = s.lastEpoch
 	s.mu.Unlock()
-	s.chainMu.Lock()
-	st.Chains = len(s.chains)
+	st.Rejected = s.rejected.Load()
+	st.Completed = s.completed.Load()
+	st.Traps = s.traps.Load()
+	st.Canceled = s.canceled.Load()
+	chains := s.chains.all()
+	st.Chains = len(chains)
 	tenants := make(map[string]bool)
-	for _, ch := range s.chains {
+	for _, ch := range chains {
 		tenants[ch.tenant] = true
 	}
 	st.Tenants = len(tenants)
-	s.chainMu.Unlock()
-	s.outMu.Lock()
-	st.Completed = int64(len(s.outcomes))
-	var all traffic.Histogram
-	for _, t := range s.vhist.Tenants() {
-		all.Merge(s.vhist[t])
-	}
-	for _, o := range s.outcomes {
-		switch o.Status {
-		case traffic.StatusTrap:
-			st.Traps++
-		case traffic.StatusCanceled:
-			st.Canceled++
-		}
-	}
+	all := s.vhist.Merged()
 	st.VirtualP50 = all.Quantile(0.50)
 	st.VirtualP99 = all.Quantile(0.99)
-	st.WallP50 = s.whist.Quantile(0.50)
-	st.WallP99 = s.whist.Quantile(0.99)
-	s.outMu.Unlock()
+	wall := s.whist.Snapshot()
+	st.WallP50 = wall.Quantile(0.50)
+	st.WallP99 = wall.Quantile(0.99)
 	st.Trace = interp.ReadTraceStats()
 	return st
 }
@@ -704,12 +1002,7 @@ func (s *Server) StatsNow() Stats {
 // TenantHistogram returns a copy of one tenant's virtual-cycle latency
 // histogram (zero histogram if the tenant never completed a request).
 func (s *Server) TenantHistogram(tenant string) traffic.Histogram {
-	s.outMu.Lock()
-	defer s.outMu.Unlock()
-	if h := s.vhist[tenant]; h != nil {
-		return *h
-	}
-	return traffic.Histogram{}
+	return s.vhist.Snapshot(tenant)
 }
 
 // LedgerBalanced verifies the session ledger after a drain: every
@@ -717,19 +1010,14 @@ func (s *Server) TenantHistogram(tenant string) traffic.Histogram {
 // and no per-run cycle-ledger cross-check failed. It reports an error
 // describing the first imbalance found.
 func (s *Server) LedgerBalanced() error {
-	s.outMu.Lock()
-	var deterministic int
-	for _, o := range s.outcomes {
-		if o.Status != traffic.StatusCanceled {
-			deterministic++
-		}
-	}
+	deterministic := int(s.completed.Load() - s.canceled.Load())
+	s.ledgerMu.Lock()
 	nledger := len(s.ledgerErrs)
 	var first string
 	if nledger > 0 {
 		first = s.ledgerErrs[0]
 	}
-	s.outMu.Unlock()
+	s.ledgerMu.Unlock()
 	if nledger > 0 {
 		return fmt.Errorf("serve: %d per-run ledger violations (first: %s)", nledger, first)
 	}

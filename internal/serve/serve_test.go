@@ -228,9 +228,8 @@ func TestAdmissionQueueFull(t *testing.T) {
 	}
 	s.mu.Lock()
 	s.inflight = 0
-	rejected := s.rejected
 	s.mu.Unlock()
-	if rejected != 1 {
+	if rejected := s.rejected.Load(); rejected != 1 {
 		t.Fatalf("rejected = %d, want 1", rejected)
 	}
 	if resp, err := s.TrySubmit(context.Background(), "t0", "compress", 1, 0); err != nil || resp.Status != traffic.StatusOK {
@@ -299,9 +298,7 @@ func TestAdmissionDeadlineExpires(t *testing.T) {
 	if err := s.LedgerBalanced(); err != nil {
 		t.Fatal(err)
 	}
-	s.chainMu.Lock()
-	runs := s.chains["t0/compress"].runs
-	s.chainMu.Unlock()
+	runs := s.chains.get("t0/compress").runs
 	if runs != 1 {
 		t.Fatalf("chain counted %d runs, want 1 (canceled run must not count)", runs)
 	}
@@ -363,10 +360,8 @@ func TestColdTenantBenefitsFromSharedTier(t *testing.T) {
 
 	firstColdPredicted := func(s *Server) bool {
 		t.Helper()
-		s.outMu.Lock()
-		defer s.outMu.Unlock()
 		var first *Response
-		for _, resp := range s.outcomes {
+		for _, resp := range s.out.all() {
 			if resp.Tenant == "cold" && (first == nil || resp.Seq < first.Seq) {
 				first = resp
 			}

@@ -1,0 +1,170 @@
+package stripe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestLookupStore(t *testing.T) {
+	c := New[string, int](8)
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	c.Store("a", 1)
+	v, ok := c.Lookup("a")
+	if !ok || v != 1 {
+		t.Fatalf("got %d,%v want 1,true", v, ok)
+	}
+	c.Store("a", 2)
+	if v, _ := c.Lookup("a"); v != 2 {
+		t.Fatalf("overwrite: got %d want 2", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 2 hits 1 miss 1 entry", st)
+	}
+}
+
+func TestCapacityExact(t *testing.T) {
+	for _, cap := range []int{1, 2, 3, 7, 16, 33} {
+		c := New[int, int](cap)
+		for i := 0; i < cap*10; i++ {
+			c.Store(i, i)
+			if n := c.Len(); n > cap {
+				t.Fatalf("cap %d: %d entries after %d stores", cap, n, i+1)
+			}
+		}
+		st := c.Stats()
+		if st.Entries > cap {
+			t.Fatalf("cap %d: stats report %d entries", cap, st.Entries)
+		}
+		if st.Evictions == 0 {
+			t.Fatalf("cap %d: expected evictions after %d stores", cap, cap*10)
+		}
+		// Shard capacities must partition the total exactly.
+		sum := 0
+		for i := range c.shards {
+			sum += c.shards[i].capacity
+		}
+		if sum != cap {
+			t.Fatalf("cap %d: shard capacities sum to %d", cap, sum)
+		}
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 10000; i++ {
+		c.Store(i, i)
+	}
+	if n := c.Len(); n != 10000 {
+		t.Fatalf("unbounded cache holds %d entries, want 10000", n)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", st.Evictions)
+	}
+}
+
+// TestClockSecondChance pins the CLOCK property that replaces LRU: an
+// entry that was hit since the last sweep survives the next eviction
+// pass; an entry that was not is the victim.
+func TestClockSecondChance(t *testing.T) {
+	c := New[int, int](2) // 2 shards of capacity 1 — each shard a 1-slot clock
+	// Find two keys in the same shard so they compete for one slot.
+	base := 0
+	sh := c.shard(base)
+	other := -1
+	for k := 1; k < 1<<16; k++ {
+		if c.shard(k) == sh {
+			other = k
+			break
+		}
+	}
+	if other < 0 {
+		t.Fatal("no colliding key found")
+	}
+	c.Store(base, 1)
+	c.Store(other, 2) // evicts base: the only slot
+	if _, ok := c.Lookup(base); ok {
+		t.Fatal("base survived a full shard")
+	}
+	if v, ok := c.Lookup(other); !ok || v != 2 {
+		t.Fatal("other should be cached")
+	}
+}
+
+// TestLoadOrStore verifies the memo contract: the first caller's value
+// wins and later callers observe it; counters are untouched.
+func TestLoadOrStore(t *testing.T) {
+	c := New[string, int](4)
+	v, loaded := c.LoadOrStore("k", 1)
+	if loaded || v != 1 {
+		t.Fatalf("first LoadOrStore got %d,%v", v, loaded)
+	}
+	v, loaded = c.LoadOrStore("k", 2)
+	if !loaded || v != 1 {
+		t.Fatalf("second LoadOrStore got %d,%v want 1,true", v, loaded)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("LoadOrStore touched hit/miss counters: %+v", st)
+	}
+}
+
+// TestConcurrentHammer drives every operation from GOMAXPROCS
+// goroutines and asserts the exact-capacity invariant and counter
+// conservation throughout — the package-level slice of the serving
+// contention battery (see internal/serve for the end-to-end one).
+func TestConcurrentHammer(t *testing.T) {
+	const cap = 64
+	c := New[int, *int](cap)
+	workers := runtime.GOMAXPROCS(0) * 4
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := (w*31 + i) % (cap * 4)
+				if v, ok := c.Lookup(key); ok {
+					if *v != key {
+						panic(fmt.Sprintf("key %d holds value %d", key, *v))
+					}
+					continue
+				}
+				v := key
+				got, _ := c.LoadOrStore(key, &v)
+				if *got != key {
+					panic(fmt.Sprintf("key %d stored as %d", key, *got))
+				}
+				if n := c.Len(); n > cap {
+					panic(fmt.Sprintf("capacity exceeded: %d > %d", n, cap))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > cap {
+		t.Fatalf("final entries %d exceed capacity %d", st.Entries, cap)
+	}
+	if st.Hits+st.Misses != int64(workers*perWorker) {
+		t.Fatalf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, workers*perWorker)
+	}
+}
+
+func BenchmarkHitParallel(b *testing.B) {
+	c := New[int, int](1024)
+	for i := 0; i < 1024; i++ {
+		c.Store(i, i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Lookup(i % 1024)
+			i++
+		}
+	})
+}

@@ -2,9 +2,12 @@ package traffic
 
 import (
 	"fmt"
+	"hash/maphash"
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Histogram is a log2-bucketed latency histogram. Bucket i counts
@@ -97,6 +100,137 @@ func (h *Histogram) String() string {
 	}
 	b.WriteByte(']')
 	return b.String()
+}
+
+// AtomicHistogram is the contention-free counterpart of Histogram: every
+// bucket is an atomic counter, so concurrent observers never serialize
+// behind a histogram lock. Log2 bucketing makes each Observe commutative
+// (an add per bucket plus count and sum), so a snapshot taken after all
+// observers quiesce is byte-identical to the serial Histogram over the
+// same multiset of values — bucket counts do not depend on observation
+// order. Snapshots taken mid-flight are internally consistent only
+// per-field (count may momentarily lag a bucket add); quiesce first when
+// exactness matters, as the serving drain does.
+type AtomicHistogram struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *AtomicHistogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot materializes the counters into a plain Histogram.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	for i := range h.buckets {
+		out.Buckets[i] = h.buckets[i].Load()
+	}
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	return out
+}
+
+// Quantile reads the q-quantile bound directly from the live counters —
+// see Histogram.Quantile for the bound's meaning. Loads are not mutually
+// consistent under concurrent Observe, which is fine for its one use:
+// advisory Retry-After hints.
+func (h *AtomicHistogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// tenantHistShards stripes the tenant→histogram map. 16 matches
+// internal/stripe's default: enough to spread any plausible worker count,
+// small enough that snapshotting all shards stays cheap.
+const tenantHistShards = 16
+
+var tenantHistSeed = maphash.MakeSeed()
+
+type tenantHistShard struct {
+	mu sync.RWMutex
+	m  map[string]*AtomicHistogram
+}
+
+// ShardedTenantHistograms aggregates per-tenant atomic histograms behind
+// a lock-striped map: the hot path takes one shard read lock to resolve
+// the tenant's histogram, then updates it with atomic adds. The zero
+// value is ready to use.
+type ShardedTenantHistograms struct {
+	shards [tenantHistShards]tenantHistShard
+}
+
+func (th *ShardedTenantHistograms) shard(tenant string) *tenantHistShard {
+	return &th.shards[maphash.String(tenantHistSeed, tenant)%tenantHistShards]
+}
+
+// Observe records v for tenant, creating the tenant's histogram on first
+// use.
+func (th *ShardedTenantHistograms) Observe(tenant string, v int64) {
+	sh := th.shard(tenant)
+	sh.mu.RLock()
+	h := sh.m[tenant]
+	sh.mu.RUnlock()
+	if h == nil {
+		sh.mu.Lock()
+		h = sh.m[tenant]
+		if h == nil {
+			if sh.m == nil {
+				sh.m = make(map[string]*AtomicHistogram)
+			}
+			h = &AtomicHistogram{}
+			sh.m[tenant] = h
+		}
+		sh.mu.Unlock()
+	}
+	h.Observe(v)
+}
+
+// Snapshot returns a copy of one tenant's histogram (zero histogram if
+// the tenant was never observed).
+func (th *ShardedTenantHistograms) Snapshot(tenant string) Histogram {
+	sh := th.shard(tenant)
+	sh.mu.RLock()
+	h := sh.m[tenant]
+	sh.mu.RUnlock()
+	if h == nil {
+		return Histogram{}
+	}
+	return h.Snapshot()
+}
+
+// Merged folds every tenant's histogram into one.
+func (th *ShardedTenantHistograms) Merged() Histogram {
+	var all Histogram
+	for i := range th.shards {
+		sh := &th.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.m {
+			snap := h.Snapshot()
+			all.Merge(&snap)
+		}
+		sh.mu.RUnlock()
+	}
+	return all
+}
+
+// Tenants returns every observed tenant name in sorted order.
+func (th *ShardedTenantHistograms) Tenants() []string {
+	var names []string
+	for i := range th.shards {
+		sh := &th.shards[i]
+		sh.mu.RLock()
+		for name := range sh.m {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
 }
 
 // TenantHistograms aggregates per-tenant histograms with deterministic

@@ -1,16 +1,15 @@
 package xicl
 
 import (
-	"container/list"
-	"sync"
+	"evolvevm/internal/stripe"
 )
 
 // DefaultFVCacheCapacity bounds a feature-vector cache. Vectors are a few
 // dozen floats plus a signature string, so the bound keeps a cache to a
 // couple of megabytes while still covering any realistic input corpus —
 // the same sizing philosophy as jit.DefaultCacheCapacity. Long sessions
-// that stream unbounded distinct inputs now evict the least recently used
-// vector instead of growing without limit.
+// that stream unbounded distinct inputs evict (approximately) the least
+// recently used vector instead of growing without limit.
 const DefaultFVCacheCapacity = 4096
 
 // FVCacheStats reports cache effectiveness and occupancy.
@@ -23,13 +22,17 @@ type FVCacheStats struct {
 }
 
 // FVCache memoizes feature-vector extraction by input signature, bounded
-// with LRU eviction. Feature extraction is a pure function of the input
-// (command line plus files), so a learner that sees the same input many
-// times across a production sequence can reuse the vector and its
-// extraction cost instead of re-materializing both — the virtual
-// extraction charge is still paid by every run, exactly as if the
-// translator had run again. Eviction cannot change virtual results: a
-// re-miss merely re-runs the deterministic extractor.
+// with lock-striped CLOCK eviction (internal/stripe): a hit takes only a
+// per-shard read lock plus one atomic reference-bit touch, so concurrent
+// serving requests extracting features for the same inputs never
+// serialize behind a recency-list update. Feature extraction is a pure
+// function of the input (command line plus files), so a learner that
+// sees the same input many times across a production sequence can reuse
+// the vector and its extraction cost instead of re-materializing both —
+// the virtual extraction charge is still paid by every run, exactly as
+// if the translator had run again. Eviction (CLOCK-approximate LRU)
+// cannot change virtual results: a re-miss merely re-runs the
+// deterministic extractor.
 //
 // Cached vectors are shared: callers (and anything they hand the vector
 // to, such as training examples) must treat them as immutable. A
@@ -37,17 +40,11 @@ type FVCacheStats struct {
 // and must not be memoized; the cache is for the static BuildFVector
 // path.
 type FVCache struct {
-	mu        sync.Mutex // plain Mutex: lookups mutate recency order
-	m         map[string]*list.Element
-	order     *list.List // front = most recently used
-	capacity  int
-	hits      int64
-	misses    int64
-	evictions int64
+	c *stripe.Cache[string, *fvEntry]
 }
 
+// fvEntry is immutable once stored.
 type fvEntry struct {
-	sig  string
 	vec  Vector
 	cost int64
 }
@@ -58,64 +55,35 @@ func NewFVCache() *FVCache { return NewFVCacheCap(DefaultFVCacheCapacity) }
 // NewFVCacheCap returns an empty cache holding at most capacity entries
 // (capacity <= 0 means unbounded).
 func NewFVCacheCap(capacity int) *FVCache {
-	return &FVCache{
-		m:        make(map[string]*list.Element),
-		order:    list.New(),
-		capacity: capacity,
-	}
+	return &FVCache{c: stripe.New[string, *fvEntry](capacity)}
 }
 
 // Get returns the memoized vector and extraction cost for the signature.
 func (c *FVCache) Get(sig string) (Vector, int64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[sig]
+	e, ok := c.c.Lookup(sig)
 	if !ok {
-		c.misses++
 		return nil, 0, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	e := el.Value.(*fvEntry)
 	return e.vec, e.cost, true
 }
 
 // Put memoizes a vector and its extraction cost under the signature. The
 // cache takes shared ownership of vec; it must not be mutated afterwards.
 func (c *FVCache) Put(sig string, vec Vector, cost int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[sig]; ok {
-		e := el.Value.(*fvEntry)
-		e.vec, e.cost = vec, cost
-		c.order.MoveToFront(el)
-		return
-	}
-	c.m[sig] = c.order.PushFront(&fvEntry{sig: sig, vec: vec, cost: cost})
-	for c.capacity > 0 && c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.m, oldest.Value.(*fvEntry).sig)
-		c.evictions++
-	}
+	c.c.Store(sig, &fvEntry{vec: vec, cost: cost})
 }
 
 // Len returns the number of memoized signatures.
-func (c *FVCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
-}
+func (c *FVCache) Len() int { return c.c.Len() }
 
 // Stats returns a snapshot of the cache's counters and occupancy.
 func (c *FVCache) Stats() FVCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	st := c.c.Stats()
 	return FVCacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.m),
-		Capacity:  c.capacity,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Capacity:  st.Capacity,
 	}
 }
