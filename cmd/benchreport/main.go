@@ -17,8 +17,13 @@
 //	benchreport compare [-warn 0.10] [-fail 0.25] old.json new.json
 //
 // compare diffs the latest snapshots of two artifacts (flat or
-// trajectory) and exits 1 if any benchmark's mean regressed by more than
-// the warn threshold, 2 if by more than the fail threshold.
+// trajectory) and exits 1 if any benchmark regressed by more than the
+// warn threshold, 2 if by more than the fail threshold. Latency numbers
+// (ns/op and "-ns" custom metrics) gate on the min across runs, not the
+// mean: the minimum is the least-contended observation of the same work,
+// so one descheduled repetition cannot fake a regression. Each row
+// prints which basis it was judged on; comparisons fall back to the
+// mean when either side's artifact predates min recording.
 package main
 
 import (
@@ -48,6 +53,11 @@ type Entry struct {
 	// or hand-emitted lines) as per-unit means — the serving load test
 	// reports p99-ns, req/s, and virtual-cycle quantiles this way.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// MetricsMin holds the per-unit minimum across runs, the
+	// outlier-robust basis compare gates "-ns" units on. Absent in
+	// artifacts written before it existed; compare then falls back to
+	// the mean for those units.
+	MetricsMin map[string]float64 `json:"metrics_min,omitempty"`
 }
 
 // Report is one benchmark snapshot: the flat artifact layout, and one
@@ -202,8 +212,9 @@ func gitHead() string {
 	return strings.TrimSpace(string(out))
 }
 
-// runCompare diffs the latest snapshots of old and new artifacts on
-// mean ns/op. Exit status: 0 all within the warn threshold, 1 some
+// runCompare diffs the latest snapshots of old and new artifacts.
+// Latency gates on min-of-runs where both sides recorded it (mean
+// otherwise). Exit status: 0 all within the warn threshold, 1 some
 // benchmark regressed past warn, 2 past fail.
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchreport compare", flag.ContinueOnError)
@@ -231,9 +242,9 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	status := compareReports(oldRep, newRep, *warn, *fail, stdout)
 	switch status {
 	case 1:
-		fmt.Fprintf(stdout, "WARN: mean regression > %.0f%% detected\n", *warn*100)
+		fmt.Fprintf(stdout, "WARN: regression > %.0f%% detected\n", *warn*100)
 	case 2:
-		fmt.Fprintf(stdout, "FAIL: mean regression > %.0f%% detected\n", *fail*100)
+		fmt.Fprintf(stdout, "FAIL: regression > %.0f%% detected\n", *fail*100)
 	}
 	return status
 }
@@ -245,10 +256,12 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 	}
 	status := 0
 	fresh := 0
-	// The runs column shows how many samples each side's gate rests on
-	// (old/new): a comparison against a single-run baseline is noise-
-	// prone, and the column makes that visible instead of implicit.
-	fmt.Fprintf(w, "%-34s %14s %14s %8s  %9s\n", "benchmark", "old mean", "new mean", "delta", "runs(o/n)")
+	// The basis column shows which statistic the row was judged on (min
+	// where both sides recorded it, mean for legacy baselines); the runs
+	// column shows how many samples each side's gate rests on (old/new) —
+	// a comparison against a single-run baseline is noise-prone, and the
+	// columns make both visible instead of implicit.
+	fmt.Fprintf(w, "%-34s %14s %14s %8s  %5s  %9s\n", "benchmark", "old", "new", "delta", "basis", "runs(o/n)")
 	for _, ne := range newRep.Benchmarks {
 		oe, ok := oldBy[ne.Name]
 		if !ok || oe.MeanNsPerOp <= 0 {
@@ -256,16 +269,25 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 			// row is informational only and never gates — a newly landed
 			// benchmark's first run must be green.
 			fresh++
-			fmt.Fprintf(w, "%-34s %14s %14.0f %8s  %9s\n", ne.Name, "-", ne.MeanNsPerOp, "new", fmt.Sprintf("-/%d", ne.Runs))
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s  %5s  %9s\n", ne.Name, "-", ne.MeanNsPerOp, "new", "-", fmt.Sprintf("-/%d", ne.Runs))
 			continue
 		}
-		delta := ne.MeanNsPerOp/oe.MeanNsPerOp - 1
+		// Min-of-runs is the outlier-robust latency estimator: the same
+		// code cannot get faster by luck, only slower by interference, so
+		// the minimum is the cleanest observation on both sides. Old
+		// snapshots missing the min (pre-recording artifacts use 0) fall
+		// back to the mean.
+		ov, nv, basis := oe.MeanNsPerOp, ne.MeanNsPerOp, "mean"
+		if oe.MinNsPerOp > 0 && ne.MinNsPerOp > 0 {
+			ov, nv, basis = oe.MinNsPerOp, ne.MinNsPerOp, "min"
+		}
+		delta := nv/ov - 1
 		mark, status2 := judge(delta, warn, fail)
 		if status2 > status {
 			status = status2
 		}
-		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s  %9s\n",
-			ne.Name, oe.MeanNsPerOp, ne.MeanNsPerOp, delta*100, mark, fmt.Sprintf("%d/%d", oe.Runs, ne.Runs))
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s  %5s  %9s\n",
+			ne.Name, ov, nv, delta*100, mark, basis, fmt.Sprintf("%d/%d", oe.Runs, ne.Runs))
 		// Custom latency metrics (unit suffix "-ns", e.g. the serving load
 		// test's p99-ns) gate exactly like ns/op; other units — through-
 		// put, virtual cycles — are shown but never fail the comparison,
@@ -281,6 +303,12 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 				continue
 			}
 			nv := ne.Metrics[unit]
+			basis := "mean"
+			if omv := oe.MetricsMin[unit]; omv > 0 {
+				if nmv := ne.MetricsMin[unit]; nmv > 0 {
+					ov, nv, basis = omv, nmv, "min"
+				}
+			}
 			delta := nv/ov - 1
 			mark := ""
 			if strings.HasSuffix(unit, "-ns") {
@@ -290,8 +318,8 @@ func compareReports(oldRep, newRep *Report, warn, fail float64, w io.Writer) int
 					status = s2
 				}
 			}
-			fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
-				ne.Name+" ["+unit+"]", ov, nv, delta*100, mark)
+			fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s  %5s\n",
+				ne.Name+" ["+unit+"]", ov, nv, delta*100, mark, basis)
 		}
 	}
 	if fresh > 0 {
@@ -394,17 +422,23 @@ func parse(in io.Reader) (*Report, error) {
 		e.MeanNsPerOp = sum / float64(len(ss))
 		metricSums := make(map[string]float64)
 		metricRuns := make(map[string]int)
+		metricMins := make(map[string]float64)
 		for _, s := range ss {
 			for unit, v := range s.metrics {
 				metricSums[unit] += v
 				metricRuns[unit]++
+				if cur, ok := metricMins[unit]; !ok || v < cur {
+					metricMins[unit] = v
+				}
 			}
 		}
 		for unit, total := range metricSums {
 			if e.Metrics == nil {
 				e.Metrics = make(map[string]float64)
+				e.MetricsMin = make(map[string]float64)
 			}
 			e.Metrics[unit] = total / float64(metricRuns[unit])
+			e.MetricsMin[unit] = metricMins[unit]
 		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}

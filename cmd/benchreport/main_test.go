@@ -205,6 +205,9 @@ func TestParseCustomMetrics(t *testing.T) {
 			t.Errorf("metric %s = %v, want %v", unit, got, v)
 		}
 	}
+	if got := e.MetricsMin["p99-ns"]; got != 900000 {
+		t.Errorf("metric min p99-ns = %v, want 900000", got)
+	}
 }
 
 func TestCompareGatesOnLatencyMetrics(t *testing.T) {
@@ -236,6 +239,71 @@ func TestCompareGatesOnLatencyMetrics(t *testing.T) {
 				t.Errorf("exit %d, want %d\n%s%s", got, tc.want, stdout.String(), stderr.String())
 			}
 		})
+	}
+}
+
+// TestCompareGatesOnMinOfRuns: when both sides recorded a min, the gate
+// judges min-vs-min and ignores mean movement — one descheduled
+// repetition inflating the mean must not read as a regression, while a
+// genuinely slower min must.
+func TestCompareGatesOnMinOfRuns(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", []Entry{{
+		Name: "BenchmarkA", Runs: 5, MinNsPerOp: 1000, MeanNsPerOp: 1100,
+		Metrics:    map[string]float64{"p99-ns": 1100},
+		MetricsMin: map[string]float64{"p99-ns": 1000},
+	}})
+	cases := []struct {
+		name       string
+		min, mean  float64
+		p99, p99mn float64
+		want       int
+		basis      string
+	}{
+		// Mean blew up 2x (noisy repetition) but the min held: no gate.
+		{"noisy mean ignored", 1000, 2200, 1100, 1000, 0, "min"},
+		{"min regression gates", 1300, 1300, 1100, 1000, 2, "min"},
+		{"metric min regression gates", 1000, 1100, 2200, 1300, 2, "min"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newer := writeSnapshot(t, dir, "new.json", []Entry{{
+				Name: "BenchmarkA", Runs: 5, MinNsPerOp: tc.min, MeanNsPerOp: tc.mean,
+				Metrics:    map[string]float64{"p99-ns": tc.p99},
+				MetricsMin: map[string]float64{"p99-ns": tc.p99mn},
+			}})
+			var stdout, stderr bytes.Buffer
+			got := runCompare([]string{"-warn", "0.10", "-fail", "0.25", old, newer}, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("exit %d, want %d\n%s%s", got, tc.want, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), tc.basis) {
+				t.Errorf("basis %q not printed:\n%s", tc.basis, stdout.String())
+			}
+		})
+	}
+}
+
+// TestCompareMinFallsBackToMean: baselines written before min recording
+// (MinNsPerOp zero, no MetricsMin) are judged on means, and the row says
+// so.
+func TestCompareMinFallsBackToMean(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", []Entry{{
+		Name: "BenchmarkA", MeanNsPerOp: 1000,
+		Metrics: map[string]float64{"p99-ns": 1000},
+	}})
+	newer := writeSnapshot(t, dir, "new.json", []Entry{{
+		Name: "BenchmarkA", Runs: 5, MinNsPerOp: 1250, MeanNsPerOp: 1300,
+		Metrics:    map[string]float64{"p99-ns": 1300},
+		MetricsMin: map[string]float64{"p99-ns": 1250},
+	}})
+	var stdout, stderr bytes.Buffer
+	if got := runCompare([]string{"-warn", "0.10", "-fail", "0.25", old, newer}, &stdout, &stderr); got != 2 {
+		t.Errorf("exit %d, want 2 on mean fallback\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "mean") {
+		t.Errorf("mean basis not printed:\n%s", stdout.String())
 	}
 }
 

@@ -84,10 +84,10 @@ func (e *Engine) Run() (bytecode.Value, error) {
 		var tp *tracePlan
 		if !e.DisableBatching {
 			if !e.DisableRegTier {
-				tp = code.traceFor(e.EagerRegTier, !e.DisableCallInline, e.PeekCode)
+				tp = e.traceTier(code)
 			}
 			if !e.DisableClosures {
-				cp = code.closureFor(!e.DisableFusion, e.EagerClosures)
+				cp = e.closureTier(code)
 			}
 			if cp == nil {
 				pl = code.planFor(!e.DisableFusion)
@@ -364,15 +364,17 @@ const runMid = `
 				// A sampler tick is the promotion point of the closure
 				// tier: re-ask for the threaded form so code that just got
 				// hot (or was recompiled hot in OnSample) starts threading
-				// without leaving the frame. Host-side only — the virtual
-				// stream is untouched.
+				// without leaving the frame. With a background compile
+				// queue attached the re-ask enqueues instead of building
+				// and keeps returning nil until the plan lands; either
+				// way, host-side only — the virtual stream is untouched.
 				if cp == nil && !e.DisableBatching && !e.DisableClosures {
-					if cp = code.closureFor(!e.DisableFusion, e.EagerClosures); cp != nil {
+					if cp = e.closureTier(code); cp != nil {
 						pl = nil
 					}
 				}
 				if tp == nil && !e.DisableBatching && !e.DisableRegTier {
-					tp = code.traceFor(e.EagerRegTier, !e.DisableCallInline, e.PeekCode)
+					tp = e.traceTier(code)
 				}
 				if e.Cycles > e.MaxCycles {
 					return result, rerr("cycle limit %d exceeded", e.MaxCycles)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sync"
 	"testing"
 
 	"evolvevm/internal/aos"
+	"evolvevm/internal/bgcompile"
 	"evolvevm/internal/gc"
 	"evolvevm/internal/interp"
 	"evolvevm/internal/jit"
@@ -61,12 +63,17 @@ var substrateModes = []struct {
 // enabled enters traces eagerly, so the soak exercises the register
 // executor on all generated code rather than only on loops that cross the
 // hotness thresholds; EVOLVEVM_EAGER_OSR additionally forces OSR entry at
-// every mid-loop entry point. Modes that disable the tier (or batching
-// entirely) are unaffected — their configure runs last and wins.
+// every mid-loop entry point. EVOLVEVM_ASYNC_COMPILE attaches a shared
+// background compilation pool to every engine, so the whole mode ladder
+// reruns with plans built by pool workers and CAS-installed mid-run
+// (eager modes still build inline — they need plans before the first
+// instruction). Modes that disable a tier (or batching entirely) are
+// unaffected — their configure runs last and wins.
 func withEagerReg(configure func(*interp.Engine)) func(*interp.Engine) {
 	eagerReg := os.Getenv("EVOLVEVM_EAGER_REGTIER") != ""
 	eagerOSR := os.Getenv("EVOLVEVM_EAGER_OSR") != ""
-	if !eagerReg && !eagerOSR {
+	async := os.Getenv("EVOLVEVM_ASYNC_COMPILE") != ""
+	if !eagerReg && !eagerOSR && !async {
 		return configure
 	}
 	return func(e *interp.Engine) {
@@ -76,30 +83,53 @@ func withEagerReg(configure func(*interp.Engine)) func(*interp.Engine) {
 		if eagerOSR {
 			e.EagerOSR = true
 		}
+		if async {
+			e.BgCompile = sharedAsyncPool()
+		}
 		if configure != nil {
 			configure(e)
 		}
 	}
 }
 
-// execBitIdentical asserts two Execs agree on every observable — semantic
+// sharedAsyncPool lazily builds the one background compilation pool the
+// env-layered soak passes share. Never closed: it lives for the test
+// process, like the exec layer's default pool.
+var (
+	asyncPoolOnce sync.Once
+	asyncPool     *bgcompile.Pool
+)
+
+func sharedAsyncPool() *bgcompile.Pool {
+	asyncPoolOnce.Do(func() { asyncPool = bgcompile.NewPool(0, 0) })
+	return asyncPool
+}
+
+// execDiff reports how two Execs diverge in any observable — semantic
 // state via Compare, plus every cycle ledger and the per-function sample
-// profile.
-func execBitIdentical(t *testing.T, ctx string, ref, got *Exec) {
-	t.Helper()
+// profile — or nil when bit-identical.
+func execDiff(ref, got *Exec) error {
 	if err := Compare(ref, got); err != nil {
-		t.Fatalf("%s: %v", ctx, err)
+		return err
 	}
 	if ref.Cycles != got.Cycles || ref.ExecCycles != got.ExecCycles ||
 		ref.Work != got.Work || ref.CompileCycles != got.CompileCycles ||
 		ref.GCCycles != got.GCCycles || ref.AllocCycles != got.AllocCycles {
-		t.Fatalf("%s: ledger diverged:\nref: cycles=%d exec=%d work=%d compile=%d gc=%d alloc=%d\ngot: cycles=%d exec=%d work=%d compile=%d gc=%d alloc=%d",
-			ctx,
+		return fmt.Errorf("ledger diverged:\nref: cycles=%d exec=%d work=%d compile=%d gc=%d alloc=%d\ngot: cycles=%d exec=%d work=%d compile=%d gc=%d alloc=%d",
 			ref.Cycles, ref.ExecCycles, ref.Work, ref.CompileCycles, ref.GCCycles, ref.AllocCycles,
 			got.Cycles, got.ExecCycles, got.Work, got.CompileCycles, got.GCCycles, got.AllocCycles)
 	}
 	if !reflect.DeepEqual(ref.FnSamples, got.FnSamples) {
-		t.Fatalf("%s: sample profile diverged:\nref: %v\ngot: %v", ctx, ref.FnSamples, got.FnSamples)
+		return fmt.Errorf("sample profile diverged:\nref: %v\ngot: %v", ref.FnSamples, got.FnSamples)
+	}
+	return nil
+}
+
+// execBitIdentical asserts two Execs agree on every observable.
+func execBitIdentical(t *testing.T, ctx string, ref, got *Exec) {
+	t.Helper()
+	if err := execDiff(ref, got); err != nil {
+		t.Fatalf("%s: %v", ctx, err)
 	}
 }
 
@@ -144,6 +174,86 @@ func TestSubstrateBitIdentical(t *testing.T) {
 		checked, len(substrateModes))
 	if checked == 0 {
 		t.Fatal("substrate soak checked zero runs")
+	}
+}
+
+// TestSubstrateAsyncCompile holds background tier compilation to the
+// bit-identity bar: runs whose closure and trace plans are built by pool
+// workers and CAS-installed at arbitrary wall-clock moments mid-run —
+// including several submitters racing each other on one pool, where
+// in-flight dedup leaves some runs executing in lower tiers the whole
+// way — must match the serial sync-compile oracle in every observable.
+// At drain, the pool's flow must conserve: every submit accounted as
+// exactly one of built, lost-install, dropped, or deduped.
+func TestSubstrateAsyncCompile(t *testing.T) {
+	pool := bgcompile.NewPool(2, 32)
+	defer pool.Close()
+	syncOracle := func(e *interp.Engine) { e.SyncCompile = true }
+	async := func(e *interp.Engine) { e.BgCompile = pool }
+
+	n := int64(soakN(t) / 10) // 200 seeds in full mode, 10 under -short
+	seeds := make([]int64, 0, n)
+	if *seedFlag >= 0 {
+		seeds = append(seeds, *seedFlag)
+	} else {
+		for s := int64(0); s < n; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	var checked int
+	for _, seed := range seeds {
+		g := genFor(seed)
+		for k, input := range g.Inputs {
+			for level := jit.MinLevel; level <= jit.MaxLevel; level++ {
+				ref, err := RunTierConfigured(g.Prog, level, gc.Config{}, preCap,
+					g.NumericGlobals, input, syncOracle)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				got, err := RunTierConfigured(g.Prog, level, gc.Config{}, preCap,
+					g.NumericGlobals, input, async)
+				if err != nil {
+					t.Fatalf("seed %d async: %v", seed, err)
+				}
+				ctx := fmt.Sprintf("seed %d input %d level %d async", seed, k, level)
+				execBitIdentical(t, ctx, ref, got)
+
+				// Concurrent-submitter leg (top tier only, where every plan
+				// kind is in play): four goroutines run the same execution
+				// against the shared pool while its workers install plans.
+				if level == jit.MaxLevel {
+					errc := make(chan error, 4)
+					for w := 0; w < 4; w++ {
+						go func() {
+							got, err := RunTierConfigured(g.Prog, level, gc.Config{}, preCap,
+								g.NumericGlobals, input, async)
+							if err != nil {
+								errc <- err
+								return
+							}
+							errc <- execDiff(ref, got)
+						}()
+					}
+					for w := 0; w < 4; w++ {
+						if err := <-errc; err != nil {
+							t.Fatalf("%s (concurrent): %v", ctx, err)
+						}
+					}
+				}
+				checked++
+			}
+		}
+	}
+	pool.Drain()
+	st := pool.Stats()
+	if got := st.Built + st.LostInstalls + st.Dropped + st.Deduped; got != st.Enqueued {
+		t.Fatalf("pool counters do not conserve: built %d + lost %d + dropped %d + deduped %d = %d, enqueued %d",
+			st.Built, st.LostInstalls, st.Dropped, st.Deduped, got, st.Enqueued)
+	}
+	t.Logf("async compile: %d executions bit-identical vs sync oracle (pool: enqueued=%d built=%d deduped=%d dropped=%d)",
+		checked, st.Enqueued, st.Built, st.Deduped, st.Dropped)
+	if checked == 0 {
+		t.Fatal("async compile soak checked zero runs")
 	}
 }
 

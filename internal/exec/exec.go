@@ -23,9 +23,12 @@ package exec
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 
+	"evolvevm/internal/bgcompile"
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/gc"
 	"evolvevm/internal/interp"
@@ -61,6 +64,66 @@ type Substrate struct {
 	EagerOSR     bool
 	ForcedDeopt  bool
 	NoCallInline bool
+
+	// AsyncCompile routes closure- and trace-plan builds through a
+	// background compilation pool (RunSpec.Compile when set, else the
+	// process-global DefaultCompilePool) instead of building them inline
+	// at the promotion point; the engine keeps executing in its current
+	// best tier until the built plan lands. The EVOLVEVM_ASYNC_COMPILE
+	// environment knob turns it on for every run that does not pin
+	// SyncCompile, which forces inline builds regardless — the
+	// equivalence suites use the pair to hold both modes to bit-identical
+	// virtual results. Host-side only, like every other switch here.
+	AsyncCompile bool
+	SyncCompile  bool
+}
+
+// asyncCompileEnv caches the EVOLVEVM_ASYNC_COMPILE knob: set non-empty,
+// every run without Substrate.SyncCompile compiles through the
+// background pool, so CI can sweep the whole difftest and harness
+// matrix in async mode without touching each suite.
+var asyncCompileEnv = os.Getenv("EVOLVEVM_ASYNC_COMPILE") != ""
+
+// AsyncCompileEnv reports whether the EVOLVEVM_ASYNC_COMPILE knob was
+// set at process start. Serving and test layers use it to decide whether
+// to attach their own compile pools.
+func AsyncCompileEnv() bool { return asyncCompileEnv }
+
+// defaultCompilePool is the lazily created process-global background
+// compilation pool used by batch runs (env knob or Substrate.AsyncCompile
+// without an explicit RunSpec.Compile). It lives for the process — batch
+// drivers have no shutdown point, and an idle pool costs a few parked
+// goroutines.
+var (
+	defaultCompilePool atomic.Pointer[bgcompile.Pool]
+	defaultCompileMu   sync.Mutex
+)
+
+// DefaultCompilePool returns the process-global compilation pool,
+// creating it (default workers and depth) on first use.
+func DefaultCompilePool() *bgcompile.Pool {
+	if p := defaultCompilePool.Load(); p != nil {
+		return p
+	}
+	defaultCompileMu.Lock()
+	defer defaultCompileMu.Unlock()
+	if p := defaultCompilePool.Load(); p != nil {
+		return p
+	}
+	p := bgcompile.NewPool(0, 0)
+	defaultCompilePool.Store(p)
+	return p
+}
+
+// CompilePoolStats snapshots the process-global pool's counters, or nil
+// when no batch run ever created it (diagnostics: expdriver -tracestats).
+func CompilePoolStats() *bgcompile.Stats {
+	p := defaultCompilePool.Load()
+	if p == nil {
+		return nil
+	}
+	st := p.Stats()
+	return &st
 }
 
 // ProfileLabels, when enabled, wraps every run in a runtime/pprof label
@@ -83,6 +146,12 @@ type RunSpec struct {
 	// run reuse host-side compilation work across runs. Virtual compile
 	// charges are unaffected.
 	SharedCode *jit.Cache
+
+	// Compile, when non-nil, is the background compilation queue for this
+	// run's plan builds (the serving front end passes its per-server
+	// pool). Ignored under Substrate.SyncCompile; when nil, the
+	// AsyncCompile switch or env knob falls back to DefaultCompilePool.
+	Compile interp.CompileQueue
 
 	// Controller builds the run's optimization controller once the machine
 	// exists (repository controllers need the compiler's cost model). A
@@ -185,6 +254,14 @@ func RunInto(ctx context.Context, spec *RunSpec, out *RunOutcome) error {
 	m.Engine.EagerOSR = spec.Substrate.EagerOSR
 	m.Engine.StressDeopt = spec.Substrate.ForcedDeopt
 	m.Engine.DisableCallInline = spec.Substrate.NoCallInline
+	m.Engine.SyncCompile = spec.Substrate.SyncCompile
+	if !spec.Substrate.SyncCompile {
+		if spec.Compile != nil {
+			m.Engine.BgCompile = spec.Compile
+		} else if spec.Substrate.AsyncCompile || asyncCompileEnv {
+			m.Engine.BgCompile = DefaultCompilePool()
+		}
+	}
 	if !spec.Substrate.NoCodeCache && spec.SharedCode != nil {
 		m.Compiler.UseShared(spec.SharedCode)
 	}

@@ -16,6 +16,7 @@ type substrateVariant struct {
 	noCache, noFusion, noBatching, noClosures, noReg bool
 	eagerReg                                         bool
 	noOSR, eagerOSR, forcedDeopt, noInline           bool
+	asyncCompile                                     bool
 }
 
 var substrateVariants = []substrateVariant{
@@ -28,6 +29,7 @@ var substrateVariants = []substrateVariant{
 	{name: "osr-deopt", eagerReg: true, eagerOSR: true, forcedDeopt: true},
 	{name: "noosr", eagerReg: true, noOSR: true},
 	{name: "noinline", eagerReg: true, noInline: true},
+	{name: "async", asyncCompile: true},
 	{name: "full"},
 }
 
@@ -52,6 +54,11 @@ func runVariant(t *testing.T, b *programs.Benchmark, scenario Scenario,
 		EagerOSR:     v.eagerOSR || (os.Getenv("EVOLVEVM_EAGER_OSR") != "" && !v.noOSR && !v.noReg && !v.noBatching),
 		ForcedDeopt:  v.forcedDeopt,
 		NoCallInline: v.noInline,
+		// Background plan building moves tier promotion off the hot path;
+		// the "async" variant proves the ledger and results stay identical
+		// regardless of when (wall-clock) a plan lands. EVOLVEVM_ASYNC_COMPILE
+		// additionally layers a shared pool over every other variant via exec.
+		AsyncCompile: v.asyncCompile,
 	}
 	order := r.Order(rand.New(rand.NewSource(seed+7)), runs)
 	results, err := r.RunSequence(testCtx, scenario, order)

@@ -78,6 +78,13 @@ type Code struct {
 	// triggers the closure tier. Host-side only: the count never feeds
 	// back into any virtual observable.
 	samples atomic.Int64
+
+	// pending is the in-flight background-compile bitmask (one bit per
+	// CompileKind × mode, see pendingBit in compile.go). While a bit is
+	// held, engines sharing the Code skip re-enqueueing that build, so
+	// the hot path touches the compile queue at most once per missing
+	// plan.
+	pending atomic.Uint32
 }
 
 // ClosureHotSamples is the number of sampler ticks after which an
@@ -101,55 +108,53 @@ func (c *Code) noteSample() { c.samples.Add(1) }
 // (diagnostics).
 func (c *Code) Samples() int64 { return c.samples.Load() }
 
-// closureFor returns the closure-threaded plan, building it when the code
-// qualifies: eager forces a build at any tier (the equivalence suites use
-// this to cover baseline code too); otherwise the code must be at an
-// optimized level and past the hotness threshold. Returns nil when the
-// code has not (yet) earned its closure form. Concurrent builders race
-// benignly, like planFor.
-func (c *Code) closureFor(fuse, eager bool) *closPlan {
+// installClosurePlan builds the closure-threaded form for the given
+// fusion mode and installs it CAS-once: of concurrent builders, exactly
+// one plan lands and every loser discards its build (counted in
+// PlanInstallStats). Promotion policy — hotness, eagerness, sync vs
+// async — lives in Engine.closureTier; this is only the build step, so
+// background workers and the engine's own goroutine share one path.
+// Reports whether this caller's plan was installed.
+func (c *Code) installClosurePlan(fuse bool) bool {
 	slot := 0
 	if fuse {
 		slot = 1
 	}
-	if p := c.closures[slot].Load(); p != nil {
-		return p
-	}
-	if !eager && (c.Level < 0 || c.samples.Load() < ClosureHotSamples) {
-		return nil
+	if c.closures[slot].Load() != nil {
+		return false
 	}
 	p := buildClosurePlan(c, fuse)
-	c.closures[slot].Store(p)
-	return p
+	if !c.closures[slot].CompareAndSwap(nil, p) {
+		compileStats.lostClosures.Add(1)
+		return false
+	}
+	return true
 }
 
-// traceFor returns the register-converted trace plan for the requested
-// inline mode, building it when the code qualifies: eager forces a build
-// at any tier (the equivalence suites use this to cover baseline code
-// too); otherwise the code must be at an optimized level and past the
-// hotness threshold. peek supplies the current code table for callee
-// inlining. Concurrent builders race benignly, like planFor: competing
-// plans may inline against different callee snapshots, but every inlined
-// site re-guards at run time, so any built plan is valid under any code
-// table.
-func (c *Code) traceFor(eager, inline bool, peek func(int) *Code) *tracePlan {
+// installTracePlan builds the register-converted trace plan for the
+// given inline mode and installs it CAS-once against the plan it is
+// replacing (nil on first build; the retried plan on a provisional-
+// inline rebuild — each callee flips nil→non-nil at most once per code
+// table, so rebuilds are bounded). Competing builders may inline against
+// different callee snapshots, but every inlined site re-guards at run
+// time, so whichever plan lands is valid under any code table; losers
+// discard their build (counted in PlanInstallStats). Reports whether
+// this caller's plan was installed.
+func (c *Code) installTracePlan(inline bool, peek func(int) *Code) bool {
 	slot := 0
 	if inline {
 		slot = 1
 	}
-	if p := c.traces[slot].Load(); p != nil {
-		// A plan that refused an inline only because the callee had never
-		// been compiled is rebuilt once the callee's code exists (bounded:
-		// each callee becomes available at most once per code table).
-		if !p.retry(peek) {
-			return p
-		}
-	} else if !eager && (c.Level < 0 || c.samples.Load() < TraceHotSamples) {
-		return nil
+	old := c.traces[slot].Load()
+	if old != nil && !old.retry(peek) {
+		return false
 	}
 	p := buildTracePlan(c, inline, peek)
-	c.traces[slot].Store(p)
-	return p
+	if !c.traces[slot].CompareAndSwap(old, p) {
+		compileStats.lostTraces.Add(1)
+		return false
+	}
+	return true
 }
 
 // TraceReady reports whether a trace plan has been built for this code
@@ -234,8 +239,9 @@ func (c *Code) Fingerprint() uint64 {
 }
 
 // planFor returns the execution plan of the code, building it on first
-// use. Concurrent builders race benignly: the build is deterministic, so
-// whichever plan lands is identical.
+// use. The build is deterministic, so whichever of several concurrent
+// builders wins the CAS installs an identical plan; losers discard
+// theirs (counted in PlanInstallStats) rather than overwriting.
 func (c *Code) planFor(fuse bool) *plan {
 	slot := 0
 	if fuse {
@@ -245,7 +251,10 @@ func (c *Code) planFor(fuse bool) *plan {
 		return p
 	}
 	p := buildPlan(c, fuse)
-	c.plans[slot].Store(p)
+	if !c.plans[slot].CompareAndSwap(nil, p) {
+		compileStats.lostPlans.Add(1)
+		return c.plans[slot].Load()
+	}
 	return p
 }
 

@@ -1,0 +1,302 @@
+package interp
+
+import (
+	"sync/atomic"
+
+	"evolvevm/internal/bytecode"
+)
+
+// This file is the engine side of background tier compilation: the job
+// and queue types a compilation pool implements (internal/bgcompile),
+// the per-Code in-flight bitmask that keeps the hot path from touching
+// the pool more than once per missing plan, and the tier-promotion
+// helpers the generated run loops call in place of the old synchronous
+// Code.closureFor/traceFor.
+//
+// Determinism: which host tier executes an iteration is never a virtual
+// observable — results, traps, cycles, samples, and ledgers are proven
+// bit-identical across all four tiers by the difftest soaks — so a plan
+// that lands at a wall-clock-racy moment changes only host speed. That
+// is the entire correctness argument for building plans on background
+// goroutines (see DESIGN.md §15).
+
+// CompileKind identifies which plan form a background build produces.
+type CompileKind uint8
+
+const (
+	// CompileClosure builds the closure-threaded plan; Mode is the
+	// superinstruction-fusion flag (the plan slot).
+	CompileClosure CompileKind = iota
+	// CompileTrace builds the register-converted trace plan; Mode is the
+	// CALL-inlining flag (the plan slot).
+	CompileTrace
+)
+
+// CompileJob is one deferred plan build. The engine enqueues it when a
+// Code crosses its hotness threshold without a plan; a pool worker calls
+// Build, or Discard when the job is dropped or deduplicated, so the
+// Code's in-flight bit is always released exactly once.
+type CompileJob struct {
+	Code *Code
+	Kind CompileKind
+	Mode bool
+	// Peek is the code-table snapshot for trace-tier callee inlining,
+	// captured on the engine's goroutine at enqueue time (the live
+	// PeekCode may read state owned by the engine's goroutine, so a
+	// background builder must never call it). Nil for closure jobs and
+	// for engines without a code table; inlining then refuses callees,
+	// which is always safe — inline sites re-guard at run time anyway.
+	Peek func(int) *Code
+	// Priority is the Code's sampler count at enqueue time; hotter code
+	// compiles first.
+	Priority int64
+}
+
+// Build performs the job's plan build and CAS install, releasing the
+// in-flight bit. It reports whether the install won (false: another
+// builder got there first, or a trace rebuild found nothing to improve).
+func (j CompileJob) Build() bool {
+	defer j.Code.clearPending(j.Kind, j.Mode)
+	if j.Kind == CompileClosure {
+		return j.Code.installClosurePlan(j.Mode)
+	}
+	return j.Code.installTracePlan(j.Mode, j.Peek)
+}
+
+// Discard releases the job's in-flight bit without building — the pool
+// calls it for dropped and dedup-suppressed jobs so the owning engine
+// can re-enqueue on a later promotion attempt.
+func (j CompileJob) Discard() { j.Code.clearPending(j.Kind, j.Mode) }
+
+// CompileQueue accepts deferred plan builds. Submit must not block:
+// bounded implementations drop (and Discard) rather than stall the
+// submitting engine.
+type CompileQueue interface {
+	Submit(CompileJob)
+}
+
+// pendingBit maps a (kind, mode) pair to its bit in Code.pending.
+func pendingBit(kind CompileKind, mode bool) uint32 {
+	b := uint32(1) << (uint32(kind) * 2)
+	if mode {
+		b <<= 1
+	}
+	return b
+}
+
+// markPending claims the in-flight bit for (kind, mode), reporting
+// whether this caller won it. While the bit is held, every other engine
+// sharing the Code skips its own enqueue — a thundering herd of cold
+// tenants triggers exactly one Submit per missing plan.
+func (c *Code) markPending(kind CompileKind, mode bool) bool {
+	bit := pendingBit(kind, mode)
+	for {
+		old := c.pending.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if c.pending.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// clearPending releases the in-flight bit for (kind, mode).
+func (c *Code) clearPending(kind CompileKind, mode bool) {
+	for {
+		old := c.pending.Load()
+		next := old &^ pendingBit(kind, mode)
+		if old == next || c.pending.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// closureHot reports whether the code has earned its closure-threaded
+// form under the engine's promotion policy.
+func (e *Engine) closureHot(code *Code) bool {
+	return e.EagerClosures || (code.Level >= 0 && code.samples.Load() >= ClosureHotSamples)
+}
+
+// traceHot reports whether the code has earned register conversion.
+func (e *Engine) traceHot(code *Code) bool {
+	return e.EagerRegTier || (code.Level >= 0 && code.samples.Load() >= TraceHotSamples)
+}
+
+// asyncCompile reports whether plan builds go through the background
+// queue. Eager modes always build inline even when a queue is attached:
+// the equivalence suites that set them need the plan before the first
+// instruction, and an eager build is a test-only configuration anyway.
+func (e *Engine) asyncCompile(eager bool) bool {
+	return e.BgCompile != nil && !e.SyncCompile && !eager
+}
+
+// closureTier returns the closure plan code should run under, or nil.
+// Synchronous mode builds inline at the promotion point (the pre-async
+// behaviour); asynchronous mode enqueues once and keeps executing in the
+// current best tier until the built plan appears in the slot.
+func (e *Engine) closureTier(code *Code) *closPlan {
+	fuse := !e.DisableFusion
+	slot := 0
+	if fuse {
+		slot = 1
+	}
+	if p := code.closures[slot].Load(); p != nil {
+		return p
+	}
+	if !e.closureHot(code) {
+		return nil
+	}
+	if e.asyncCompile(e.EagerClosures) {
+		e.enqueueCompile(code, CompileClosure, fuse)
+		return code.closures[slot].Load()
+	}
+	code.installClosurePlan(fuse)
+	return code.closures[slot].Load()
+}
+
+// traceTier returns the register trace plan code should run under, or
+// nil. A built plan whose provisional inline refusals could now succeed
+// (retry) is rebuilt — inline in synchronous mode, through the queue in
+// asynchronous mode, where the stale plan keeps running until the
+// rebuilt one is installed.
+func (e *Engine) traceTier(code *Code) *tracePlan {
+	inline := !e.DisableCallInline
+	slot := 0
+	if inline {
+		slot = 1
+	}
+	if p := code.traces[slot].Load(); p != nil {
+		if !p.retry(e.PeekCode) {
+			return p
+		}
+	} else if !e.traceHot(code) {
+		return nil
+	}
+	if e.asyncCompile(e.EagerRegTier) {
+		e.enqueueCompile(code, CompileTrace, inline)
+		return code.traces[slot].Load()
+	}
+	code.installTracePlan(inline, e.PeekCode)
+	return code.traces[slot].Load()
+}
+
+// enqueueCompile submits one build to the background queue, gated by the
+// Code's in-flight bit so the pool sees at most one job per missing plan
+// regardless of how many engines share the Code. Trace jobs carry a
+// code-table snapshot taken here, on the engine's goroutine.
+func (e *Engine) enqueueCompile(code *Code, kind CompileKind, mode bool) {
+	if !code.markPending(kind, mode) {
+		return
+	}
+	job := CompileJob{Code: code, Kind: kind, Mode: mode, Priority: code.samples.Load()}
+	if kind == CompileTrace {
+		job.Peek = e.snapshotPeek()
+	}
+	e.BgCompile.Submit(job)
+}
+
+// snapshotPeek captures the engine's current code table as an immutable
+// snapshot a background builder may read freely. The live PeekCode can
+// alias per-run state mutated by the engine's goroutine (vm.Machine's
+// current-code table), so handing it to a worker would race; the
+// snapshot is taken here, where calling PeekCode is legal. A stale
+// snapshot is always safe — inlined call sites re-validate the callee
+// fingerprint at run time.
+func (e *Engine) snapshotPeek() func(int) *Code {
+	if e.PeekCode == nil {
+		return nil
+	}
+	snap := make([]*Code, len(e.Prog.Funcs))
+	for i := range snap {
+		snap[i] = e.PeekCode(i)
+	}
+	return func(fnIdx int) *Code {
+		if fnIdx < 0 || fnIdx >= len(snap) {
+			return nil
+		}
+		return snap[fnIdx]
+	}
+}
+
+// WarmJobs returns background-compile jobs for every plan form the code
+// has earned (by level and sampler count) but not yet built in the given
+// modes, claiming each job's in-flight bit. The serving front end calls
+// this at epoch barriers to pre-warm the published winning chain, so
+// cold tenants inherit compiled plans along with learned state. An empty
+// return means the code is fully compiled (or too cold to bother).
+func (c *Code) WarmJobs(fuse, inline bool, peek func(int) *Code) []CompileJob {
+	if c.Level < 0 {
+		return nil
+	}
+	var jobs []CompileJob
+	n := c.samples.Load()
+	cslot, tslot := 0, 0
+	if fuse {
+		cslot = 1
+	}
+	if inline {
+		tslot = 1
+	}
+	if n >= ClosureHotSamples && c.closures[cslot].Load() == nil &&
+		c.markPending(CompileClosure, fuse) {
+		jobs = append(jobs, CompileJob{Code: c, Kind: CompileClosure, Mode: fuse, Priority: n})
+	}
+	// An inline-mode trace build without a code table would permanently
+	// pin a degraded plan for loops containing calls: a nil peek refuses
+	// CALL outright, without recording the callee as provisionally
+	// missing, so no retry-rebuild would ever fire. Those codes wait for
+	// an engine with a real table instead.
+	if n >= TraceHotSamples && c.traces[tslot].Load() == nil &&
+		!(inline && peek == nil && c.hasCall()) &&
+		c.markPending(CompileTrace, inline) {
+		jobs = append(jobs, CompileJob{Code: c, Kind: CompileTrace, Mode: inline, Peek: peek, Priority: n})
+	}
+	return jobs
+}
+
+// hasCall reports whether the code contains any CALL instruction.
+func (c *Code) hasCall() bool {
+	for _, in := range c.Instrs {
+		if in.Op == bytecode.CALL {
+			return true
+		}
+	}
+	return false
+}
+
+// compileStats counts plan-install CAS races lost process-wide: a loser
+// paid for a full build whose result was discarded. Nonzero values are
+// expected under concurrent engines sharing Codes; the counters exist so
+// "how much build work is wasted" is measurable rather than folklore.
+var compileStats struct {
+	lostPlans    atomic.Int64
+	lostClosures atomic.Int64
+	lostTraces   atomic.Int64
+}
+
+// PlanInstallStats is a point-in-time snapshot of the plan-install race
+// counters (host-side diagnostics, never a virtual observable).
+type PlanInstallStats struct {
+	// Lost* count CompareAndSwap installs that found the slot already
+	// filled by a concurrent builder, per plan form.
+	LostPlans    int64 `json:"lost_plans"`
+	LostClosures int64 `json:"lost_closures"`
+	LostTraces   int64 `json:"lost_traces"`
+}
+
+// ReadPlanInstallStats snapshots the process-global install-race counters.
+func ReadPlanInstallStats() PlanInstallStats {
+	return PlanInstallStats{
+		LostPlans:    compileStats.lostPlans.Load(),
+		LostClosures: compileStats.lostClosures.Load(),
+		LostTraces:   compileStats.lostTraces.Load(),
+	}
+}
+
+// ResetPlanInstallStats zeroes the install-race counters (tests).
+func ResetPlanInstallStats() {
+	compileStats.lostPlans.Store(0)
+	compileStats.lostClosures.Store(0)
+	compileStats.lostTraces.Store(0)
+}

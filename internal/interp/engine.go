@@ -128,6 +128,19 @@ type Engine struct {
 	StressDeopt       bool
 	DisableCallInline bool
 
+	// BgCompile, when set, receives closure- and trace-plan builds as
+	// background jobs instead of the engine building them inline at the
+	// promotion point: the engine enqueues once per missing plan (gated
+	// by the Code's in-flight bit) and keeps executing in its current
+	// best tier until the built plan appears in the slot. Host-side only
+	// — which tier runs an iteration is never a virtual observable, so
+	// wall-clock-racy installs cannot perturb results (DESIGN.md §15).
+	// SyncCompile forces inline builds even when BgCompile is set; the
+	// equivalence suites use it to pin the synchronous oracle. The eager
+	// toggles below always build inline regardless.
+	BgCompile   CompileQueue
+	SyncCompile bool
+
 	// PeekCode reports the code the engine's current Provider would
 	// return for fnIdx WITHOUT side effects — nil when the function has
 	// no current code form yet (never invoked). The trace tier uses it to
@@ -429,6 +442,8 @@ func (e *Engine) Reset() {
 	e.EagerOSR = false
 	e.StressDeopt = false
 	e.DisableCallInline = false
+	e.BgCompile = nil
+	e.SyncCompile = false
 	clear(e.Globals)
 	e.Output = e.Output[:0]
 	e.Cycles = 0

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"evolvevm/internal/bgcompile"
 	"evolvevm/internal/bytecode"
 	"evolvevm/internal/exec"
 	"evolvevm/internal/harness"
@@ -266,6 +267,12 @@ type Server struct {
 	pool *sched.Chains
 	sess *session.Session
 
+	// compile is the background tier-compilation pool shared by every
+	// chain's runs (nil: plans build inline at the promotion point).
+	// Created when the substrate enables async compile; drained and
+	// closed after the execution pool on shutdown.
+	compile *bgcompile.Pool
+
 	// mu is the admission lock: it orders sequence-number assignment,
 	// admission accounting, epoch-barrier enqueueing, and (live) pool
 	// submission, making pool queue order equal seq order — the
@@ -349,6 +356,16 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		s.protos[name] = r
+	}
+	if (cfg.Substrate.AsyncCompile || exec.AsyncCompileEnv()) && !cfg.Substrate.SyncCompile {
+		// One pool per server, shared by every tenant chain: Fork copies
+		// the prototype's Compile reference, so every run the server
+		// executes enqueues its plan builds here instead of stalling a
+		// request on inline compilation.
+		s.compile = bgcompile.NewPool(0, 0)
+		for _, r := range s.protos {
+			r.Compile = s.compile
+		}
 	}
 	if cfg.Record {
 		s.trace = &traffic.Trace{Version: traffic.TraceVersion}
@@ -769,6 +786,15 @@ func (s *Server) chain(req traffic.Request) *chain {
 // name) into the shared tier. Runs and tenant names are deterministic,
 // so the published snapshots are too.
 func (s *Server) publish() {
+	// Pre-warm host execution plans for every hot cached form, so cold
+	// tenants inherit compiled code along with the learned state below.
+	// Plans are host-side and process-shared through the code cache, so
+	// this runs even in Isolated mode — it cannot leak virtual state
+	// between tenants, only wall-clock warmth.
+	if s.compile != nil {
+		harness.WarmCompiledPlans(s.compile,
+			!s.cfg.Substrate.NoFusion, !s.cfg.Substrate.NoCallInline)
+	}
 	if s.cfg.Isolated {
 		return
 	}
@@ -865,6 +891,12 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.Drain()
 	s.pool.Close()
+	// The compile pool closes after the execution pool: with no run left
+	// to submit builds, Close drains the queued jobs gracefully — plans
+	// land in the process-shared code cache for the next server.
+	if s.compile != nil {
+		s.compile.Close()
+	}
 }
 
 // checksum folds a response's virtual observables into one value. Wall
@@ -966,6 +998,14 @@ type Stats struct {
 	// aggregate every engine in the process, not only this server's);
 	// host-side diagnostics only, never a virtual observable.
 	Trace interp.TraceStats `json:"trace"`
+
+	// Compile reports the background compilation pool — queue depth and
+	// high water, enqueued/built/dropped/deduped counts, per-kind
+	// build-time quantiles. Nil when the server compiles synchronously.
+	Compile *bgcompile.Stats `json:"compile,omitempty"`
+	// PlanInstall counts plan-install CAS races lost process-wide
+	// (build work paid for a plan another builder landed first).
+	PlanInstall interp.PlanInstallStats `json:"plan_install"`
 }
 
 // StatsNow reads the current stats. The hot-path counters are atomics,
@@ -996,6 +1036,11 @@ func (s *Server) StatsNow() Stats {
 	st.WallP50 = wall.Quantile(0.50)
 	st.WallP99 = wall.Quantile(0.99)
 	st.Trace = interp.ReadTraceStats()
+	st.PlanInstall = interp.ReadPlanInstallStats()
+	if s.compile != nil {
+		cst := s.compile.Stats()
+		st.Compile = &cst
+	}
 	return st
 }
 
